@@ -1,0 +1,47 @@
+//! Wire-codec throughput and message sizes: the synopsis encoding that
+//! every communication-cost number rests on.
+
+use cludistream::{Message, ModelId};
+use cludistream_bench::workloads;
+use cludistream_gmm::codec::{decode_mixture, encode_mixture};
+use cludistream_gmm::{fit_em, CovarianceType, EmConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_codec(c: &mut Criterion) {
+    let mut stream = workloads::synthetic_boxed(4, 5, 0.0, 1);
+    let data = workloads::collect(&mut *stream, 1000);
+    let fit = fit_em(&data, &EmConfig { k: 5, seed: 2, ..Default::default() })
+        .expect("EM fits");
+    let mixture = fit.mixture;
+
+    let mut group = c.benchmark_group("codec");
+
+    for (name, cov) in [("full", CovarianceType::Full), ("diag", CovarianceType::Diagonal)] {
+        group.bench_with_input(BenchmarkId::new("encode", name), &cov, |b, &cov| {
+            b.iter(|| encode_mixture(&mixture, cov))
+        });
+        let bytes = encode_mixture(&mixture, cov);
+        group.bench_with_input(BenchmarkId::new("decode", name), &bytes, |b, bytes| {
+            b.iter(|| decode_mixture(&mut bytes.clone()).expect("valid buffer"))
+        });
+    }
+
+    let msg = Message::NewModel {
+        site: 0,
+        model: ModelId(0),
+        count: 1567,
+        avg_ll: -2.0,
+        mixture: mixture.clone(),
+    };
+    group.bench_function("message_roundtrip", |b| {
+        b.iter(|| {
+            let bytes = msg.encode(CovarianceType::Full);
+            Message::decode(&mut bytes.clone()).expect("valid message")
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_codec);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! EM iteration cost vs dimensionality, component count, and chunk size —
+//! the microbenchmark behind the Figs. 8-9 scalability claims.
+
+use cludistream_bench::workloads;
+use cludistream_gmm::{fit_em, EmConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_em(c: &mut Criterion) {
+    let mut group = c.benchmark_group("em_fit");
+    group.sample_size(10);
+
+    // Scaling in d (fixed N=1000, K=5).
+    for d in [2usize, 4, 8, 16] {
+        let mut stream = workloads::synthetic_boxed(d, 5, 0.0, 1);
+        let data = workloads::collect(&mut *stream, 1000);
+        group.bench_with_input(BenchmarkId::new("dim", d), &data, |b, data| {
+            b.iter(|| {
+                fit_em(data, &EmConfig { k: 5, max_iters: 10, tol: 0.0, seed: 2, ..Default::default() })
+                    .expect("EM fits")
+            })
+        });
+    }
+
+    // Scaling in K (fixed N=1000, d=4).
+    for k in [2usize, 5, 10, 20] {
+        let mut stream = workloads::synthetic_boxed(4, 5, 0.0, 3);
+        let data = workloads::collect(&mut *stream, 1000);
+        group.bench_with_input(BenchmarkId::new("k", k), &data, |b, data| {
+            b.iter(|| {
+                fit_em(data, &EmConfig { k, max_iters: 10, tol: 0.0, seed: 4, ..Default::default() })
+                    .expect("EM fits")
+            })
+        });
+    }
+
+    // Scaling in N (fixed d=4, K=5).
+    for n in [500usize, 1000, 2000, 4000] {
+        let mut stream = workloads::synthetic_boxed(4, 5, 0.0, 5);
+        let data = workloads::collect(&mut *stream, n);
+        group.bench_with_input(BenchmarkId::new("n", n), &data, |b, data| {
+            b.iter(|| {
+                fit_em(data, &EmConfig { k: 5, max_iters: 10, tol: 0.0, seed: 6, ..Default::default() })
+                    .expect("EM fits")
+            })
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_em);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Dense-kernel microbenchmarks: Cholesky factorization, triangular
+//! solves, Mahalanobis quadratic forms, and the Jacobi eigensolver — the
+//! inner loops of every density evaluation.
+
+use cludistream_datagen::random_spd_matrix;
+use cludistream_linalg::{jacobi_eigen, Cholesky, Vector};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_linalg(c: &mut Criterion) {
+    let mut group = c.benchmark_group("linalg");
+
+    for d in [4usize, 8, 16, 32] {
+        let mut rng = StdRng::seed_from_u64(d as u64);
+        let spd = random_spd_matrix(d, (0.5, 2.0), &mut rng);
+        let chol = Cholesky::new(&spd).expect("SPD");
+        let x: Vector = (0..d).map(|i| i as f64 * 0.1).collect();
+        let mu = Vector::zeros(d);
+
+        group.bench_with_input(BenchmarkId::new("cholesky", d), &spd, |b, m| {
+            b.iter(|| Cholesky::new(m).expect("SPD"))
+        });
+        group.bench_with_input(BenchmarkId::new("mahalanobis", d), &d, |b, _| {
+            b.iter(|| chol.mahalanobis_sq(&x, &mu))
+        });
+        group.bench_with_input(BenchmarkId::new("solve", d), &x, |b, x| {
+            b.iter(|| chol.solve(x))
+        });
+        group.bench_with_input(BenchmarkId::new("inverse", d), &d, |b, _| {
+            b.iter(|| chol.inverse())
+        });
+        group.bench_with_input(BenchmarkId::new("jacobi_eigen", d), &spd, |b, m| {
+            b.iter(|| jacobi_eigen(m, 100).expect("converges"))
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_linalg);
+criterion_main!(benches);

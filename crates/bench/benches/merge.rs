@@ -1,0 +1,40 @@
+//! Coordinator merge machinery: `M_merge` evaluation, `J_merge` (for
+//! contrast — it needs raw data), the moment-preserving merge, and the
+//! Nelder-Mead refinement of the accuracy loss.
+
+use cludistream::coordinator::{j_merge, m_merge, MergeRefiner};
+use cludistream_bench::workloads;
+use cludistream_gmm::{fit_em, EmConfig, Mixture};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_merge(c: &mut Criterion) {
+    let mut stream = workloads::synthetic_boxed(4, 5, 0.0, 1);
+    let data = workloads::collect(&mut *stream, 2000);
+    let fit = fit_em(&data, &EmConfig { k: 8, seed: 2, ..Default::default() })
+        .expect("EM fits");
+    let mixture: Mixture = fit.mixture;
+    let (a, b) = (&mixture.components()[0], &mixture.components()[1]);
+
+    let mut group = c.benchmark_group("merge");
+    group.sample_size(10);
+
+    group.bench_function("m_merge_pair", |bch| bch.iter(|| m_merge(a, b)));
+
+    group.bench_function("j_merge_pair_2000pts", |bch| {
+        bch.iter(|| j_merge(&mixture, 0, 1, &data))
+    });
+
+    group.bench_function("moment_merge", |bch| {
+        bch.iter(|| mixture.moment_merge(0, 1).expect("valid merge"))
+    });
+
+    let refiner = MergeRefiner { samples: 128, max_evals: 300, seed: 3 };
+    group.bench_function("simplex_refined_merge", |bch| {
+        bch.iter(|| refiner.refine(0.5, a, 0.5, b))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_merge);
+criterion_main!(benches);

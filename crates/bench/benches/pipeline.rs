@@ -1,0 +1,83 @@
+//! End-to-end pipeline microbenchmarks: remote-site record throughput
+//! (the steady-state "test only" path and the chunk-boundary cost) and
+//! coordinator message-application throughput.
+
+use cludistream::{Config, Coordinator, CoordinatorConfig, Message, ModelId, RemoteSite};
+use cludistream_bench::workloads;
+use cludistream_gmm::{fit_em, ChunkParams, EmConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_site_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("site");
+    group.sample_size(10);
+
+    // Steady state: a warmed-up site absorbing records of a stable stream
+    // (the common case the paper's Theorem 4 says should be cheap).
+    let config = Config {
+        dim: 4,
+        k: 5,
+        chunk: ChunkParams::PAPER_DEFAULTS,
+        seed: 1,
+        ..Default::default()
+    };
+    let mut stream = workloads::synthetic_boxed(4, 5, 0.0, 2);
+    group.bench_function("steady_state_10k_records", |b| {
+        b.iter_batched(
+            || {
+                let mut site = RemoteSite::new(config.clone()).expect("valid config");
+                // Warm up one chunk so a model exists.
+                for _ in 0..site.chunk_size() {
+                    site.push(stream.next().expect("infinite")).expect("processes");
+                }
+                let records = workloads::collect(&mut *stream, 10_000);
+                (site, records)
+            },
+            |(mut site, records)| {
+                for x in records {
+                    site.push(x).expect("processes");
+                }
+                site
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+
+    group.finish();
+}
+
+fn bench_coordinator_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("coordinator");
+    group.sample_size(10);
+
+    // A stream of NewModel messages from many sites.
+    let mut stream = workloads::synthetic_boxed(4, 5, 0.0, 3);
+    let data = workloads::collect(&mut *stream, 2000);
+    let fit = fit_em(&data, &EmConfig { k: 5, seed: 4, ..Default::default() }).expect("fits");
+    let messages: Vec<Message> = (0..100)
+        .map(|i| Message::NewModel {
+            site: (i % 20) as u32,
+            model: ModelId(i / 20),
+            count: 1567,
+            avg_ll: -2.0,
+            mixture: fit.mixture.clone(),
+        })
+        .collect();
+
+    group.bench_function("apply_100_new_models", |b| {
+        b.iter_batched(
+            || (Coordinator::new(CoordinatorConfig::default()), messages.clone()),
+            |(mut coord, msgs)| {
+                for m in &msgs {
+                    coord.apply(m).expect("valid update");
+                }
+                coord
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_site_throughput, bench_coordinator_throughput);
+criterion_main!(benches);

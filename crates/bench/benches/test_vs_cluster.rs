@@ -1,0 +1,40 @@
+//! The λ of Theorem 4: the cost of *testing* a chunk against a model vs
+//! *clustering* it with EM. Test-and-cluster pays `(P_d + λ(1−P_d))·C`
+//! per chunk; this bench measures both sides of that ratio.
+
+use cludistream_bench::workloads;
+use cludistream_gmm::{avg_log_likelihood, fit_em, fit_tolerance, free_parameters, ChunkParams, CovarianceType, EmConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_test_vs_cluster(c: &mut Criterion) {
+    // The paper's default chunk: d=4, ε=0.02, δ=0.01 → M=1567.
+    let m = ChunkParams::PAPER_DEFAULTS.chunk_size(4).expect("valid params");
+    let mut stream = workloads::synthetic_boxed(4, 5, 0.0, 1);
+    let chunk = workloads::collect(&mut *stream, m);
+    let fit = fit_em(&chunk, &EmConfig { k: 5, seed: 2, ..Default::default() })
+        .expect("EM fits");
+    let mixture = fit.mixture;
+
+    let mut group = c.benchmark_group("test_vs_cluster");
+    group.sample_size(10);
+
+    group.bench_function("distribution_test", |b| {
+        b.iter(|| {
+            let avg = avg_log_likelihood(&mixture, &chunk);
+            let p = free_parameters(5, 4, CovarianceType::Full);
+            let tol = fit_tolerance(0.02, 0.01, 1.0, chunk.len(), p);
+            (avg, tol)
+        })
+    });
+
+    group.bench_function("em_clustering", |b| {
+        b.iter(|| {
+            fit_em(&chunk, &EmConfig { k: 5, seed: 3, ..Default::default() }).expect("EM fits")
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_test_vs_cluster);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Experiment runner: regenerates every figure of the paper's evaluation.
+//!
+//! ```text
+//! experiments all                # every figure + ablations
+//! experiments fig2 fig5 fig13    # specific figures
+//! experiments --scale 2.0 fig8   # stretch stream lengths
+//! experiments --list             # available ids
+//! ```
+
+use cludistream_bench::{figs, Scale};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut ids: Vec<String> = Vec::new();
+    let mut scale = Scale::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--list" => {
+                for id in figs::ALL {
+                    println!("{id}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--scale" => {
+                let Some(v) = args.next().and_then(|v| v.parse::<f64>().ok()) else {
+                    eprintln!("--scale needs a positive number");
+                    return ExitCode::FAILURE;
+                };
+                if v.is_nan() || v <= 0.0 {
+                    eprintln!("--scale needs a positive number");
+                    return ExitCode::FAILURE;
+                }
+                scale = Scale(v);
+            }
+            "all" => ids.extend(figs::ALL.iter().map(|s| s.to_string())),
+            other if other.starts_with('-') => {
+                eprintln!("unknown flag {other}; try --list");
+                return ExitCode::FAILURE;
+            }
+            other => ids.push(other.to_string()),
+        }
+    }
+    if ids.is_empty() {
+        eprintln!("usage: experiments [--scale S] (all | fig1 .. fig14 | ablation)+");
+        eprintln!("       experiments --list");
+        return ExitCode::FAILURE;
+    }
+
+    for id in &ids {
+        println!("\n######## {id} (scale {}) ########", scale.0);
+        let start = std::time::Instant::now();
+        if !figs::run(id, scale) {
+            eprintln!("unknown experiment id: {id} (try --list)");
+            return ExitCode::FAILURE;
+        }
+        println!("[{id} done in {:.1}s]", start.elapsed().as_secs_f64());
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,44 @@
+//! One module per figure of the paper's evaluation (Sec. 6), plus the
+//! ablations DESIGN.md calls out.
+
+mod ablation;
+mod common;
+mod fig01;
+mod fig02;
+mod fig03_04;
+mod fig05_07;
+mod fig08_10;
+mod fig11_14;
+
+use crate::Scale;
+
+pub use common::RollingWindow;
+
+/// All experiment ids in run order.
+pub const ALL: &[&str] = &[
+    "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
+    "fig12", "fig13", "fig14", "ablation",
+];
+
+/// Runs one experiment by id. Returns false for unknown ids.
+pub fn run(id: &str, scale: Scale) -> bool {
+    match id {
+        "fig1" => fig01::run(scale),
+        "fig2" => fig02::run(scale),
+        "fig3" => fig03_04::run_fig3(scale),
+        "fig4" => fig03_04::run_fig4(scale),
+        "fig5" => fig05_07::run_fig5(scale),
+        "fig6" => fig05_07::run_fig6(scale),
+        "fig7" => fig05_07::run_fig7(scale),
+        "fig8" => fig08_10::run_fig8(scale),
+        "fig9" => fig08_10::run_fig9(scale),
+        "fig10" => fig08_10::run_fig10(scale),
+        "fig11" => fig11_14::run_fig11(scale),
+        "fig12" => fig11_14::run_fig12(scale),
+        "fig13" => fig11_14::run_fig13(scale),
+        "fig14" => fig11_14::run_fig14(scale),
+        "ablation" => ablation::run(scale),
+        _ => return false,
+    }
+    true
+}

@@ -1,0 +1,80 @@
+//! Parallel sweep helper for the experiment harness.
+//!
+//! Parameter-sensitivity figures (ε, δ, c_max, P_d) run one independent
+//! simulation per parameter value; [`par_map`] fans those out across
+//! scoped threads. Timing figures must stay sequential (concurrent runs
+//! contend for cores and distort wall-clock measurements), so only the
+//! quality sweeps use this.
+
+use parking_lot::Mutex;
+
+/// Applies `f` to every input on its own scoped thread, preserving input
+/// order in the output. `f` must be `Sync` (it is shared across threads).
+pub fn par_map<T, R, F>(inputs: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = inputs.len();
+    let results: Mutex<Vec<Option<R>>> = Mutex::new((0..n).map(|_| None).collect());
+    crossbeam::scope(|scope| {
+        for (i, input) in inputs.into_iter().enumerate() {
+            let results = &results;
+            let f = &f;
+            scope.spawn(move |_| {
+                let out = f(input);
+                results.lock()[i] = Some(out);
+            });
+        }
+    })
+    .expect("a sweep worker panicked");
+    results
+        .into_inner()
+        .into_iter()
+        .map(|r| r.expect("every worker stored its result"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order() {
+        let out = par_map(vec![3u64, 1, 4, 1, 5], |x| x * 10);
+        assert_eq!(out, vec![30, 10, 40, 10, 50]);
+    }
+
+    #[test]
+    fn empty_input() {
+        let out: Vec<u8> = par_map(Vec::<u8>::new(), |x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn heavier_work_still_ordered() {
+        let out = par_map((0..16u64).collect(), |x| {
+            // Unequal work per item.
+            let mut acc = 0u64;
+            for i in 0..(x * 10_000) {
+                acc = acc.wrapping_add(i);
+            }
+            (x, acc)
+        });
+        for (i, (x, _)) in out.iter().enumerate() {
+            assert_eq!(*x, i as u64);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "sweep worker panicked")]
+    fn worker_panic_propagates() {
+        let _ = par_map(vec![1, 2, 3], |x| {
+            if x == 2 {
+                panic!("boom");
+            }
+            x
+        });
+    }
+}

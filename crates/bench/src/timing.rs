@@ -1,0 +1,37 @@
+//! Wall-clock helpers for the time-scalability experiments.
+
+use std::time::Instant;
+
+/// Runs `f` and returns `(result, seconds)`.
+pub fn time_it<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed().as_secs_f64())
+}
+
+/// Runs `f` `n` times, returning the minimum wall time (the conventional
+/// noise-robust micro-measurement).
+pub fn best_of<T>(n: usize, mut f: impl FnMut() -> T) -> f64 {
+    assert!(n > 0, "best_of needs at least one run");
+    (0..n)
+        .map(|_| time_it(&mut f).1)
+        .fold(f64::INFINITY, f64::min)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_it_returns_value_and_positive_time() {
+        let (v, t) = time_it(|| 41 + 1);
+        assert_eq!(v, 42);
+        assert!(t >= 0.0);
+    }
+
+    #[test]
+    fn best_of_is_min() {
+        let t = best_of(3, || std::thread::sleep(std::time::Duration::from_millis(1)));
+        assert!(t >= 0.0005, "t {t}");
+    }
+}

@@ -1,0 +1,477 @@
+#![warn(missing_docs)]
+
+//! Command-line interface to the CluDistream reproduction.
+//!
+//! Three subcommands over CSV data (numeric records, one per row, optional
+//! header):
+//!
+//! - `cluster` — batch EM over a whole file, with optional BIC selection
+//!   of the component count; prints the mixture and per-record soft
+//!   memberships.
+//! - `stream` — replay the file through a CluDistream remote site: the
+//!   test-and-cluster narration, the final model list, and the event
+//!   table.
+//! - `generate` — write a synthetic evolving-GMM stream to CSV (for
+//!   demos and round-trip testing).
+//!
+//! The argument parser is deliberately dependency-free; see
+//! [`parse_args`].
+
+use cludistream::{ChunkOutcome, Config, RemoteSite};
+use cludistream_datagen::csvio;
+use cludistream_datagen::{EvolvingStream, EvolvingStreamConfig};
+use cludistream_gmm::{fit_em, fit_em_bic, ChunkParams, EmConfig};
+use cludistream_linalg::Vector;
+use std::io::Write;
+
+/// A parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Batch EM over a CSV file.
+    Cluster {
+        /// Input CSV path (`-` for stdin).
+        input: String,
+        /// Fixed component count, or None with `k_range` set.
+        k: usize,
+        /// BIC range when `--auto-k lo..hi` was passed.
+        k_range: Option<(usize, usize)>,
+        /// RNG seed.
+        seed: u64,
+        /// Print per-record memberships.
+        memberships: bool,
+    },
+    /// Stream a CSV file through a remote site.
+    Stream {
+        /// Input CSV path (`-` for stdin).
+        input: String,
+        /// Components per model.
+        k: usize,
+        /// Error bound ε.
+        epsilon: f64,
+        /// Probability bound δ.
+        delta: f64,
+        /// Multi-test depth.
+        c_max: usize,
+        /// RNG seed.
+        seed: u64,
+    },
+    /// Generate a synthetic evolving stream as CSV.
+    Generate {
+        /// Records to emit.
+        records: usize,
+        /// Dimensionality.
+        dim: usize,
+        /// Clusters per regime.
+        k: usize,
+        /// Regime-change probability per 2000 records.
+        p_new: f64,
+        /// RNG seed.
+        seed: u64,
+    },
+    /// Print usage.
+    Help,
+}
+
+/// Errors surfaced to the user.
+#[derive(Debug)]
+pub enum CliError {
+    /// Bad command line.
+    Usage(String),
+    /// CSV parse failure.
+    Csv(csvio::CsvError),
+    /// Algorithm failure.
+    Gmm(cludistream_gmm::GmmError),
+    /// I/O failure.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Usage(m) => write!(f, "usage error: {m}"),
+            CliError::Csv(e) => write!(f, "{e}"),
+            CliError::Gmm(e) => write!(f, "{e}"),
+            CliError::Io(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<csvio::CsvError> for CliError {
+    fn from(e: csvio::CsvError) -> Self {
+        CliError::Csv(e)
+    }
+}
+impl From<cludistream_gmm::GmmError> for CliError {
+    fn from(e: cludistream_gmm::GmmError) -> Self {
+        CliError::Gmm(e)
+    }
+}
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError::Io(e)
+    }
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+cludistream — EM-based (distributed) data stream clustering
+
+USAGE:
+  cludistream cluster  <csv|-> [--k N] [--auto-k LO..HI] [--seed S] [--memberships]
+  cludistream stream   <csv|-> [--k N] [--epsilon E] [--delta D] [--c-max C] [--seed S]
+  cludistream generate [--records N] [--dim D] [--k K] [--p-new P] [--seed S]
+  cludistream help
+
+Defaults: k=5, epsilon=0.02, delta=0.01, c-max=4, seed=0,
+          records=10000, dim=4, p-new=0.1.
+";
+
+/// Parses a command line (excluding the program name).
+pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
+    let mut it = args.iter();
+    let Some(cmd) = it.next() else {
+        return Ok(Command::Help);
+    };
+    let rest: Vec<&String> = it.collect();
+    let flag = |name: &str| -> Option<&str> {
+        rest.iter()
+            .position(|a| a.as_str() == name)
+            .and_then(|i| rest.get(i + 1))
+            .map(|s| s.as_str())
+    };
+    let has = |name: &str| rest.iter().any(|a| a.as_str() == name);
+    let parse_num = |name: &str, default: f64| -> Result<f64, CliError> {
+        match flag(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| CliError::Usage(format!("{name} expects a number, got {v:?}"))),
+        }
+    };
+    let parse_int = |name: &str, default: usize| -> Result<usize, CliError> {
+        match flag(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| CliError::Usage(format!("{name} expects an integer, got {v:?}"))),
+        }
+    };
+    let positional = || -> Result<String, CliError> {
+        rest.iter()
+            .find(|a| !a.starts_with("--"))
+            .filter(|a| {
+                // Not a flag value.
+                let idx = rest.iter().position(|b| b == *a).expect("present");
+                idx == 0 || !rest[idx - 1].starts_with("--")
+            })
+            .map(|s| s.to_string())
+            .ok_or_else(|| CliError::Usage("missing input file (use - for stdin)".into()))
+    };
+
+    match cmd.as_str() {
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        "cluster" => {
+            let k_range = match flag("--auto-k") {
+                None => None,
+                Some(spec) => {
+                    let parts: Vec<&str> = spec.split("..").collect();
+                    let parsed = (parts.len() == 2)
+                        .then(|| {
+                            Some((parts[0].parse::<usize>().ok()?, parts[1].parse::<usize>().ok()?))
+                        })
+                        .flatten();
+                    match parsed {
+                        Some((lo, hi)) if lo >= 1 && hi >= lo => Some((lo, hi)),
+                        _ => {
+                            return Err(CliError::Usage(format!(
+                                "--auto-k expects LO..HI with 1 <= LO <= HI, got {spec:?}"
+                            )))
+                        }
+                    }
+                }
+            };
+            Ok(Command::Cluster {
+                input: positional()?,
+                k: parse_int("--k", 5)?,
+                k_range,
+                seed: parse_int("--seed", 0)? as u64,
+                memberships: has("--memberships"),
+            })
+        }
+        "stream" => Ok(Command::Stream {
+            input: positional()?,
+            k: parse_int("--k", 5)?,
+            epsilon: parse_num("--epsilon", 0.02)?,
+            delta: parse_num("--delta", 0.01)?,
+            c_max: parse_int("--c-max", 4)?,
+            seed: parse_int("--seed", 0)? as u64,
+        }),
+        "generate" => Ok(Command::Generate {
+            records: parse_int("--records", 10_000)?,
+            dim: parse_int("--dim", 4)?,
+            k: parse_int("--k", 5)?,
+            p_new: parse_num("--p-new", 0.1)?,
+            seed: parse_int("--seed", 0)? as u64,
+        }),
+        other => Err(CliError::Usage(format!("unknown command {other:?}; try help"))),
+    }
+}
+
+fn read_input(path: &str) -> Result<Vec<Vector>, CliError> {
+    let records = if path == "-" {
+        csvio::read_records(std::io::stdin().lock())?
+    } else {
+        let file = std::fs::File::open(path)?;
+        csvio::read_records(std::io::BufReader::new(file))?
+    };
+    if records.is_empty() {
+        return Err(CliError::Usage(format!("{path}: no records")));
+    }
+    Ok(records)
+}
+
+/// Executes a command, writing human-readable output to `out`.
+pub fn run(command: Command, out: &mut impl Write) -> Result<(), CliError> {
+    match command {
+        Command::Help => {
+            write!(out, "{USAGE}")?;
+            Ok(())
+        }
+        Command::Cluster { input, k, k_range, seed, memberships } => {
+            let data = read_input(&input)?;
+            let config = EmConfig { k, seed, ..Default::default() };
+            let (mixture, chosen_k, bic) = match k_range {
+                None => {
+                    let fit = fit_em(&data, &config)?;
+                    (fit.mixture, k, None)
+                }
+                Some((lo, hi)) => {
+                    let (best, _) = fit_em_bic(&data, lo..=hi, &config)?;
+                    (best.fit.mixture, best.k, Some(best.bic))
+                }
+            };
+            writeln!(out, "records: {}", data.len())?;
+            writeln!(out, "components: {chosen_k}{}", match bic {
+                Some(b) => format!(" (BIC {b:.1})"),
+                None => String::new(),
+            })?;
+            writeln!(out, "avg log likelihood: {:.4}", mixture.avg_log_likelihood(&data))?;
+            for (j, (c, w)) in mixture.components().iter().zip(mixture.weights()).enumerate() {
+                writeln!(out, "  component {j}: weight {w:.4}, mean {}", c.mean())?;
+            }
+            if memberships {
+                writeln!(out, "memberships (record index: probabilities):")?;
+                for (i, x) in data.iter().enumerate() {
+                    let p: Vec<String> =
+                        mixture.posteriors(x).iter().map(|v| format!("{v:.3}")).collect();
+                    writeln!(out, "  {i}: [{}]", p.join(", "))?;
+                }
+            }
+            Ok(())
+        }
+        Command::Stream { input, k, epsilon, delta, c_max, seed } => {
+            let data = read_input(&input)?;
+            let dim = data[0].dim();
+            let config = Config {
+                dim,
+                k,
+                chunk: ChunkParams { epsilon, delta },
+                c_max,
+                seed,
+                ..Default::default()
+            };
+            let mut site = RemoteSite::new(config)?;
+            writeln!(out, "chunk size M = {} records (Theorem 1)", site.chunk_size())?;
+            for x in data {
+                if let Some(outcome) = site.push(x)? {
+                    let chunk = site.chunk_index() - 1;
+                    match outcome {
+                        ChunkOutcome::FitCurrent { j_fit } => {
+                            writeln!(out, "chunk {chunk}: fits current (J_fit {j_fit:.4})")?
+                        }
+                        ChunkOutcome::SwitchedTo { model, tests, .. } => writeln!(
+                            out,
+                            "chunk {chunk}: re-fit model {model} after {tests} tests"
+                        )?,
+                        ChunkOutcome::NewModel { model, .. } => {
+                            writeln!(out, "chunk {chunk}: NEW model {model}")?
+                        }
+                    }
+                }
+            }
+            let s = site.stats();
+            writeln!(out, "---")?;
+            writeln!(
+                out,
+                "records {} | chunks {} | fit {} | re-fit {} | clustered {}",
+                s.records, s.chunks, s.fit_current, s.switched, s.clustered
+            )?;
+            writeln!(out, "models: {}", site.models().len())?;
+            for e in site.events().entries_at(site.chunk_index().saturating_sub(1)) {
+                writeln!(
+                    out,
+                    "  chunks {:>4}..={:<4} -> model {}",
+                    e.start_chunk, e.end_chunk, e.model
+                )?;
+            }
+            Ok(())
+        }
+        Command::Generate { records, dim, k, p_new, seed } => {
+            let mut stream = EvolvingStream::new(EvolvingStreamConfig {
+                dim,
+                k,
+                p_new,
+                seed,
+                ..Default::default()
+            });
+            let data = stream.take_chunk(records);
+            csvio::write_records(out, &data, None)?;
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Vec<String> {
+        s.split_whitespace().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_cluster_command() {
+        let c = parse_args(&args("cluster data.csv --k 3 --seed 7 --memberships")).unwrap();
+        assert_eq!(
+            c,
+            Command::Cluster {
+                input: "data.csv".into(),
+                k: 3,
+                k_range: None,
+                seed: 7,
+                memberships: true
+            }
+        );
+    }
+
+    #[test]
+    fn parses_auto_k_range() {
+        let c = parse_args(&args("cluster - --auto-k 2..6")).unwrap();
+        match c {
+            Command::Cluster { k_range, input, .. } => {
+                assert_eq!(k_range, Some((2, 6)));
+                assert_eq!(input, "-");
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(parse_args(&args("cluster - --auto-k 6..2")).is_err());
+        assert!(parse_args(&args("cluster - --auto-k nope")).is_err());
+    }
+
+    #[test]
+    fn parses_stream_defaults() {
+        let c = parse_args(&args("stream in.csv")).unwrap();
+        assert_eq!(
+            c,
+            Command::Stream {
+                input: "in.csv".into(),
+                k: 5,
+                epsilon: 0.02,
+                delta: 0.01,
+                c_max: 4,
+                seed: 0
+            }
+        );
+    }
+
+    #[test]
+    fn parses_generate_and_help() {
+        let c = parse_args(&args("generate --records 100 --dim 2 --p-new 0.5")).unwrap();
+        assert_eq!(
+            c,
+            Command::Generate { records: 100, dim: 2, k: 5, p_new: 0.5, seed: 0 }
+        );
+        assert_eq!(parse_args(&args("help")).unwrap(), Command::Help);
+        assert_eq!(parse_args(&[]).unwrap(), Command::Help);
+        assert!(parse_args(&args("frobnicate")).is_err());
+        assert!(parse_args(&args("cluster")).is_err(), "missing input");
+        assert!(parse_args(&args("cluster data.csv --k nope")).is_err());
+    }
+
+    #[test]
+    fn generate_then_cluster_roundtrip() {
+        // Generate a small stream to a buffer, re-parse it, cluster it.
+        let mut csv = Vec::new();
+        run(
+            Command::Generate { records: 300, dim: 2, k: 2, p_new: 0.0, seed: 1 },
+            &mut csv,
+        )
+        .unwrap();
+        let records = csvio::read_records(std::io::Cursor::new(&csv)).unwrap();
+        assert_eq!(records.len(), 300);
+        assert_eq!(records[0].dim(), 2);
+        // Write to a temp file and run `cluster` on it.
+        let path = std::env::temp_dir().join("cludistream_cli_test.csv");
+        std::fs::write(&path, &csv).unwrap();
+        let mut out = Vec::new();
+        run(
+            Command::Cluster {
+                input: path.to_string_lossy().into_owned(),
+                k: 2,
+                k_range: None,
+                seed: 2,
+                memberships: false,
+            },
+            &mut out,
+        )
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("records: 300"), "{text}");
+        assert!(text.contains("components: 2"));
+        assert!(text.contains("avg log likelihood"));
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn stream_command_runs_end_to_end() {
+        // A generated stream with large epsilon → small chunks → visible
+        // narration.
+        let mut csv = Vec::new();
+        run(
+            Command::Generate { records: 500, dim: 1, k: 1, p_new: 0.0, seed: 3 },
+            &mut csv,
+        )
+        .unwrap();
+        let path = std::env::temp_dir().join("cludistream_cli_stream_test.csv");
+        std::fs::write(&path, &csv).unwrap();
+        let mut out = Vec::new();
+        run(
+            Command::Stream {
+                input: path.to_string_lossy().into_owned(),
+                k: 1,
+                epsilon: 0.2,
+                delta: 0.05,
+                c_max: 4,
+                seed: 4,
+            },
+            &mut out,
+        )
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("chunk size M ="), "{text}");
+        assert!(text.contains("chunk 0: NEW model"), "{text}");
+        // Tiny chunks are noisy; a stable stream still ends with very few
+        // models.
+        assert!(text.contains("models: 1") || text.contains("models: 2"), "{text}");
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let mut out = Vec::new();
+        run(Command::Help, &mut out).unwrap();
+        assert!(String::from_utf8(out).unwrap().contains("USAGE"));
+    }
+}

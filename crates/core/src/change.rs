@@ -1,0 +1,156 @@
+//! Change detection over a data stream (paper Sec. 7).
+//!
+//! "Model fitting approach provides an alternative way for change
+//! detection. A change emerges when new chunk does not fit the existing
+//! models." This module turns a [`RemoteSite`]'s chunk outcomes into an
+//! explicit change log, distinguishing *novel* changes (a brand-new
+//! distribution) from *recurrences* (a switch back to a known model).
+
+use crate::remote::{ChunkOutcome, ModelId, RemoteSite};
+use cludistream_gmm::GmmError;
+use cludistream_linalg::Vector;
+
+/// One detected change point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChangePoint {
+    /// Chunk index at which the change was detected. The detection delay is
+    /// at most one chunk (M records), i.e. the paper's M/2 expected error.
+    pub chunk: u64,
+    /// What kind of change.
+    pub kind: ChangeKind,
+    /// The model now in charge.
+    pub model: ModelId,
+}
+
+/// The nature of a change point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChangeKind {
+    /// The chunk fit no known model: a genuinely new distribution.
+    Novel,
+    /// The chunk re-fit an older model: a recurring distribution
+    /// (e.g. day/night alternation).
+    Recurrence,
+}
+
+/// Streaming change detector: wraps a [`RemoteSite`] and records a
+/// [`ChangePoint`] whenever a chunk switches models.
+#[derive(Debug)]
+pub struct ChangeDetector {
+    site: RemoteSite,
+    changes: Vec<ChangePoint>,
+}
+
+impl ChangeDetector {
+    /// Wraps a site.
+    pub fn new(site: RemoteSite) -> Self {
+        ChangeDetector { site, changes: Vec::new() }
+    }
+
+    /// The wrapped site.
+    pub fn site(&self) -> &RemoteSite {
+        &self.site
+    }
+
+    /// Consumes one record; returns a change point when this record
+    /// completed a chunk that changed models.
+    pub fn push(&mut self, x: Vector) -> Result<Option<ChangePoint>, GmmError> {
+        let Some(outcome) = self.site.push(x)? else {
+            return Ok(None);
+        };
+        let chunk = self.site.chunk_index() - 1;
+        let change = match outcome {
+            ChunkOutcome::FitCurrent { .. } => None,
+            ChunkOutcome::SwitchedTo { model, .. } => {
+                Some(ChangePoint { chunk, kind: ChangeKind::Recurrence, model })
+            }
+            ChunkOutcome::NewModel { model, .. } => {
+                // The very first chunk is not a change, just initialization.
+                (chunk > 0).then_some(ChangePoint { chunk, kind: ChangeKind::Novel, model })
+            }
+        };
+        if let Some(c) = change {
+            self.changes.push(c);
+        }
+        Ok(change)
+    }
+
+    /// All changes detected so far.
+    pub fn changes(&self) -> &[ChangePoint] {
+        &self.changes
+    }
+
+    /// Number of novel (new-distribution) changes.
+    pub fn novel_count(&self) -> usize {
+        self.changes.iter().filter(|c| c.kind == ChangeKind::Novel).count()
+    }
+
+    /// Number of recurrence changes.
+    pub fn recurrence_count(&self) -> usize {
+        self.changes.iter().filter(|c| c.kind == ChangeKind::Recurrence).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Config;
+    use cludistream_gmm::{ChunkParams, Gaussian};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn small_config() -> Config {
+        Config {
+            dim: 1,
+            k: 2,
+            chunk: ChunkParams { epsilon: 0.15, delta: 0.01 },
+            seed: 21,
+            ..Default::default()
+        }
+    }
+
+    fn feed(d: &mut ChangeDetector, center: f64, chunks: usize, seed: u64) -> Vec<ChangePoint> {
+        let g = Gaussian::spherical(Vector::from_slice(&[center]), 0.5).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = d.site().chunk_size() * chunks;
+        (0..n).filter_map(|_| d.push(g.sample(&mut rng)).unwrap()).collect()
+    }
+
+    #[test]
+    fn stable_stream_reports_no_change() {
+        let mut d = ChangeDetector::new(RemoteSite::new(small_config()).unwrap());
+        let changes = feed(&mut d, 0.0, 4, 1);
+        assert!(changes.is_empty(), "{changes:?}");
+        assert!(d.changes().is_empty());
+    }
+
+    #[test]
+    fn shift_reported_as_novel_change_within_one_chunk() {
+        let mut d = ChangeDetector::new(RemoteSite::new(small_config()).unwrap());
+        feed(&mut d, 0.0, 2, 2);
+        let changes = feed(&mut d, 60.0, 2, 3);
+        assert_eq!(changes.len(), 1);
+        assert_eq!(changes[0].kind, ChangeKind::Novel);
+        // Detected at the first chunk of the new regime (index 2).
+        assert_eq!(changes[0].chunk, 2);
+        assert_eq!(d.novel_count(), 1);
+        assert_eq!(d.recurrence_count(), 0);
+    }
+
+    #[test]
+    fn return_to_old_regime_is_recurrence() {
+        let mut d = ChangeDetector::new(RemoteSite::new(small_config()).unwrap());
+        feed(&mut d, 0.0, 1, 4);
+        feed(&mut d, 60.0, 1, 5);
+        let back = feed(&mut d, 0.0, 1, 6);
+        assert_eq!(back.len(), 1);
+        assert_eq!(back[0].kind, ChangeKind::Recurrence);
+        assert_eq!(d.recurrence_count(), 1);
+    }
+
+    #[test]
+    fn first_chunk_is_not_a_change() {
+        let mut d = ChangeDetector::new(RemoteSite::new(small_config()).unwrap());
+        let changes = feed(&mut d, 0.0, 1, 7);
+        assert!(changes.is_empty());
+    }
+}

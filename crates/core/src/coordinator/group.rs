@@ -1,0 +1,205 @@
+use crate::remote::ModelId;
+use cludistream_gmm::{Gaussian, GmmError, SuffStats};
+
+/// Global identity of a remote component: which site, which of its models,
+/// and which component within that model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ComponentKey {
+    /// Originating site.
+    pub site: u32,
+    /// Site-local model id.
+    pub model: ModelId,
+    /// Component index within the model's mixture.
+    pub component: usize,
+}
+
+/// A component as held by the coordinator: its Gaussian synopsis, its
+/// record weight, and the `M_remerge` score captured when it was merged
+/// into its current group (Algorithm 2 compares against this).
+#[derive(Debug, Clone)]
+pub struct Member {
+    /// Identity.
+    pub key: ComponentKey,
+    /// The component Gaussian.
+    pub gaussian: Gaussian,
+    /// Records attributed to this component (model count × component
+    /// weight).
+    pub weight: f64,
+    /// `M_remerge(i, Mix)` at merge time.
+    pub remerge_at_merge: f64,
+}
+
+/// A group of components — one "Gaussian mixture model" node in the
+/// coordinator's hierarchy (the father of its members). The root of the
+/// paper's tree is the set of groups; each group's children are its member
+/// components.
+#[derive(Debug, Clone)]
+pub struct Group {
+    /// Stable group identity.
+    pub id: u64,
+    /// Member components.
+    pub members: Vec<Member>,
+    /// Moment-matched aggregate of the members (the `(μ_Mix, Σ_Mix)` of
+    /// Eq. 6). Kept in sync by [`Group::recompute`].
+    aggregate: Option<Gaussian>,
+    /// Simplex-refined representative (Sec. 5.2.1), when merge refinement
+    /// is enabled. Invalidated by membership changes.
+    pub refined: Option<Gaussian>,
+}
+
+impl Group {
+    /// Creates a group seeded with one member. The member's
+    /// `remerge_at_merge` is left as given.
+    pub fn new(id: u64, seed: Member) -> Self {
+        let mut g = Group { id, members: vec![seed], aggregate: None, refined: None };
+        g.recompute();
+        g
+    }
+
+    /// Total record weight.
+    pub fn weight(&self) -> f64 {
+        self.members.iter().map(|m| m.weight).sum()
+    }
+
+    /// Number of member components.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// True when the group has no members (it should then be dropped).
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// The aggregate Gaussian. Panics if called on an empty group or before
+    /// [`Group::recompute`]; the coordinator maintains the invariant.
+    pub fn aggregate(&self) -> &Gaussian {
+        self.aggregate.as_ref().expect("non-empty group has an aggregate")
+    }
+
+    /// Adds a member and refreshes the aggregate.
+    pub fn push(&mut self, member: Member) {
+        self.members.push(member);
+        self.recompute();
+    }
+
+    /// Removes members matching the predicate, returning them; refreshes
+    /// the aggregate when any member remains.
+    pub fn drain_matching(&mut self, mut pred: impl FnMut(&Member) -> bool) -> Vec<Member> {
+        let mut removed = Vec::new();
+        let mut i = 0;
+        while i < self.members.len() {
+            if pred(&self.members[i]) {
+                removed.push(self.members.remove(i));
+            } else {
+                i += 1;
+            }
+        }
+        if !removed.is_empty() {
+            self.recompute();
+        }
+        removed
+    }
+
+    /// Rebuilds the moment-matched aggregate from the members and drops any
+    /// stale refined representative.
+    pub fn recompute(&mut self) {
+        self.refined = None;
+        if self.members.is_empty() {
+            self.aggregate = None;
+            return;
+        }
+        let d = self.members[0].gaussian.dim();
+        let mut stats = SuffStats::new(d);
+        for m in &self.members {
+            // Zero-weight members still anchor the aggregate minimally.
+            stats.merge(&SuffStats::from_gaussian(&m.gaussian, m.weight.max(1e-9)));
+        }
+        self.aggregate = stats.to_gaussian().ok().map(|(g, _)| g);
+    }
+
+    /// The Gaussian representing this group in the global mixture: the
+    /// refined component when present, the aggregate otherwise.
+    pub fn representative(&self) -> &Gaussian {
+        self.refined.as_ref().unwrap_or_else(|| self.aggregate())
+    }
+
+    /// Validation hook for tests: errors when the aggregate is missing on a
+    /// non-empty group.
+    pub fn check(&self) -> Result<(), GmmError> {
+        if !self.members.is_empty() && self.aggregate.is_none() {
+            return Err(GmmError::InvalidParameter {
+                name: "group",
+                constraint: "non-empty group must have an aggregate",
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cludistream_linalg::Vector;
+
+    fn member(site: u32, center: f64, weight: f64) -> Member {
+        Member {
+            key: ComponentKey { site, model: ModelId(0), component: 0 },
+            gaussian: Gaussian::spherical(Vector::from_slice(&[center]), 1.0).unwrap(),
+            weight,
+            remerge_at_merge: 1.0,
+        }
+    }
+
+    #[test]
+    fn singleton_aggregate_is_member() {
+        let g = Group::new(0, member(0, 5.0, 100.0));
+        assert_eq!(g.len(), 1);
+        assert!((g.aggregate().mean()[0] - 5.0).abs() < 1e-9);
+        assert_eq!(g.weight(), 100.0);
+        assert!(g.check().is_ok());
+    }
+
+    #[test]
+    fn aggregate_is_weighted_moment_match() {
+        let mut g = Group::new(0, member(0, 0.0, 100.0));
+        g.push(member(1, 10.0, 300.0));
+        // Weighted mean: (0·100 + 10·300)/400 = 7.5.
+        assert!((g.aggregate().mean()[0] - 7.5).abs() < 1e-9);
+        // Variance: Σ (w/W)(σ² + (μ−μ')²) = 0.25(1+56.25) + 0.75(1+6.25).
+        let expect = 0.25 * 57.25 + 0.75 * 7.25;
+        assert!((g.aggregate().cov()[(0, 0)] - expect).abs() < 1e-6);
+    }
+
+    #[test]
+    fn drain_matching_removes_and_recomputes() {
+        let mut g = Group::new(0, member(0, 0.0, 100.0));
+        g.push(member(1, 10.0, 100.0));
+        let removed = g.drain_matching(|m| m.key.site == 0);
+        assert_eq!(removed.len(), 1);
+        assert_eq!(g.len(), 1);
+        assert!((g.aggregate().mean()[0] - 10.0).abs() < 1e-9);
+        // Draining everything leaves an empty group.
+        let _ = g.drain_matching(|_| true);
+        assert!(g.is_empty());
+    }
+
+    #[test]
+    fn refined_invalidated_on_change() {
+        let mut g = Group::new(0, member(0, 0.0, 100.0));
+        g.refined = Some(Gaussian::spherical(Vector::from_slice(&[1.0]), 1.0).unwrap());
+        assert!((g.representative().mean()[0] - 1.0).abs() < 1e-12);
+        g.push(member(1, 5.0, 100.0));
+        assert!(g.refined.is_none());
+        // Representative falls back to the aggregate.
+        assert!((g.representative().mean()[0] - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_weight_member_does_not_break_aggregate() {
+        let mut g = Group::new(0, member(0, 0.0, 0.0));
+        g.recompute();
+        assert!(g.check().is_ok());
+        assert!(g.aggregate().mean()[0].abs() < 1e-9);
+    }
+}

@@ -1,0 +1,155 @@
+//! User-facing mining queries at the coordinator.
+//!
+//! The paper's problem statement: "The coordinator site accepts user
+//! mining request and generates the mining results over the union of all
+//! data streams." This module is that request surface: density queries,
+//! soft cluster membership, and dense-region summaries over the global
+//! mixture.
+
+use crate::coordinator::Coordinator;
+use cludistream_gmm::GmmError;
+use cludistream_linalg::Vector;
+
+/// A dense region of the union stream, as reported by [`Coordinator::dense_regions`].
+#[derive(Debug, Clone)]
+pub struct DenseRegion {
+    /// Region centre (the group representative's mean).
+    pub center: Vector,
+    /// Fraction of all records attributed to the region.
+    pub weight: f64,
+    /// Per-dimension standard deviations of the region.
+    pub spread: Vec<f64>,
+    /// Number of remote-site components merged into the region.
+    pub member_components: usize,
+}
+
+impl Coordinator {
+    /// Estimated probability density of the union stream at `x`.
+    pub fn density_at(&self, x: &Vector) -> Result<f64, GmmError> {
+        Ok(self.global_mixture()?.pdf(x))
+    }
+
+    /// Soft cluster membership of `x`: posterior probability per dense
+    /// region, aligned with [`Coordinator::dense_regions`] — the paper's
+    /// motivating "80% probability to be attacked" style answer, in
+    /// contrast to a hard yes/no.
+    pub fn membership(&self, x: &Vector) -> Result<Vec<f64>, GmmError> {
+        Ok(self.global_mixture()?.posteriors(x))
+    }
+
+    /// The dense regions of the union stream, in group order — index `i`
+    /// here corresponds to posterior `i` from [`Coordinator::membership`].
+    pub fn dense_regions(&self) -> Result<Vec<DenseRegion>, GmmError> {
+        let global = self.global_mixture()?;
+        let total = self.total_weight().max(1e-12);
+        let regions: Vec<DenseRegion> = self
+            .groups()
+            .iter()
+            .map(|g| {
+                let rep = g.representative();
+                DenseRegion {
+                    center: rep.mean().clone(),
+                    weight: g.weight() / total,
+                    spread: rep.cov().diag().iter().map(|v| v.max(0.0).sqrt()).collect(),
+                    member_components: g.len(),
+                }
+            })
+            .collect();
+        debug_assert_eq!(regions.len(), global.k());
+        Ok(regions)
+    }
+
+    /// True when `x` is an outlier at the given density threshold: its
+    /// Mahalanobis distance to *every* dense region exceeds
+    /// `threshold_sq` (squared). A cheap anomaly query over the synopsis.
+    pub fn is_outlier(&self, x: &Vector, threshold_sq: f64) -> Result<bool, GmmError> {
+        let global = self.global_mixture()?;
+        Ok(global.components().iter().all(|c| c.mahalanobis_sq(x) > threshold_sq))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::coordinator::CoordinatorConfig;
+    use crate::protocol::Message;
+    use crate::remote::ModelId;
+    use crate::Coordinator;
+    use cludistream_gmm::{Gaussian, Mixture};
+    use cludistream_linalg::Vector;
+
+    fn loaded_coordinator() -> Coordinator {
+        let mut c = Coordinator::new(CoordinatorConfig::default());
+        // Two sites, same two regions: heavy near 0, light near 30.
+        for site in 0..2 {
+            let mixture = Mixture::new(
+                vec![
+                    Gaussian::spherical(Vector::from_slice(&[0.0, 0.0]), 1.0).unwrap(),
+                    Gaussian::spherical(Vector::from_slice(&[30.0, 0.0]), 1.0).unwrap(),
+                ],
+                vec![0.75, 0.25],
+            )
+            .unwrap();
+            c.apply(&Message::NewModel {
+                site,
+                model: ModelId(0),
+                count: 1000,
+                avg_ll: -1.0,
+                mixture,
+            })
+            .unwrap();
+        }
+        c
+    }
+
+    #[test]
+    fn dense_regions_align_with_membership_indices() {
+        let c = loaded_coordinator();
+        let regions = c.dense_regions().unwrap();
+        assert_eq!(regions.len(), 2);
+        assert!((regions.iter().map(|r| r.weight).sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(regions.iter().all(|r| r.member_components == 2), "two sites merged");
+        assert!(regions.iter().all(|r| r.spread.iter().all(|&s| s > 0.0)));
+        // A probe at each region's centre must get its own index as the
+        // top membership — the alignment contract.
+        for (i, r) in regions.iter().enumerate() {
+            let p = c.membership(&r.center).unwrap();
+            let best =
+                p.iter().enumerate().max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap().0;
+            assert_eq!(best, i, "region {i} centre maps to membership {best}");
+        }
+        // The heavy region (near origin, weight 0.75) is present.
+        assert!(regions
+            .iter()
+            .any(|r| r.center[0].abs() < 1.0 && (r.weight - 0.75).abs() < 0.01));
+    }
+
+    #[test]
+    fn membership_is_soft() {
+        let c = loaded_coordinator();
+        // A point between the regions, nearer the origin cluster.
+        let p = c.membership(&Vector::from_slice(&[10.0, 0.0])).unwrap();
+        assert_eq!(p.len(), 2);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        // Close to a region: near-certain membership.
+        let sure = c.membership(&Vector::from_slice(&[0.1, 0.0])).unwrap();
+        assert!(sure.iter().cloned().fold(0.0, f64::max) > 0.99);
+    }
+
+    #[test]
+    fn density_and_outlier_queries() {
+        let c = loaded_coordinator();
+        let dense = c.density_at(&Vector::from_slice(&[0.0, 0.0])).unwrap();
+        let sparse = c.density_at(&Vector::from_slice(&[15.0, 15.0])).unwrap();
+        assert!(dense > 100.0 * sparse);
+        assert!(!c.is_outlier(&Vector::from_slice(&[0.5, 0.0]), 9.0).unwrap());
+        assert!(c.is_outlier(&Vector::from_slice(&[15.0, 15.0]), 9.0).unwrap());
+    }
+
+    #[test]
+    fn queries_on_empty_coordinator_error() {
+        let c = Coordinator::new(CoordinatorConfig::default());
+        assert!(c.dense_regions().is_err());
+        assert!(c.membership(&Vector::zeros(2)).is_err());
+        assert!(c.density_at(&Vector::zeros(2)).is_err());
+    }
+}

@@ -1,0 +1,441 @@
+//! Simulation driver: wires remote sites and the coordinator into the
+//! discrete-event simulator, reproducing the paper's experimental setup
+//! (r remote sites around one coordinator, records arriving at a fixed
+//! rate, communication cost collected per second).
+
+use crate::config::Config;
+use crate::coordinator::{Coordinator, CoordinatorConfig};
+use crate::protocol::Message;
+use crate::remote::{RemoteSite, SiteStats};
+use cludistream_gmm::{GmmError, Mixture};
+use cludistream_linalg::Vector;
+use cludistream_simnet::{
+    CommStats, Context, LinkModel, Node, NodeId, SimError, Simulation, Topology, MICROS_PER_SEC,
+};
+use bytes::Bytes;
+
+/// A boxed record stream feeding one site.
+pub type RecordStream = Box<dyn Iterator<Item = Vector>>;
+
+/// Driver parameters.
+#[derive(Debug, Clone)]
+pub struct DriverConfig {
+    /// Remote-site configuration.
+    pub site: Config,
+    /// Coordinator configuration.
+    pub coordinator: CoordinatorConfig,
+    /// Record arrival rate per site (records per simulated second; the
+    /// paper processes about 1000 updates/second).
+    pub records_per_second: u64,
+    /// Records pulled from the stream per timer tick.
+    pub batch: usize,
+    /// Link timing model.
+    pub link: LinkModel,
+}
+
+impl Default for DriverConfig {
+    fn default() -> Self {
+        DriverConfig {
+            site: Config::default(),
+            coordinator: CoordinatorConfig::default(),
+            records_per_second: 1000,
+            batch: 100,
+            link: LinkModel::default(),
+        }
+    }
+}
+
+/// Outcome of a star-topology run.
+#[derive(Debug)]
+pub struct StarReport {
+    /// Byte-accurate communication statistics.
+    pub comm: CommStats,
+    /// The coordinator's global mixture at the end of the run (None when no
+    /// site ever reported a model).
+    pub global: Option<Mixture>,
+    /// Per-site processing statistics.
+    pub site_stats: Vec<SiteStats>,
+    /// Models per site at the end of the run.
+    pub site_models: Vec<usize>,
+    /// Per-site memory (Theorem 3 accounting), bytes.
+    pub site_memory: Vec<usize>,
+    /// Coordinator group count.
+    pub coordinator_groups: usize,
+    /// Coordinator memory, bytes.
+    pub coordinator_memory: usize,
+    /// Simulated duration in seconds.
+    pub sim_seconds: f64,
+}
+
+/// Simulation node wrapping one remote site and its stream.
+struct SiteNode {
+    site: RemoteSite,
+    stream: RecordStream,
+    coordinator: NodeId,
+    site_index: u32,
+    remaining: u64,
+    batch: usize,
+    interval_us: u64,
+    error: Option<GmmError>,
+}
+
+impl SiteNode {
+    fn tick(&mut self, ctx: &mut Context<'_, Bytes>) {
+        if self.error.is_some() {
+            return;
+        }
+        let take = (self.batch as u64).min(self.remaining) as usize;
+        for _ in 0..take {
+            let Some(record) = self.stream.next() else {
+                self.remaining = 0;
+                break;
+            };
+            if let Err(e) = self.site.push(record) {
+                self.error = Some(e);
+                return;
+            }
+            self.remaining -= 1;
+        }
+        // Transmit whatever the test-and-cluster strategy queued.
+        let cov = self.site.config().covariance;
+        for event in self.site.drain_events() {
+            let msg = Message::from_site_event(self.site_index, event);
+            let bytes = msg.encode(cov);
+            let len = bytes.len();
+            ctx.send(self.coordinator, bytes, len);
+        }
+        if self.remaining > 0 {
+            ctx.set_timer(self.interval_us, 0);
+        }
+    }
+}
+
+impl Node<Bytes> for SiteNode {
+    fn on_start(&mut self, ctx: &mut Context<'_, Bytes>) {
+        if self.remaining > 0 {
+            ctx.set_timer(self.interval_us, 0);
+        }
+    }
+
+    fn on_message(&mut self, _ctx: &mut Context<'_, Bytes>, _from: NodeId, _msg: Bytes) {
+        // Sites receive nothing in the basic protocol.
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, Bytes>, _tag: u64) {
+        self.tick(ctx);
+    }
+}
+
+/// Simulation node wrapping the coordinator.
+struct CoordinatorNode {
+    coordinator: Coordinator,
+    decode_errors: u64,
+    apply_errors: u64,
+}
+
+impl Node<Bytes> for CoordinatorNode {
+    fn on_message(&mut self, _ctx: &mut Context<'_, Bytes>, _from: NodeId, msg: Bytes) {
+        match Message::decode(&mut msg.clone()) {
+            Ok(m) => {
+                if self.coordinator.apply(&m).is_err() {
+                    self.apply_errors += 1;
+                }
+            }
+            Err(_) => self.decode_errors += 1,
+        }
+    }
+}
+
+/// Errors from a driver run.
+#[derive(Debug)]
+pub enum DriverError {
+    /// The simulator rejected the setup or a send.
+    Sim(SimError),
+    /// A site hit a processing error.
+    Site(GmmError),
+}
+
+impl std::fmt::Display for DriverError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DriverError::Sim(e) => write!(f, "simulation error: {e}"),
+            DriverError::Site(e) => write!(f, "site error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DriverError {}
+
+/// Runs CluDistream over `streams` (one per remote site) in a star around
+/// one coordinator, each site consuming `updates_per_site` records.
+pub fn run_star(
+    streams: Vec<RecordStream>,
+    updates_per_site: u64,
+    config: DriverConfig,
+) -> Result<StarReport, DriverError> {
+    assert!(!streams.is_empty(), "need at least one site");
+    assert!(config.records_per_second > 0, "arrival rate must be positive");
+    assert!(config.batch > 0, "batch must be positive");
+    let r = streams.len();
+    let mut sim: Simulation<Bytes> = Simulation::new(Topology::star(r), config.link);
+    let coordinator_id = Topology::star_hub(r);
+    let interval_us = (config.batch as u64 * MICROS_PER_SEC) / config.records_per_second;
+
+    let mut site_ids = Vec::with_capacity(r);
+    for (i, stream) in streams.into_iter().enumerate() {
+        let mut site_config = config.site.clone();
+        // De-correlate EM initialization across sites.
+        site_config.seed = site_config.seed.wrapping_add(i as u64 * 7919);
+        let site = RemoteSite::new(site_config).map_err(DriverError::Site)?;
+        let id = sim.add_node(Box::new(SiteNode {
+            site,
+            stream,
+            coordinator: coordinator_id,
+            site_index: i as u32,
+            remaining: updates_per_site,
+            batch: config.batch,
+            interval_us: interval_us.max(1),
+            error: None,
+        }));
+        site_ids.push(id);
+    }
+    sim.add_node(Box::new(CoordinatorNode {
+        coordinator: Coordinator::new(config.coordinator.clone()),
+        decode_errors: 0,
+        apply_errors: 0,
+    }));
+
+    sim.run().map_err(DriverError::Sim)?;
+
+    // Harvest.
+    let mut site_stats = Vec::with_capacity(r);
+    let mut site_models = Vec::with_capacity(r);
+    let mut site_memory = Vec::with_capacity(r);
+    for &id in &site_ids {
+        let node: &mut SiteNode = sim.node_as(id).expect("site node");
+        if let Some(e) = node.error.take() {
+            return Err(DriverError::Site(e));
+        }
+        site_stats.push(node.site.stats());
+        site_models.push(node.site.models().len());
+        site_memory.push(node.site.memory_bytes());
+    }
+    let sim_seconds = sim.now() as f64 / MICROS_PER_SEC as f64;
+    let comm = sim.stats().clone();
+    let coord: &mut CoordinatorNode = sim.node_as(coordinator_id).expect("coordinator node");
+    let global = coord.coordinator.global_mixture().ok();
+    Ok(StarReport {
+        comm,
+        global,
+        site_stats,
+        site_models,
+        site_memory,
+        coordinator_groups: coord.coordinator.group_count(),
+        coordinator_memory: coord.coordinator.memory_bytes(),
+        sim_seconds,
+    })
+}
+
+/// Simulation node wrapping a sliding-window site: expired chunks emit
+/// deletions over the wire (paper Sec. 7).
+struct WindowedSiteNode {
+    site: crate::windows::SlidingWindowSite,
+    stream: RecordStream,
+    coordinator: NodeId,
+    site_index: u32,
+    remaining: u64,
+    batch: usize,
+    interval_us: u64,
+    error: Option<GmmError>,
+}
+
+impl Node<Bytes> for WindowedSiteNode {
+    fn on_start(&mut self, ctx: &mut Context<'_, Bytes>) {
+        if self.remaining > 0 {
+            ctx.set_timer(self.interval_us, 0);
+        }
+    }
+
+    fn on_message(&mut self, _ctx: &mut Context<'_, Bytes>, _from: NodeId, _msg: Bytes) {}
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, Bytes>, _tag: u64) {
+        if self.error.is_some() {
+            return;
+        }
+        let take = (self.batch as u64).min(self.remaining) as usize;
+        for _ in 0..take {
+            let Some(record) = self.stream.next() else {
+                self.remaining = 0;
+                break;
+            };
+            if let Err(e) = self.site.push(record) {
+                self.error = Some(e);
+                return;
+            }
+            self.remaining -= 1;
+        }
+        let cov = self.site.site().config().covariance;
+        for event in self.site.drain_events() {
+            let msg = Message::from_site_event(self.site_index, event);
+            let bytes = msg.encode(cov);
+            let len = bytes.len();
+            ctx.send(self.coordinator, bytes, len);
+        }
+        for (model, count) in self.site.drain_deletions() {
+            let msg = Message::Delete {
+                site: self.site_index,
+                model,
+                count_delta: count,
+            };
+            let bytes = msg.encode(cov);
+            let len = bytes.len();
+            ctx.send(self.coordinator, bytes, len);
+        }
+        if self.remaining > 0 {
+            ctx.set_timer(self.interval_us, 0);
+        }
+    }
+}
+
+/// Runs CluDistream with sliding-window semantics (paper Sec. 7) over
+/// `streams` in a star topology: each site keeps only the last
+/// `window_chunks` chunks, transmitting deletions for expired ones; the
+/// coordinator's model reflects the union of the sites' windows.
+pub fn run_star_windowed(
+    streams: Vec<RecordStream>,
+    updates_per_site: u64,
+    window_chunks: usize,
+    config: DriverConfig,
+) -> Result<StarReport, DriverError> {
+    assert!(!streams.is_empty(), "need at least one site");
+    assert!(config.records_per_second > 0, "arrival rate must be positive");
+    assert!(config.batch > 0, "batch must be positive");
+    let r = streams.len();
+    let mut sim: Simulation<Bytes> = Simulation::new(Topology::star(r), config.link);
+    let coordinator_id = Topology::star_hub(r);
+    let interval_us = (config.batch as u64 * MICROS_PER_SEC) / config.records_per_second;
+
+    let mut site_ids = Vec::with_capacity(r);
+    for (i, stream) in streams.into_iter().enumerate() {
+        let mut site_config = config.site.clone();
+        site_config.seed = site_config.seed.wrapping_add(i as u64 * 7919);
+        let site = crate::windows::SlidingWindowSite::new(site_config, window_chunks)
+            .map_err(DriverError::Site)?;
+        let id = sim.add_node(Box::new(WindowedSiteNode {
+            site,
+            stream,
+            coordinator: coordinator_id,
+            site_index: i as u32,
+            remaining: updates_per_site,
+            batch: config.batch,
+            interval_us: interval_us.max(1),
+            error: None,
+        }));
+        site_ids.push(id);
+    }
+    sim.add_node(Box::new(CoordinatorNode {
+        coordinator: Coordinator::new(config.coordinator.clone()),
+        decode_errors: 0,
+        apply_errors: 0,
+    }));
+
+    sim.run().map_err(DriverError::Sim)?;
+
+    let mut site_stats = Vec::with_capacity(r);
+    let mut site_models = Vec::with_capacity(r);
+    let mut site_memory = Vec::with_capacity(r);
+    for &id in &site_ids {
+        let node: &mut WindowedSiteNode = sim.node_as(id).expect("windowed site node");
+        if let Some(e) = node.error.take() {
+            return Err(DriverError::Site(e));
+        }
+        site_stats.push(node.site.site().stats());
+        site_models.push(node.site.site().models().len());
+        site_memory.push(node.site.site().memory_bytes());
+    }
+    let sim_seconds = sim.now() as f64 / MICROS_PER_SEC as f64;
+    let comm = sim.stats().clone();
+    let coord: &mut CoordinatorNode = sim.node_as(coordinator_id).expect("coordinator node");
+    let global = coord.coordinator.global_mixture().ok();
+    Ok(StarReport {
+        comm,
+        global,
+        site_stats,
+        site_models,
+        site_memory,
+        coordinator_groups: coord.coordinator.group_count(),
+        coordinator_memory: coord.coordinator.memory_bytes(),
+        sim_seconds,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cludistream_gmm::{ChunkParams, Gaussian};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn small_config() -> DriverConfig {
+        DriverConfig {
+            site: Config {
+                dim: 1,
+                k: 1,
+                chunk: ChunkParams { epsilon: 0.15, delta: 0.01 },
+                seed: 41,
+                ..Default::default()
+            },
+            ..Default::default()
+        }
+    }
+
+    fn stable_stream(center: f64, seed: u64) -> RecordStream {
+        let g = Gaussian::spherical(Vector::from_slice(&[center]), 0.5).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        Box::new(std::iter::repeat_with(move || g.sample(&mut rng)))
+    }
+
+    #[test]
+    fn star_run_produces_global_model() {
+        let cfg = small_config();
+        let chunk = RemoteSite::new(cfg.site.clone()).unwrap().chunk_size() as u64;
+        let streams: Vec<RecordStream> =
+            vec![stable_stream(0.0, 1), stable_stream(50.0, 2)];
+        let report = run_star(streams, 3 * chunk, cfg).unwrap();
+        let global = report.global.expect("global mixture");
+        assert!(global.k() >= 2, "coordinator lost a dense region");
+        assert_eq!(report.site_stats.len(), 2);
+        assert_eq!(report.site_stats[0].chunks, 3);
+        assert!(report.sim_seconds > 0.0);
+    }
+
+    #[test]
+    fn stable_sites_send_one_synopsis_each() {
+        let cfg = small_config();
+        let chunk = RemoteSite::new(cfg.site.clone()).unwrap().chunk_size() as u64;
+        let streams: Vec<RecordStream> =
+            vec![stable_stream(0.0, 3), stable_stream(0.0, 4)];
+        let report = run_star(streams, 5 * chunk, cfg).unwrap();
+        // One NewModel message per site and nothing else.
+        assert_eq!(report.comm.total_messages(), 2, "stability violated");
+        assert_eq!(report.site_models, vec![1, 1]);
+    }
+
+    #[test]
+    fn per_second_series_available() {
+        let cfg = small_config();
+        let chunk = RemoteSite::new(cfg.site.clone()).unwrap().chunk_size() as u64;
+        let report = run_star(vec![stable_stream(0.0, 5)], 2 * chunk, cfg).unwrap();
+        assert!(!report.comm.per_second().is_empty());
+        let cum = report.comm.cumulative_per_second();
+        assert_eq!(*cum.last().unwrap(), report.comm.total_bytes());
+    }
+
+    #[test]
+    fn short_stream_with_no_full_chunk_is_silent() {
+        let cfg = small_config();
+        let report = run_star(vec![stable_stream(0.0, 6)], 10, cfg).unwrap();
+        assert!(report.global.is_none());
+        assert_eq!(report.comm.total_messages(), 0);
+    }
+}

@@ -1,0 +1,73 @@
+#![warn(missing_docs)]
+
+//! # CluDistream — EM-based distributed data stream clustering
+//!
+//! A faithful reproduction of *"Distributed Data Stream Clustering: A Fast
+//! EM-based Approach"* (Zhou, Cao, Yan, Sha, He — ICDE 2007).
+//!
+//! CluDistream clusters data streams arriving at `r` remote sites that can
+//! only talk to a central coordinator. Each site runs a **test-and-cluster**
+//! strategy: the stream is cut into chunks of `M = -2d·ln(δ(2-δ))/ε`
+//! records (Theorem 1); each chunk is *tested* against the current Gaussian
+//! mixture model via the average-log-likelihood criterion
+//! `J_fit = |AvgPr_n − AvgPr_0| ≤ ε` (Theorem 2) and only *clustered* with
+//! EM when the tests fail. The coordinator maintains a hierarchy of
+//! Gaussian mixtures over all sites' synopses, merging close components
+//! (`M_merge`, Eq. 5), splitting drifted ones (`M_split`, Eq. 6), and
+//! refining merged components with the downhill-simplex method.
+//!
+//! ## Crate layout
+//!
+//! - [`Config`] — the (ε, δ, K, c_max, …) parameter set.
+//! - [`remote`] — [`remote::RemoteSite`]: Algorithm 1 with the multi-test
+//!   strategy, the model list, and the event table.
+//! - [`coordinator`] — [`coordinator::Coordinator`]: Algorithm 2
+//!   (`OnUpdates`), merge/split criteria and merge refinement.
+//! - [`protocol`] — the byte-accounted site→coordinator wire format.
+//! - [`windows`] — landmark, horizon, and sliding-window semantics.
+//! - [`change`] — change detection from chunk outcomes (Sec. 7).
+//! - [`multilayer`] — tree-structured networks (Sec. 7).
+//! - [`driver`] — glue to run everything under the discrete-event
+//!   simulator with per-second communication accounting.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use cludistream::{Config, remote::RemoteSite};
+//! use cludistream_gmm::ChunkParams;
+//! use cludistream_linalg::Vector;
+//!
+//! // A 1-d site with a small chunk size for the example.
+//! let config = Config {
+//!     dim: 1,
+//!     k: 2,
+//!     chunk: ChunkParams { epsilon: 0.2, delta: 0.05 },
+//!     ..Default::default()
+//! };
+//! let mut site = RemoteSite::new(config).unwrap();
+//! // Push two chunks of records around x = 5.
+//! for i in 0..(2 * site.chunk_size()) {
+//!     let x = 5.0 + ((i % 13) as f64 - 6.0) * 0.1;
+//!     site.push(Vector::from_slice(&[x])).unwrap();
+//! }
+//! assert_eq!(site.models().len(), 1);        // one distribution seen
+//! assert!(site.current_mixture().is_some()); // and one model learned
+//! ```
+
+pub mod change;
+mod config;
+pub mod coordinator;
+pub mod driver;
+pub mod multilayer;
+pub mod protocol;
+pub mod remote;
+pub mod windows;
+
+pub use change::{ChangeDetector, ChangeKind, ChangePoint};
+pub use config::Config;
+pub use coordinator::{Coordinator, CoordinatorConfig, MergeRecord};
+pub use driver::{run_star, run_star_windowed, DriverConfig, DriverError, RecordStream, StarReport};
+pub use multilayer::MultiLayerNetwork;
+pub use protocol::Message;
+pub use remote::{ChunkOutcome, ModelId, RemoteSite, SiteEvent, SiteStats};
+pub use windows::{horizon_mixture, landmark_mixture, SlidingWindowSite};

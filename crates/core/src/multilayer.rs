@@ -1,0 +1,380 @@
+//! Multi-layer (tree-structured) networks (paper Sec. 7).
+//!
+//! "By running the CluDistream between each internal node and its children,
+//! we can compute the Gaussian mixture model over the union of streams on
+//! the leaf nodes. Each internal node clusters the streams of its children,
+//! then uploads the summary information to the parent if its
+//! locally-observed Gaussian mixture model changes."
+//!
+//! [`MultiLayerNetwork`] realizes this: leaves run [`RemoteSite`]s over
+//! their streams; every internal node runs a [`Coordinator`] over its
+//! children's synopses and re-uploads its own summary — as a fresh model
+//! replacing its previous one — only when the summary has materially
+//! changed, keeping upstream traffic event-driven at every layer.
+
+use crate::config::Config;
+use crate::coordinator::{m_split, Coordinator, CoordinatorConfig};
+use crate::protocol::Message;
+use crate::remote::{ModelId, RemoteSite};
+use cludistream_gmm::{CovarianceType, GmmError, Mixture};
+use cludistream_linalg::Vector;
+use std::collections::HashMap;
+
+/// Decides whether an internal node's summary changed enough to re-upload:
+/// a change in component count, any component mean drifting by more than
+/// `epsilon` (precision-weighted squared distance), or any weight moving by
+/// more than `epsilon`.
+pub fn summary_changed(old: &Mixture, new: &Mixture, epsilon: f64) -> bool {
+    if old.k() != new.k() {
+        return true;
+    }
+    for ((a, b), (wa, wb)) in old
+        .components()
+        .iter()
+        .zip(new.components())
+        .zip(old.weights().iter().zip(new.weights()))
+    {
+        if m_split(a, b) > epsilon || (wa - wb).abs() > epsilon {
+            return true;
+        }
+    }
+    false
+}
+
+/// State of one internal node.
+#[derive(Debug)]
+struct InternalNode {
+    coordinator: Coordinator,
+    /// The summary last uploaded to the parent.
+    last_upload: Option<Mixture>,
+    /// Version counter: each upload is a fresh model id replacing the last.
+    version: u64,
+}
+
+/// A tree of CluDistream nodes. Node 0 is the root; `parent[i]` gives each
+/// node's parent (`parent[0] == 0`). Leaves hold [`RemoteSite`]s; all other
+/// nodes hold [`Coordinator`]s.
+#[derive(Debug)]
+pub struct MultiLayerNetwork {
+    parent: Vec<usize>,
+    leaves: HashMap<usize, RemoteSite>,
+    internals: HashMap<usize, InternalNode>,
+    /// Upload-change threshold (reuses the site ε by default).
+    epsilon: f64,
+    covariance: CovarianceType,
+    /// Upstream traffic in bytes (all layers).
+    bytes_up: u64,
+    /// Upstream messages (all layers).
+    messages_up: u64,
+}
+
+impl MultiLayerNetwork {
+    /// Builds the network. `parent[i]` is node i's parent; exactly the
+    /// nodes with no children become leaves and get a [`RemoteSite`] with
+    /// `site_config`.
+    pub fn new(
+        parent: Vec<usize>,
+        site_config: Config,
+        coordinator_config: CoordinatorConfig,
+    ) -> Result<Self, GmmError> {
+        assert!(!parent.is_empty(), "network needs at least one node");
+        assert_eq!(parent[0], 0, "node 0 must be the root");
+        for (i, &p) in parent.iter().enumerate() {
+            assert!(p < parent.len(), "parent out of range");
+            assert!(i == 0 || p != i, "only the root may self-parent");
+        }
+        let has_children: Vec<bool> = {
+            let mut h = vec![false; parent.len()];
+            for (i, &p) in parent.iter().enumerate() {
+                if i != 0 {
+                    h[p] = true;
+                }
+            }
+            h
+        };
+        let epsilon = site_config.chunk.epsilon;
+        let covariance = site_config.covariance;
+        let mut leaves = HashMap::new();
+        let mut internals = HashMap::new();
+        for (i, &children) in has_children.iter().enumerate() {
+            if children {
+                internals.insert(
+                    i,
+                    InternalNode {
+                        coordinator: Coordinator::new(coordinator_config.clone()),
+                        last_upload: None,
+                        version: 0,
+                    },
+                );
+            } else {
+                leaves.insert(i, RemoteSite::new(site_config.clone())?);
+            }
+        }
+        Ok(MultiLayerNetwork {
+            parent,
+            leaves,
+            internals,
+            epsilon,
+            covariance,
+            bytes_up: 0,
+            messages_up: 0,
+        })
+    }
+
+    /// Leaf node indices.
+    pub fn leaf_ids(&self) -> Vec<usize> {
+        let mut ids: Vec<usize> = self.leaves.keys().copied().collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Total upstream bytes across all layers.
+    pub fn bytes_up(&self) -> u64 {
+        self.bytes_up
+    }
+
+    /// Total upstream messages across all layers.
+    pub fn messages_up(&self) -> u64 {
+        self.messages_up
+    }
+
+    /// Pushes one record into a leaf, propagating synopses up the tree as
+    /// needed.
+    pub fn push(&mut self, leaf: usize, x: Vector) -> Result<(), GmmError> {
+        let site = self.leaves.get_mut(&leaf).ok_or(GmmError::InvalidParameter {
+            name: "leaf",
+            constraint: "index of a leaf node",
+        })?;
+        let processed = site.push(x)?.is_some();
+        if !processed {
+            return Ok(());
+        }
+        let events = site.drain_events();
+        if events.is_empty() {
+            return Ok(());
+        }
+        if self.parent[leaf] == leaf {
+            // Degenerate single-node network: the leaf is the root; nothing
+            // to transmit.
+            return Ok(());
+        }
+        let msgs: Vec<Message> =
+            events.into_iter().map(|e| Message::from_site_event(leaf as u32, e)).collect();
+        self.deliver(self.parent[leaf], msgs)
+    }
+
+    /// Delivers messages to an internal node, then propagates upward when
+    /// that node's summary changed.
+    fn deliver(&mut self, node: usize, msgs: Vec<Message>) -> Result<(), GmmError> {
+        for m in &msgs {
+            self.bytes_up += m.wire_bytes(self.covariance) as u64;
+            self.messages_up += 1;
+        }
+        let internal = self.internals.get_mut(&node).expect("parent is internal");
+        for m in &msgs {
+            internal.coordinator.apply(m)?;
+        }
+        if node == 0 {
+            return Ok(()); // root absorbs
+        }
+        // Upload-on-change toward the parent.
+        let Ok(summary) = internal.coordinator.global_mixture() else {
+            return Ok(());
+        };
+        let changed = match &internal.last_upload {
+            None => true,
+            Some(old) => summary_changed(old, &summary, self.epsilon),
+        };
+        if !changed {
+            return Ok(());
+        }
+        let total = internal.coordinator.total_weight().max(1.0) as u64;
+        let version = internal.version;
+        internal.version += 1;
+        internal.last_upload = Some(summary.clone());
+        let mut up = Vec::new();
+        if version > 0 {
+            up.push(Message::Delete {
+                site: node as u32,
+                model: ModelId(version - 1),
+                count_delta: u64::MAX / 2, // force removal of the stale summary
+            });
+        }
+        up.push(Message::NewModel {
+            site: node as u32,
+            model: ModelId(version),
+            count: total,
+            avg_ll: 0.0,
+            mixture: summary,
+        });
+        self.deliver(self.parent[node], up)
+    }
+
+    /// The root's view of the union of all leaf streams.
+    pub fn root_mixture(&self) -> Result<Mixture, GmmError> {
+        match self.internals.get(&0) {
+            Some(i) => i.coordinator.global_mixture(),
+            // Degenerate single-node network: the root is a leaf.
+            None => crate::windows::landmark_mixture(&self.leaves[&0]),
+        }
+    }
+
+    /// Borrow a leaf's site.
+    pub fn leaf(&self, id: usize) -> Option<&RemoteSite> {
+        self.leaves.get(&id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cludistream_gmm::{ChunkParams, Gaussian};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn small_config() -> Config {
+        Config {
+            dim: 1,
+            k: 1,
+            chunk: ChunkParams { epsilon: 0.15, delta: 0.01 },
+            seed: 31,
+            ..Default::default()
+        }
+    }
+
+    /// Root (0) ← {1, 2}; 1 ← {3, 4}; 2 ← {5, 6}: a two-layer tree with
+    /// four leaves.
+    fn two_layer() -> MultiLayerNetwork {
+        MultiLayerNetwork::new(
+            vec![0, 0, 0, 1, 1, 2, 2],
+            small_config(),
+            CoordinatorConfig::default(),
+        )
+        .unwrap()
+    }
+
+    fn feed_leaf(net: &mut MultiLayerNetwork, leaf: usize, center: f64, n: usize, seed: u64) {
+        let g = Gaussian::spherical(Vector::from_slice(&[center]), 0.5).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..n {
+            net.push(leaf, g.sample(&mut rng)).unwrap();
+        }
+    }
+
+    #[test]
+    fn leaves_identified_correctly() {
+        let net = two_layer();
+        assert_eq!(net.leaf_ids(), vec![3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn root_sees_union_of_leaf_streams() {
+        let mut net = two_layer();
+        let chunk = net.leaf(3).unwrap().chunk_size();
+        feed_leaf(&mut net, 3, 0.0, chunk, 1);
+        feed_leaf(&mut net, 4, 0.0, chunk, 2);
+        feed_leaf(&mut net, 5, 80.0, chunk, 3);
+        feed_leaf(&mut net, 6, 80.0, chunk, 4);
+        let root = net.root_mixture().unwrap();
+        // Both dense regions visible at the root.
+        let near = |c: f64| {
+            root.components()
+                .iter()
+                .zip(root.weights())
+                .filter(|(g, _)| (g.mean()[0] - c).abs() < 20.0)
+                .map(|(_, &w)| w)
+                .sum::<f64>()
+        };
+        assert!(near(0.0) > 0.2, "mass near 0: {}", near(0.0));
+        assert!(near(80.0) > 0.2, "mass near 80: {}", near(80.0));
+    }
+
+    #[test]
+    fn stable_leaves_stop_generating_upstream_traffic() {
+        let mut net = two_layer();
+        let chunk = net.leaf(3).unwrap().chunk_size();
+        feed_leaf(&mut net, 3, 0.0, 2 * chunk, 5);
+        let after_warmup = net.bytes_up();
+        // Four more stable chunks: the leaf's test-and-cluster sends
+        // nothing, so no layer sends anything.
+        feed_leaf(&mut net, 3, 0.0, 4 * chunk, 6);
+        assert_eq!(net.bytes_up(), after_warmup, "stability violated");
+    }
+
+    #[test]
+    fn regime_change_propagates_to_root() {
+        let mut net = two_layer();
+        let chunk = net.leaf(3).unwrap().chunk_size();
+        feed_leaf(&mut net, 3, 0.0, chunk, 7);
+        let v1 = net.root_mixture().unwrap();
+        feed_leaf(&mut net, 3, 80.0, chunk, 8);
+        let v2 = net.root_mixture().unwrap();
+        // The root model must now cover the new region.
+        let probe = Vector::from_slice(&[80.0]);
+        assert!(
+            v2.log_pdf(&probe) > v1.log_pdf(&probe) + 1.0,
+            "root did not learn the new regime: {} vs {}",
+            v2.log_pdf(&probe),
+            v1.log_pdf(&probe)
+        );
+    }
+
+    #[test]
+    fn single_node_network_is_a_site() {
+        let mut net = MultiLayerNetwork::new(
+            vec![0],
+            small_config(),
+            CoordinatorConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(net.leaf_ids(), vec![0]);
+        let chunk = net.leaf(0).unwrap().chunk_size();
+        feed_leaf(&mut net, 0, 0.0, chunk, 9);
+        assert!(net.root_mixture().is_ok());
+        assert_eq!(net.bytes_up(), 0, "single node must not transmit");
+    }
+
+    #[test]
+    fn pushing_to_internal_node_errors() {
+        let mut net = two_layer();
+        assert!(net.push(1, Vector::zeros(1)).is_err());
+    }
+
+    #[test]
+    fn three_level_chain_propagates_to_root() {
+        // 0 <- 1 <- 2 (leaf): a chain, the deepest tree shape per node.
+        let mut net = MultiLayerNetwork::new(
+            vec![0, 0, 1],
+            small_config(),
+            CoordinatorConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(net.leaf_ids(), vec![2]);
+        let chunk = net.leaf(2).unwrap().chunk_size();
+        feed_leaf(&mut net, 2, 5.0, chunk, 71);
+        // Leaf -> node1 (synopsis), node1 -> root (summary): two messages
+        // minimum.
+        assert!(net.messages_up() >= 2, "messages {}", net.messages_up());
+        let root = net.root_mixture().unwrap();
+        assert!(
+            root.log_pdf(&Vector::from_slice(&[5.0])) > -5.0,
+            "root missed the leaf's distribution"
+        );
+    }
+
+    #[test]
+    fn summary_change_detector() {
+        let a = Mixture::single(Gaussian::spherical(Vector::from_slice(&[0.0]), 1.0).unwrap());
+        let same = a.clone();
+        assert!(!summary_changed(&a, &same, 0.1));
+        let moved =
+            Mixture::single(Gaussian::spherical(Vector::from_slice(&[5.0]), 1.0).unwrap());
+        assert!(summary_changed(&a, &moved, 0.1));
+        let more = a.with_component(
+            Gaussian::spherical(Vector::from_slice(&[9.0]), 1.0).unwrap(),
+            1.0,
+        )
+        .unwrap();
+        assert!(summary_changed(&a, &more, 0.1));
+    }
+}

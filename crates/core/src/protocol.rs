@@ -1,0 +1,313 @@
+//! Site ↔ coordinator wire protocol.
+//!
+//! Three message kinds implement the paper's synopsis-based information
+//! exchange (Sec. 5.3): full model synopses when a new distribution
+//! emerges, small weight updates when an old model is re-activated by the
+//! multi-test strategy, and deletions (negative weight) for sliding-window
+//! expiry (Sec. 7). Every message has an exact byte size so the
+//! communication-cost experiments measure real wire traffic.
+
+use crate::remote::{ModelId, SiteEvent};
+use cludistream_gmm::codec::{decode_mixture, encode_mixture, encoded_len};
+use cludistream_gmm::{CovarianceType, GmmError, Mixture};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// A message from a remote site to the coordinator.
+#[derive(Debug, Clone)]
+pub enum Message {
+    /// A new model was learned at the site; carries the full synopsis.
+    NewModel {
+        /// Originating site.
+        site: u32,
+        /// Site-local model id.
+        model: ModelId,
+        /// Records in the founding chunk.
+        count: u64,
+        /// Average log likelihood of the founding chunk.
+        avg_ll: f64,
+        /// The mixture synopsis.
+        mixture: Mixture,
+    },
+    /// An existing model absorbed more records (multi-test re-activation).
+    WeightUpdate {
+        /// Originating site.
+        site: u32,
+        /// Site-local model id.
+        model: ModelId,
+        /// Records added to the model's counter.
+        count_delta: u64,
+    },
+    /// Records attributed to a model left the sliding window; the
+    /// coordinator subtracts the weight and drops the model at zero
+    /// (Sec. 7, "Landmark Windows and Sliding Windows").
+    Delete {
+        /// Originating site.
+        site: u32,
+        /// Site-local model id.
+        model: ModelId,
+        /// Records removed from the model's counter.
+        count_delta: u64,
+    },
+}
+
+const TAG_NEW_MODEL: u8 = 1;
+const TAG_WEIGHT_UPDATE: u8 = 2;
+const TAG_DELETE: u8 = 3;
+
+/// Fixed header: tag (1) + site (4) + model id (8).
+const HEADER_BYTES: usize = 13;
+
+impl Message {
+    /// Lifts a site-local event into a wire message.
+    pub fn from_site_event(site: u32, event: SiteEvent) -> Message {
+        match event {
+            SiteEvent::NewModel { model, mixture, count, avg_ll } => {
+                Message::NewModel { site, model, count, avg_ll, mixture }
+            }
+            SiteEvent::WeightUpdate { model, count_delta } => {
+                Message::WeightUpdate { site, model, count_delta }
+            }
+            SiteEvent::Retired { model, count } => {
+                Message::Delete { site, model, count_delta: count }
+            }
+        }
+    }
+
+    /// Originating site.
+    pub fn site(&self) -> u32 {
+        match self {
+            Message::NewModel { site, .. }
+            | Message::WeightUpdate { site, .. }
+            | Message::Delete { site, .. } => *site,
+        }
+    }
+
+    /// The model the message concerns.
+    pub fn model(&self) -> ModelId {
+        match self {
+            Message::NewModel { model, .. }
+            | Message::WeightUpdate { model, .. }
+            | Message::Delete { model, .. } => *model,
+        }
+    }
+
+    /// Exact encoded size under the given covariance representation.
+    pub fn wire_bytes(&self, cov: CovarianceType) -> usize {
+        match self {
+            Message::NewModel { mixture, .. } => {
+                HEADER_BYTES + 8 + 8 + encoded_len(mixture.k(), mixture.dim(), cov)
+            }
+            Message::WeightUpdate { .. } | Message::Delete { .. } => HEADER_BYTES + 8,
+        }
+    }
+
+    /// Encodes the message.
+    pub fn encode(&self, cov: CovarianceType) -> Bytes {
+        let mut buf = BytesMut::with_capacity(self.wire_bytes(cov));
+        match self {
+            Message::NewModel { site, model, count, avg_ll, mixture } => {
+                buf.put_u8(TAG_NEW_MODEL);
+                buf.put_u32_le(*site);
+                buf.put_u64_le(model.0);
+                buf.put_u64_le(*count);
+                buf.put_f64_le(*avg_ll);
+                buf.extend_from_slice(&encode_mixture(mixture, cov));
+            }
+            Message::WeightUpdate { site, model, count_delta } => {
+                buf.put_u8(TAG_WEIGHT_UPDATE);
+                buf.put_u32_le(*site);
+                buf.put_u64_le(model.0);
+                buf.put_u64_le(*count_delta);
+            }
+            Message::Delete { site, model, count_delta } => {
+                buf.put_u8(TAG_DELETE);
+                buf.put_u32_le(*site);
+                buf.put_u64_le(model.0);
+                buf.put_u64_le(*count_delta);
+            }
+        }
+        buf.freeze()
+    }
+
+    /// Decodes a message produced by [`Message::encode`].
+    pub fn decode(buf: &mut impl Buf) -> Result<Message, GmmError> {
+        if buf.remaining() < HEADER_BYTES {
+            return Err(GmmError::Codec("truncated message header"));
+        }
+        let tag = buf.get_u8();
+        let site = buf.get_u32_le();
+        let model = ModelId(buf.get_u64_le());
+        match tag {
+            TAG_NEW_MODEL => {
+                if buf.remaining() < 16 {
+                    return Err(GmmError::Codec("truncated new-model body"));
+                }
+                let count = buf.get_u64_le();
+                let avg_ll = buf.get_f64_le();
+                let mixture = decode_mixture(buf)?;
+                Ok(Message::NewModel { site, model, count, avg_ll, mixture })
+            }
+            TAG_WEIGHT_UPDATE | TAG_DELETE => {
+                if buf.remaining() < 8 {
+                    return Err(GmmError::Codec("truncated update body"));
+                }
+                let count_delta = buf.get_u64_le();
+                if tag == TAG_WEIGHT_UPDATE {
+                    Ok(Message::WeightUpdate { site, model, count_delta })
+                } else {
+                    Ok(Message::Delete { site, model, count_delta })
+                }
+            }
+            _ => Err(GmmError::Codec("unknown message tag")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cludistream_gmm::Gaussian;
+    use cludistream_linalg::Vector;
+
+    fn mixture() -> Mixture {
+        Mixture::new(
+            vec![
+                Gaussian::spherical(Vector::from_slice(&[1.0, 2.0]), 1.0).unwrap(),
+                Gaussian::spherical(Vector::from_slice(&[5.0, -1.0]), 2.0).unwrap(),
+            ],
+            vec![0.3, 0.7],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn new_model_roundtrip() {
+        let msg = Message::NewModel {
+            site: 3,
+            model: ModelId(9),
+            count: 1567,
+            avg_ll: -2.5,
+            mixture: mixture(),
+        };
+        let bytes = msg.encode(CovarianceType::Full);
+        assert_eq!(bytes.len(), msg.wire_bytes(CovarianceType::Full));
+        let back = Message::decode(&mut bytes.clone()).unwrap();
+        match back {
+            Message::NewModel { site, model, count, avg_ll, mixture: m } => {
+                assert_eq!(site, 3);
+                assert_eq!(model, ModelId(9));
+                assert_eq!(count, 1567);
+                assert_eq!(avg_ll, -2.5);
+                assert_eq!(m.k(), 2);
+            }
+            other => panic!("wrong variant {other:?}"),
+        }
+    }
+
+    #[test]
+    fn weight_update_roundtrip_and_size() {
+        let msg = Message::WeightUpdate { site: 1, model: ModelId(4), count_delta: 100 };
+        let bytes = msg.encode(CovarianceType::Full);
+        assert_eq!(bytes.len(), 21);
+        match Message::decode(&mut bytes.clone()).unwrap() {
+            Message::WeightUpdate { site, model, count_delta } => {
+                assert_eq!((site, model, count_delta), (1, ModelId(4), 100));
+            }
+            other => panic!("wrong variant {other:?}"),
+        }
+    }
+
+    #[test]
+    fn delete_roundtrip() {
+        let msg = Message::Delete { site: 2, model: ModelId(0), count_delta: 42 };
+        let bytes = msg.encode(CovarianceType::Full);
+        match Message::decode(&mut bytes.clone()).unwrap() {
+            Message::Delete { site, model, count_delta } => {
+                assert_eq!((site, model, count_delta), (2, ModelId(0), 42));
+            }
+            other => panic!("wrong variant {other:?}"),
+        }
+    }
+
+    #[test]
+    fn weight_update_is_much_smaller_than_synopsis() {
+        let synopsis = Message::NewModel {
+            site: 0,
+            model: ModelId(0),
+            count: 1,
+            avg_ll: 0.0,
+            mixture: mixture(),
+        };
+        let update = Message::WeightUpdate { site: 0, model: ModelId(0), count_delta: 1 };
+        assert!(
+            update.wire_bytes(CovarianceType::Full) * 5
+                < synopsis.wire_bytes(CovarianceType::Full),
+            "stability saves little: {} vs {}",
+            update.wire_bytes(CovarianceType::Full),
+            synopsis.wire_bytes(CovarianceType::Full)
+        );
+    }
+
+    #[test]
+    fn from_site_event_maps_variants() {
+        let ev = SiteEvent::WeightUpdate { model: ModelId(1), count_delta: 7 };
+        assert!(matches!(
+            Message::from_site_event(5, ev),
+            Message::WeightUpdate { site: 5, model: ModelId(1), count_delta: 7 }
+        ));
+        let ev = SiteEvent::NewModel {
+            model: ModelId(2),
+            mixture: mixture(),
+            count: 10,
+            avg_ll: -1.0,
+        };
+        assert!(matches!(Message::from_site_event(6, ev), Message::NewModel { site: 6, .. }));
+        let ev = SiteEvent::Retired { model: ModelId(3), count: 42 };
+        assert!(matches!(
+            Message::from_site_event(7, ev),
+            Message::Delete { site: 7, model: ModelId(3), count_delta: 42 }
+        ));
+    }
+
+    #[test]
+    fn truncated_and_corrupt_rejected() {
+        let msg = Message::WeightUpdate { site: 1, model: ModelId(4), count_delta: 100 };
+        let bytes = msg.encode(CovarianceType::Full);
+        assert!(Message::decode(&mut bytes.slice(..5)).is_err());
+        assert!(Message::decode(&mut bytes.slice(..HEADER_BYTES)).is_err());
+        let mut corrupt = BytesMut::from(&bytes[..]);
+        corrupt[0] = 77; // unknown tag
+        assert!(Message::decode(&mut corrupt.freeze()).is_err());
+    }
+
+    #[test]
+    fn diagonal_covariance_messages_are_smaller_and_roundtrip() {
+        let msg = Message::NewModel {
+            site: 0,
+            model: ModelId(1),
+            count: 10,
+            avg_ll: -1.0,
+            mixture: mixture(),
+        };
+        let full = msg.encode(CovarianceType::Full);
+        let diag = msg.encode(CovarianceType::Diagonal);
+        assert!(diag.len() < full.len());
+        assert_eq!(diag.len(), msg.wire_bytes(CovarianceType::Diagonal));
+        match Message::decode(&mut diag.clone()).unwrap() {
+            Message::NewModel { mixture: m, .. } => {
+                assert_eq!(m.k(), 2);
+                // Off-diagonals dropped by the d-vector representation.
+                assert_eq!(m.components()[0].cov()[(0, 1)], 0.0);
+                assert!(m.components()[0].is_diagonal());
+            }
+            other => panic!("wrong variant {other:?}"),
+        }
+    }
+
+    #[test]
+    fn accessors() {
+        let msg = Message::Delete { site: 2, model: ModelId(8), count_delta: 1 };
+        assert_eq!(msg.site(), 2);
+        assert_eq!(msg.model(), ModelId(8));
+    }
+}

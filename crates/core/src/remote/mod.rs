@@ -1,0 +1,11 @@
+//! Remote-site processing (paper Sec. 5.1): the test-and-cluster strategy,
+//! the model list, and the event table.
+
+mod event_table;
+mod model_list;
+mod site;
+mod snapshot;
+
+pub use event_table::{EventEntry, EventTable};
+pub use model_list::{ModelEntry, ModelId, ModelList};
+pub use site::{ChunkOutcome, RemoteSite, SiteEvent, SiteStats};

@@ -1,0 +1,653 @@
+use crate::config::Config;
+use crate::remote::event_table::EventTable;
+use crate::remote::model_list::{ModelId, ModelList};
+use cludistream_gmm::{
+    avg_log_likelihood, fit_em, fit_em_bic, fit_em_warm, fit_tolerance, free_parameters, j_fit,
+    log_likelihood_std, GmmError, Mixture,
+};
+use cludistream_linalg::Vector;
+
+/// What a remote site emits toward the coordinator. Stability costs
+/// nothing: a chunk fitting the *current* model produces no message at all
+/// (paper Sec. 5.3, "Stability").
+#[derive(Debug, Clone)]
+pub enum SiteEvent {
+    /// A new model was learned from a chunk that fit nothing; carries the
+    /// full synopsis.
+    NewModel {
+        /// The model's site-local id.
+        model: ModelId,
+        /// The learned mixture (the synopsis to transmit).
+        mixture: Mixture,
+        /// Initial record count (one chunk).
+        count: u64,
+        /// Average log likelihood of the founding chunk.
+        avg_ll: f64,
+    },
+    /// A chunk re-fit a *previous* model from the model list (multi-test
+    /// hit); only a weight update needs transmitting.
+    WeightUpdate {
+        /// The re-activated model.
+        model: ModelId,
+        /// Records added to its counter.
+        count_delta: u64,
+    },
+    /// A model was evicted from a bounded model list
+    /// (`Config::max_models`); the coordinator should drop its weight.
+    Retired {
+        /// The evicted model.
+        model: ModelId,
+        /// Its record counter at eviction.
+        count: u64,
+    },
+}
+
+/// Outcome of processing one chunk (returned by [`RemoteSite::push`] at
+/// chunk boundaries).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ChunkOutcome {
+    /// The chunk fit the current model; counter bumped, no communication.
+    FitCurrent {
+        /// The observed test statistic.
+        j_fit: f64,
+    },
+    /// The chunk fit an older model from the list; the site switched
+    /// current models and queued a weight update.
+    SwitchedTo {
+        /// The model switched to.
+        model: ModelId,
+        /// The observed test statistic against that model.
+        j_fit: f64,
+        /// How many list models were tested before the hit (including the
+        /// current-model test).
+        tests: usize,
+    },
+    /// No model fit; EM ran and a new model was created and queued for
+    /// transmission.
+    NewModel {
+        /// The newly created model.
+        model: ModelId,
+        /// Fit tests performed before giving up.
+        tests: usize,
+    },
+}
+
+/// Counters describing a site's processing history (drives the scalability
+/// experiments).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SiteStats {
+    /// Records consumed.
+    pub records: u64,
+    /// Chunks processed.
+    pub chunks: u64,
+    /// Chunks that fit the current model.
+    pub fit_current: u64,
+    /// Chunks that re-fit an older model.
+    pub switched: u64,
+    /// Chunks that required EM clustering.
+    pub clustered: u64,
+    /// Total model-fit tests performed.
+    pub tests: u64,
+    /// Total EM iterations across all clustering calls.
+    pub em_iterations: u64,
+}
+
+/// A CluDistream remote site: the test-and-cluster processor of paper
+/// Algorithm 1 with the multi-test extension of Sec. 5.1.2.
+///
+/// Records are [`RemoteSite::push`]ed one at a time; every `M` records
+/// (Theorem 1's chunk size) the buffered chunk is tested against the
+/// current model, then against up to `c_max − 1` recent models from the
+/// model list, and clustered with EM only when every test fails. Messages
+/// for the coordinator accumulate in an outbox drained with
+/// [`RemoteSite::drain_events`].
+#[derive(Debug)]
+pub struct RemoteSite {
+    config: Config,
+    chunk_size: usize,
+    buffer: Vec<Vector>,
+    models: ModelList,
+    events: EventTable,
+    current: Option<ModelId>,
+    chunk_index: u64,
+    outbox: Vec<SiteEvent>,
+    stats: SiteStats,
+}
+
+impl RemoteSite {
+    /// Creates a site. Fails on invalid configuration.
+    pub fn new(config: Config) -> Result<Self, GmmError> {
+        config.validate()?;
+        let chunk_size = config.chunk_size()?;
+        Ok(RemoteSite {
+            config,
+            chunk_size,
+            buffer: Vec::with_capacity(chunk_size),
+            models: ModelList::new(),
+            events: EventTable::new(),
+            current: None,
+            chunk_index: 0,
+            outbox: Vec::new(),
+            stats: SiteStats::default(),
+        })
+    }
+
+    /// The chunk size M in records.
+    pub fn chunk_size(&self) -> usize {
+        self.chunk_size
+    }
+
+    /// The site configuration.
+    pub fn config(&self) -> &Config {
+        &self.config
+    }
+
+    /// Index of the chunk currently being filled.
+    pub fn chunk_index(&self) -> u64 {
+        self.chunk_index
+    }
+
+    /// Processing statistics.
+    pub fn stats(&self) -> SiteStats {
+        self.stats
+    }
+
+    /// The model list (all distributions seen so far).
+    pub fn models(&self) -> &ModelList {
+        &self.models
+    }
+
+    /// The event table (regime history).
+    pub fn events(&self) -> &EventTable {
+        &self.events
+    }
+
+    /// Mutable model-list access for window wrappers (weight decrements and
+    /// expiry are window concerns, not Algorithm 1 concerns).
+    pub(crate) fn models_mut(&mut self) -> &mut ModelList {
+        &mut self.models
+    }
+
+    /// Records buffered toward the next chunk (snapshot support).
+    pub fn buffered_records(&self) -> &[Vector] {
+        &self.buffer
+    }
+
+    /// Installs restored state (snapshot support).
+    pub(crate) fn install_snapshot(
+        &mut self,
+        models: ModelList,
+        events: EventTable,
+        current: Option<ModelId>,
+        chunk_index: u64,
+        stats: SiteStats,
+        buffer: Vec<Vector>,
+    ) {
+        self.models = models;
+        self.events = events;
+        self.current = current;
+        self.chunk_index = chunk_index;
+        self.stats = stats;
+        self.buffer = buffer;
+    }
+
+    /// The current model's id, if a first chunk has been clustered.
+    pub fn current_model(&self) -> Option<ModelId> {
+        self.current
+    }
+
+    /// The current model's mixture.
+    pub fn current_mixture(&self) -> Option<&Mixture> {
+        self.models.get(self.current?).map(|e| &e.mixture)
+    }
+
+    /// Consumes one record. Returns `Ok(Some(outcome))` when the record
+    /// completed a chunk and the chunk was processed.
+    pub fn push(&mut self, x: Vector) -> Result<Option<ChunkOutcome>, GmmError> {
+        if x.dim() != self.config.dim {
+            return Err(GmmError::DimensionMismatch { expected: self.config.dim, got: x.dim() });
+        }
+        self.stats.records += 1;
+        self.buffer.push(x);
+        if self.buffer.len() < self.chunk_size {
+            return Ok(None);
+        }
+        let chunk = std::mem::replace(&mut self.buffer, Vec::with_capacity(self.chunk_size));
+        let outcome = self.process_chunk(&chunk)?;
+        Ok(Some(outcome))
+    }
+
+    /// Consumes a batch of records, returning the outcomes of any chunks
+    /// completed along the way.
+    pub fn push_batch(
+        &mut self,
+        records: impl IntoIterator<Item = Vector>,
+    ) -> Result<Vec<ChunkOutcome>, GmmError> {
+        let mut outcomes = Vec::new();
+        for x in records {
+            if let Some(o) = self.push(x)? {
+                outcomes.push(o);
+            }
+        }
+        Ok(outcomes)
+    }
+
+    /// Drains the coordinator-bound message queue.
+    pub fn drain_events(&mut self) -> Vec<SiteEvent> {
+        std::mem::take(&mut self.outbox)
+    }
+
+    /// Pending (undrained) events.
+    pub fn pending_events(&self) -> usize {
+        self.outbox.len()
+    }
+
+    /// Algorithm 1 for one full chunk.
+    fn process_chunk(&mut self, chunk: &[Vector]) -> Result<ChunkOutcome, GmmError> {
+        let this_chunk = self.chunk_index;
+        self.chunk_index += 1;
+        self.stats.chunks += 1;
+        let m = chunk.len() as u64;
+
+        // The very first chunk is always clustered (Algorithm 1 line 2).
+        let Some(current_id) = self.current else {
+            let model = self.cluster_chunk(chunk, this_chunk)?;
+            return Ok(ChunkOutcome::NewModel { model, tests: 0 });
+        };
+
+        // Test 1: the current model (Eq. 4, with the calibrated tolerance —
+        // see DESIGN.md "fit-test calibration").
+        let (epsilon, delta) = (self.config.chunk.epsilon, self.config.chunk.delta);
+        let current = self.models.get(current_id).expect("current model exists");
+        let p_free = free_parameters(self.config.k, self.config.dim, self.config.covariance);
+        let avg_n = avg_log_likelihood(&current.mixture, chunk);
+        let j = j_fit(avg_n, current.avg_ll);
+        let tol = fit_tolerance(epsilon, delta, current.ll_std, chunk.len(), p_free);
+        self.stats.tests += 1;
+        if j <= tol {
+            let entry = self.models.get_mut(current_id).expect("current model exists");
+            entry.count += m;
+            entry.last_active_chunk = this_chunk;
+            self.stats.fit_current += 1;
+            return Ok(ChunkOutcome::FitCurrent { j_fit: j });
+        }
+
+        // Tests 2..c_max: most recent other models in the list.
+        let mut tests = 1usize;
+        let mut hit: Option<(ModelId, f64)> = None;
+        for entry in self.models.recent_except(current_id) {
+            if tests >= self.config.c_max {
+                break;
+            }
+            tests += 1;
+            let avg = avg_log_likelihood(&entry.mixture, chunk);
+            let j = j_fit(avg, entry.avg_ll);
+            if j <= fit_tolerance(epsilon, delta, entry.ll_std, chunk.len(), p_free) {
+                hit = Some((entry.id, j));
+                break;
+            }
+        }
+        self.stats.tests += (tests - 1) as u64;
+
+        if let Some((model, j)) = hit {
+            // Multi-test hit: switch the current model and queue a weight
+            // update (Sec. 5.3 point 1).
+            let entry = self.models.get_mut(model).expect("hit model exists");
+            entry.count += m;
+            entry.last_active_chunk = this_chunk;
+            self.events.switch_to(model, this_chunk);
+            self.current = Some(model);
+            self.stats.switched += 1;
+            self.outbox.push(SiteEvent::WeightUpdate { model, count_delta: m });
+            return Ok(ChunkOutcome::SwitchedTo { model, j_fit: j, tests });
+        }
+
+        // Every test failed: cluster the chunk (Algorithm 1 lines 8-10).
+        let model = self.cluster_chunk(chunk, this_chunk)?;
+        Ok(ChunkOutcome::NewModel { model, tests })
+    }
+
+    /// Runs EM on a chunk, installs the new model as current, and queues the
+    /// synopsis for the coordinator.
+    fn cluster_chunk(&mut self, chunk: &[Vector], this_chunk: u64) -> Result<ModelId, GmmError> {
+        let fit = match self.config.auto_k {
+            None => {
+                let em_config = self.config.em_config(this_chunk);
+                match self.current_mixture().filter(|_| self.config.warm_start) {
+                    Some(current) => fit_em_warm(chunk, current, &em_config)?,
+                    None => fit_em(chunk, &em_config)?,
+                }
+            }
+            Some((lo, hi)) => {
+                let (scored, _) = fit_em_bic(chunk, lo..=hi, &self.config.em_config(this_chunk))?;
+                scored.fit
+            }
+        };
+        self.stats.clustered += 1;
+        self.stats.em_iterations += fit.iterations as u64;
+        let count = chunk.len() as u64;
+        // AvgPr₀ is the founding chunk's average log likelihood, exactly as
+        // in the paper; the optimism allowance lives in the tolerance.
+        let avg_ll = fit.avg_log_likelihood;
+        let ll_std = log_likelihood_std(&fit.mixture, chunk);
+        let id = self.models.insert(fit.mixture.clone(), avg_ll, ll_std, count, this_chunk);
+        self.events.switch_to(id, this_chunk);
+        self.current = Some(id);
+        self.outbox.push(SiteEvent::NewModel {
+            model: id,
+            mixture: fit.mixture,
+            count,
+            avg_ll,
+        });
+        // Bounded model list: evict the least-recently-active non-current
+        // model (its event-table spans survive; horizon queries simply skip
+        // evicted ids).
+        if let Some(bound) = self.config.max_models {
+            while self.models.len() > bound {
+                let Some(victim) = self.models.least_recently_active_except(id) else { break };
+                let removed = self.models.remove(victim).expect("victim exists");
+                self.outbox.push(SiteEvent::Retired { model: victim, count: removed.count });
+            }
+        }
+        Ok(id)
+    }
+
+    /// Memory footprint per Theorem 3: the record buffer
+    /// (`M · d` f64 values) plus `B · K(d² + d + 1)` model parameters plus
+    /// the event table.
+    pub fn memory_bytes(&self) -> usize {
+        let buffer = 8 * self.chunk_size * self.config.dim;
+        buffer + self.models.memory_bytes(self.config.covariance) + self.events.memory_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cludistream_gmm::{ChunkParams, Gaussian};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Small-chunk config so tests run fast: 1-d, K=2, M computed from
+    /// loose ε.
+    fn test_config() -> Config {
+        Config {
+            dim: 1,
+            k: 2,
+            chunk: ChunkParams { epsilon: 0.15, delta: 0.01 },
+            c_max: 4,
+            seed: 7,
+            ..Default::default()
+        }
+    }
+
+    fn sampler(center: f64, seed: u64) -> (Mixture, StdRng) {
+        let m = Mixture::new(
+            vec![
+                Gaussian::spherical(Vector::from_slice(&[center - 3.0]), 0.5).unwrap(),
+                Gaussian::spherical(Vector::from_slice(&[center + 3.0]), 0.5).unwrap(),
+            ],
+            vec![0.5, 0.5],
+        )
+        .unwrap();
+        (m, StdRng::seed_from_u64(seed))
+    }
+
+    fn feed_chunks(
+        site: &mut RemoteSite,
+        mixture: &Mixture,
+        rng: &mut StdRng,
+        chunks: usize,
+    ) -> Vec<ChunkOutcome> {
+        let n = site.chunk_size() * chunks;
+        let data: Vec<Vector> = (0..n).map(|_| mixture.sample(rng)).collect();
+        site.push_batch(data).unwrap()
+    }
+
+    #[test]
+    fn first_chunk_always_clusters() {
+        let mut site = RemoteSite::new(test_config()).unwrap();
+        let (m, mut rng) = sampler(0.0, 1);
+        let outcomes = feed_chunks(&mut site, &m, &mut rng, 1);
+        assert_eq!(outcomes.len(), 1);
+        assert!(matches!(outcomes[0], ChunkOutcome::NewModel { tests: 0, .. }));
+        assert_eq!(site.models().len(), 1);
+        let events = site.drain_events();
+        assert_eq!(events.len(), 1);
+        assert!(matches!(events[0], SiteEvent::NewModel { .. }));
+    }
+
+    #[test]
+    fn stable_stream_fits_current_with_no_communication() {
+        let mut site = RemoteSite::new(test_config()).unwrap();
+        let (m, mut rng) = sampler(0.0, 2);
+        let outcomes = feed_chunks(&mut site, &m, &mut rng, 6);
+        assert!(matches!(outcomes[0], ChunkOutcome::NewModel { .. }));
+        for o in &outcomes[1..] {
+            assert!(matches!(o, ChunkOutcome::FitCurrent { .. }), "outcome {o:?}");
+        }
+        // Only the initial synopsis was queued.
+        assert_eq!(site.drain_events().len(), 1);
+        assert_eq!(site.models().len(), 1);
+        // Counter accumulated all six chunks.
+        let total = site.models().entries()[0].count;
+        assert_eq!(total, 6 * site.chunk_size() as u64);
+    }
+
+    #[test]
+    fn distribution_change_creates_new_model() {
+        let mut site = RemoteSite::new(test_config()).unwrap();
+        let (a, mut rng_a) = sampler(0.0, 3);
+        let (b, mut rng_b) = sampler(50.0, 4);
+        feed_chunks(&mut site, &a, &mut rng_a, 2);
+        let outcomes = feed_chunks(&mut site, &b, &mut rng_b, 2);
+        assert!(
+            matches!(outcomes[0], ChunkOutcome::NewModel { .. }),
+            "change not detected: {outcomes:?}"
+        );
+        assert!(matches!(outcomes[1], ChunkOutcome::FitCurrent { .. }));
+        assert_eq!(site.models().len(), 2);
+        assert_eq!(site.events().switches(), 1);
+    }
+
+    #[test]
+    fn alternating_distributions_reuse_models_via_multitest() {
+        let mut site = RemoteSite::new(test_config()).unwrap();
+        let (a, mut rng_a) = sampler(0.0, 5);
+        let (b, mut rng_b) = sampler(50.0, 6);
+        feed_chunks(&mut site, &a, &mut rng_a, 1); // new model A
+        feed_chunks(&mut site, &b, &mut rng_b, 1); // new model B
+        let back = feed_chunks(&mut site, &a, &mut rng_a, 1); // should re-fit A
+        assert!(
+            matches!(back[0], ChunkOutcome::SwitchedTo { .. }),
+            "multi-test missed the old model: {back:?}"
+        );
+        assert_eq!(site.models().len(), 2, "no third model should be created");
+        // The switch queued a weight update, not a full synopsis.
+        let events = site.drain_events();
+        let weight_updates =
+            events.iter().filter(|e| matches!(e, SiteEvent::WeightUpdate { .. })).count();
+        assert_eq!(weight_updates, 1);
+    }
+
+    #[test]
+    fn c_max_one_disables_multitest() {
+        let mut cfg = test_config();
+        cfg.c_max = 1;
+        let mut site = RemoteSite::new(cfg).unwrap();
+        let (a, mut rng_a) = sampler(0.0, 7);
+        let (b, mut rng_b) = sampler(50.0, 8);
+        feed_chunks(&mut site, &a, &mut rng_a, 1);
+        feed_chunks(&mut site, &b, &mut rng_b, 1);
+        let back = feed_chunks(&mut site, &a, &mut rng_a, 1);
+        // With only the current-model test allowed, the site cannot reuse A.
+        assert!(matches!(back[0], ChunkOutcome::NewModel { tests: 1, .. }), "{back:?}");
+        assert_eq!(site.models().len(), 3);
+    }
+
+    #[test]
+    fn stats_track_processing() {
+        let mut site = RemoteSite::new(test_config()).unwrap();
+        let (a, mut rng) = sampler(0.0, 9);
+        feed_chunks(&mut site, &a, &mut rng, 3);
+        let s = site.stats();
+        assert_eq!(s.chunks, 3);
+        assert_eq!(s.clustered, 1);
+        assert_eq!(s.fit_current, 2);
+        assert_eq!(s.records, 3 * site.chunk_size() as u64);
+        assert!(s.em_iterations > 0);
+    }
+
+    #[test]
+    fn dimension_mismatch_rejected() {
+        let mut site = RemoteSite::new(test_config()).unwrap();
+        assert!(site.push(Vector::zeros(3)).is_err());
+    }
+
+    #[test]
+    fn memory_grows_with_models_not_records() {
+        let mut site = RemoteSite::new(test_config()).unwrap();
+        let (a, mut rng) = sampler(0.0, 10);
+        feed_chunks(&mut site, &a, &mut rng, 1);
+        let after_one = site.memory_bytes();
+        feed_chunks(&mut site, &a, &mut rng, 5);
+        let after_six = site.memory_bytes();
+        // Same model the whole time → same memory (Theorem 3: independent of
+        // stream length).
+        assert_eq!(after_one, after_six);
+        // A new distribution adds one model's worth.
+        let (b, mut rng_b) = sampler(50.0, 11);
+        feed_chunks(&mut site, &b, &mut rng_b, 1);
+        assert!(site.memory_bytes() > after_six);
+    }
+
+    #[test]
+    fn event_table_records_history() {
+        let mut site = RemoteSite::new(test_config()).unwrap();
+        let (a, mut rng_a) = sampler(0.0, 12);
+        let (b, mut rng_b) = sampler(50.0, 13);
+        feed_chunks(&mut site, &a, &mut rng_a, 2);
+        feed_chunks(&mut site, &b, &mut rng_b, 2);
+        let entries = site.events().entries_at(site.chunk_index().saturating_sub(1));
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].span(), 2);
+        assert_eq!(entries[1].span(), 2);
+    }
+
+    #[test]
+    fn warm_start_site_learns_like_cold_start() {
+        let cold_cfg = test_config();
+        let mut warm_cfg = test_config();
+        warm_cfg.warm_start = true;
+        let mut cold = RemoteSite::new(cold_cfg.clone()).unwrap();
+        let mut warm = RemoteSite::new(warm_cfg).unwrap();
+        let (a, rng_a) = sampler(0.0, 50);
+        let (b, rng_b) = sampler(60.0, 51);
+        for site in [&mut cold, &mut warm] {
+            let mut ra = rng_a.clone();
+            let mut rb = rng_b.clone();
+            for _ in 0..(2 * site.chunk_size()) {
+                site.push(a.sample(&mut ra)).unwrap();
+            }
+            for _ in 0..(2 * site.chunk_size()) {
+                site.push(b.sample(&mut rb)).unwrap();
+            }
+        }
+        // Both detect the regime change and end with two models.
+        assert_eq!(cold.models().len(), 2);
+        assert_eq!(warm.models().len(), 2);
+        // The warm site's second model must describe the new regime's
+        // blobs (at 60 ± 3).
+        let m = warm.current_mixture().unwrap();
+        assert!(m.log_pdf(&Vector::from_slice(&[57.0])) > -4.0);
+        assert!(m.log_pdf(&Vector::from_slice(&[63.0])) > -4.0);
+    }
+
+    #[test]
+    fn auto_k_picks_component_count_per_chunk() {
+        let mut cfg = test_config();
+        cfg.auto_k = Some((1, 4));
+        // BIC needs a decent sample; ε=0.05 gives M ≈ 314 here.
+        cfg.chunk.epsilon = 0.05;
+        let mut site = RemoteSite::new(cfg).unwrap();
+        // Regime with TWO blobs → BIC should pick K=2.
+        let (two, mut rng_a) = sampler(0.0, 20);
+        feed_chunks(&mut site, &two, &mut rng_a, 1);
+        // Small chunks make BIC slightly noisy; the bimodal regime must
+        // select at least 2 components (it picks 2 or 3 at this M).
+        let k_two = site.current_mixture().unwrap().k();
+        assert!((2..=3).contains(&k_two), "two-blob regime selected K={k_two}");
+        // Regime with ONE blob far away → new model with K=1.
+        let one = Mixture::single(
+            Gaussian::spherical(Vector::from_slice(&[200.0]), 0.5).unwrap(),
+        );
+        let mut rng_b = StdRng::seed_from_u64(21);
+        feed_chunks(&mut site, &one, &mut rng_b, 1);
+        assert_eq!(site.models().len(), 2);
+        assert_eq!(
+            site.current_mixture().unwrap().k(),
+            1,
+            "unimodal regime should select K=1"
+        );
+    }
+
+    #[test]
+    fn bounded_model_list_evicts_least_recently_active() {
+        let mut cfg = test_config();
+        cfg.max_models = Some(2);
+        let mut site = RemoteSite::new(cfg).unwrap();
+        // Three distinct regimes, one chunk each: the third forces an
+        // eviction of the first (least recently active).
+        for (center, seed) in [(0.0, 60u64), (80.0, 61), (160.0, 62)] {
+            let (m, mut rng) = sampler(center, seed);
+            feed_chunks(&mut site, &m, &mut rng, 1);
+        }
+        assert_eq!(site.models().len(), 2, "bound not enforced");
+        // The current (newest) model survives; a Retired event was queued.
+        let events = site.drain_events();
+        let retired: Vec<_> = events
+            .iter()
+            .filter(|e| matches!(e, SiteEvent::Retired { .. }))
+            .collect();
+        assert_eq!(retired.len(), 1, "events {events:?}");
+        if let SiteEvent::Retired { model, count } = retired[0] {
+            assert_eq!(*model, ModelId(0), "first regime's model evicted");
+            assert_eq!(*count, site.chunk_size() as u64);
+        }
+        // Horizon queries over spans of evicted models degrade gracefully.
+        let recent = crate::windows::horizon_mixture(&site, 10).unwrap();
+        assert!(recent.k() >= 1);
+    }
+
+    #[test]
+    fn recently_reused_model_is_not_the_eviction_victim() {
+        let mut cfg = test_config();
+        cfg.max_models = Some(2);
+        let mut site = RemoteSite::new(cfg).unwrap();
+        let (a, mut rng_a) = sampler(0.0, 63);
+        let (b, mut rng_b) = sampler(80.0, 64);
+        feed_chunks(&mut site, &a, &mut rng_a, 1); // model 0
+        feed_chunks(&mut site, &b, &mut rng_b, 1); // model 1
+        feed_chunks(&mut site, &a, &mut rng_a, 1); // re-fit model 0 (multi-test)
+        assert_eq!(site.models().len(), 2);
+        // New regime: eviction must pick model 1 (b), not the just-reused 0.
+        let (c, mut rng_c) = sampler(160.0, 65);
+        feed_chunks(&mut site, &c, &mut rng_c, 1);
+        let ids: Vec<ModelId> = site.models().entries().iter().map(|e| e.id).collect();
+        assert!(ids.contains(&ModelId(0)), "recently used model evicted: {ids:?}");
+        assert!(!ids.contains(&ModelId(1)), "stale model kept: {ids:?}");
+    }
+
+    #[test]
+    fn partial_chunk_not_processed() {
+        let mut site = RemoteSite::new(test_config()).unwrap();
+        let (a, mut rng) = sampler(0.0, 14);
+        let n = site.chunk_size() - 1;
+        let data: Vec<Vector> = (0..n).map(|_| a.sample(&mut rng)).collect();
+        let outcomes = site.push_batch(data).unwrap();
+        assert!(outcomes.is_empty());
+        assert_eq!(site.models().len(), 0);
+        assert_eq!(site.current_model(), None);
+        assert!(site.current_mixture().is_none());
+    }
+}

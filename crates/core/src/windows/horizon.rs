@@ -1,0 +1,116 @@
+use crate::remote::RemoteSite;
+use cludistream_gmm::{GmmError, Mixture};
+
+/// The model of the last `horizon_chunks` *completed* chunks of a site,
+/// assembled from the event table (paper Sec. 7, "evolving analysis"):
+/// the models governing any chunk of the window contribute proportionally
+/// to their overlap.
+///
+/// The paper notes the answer is exact up to half a chunk
+/// (`M/2 = -d·ln(δ(2-δ))/ε`), since window edges fall inside chunks.
+pub fn horizon_mixture(site: &RemoteSite, horizon_chunks: u64) -> Result<Mixture, GmmError> {
+    if horizon_chunks == 0 {
+        return Err(GmmError::InvalidParameter {
+            name: "horizon_chunks",
+            constraint: "horizon >= 1 chunk",
+        });
+    }
+    let completed = site.chunk_index();
+    if completed == 0 {
+        return Err(GmmError::NotEnoughData { have: 0, need: 1 });
+    }
+    let now = completed - 1; // last completed chunk index
+    let from = now.saturating_sub(horizon_chunks - 1);
+    let hits = site.events().query(from, now, now);
+    let weighted: Vec<(&Mixture, f64)> = hits
+        .iter()
+        .filter_map(|(model, overlap)| {
+            site.models().get(*model).map(|e| (&e.mixture, *overlap as f64))
+        })
+        .collect();
+    if weighted.is_empty() {
+        return Err(GmmError::NotEnoughData { have: 0, need: 1 });
+    }
+    Mixture::concat(&weighted)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Config;
+    use cludistream_gmm::{ChunkParams, Gaussian};
+    use cludistream_linalg::Vector;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn feed(site: &mut RemoteSite, center: f64, chunks: usize, seed: u64) {
+        let g = Gaussian::spherical(Vector::from_slice(&[center]), 0.5).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..site.chunk_size() * chunks {
+            site.push(g.sample(&mut rng)).unwrap();
+        }
+    }
+
+    fn small_site() -> RemoteSite {
+        RemoteSite::new(Config {
+            dim: 1,
+            k: 2,
+            chunk: ChunkParams { epsilon: 0.15, delta: 0.01 },
+            seed: 5,
+            ..Default::default()
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn errors_before_first_chunk_and_on_zero_horizon() {
+        let site = small_site();
+        assert!(horizon_mixture(&site, 2).is_err());
+        let mut site = small_site();
+        feed(&mut site, 0.0, 1, 1);
+        assert!(horizon_mixture(&site, 0).is_err());
+    }
+
+    #[test]
+    fn recent_horizon_reflects_only_recent_regime() {
+        let mut site = small_site();
+        feed(&mut site, 0.0, 3, 1); // old regime
+        feed(&mut site, 60.0, 3, 2); // recent regime
+        let recent = horizon_mixture(&site, 2).unwrap();
+        // All mass near 60.
+        let mass_recent: f64 = recent
+            .components()
+            .iter()
+            .zip(recent.weights())
+            .filter(|(c, _)| (c.mean()[0] - 60.0).abs() < 30.0)
+            .map(|(_, &w)| w)
+            .sum();
+        assert!((mass_recent - 1.0).abs() < 1e-9, "mass {mass_recent}");
+    }
+
+    #[test]
+    fn wide_horizon_mixes_regimes_proportionally() {
+        let mut site = small_site();
+        feed(&mut site, 0.0, 2, 3);
+        feed(&mut site, 60.0, 2, 4);
+        // Horizon of 4 chunks = 2 of each regime.
+        let h = horizon_mixture(&site, 4).unwrap();
+        let mass_old: f64 = h
+            .components()
+            .iter()
+            .zip(h.weights())
+            .filter(|(c, _)| c.mean()[0].abs() < 30.0)
+            .map(|(_, &w)| w)
+            .sum();
+        assert!((mass_old - 0.5).abs() < 0.05, "mass_old {mass_old}");
+    }
+
+    #[test]
+    fn horizon_larger_than_history_is_landmark() {
+        let mut site = small_site();
+        feed(&mut site, 0.0, 2, 5);
+        let wide = horizon_mixture(&site, 100).unwrap();
+        let lm = crate::windows::landmark_mixture(&site).unwrap();
+        assert_eq!(wide.k(), lm.k());
+    }
+}

@@ -1,0 +1,86 @@
+use crate::remote::RemoteSite;
+use cludistream_gmm::{GmmError, Mixture};
+
+/// The landmark-window model of a site: the mixture over *all* data seen
+/// since the landmark (stream start), combining every model in the model
+/// list weighted by its record counter.
+///
+/// This is the quantity Fig. 6 scores: unlike SEM, which keeps a single
+/// model, CluDistream retains one model per distribution and can therefore
+/// describe the full history.
+pub fn landmark_mixture(site: &RemoteSite) -> Result<Mixture, GmmError> {
+    let entries = site.models().entries();
+    if entries.is_empty() {
+        return Err(GmmError::NotEnoughData { have: 0, need: 1 });
+    }
+    let weighted: Vec<(&Mixture, f64)> =
+        entries.iter().map(|e| (&e.mixture, e.count as f64)).collect();
+    Mixture::concat(&weighted)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Config;
+    use cludistream_gmm::{ChunkParams, Gaussian};
+    use cludistream_linalg::Vector;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn feed(site: &mut RemoteSite, center: f64, chunks: usize, seed: u64) {
+        let g = Gaussian::spherical(Vector::from_slice(&[center]), 0.5).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = site.chunk_size() * chunks;
+        for _ in 0..n {
+            site.push(g.sample(&mut rng)).unwrap();
+        }
+    }
+
+    fn small_site() -> RemoteSite {
+        RemoteSite::new(Config {
+            dim: 1,
+            k: 2,
+            chunk: ChunkParams { epsilon: 0.15, delta: 0.01 },
+            seed: 3,
+            ..Default::default()
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn empty_site_has_no_landmark_model() {
+        let site = small_site();
+        assert!(landmark_mixture(&site).is_err());
+    }
+
+    #[test]
+    fn single_regime_landmark_is_current_model() {
+        let mut site = small_site();
+        feed(&mut site, 0.0, 3, 1);
+        let lm = landmark_mixture(&site).unwrap();
+        assert_eq!(lm.k(), site.current_mixture().unwrap().k());
+    }
+
+    #[test]
+    fn landmark_covers_all_regimes_weighted_by_duration() {
+        let mut site = small_site();
+        feed(&mut site, 0.0, 3, 1); // regime A: 3 chunks
+        feed(&mut site, 60.0, 1, 2); // regime B: 1 chunk
+        assert_eq!(site.models().len(), 2);
+        let lm = landmark_mixture(&site).unwrap();
+        // Mass near 0 should be ~3x the mass near 60.
+        let mass_a: f64 = lm
+            .components()
+            .iter()
+            .zip(lm.weights())
+            .filter(|(c, _)| c.mean()[0].abs() < 30.0)
+            .map(|(_, &w)| w)
+            .sum();
+        assert!((mass_a - 0.75).abs() < 0.05, "mass_a {mass_a}");
+        // The landmark mixture explains BOTH regions; the current model
+        // explains only the recent one.
+        let probe_a = Vector::from_slice(&[0.0]);
+        let current = site.current_mixture().unwrap();
+        assert!(lm.log_pdf(&probe_a) > current.log_pdf(&probe_a) + 1.0);
+    }
+}

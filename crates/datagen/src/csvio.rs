@@ -1,0 +1,204 @@
+//! CSV record I/O — feeding real data sets into the pipeline and dumping
+//! generated streams for external analysis. Implemented here (numeric
+//! records only, no quoting/escaping) rather than pulling in a CSV crate:
+//! the workloads are plain numeric tables.
+
+use cludistream_linalg::Vector;
+use std::fmt::Write as _;
+use std::io::{BufRead, Write};
+
+/// Errors from CSV parsing.
+#[derive(Debug)]
+pub enum CsvError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A field failed to parse as f64.
+    BadField {
+        /// 1-based line number.
+        line: usize,
+        /// 0-based column.
+        column: usize,
+        /// The offending text.
+        text: String,
+    },
+    /// A row's arity disagreed with the first row.
+    RaggedRow {
+        /// 1-based line number.
+        line: usize,
+        /// Fields expected (from the first data row).
+        expected: usize,
+        /// Fields found.
+        got: usize,
+    },
+}
+
+impl std::fmt::Display for CsvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CsvError::Io(e) => write!(f, "csv io error: {e}"),
+            CsvError::BadField { line, column, text } => {
+                write!(f, "line {line}, column {column}: cannot parse {text:?} as a number")
+            }
+            CsvError::RaggedRow { line, expected, got } => {
+                write!(f, "line {line}: expected {expected} fields, found {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+impl From<std::io::Error> for CsvError {
+    fn from(e: std::io::Error) -> Self {
+        CsvError::Io(e)
+    }
+}
+
+/// Reads numeric records from CSV text. Empty lines are skipped; a first
+/// line that fails to parse entirely is treated as a header and skipped;
+/// all data rows must share one arity.
+pub fn read_records(reader: impl BufRead) -> Result<Vec<Vector>, CsvError> {
+    let mut records = Vec::new();
+    let mut expected: Option<usize> = None;
+    for (idx, line) in reader.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = trimmed.split(',').map(str::trim).collect();
+        let parsed: Result<Vec<f64>, usize> = fields
+            .iter()
+            .enumerate()
+            .map(|(col, f)| f.parse::<f64>().map_err(|_| col))
+            .collect();
+        match parsed {
+            Ok(values) => {
+                if let Some(exp) = expected {
+                    if values.len() != exp {
+                        return Err(CsvError::RaggedRow {
+                            line: line_no,
+                            expected: exp,
+                            got: values.len(),
+                        });
+                    }
+                } else {
+                    expected = Some(values.len());
+                }
+                records.push(Vector::from_vec(values));
+            }
+            Err(col) => {
+                // A fully non-numeric first row is a header.
+                if records.is_empty()
+                    && expected.is_none()
+                    && fields.iter().all(|f| f.parse::<f64>().is_err())
+                {
+                    continue;
+                }
+                return Err(CsvError::BadField {
+                    line: line_no,
+                    column: col,
+                    text: fields[col].to_string(),
+                });
+            }
+        }
+    }
+    Ok(records)
+}
+
+/// Writes records as CSV with an optional header row.
+pub fn write_records(
+    mut writer: impl Write,
+    records: &[Vector],
+    header: Option<&[&str]>,
+) -> std::io::Result<()> {
+    let mut out = String::new();
+    if let Some(cols) = header {
+        out.push_str(&cols.join(","));
+        out.push('\n');
+    }
+    for r in records {
+        for (i, v) in r.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{v}");
+        }
+        out.push('\n');
+    }
+    writer.write_all(out.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn parses_plain_numeric_rows() {
+        let csv = "1.0,2.5,-3\n4,5,6\n";
+        let recs = read_records(Cursor::new(csv)).unwrap();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].as_slice(), &[1.0, 2.5, -3.0]);
+        assert_eq!(recs[1].as_slice(), &[4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn skips_header_and_blank_lines() {
+        let csv = "x,y\n\n1,2\n\n3,4\n";
+        let recs = read_records(Cursor::new(csv)).unwrap();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[1].as_slice(), &[3.0, 4.0]);
+    }
+
+    #[test]
+    fn whitespace_tolerated() {
+        let csv = " 1 , 2 \n";
+        let recs = read_records(Cursor::new(csv)).unwrap();
+        assert_eq!(recs[0].as_slice(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn bad_field_reported_with_position() {
+        let csv = "1,2\n3,oops\n";
+        match read_records(Cursor::new(csv)) {
+            Err(CsvError::BadField { line, column, text }) => {
+                assert_eq!((line, column), (2, 1));
+                assert_eq!(text, "oops");
+            }
+            other => panic!("expected BadField, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ragged_rows_rejected() {
+        let csv = "1,2\n3,4,5\n";
+        assert!(matches!(
+            read_records(Cursor::new(csv)),
+            Err(CsvError::RaggedRow { line: 2, expected: 2, got: 3 })
+        ));
+    }
+
+    #[test]
+    fn partially_numeric_header_is_an_error() {
+        // A first row that mixes numbers and text is data with a typo, not
+        // a header.
+        let csv = "1,abc\n";
+        assert!(matches!(read_records(Cursor::new(csv)), Err(CsvError::BadField { .. })));
+    }
+
+    #[test]
+    fn roundtrip_through_write() {
+        let recs = vec![Vector::from_slice(&[1.5, -2.0]), Vector::from_slice(&[0.0, 3.25])];
+        let mut buf = Vec::new();
+        write_records(&mut buf, &recs, Some(&["a", "b"])).unwrap();
+        let back = read_records(Cursor::new(buf)).unwrap();
+        assert_eq!(back, recs);
+    }
+
+    #[test]
+    fn empty_input_is_empty() {
+        assert!(read_records(Cursor::new("")).unwrap().is_empty());
+    }
+}

@@ -1,0 +1,166 @@
+use cludistream_gmm::{Gaussian, Mixture};
+use cludistream_linalg::{Matrix, Vector};
+use rand::Rng;
+
+/// Parameters for random mixture generation.
+#[derive(Debug, Clone)]
+pub struct MixtureGenConfig {
+    /// Dimensionality of the generated Gaussians.
+    pub dim: usize,
+    /// Number of components.
+    pub k: usize,
+    /// Component means are drawn uniformly from this interval per axis.
+    pub mean_range: (f64, f64),
+    /// Covariance eigenvalues are drawn uniformly from this interval.
+    pub var_range: (f64, f64),
+    /// Component weights are drawn uniformly from [1, weight_skew] before
+    /// normalization (1.0 = near-uniform weights).
+    pub weight_skew: f64,
+}
+
+impl Default for MixtureGenConfig {
+    fn default() -> Self {
+        MixtureGenConfig {
+            dim: 4,
+            k: 5,
+            mean_range: (-10.0, 10.0),
+            var_range: (0.2, 1.5),
+            weight_skew: 3.0,
+        }
+    }
+}
+
+/// Generates a random symmetric positive-definite matrix with eigenvalues
+/// uniform in `var_range`, by rotating a random diagonal through a product
+/// of random Givens rotations.
+pub fn random_spd_matrix<R: Rng + ?Sized>(
+    dim: usize,
+    var_range: (f64, f64),
+    rng: &mut R,
+) -> Matrix {
+    assert!(dim > 0, "random_spd_matrix: dim must be positive");
+    let (lo, hi) = var_range;
+    assert!(lo > 0.0 && hi >= lo, "random_spd_matrix: invalid var_range");
+    let mut m = Matrix::from_diag(
+        &(0..dim).map(|_| rng.gen_range(lo..=hi)).collect::<Vec<_>>(),
+    );
+    // Conjugate by random Givens rotations: m ← G m Gᵀ keeps symmetry and
+    // the eigenvalue spectrum while mixing axes.
+    for _ in 0..(2 * dim) {
+        if dim < 2 {
+            break;
+        }
+        let i = rng.gen_range(0..dim);
+        let j = loop {
+            let j = rng.gen_range(0..dim);
+            if j != i {
+                break j;
+            }
+        };
+        let theta: f64 = rng.gen_range(0.0..std::f64::consts::PI);
+        let (c, s) = (theta.cos(), theta.sin());
+        // Apply rotation to rows i, j then columns i, j.
+        for col in 0..dim {
+            let a = m[(i, col)];
+            let b = m[(j, col)];
+            m[(i, col)] = c * a - s * b;
+            m[(j, col)] = s * a + c * b;
+        }
+        for row in 0..dim {
+            let a = m[(row, i)];
+            let b = m[(row, j)];
+            m[(row, i)] = c * a - s * b;
+            m[(row, j)] = s * a + c * b;
+        }
+    }
+    m.symmetrize();
+    m
+}
+
+/// Draws a random Gaussian mixture according to `config`.
+pub fn random_mixture<R: Rng + ?Sized>(config: &MixtureGenConfig, rng: &mut R) -> Mixture {
+    assert!(config.k > 0 && config.dim > 0, "random_mixture: k and dim must be positive");
+    let comps: Vec<Gaussian> = (0..config.k)
+        .map(|_| {
+            let mean: Vector = (0..config.dim)
+                .map(|_| rng.gen_range(config.mean_range.0..=config.mean_range.1))
+                .collect();
+            let cov = random_spd_matrix(config.dim, config.var_range, rng);
+            Gaussian::new(mean, cov).expect("random SPD covariance is valid")
+        })
+        .collect();
+    let weights: Vec<f64> =
+        (0..config.k).map(|_| rng.gen_range(1.0..=config.weight_skew.max(1.0))).collect();
+    Mixture::new(comps, weights).expect("generated parameters are valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cludistream_linalg::jacobi_eigen;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn spd_matrix_is_spd_with_bounded_spectrum() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for dim in [1, 2, 4, 8] {
+            let m = random_spd_matrix(dim, (0.5, 2.0), &mut rng);
+            let e = jacobi_eigen(&m, 100).unwrap();
+            assert!(e.is_positive_definite(0.0), "dim {dim} not SPD");
+            for &l in &e.values {
+                assert!(l > 0.49 && l < 2.01, "eigenvalue {l} out of range");
+            }
+        }
+    }
+
+    #[test]
+    fn spd_matrix_trace_preserved_by_rotations() {
+        // Givens conjugation preserves the eigenvalues, hence the trace stays
+        // within the sum-of-range bounds.
+        let mut rng = StdRng::seed_from_u64(2);
+        let m = random_spd_matrix(4, (1.0, 1.0), &mut rng);
+        assert!((m.trace() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn random_mixture_respects_config() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let cfg = MixtureGenConfig { dim: 3, k: 4, ..Default::default() };
+        let m = random_mixture(&cfg, &mut rng);
+        assert_eq!(m.k(), 4);
+        assert_eq!(m.dim(), 3);
+        assert!((m.weights().iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        for c in m.components() {
+            for v in c.mean().iter() {
+                assert!((-10.0..=10.0).contains(v));
+            }
+        }
+    }
+
+    #[test]
+    fn mixtures_differ_across_draws() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let cfg = MixtureGenConfig::default();
+        let a = random_mixture(&cfg, &mut rng);
+        let b = random_mixture(&cfg, &mut rng);
+        assert!(a.components()[0].mean() != b.components()[0].mean());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let cfg = MixtureGenConfig::default();
+        let a = random_mixture(&cfg, &mut StdRng::seed_from_u64(5));
+        let b = random_mixture(&cfg, &mut StdRng::seed_from_u64(5));
+        assert_eq!(a.components()[0].mean(), b.components()[0].mean());
+    }
+
+    #[test]
+    fn one_dimensional_mixture_works() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let cfg = MixtureGenConfig { dim: 1, k: 3, ..Default::default() };
+        let m = random_mixture(&cfg, &mut rng);
+        assert_eq!(m.dim(), 1);
+        assert!(m.components().iter().all(|c| c.cov()[(0, 0)] > 0.0));
+    }
+}

@@ -1,0 +1,183 @@
+//! Heavy-tailed samplers.
+//!
+//! Two uses in the reproduction: the NFD-substitute netflow generator needs
+//! Zipf-distributed hosts and ports (real traffic is famously heavy-tailed),
+//! and Sec. 5.1.3 of the paper argues via a power-law event process that the
+//! probability `P_d` of a genuinely new distribution is small (< 0.1),
+//! which is what makes test-and-cluster profitable.
+
+use rand::Rng;
+
+/// Zipf distribution over ranks `1..=n` with exponent `s`:
+/// `P(rank = k) ∝ k^(-s)`. Sampling is inverse-CDF over a precomputed
+/// table, O(log n) per draw.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    /// Cumulative probabilities, length `n`.
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Creates a Zipf distribution with `n` ranks and exponent `s > 0`.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "zipf: n must be positive");
+        assert!(s > 0.0 && s.is_finite(), "zipf: exponent must be positive");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += (k as f64).powf(-s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn n(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Draws a rank in `1..=n`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        // partition_point returns the count of elements < u, i.e. the index
+        // of the first cdf entry >= u; ranks are 1-based.
+        let idx = self.cdf.partition_point(|&c| c < u);
+        idx.min(self.cdf.len() - 1) + 1
+    }
+
+    /// Probability of rank `k` (1-based).
+    pub fn pmf(&self, k: usize) -> f64 {
+        assert!(k >= 1 && k <= self.cdf.len(), "rank out of range");
+        if k == 1 {
+            self.cdf[0]
+        } else {
+            self.cdf[k - 1] - self.cdf[k - 2]
+        }
+    }
+}
+
+/// The power-law event process of paper Sec. 5.1.3: event frequencies
+/// converge to `p(y) = β y^(-q)` with `q = 1/(1-γ)` where γ is the average
+/// growth rate; the expected probability of a *new* distribution is
+/// `P_d = β/(2-q)`.
+///
+/// This struct evaluates that steady-state model; it backs the Theorem 4
+/// cost analysis and the Fig. 14 discussion ("in real applications it is
+/// unlikely for every new data chunk to have many different distributions").
+#[derive(Debug, Clone, Copy)]
+pub struct PowerLawEventProcess {
+    /// Normalization constant β.
+    pub beta: f64,
+    /// Average growth rate γ ∈ (0, 1) ∖ {values making q = 2}.
+    pub gamma: f64,
+}
+
+impl PowerLawEventProcess {
+    /// Creates the process; requires `0 < gamma < 1`.
+    pub fn new(beta: f64, gamma: f64) -> Self {
+        assert!(beta > 0.0, "beta must be positive");
+        assert!((0.0..1.0).contains(&gamma), "gamma must be in (0,1)");
+        PowerLawEventProcess { beta, gamma }
+    }
+
+    /// Exponent `q = 1/(1-γ)`.
+    pub fn q(&self) -> f64 {
+        1.0 / (1.0 - self.gamma)
+    }
+
+    /// Steady-state density `p(y) = β y^(-q)` for `y ≥ 1`.
+    pub fn density(&self, y: f64) -> f64 {
+        assert!(y >= 1.0, "density defined for y >= 1");
+        self.beta * y.powf(-self.q())
+    }
+
+    /// Expected probability of a new underlying distribution,
+    /// `P_d = β/(2-q)`. Only meaningful for `q < 2` (γ < 0.5).
+    pub fn p_d(&self) -> f64 {
+        let q = self.q();
+        assert!(q < 2.0, "P_d formula requires q < 2 (gamma < 0.5)");
+        self.beta / (2.0 - q)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let z = Zipf::new(100, 1.1);
+        let total: f64 = (1..=100).map(|k| z.pmf(k)).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rank_one_is_most_likely() {
+        let z = Zipf::new(50, 1.5);
+        for k in 2..=50 {
+            assert!(z.pmf(1) > z.pmf(k));
+        }
+    }
+
+    #[test]
+    fn sample_frequencies_track_pmf() {
+        let z = Zipf::new(10, 1.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 100_000;
+        let mut counts = [0usize; 10];
+        for _ in 0..n {
+            counts[z.sample(&mut rng) - 1] += 1;
+        }
+        for k in 1..=10 {
+            let freq = counts[k - 1] as f64 / n as f64;
+            assert!((freq - z.pmf(k)).abs() < 0.01, "rank {k}: {freq} vs {}", z.pmf(k));
+        }
+    }
+
+    #[test]
+    fn samples_in_range() {
+        let z = Zipf::new(5, 2.0);
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..1000 {
+            let k = z.sample(&mut rng);
+            assert!((1..=5).contains(&k));
+        }
+    }
+
+    #[test]
+    fn higher_exponent_more_skewed() {
+        let flat = Zipf::new(100, 0.5);
+        let steep = Zipf::new(100, 2.0);
+        assert!(steep.pmf(1) > flat.pmf(1));
+    }
+
+    #[test]
+    fn power_law_process_formulas() {
+        // γ = 0.2 → q = 1.25; β = 0.05 → P_d = 0.05/0.75 ≈ 0.0667 < 0.1,
+        // matching the paper's claim that P_d is "often less than 0.1".
+        let p = PowerLawEventProcess::new(0.05, 0.2);
+        assert!((p.q() - 1.25).abs() < 1e-12);
+        assert!((p.p_d() - 0.05 / 0.75).abs() < 1e-12);
+        assert!(p.p_d() < 0.1);
+        assert!((p.density(1.0) - 0.05).abs() < 1e-12);
+        assert!(p.density(2.0) < p.density(1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "q < 2")]
+    fn p_d_requires_small_q() {
+        let _ = PowerLawEventProcess::new(0.05, 0.8).p_d();
+    }
+
+    #[test]
+    #[should_panic(expected = "n must be positive")]
+    fn zipf_empty_rejected() {
+        let _ = Zipf::new(0, 1.0);
+    }
+}

@@ -1,0 +1,74 @@
+//! Property-based tests over the generators and normalizers.
+
+#![cfg(test)]
+
+use crate::{MinMaxNormalizer, StreamingNormalizer, Zipf};
+use cludistream_linalg::Vector;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Min-max transforms of in-sample points always land in [0, 1].
+    #[test]
+    fn minmax_output_in_unit_cube(
+        rows in prop::collection::vec(prop::collection::vec(-100.0f64..100.0, 3), 2..30)
+    ) {
+        let sample: Vec<Vector> = rows.iter().map(|r| Vector::from_slice(r)).collect();
+        let n = MinMaxNormalizer::fit(&sample);
+        for x in &sample {
+            let t = n.transform(x);
+            prop_assert!(t.iter().all(|&v| (0.0..=1.0).contains(&v)), "out of range: {t}");
+        }
+    }
+
+    /// Out-of-sample points clamp rather than escape the cube.
+    #[test]
+    fn minmax_clamps_everything(
+        rows in prop::collection::vec(prop::collection::vec(-10.0f64..10.0, 2), 2..10),
+        probe in prop::collection::vec(-1000.0f64..1000.0, 2),
+    ) {
+        let sample: Vec<Vector> = rows.iter().map(|r| Vector::from_slice(r)).collect();
+        let n = MinMaxNormalizer::fit(&sample);
+        let t = n.transform(&Vector::from_slice(&probe));
+        prop_assert!(t.iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    /// The streaming normalizer never emits non-finite values on finite
+    /// input, including constant streams (zero variance).
+    #[test]
+    fn streaming_normalizer_stays_finite(
+        values in prop::collection::vec(-100.0f64..100.0, 1..100)
+    ) {
+        let mut n = StreamingNormalizer::new(1);
+        for v in values {
+            let out = n.push(&Vector::from_slice(&[v]));
+            prop_assert!(out.is_finite(), "non-finite output {out}");
+        }
+    }
+
+    /// Zipf pmf is a valid, monotonically decreasing distribution for any
+    /// size and exponent.
+    #[test]
+    fn zipf_pmf_valid(n in 1usize..200, s in 0.1f64..4.0) {
+        let z = Zipf::new(n, s);
+        let total: f64 = (1..=n).map(|k| z.pmf(k)).sum();
+        prop_assert!((total - 1.0).abs() < 1e-9, "pmf sums to {total}");
+        for k in 2..=n {
+            prop_assert!(z.pmf(k) <= z.pmf(k - 1) + 1e-15, "pmf not decreasing at {k}");
+        }
+    }
+
+    /// Zipf samples always land in range.
+    #[test]
+    fn zipf_samples_in_range(n in 1usize..50, s in 0.1f64..3.0, seed in any::<u64>()) {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let z = Zipf::new(n, s);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..50 {
+            let k = z.sample(&mut rng);
+            prop_assert!((1..=n).contains(&k));
+        }
+    }
+}

@@ -1,0 +1,139 @@
+//! Chunk-size theory (paper Sec. 4.1, Theorems 1 and 2).
+//!
+//! The data stream is conceptually divided into chunks of
+//! `M = -2d ln(δ(2-δ)) / ε` records. Theorem 1 guarantees that with
+//! probability at least `1-δ` the squared Mahalanobis distance between a
+//! chunk's sample mean and the true mean is below ε; Theorem 2 lifts this to
+//! the average-log-likelihood test used by the test-and-cluster strategy.
+
+use crate::{GmmError, Result};
+
+/// The (ε, δ) accuracy parameters controlling chunk size and the fit test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChunkParams {
+    /// Error bound on the average log likelihood difference (paper default
+    /// 0.02).
+    pub epsilon: f64,
+    /// Probability error bound (paper default 0.01).
+    pub delta: f64,
+}
+
+impl ChunkParams {
+    /// The paper's default experimental setting: ε = 0.02, δ = 0.01.
+    pub const PAPER_DEFAULTS: ChunkParams = ChunkParams { epsilon: 0.02, delta: 0.01 };
+
+    /// Validates 0 < ε and 0 < δ < 1.
+    pub fn validate(&self) -> Result<()> {
+        if self.epsilon.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) || !self.epsilon.is_finite() {
+            return Err(GmmError::InvalidParameter { name: "epsilon", constraint: "epsilon > 0" });
+        }
+        if !(self.delta > 0.0 && self.delta < 1.0) {
+            return Err(GmmError::InvalidParameter { name: "delta", constraint: "0 < delta < 1" });
+        }
+        Ok(())
+    }
+
+    /// Chunk size for dimension `d`; see [`chunk_size`].
+    pub fn chunk_size(&self, d: usize) -> Result<usize> {
+        chunk_size(d, self.epsilon, self.delta)
+    }
+}
+
+impl Default for ChunkParams {
+    fn default() -> Self {
+        Self::PAPER_DEFAULTS
+    }
+}
+
+/// Theorem 1 chunk size `M = ⌈-2 d ln(δ(2-δ)) / ε⌉`, clamped below at
+/// `d + 1` so a chunk can always support a covariance estimate.
+///
+/// With the paper's defaults (d=4, ε=0.02, δ=0.01) this is 1567.
+pub fn chunk_size(d: usize, epsilon: f64, delta: f64) -> Result<usize> {
+    ChunkParams { epsilon, delta }.validate()?;
+    if d == 0 {
+        return Err(GmmError::InvalidParameter { name: "d", constraint: "d >= 1" });
+    }
+    let m = (-2.0 * d as f64 * (delta * (2.0 - delta)).ln() / epsilon).ceil();
+    if !m.is_finite() || m < 0.0 {
+        return Err(GmmError::InvalidParameter {
+            name: "epsilon/delta",
+            constraint: "yield a finite positive chunk size",
+        });
+    }
+    Ok((m as usize).max(d + 1))
+}
+
+/// Theorem 4 average processing cost model: `(P_d + λ(1 − P_d)) · C`,
+/// where `C` is the cost of clustering a chunk, `λC` the cost of testing
+/// one, and `P_d` the probability that a chunk carries a new distribution.
+pub fn average_processing_cost(cluster_cost: f64, lambda: f64, p_d: f64) -> f64 {
+    (p_d + lambda * (1.0 - p_d)) * cluster_cost
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_chunk_size() {
+        // M = -2*4*ln(0.01*1.99)/0.02 = 400 * 3.91704... ≈ 1566.8 → 1567.
+        let m = chunk_size(4, 0.02, 0.01).unwrap();
+        assert_eq!(m, 1567);
+    }
+
+    #[test]
+    fn scales_linearly_in_d() {
+        let m1 = chunk_size(1, 0.02, 0.01).unwrap();
+        let m4 = chunk_size(4, 0.02, 0.01).unwrap();
+        assert!((m4 as f64 / m1 as f64 - 4.0).abs() < 0.02);
+    }
+
+    #[test]
+    fn shrinks_with_epsilon_grows_with_confidence() {
+        let loose = chunk_size(4, 0.1, 0.01).unwrap();
+        let tight = chunk_size(4, 0.01, 0.01).unwrap();
+        assert!(tight > loose);
+        let low_conf = chunk_size(4, 0.02, 0.1).unwrap();
+        let high_conf = chunk_size(4, 0.02, 0.001).unwrap();
+        assert!(high_conf > low_conf);
+    }
+
+    #[test]
+    fn clamped_at_d_plus_one() {
+        // Huge ε drives the formula to ~0; the clamp keeps covariance
+        // estimation possible.
+        let m = chunk_size(4, 1e9, 0.5).unwrap();
+        assert_eq!(m, 5);
+    }
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        assert!(chunk_size(0, 0.02, 0.01).is_err());
+        assert!(chunk_size(4, 0.0, 0.01).is_err());
+        assert!(chunk_size(4, -1.0, 0.01).is_err());
+        assert!(chunk_size(4, 0.02, 0.0).is_err());
+        assert!(chunk_size(4, 0.02, 1.0).is_err());
+        assert!(chunk_size(4, f64::NAN, 0.01).is_err());
+    }
+
+    #[test]
+    fn params_struct_roundtrip() {
+        let p = ChunkParams::PAPER_DEFAULTS;
+        assert!(p.validate().is_ok());
+        assert_eq!(p.chunk_size(4).unwrap(), 1567);
+        assert_eq!(ChunkParams::default(), p);
+    }
+
+    #[test]
+    fn cost_model_endpoints() {
+        // P_d = 1: every chunk clusters → cost C.
+        assert_eq!(average_processing_cost(10.0, 0.1, 1.0), 10.0);
+        // P_d = 0: every chunk only tests → cost λC.
+        assert_eq!(average_processing_cost(10.0, 0.1, 0.0), 1.0);
+        // Monotone in P_d for λ < 1.
+        assert!(
+            average_processing_cost(10.0, 0.1, 0.5) < average_processing_cost(10.0, 0.1, 0.9)
+        );
+    }
+}

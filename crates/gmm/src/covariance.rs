@@ -1,0 +1,42 @@
+/// Covariance structure used by EM and the wire codec.
+///
+/// The paper's Theorem 3 notes that for diagonal Gaussians the covariance
+/// can be represented by a d-dimensional vector instead of a d×d matrix;
+/// this enum selects that trade-off. `Full` is the default everywhere.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CovarianceType {
+    /// Full d×d covariance matrices.
+    #[default]
+    Full,
+    /// Diagonal covariances (axis-aligned Gaussians); EM zeroes the
+    /// off-diagonal scatter and the codec transmits d values per component.
+    Diagonal,
+}
+
+impl CovarianceType {
+    /// Number of f64 values needed to represent one covariance of dimension
+    /// `d` under this type.
+    pub fn param_count(self, d: usize) -> usize {
+        match self {
+            CovarianceType::Full => d * d,
+            CovarianceType::Diagonal => d,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn param_counts() {
+        assert_eq!(CovarianceType::Full.param_count(4), 16);
+        assert_eq!(CovarianceType::Diagonal.param_count(4), 4);
+        assert_eq!(CovarianceType::Full.param_count(0), 0);
+    }
+
+    #[test]
+    fn default_is_full() {
+        assert_eq!(CovarianceType::default(), CovarianceType::Full);
+    }
+}

@@ -1,0 +1,131 @@
+//! Divergences between mixtures.
+//!
+//! Gaussian mixtures admit no closed-form KL divergence, so these are
+//! Monte-Carlo estimators with deterministic seeds. They quantify model
+//! agreement in the experiments (e.g. tree-network root vs flat
+//! coordinator) and back the accuracy-loss analysis of merges: the L1
+//! distance here is the same functional the paper's `l(x)` integrates.
+
+use crate::Mixture;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Monte-Carlo estimate of `KL(p ‖ q) = E_p[log p(x) − log q(x)]` from
+/// `samples` draws of `p`. Non-negative in expectation; individual
+/// estimates may dip slightly below zero.
+pub fn kl_divergence_mc(p: &Mixture, q: &Mixture, samples: usize, seed: u64) -> f64 {
+    assert!(samples > 0, "need at least one sample");
+    assert_eq!(p.dim(), q.dim(), "dimension mismatch");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let total: f64 = (0..samples)
+        .map(|_| {
+            let x = p.sample(&mut rng);
+            p.log_pdf(&x) - q.log_pdf(&x)
+        })
+        .sum();
+    total / samples as f64
+}
+
+/// Monte-Carlo estimate of the L1 distance `∫ |p(x) − q(x)| dx` using the
+/// balanced proposal `m = ½(p + q)`:
+/// `∫|p−q| = E_m[|p(x) − q(x)| / m(x)]`. Lies in `[0, 2]`.
+pub fn l1_distance_mc(p: &Mixture, q: &Mixture, samples: usize, seed: u64) -> f64 {
+    assert!(samples > 0, "need at least one sample");
+    assert_eq!(p.dim(), q.dim(), "dimension mismatch");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let total: f64 = (0..samples)
+        .map(|s| {
+            // Alternate the proposal component deterministically.
+            let x = if s % 2 == 0 { p.sample(&mut rng) } else { q.sample(&mut rng) };
+            let (pp, qq) = (p.pdf(&x), q.pdf(&x));
+            let m = 0.5 * (pp + qq);
+            if m > 0.0 {
+                (pp - qq).abs() / m
+            } else {
+                0.0
+            }
+        })
+        .sum();
+    total / samples as f64
+}
+
+/// Symmetrized Monte-Carlo KL: `½ KL(p‖q) + ½ KL(q‖p)`.
+pub fn symmetric_kl_mc(p: &Mixture, q: &Mixture, samples: usize, seed: u64) -> f64 {
+    0.5 * kl_divergence_mc(p, q, samples, seed)
+        + 0.5 * kl_divergence_mc(q, p, samples, seed ^ 0x5EED)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Gaussian;
+    use cludistream_linalg::Vector;
+
+    fn blob(center: f64) -> Mixture {
+        Mixture::single(Gaussian::spherical(Vector::from_slice(&[center]), 1.0).unwrap())
+    }
+
+    #[test]
+    fn kl_of_identical_mixtures_is_zero() {
+        let p = blob(0.0);
+        let kl = kl_divergence_mc(&p, &p.clone(), 2000, 1);
+        assert!(kl.abs() < 1e-9, "kl {kl}");
+    }
+
+    #[test]
+    fn kl_matches_gaussian_closed_form() {
+        // KL(N(0,1) ‖ N(m,1)) = m²/2.
+        let p = blob(0.0);
+        let q = blob(2.0);
+        let kl = kl_divergence_mc(&p, &q, 50_000, 2);
+        assert!((kl - 2.0).abs() < 0.15, "kl {kl} vs 2.0");
+    }
+
+    #[test]
+    fn kl_is_asymmetric_but_symmetrized_is_not() {
+        let p = Mixture::new(
+            vec![
+                Gaussian::spherical(Vector::from_slice(&[0.0]), 1.0).unwrap(),
+                Gaussian::spherical(Vector::from_slice(&[10.0]), 1.0).unwrap(),
+            ],
+            vec![0.9, 0.1],
+        )
+        .unwrap();
+        let q = blob(0.0);
+        let s_pq = symmetric_kl_mc(&p, &q, 20_000, 3);
+        let s_qp = symmetric_kl_mc(&q, &p, 20_000, 3);
+        assert!((s_pq - s_qp).abs() < 0.4 * s_pq.max(1.0), "{s_pq} vs {s_qp}");
+        assert!(s_pq > 0.0);
+    }
+
+    #[test]
+    fn l1_bounds() {
+        let p = blob(0.0);
+        // Identical: 0.
+        assert!(l1_distance_mc(&p, &p.clone(), 5000, 4) < 1e-9);
+        // Disjoint supports: → 2.
+        let far = blob(1000.0);
+        let l1 = l1_distance_mc(&p, &far, 5000, 5);
+        assert!((l1 - 2.0).abs() < 0.05, "l1 {l1}");
+        // Overlapping: strictly between.
+        let near = blob(1.0);
+        let mid = l1_distance_mc(&p, &near, 20_000, 6);
+        assert!(mid > 0.2 && mid < 1.2, "l1 {mid}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let p = blob(0.0);
+        let q = blob(1.0);
+        assert_eq!(kl_divergence_mc(&p, &q, 100, 7), kl_divergence_mc(&p, &q, 100, 7));
+        assert_eq!(l1_distance_mc(&p, &q, 100, 8), l1_distance_mc(&p, &q, 100, 8));
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn dimension_mismatch_panics() {
+        let p = blob(0.0);
+        let q = Mixture::single(Gaussian::spherical(Vector::zeros(2), 1.0).unwrap());
+        let _ = kl_divergence_mc(&p, &q, 10, 9);
+    }
+}

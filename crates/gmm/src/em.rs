@@ -1,0 +1,557 @@
+use crate::{
+    kmeans, log_sum_exp, CovarianceType, Gaussian, GmmError, KMeansConfig, Mixture, Result,
+    SuffStats,
+};
+use cludistream_linalg::Vector;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// How EM's initial mixture is chosen.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum InitMethod {
+    /// Seed component means with k-means++ followed by a short Lloyd run;
+    /// variances from the global covariance. The robust default.
+    #[default]
+    KMeansPlusPlus,
+    /// Component means drawn uniformly from the data (Forgy); spherical
+    /// covariances from the global variance.
+    Forgy,
+}
+
+/// Configuration of the classical EM algorithm (paper Sec. 3.2).
+#[derive(Debug, Clone)]
+pub struct EmConfig {
+    /// Number of mixture components K.
+    pub k: usize,
+    /// Maximum EM iterations.
+    pub max_iters: usize,
+    /// Convergence threshold ϖ on the *average* log-likelihood difference
+    /// between consecutive iterations (the paper's `|Lᶦ − Lᶦ⁺¹| ≤ ϖ`,
+    /// normalized by |D| so it is insensitive to chunk size). Zero
+    /// disables early stopping (exactly `max_iters` iterations run).
+    pub tol: f64,
+    /// Covariance structure estimated in the M-step.
+    pub covariance: CovarianceType,
+    /// Initialization strategy.
+    pub init: InitMethod,
+    /// RNG seed for initialization.
+    pub seed: u64,
+    /// Floor on component responsibilities' total mass, as a fraction of
+    /// |D|; components falling below are re-seeded from the lowest-density
+    /// record to avoid starvation.
+    pub min_weight: f64,
+}
+
+impl Default for EmConfig {
+    fn default() -> Self {
+        EmConfig {
+            k: 5,
+            max_iters: 100,
+            tol: 1e-4,
+            covariance: CovarianceType::Full,
+            init: InitMethod::KMeansPlusPlus,
+            seed: 0,
+            min_weight: 1e-6,
+        }
+    }
+}
+
+/// Result of an EM fit.
+#[derive(Debug, Clone)]
+pub struct EmFit {
+    /// The learned mixture.
+    pub mixture: Mixture,
+    /// Total log likelihood `Σ_x ln p(x)` of the training chunk.
+    pub log_likelihood: f64,
+    /// Average log likelihood (Definition 1) — the `AvgPr₀` the
+    /// test-and-cluster strategy compares future chunks against.
+    pub avg_log_likelihood: f64,
+    /// EM iterations performed.
+    pub iterations: usize,
+    /// True when ϖ-convergence (not the iteration cap) stopped the loop.
+    pub converged: bool,
+}
+
+/// Lightweight accumulator for diagonal-covariance EM: per-dimension sums
+/// and sums of squares only — O(d) per record where full scatter is O(d²).
+#[derive(Debug, Clone)]
+struct DiagStats {
+    n: f64,
+    sum: Vec<f64>,
+    sum_sq: Vec<f64>,
+}
+
+impl DiagStats {
+    fn new(d: usize) -> Self {
+        DiagStats { n: 0.0, sum: vec![0.0; d], sum_sq: vec![0.0; d] }
+    }
+
+    fn add(&mut self, x: &Vector, w: f64) {
+        self.n += w;
+        for (i, (s, sq)) in self.sum.iter_mut().zip(self.sum_sq.iter_mut()).enumerate() {
+            let v = x[i];
+            *s += w * v;
+            *sq += w * v * v;
+        }
+    }
+
+    /// Mean and per-dimension variance (ML, biased).
+    fn moments(&self) -> (Vector, Vec<f64>) {
+        let inv = 1.0 / self.n;
+        let mean: Vector = self.sum.iter().map(|s| s * inv).collect();
+        let vars: Vec<f64> = self
+            .sum_sq
+            .iter()
+            .zip(mean.iter())
+            .map(|(sq, m)| (sq * inv - m * m).max(0.0))
+            .collect();
+        (mean, vars)
+    }
+}
+
+/// Fits a K-component Gaussian mixture to `data` with EM (paper Sec. 3.2).
+///
+/// The E-step computes membership probabilities `Pr(j|x)` in the log domain;
+/// the M-step re-estimates `(w_j, μ_j, Σ_j)` from responsibility-weighted
+/// sufficient statistics. Iteration stops when the average log likelihood
+/// improves by less than `tol` or `max_iters` is reached.
+pub fn fit_em(data: &[Vector], config: &EmConfig) -> Result<EmFit> {
+    fit_em_impl(data, config, None)
+}
+
+/// Fits EM warm-started from `initial` instead of k-means++ — the
+/// "update the current model" alternative to re-clustering from scratch.
+/// `initial` must match the data's dimensionality; its component count
+/// overrides `config.k`.
+///
+/// Warm starts converge in fewer iterations when the distribution drifted
+/// mildly, but inherit the initial model's local optimum; the
+/// `warm_vs_cold` ablation quantifies the trade-off.
+pub fn fit_em_warm(data: &[Vector], initial: &Mixture, config: &EmConfig) -> Result<EmFit> {
+    if !data.is_empty() && data[0].dim() != initial.dim() {
+        return Err(GmmError::DimensionMismatch { expected: initial.dim(), got: data[0].dim() });
+    }
+    let config = EmConfig { k: initial.k(), ..config.clone() };
+    fit_em_impl(data, &config, Some(initial.clone()))
+}
+
+fn fit_em_impl(data: &[Vector], config: &EmConfig, warm: Option<Mixture>) -> Result<EmFit> {
+    if config.k == 0 {
+        return Err(GmmError::InvalidParameter { name: "k", constraint: "k >= 1" });
+    }
+    if config.tol < 0.0 || !config.tol.is_finite() {
+        return Err(GmmError::InvalidParameter { name: "tol", constraint: "tol >= 0" });
+    }
+    if data.len() < config.k {
+        return Err(GmmError::NotEnoughData { have: data.len(), need: config.k });
+    }
+    let d = data[0].dim();
+    for x in data {
+        if x.dim() != d {
+            return Err(GmmError::DimensionMismatch { expected: d, got: x.dim() });
+        }
+        if !x.is_finite() {
+            return Err(GmmError::InvalidParameter {
+                name: "data",
+                constraint: "all records finite",
+            });
+        }
+    }
+
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut mixture = match warm {
+        Some(m) => m,
+        None => initialize(data, config, &mut rng)?,
+    };
+
+    // Global per-dimension variance, reused by every starvation rescue.
+    let global_avg_var = {
+        let mut global = SuffStats::new(d);
+        for x in data {
+            global.add(x, 1.0);
+        }
+        (global.cov()?.trace() / d as f64).max(1e-6)
+    };
+
+    let n = data.len() as f64;
+    let mut prev_avg = f64::NEG_INFINITY;
+    let mut log_likelihood = f64::NEG_INFINITY;
+    let mut iterations = 0;
+    let mut converged = false;
+
+    // Reusable responsibility buffer: k log-densities per record.
+    let mut log_terms = vec![0.0f64; config.k];
+
+    let diagonal = config.covariance == CovarianceType::Diagonal;
+    for iter in 0..config.max_iters {
+        iterations = iter + 1;
+
+        // E-step + M-step fused: accumulate responsibility-weighted
+        // sufficient statistics while scoring each record. Diagonal mode
+        // accumulates per-dimension moments only (O(d) per record), full
+        // mode the complete scatter (O(d²)).
+        let mut stats: Vec<SuffStats> = if diagonal {
+            Vec::new()
+        } else {
+            (0..config.k).map(|_| SuffStats::new(d)).collect()
+        };
+        let mut diag_stats: Vec<DiagStats> = if diagonal {
+            (0..config.k).map(|_| DiagStats::new(d)).collect()
+        } else {
+            Vec::new()
+        };
+        let add = |j: usize,
+                       x: &Vector,
+                       w: f64,
+                       stats: &mut Vec<SuffStats>,
+                       diag_stats: &mut Vec<DiagStats>| {
+            if diagonal {
+                diag_stats[j].add(x, w);
+            } else {
+                stats[j].add(x, w);
+            }
+        };
+        let mut total_ll = 0.0;
+        let log_weights: Vec<f64> =
+            mixture.weights().iter().map(|&w| if w > 0.0 { w.ln() } else { f64::NEG_INFINITY }).collect();
+        for x in data {
+            for (t, (c, lw)) in log_terms
+                .iter_mut()
+                .zip(mixture.components().iter().zip(&log_weights))
+            {
+                *t = lw + c.log_pdf(x);
+            }
+            let norm = log_sum_exp(&log_terms);
+            total_ll += norm;
+            if norm.is_finite() {
+                for (j, &t) in log_terms.iter().enumerate() {
+                    let r = (t - norm).exp();
+                    if r > 0.0 {
+                        add(j, x, r, &mut stats, &mut diag_stats);
+                    }
+                }
+            } else {
+                // Degenerate point: spread responsibility uniformly.
+                let r = 1.0 / config.k as f64;
+                for j in 0..config.k {
+                    add(j, x, r, &mut stats, &mut diag_stats);
+                }
+            }
+        }
+        log_likelihood = total_ll;
+        let avg = total_ll / n;
+
+        // ϖ-convergence on the average log likelihood. Strict comparison:
+        // tol = 0 means "run max_iters" rather than stopping on an exact
+        // floating-point plateau.
+        if (avg - prev_avg).abs() < config.tol {
+            converged = true;
+            break;
+        }
+        prev_avg = avg;
+
+        // M-step: rebuild the mixture from the statistics, rescuing starved
+        // components. The re-seed target is the worst-explained record of a
+        // bounded sample, located at most once per M-step — a full per-
+        // component scan would dominate high-K/high-d fits.
+        let mut worst_record: Option<Vector> = None;
+        let mut comps = Vec::with_capacity(config.k);
+        let mut weights = Vec::with_capacity(config.k);
+        for j in 0..config.k {
+            let mass = if diagonal { diag_stats[j].n } else { stats[j].n() };
+            if mass < config.min_weight * n || mass <= 0.0 {
+                let worst = worst_record.get_or_insert_with(|| {
+                    const RESCUE_SAMPLE: usize = 256;
+                    let stride = (data.len() / RESCUE_SAMPLE).max(1);
+                    data.iter()
+                        .step_by(stride)
+                        .min_by(|a, b| {
+                            mixture.log_pdf(a).partial_cmp(&mixture.log_pdf(b)).expect("NaN")
+                        })
+                        .expect("non-empty data")
+                        .clone()
+                });
+                // Jitter subsequent rescues so multiple starved components
+                // don't collapse onto the same point.
+                let mut seed = worst.clone();
+                seed[0] += (comps.len() as f64) * 1e-3;
+                let g = Gaussian::spherical(seed, global_avg_var)?;
+                comps.push(g);
+                weights.push(1.0 / n);
+                continue;
+            }
+            let g = if diagonal {
+                let (mean, mut vars) = diag_stats[j].moments();
+                for v in &mut vars {
+                    *v = v.max(1e-12);
+                }
+                Gaussian::diagonal(mean, &vars)?
+            } else {
+                Gaussian::new(stats[j].mean()?, stats[j].cov()?)?
+            };
+            comps.push(g);
+            weights.push(mass / n);
+        }
+        mixture = Mixture::new(comps, weights)?;
+    }
+
+    Ok(EmFit {
+        avg_log_likelihood: log_likelihood / n,
+        mixture,
+        log_likelihood,
+        iterations,
+        converged,
+    })
+}
+
+/// Produces the initial mixture for EM.
+fn initialize<R: Rng + ?Sized>(data: &[Vector], config: &EmConfig, rng: &mut R) -> Result<Mixture> {
+    let d = data[0].dim();
+    let mut global = SuffStats::new(d);
+    for x in data {
+        global.add(x, 1.0);
+    }
+    let gcov = global.cov()?;
+    let avg_var = (gcov.trace() / d as f64).max(1e-6);
+
+    match config.init {
+        InitMethod::KMeansPlusPlus => {
+            let km = kmeans(
+                data,
+                &KMeansConfig { k: config.k, max_iters: 10, seed: rng.gen() },
+            )?;
+            // Per-cluster covariance from the k-means partition; clusters too
+            // small for a stable estimate fall back to the global sphere.
+            let mut stats: Vec<SuffStats> = (0..config.k).map(|_| SuffStats::new(d)).collect();
+            for (&a, x) in km.assignments.iter().zip(data) {
+                stats[a].add(x, 1.0);
+            }
+            let mut comps = Vec::with_capacity(config.k);
+            let mut weights = Vec::with_capacity(config.k);
+            for (s, centroid) in stats.iter().zip(km.centroids) {
+                let count = s.n().max(1.0);
+                let g = if s.n() >= (d + 1) as f64 {
+                    Gaussian::new(s.mean()?, s.cov()?)?
+                } else {
+                    Gaussian::spherical(centroid, avg_var)?
+                };
+                comps.push(g);
+                weights.push(count);
+            }
+            Mixture::new(comps, weights)
+        }
+        InitMethod::Forgy => {
+            let comps: Result<Vec<Gaussian>> = (0..config.k)
+                .map(|_| {
+                    let idx = rng.gen_range(0..data.len());
+                    Gaussian::spherical(data[idx].clone(), avg_var)
+                })
+                .collect();
+            Mixture::uniform(comps?)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Samples `n` points from a known 1-d two-component mixture.
+    fn two_component_data(n: usize, seed: u64) -> Vec<Vector> {
+        let gen = Mixture::new(
+            vec![
+                Gaussian::spherical(Vector::from_slice(&[-5.0]), 1.0).unwrap(),
+                Gaussian::spherical(Vector::from_slice(&[5.0]), 0.5).unwrap(),
+            ],
+            vec![0.3, 0.7],
+        )
+        .unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| gen.sample(&mut rng)).collect()
+    }
+
+    #[test]
+    fn recovers_two_well_separated_components() {
+        let data = two_component_data(2000, 1);
+        let fit = fit_em(&data, &EmConfig { k: 2, seed: 2, ..Default::default() }).unwrap();
+        assert!(fit.converged);
+        let mut means: Vec<(f64, f64)> = fit
+            .mixture
+            .components()
+            .iter()
+            .zip(fit.mixture.weights())
+            .map(|(c, &w)| (c.mean()[0], w))
+            .collect();
+        means.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        assert!((means[0].0 + 5.0).abs() < 0.2, "means {means:?}");
+        assert!((means[1].0 - 5.0).abs() < 0.2, "means {means:?}");
+        assert!((means[0].1 - 0.3).abs() < 0.05, "weights {means:?}");
+    }
+
+    #[test]
+    fn log_likelihood_non_decreasing() {
+        // Run EM iteration-by-iteration via max_iters and check monotonicity,
+        // the property guaranteed by Dempster et al. [3].
+        let data = two_component_data(500, 3);
+        let mut prev = f64::NEG_INFINITY;
+        for iters in 1..8 {
+            let fit = fit_em(
+                &data,
+                &EmConfig { k: 2, max_iters: iters, tol: 0.0, seed: 4, ..Default::default() },
+            )
+            .unwrap();
+            assert!(
+                fit.log_likelihood >= prev - 1e-6,
+                "iteration {iters}: {} < {prev}",
+                fit.log_likelihood
+            );
+            prev = fit.log_likelihood;
+        }
+    }
+
+    #[test]
+    fn single_component_matches_moments() {
+        let data = two_component_data(1000, 5);
+        let fit = fit_em(&data, &EmConfig { k: 1, seed: 6, ..Default::default() }).unwrap();
+        let mut s = SuffStats::new(1);
+        for x in &data {
+            s.add(x, 1.0);
+        }
+        let g = &fit.mixture.components()[0];
+        assert!((g.mean()[0] - s.mean().unwrap()[0]).abs() < 1e-6);
+        assert!((g.cov()[(0, 0)] - s.cov().unwrap()[(0, 0)]).abs() < 1e-4);
+    }
+
+    #[test]
+    fn diagonal_covariance_zeroes_off_diagonals() {
+        // Correlated 2-d data.
+        let mut rng = StdRng::seed_from_u64(7);
+        let g = Gaussian::new(
+            Vector::zeros(2),
+            cludistream_linalg::Matrix::from_rows(&[&[1.0, 0.8], &[0.8, 1.0]]),
+        )
+        .unwrap();
+        let data: Vec<Vector> = (0..500).map(|_| g.sample(&mut rng)).collect();
+        let fit = fit_em(
+            &data,
+            &EmConfig { k: 1, covariance: CovarianceType::Diagonal, seed: 8, ..Default::default() },
+        )
+        .unwrap();
+        let c = fit.mixture.components()[0].cov();
+        assert_eq!(c[(0, 1)], 0.0);
+        assert_eq!(c[(1, 0)], 0.0);
+        assert!(c[(0, 0)] > 0.5);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let data = two_component_data(300, 9);
+        let cfg = EmConfig { k: 3, seed: 10, ..Default::default() };
+        let a = fit_em(&data, &cfg).unwrap();
+        let b = fit_em(&data, &cfg).unwrap();
+        assert_eq!(a.log_likelihood, b.log_likelihood);
+        assert_eq!(a.iterations, b.iterations);
+    }
+
+    #[test]
+    fn forgy_initialization_works() {
+        let data = two_component_data(500, 11);
+        let fit = fit_em(
+            &data,
+            &EmConfig { k: 2, init: InitMethod::Forgy, seed: 12, ..Default::default() },
+        )
+        .unwrap();
+        assert!(fit.avg_log_likelihood.is_finite());
+    }
+
+    #[test]
+    fn avg_equals_total_over_n() {
+        let data = two_component_data(200, 13);
+        let fit = fit_em(&data, &EmConfig { k: 2, seed: 14, ..Default::default() }).unwrap();
+        assert!((fit.avg_log_likelihood - fit.log_likelihood / 200.0).abs() < 1e-12);
+        // And it matches Definition 1 evaluated on the final mixture.
+        let def1 = fit.mixture.avg_log_likelihood(&data);
+        assert!((fit.avg_log_likelihood - def1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn errors_on_bad_input() {
+        let data = two_component_data(10, 15);
+        assert!(fit_em(&data, &EmConfig { k: 0, ..Default::default() }).is_err());
+        assert!(fit_em(&data[..2], &EmConfig { k: 5, ..Default::default() }).is_err());
+        assert!(fit_em(&data, &EmConfig { k: 2, tol: -1.0, ..Default::default() }).is_err());
+        let bad = vec![Vector::from_slice(&[f64::NAN]); 10];
+        assert!(fit_em(&bad, &EmConfig { k: 1, ..Default::default() }).is_err());
+    }
+
+    #[test]
+    fn identical_points_degenerate_data_survives() {
+        let data = vec![Vector::from_slice(&[2.0, 2.0]); 50];
+        let fit = fit_em(&data, &EmConfig { k: 2, seed: 16, ..Default::default() }).unwrap();
+        assert!(fit.log_likelihood.is_finite());
+        for c in fit.mixture.components() {
+            // Rescued components are jittered by up to K·1e-3.
+            assert!((c.mean()[0] - 2.0).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn warm_start_converges_faster_on_mild_drift() {
+        // Fit on a chunk, drift the distribution slightly, re-fit: warm
+        // start should need no more iterations than a cold start.
+        let data = two_component_data(800, 30);
+        let cfg = EmConfig { k: 2, seed: 31, ..Default::default() };
+        let first = fit_em(&data, &cfg).unwrap();
+        // Mildly drifted continuation.
+        let drifted: Vec<Vector> = two_component_data(800, 32)
+            .into_iter()
+            .map(|x| Vector::from_slice(&[x[0] + 0.3]))
+            .collect();
+        let warm = fit_em_warm(&drifted, &first.mixture, &cfg).unwrap();
+        let cold = fit_em(&drifted, &cfg).unwrap();
+        // Both converge quickly on separated blobs; the warm start must not
+        // be materially slower and must reach comparable quality.
+        assert!(
+            warm.iterations <= cold.iterations + 2,
+            "warm {} vs cold {} iterations",
+            warm.iterations,
+            cold.iterations
+        );
+        assert!(warm.converged);
+        assert!(warm.avg_log_likelihood > cold.avg_log_likelihood - 0.2);
+    }
+
+    #[test]
+    fn warm_start_uses_initial_component_count() {
+        let data = two_component_data(300, 33);
+        let three = fit_em(&data, &EmConfig { k: 3, seed: 34, ..Default::default() }).unwrap();
+        // config.k says 5, but the warm model has 3 components.
+        let warm = fit_em_warm(&data, &three.mixture, &EmConfig { k: 5, seed: 35, ..Default::default() })
+            .unwrap();
+        assert_eq!(warm.mixture.k(), 3);
+    }
+
+    #[test]
+    fn warm_start_dimension_mismatch_rejected() {
+        let data = two_component_data(100, 36);
+        let m = Mixture::single(
+            Gaussian::spherical(Vector::from_slice(&[0.0, 0.0]), 1.0).unwrap(),
+        );
+        assert!(fit_em_warm(&data, &m, &EmConfig::default()).is_err());
+    }
+
+    #[test]
+    fn more_components_fit_at_least_as_well() {
+        let data = two_component_data(800, 17);
+        let f1 = fit_em(&data, &EmConfig { k: 1, seed: 18, tol: 1e-8, ..Default::default() }).unwrap();
+        let f2 = fit_em(&data, &EmConfig { k: 2, seed: 18, tol: 1e-8, ..Default::default() }).unwrap();
+        assert!(
+            f2.avg_log_likelihood > f1.avg_log_likelihood - 1e-6,
+            "k=2 {} vs k=1 {}",
+            f2.avg_log_likelihood,
+            f1.avg_log_likelihood
+        );
+    }
+}

@@ -1,0 +1,363 @@
+use crate::{GmmError, Result};
+use cludistream_linalg::{cholesky_regularized, Cholesky, Matrix, Vector};
+use rand::Rng;
+
+/// Natural log of 2π, used by the Gaussian normalizer.
+pub(crate) const LN_2PI: f64 = 1.8378770664093453;
+
+/// A d-dimensional Gaussian `N(μ, Σ)` with a cached Cholesky factorization.
+///
+/// This is the component model of the paper's mixtures (Sec. 3.1):
+///
+/// ```text
+/// p(x|j) = (2π)^(-d/2) |Σ|^(-1/2) exp(-½ (x-μ)ᵀ Σ⁻¹ (x-μ))
+/// ```
+///
+/// Construction factorizes Σ once (ridge-regularizing when the estimate is
+/// degenerate) so that density evaluation is two triangular solves, and
+/// `log|Σ|` never materializes the determinant.
+#[derive(Debug, Clone)]
+pub struct Gaussian {
+    mean: Vector,
+    cov: Matrix,
+    chol: Cholesky,
+    /// `-½ (d ln 2π + log|Σ|)` — the log normalizing constant.
+    log_norm: f64,
+    /// Ridge added to the diagonal during factorization (0 when none).
+    ridge: f64,
+    /// Inverse variances when Σ is exactly diagonal: the O(d) density
+    /// fast path (dense Cholesky solves are O(d²) per evaluation, which
+    /// dominates high-dimensional streaming; see Theorem 3's d-vector
+    /// representation).
+    inv_diag: Option<Vec<f64>>,
+}
+
+impl Gaussian {
+    /// Base ridge (relative to the covariance scale) used when a covariance
+    /// estimate fails to factorize.
+    pub const BASE_RIDGE: f64 = 1e-9;
+
+    /// Creates a Gaussian from a mean and covariance. The covariance is
+    /// symmetrized, then factorized with escalating ridge regularization;
+    /// a covariance that cannot be repaired is an error.
+    pub fn new(mean: Vector, mut cov: Matrix) -> Result<Self> {
+        let d = mean.dim();
+        if cov.rows() != d || cov.cols() != d {
+            return Err(GmmError::DimensionMismatch { expected: d, got: cov.rows() });
+        }
+        if d == 0 {
+            return Err(GmmError::InvalidParameter { name: "mean", constraint: "dimension > 0" });
+        }
+        if !mean.is_finite() || !cov.is_finite() {
+            return Err(GmmError::InvalidParameter {
+                name: "mean/cov",
+                constraint: "all entries finite",
+            });
+        }
+        cov.symmetrize();
+        let (chol, ridge) = cholesky_regularized(&cov, Self::BASE_RIDGE, 14)?;
+        if ridge > 0.0 {
+            // Keep the stored covariance consistent with the factorization.
+            cov.add_ridge(ridge);
+        }
+        let log_norm = -0.5 * (d as f64 * LN_2PI + chol.log_det());
+        // Detect exactly-diagonal covariances and cache inverse variances
+        // for the O(d) density path.
+        let mut diagonal = true;
+        'outer: for i in 0..d {
+            for j in 0..d {
+                if i != j && cov[(i, j)] != 0.0 {
+                    diagonal = false;
+                    break 'outer;
+                }
+            }
+        }
+        let inv_diag = diagonal.then(|| cov.diag().iter().map(|&v| 1.0 / v).collect());
+        Ok(Gaussian { mean, cov, chol, log_norm, ridge, inv_diag })
+    }
+
+    /// Creates an isotropic Gaussian `N(mean, var·I)`.
+    pub fn spherical(mean: Vector, var: f64) -> Result<Self> {
+        if var <= 0.0 || !var.is_finite() {
+            return Err(GmmError::InvalidParameter { name: "var", constraint: "var > 0" });
+        }
+        let d = mean.dim();
+        Gaussian::new(mean, Matrix::from_diag(&vec![var; d]))
+    }
+
+    /// Creates an axis-aligned Gaussian from per-dimension variances.
+    pub fn diagonal(mean: Vector, vars: &[f64]) -> Result<Self> {
+        if vars.len() != mean.dim() {
+            return Err(GmmError::DimensionMismatch { expected: mean.dim(), got: vars.len() });
+        }
+        Gaussian::new(mean, Matrix::from_diag(vars))
+    }
+
+    /// Dimensionality d.
+    pub fn dim(&self) -> usize {
+        self.mean.dim()
+    }
+
+    /// Borrow the mean vector μ.
+    pub fn mean(&self) -> &Vector {
+        &self.mean
+    }
+
+    /// Borrow the covariance matrix Σ (including any regularization ridge).
+    pub fn cov(&self) -> &Matrix {
+        &self.cov
+    }
+
+    /// Borrow the cached Cholesky factorization of Σ.
+    pub fn chol(&self) -> &Cholesky {
+        &self.chol
+    }
+
+    /// Ridge added during construction (0.0 when the covariance was already
+    /// positive definite). Non-zero values signal a degenerate estimate.
+    pub fn ridge(&self) -> f64 {
+        self.ridge
+    }
+
+    /// `log |Σ|`.
+    pub fn log_det_cov(&self) -> f64 {
+        self.chol.log_det()
+    }
+
+    /// Log density `ln p(x)`.
+    pub fn log_pdf(&self, x: &Vector) -> f64 {
+        self.log_norm - 0.5 * self.mahalanobis_sq(x)
+    }
+
+    /// Density `p(x)` (prefer [`Self::log_pdf`] in accumulations).
+    pub fn pdf(&self, x: &Vector) -> f64 {
+        self.log_pdf(x).exp()
+    }
+
+    /// Squared Mahalanobis distance `(x-μ)ᵀ Σ⁻¹ (x-μ)`. Uses the O(d)
+    /// fast path for diagonal covariances, the Cholesky solve otherwise.
+    pub fn mahalanobis_sq(&self, x: &Vector) -> f64 {
+        match &self.inv_diag {
+            Some(inv) => {
+                let mut acc = 0.0;
+                for i in 0..inv.len() {
+                    let diff = x[i] - self.mean[i];
+                    acc += diff * diff * inv[i];
+                }
+                acc
+            }
+            None => self.chol.mahalanobis_sq(x, &self.mean),
+        }
+    }
+
+    /// True when the covariance is exactly diagonal (the O(d) density path
+    /// is active).
+    pub fn is_diagonal(&self) -> bool {
+        self.inv_diag.is_some()
+    }
+
+    /// Precision matrix `Σ⁻¹` (computed on demand; the paper's merge and
+    /// split criteria need explicit precision sums).
+    pub fn precision(&self) -> Matrix {
+        self.chol.inverse()
+    }
+
+    /// Draws one sample `μ + L z` with `z ~ N(0, I)` via Box–Muller.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Vector {
+        let z: Vector = (0..self.dim()).map(|_| sample_standard_normal(rng)).collect();
+        &self.mean + &self.chol.apply_l(&z)
+    }
+
+    /// Squared Mahalanobis distance between the means of `self` and `other`
+    /// under the summed precisions, `(μ₁-μ₂)ᵀ(Σ₁⁻¹+Σ₂⁻¹)(μ₁-μ₂)` — the
+    /// quantity inside the paper's `M_merge` / `M_split` criteria (Eqs. 5, 6).
+    pub fn precision_weighted_mean_dist(&self, other: &Gaussian) -> f64 {
+        let diff = &self.mean - &other.mean;
+        // (Σ₁⁻¹+Σ₂⁻¹)v = Σ₁⁻¹v + Σ₂⁻¹v: two solves, no explicit inverses.
+        let a = self.chol.solve(&diff);
+        let b = other.chol.solve(&diff);
+        diff.dot(&(&a + &b))
+    }
+}
+
+/// Draws one standard-normal sample using the Box–Muller transform.
+///
+/// Implemented here (rather than pulling in `rand_distr`) because sampling
+/// is the only distributional primitive the workspace needs.
+pub fn sample_standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // Avoid u1 == 0 which would send ln(u1) to -inf.
+    let u1: f64 = loop {
+        let u = rng.gen::<f64>();
+        if u > f64::MIN_POSITIVE {
+            break u;
+        }
+    };
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn standard_2d() -> Gaussian {
+        Gaussian::new(Vector::zeros(2), Matrix::identity(2)).unwrap()
+    }
+
+    #[test]
+    fn standard_normal_density_at_mean() {
+        let g = standard_2d();
+        // (2π)^-1 at the mean for d=2.
+        let expect = 1.0 / (2.0 * std::f64::consts::PI);
+        assert!((g.pdf(&Vector::zeros(2)) - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn univariate_matches_closed_form() {
+        let g = Gaussian::new(Vector::from_slice(&[1.0]), Matrix::from_diag(&[4.0])).unwrap();
+        let x = Vector::from_slice(&[3.0]);
+        // N(1, 4) at x=3: (1/(2√(2π))) exp(-0.5) — σ=2.
+        let expect = (1.0 / (2.0 * (2.0 * std::f64::consts::PI).sqrt())) * (-0.5f64).exp();
+        assert!((g.pdf(&x) - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn log_pdf_consistent_with_pdf() {
+        let g = Gaussian::new(
+            Vector::from_slice(&[0.5, -0.5]),
+            Matrix::from_rows(&[&[2.0, 0.3], &[0.3, 1.0]]),
+        )
+        .unwrap();
+        let x = Vector::from_slice(&[1.0, 1.0]);
+        assert!((g.log_pdf(&x).exp() - g.pdf(&x)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mahalanobis_at_mean_is_zero() {
+        let g = standard_2d();
+        assert_eq!(g.mahalanobis_sq(&Vector::zeros(2)), 0.0);
+    }
+
+    #[test]
+    fn degenerate_covariance_gets_ridged() {
+        let cov = Matrix::from_rows(&[&[1.0, 1.0], &[1.0, 1.0]]); // rank 1
+        let g = Gaussian::new(Vector::zeros(2), cov).unwrap();
+        assert!(g.ridge() > 0.0);
+        assert!(g.log_pdf(&Vector::zeros(2)).is_finite());
+    }
+
+    #[test]
+    fn dimension_mismatch_rejected() {
+        let r = Gaussian::new(Vector::zeros(2), Matrix::identity(3));
+        assert!(matches!(r, Err(GmmError::DimensionMismatch { .. })));
+    }
+
+    #[test]
+    fn non_finite_rejected() {
+        let r = Gaussian::new(Vector::from_slice(&[f64::NAN]), Matrix::identity(1));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn spherical_and_diagonal_constructors() {
+        let s = Gaussian::spherical(Vector::zeros(3), 2.0).unwrap();
+        assert_eq!(s.cov()[(1, 1)], 2.0);
+        assert_eq!(s.cov()[(0, 1)], 0.0);
+        let d = Gaussian::diagonal(Vector::zeros(2), &[1.0, 9.0]).unwrap();
+        assert_eq!(d.cov()[(1, 1)], 9.0);
+        assert!(Gaussian::spherical(Vector::zeros(2), -1.0).is_err());
+        assert!(Gaussian::diagonal(Vector::zeros(2), &[1.0]).is_err());
+    }
+
+    #[test]
+    fn sample_statistics_match_parameters() {
+        let g = Gaussian::new(
+            Vector::from_slice(&[2.0, -1.0]),
+            Matrix::from_rows(&[&[1.0, 0.5], &[0.5, 2.0]]),
+        )
+        .unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 20_000;
+        let mut mean = Vector::zeros(2);
+        let mut cov = Matrix::zeros(2, 2);
+        let samples: Vec<Vector> = (0..n).map(|_| g.sample(&mut rng)).collect();
+        for s in &samples {
+            mean += s;
+        }
+        mean.scale(1.0 / n as f64);
+        for s in &samples {
+            let d = s - &mean;
+            cov.rank1_update(1.0 / n as f64, &d);
+        }
+        assert!((mean[0] - 2.0).abs() < 0.05, "mean {mean}");
+        assert!((mean[1] + 1.0).abs() < 0.05, "mean {mean}");
+        assert!((cov[(0, 0)] - 1.0).abs() < 0.1);
+        assert!((cov[(0, 1)] - 0.5).abs() < 0.1);
+        assert!((cov[(1, 1)] - 2.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 50_000;
+        let samples: Vec<f64> = (0..n).map(|_| sample_standard_normal(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.03, "var {var}");
+    }
+
+    #[test]
+    fn precision_weighted_mean_dist_symmetric_and_known() {
+        let a = Gaussian::spherical(Vector::from_slice(&[0.0]), 1.0).unwrap();
+        let b = Gaussian::spherical(Vector::from_slice(&[2.0]), 1.0).unwrap();
+        // (Σa⁻¹+Σb⁻¹) = 2, diff = 2 → 2*2*2 = 8.
+        assert!((a.precision_weighted_mean_dist(&b) - 8.0).abs() < 1e-12);
+        assert!(
+            (a.precision_weighted_mean_dist(&b) - b.precision_weighted_mean_dist(&a)).abs()
+                < 1e-12
+        );
+    }
+
+    #[test]
+    fn precision_matches_inverse() {
+        let g = Gaussian::new(
+            Vector::zeros(2),
+            Matrix::from_rows(&[&[2.0, 0.5], &[0.5, 1.0]]),
+        )
+        .unwrap();
+        let p = g.precision();
+        let prod = g.cov().matmul(&p);
+        for i in 0..2 {
+            for j in 0..2 {
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!((prod[(i, j)] - expect).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn diagonal_fast_path_matches_dense() {
+        let dense = Gaussian::new(
+            Vector::from_slice(&[1.0, -2.0, 0.5]),
+            Matrix::from_rows(&[&[2.0, 0.1, 0.0], &[0.1, 1.0, 0.0], &[0.0, 0.0, 3.0]]),
+        )
+        .unwrap();
+        assert!(!dense.is_diagonal());
+        let diag = Gaussian::diagonal(Vector::from_slice(&[1.0, -2.0, 0.5]), &[2.0, 1.0, 3.0])
+            .unwrap();
+        assert!(diag.is_diagonal());
+        // The fast path must agree with the Cholesky path bit-for-bit-ish.
+        let x = Vector::from_slice(&[0.3, 1.7, -2.0]);
+        let via_chol = diag.chol().mahalanobis_sq(&x, diag.mean());
+        assert!((diag.mahalanobis_sq(&x) - via_chol).abs() < 1e-12);
+        assert!((diag.log_pdf(&x).exp() - diag.pdf(&x)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn zero_dim_rejected() {
+        assert!(Gaussian::new(Vector::zeros(0), Matrix::zeros(0, 0)).is_err());
+    }
+}

@@ -1,0 +1,120 @@
+//! External clustering-validation metrics.
+//!
+//! The paper evaluates models by average log likelihood (Definition 1);
+//! when ground-truth labels exist — the synthetic generators expose their
+//! regime/component identities — external indices give a complementary
+//! view: [`purity`] (fraction of records whose cluster's majority label
+//! matches theirs) and [`nmi`] (normalized mutual information between the
+//! clustering and the labels).
+
+use std::collections::HashMap;
+
+/// Joint contingency counts between cluster assignments and labels.
+fn contingency(assignments: &[usize], labels: &[usize]) -> HashMap<(usize, usize), usize> {
+    assert_eq!(assignments.len(), labels.len(), "length mismatch");
+    let mut table = HashMap::new();
+    for (&a, &l) in assignments.iter().zip(labels) {
+        *table.entry((a, l)).or_insert(0) += 1;
+    }
+    table
+}
+
+/// Clustering purity: `(1/N) Σ_clusters max_label |cluster ∩ label|`.
+/// 1.0 means every cluster is label-pure; panics on empty or mismatched
+/// inputs.
+pub fn purity(assignments: &[usize], labels: &[usize]) -> f64 {
+    assert!(!assignments.is_empty(), "purity of empty clustering");
+    let table = contingency(assignments, labels);
+    let mut best_per_cluster: HashMap<usize, usize> = HashMap::new();
+    for (&(a, _), &count) in &table {
+        let best = best_per_cluster.entry(a).or_insert(0);
+        *best = (*best).max(count);
+    }
+    best_per_cluster.values().sum::<usize>() as f64 / assignments.len() as f64
+}
+
+/// Normalized mutual information `I(A;L) / sqrt(H(A)·H(L))` ∈ [0, 1]
+/// (defined as 1 when either marginal entropy is zero and the other
+/// partition is constant too, 0 otherwise).
+pub fn nmi(assignments: &[usize], labels: &[usize]) -> f64 {
+    assert!(!assignments.is_empty(), "nmi of empty clustering");
+    let n = assignments.len() as f64;
+    let table = contingency(assignments, labels);
+    let mut row: HashMap<usize, usize> = HashMap::new();
+    let mut col: HashMap<usize, usize> = HashMap::new();
+    for (&(a, l), &c) in &table {
+        *row.entry(a).or_insert(0) += c;
+        *col.entry(l).or_insert(0) += c;
+    }
+    let entropy = |m: &HashMap<usize, usize>| -> f64 {
+        m.values()
+            .map(|&c| {
+                let p = c as f64 / n;
+                -p * p.ln()
+            })
+            .sum()
+    };
+    let (ha, hl) = (entropy(&row), entropy(&col));
+    if ha == 0.0 || hl == 0.0 {
+        // One partition is constant: NMI is 1 iff both are constant.
+        return if ha == hl { 1.0 } else { 0.0 };
+    }
+    let mut mi = 0.0;
+    for (&(a, l), &c) in &table {
+        let p = c as f64 / n;
+        let pa = row[&a] as f64 / n;
+        let pl = col[&l] as f64 / n;
+        mi += p * (p / (pa * pl)).ln();
+    }
+    (mi / (ha * hl).sqrt()).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_clustering_scores_one() {
+        let labels = [0, 0, 1, 1, 2, 2];
+        assert_eq!(purity(&labels, &labels), 1.0);
+        assert!((nmi(&labels, &labels) - 1.0).abs() < 1e-12);
+        // Permuted cluster ids are still perfect.
+        let renamed = [5, 5, 9, 9, 7, 7];
+        assert_eq!(purity(&renamed, &labels), 1.0);
+        assert!((nmi(&renamed, &labels) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn random_like_clustering_scores_low() {
+        // Assignments independent of labels.
+        let labels = [0, 1, 0, 1, 0, 1, 0, 1];
+        let assignments = [0, 0, 1, 1, 0, 0, 1, 1];
+        assert!(nmi(&assignments, &labels) < 0.05);
+        assert!((purity(&assignments, &labels) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_cluster_has_zero_nmi_against_varied_labels() {
+        let labels = [0, 1, 2, 0, 1, 2];
+        let assignments = [0; 6];
+        assert_eq!(nmi(&assignments, &labels), 0.0);
+        // Purity of one big cluster is the majority fraction: 2/6.
+        assert!((purity(&assignments, &labels) - 2.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn over_clustering_keeps_purity_but_lowers_nmi() {
+        let labels = [0, 0, 0, 0, 1, 1, 1, 1];
+        // Each label split into two clusters: purity stays 1, NMI < 1.
+        let assignments = [0, 0, 1, 1, 2, 2, 3, 3];
+        assert_eq!(purity(&assignments, &labels), 1.0);
+        let v = nmi(&assignments, &labels);
+        assert!(v > 0.5 && v < 1.0, "nmi {v}");
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_inputs_panic() {
+        let _ = purity(&[0, 1], &[0]);
+    }
+}

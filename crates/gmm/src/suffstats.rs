@@ -1,0 +1,229 @@
+use crate::{Gaussian, GmmError, Result};
+use cludistream_linalg::{Matrix, Vector};
+
+/// Weighted Gaussian sufficient statistics: `(n, Σ w x, Σ w x xᵀ)`.
+///
+/// Sufficient statistics are the synopsis currency of the whole system: the
+/// SEM baseline compresses raw records into them, and the coordinator merges
+/// remote models by converting each component back into statistics weighted
+/// by its record counter — no raw data ever crosses the network, as the
+/// paper requires.
+#[derive(Debug, Clone)]
+pub struct SuffStats {
+    /// Total weight (record count for unweighted data).
+    n: f64,
+    /// Weighted sum of records.
+    sum: Vector,
+    /// Weighted sum of outer products `Σ w x xᵀ`.
+    scatter: Matrix,
+}
+
+impl SuffStats {
+    /// Creates empty statistics for dimension `d`.
+    pub fn new(d: usize) -> Self {
+        SuffStats { n: 0.0, sum: Vector::zeros(d), scatter: Matrix::zeros(d, d) }
+    }
+
+    /// Dimensionality.
+    pub fn dim(&self) -> usize {
+        self.sum.dim()
+    }
+
+    /// Total accumulated weight.
+    pub fn n(&self) -> f64 {
+        self.n
+    }
+
+    /// True when nothing has been accumulated.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0.0
+    }
+
+    /// Accumulates one record with the given weight (a membership
+    /// probability in EM, 1.0 for plain counting).
+    pub fn add(&mut self, x: &Vector, weight: f64) {
+        debug_assert_eq!(x.dim(), self.dim(), "suffstats add: dimension mismatch");
+        self.n += weight;
+        self.sum.axpy(weight, x);
+        self.scatter.rank1_update(weight, x);
+    }
+
+    /// Merges another set of statistics into this one.
+    pub fn merge(&mut self, other: &SuffStats) {
+        assert_eq!(self.dim(), other.dim(), "suffstats merge: dimension mismatch");
+        self.n += other.n;
+        self.sum += &other.sum;
+        self.scatter += &other.scatter;
+    }
+
+    /// Removes another set of statistics (sliding-window deletion). The
+    /// caller is responsible for only subtracting statistics that were
+    /// previously merged.
+    pub fn unmerge(&mut self, other: &SuffStats) {
+        assert_eq!(self.dim(), other.dim(), "suffstats unmerge: dimension mismatch");
+        self.n -= other.n;
+        self.sum -= &other.sum;
+        self.scatter -= &other.scatter;
+    }
+
+    /// Weighted mean `Σwx / n`. Errors when empty.
+    pub fn mean(&self) -> Result<Vector> {
+        if self.n <= 0.0 {
+            return Err(GmmError::NotEnoughData { have: 0, need: 1 });
+        }
+        Ok(self.sum.scaled(1.0 / self.n))
+    }
+
+    /// Maximum-likelihood covariance `Σwxxᵀ/n − μμᵀ` (biased, matching the
+    /// paper's M-step). Errors when empty.
+    pub fn cov(&self) -> Result<Matrix> {
+        let mu = self.mean()?;
+        let mut cov = self.scatter.scaled(1.0 / self.n);
+        cov.rank1_update(-1.0, &mu);
+        cov.symmetrize();
+        Ok(cov)
+    }
+
+    /// Converts to a Gaussian plus its weight. Degenerate covariances are
+    /// ridge-regularized by the [`Gaussian`] constructor.
+    pub fn to_gaussian(&self) -> Result<(Gaussian, f64)> {
+        Ok((Gaussian::new(self.mean()?, self.cov()?)?, self.n))
+    }
+
+    /// Returns the statistics scaled by `r` — the statistics the same data
+    /// would produce if every record's weight were multiplied by `r`
+    /// (all three fields are linear in the weights). Used when a block of
+    /// statistics is split across mixture components by responsibility.
+    pub fn scaled(&self, r: f64) -> SuffStats {
+        SuffStats { n: self.n * r, sum: self.sum.scaled(r), scatter: self.scatter.scaled(r) }
+    }
+
+    /// Reconstructs the statistics a Gaussian would have produced from `n`
+    /// records: `sum = n μ`, `scatter = n (Σ + μμᵀ)`.
+    pub fn from_gaussian(g: &Gaussian, n: f64) -> Self {
+        let mu = g.mean();
+        let sum = mu.scaled(n);
+        let mut scatter = g.cov().scaled(n);
+        scatter.rank1_update(n, mu);
+        SuffStats { n, sum, scatter }
+    }
+
+    /// Bytes needed to represent these statistics (for synopsis size
+    /// accounting): n + d values + d×d matrix, 8 bytes each.
+    pub fn synopsis_bytes(&self) -> usize {
+        let d = self.dim();
+        8 * (1 + d + d * d)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats_of(data: &[&[f64]]) -> SuffStats {
+        let mut s = SuffStats::new(data[0].len());
+        for row in data {
+            s.add(&Vector::from_slice(row), 1.0);
+        }
+        s
+    }
+
+    #[test]
+    fn mean_and_cov_match_direct_computation() {
+        let s = stats_of(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 0.0]]);
+        let mean = s.mean().unwrap();
+        assert!((mean[0] - 3.0).abs() < 1e-12);
+        assert!((mean[1] - 2.0).abs() < 1e-12);
+        let cov = s.cov().unwrap();
+        // var(x) = ((1-3)²+(3-3)²+(5-3)²)/3 = 8/3
+        assert!((cov[(0, 0)] - 8.0 / 3.0).abs() < 1e-12);
+        // cov(x,y) = ((-2)(0) + 0*2 + 2*(-2))/3 = -4/3
+        assert!((cov[(0, 1)] + 4.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_accumulation() {
+        let mut s = SuffStats::new(1);
+        s.add(&Vector::from_slice(&[2.0]), 3.0);
+        s.add(&Vector::from_slice(&[6.0]), 1.0);
+        assert_eq!(s.n(), 4.0);
+        assert!((s.mean().unwrap()[0] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_equals_joint_accumulation() {
+        let a = stats_of(&[&[1.0], &[2.0]]);
+        let b = stats_of(&[&[3.0], &[4.0]]);
+        let mut merged = a.clone();
+        merged.merge(&b);
+        let joint = stats_of(&[&[1.0], &[2.0], &[3.0], &[4.0]]);
+        assert_eq!(merged.n(), joint.n());
+        assert!((merged.mean().unwrap()[0] - joint.mean().unwrap()[0]).abs() < 1e-12);
+        assert!((merged.cov().unwrap()[(0, 0)] - joint.cov().unwrap()[(0, 0)]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unmerge_reverses_merge() {
+        let a = stats_of(&[&[1.0], &[5.0]]);
+        let b = stats_of(&[&[2.0], &[8.0]]);
+        let mut s = a.clone();
+        s.merge(&b);
+        s.unmerge(&b);
+        assert!((s.n() - a.n()).abs() < 1e-12);
+        assert!((s.mean().unwrap()[0] - a.mean().unwrap()[0]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gaussian_roundtrip() {
+        let s = stats_of(&[&[1.0, 0.0], &[2.0, 1.0], &[0.0, 2.0], &[3.0, 3.0]]);
+        let (g, n) = s.to_gaussian().unwrap();
+        assert_eq!(n, 4.0);
+        let back = SuffStats::from_gaussian(&g, n);
+        assert!((back.mean().unwrap()[0] - s.mean().unwrap()[0]).abs() < 1e-10);
+        let (c1, c2) = (back.cov().unwrap(), s.cov().unwrap());
+        for i in 0..2 {
+            for j in 0..2 {
+                assert!((c1[(i, j)] - c2[(i, j)]).abs() < 1e-8, "cov ({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_stats_error() {
+        let s = SuffStats::new(2);
+        assert!(s.is_empty());
+        assert!(s.mean().is_err());
+        assert!(s.cov().is_err());
+        assert!(s.to_gaussian().is_err());
+    }
+
+    #[test]
+    fn scaled_preserves_moments() {
+        let s = stats_of(&[&[1.0, 2.0], &[3.0, 0.0]]);
+        let half = s.scaled(0.5);
+        assert_eq!(half.n(), 1.0);
+        // Mean and covariance are weight-invariant.
+        assert!((half.mean().unwrap()[0] - s.mean().unwrap()[0]).abs() < 1e-12);
+        assert!((half.cov().unwrap()[(0, 1)] - s.cov().unwrap()[(0, 1)]).abs() < 1e-12);
+        // Scaling by halves and merging reproduces the original.
+        let mut back = s.scaled(0.5);
+        back.merge(&half);
+        assert!((back.n() - s.n()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn synopsis_bytes_formula() {
+        let s = SuffStats::new(4);
+        assert_eq!(s.synopsis_bytes(), 8 * (1 + 4 + 16));
+    }
+
+    #[test]
+    fn single_point_cov_is_degenerate_but_gaussian_recovers() {
+        let s = stats_of(&[&[1.0, 2.0]]);
+        let cov = s.cov().unwrap();
+        assert!(cov.frobenius_norm() < 1e-12);
+        // to_gaussian must ridge it rather than fail.
+        let (g, _) = s.to_gaussian().unwrap();
+        assert!(g.ridge() > 0.0);
+    }
+}

@@ -1,0 +1,333 @@
+use crate::{LinalgError, Matrix, Result, Vector};
+
+/// Cholesky factorization `A = L Lᵀ` of a symmetric positive-definite
+/// matrix, with the lower factor `L` stored densely.
+///
+/// This is the workhorse of the Gaussian machinery: it provides
+/// `log|Σ|` (sum of log pivots, numerically far safer than forming the
+/// determinant), linear solves for the Mahalanobis quadratic form
+/// `(x-μ)ᵀ Σ⁻¹ (x-μ)`, and the explicit inverse needed by the paper's
+/// merge/split criteria `(Σ_i⁻¹ + Σ_j⁻¹)`.
+#[derive(Debug, Clone)]
+pub struct Cholesky {
+    /// Lower-triangular factor (entries above the diagonal are zero).
+    l: Matrix,
+}
+
+impl Cholesky {
+    /// Factorizes `a`. Returns [`LinalgError::NotPositiveDefinite`] when a
+    /// pivot is non-positive (the matrix is not SPD, typically a degenerate
+    /// covariance), and [`LinalgError::Empty`] for 0x0 input.
+    pub fn new(a: &Matrix) -> Result<Self> {
+        if !a.is_square() {
+            return Err(LinalgError::DimensionMismatch {
+                op: "cholesky",
+                left: (a.rows(), a.cols()),
+                right: (a.rows(), a.cols()),
+            });
+        }
+        let n = a.rows();
+        if n == 0 {
+            return Err(LinalgError::Empty);
+        }
+        let mut l = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let mut sum = a[(i, j)];
+                for k in 0..j {
+                    sum -= l[(i, k)] * l[(j, k)];
+                }
+                if i == j {
+                    if sum <= 0.0 || !sum.is_finite() {
+                        return Err(LinalgError::NotPositiveDefinite(i));
+                    }
+                    l[(i, j)] = sum.sqrt();
+                } else {
+                    l[(i, j)] = sum / l[(j, j)];
+                }
+            }
+        }
+        Ok(Cholesky { l })
+    }
+
+    /// Dimension of the factorized matrix.
+    pub fn dim(&self) -> usize {
+        self.l.rows()
+    }
+
+    /// Borrow the lower-triangular factor.
+    pub fn l(&self) -> &Matrix {
+        &self.l
+    }
+
+    /// Consumes the factorization, returning `L`.
+    pub fn into_l(self) -> Matrix {
+        self.l
+    }
+
+    /// Builds a factorization directly from a known-valid lower factor
+    /// (positive diagonal). Used when optimizing over Cholesky parameters.
+    pub fn from_factor(l: Matrix) -> Result<Self> {
+        if !l.is_square() {
+            return Err(LinalgError::DimensionMismatch {
+                op: "from_factor",
+                left: (l.rows(), l.cols()),
+                right: (l.rows(), l.cols()),
+            });
+        }
+        for i in 0..l.rows() {
+            if l[(i, i)] <= 0.0 || !l[(i, i)].is_finite() {
+                return Err(LinalgError::NotPositiveDefinite(i));
+            }
+        }
+        Ok(Cholesky { l })
+    }
+
+    /// `log |A| = 2 Σ log L_ii`.
+    pub fn log_det(&self) -> f64 {
+        2.0 * (0..self.dim()).map(|i| self.l[(i, i)].ln()).sum::<f64>()
+    }
+
+    /// Determinant of the original matrix (may overflow for large
+    /// dimensions; prefer [`Self::log_det`]).
+    pub fn det(&self) -> f64 {
+        self.log_det().exp()
+    }
+
+    /// Solves `L y = b` (forward substitution).
+    pub fn solve_lower(&self, b: &Vector) -> Vector {
+        let n = self.dim();
+        assert_eq!(b.dim(), n, "solve_lower: dimension mismatch");
+        let mut y = Vector::zeros(n);
+        for i in 0..n {
+            let mut sum = b[i];
+            for k in 0..i {
+                sum -= self.l[(i, k)] * y[k];
+            }
+            y[i] = sum / self.l[(i, i)];
+        }
+        y
+    }
+
+    /// Solves `Lᵀ x = y` (backward substitution).
+    pub fn solve_upper(&self, y: &Vector) -> Vector {
+        let n = self.dim();
+        assert_eq!(y.dim(), n, "solve_upper: dimension mismatch");
+        let mut x = Vector::zeros(n);
+        for i in (0..n).rev() {
+            let mut sum = y[i];
+            for k in (i + 1)..n {
+                sum -= self.l[(k, i)] * x[k];
+            }
+            x[i] = sum / self.l[(i, i)];
+        }
+        x
+    }
+
+    /// Solves `A x = b`.
+    pub fn solve(&self, b: &Vector) -> Vector {
+        self.solve_upper(&self.solve_lower(b))
+    }
+
+    /// Explicit inverse `A⁻¹` (needed for the paper's `Σ_i⁻¹ + Σ_j⁻¹`
+    /// merge/split criteria). The result is symmetrized to kill rounding
+    /// noise.
+    pub fn inverse(&self) -> Matrix {
+        let n = self.dim();
+        let mut inv = Matrix::zeros(n, n);
+        for j in 0..n {
+            let mut e = Vector::zeros(n);
+            e[j] = 1.0;
+            let col = self.solve(&e);
+            for i in 0..n {
+                inv[(i, j)] = col[i];
+            }
+        }
+        inv.symmetrize();
+        inv
+    }
+
+    /// Squared Mahalanobis distance `(x-μ)ᵀ A⁻¹ (x-μ)` computed via a single
+    /// forward substitution — no explicit inverse.
+    pub fn mahalanobis_sq(&self, x: &Vector, mu: &Vector) -> f64 {
+        let diff = x - mu;
+        let y = self.solve_lower(&diff);
+        y.dot(&y)
+    }
+
+    /// Applies `L` to a vector: `L z`. With `z ~ N(0, I)` this produces a
+    /// sample direction for `N(0, A)` — used by the data generators.
+    pub fn apply_l(&self, z: &Vector) -> Vector {
+        self.l.matvec(z)
+    }
+
+    /// Reconstructs the original matrix `L Lᵀ` (mainly for tests and
+    /// round-trip checks).
+    pub fn reconstruct(&self) -> Matrix {
+        self.l.matmul(&self.l.transpose())
+    }
+}
+
+/// Factorizes `a`, retrying with geometrically increasing ridge terms when
+/// the matrix is not positive definite. Returns the factorization together
+/// with the ridge that was finally applied (0.0 when none was needed).
+///
+/// EM covariance estimates collapse when a component grabs too few points;
+/// regularized factorization keeps the algorithm live, matching the paper's
+/// footnote that zero-variance attributes are excluded from consideration.
+pub fn cholesky_regularized(a: &Matrix, base_ridge: f64, max_tries: usize) -> Result<(Cholesky, f64)> {
+    match Cholesky::new(a) {
+        Ok(c) => return Ok((c, 0.0)),
+        Err(LinalgError::NotPositiveDefinite(_)) => {}
+        Err(e) => return Err(e),
+    }
+    // Scale the ridge to the matrix magnitude so tiny covariances get tiny
+    // ridges.
+    let scale = (a.trace().abs() / a.rows().max(1) as f64).max(1e-12);
+    let mut ridge = base_ridge * scale;
+    for _ in 0..max_tries {
+        let mut b = a.clone();
+        b.add_ridge(ridge);
+        if let Ok(c) = Cholesky::new(&b) {
+            return Ok((c, ridge));
+        }
+        ridge *= 10.0;
+    }
+    Err(LinalgError::NoConvergence { iterations: max_tries })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    fn spd3() -> Matrix {
+        Matrix::from_rows(&[&[4.0, 2.0, 0.6], &[2.0, 5.0, 1.0], &[0.6, 1.0, 3.0]])
+    }
+
+    #[test]
+    fn factor_reconstructs() {
+        let a = spd3();
+        let c = Cholesky::new(&a).unwrap();
+        let r = c.reconstruct();
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!(approx_eq(r[(i, j)], a[(i, j)], 1e-12));
+            }
+        }
+    }
+
+    #[test]
+    fn factor_is_lower_triangular() {
+        let c = Cholesky::new(&spd3()).unwrap();
+        for i in 0..3 {
+            for j in (i + 1)..3 {
+                assert_eq!(c.l()[(i, j)], 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn log_det_matches_lu() {
+        let a = spd3();
+        let c = Cholesky::new(&a).unwrap();
+        let lu_det = a.det().unwrap();
+        assert!(approx_eq(c.det(), lu_det, 1e-10));
+        assert!(approx_eq(c.log_det(), lu_det.ln(), 1e-10));
+    }
+
+    #[test]
+    fn solve_recovers_rhs() {
+        let a = spd3();
+        let c = Cholesky::new(&a).unwrap();
+        let b = Vector::from_slice(&[1.0, -2.0, 0.5]);
+        let x = c.solve(&b);
+        let back = a.matvec(&x);
+        for i in 0..3 {
+            assert!(approx_eq(back[i], b[i], 1e-10));
+        }
+    }
+
+    #[test]
+    fn inverse_is_inverse() {
+        let a = spd3();
+        let inv = Cholesky::new(&a).unwrap().inverse();
+        let prod = a.matmul(&inv);
+        for i in 0..3 {
+            for j in 0..3 {
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!((prod[(i, j)] - expect).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn mahalanobis_identity_is_euclidean() {
+        let c = Cholesky::new(&Matrix::identity(2)).unwrap();
+        let x = Vector::from_slice(&[3.0, 4.0]);
+        let mu = Vector::zeros(2);
+        assert!(approx_eq(c.mahalanobis_sq(&x, &mu), 25.0, 1e-12));
+    }
+
+    #[test]
+    fn mahalanobis_matches_explicit_form() {
+        let a = spd3();
+        let c = Cholesky::new(&a).unwrap();
+        let x = Vector::from_slice(&[1.0, 2.0, 3.0]);
+        let mu = Vector::from_slice(&[0.5, 1.5, 2.0]);
+        let inv = c.inverse();
+        let diff = &x - &mu;
+        let explicit = inv.quad_form(&diff);
+        assert!(approx_eq(c.mahalanobis_sq(&x, &mu), explicit, 1e-10));
+    }
+
+    #[test]
+    fn non_spd_rejected() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]); // eigenvalues 3, -1
+        assert!(matches!(Cholesky::new(&a), Err(LinalgError::NotPositiveDefinite(_))));
+    }
+
+    #[test]
+    fn zero_matrix_rejected() {
+        assert!(Cholesky::new(&Matrix::zeros(2, 2)).is_err());
+    }
+
+    #[test]
+    fn empty_rejected() {
+        assert!(matches!(Cholesky::new(&Matrix::zeros(0, 0)), Err(LinalgError::Empty)));
+    }
+
+    #[test]
+    fn regularized_recovers_degenerate() {
+        let mut a = Matrix::from_rows(&[&[1.0, 1.0], &[1.0, 1.0]]); // rank 1
+        a.symmetrize();
+        let (c, ridge) = cholesky_regularized(&a, 1e-9, 12).unwrap();
+        assert!(ridge > 0.0);
+        assert_eq!(c.dim(), 2);
+    }
+
+    #[test]
+    fn regularized_noop_on_spd() {
+        let (c, ridge) = cholesky_regularized(&spd3(), 1e-9, 12).unwrap();
+        assert_eq!(ridge, 0.0);
+        assert_eq!(c.dim(), 3);
+    }
+
+    #[test]
+    fn from_factor_validates_diagonal() {
+        let good = Matrix::from_rows(&[&[1.0, 0.0], &[0.5, 2.0]]);
+        assert!(Cholesky::from_factor(good).is_ok());
+        let bad = Matrix::from_rows(&[&[1.0, 0.0], &[0.5, -2.0]]);
+        assert!(Cholesky::from_factor(bad).is_err());
+    }
+
+    #[test]
+    fn apply_l_shapes_samples() {
+        let a = Matrix::from_rows(&[&[4.0, 0.0], &[0.0, 9.0]]);
+        let c = Cholesky::new(&a).unwrap();
+        let z = Vector::from_slice(&[1.0, 1.0]);
+        let out = c.apply_l(&z);
+        assert!(approx_eq(out[0], 2.0, 1e-12));
+        assert!(approx_eq(out[1], 3.0, 1e-12));
+    }
+}

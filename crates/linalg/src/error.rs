@@ -1,0 +1,65 @@
+use std::fmt;
+
+/// Errors produced by the linear-algebra kernels.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinalgError {
+    /// Two operands had incompatible dimensions.
+    DimensionMismatch {
+        /// Human-readable description of the operation that failed.
+        op: &'static str,
+        /// Dimensions of the left operand (rows, cols).
+        left: (usize, usize),
+        /// Dimensions of the right operand (rows, cols).
+        right: (usize, usize),
+    },
+    /// A Cholesky factorization failed because the matrix is not positive
+    /// definite (a pivot was non-positive). Carries the pivot index.
+    NotPositiveDefinite(usize),
+    /// An LU factorization or solve hit an (numerically) singular matrix.
+    Singular,
+    /// An iterative routine failed to converge within its iteration budget.
+    NoConvergence {
+        /// Iterations performed before giving up.
+        iterations: usize,
+    },
+    /// A routine received an empty matrix or vector.
+    Empty,
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::DimensionMismatch { op, left, right } => write!(
+                f,
+                "dimension mismatch in {op}: left is {}x{}, right is {}x{}",
+                left.0, left.1, right.0, right.1
+            ),
+            LinalgError::NotPositiveDefinite(i) => {
+                write!(f, "matrix is not positive definite (pivot {i} is non-positive)")
+            }
+            LinalgError::Singular => write!(f, "matrix is singular"),
+            LinalgError::NoConvergence { iterations } => {
+                write!(f, "iteration did not converge after {iterations} sweeps")
+            }
+            LinalgError::Empty => write!(f, "operand is empty"),
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = LinalgError::DimensionMismatch { op: "matmul", left: (2, 3), right: (4, 5) };
+        assert!(e.to_string().contains("matmul"));
+        assert!(e.to_string().contains("2x3"));
+        assert!(LinalgError::NotPositiveDefinite(1).to_string().contains("pivot 1"));
+        assert!(LinalgError::Singular.to_string().contains("singular"));
+        assert!(LinalgError::NoConvergence { iterations: 7 }.to_string().contains('7'));
+        assert!(LinalgError::Empty.to_string().contains("empty"));
+    }
+}

@@ -1,0 +1,435 @@
+use crate::event::{NodeId, QueuedEvent, SimEvent, SimTime};
+use crate::network::{LinkModel, Topology};
+use crate::node::{Action, Context, Node};
+use crate::stats::CommStats;
+use crate::trace::Trace;
+use std::collections::BinaryHeap;
+use std::fmt;
+
+/// Errors surfaced by the simulation driver.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// A node attempted to send along a link the topology forbids.
+    IllegalLink {
+        /// Sender.
+        from: NodeId,
+        /// Intended recipient.
+        to: NodeId,
+    },
+    /// A message was addressed to a node id that does not exist.
+    UnknownNode(NodeId),
+    /// The node count does not match what the topology requires.
+    TopologySize {
+        /// Nodes registered.
+        have: usize,
+        /// Nodes the topology describes.
+        need: usize,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::IllegalLink { from, to } => {
+                write!(f, "illegal link {from} -> {to} for this topology")
+            }
+            SimError::UnknownNode(n) => write!(f, "unknown node {n}"),
+            SimError::TopologySize { have, need } => {
+                write!(f, "topology requires {need} nodes, {have} registered")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// The deterministic event loop.
+///
+/// Nodes are registered in id order with [`Simulation::add_node`]; the run
+/// starts with every node's `on_start`, then drains the event queue until
+/// empty, a node calls [`Context::halt`], or the optional time limit is
+/// reached.
+pub struct Simulation<M> {
+    nodes: Vec<Box<dyn Node<M>>>,
+    topology: Topology,
+    link: LinkModel,
+    queue: BinaryHeap<QueuedEvent<M>>,
+    time: SimTime,
+    seq: u64,
+    stats: CommStats,
+    trace: Option<Trace>,
+    halted: bool,
+}
+
+impl<M: 'static> Simulation<M> {
+    /// Creates a simulation over the given topology and link model.
+    pub fn new(topology: Topology, link: LinkModel) -> Self {
+        Simulation {
+            nodes: Vec::new(),
+            topology,
+            link,
+            queue: BinaryHeap::new(),
+            time: 0,
+            seq: 0,
+            stats: CommStats::new(),
+            trace: None,
+            halted: false,
+        }
+    }
+
+    /// Enables per-message tracing (off by default; traces grow with the
+    /// message count). Read the result with [`Self::trace`] after the run.
+    pub fn enable_trace(&mut self) {
+        if self.trace.is_none() {
+            self.trace = Some(Trace::new());
+        }
+    }
+
+    /// The message trace, when [`Self::enable_trace`] was called.
+    pub fn trace(&self) -> Option<&Trace> {
+        self.trace.as_ref()
+    }
+
+    /// Registers the next node; returns its id (ids are assigned densely in
+    /// registration order).
+    pub fn add_node(&mut self, node: Box<dyn Node<M>>) -> NodeId {
+        self.nodes.push(node);
+        NodeId(self.nodes.len() - 1)
+    }
+
+    /// Number of registered nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.time
+    }
+
+    /// Communication statistics accumulated so far.
+    pub fn stats(&self) -> &CommStats {
+        &self.stats
+    }
+
+    /// Mutable access to a node (for injecting work or reading results
+    /// after the run). The concrete type must be recovered by the caller.
+    pub fn node_mut(&mut self, id: NodeId) -> &mut dyn Node<M> {
+        self.nodes[id.0].as_mut()
+    }
+
+    /// Downcasts a node to its concrete type — the way experiments read a
+    /// node's results after [`Self::run`] completes. Returns `None` on a
+    /// type mismatch.
+    pub fn node_as<T: 'static>(&mut self, id: NodeId) -> Option<&mut T> {
+        let node: &mut dyn std::any::Any = self.nodes[id.0].as_mut();
+        node.downcast_mut::<T>()
+    }
+
+    /// Runs until the queue drains or a node halts. See
+    /// [`Self::run_until`] for a bounded variant.
+    pub fn run(&mut self) -> Result<(), SimError> {
+        self.run_until(SimTime::MAX)
+    }
+
+    /// Runs until the queue drains, a node halts, or simulated time would
+    /// exceed `deadline`.
+    pub fn run_until(&mut self, deadline: SimTime) -> Result<(), SimError> {
+        if let Some(need) = self.topology.size() {
+            if self.nodes.len() != need {
+                return Err(SimError::TopologySize { have: self.nodes.len(), need });
+            }
+        }
+
+        // Start phase.
+        let mut staged: Vec<(NodeId, Vec<Action<M>>)> = Vec::new();
+        for idx in 0..self.nodes.len() {
+            let id = NodeId(idx);
+            let mut actions = Vec::new();
+            {
+                let mut ctx = Context { now: self.time, self_id: id, actions: &mut actions };
+                self.nodes[idx].on_start(&mut ctx);
+            }
+            staged.push((id, actions));
+        }
+        for (id, actions) in staged {
+            self.commit(id, actions)?;
+        }
+
+        // Event loop.
+        while !self.halted {
+            let Some(entry) = self.queue.pop() else { break };
+            if entry.time > deadline {
+                // Put it back conceptually: time limit reached.
+                self.queue.push(entry);
+                break;
+            }
+            debug_assert!(entry.time >= self.time, "time went backwards");
+            self.time = entry.time;
+            type Callback<'a, M> = Box<dyn FnMut(&mut dyn Node<M>, &mut Context<'_, M>) + 'a>;
+            let (node_id, mut run): (NodeId, Callback<'_, M>) =
+                match entry.event {
+                    SimEvent::Message { from, to, payload, bytes: _ } => {
+                        let mut payload = Some(payload);
+                        (
+                            to,
+                            Box::new(move |node, ctx| {
+                                node.on_message(ctx, from, payload.take().expect("single call"))
+                            }),
+                        )
+                    }
+                    SimEvent::Timer { node, tag } => {
+                        (node, Box::new(move |n, ctx| n.on_timer(ctx, tag)))
+                    }
+                };
+            if node_id.0 >= self.nodes.len() {
+                return Err(SimError::UnknownNode(node_id));
+            }
+            let mut actions = Vec::new();
+            {
+                let mut ctx =
+                    Context { now: self.time, self_id: node_id, actions: &mut actions };
+                run(self.nodes[node_id.0].as_mut(), &mut ctx);
+            }
+            self.commit(node_id, actions)?;
+        }
+        Ok(())
+    }
+
+    /// Validates and enqueues the actions a node staged during a callback.
+    fn commit(&mut self, from: NodeId, actions: Vec<Action<M>>) -> Result<(), SimError> {
+        for action in actions {
+            match action {
+                Action::Send { to, payload, bytes } => {
+                    if to.0 >= self.nodes.len() {
+                        return Err(SimError::UnknownNode(to));
+                    }
+                    if !self.topology.allows(from, to) {
+                        return Err(SimError::IllegalLink { from, to });
+                    }
+                    self.stats.record(self.time, from, to, bytes);
+                    if let Some(trace) = &mut self.trace {
+                        trace.record(self.time, from, to, bytes);
+                    }
+                    let time = self.time + self.link.delay(bytes);
+                    self.seq += 1;
+                    self.queue.push(QueuedEvent {
+                        time,
+                        seq: self.seq,
+                        event: SimEvent::Message { from, to, payload, bytes },
+                    });
+                }
+                Action::Timer { delay, tag } => {
+                    self.seq += 1;
+                    self.queue.push(QueuedEvent {
+                        time: self.time + delay,
+                        seq: self.seq,
+                        event: SimEvent::Timer { node: from, tag },
+                    });
+                }
+                Action::Halt => self.halted = true,
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Counts messages and echoes until a budget is exhausted.
+    struct Echoer {
+        remaining: u32,
+        received: u32,
+    }
+
+    impl Node<u32> for Echoer {
+        fn on_message(&mut self, ctx: &mut Context<'_, u32>, from: NodeId, msg: u32) {
+            self.received += 1;
+            if self.remaining > 0 {
+                self.remaining -= 1;
+                ctx.send(from, msg + 1, 8);
+            }
+        }
+    }
+
+    /// Kicks off the ping-pong.
+    struct Kicker;
+    impl Node<u32> for Kicker {
+        fn on_start(&mut self, ctx: &mut Context<'_, u32>) {
+            ctx.send(NodeId(1), 0, 8);
+        }
+        fn on_message(&mut self, ctx: &mut Context<'_, u32>, from: NodeId, msg: u32) {
+            if msg < 10 {
+                ctx.send(from, msg + 1, 8);
+            }
+        }
+    }
+
+    #[test]
+    fn ping_pong_terminates_with_counts() {
+        let mut sim: Simulation<u32> = Simulation::new(Topology::star(1), LinkModel::instant());
+        sim.add_node(Box::new(Kicker));
+        sim.add_node(Box::new(Echoer { remaining: 100, received: 0 }));
+        sim.run().unwrap();
+        // Kicker sends 0, echoer replies 1, ..., kicker sends 10, echoer
+        // replies 11, kicker stops (11 >= 10) → messages 0..=11 → 12 total.
+        assert_eq!(sim.stats().total_messages(), 12);
+        assert_eq!(sim.stats().total_bytes(), 96);
+    }
+
+    #[test]
+    fn illegal_link_rejected() {
+        struct BadSender;
+        impl Node<u32> for BadSender {
+            fn on_start(&mut self, ctx: &mut Context<'_, u32>) {
+                ctx.send(NodeId(1), 0, 1); // spoke → spoke in a star
+            }
+            fn on_message(&mut self, _: &mut Context<'_, u32>, _: NodeId, _: u32) {}
+        }
+        struct Sink;
+        impl Node<u32> for Sink {
+            fn on_message(&mut self, _: &mut Context<'_, u32>, _: NodeId, _: u32) {}
+        }
+        let mut sim: Simulation<u32> = Simulation::new(Topology::star(2), LinkModel::instant());
+        sim.add_node(Box::new(BadSender));
+        sim.add_node(Box::new(Sink));
+        sim.add_node(Box::new(Sink));
+        assert_eq!(
+            sim.run(),
+            Err(SimError::IllegalLink { from: NodeId(0), to: NodeId(1) })
+        );
+    }
+
+    #[test]
+    fn topology_size_enforced() {
+        let mut sim: Simulation<u32> = Simulation::new(Topology::star(3), LinkModel::instant());
+        sim.add_node(Box::new(Kicker));
+        assert_eq!(sim.run(), Err(SimError::TopologySize { have: 1, need: 4 }));
+    }
+
+    #[test]
+    fn timers_fire_in_order() {
+        struct TimerNode {
+            fired: Vec<u64>,
+        }
+        impl Node<()> for TimerNode {
+            fn on_start(&mut self, ctx: &mut Context<'_, ()>) {
+                ctx.set_timer(300, 3);
+                ctx.set_timer(100, 1);
+                ctx.set_timer(200, 2);
+            }
+            fn on_message(&mut self, _: &mut Context<'_, ()>, _: NodeId, _: ()) {}
+            fn on_timer(&mut self, ctx: &mut Context<'_, ()>, tag: u64) {
+                self.fired.push(tag);
+                self.fired.push(ctx.now());
+            }
+        }
+        let mut sim: Simulation<()> = Simulation::new(Topology::Complete, LinkModel::instant());
+        let id = sim.add_node(Box::new(TimerNode { fired: vec![] }));
+        sim.run().unwrap();
+        let node: &mut TimerNode = sim.node_as(id).expect("concrete type");
+        assert_eq!(node.fired, vec![1, 100, 2, 200, 3, 300]);
+    }
+
+    #[test]
+    fn link_delay_advances_clock() {
+        struct Once;
+        impl Node<u32> for Once {
+            fn on_start(&mut self, ctx: &mut Context<'_, u32>) {
+                if ctx.self_id() == NodeId(0) {
+                    ctx.send(NodeId(1), 0, 1000);
+                }
+            }
+            fn on_message(&mut self, ctx: &mut Context<'_, u32>, _: NodeId, _: u32) {
+                assert_eq!(ctx.now(), 1100);
+            }
+        }
+        let link = LinkModel { latency_us: 100, bandwidth_bps: 1_000_000 };
+        let mut sim: Simulation<u32> = Simulation::new(Topology::star(1), link);
+        sim.add_node(Box::new(Once));
+        sim.add_node(Box::new(Once));
+        sim.run().unwrap();
+        assert_eq!(sim.now(), 1100);
+    }
+
+    #[test]
+    fn halt_stops_immediately() {
+        struct Halter {
+            handled: u32,
+        }
+        impl Node<()> for Halter {
+            fn on_start(&mut self, ctx: &mut Context<'_, ()>) {
+                for i in 0..10 {
+                    ctx.set_timer(i * 10, i);
+                }
+            }
+            fn on_message(&mut self, _: &mut Context<'_, ()>, _: NodeId, _: ()) {}
+            fn on_timer(&mut self, ctx: &mut Context<'_, ()>, tag: u64) {
+                self.handled += 1;
+                if tag == 2 {
+                    ctx.halt();
+                }
+            }
+        }
+        let mut sim: Simulation<()> = Simulation::new(Topology::Complete, LinkModel::instant());
+        let id = sim.add_node(Box::new(Halter { handled: 0 }));
+        sim.run().unwrap();
+        let node: &mut Halter = sim.node_as(id).expect("concrete type");
+        assert_eq!(node.handled, 3);
+    }
+
+    #[test]
+    fn run_until_respects_deadline() {
+        struct Periodic;
+        impl Node<()> for Periodic {
+            fn on_start(&mut self, ctx: &mut Context<'_, ()>) {
+                ctx.set_timer(1_000, 0);
+            }
+            fn on_message(&mut self, _: &mut Context<'_, ()>, _: NodeId, _: ()) {}
+            fn on_timer(&mut self, ctx: &mut Context<'_, ()>, _: u64) {
+                ctx.set_timer(1_000, 0); // forever
+            }
+        }
+        let mut sim: Simulation<()> = Simulation::new(Topology::Complete, LinkModel::instant());
+        sim.add_node(Box::new(Periodic));
+        sim.run_until(100_000).unwrap();
+        assert!(sim.now() <= 100_000);
+    }
+
+    #[test]
+    fn trace_records_sends_when_enabled() {
+        let mut sim: Simulation<u32> = Simulation::new(Topology::star(1), LinkModel::instant());
+        sim.add_node(Box::new(Kicker));
+        sim.add_node(Box::new(Echoer { remaining: 100, received: 0 }));
+        sim.enable_trace();
+        sim.run().unwrap();
+        let trace = sim.trace().expect("trace enabled");
+        assert_eq!(trace.len() as u64, sim.stats().total_messages());
+        assert!(trace.is_monotone());
+        // Ping-pong alternates links.
+        assert_eq!(trace.on_link(NodeId(0), NodeId(1)).len(), 6);
+        assert_eq!(trace.on_link(NodeId(1), NodeId(0)).len(), 6);
+    }
+
+    #[test]
+    fn trace_disabled_by_default() {
+        let sim: Simulation<u32> = Simulation::new(Topology::Complete, LinkModel::instant());
+        assert!(sim.trace().is_none());
+    }
+
+    #[test]
+    fn unknown_recipient_rejected() {
+        struct Wild;
+        impl Node<()> for Wild {
+            fn on_start(&mut self, ctx: &mut Context<'_, ()>) {
+                ctx.send(NodeId(42), (), 1);
+            }
+            fn on_message(&mut self, _: &mut Context<'_, ()>, _: NodeId, _: ()) {}
+        }
+        let mut sim: Simulation<()> = Simulation::new(Topology::Complete, LinkModel::instant());
+        sim.add_node(Box::new(Wild));
+        assert_eq!(sim.run(), Err(SimError::UnknownNode(NodeId(42))));
+    }
+}

@@ -1,0 +1,87 @@
+//! Sliding-window clustering (paper Sec. 7): only the last W chunks count.
+//! Expired chunks emit deletions ("model ID with negative weight") that a
+//! coordinator applies to its mixture, dropping fully-expired models.
+//!
+//! ```text
+//! cargo run --release --example sliding_window
+//! ```
+
+use cludistream::{Config, Coordinator, CoordinatorConfig, Message, SlidingWindowSite};
+use cludistream_datagen::{EvolvingStream, EvolvingStreamConfig};
+use cludistream_gmm::ChunkParams;
+
+fn main() {
+    let config = Config {
+        dim: 1,
+        k: 2,
+        chunk: ChunkParams { epsilon: 0.1, delta: 0.01 },
+        seed: 31,
+        ..Default::default()
+    };
+    let window_chunks = 6;
+    let mut site =
+        SlidingWindowSite::new(config, window_chunks).expect("valid config");
+    let chunk_size = site.site().chunk_size();
+    println!("window = {window_chunks} chunks x {chunk_size} records");
+
+    let mut coordinator = Coordinator::new(CoordinatorConfig::default());
+
+    let mut stream = EvolvingStream::new(EvolvingStreamConfig {
+        dim: 1,
+        k: 2,
+        p_new: 0.6,
+        regime_len: 3 * chunk_size,
+        seed: 37,
+        ..Default::default()
+    });
+
+    let updates = 40 * chunk_size;
+    for i in 0..updates {
+        let x = stream.next().expect("infinite stream");
+        site.push(x).expect("clean records");
+
+        // Forward the window's protocol traffic to the coordinator.
+        for event in site.drain_events() {
+            coordinator.apply(&Message::from_site_event(0, event)).expect("valid update");
+        }
+        for (model, count) in site.drain_deletions() {
+            let del = Message::Delete { site: 0, model, count_delta: count };
+            // Deletions may refer to models the coordinator already dropped.
+            let _ = coordinator.apply(&del);
+        }
+
+        if (i + 1) % (10 * chunk_size) == 0 {
+            let models = site.site().models().len();
+            println!(
+                "after {:>6} records: {} models on site, {} in window, \
+                 {} groups at coordinator",
+                i + 1,
+                models,
+                site.chunks_in_window(),
+                coordinator.group_count()
+            );
+        }
+    }
+
+    println!("\n--- window vs landmark ---");
+    match site.window_mixture() {
+        Ok(w) => {
+            println!("window mixture ({} components):", w.k());
+            for (c, wt) in w.components().iter().zip(w.weights()) {
+                println!("  centre {:+.2}, weight {:.2}", c.mean()[0], wt);
+            }
+        }
+        Err(e) => println!("window empty: {e}"),
+    }
+    println!(
+        "models retained on site: {} (fully expired models are dropped)",
+        site.site().models().len()
+    );
+    println!(
+        "coordinator: {} groups over {} components, total weight {:.0}",
+        coordinator.group_count(),
+        coordinator.component_count(),
+        coordinator.total_weight()
+    );
+
+}

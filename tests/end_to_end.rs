@@ -1,0 +1,118 @@
+//! End-to-end integration: the full distributed pipeline — sites,
+//! protocol, simulator, coordinator — on streams with known structure.
+
+use cludistream_suite::cludistream::{
+    run_star, Config, CoordinatorConfig, DriverConfig, RecordStream, RemoteSite,
+};
+use cludistream_suite::gmm::{ChunkParams, Gaussian, Mixture};
+use cludistream_suite::linalg::Vector;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn small_config() -> Config {
+    Config {
+        dim: 2,
+        k: 2,
+        chunk: ChunkParams { epsilon: 0.15, delta: 0.01 },
+        seed: 7,
+        ..Default::default()
+    }
+}
+
+fn blob_stream(centers: &[(f64, f64)], seed: u64) -> RecordStream {
+    let comps: Vec<Gaussian> = centers
+        .iter()
+        .map(|&(x, y)| Gaussian::spherical(Vector::from_slice(&[x, y]), 0.5).unwrap())
+        .collect();
+    let mix = Mixture::uniform(comps).unwrap();
+    let mut rng = StdRng::seed_from_u64(seed);
+    Box::new(std::iter::repeat_with(move || mix.sample(&mut rng)))
+}
+
+#[test]
+fn distributed_run_recovers_all_dense_regions() {
+    let cfg = DriverConfig {
+        site: small_config(),
+        coordinator: CoordinatorConfig { max_groups: 6, ..Default::default() },
+        ..Default::default()
+    };
+    let chunk = RemoteSite::new(cfg.site.clone()).unwrap().chunk_size() as u64;
+    // Four sites, two observing blobs near (0,0)/(20,0), two near
+    // (0,20)/(20,20): four distinct dense regions overall.
+    let streams: Vec<RecordStream> = vec![
+        blob_stream(&[(0.0, 0.0), (20.0, 0.0)], 1),
+        blob_stream(&[(0.0, 0.0), (20.0, 0.0)], 2),
+        blob_stream(&[(0.0, 20.0), (20.0, 20.0)], 3),
+        blob_stream(&[(0.0, 20.0), (20.0, 20.0)], 4),
+    ];
+    let report = run_star(streams, 3 * chunk, cfg).expect("run succeeds");
+    let global = report.global.expect("global model");
+
+    for target in [(0.0, 0.0), (20.0, 0.0), (0.0, 20.0), (20.0, 20.0)] {
+        let probe = Vector::from_slice(&[target.0, target.1]);
+        let ll = global.log_pdf(&probe);
+        assert!(
+            ll > -8.0,
+            "dense region {target:?} not represented: log pdf {ll}"
+        );
+    }
+    // Sites observing the same regions should have been merged: fewer
+    // groups than the 8 reported components.
+    assert!(
+        report.coordinator_groups <= 6,
+        "groups {} not consolidated",
+        report.coordinator_groups
+    );
+}
+
+#[test]
+fn stable_streams_transmit_one_synopsis_per_site() {
+    // δ bounds the false-alarm probability per chunk; tighten it so the 30
+    // chunk tests in this run are overwhelmingly unlikely to refit.
+    let mut site = small_config();
+    site.chunk.delta = 0.001;
+    let cfg = DriverConfig { site, ..Default::default() };
+    let chunk = RemoteSite::new(cfg.site.clone()).unwrap().chunk_size() as u64;
+    let streams: Vec<RecordStream> =
+        (0..5).map(|i| blob_stream(&[(0.0, 0.0)], 10 + i)).collect();
+    let report = run_star(streams, 6 * chunk, cfg).expect("run succeeds");
+    assert_eq!(
+        report.comm.total_messages(),
+        5,
+        "stable sites should each send exactly their initial synopsis"
+    );
+    // All five identical distributions collapse at the coordinator.
+    assert!(report.coordinator_groups <= 2, "groups {}", report.coordinator_groups);
+}
+
+#[test]
+fn site_memory_is_stream_length_independent() {
+    let cfg = DriverConfig { site: small_config(), ..Default::default() };
+    let chunk = RemoteSite::new(cfg.site.clone()).unwrap().chunk_size() as u64;
+    let short = run_star(vec![blob_stream(&[(0.0, 0.0)], 20)], 2 * chunk, cfg.clone())
+        .expect("run succeeds");
+    let long = run_star(vec![blob_stream(&[(0.0, 0.0)], 20)], 8 * chunk, cfg)
+        .expect("run succeeds");
+    assert_eq!(
+        short.site_memory[0], long.site_memory[0],
+        "Theorem 3: memory must not grow with a stable stream"
+    );
+}
+
+#[test]
+fn communication_is_event_driven_not_linear() {
+    // Doubling the stream length of a stable stream must NOT double the
+    // bytes (contrast with the periodic baseline, tested in
+    // quality_vs_baselines.rs).
+    let cfg = DriverConfig { site: small_config(), ..Default::default() };
+    let chunk = RemoteSite::new(cfg.site.clone()).unwrap().chunk_size() as u64;
+    let short = run_star(vec![blob_stream(&[(0.0, 0.0)], 30)], 3 * chunk, cfg.clone())
+        .expect("run succeeds");
+    let long = run_star(vec![blob_stream(&[(0.0, 0.0)], 30)], 9 * chunk, cfg)
+        .expect("run succeeds");
+    assert_eq!(
+        short.comm.total_bytes(),
+        long.comm.total_bytes(),
+        "a stable stream's traffic must not grow with length"
+    );
+}

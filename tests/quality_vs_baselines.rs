@@ -1,0 +1,130 @@
+//! Cross-crate quality comparison: CluDistream vs SEM vs sampling-based
+//! EM, reproducing the paper's Figs. 5-6 claims at test scale.
+
+use cludistream_suite::baselines::{
+    SamplingEm, SamplingEmConfig, ScalableEm, SemConfig,
+};
+use cludistream_suite::cludistream::{horizon_mixture, landmark_mixture, Config, RemoteSite};
+use cludistream_suite::gmm::{ChunkParams, Gaussian, Mixture};
+use cludistream_suite::linalg::Vector;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn site_config() -> Config {
+    Config {
+        dim: 1,
+        k: 2,
+        chunk: ChunkParams { epsilon: 0.15, delta: 0.01 },
+        seed: 3,
+        ..Default::default()
+    }
+}
+
+fn regime(center: f64) -> Mixture {
+    Mixture::new(
+        vec![
+            Gaussian::spherical(Vector::from_slice(&[center - 3.0]), 0.5).unwrap(),
+            Gaussian::spherical(Vector::from_slice(&[center + 3.0]), 0.5).unwrap(),
+        ],
+        vec![0.5, 0.5],
+    )
+    .unwrap()
+}
+
+/// Feeds the same evolving stream (regime A, then far-away regime B) to
+/// all three algorithms, returning them plus the data of both regimes.
+struct Arena {
+    site: RemoteSite,
+    sem: ScalableEm,
+    sampler: SamplingEm,
+    regime_a: Vec<Vector>,
+    regime_b: Vec<Vector>,
+}
+
+fn run_arena() -> Arena {
+    let mut site = RemoteSite::new(site_config()).unwrap();
+    let chunk = site.chunk_size();
+    let mut sem = ScalableEm::new(SemConfig {
+        k: 2,
+        buffer_size: chunk,
+        seed: 4,
+        ..Default::default()
+    })
+    .unwrap();
+    let mut sampler = SamplingEm::new(SamplingEmConfig {
+        k: 2,
+        sample_size: chunk,
+        refit_interval: chunk,
+        seed: 5,
+        ..Default::default()
+    })
+    .unwrap();
+
+    let mut rng = StdRng::seed_from_u64(6);
+    let a = regime(0.0);
+    let b = regime(100.0);
+    let regime_a: Vec<Vector> = (0..3 * chunk).map(|_| a.sample(&mut rng)).collect();
+    let regime_b: Vec<Vector> = (0..3 * chunk).map(|_| b.sample(&mut rng)).collect();
+    for x in regime_a.iter().chain(&regime_b) {
+        site.push(x.clone()).unwrap();
+        sem.push(x.clone()).unwrap();
+        sampler.push(x.clone()).unwrap();
+    }
+    Arena { site, sem, sampler, regime_a, regime_b }
+}
+
+#[test]
+fn cludistream_keeps_both_regimes_in_landmark_window() {
+    let arena = run_arena();
+    let lm = landmark_mixture(&arena.site).unwrap();
+    let clu_a = lm.avg_log_likelihood(&arena.regime_a);
+    let clu_b = lm.avg_log_likelihood(&arena.regime_b);
+    let sem_a = arena.sem.avg_log_likelihood(&arena.regime_a);
+    // CluDistream's landmark model must describe BOTH regimes reasonably.
+    assert!(clu_a > -6.0, "CluDistream forgot regime A: {clu_a}");
+    assert!(clu_b > -6.0, "CluDistream lost regime B: {clu_b}");
+    // SEM squeezed both regimes into one 2-component model: the old regime
+    // is described much worse than CluDistream describes it (Fig. 6).
+    assert!(
+        clu_a > sem_a + 1.0,
+        "CluDistream should beat SEM on the old regime: {clu_a} vs {sem_a}"
+    );
+}
+
+#[test]
+fn horizon_model_tracks_the_current_regime() {
+    let arena = run_arena();
+    let h = horizon_mixture(&arena.site, 2).unwrap();
+    let on_recent = h.avg_log_likelihood(&arena.regime_b);
+    let on_old = h.avg_log_likelihood(&arena.regime_a);
+    assert!(
+        on_recent > on_old + 10.0,
+        "horizon model should focus on the recent regime: recent {on_recent} vs old {on_old}"
+    );
+}
+
+#[test]
+fn sampling_em_dilutes_old_regimes() {
+    let arena = run_arena();
+    let lm = landmark_mixture(&arena.site).unwrap();
+    let clu_total = 0.5 * lm.avg_log_likelihood(&arena.regime_a)
+        + 0.5 * lm.avg_log_likelihood(&arena.regime_b);
+    let samp_total = 0.5 * arena.sampler.avg_log_likelihood(&arena.regime_a)
+        + 0.5 * arena.sampler.avg_log_likelihood(&arena.regime_b);
+    // Fig. 6's ordering: CluDistream > sampling-based EM on the landmark
+    // window (the reservoir thins both regimes, and K=2 must cover four
+    // blobs).
+    assert!(
+        clu_total > samp_total,
+        "CluDistream {clu_total} should beat sampling EM {samp_total}"
+    );
+}
+
+#[test]
+fn all_algorithms_are_deterministic_under_fixed_seeds() {
+    let a = run_arena();
+    let b = run_arena();
+    assert_eq!(a.site.stats(), b.site.stats());
+    assert_eq!(a.sem.stats(), b.sem.stats());
+    assert_eq!(a.sampler.refits(), b.sampler.refits());
+}

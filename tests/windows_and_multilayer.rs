@@ -1,0 +1,167 @@
+//! Integration of window semantics with the coordinator protocol, and the
+//! multi-layer tree network against an equivalent flat deployment.
+
+use cludistream_suite::cludistream::{
+    Config, Coordinator, CoordinatorConfig, Message, MultiLayerNetwork, SlidingWindowSite,
+};
+use cludistream_suite::datagen::{EvolvingStream, EvolvingStreamConfig};
+use cludistream_suite::gmm::{ChunkParams, Gaussian};
+use cludistream_suite::linalg::Vector;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn small_config() -> Config {
+    Config {
+        dim: 1,
+        k: 1,
+        chunk: ChunkParams { epsilon: 0.15, delta: 0.01 },
+        seed: 13,
+        ..Default::default()
+    }
+}
+
+fn blob(center: f64, n: usize, seed: u64) -> Vec<Vector> {
+    let g = Gaussian::spherical(Vector::from_slice(&[center]), 0.5).unwrap();
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| g.sample(&mut rng)).collect()
+}
+
+#[test]
+fn sliding_window_deletions_keep_coordinator_in_sync() {
+    let mut site = SlidingWindowSite::new(small_config(), 2).unwrap();
+    let chunk = site.site().chunk_size();
+    let mut coordinator = Coordinator::new(CoordinatorConfig::default());
+
+    let forward = |site: &mut SlidingWindowSite, coordinator: &mut Coordinator| {
+        for ev in site.drain_events() {
+            coordinator.apply(&Message::from_site_event(0, ev)).unwrap();
+        }
+        for (model, count) in site.drain_deletions() {
+            let _ = coordinator.apply(&Message::Delete { site: 0, model, count_delta: count });
+        }
+    };
+
+    // Regime A fills the window, then regime B completely evicts it.
+    for x in blob(0.0, 2 * chunk, 1) {
+        site.push(x).unwrap();
+    }
+    forward(&mut site, &mut coordinator);
+    let before = coordinator.global_mixture().unwrap();
+    assert!(before.log_pdf(&Vector::from_slice(&[0.0])) > -5.0);
+
+    for x in blob(80.0, 2 * chunk, 2) {
+        site.push(x).unwrap();
+    }
+    forward(&mut site, &mut coordinator);
+
+    // The coordinator's total weight reflects exactly the in-window chunks
+    // (the sliding site synthesizes weight updates for fitting chunks so
+    // additions and deletions balance).
+    let window_mass = (2 * chunk) as f64;
+    assert!(
+        (coordinator.total_weight() - window_mass).abs() < 1.0,
+        "coordinator weight {} vs window mass {window_mass}",
+        coordinator.total_weight()
+    );
+    // Regime A must have been deleted.
+    let after = coordinator.global_mixture().unwrap();
+    assert!(
+        after.log_pdf(&Vector::from_slice(&[0.0])) < -50.0,
+        "expired regime still in the global model"
+    );
+    assert!(after.log_pdf(&Vector::from_slice(&[80.0])) > -5.0);
+}
+
+#[test]
+fn tree_network_matches_flat_star_quality() {
+    // The same 4 streams deployed (a) as a 2-layer tree and (b) flat into
+    // one coordinator must both recover both dense regions.
+    let parent = vec![0, 0, 0, 1, 1, 2, 2];
+    let mut tree =
+        MultiLayerNetwork::new(parent, small_config(), CoordinatorConfig::default()).unwrap();
+    let leaves = tree.leaf_ids();
+    assert_eq!(leaves.len(), 4);
+
+    let mut flat_sites: Vec<cludistream_suite::cludistream::RemoteSite> = (0..4)
+        .map(|i| {
+            let mut c = small_config();
+            c.seed += i;
+            cludistream_suite::cludistream::RemoteSite::new(c).unwrap()
+        })
+        .collect();
+    let mut flat = Coordinator::new(CoordinatorConfig::default());
+
+    let chunk = tree.leaf(leaves[0]).unwrap().chunk_size();
+    for (slot, &leaf) in leaves.iter().enumerate() {
+        let center = if slot < 2 { 0.0 } else { 60.0 };
+        for x in blob(center, 2 * chunk, 20 + slot as u64) {
+            tree.push(leaf, x.clone()).unwrap();
+            flat_sites[slot].push(x).unwrap();
+        }
+        for ev in flat_sites[slot].drain_events() {
+            flat.apply(&Message::from_site_event(slot as u32, ev)).unwrap();
+        }
+    }
+
+    let tree_model = tree.root_mixture().unwrap();
+    let flat_model = flat.global_mixture().unwrap();
+    for probe in [0.0, 60.0] {
+        let p = Vector::from_slice(&[probe]);
+        let (t, f) = (tree_model.log_pdf(&p), flat_model.log_pdf(&p));
+        assert!(t > -6.0, "tree missed region {probe}: {t}");
+        assert!(f > -6.0, "flat missed region {probe}: {f}");
+        assert!((t - f).abs() < 4.0, "tree and flat diverge at {probe}: {t} vs {f}");
+    }
+}
+
+#[test]
+fn multilayer_traffic_is_event_driven() {
+    let parent = vec![0, 0, 0];
+    let mut net =
+        MultiLayerNetwork::new(parent, small_config(), CoordinatorConfig::default()).unwrap();
+    let chunk = net.leaf(1).unwrap().chunk_size();
+    // Warm up both leaves.
+    for (leaf, seed) in [(1usize, 31u64), (2, 32)] {
+        for x in blob(0.0, chunk, seed) {
+            net.push(leaf, x).unwrap();
+        }
+    }
+    let warm = net.bytes_up();
+    assert!(warm > 0);
+    // Stability: four more chunks each, no new traffic.
+    for (leaf, seed) in [(1usize, 33u64), (2, 34)] {
+        for x in blob(0.0, 4 * chunk, seed) {
+            net.push(leaf, x).unwrap();
+        }
+    }
+    assert_eq!(net.bytes_up(), warm, "stable leaves must stay silent");
+}
+
+#[test]
+fn change_detection_follows_generator_history() {
+    use cludistream_suite::cludistream::ChangeDetector;
+    let config = small_config();
+    let mut detector =
+        ChangeDetector::new(cludistream_suite::cludistream::RemoteSite::new(config).unwrap());
+    let chunk = detector.site().chunk_size();
+    let mut stream = EvolvingStream::new(EvolvingStreamConfig {
+        dim: 1,
+        k: 1,
+        p_new: 1.0,
+        regime_len: 2 * chunk,
+        seed: 41,
+        ..Default::default()
+    });
+    for _ in 0..(12 * chunk) {
+        let x = stream.next().unwrap();
+        detector.push(x).unwrap();
+    }
+    let truth = stream.history().len() - 1;
+    let detected = detector.changes().len();
+    // Mean-range (-10,10) regimes occasionally resemble each other; allow
+    // one miss either way but demand substantial agreement.
+    assert!(
+        (detected as i64 - truth as i64).abs() <= 1,
+        "detected {detected} changes vs {truth} true switches"
+    );
+}
