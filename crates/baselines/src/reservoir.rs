@@ -1,4 +1,4 @@
-use rand::Rng;
+use cludistream_rng::Rng;
 
 /// Classic Algorithm-R reservoir sampler: a uniform sample of fixed
 /// capacity over an unbounded stream.
@@ -49,8 +49,7 @@ impl<T> ReservoirSampler<T> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use cludistream_rng::StdRng;
 
     #[test]
     fn fills_to_capacity_then_stays() {

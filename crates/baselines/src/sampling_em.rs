@@ -1,8 +1,7 @@
 use crate::ReservoirSampler;
 use cludistream_gmm::{fit_em, EmConfig, GmmError, Mixture};
 use cludistream_linalg::Vector;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use cludistream_rng::StdRng;
 
 /// Configuration of the sampling-based EM baseline (paper Fig. 6).
 #[derive(Debug, Clone)]

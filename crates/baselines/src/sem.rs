@@ -382,8 +382,7 @@ fn extended_em<'a>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use cludistream_rng::StdRng;
 
     fn two_blob_data(n: usize, seed: u64) -> Vec<Vector> {
         let m = Mixture::new(

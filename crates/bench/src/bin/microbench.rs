@@ -1,0 +1,275 @@
+//! Microbenchmark runner: the in-repo replacement for the former
+//! criterion bench suite, printing the same series over the same
+//! workloads with the `timing::best_of` harness.
+//!
+//! ```text
+//! microbench              # every group
+//! microbench em codec     # specific groups
+//! microbench --list       # available group ids
+//! ```
+//!
+//! Each line is `group/benchmark/param: <best> s (best of N)`, where
+//! "best" is the minimum wall time over N runs — the noise-robust
+//! micro-measurement convention `timing::best_of` implements.
+
+use cludistream::{Config, Coordinator, CoordinatorConfig, Message, ModelId, RemoteSite};
+use cludistream::coordinator::{j_merge, m_merge, MergeRefiner};
+use cludistream_bench::{timing::best_of, workloads};
+use cludistream_datagen::random_spd_matrix;
+use cludistream_gmm::codec::{decode_mixture, encode_mixture};
+use cludistream_gmm::{
+    avg_log_likelihood, fit_em, fit_tolerance, free_parameters, ChunkParams, CovarianceType,
+    EmConfig, Mixture,
+};
+use cludistream_linalg::{jacobi_eigen, Cholesky, Vector};
+use cludistream_rng::StdRng;
+use std::process::ExitCode;
+
+const GROUPS: &[(&str, fn())] = &[
+    ("em", bench_em),
+    ("test_vs_cluster", bench_test_vs_cluster),
+    ("merge", bench_merge),
+    ("codec", bench_codec),
+    ("linalg", bench_linalg),
+    ("pipeline", bench_pipeline),
+];
+
+/// Repetitions per measurement; the printed number is the minimum.
+const RUNS: usize = 10;
+
+fn report(group: &str, name: &str, param: &str, seconds: f64) {
+    if param.is_empty() {
+        println!("{group}/{name}: {seconds:.6} s (best of {RUNS})");
+    } else {
+        println!("{group}/{name}/{param}: {seconds:.6} s (best of {RUNS})");
+    }
+}
+
+/// EM iteration cost vs dimensionality, component count, and chunk size —
+/// the microbenchmark behind the Figs. 8-9 scalability claims.
+fn bench_em() {
+    for d in [2usize, 4, 8, 16] {
+        let mut stream = workloads::synthetic_boxed(d, 5, 0.0, 1);
+        let data = workloads::collect(&mut *stream, 1000);
+        let t = best_of(RUNS, || {
+            fit_em(&data, &EmConfig { k: 5, max_iters: 10, tol: 0.0, seed: 2, ..Default::default() })
+                .expect("EM fits")
+        });
+        report("em", "dim", &d.to_string(), t);
+    }
+    for k in [2usize, 5, 10, 20] {
+        let mut stream = workloads::synthetic_boxed(4, 5, 0.0, 3);
+        let data = workloads::collect(&mut *stream, 1000);
+        let t = best_of(RUNS, || {
+            fit_em(&data, &EmConfig { k, max_iters: 10, tol: 0.0, seed: 4, ..Default::default() })
+                .expect("EM fits")
+        });
+        report("em", "k", &k.to_string(), t);
+    }
+    for n in [500usize, 1000, 2000, 4000] {
+        let mut stream = workloads::synthetic_boxed(4, 5, 0.0, 5);
+        let data = workloads::collect(&mut *stream, n);
+        let t = best_of(RUNS, || {
+            fit_em(&data, &EmConfig { k: 5, max_iters: 10, tol: 0.0, seed: 6, ..Default::default() })
+                .expect("EM fits")
+        });
+        report("em", "n", &n.to_string(), t);
+    }
+}
+
+/// The λ of Theorem 4: testing a chunk against a model vs clustering it
+/// with EM — both sides of the `(P_d + λ(1−P_d))·C` per-chunk cost.
+fn bench_test_vs_cluster() {
+    let m = ChunkParams::PAPER_DEFAULTS.chunk_size(4).expect("valid params");
+    let mut stream = workloads::synthetic_boxed(4, 5, 0.0, 1);
+    let chunk = workloads::collect(&mut *stream, m);
+    let fit =
+        fit_em(&chunk, &EmConfig { k: 5, seed: 2, ..Default::default() }).expect("EM fits");
+    let mixture = fit.mixture;
+
+    let t = best_of(RUNS, || {
+        let avg = avg_log_likelihood(&mixture, &chunk);
+        let p = free_parameters(5, 4, CovarianceType::Full);
+        let tol = fit_tolerance(0.02, 0.01, 1.0, chunk.len(), p);
+        (avg, tol)
+    });
+    report("test_vs_cluster", "distribution_test", "", t);
+
+    let t = best_of(RUNS, || {
+        fit_em(&chunk, &EmConfig { k: 5, seed: 3, ..Default::default() }).expect("EM fits")
+    });
+    report("test_vs_cluster", "em_clustering", "", t);
+}
+
+/// Coordinator merge machinery: `M_merge`, `J_merge` (for contrast — it
+/// needs raw data), the moment-preserving merge, and the Nelder-Mead
+/// refinement.
+fn bench_merge() {
+    let mut stream = workloads::synthetic_boxed(4, 5, 0.0, 1);
+    let data = workloads::collect(&mut *stream, 2000);
+    let fit = fit_em(&data, &EmConfig { k: 8, seed: 2, ..Default::default() }).expect("EM fits");
+    let mixture: Mixture = fit.mixture;
+    let (a, b) = (&mixture.components()[0], &mixture.components()[1]);
+
+    report("merge", "m_merge_pair", "", best_of(RUNS, || m_merge(a, b)));
+    report(
+        "merge",
+        "j_merge_pair_2000pts",
+        "",
+        best_of(RUNS, || j_merge(&mixture, 0, 1, &data)),
+    );
+    report(
+        "merge",
+        "moment_merge",
+        "",
+        best_of(RUNS, || mixture.moment_merge(0, 1).expect("valid merge")),
+    );
+    let refiner = MergeRefiner { samples: 128, max_evals: 300, seed: 3 };
+    report(
+        "merge",
+        "simplex_refined_merge",
+        "",
+        best_of(RUNS, || refiner.refine(0.5, a, 0.5, b)),
+    );
+}
+
+/// Wire-codec throughput and message sizes: the synopsis encoding that
+/// every communication-cost number rests on.
+fn bench_codec() {
+    let mut stream = workloads::synthetic_boxed(4, 5, 0.0, 1);
+    let data = workloads::collect(&mut *stream, 1000);
+    let fit = fit_em(&data, &EmConfig { k: 5, seed: 2, ..Default::default() }).expect("EM fits");
+    let mixture = fit.mixture;
+
+    for (name, cov) in [("full", CovarianceType::Full), ("diag", CovarianceType::Diagonal)] {
+        report("codec", "encode", name, best_of(RUNS, || encode_mixture(&mixture, cov)));
+        let bytes = encode_mixture(&mixture, cov);
+        report(
+            "codec",
+            "decode",
+            name,
+            best_of(RUNS, || decode_mixture(&mut bytes.reader()).expect("valid buffer")),
+        );
+    }
+
+    let msg = Message::NewModel {
+        site: 0,
+        model: ModelId(0),
+        count: 1567,
+        avg_ll: -2.0,
+        mixture: mixture.clone(),
+    };
+    report(
+        "codec",
+        "message_roundtrip",
+        "",
+        best_of(RUNS, || {
+            let bytes = msg.encode(CovarianceType::Full);
+            Message::decode(&mut bytes.reader()).expect("valid message")
+        }),
+    );
+}
+
+/// Dense-kernel microbenchmarks: Cholesky factorization, triangular
+/// solves, Mahalanobis quadratic forms, and the Jacobi eigensolver.
+fn bench_linalg() {
+    for d in [4usize, 8, 16, 32] {
+        let mut rng = StdRng::seed_from_u64(d as u64);
+        let spd = random_spd_matrix(d, (0.5, 2.0), &mut rng);
+        let chol = Cholesky::new(&spd).expect("SPD");
+        let x: Vector = (0..d).map(|i| i as f64 * 0.1).collect();
+        let mu = Vector::zeros(d);
+        let p = &d.to_string();
+
+        report("linalg", "cholesky", p, best_of(RUNS, || Cholesky::new(&spd).expect("SPD")));
+        report("linalg", "mahalanobis", p, best_of(RUNS, || chol.mahalanobis_sq(&x, &mu)));
+        report("linalg", "solve", p, best_of(RUNS, || chol.solve(&x)));
+        report("linalg", "inverse", p, best_of(RUNS, || chol.inverse()));
+        report(
+            "linalg",
+            "jacobi_eigen",
+            p,
+            best_of(RUNS, || jacobi_eigen(&spd, 100).expect("converges")),
+        );
+    }
+}
+
+/// End-to-end pipeline: remote-site record throughput (the steady-state
+/// "test only" path) and coordinator message-application throughput.
+fn bench_pipeline() {
+    let config = Config {
+        dim: 4,
+        k: 5,
+        chunk: ChunkParams::PAPER_DEFAULTS,
+        seed: 1,
+        ..Default::default()
+    };
+    let mut stream = workloads::synthetic_boxed(4, 5, 0.0, 2);
+    let t = best_of(RUNS, || {
+        let mut site = RemoteSite::new(config.clone()).expect("valid config");
+        // Warm up one chunk so a model exists, then time 10k records on
+        // the steady-state path. Setup is inside the closure (like the
+        // old iter_batched), so the printed time includes one warm-up
+        // chunk — constant across runs and dominated by the 10k pushes.
+        for _ in 0..site.chunk_size() {
+            site.push(stream.next().expect("infinite")).expect("processes");
+        }
+        let records = workloads::collect(&mut *stream, 10_000);
+        for x in records {
+            site.push(x).expect("processes");
+        }
+        site
+    });
+    report("pipeline", "steady_state_10k_records", "", t);
+
+    let mut stream = workloads::synthetic_boxed(4, 5, 0.0, 3);
+    let data = workloads::collect(&mut *stream, 2000);
+    let fit = fit_em(&data, &EmConfig { k: 5, seed: 4, ..Default::default() }).expect("fits");
+    let messages: Vec<Message> = (0..100)
+        .map(|i| Message::NewModel {
+            site: (i % 20) as u32,
+            model: ModelId(i / 20),
+            count: 1567,
+            avg_ll: -2.0,
+            mixture: fit.mixture.clone(),
+        })
+        .collect();
+    let t = best_of(RUNS, || {
+        let mut coord = Coordinator::new(CoordinatorConfig::default());
+        for m in &messages {
+            coord.apply(m).expect("valid update");
+        }
+        coord
+    });
+    report("pipeline", "apply_100_new_models", "", t);
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--list") {
+        for (id, _) in GROUPS {
+            println!("{id}");
+        }
+        return ExitCode::SUCCESS;
+    }
+    let selected: Vec<&(&str, fn())> = if args.is_empty() {
+        GROUPS.iter().collect()
+    } else {
+        let mut sel = Vec::new();
+        for a in &args {
+            match GROUPS.iter().find(|(id, _)| id == a) {
+                Some(g) => sel.push(g),
+                None => {
+                    eprintln!("unknown group {a}; try --list");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        sel
+    };
+    for (id, run) in selected {
+        println!("######## {id} ########");
+        run();
+    }
+    ExitCode::SUCCESS
+}

@@ -84,8 +84,7 @@ pub fn cycling_stream(
     seed: u64,
 ) -> impl Iterator<Item = Vector> {
     use cludistream_datagen::{random_mixture, MixtureGenConfig};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use cludistream_rng::StdRng;
     let mut rng = StdRng::seed_from_u64(seed);
     let cfg = MixtureGenConfig { dim, k, ..Default::default() };
     let regimes: Vec<Mixture> = (0..n_regimes).map(|_| random_mixture(&cfg, &mut rng)).collect();
@@ -109,8 +108,7 @@ pub fn separated_cycling_stream(
     seed: u64,
 ) -> impl Iterator<Item = Vector> {
     use cludistream_gmm::Gaussian;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use cludistream_rng::StdRng;
     let mut rng = StdRng::seed_from_u64(seed);
     let regimes: Vec<Mixture> = (0..n_regimes)
         .map(|r| {

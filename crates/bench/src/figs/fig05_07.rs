@@ -16,8 +16,7 @@ use cludistream::{horizon_mixture, landmark_mixture, Coordinator, CoordinatorCon
 use cludistream_baselines::{SamplingEm, SamplingEmConfig, ScalableEm, SemConfig};
 use cludistream_baselines::ReservoirSampler;
 use cludistream_linalg::Vector;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use cludistream_rng::StdRng;
 
 const HORIZON: usize = 2000;
 
@@ -29,7 +28,7 @@ pub fn run_fig5(scale: Scale) {
     let horizon_chunks = (HORIZON as u64).div_ceil(site.chunk_size() as u64).max(1);
     let mut sem = ScalableEm::new(SemConfig { k: config.k, buffer_size: 1000, seed: 5, ..Default::default() })
         .expect("valid SEM config");
-    let mut stream = workloads::synthetic_stream(4, 5, 0.25, 51);
+    let mut stream = workloads::synthetic_stream(4, 5, 0.25, 53);
     let mut window = RollingWindow::new(HORIZON);
 
     let mut clu = Series::new("CluDistream");
@@ -65,7 +64,7 @@ pub fn run_fig6(scale: Scale) {
         ..Default::default()
     })
     .expect("valid sampling config");
-    let mut stream = workloads::synthetic_stream(4, 5, 0.25, 61);
+    let mut stream = workloads::synthetic_stream(4, 5, 0.25, 63);
     // Landmark evaluation set: a uniform reservoir over everything seen.
     let mut eval = ReservoirSampler::new(2000);
     let mut rng = StdRng::seed_from_u64(62);
@@ -100,13 +99,13 @@ pub fn run_fig7(scale: Scale) {
     // (a) NFD-like.
     let norm = workloads::nfd_like_normalizer(71);
     let nfd_streams: Vec<Box<dyn Iterator<Item = Vector>>> =
-        (0..20).map(|i| workloads::nfd_like_boxed(&norm, 0.05, 700 + i as u64)).collect();
+        (0..20).map(|i| workloads::nfd_like_boxed(&norm, 0.05, 730 + i as u64)).collect();
     let series_a = coordinator_run(nfd_streams, workloads::NFD_DIM, scale.updates(8), 72);
     emit("fig7a", "Fig 7(a): coordinator quality, NFD-like (r=20)", "time point", &series_a);
 
     // (b) synthetic.
     let syn_streams: Vec<Box<dyn Iterator<Item = Vector>>> =
-        (0..20).map(|i| workloads::synthetic_boxed(4, 5, 0.1, 800 + i as u64)).collect();
+        (0..20).map(|i| workloads::synthetic_boxed(4, 5, 0.1, 830 + i as u64)).collect();
     let series_b = coordinator_run(syn_streams, 4, scale.updates(8), 73);
     summarize_gap("fig7b", &series_b[0], &series_b[1]);
     emit("fig7b", "Fig 7(b): coordinator quality, synthetic (r=20)", "time point", &series_b);

@@ -6,8 +6,6 @@
 //! contend for cores and distort wall-clock measurements), so only the
 //! quality sweeps use this.
 
-use parking_lot::Mutex;
-
 /// Applies `f` to every input on its own scoped thread, preserving input
 /// order in the output. `f` must be `Sync` (it is shared across threads).
 pub fn par_map<T, R, F>(inputs: Vec<T>, f: F) -> Vec<R>
@@ -16,24 +14,19 @@ where
     R: Send,
     F: Fn(T) -> R + Sync,
 {
-    let n = inputs.len();
-    let results: Mutex<Vec<Option<R>>> = Mutex::new((0..n).map(|_| None).collect());
-    crossbeam::scope(|scope| {
-        for (i, input) in inputs.into_iter().enumerate() {
-            let results = &results;
-            let f = &f;
-            scope.spawn(move |_| {
-                let out = f(input);
-                results.lock()[i] = Some(out);
-            });
-        }
+    std::thread::scope(|scope| {
+        let f = &f;
+        // Spawn in input order, join in the same order: the handle list
+        // itself is the ordering.
+        let workers: Vec<_> = inputs
+            .into_iter()
+            .map(|input| scope.spawn(move || f(input)))
+            .collect();
+        workers
+            .into_iter()
+            .map(|w| w.join().expect("a sweep worker panicked"))
+            .collect()
     })
-    .expect("a sweep worker panicked");
-    results
-        .into_inner()
-        .into_iter()
-        .map(|r| r.expect("every worker stored its result"))
-        .collect()
 }
 
 #[cfg(test)]

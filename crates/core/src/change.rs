@@ -95,8 +95,7 @@ mod tests {
     use super::*;
     use crate::config::Config;
     use cludistream_gmm::{ChunkParams, Gaussian};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use cludistream_rng::StdRng;
 
     fn small_config() -> Config {
         Config {

@@ -207,8 +207,7 @@ mod tests {
 
     #[test]
     fn randomized_agreement_with_linear_scan() {
-        use rand::rngs::StdRng;
-        use rand::{Rng, SeedableRng};
+        use cludistream_rng::{Rng, StdRng};
         let mut rng = StdRng::seed_from_u64(9);
         for trial in 0..20 {
             let n = rng.gen_range(1..40);

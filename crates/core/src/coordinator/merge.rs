@@ -11,8 +11,7 @@
 use cludistream_gmm::{sample_standard_normal, Gaussian, Mixture};
 use cludistream_linalg::{Cholesky, Matrix, Vector};
 use cludistream_optimize::{NelderMead, NelderMeadConfig};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use cludistream_rng::StdRng;
 
 /// Floor applied to distances before inversion, so coincident components
 /// produce a large-but-finite `M_merge`.

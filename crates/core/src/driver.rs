@@ -12,7 +12,7 @@ use cludistream_linalg::Vector;
 use cludistream_simnet::{
     CommStats, Context, LinkModel, Node, NodeId, SimError, Simulation, Topology, MICROS_PER_SEC,
 };
-use bytes::Bytes;
+use cludistream_wire::ByteBuf;
 
 /// A boxed record stream feeding one site.
 pub type RecordStream = Box<dyn Iterator<Item = Vector>>;
@@ -80,7 +80,7 @@ struct SiteNode {
 }
 
 impl SiteNode {
-    fn tick(&mut self, ctx: &mut Context<'_, Bytes>) {
+    fn tick(&mut self, ctx: &mut Context<'_, ByteBuf>) {
         if self.error.is_some() {
             return;
         }
@@ -110,18 +110,18 @@ impl SiteNode {
     }
 }
 
-impl Node<Bytes> for SiteNode {
-    fn on_start(&mut self, ctx: &mut Context<'_, Bytes>) {
+impl Node<ByteBuf> for SiteNode {
+    fn on_start(&mut self, ctx: &mut Context<'_, ByteBuf>) {
         if self.remaining > 0 {
             ctx.set_timer(self.interval_us, 0);
         }
     }
 
-    fn on_message(&mut self, _ctx: &mut Context<'_, Bytes>, _from: NodeId, _msg: Bytes) {
+    fn on_message(&mut self, _ctx: &mut Context<'_, ByteBuf>, _from: NodeId, _msg: ByteBuf) {
         // Sites receive nothing in the basic protocol.
     }
 
-    fn on_timer(&mut self, ctx: &mut Context<'_, Bytes>, _tag: u64) {
+    fn on_timer(&mut self, ctx: &mut Context<'_, ByteBuf>, _tag: u64) {
         self.tick(ctx);
     }
 }
@@ -133,9 +133,9 @@ struct CoordinatorNode {
     apply_errors: u64,
 }
 
-impl Node<Bytes> for CoordinatorNode {
-    fn on_message(&mut self, _ctx: &mut Context<'_, Bytes>, _from: NodeId, msg: Bytes) {
-        match Message::decode(&mut msg.clone()) {
+impl Node<ByteBuf> for CoordinatorNode {
+    fn on_message(&mut self, _ctx: &mut Context<'_, ByteBuf>, _from: NodeId, msg: ByteBuf) {
+        match Message::decode(&mut msg.reader()) {
             Ok(m) => {
                 if self.coordinator.apply(&m).is_err() {
                     self.apply_errors += 1;
@@ -177,7 +177,7 @@ pub fn run_star(
     assert!(config.records_per_second > 0, "arrival rate must be positive");
     assert!(config.batch > 0, "batch must be positive");
     let r = streams.len();
-    let mut sim: Simulation<Bytes> = Simulation::new(Topology::star(r), config.link);
+    let mut sim: Simulation<ByteBuf> = Simulation::new(Topology::star(r), config.link);
     let coordinator_id = Topology::star_hub(r);
     let interval_us = (config.batch as u64 * MICROS_PER_SEC) / config.records_per_second;
 
@@ -249,16 +249,16 @@ struct WindowedSiteNode {
     error: Option<GmmError>,
 }
 
-impl Node<Bytes> for WindowedSiteNode {
-    fn on_start(&mut self, ctx: &mut Context<'_, Bytes>) {
+impl Node<ByteBuf> for WindowedSiteNode {
+    fn on_start(&mut self, ctx: &mut Context<'_, ByteBuf>) {
         if self.remaining > 0 {
             ctx.set_timer(self.interval_us, 0);
         }
     }
 
-    fn on_message(&mut self, _ctx: &mut Context<'_, Bytes>, _from: NodeId, _msg: Bytes) {}
+    fn on_message(&mut self, _ctx: &mut Context<'_, ByteBuf>, _from: NodeId, _msg: ByteBuf) {}
 
-    fn on_timer(&mut self, ctx: &mut Context<'_, Bytes>, _tag: u64) {
+    fn on_timer(&mut self, ctx: &mut Context<'_, ByteBuf>, _tag: u64) {
         if self.error.is_some() {
             return;
         }
@@ -311,7 +311,7 @@ pub fn run_star_windowed(
     assert!(config.records_per_second > 0, "arrival rate must be positive");
     assert!(config.batch > 0, "batch must be positive");
     let r = streams.len();
-    let mut sim: Simulation<Bytes> = Simulation::new(Topology::star(r), config.link);
+    let mut sim: Simulation<ByteBuf> = Simulation::new(Topology::star(r), config.link);
     let coordinator_id = Topology::star_hub(r);
     let interval_us = (config.batch as u64 * MICROS_PER_SEC) / config.records_per_second;
 
@@ -373,8 +373,7 @@ pub fn run_star_windowed(
 mod tests {
     use super::*;
     use cludistream_gmm::{ChunkParams, Gaussian};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use cludistream_rng::StdRng;
 
     fn small_config() -> DriverConfig {
         DriverConfig {
@@ -414,7 +413,7 @@ mod tests {
         let cfg = small_config();
         let chunk = RemoteSite::new(cfg.site.clone()).unwrap().chunk_size() as u64;
         let streams: Vec<RecordStream> =
-            vec![stable_stream(0.0, 3), stable_stream(0.0, 4)];
+            vec![stable_stream(0.0, 21), stable_stream(0.0, 22)];
         let report = run_star(streams, 5 * chunk, cfg).unwrap();
         // One NewModel message per site and nothing else.
         assert_eq!(report.comm.total_messages(), 2, "stability violated");

@@ -10,7 +10,7 @@
 use crate::remote::{ModelId, SiteEvent};
 use cludistream_gmm::codec::{decode_mixture, encode_mixture, encoded_len};
 use cludistream_gmm::{CovarianceType, GmmError, Mixture};
-use bytes::{Buf, BufMut, Bytes, BytesMut};
+use cludistream_wire::{ByteBuf, ByteReader};
 
 /// A message from a remote site to the coordinator.
 #[derive(Debug, Clone)]
@@ -102,8 +102,8 @@ impl Message {
     }
 
     /// Encodes the message.
-    pub fn encode(&self, cov: CovarianceType) -> Bytes {
-        let mut buf = BytesMut::with_capacity(self.wire_bytes(cov));
+    pub fn encode(&self, cov: CovarianceType) -> ByteBuf {
+        let mut buf = ByteBuf::with_capacity(self.wire_bytes(cov));
         match self {
             Message::NewModel { site, model, count, avg_ll, mixture } => {
                 buf.put_u8(TAG_NEW_MODEL);
@@ -126,11 +126,11 @@ impl Message {
                 buf.put_u64_le(*count_delta);
             }
         }
-        buf.freeze()
+        buf
     }
 
     /// Decodes a message produced by [`Message::encode`].
-    pub fn decode(buf: &mut impl Buf) -> Result<Message, GmmError> {
+    pub fn decode(buf: &mut ByteReader<'_>) -> Result<Message, GmmError> {
         if buf.remaining() < HEADER_BYTES {
             return Err(GmmError::Codec("truncated message header"));
         }
@@ -191,7 +191,7 @@ mod tests {
         };
         let bytes = msg.encode(CovarianceType::Full);
         assert_eq!(bytes.len(), msg.wire_bytes(CovarianceType::Full));
-        let back = Message::decode(&mut bytes.clone()).unwrap();
+        let back = Message::decode(&mut bytes.reader()).unwrap();
         match back {
             Message::NewModel { site, model, count, avg_ll, mixture: m } => {
                 assert_eq!(site, 3);
@@ -209,7 +209,7 @@ mod tests {
         let msg = Message::WeightUpdate { site: 1, model: ModelId(4), count_delta: 100 };
         let bytes = msg.encode(CovarianceType::Full);
         assert_eq!(bytes.len(), 21);
-        match Message::decode(&mut bytes.clone()).unwrap() {
+        match Message::decode(&mut bytes.reader()).unwrap() {
             Message::WeightUpdate { site, model, count_delta } => {
                 assert_eq!((site, model, count_delta), (1, ModelId(4), 100));
             }
@@ -221,7 +221,7 @@ mod tests {
     fn delete_roundtrip() {
         let msg = Message::Delete { site: 2, model: ModelId(0), count_delta: 42 };
         let bytes = msg.encode(CovarianceType::Full);
-        match Message::decode(&mut bytes.clone()).unwrap() {
+        match Message::decode(&mut bytes.reader()).unwrap() {
             Message::Delete { site, model, count_delta } => {
                 assert_eq!((site, model, count_delta), (2, ModelId(0), 42));
             }
@@ -273,11 +273,11 @@ mod tests {
     fn truncated_and_corrupt_rejected() {
         let msg = Message::WeightUpdate { site: 1, model: ModelId(4), count_delta: 100 };
         let bytes = msg.encode(CovarianceType::Full);
-        assert!(Message::decode(&mut bytes.slice(..5)).is_err());
-        assert!(Message::decode(&mut bytes.slice(..HEADER_BYTES)).is_err());
-        let mut corrupt = BytesMut::from(&bytes[..]);
+        assert!(Message::decode(&mut bytes.slice(..5).reader()).is_err());
+        assert!(Message::decode(&mut bytes.slice(..HEADER_BYTES).reader()).is_err());
+        let mut corrupt = bytes.clone();
         corrupt[0] = 77; // unknown tag
-        assert!(Message::decode(&mut corrupt.freeze()).is_err());
+        assert!(Message::decode(&mut corrupt.reader()).is_err());
     }
 
     #[test]
@@ -293,7 +293,7 @@ mod tests {
         let diag = msg.encode(CovarianceType::Diagonal);
         assert!(diag.len() < full.len());
         assert_eq!(diag.len(), msg.wire_bytes(CovarianceType::Diagonal));
-        match Message::decode(&mut diag.clone()).unwrap() {
+        match Message::decode(&mut diag.reader()).unwrap() {
             Message::NewModel { mixture: m, .. } => {
                 assert_eq!(m.k(), 2);
                 // Off-diagonals dropped by the d-vector representation.

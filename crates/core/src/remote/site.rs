@@ -365,8 +365,7 @@ impl RemoteSite {
 mod tests {
     use super::*;
     use cludistream_gmm::{ChunkParams, Gaussian};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use cludistream_rng::StdRng;
 
     /// Small-chunk config so tests run fast: 1-d, K=2, M computed from
     /// loose ε.
@@ -437,8 +436,8 @@ mod tests {
     #[test]
     fn distribution_change_creates_new_model() {
         let mut site = RemoteSite::new(test_config()).unwrap();
-        let (a, mut rng_a) = sampler(0.0, 3);
-        let (b, mut rng_b) = sampler(50.0, 4);
+        let (a, mut rng_a) = sampler(0.0, 23);
+        let (b, mut rng_b) = sampler(50.0, 24);
         feed_chunks(&mut site, &a, &mut rng_a, 2);
         let outcomes = feed_chunks(&mut site, &b, &mut rng_b, 2);
         assert!(
@@ -507,7 +506,7 @@ mod tests {
     #[test]
     fn memory_grows_with_models_not_records() {
         let mut site = RemoteSite::new(test_config()).unwrap();
-        let (a, mut rng) = sampler(0.0, 10);
+        let (a, mut rng) = sampler(0.0, 30);
         feed_chunks(&mut site, &a, &mut rng, 1);
         let after_one = site.memory_bytes();
         feed_chunks(&mut site, &a, &mut rng, 5);

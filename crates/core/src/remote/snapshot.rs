@@ -28,7 +28,7 @@ use crate::remote::site::{RemoteSite, SiteStats};
 use cludistream_gmm::codec::{decode_mixture, encode_mixture};
 use cludistream_gmm::{CovarianceType, GmmError};
 use cludistream_linalg::Vector;
-use bytes::{Buf, BufMut, Bytes, BytesMut};
+use cludistream_wire::{ByteBuf, ByteReader};
 
 const MAGIC: u32 = 0x434C_4453; // "CLDS"
 const VERSION: u16 = 1;
@@ -36,8 +36,8 @@ const VERSION: u16 = 1;
 impl RemoteSite {
     /// Serializes the full site state. Restore with
     /// [`RemoteSite::restore`] under the *same configuration*.
-    pub fn snapshot(&self) -> Bytes {
-        let mut buf = BytesMut::new();
+    pub fn snapshot(&self) -> ByteBuf {
+        let mut buf = ByteBuf::new();
         buf.put_u32_le(MAGIC);
         buf.put_u16_le(VERSION);
         buf.put_u32_le(self.config().dim as u32);
@@ -93,13 +93,13 @@ impl RemoteSite {
                 buf.put_f64_le(v);
             }
         }
-        buf.freeze()
+        buf
     }
 
     /// Restores a site from a [`RemoteSite::snapshot`]. The configuration
     /// must match the one the snapshot was taken under (dimensionality is
     /// validated; the rest is the caller's contract).
-    pub fn restore(config: crate::Config, snapshot: &mut impl Buf) -> Result<Self, GmmError> {
+    pub fn restore(config: crate::Config, snapshot: &mut ByteReader<'_>) -> Result<Self, GmmError> {
         if snapshot.remaining() < 4 + 2 + 4 {
             return Err(GmmError::Codec("truncated snapshot header"));
         }
@@ -233,8 +233,7 @@ mod tests {
     use crate::Config;
     use cludistream_gmm::{ChunkParams, Gaussian, GmmError};
     use cludistream_linalg::Vector;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use cludistream_rng::StdRng;
 
     fn config() -> Config {
         Config {
@@ -264,7 +263,7 @@ mod tests {
     fn roundtrip_preserves_all_state() {
         let original = busy_site();
         let snap = original.snapshot();
-        let restored = RemoteSite::restore(config(), &mut snap.clone()).unwrap();
+        let restored = RemoteSite::restore(config(), &mut snap.reader()).unwrap();
         assert_eq!(restored.stats(), original.stats());
         assert_eq!(restored.chunk_index(), original.chunk_index());
         assert_eq!(restored.current_model(), original.current_model());
@@ -286,7 +285,7 @@ mod tests {
     fn restored_site_continues_identically() {
         let mut original = busy_site();
         let snap = original.snapshot();
-        let mut restored = RemoteSite::restore(config(), &mut snap.clone()).unwrap();
+        let mut restored = RemoteSite::restore(config(), &mut snap.reader()).unwrap();
         // Feed both the same continuation and compare behaviour.
         let g = Gaussian::spherical(Vector::from_slice(&[40.0, 40.0]), 0.5).unwrap();
         let mut rng = StdRng::seed_from_u64(2);
@@ -306,7 +305,7 @@ mod tests {
         let mut other = config();
         other.dim = 3;
         assert!(matches!(
-            RemoteSite::restore(other, &mut snap.clone()),
+            RemoteSite::restore(other, &mut snap.reader()),
             Err(GmmError::DimensionMismatch { .. })
         ));
     }
@@ -317,20 +316,20 @@ mod tests {
         let snap = site.snapshot();
         // Truncations at various depths.
         for cut in [0, 3, 9, 20, snap.len() / 2, snap.len() - 1] {
-            let mut slice = snap.slice(..cut);
-            assert!(RemoteSite::restore(config(), &mut slice).is_err(), "cut {cut} accepted");
+            let slice = snap.slice(..cut);
+            assert!(RemoteSite::restore(config(), &mut slice.reader()).is_err(), "cut {cut} accepted");
         }
         // Bad magic.
-        let mut corrupt = bytes::BytesMut::from(&snap[..]);
+        let mut corrupt = snap.clone();
         corrupt[0] ^= 0xFF;
-        assert!(RemoteSite::restore(config(), &mut corrupt.freeze()).is_err());
+        assert!(RemoteSite::restore(config(), &mut corrupt.reader()).is_err());
     }
 
     #[test]
     fn fresh_site_snapshot_roundtrips() {
         let site = RemoteSite::new(config()).unwrap();
         let snap = site.snapshot();
-        let restored = RemoteSite::restore(config(), &mut snap.clone()).unwrap();
+        let restored = RemoteSite::restore(config(), &mut snap.reader()).unwrap();
         assert_eq!(restored.models().len(), 0);
         assert_eq!(restored.current_model(), None);
         assert_eq!(restored.chunk_index(), 0);

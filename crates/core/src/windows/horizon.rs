@@ -40,8 +40,7 @@ mod tests {
     use crate::config::Config;
     use cludistream_gmm::{ChunkParams, Gaussian};
     use cludistream_linalg::Vector;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use cludistream_rng::StdRng;
 
     fn feed(site: &mut RemoteSite, center: f64, chunks: usize, seed: u64) {
         let g = Gaussian::spherical(Vector::from_slice(&[center]), 0.5).unwrap();

@@ -136,8 +136,7 @@ impl SlidingWindowSite {
 mod tests {
     use super::*;
     use cludistream_gmm::{ChunkParams, Gaussian};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use cludistream_rng::StdRng;
 
     fn small_config() -> Config {
         Config {

@@ -1,6 +1,6 @@
 use cludistream_gmm::{Gaussian, Mixture};
 use cludistream_linalg::{Matrix, Vector};
-use rand::Rng;
+use cludistream_rng::Rng;
 
 /// Parameters for random mixture generation.
 #[derive(Debug, Clone)]
@@ -98,8 +98,7 @@ pub fn random_mixture<R: Rng + ?Sized>(config: &MixtureGenConfig, rng: &mut R) -
 mod tests {
     use super::*;
     use cludistream_linalg::jacobi_eigen;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use cludistream_rng::StdRng;
 
     #[test]
     fn spd_matrix_is_spd_with_bounded_spectrum() {

@@ -25,8 +25,7 @@
 use crate::powerlaw::Zipf;
 use cludistream_gmm::sample_standard_normal;
 use cludistream_linalg::Vector;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use cludistream_rng::{Rng, StdRng};
 
 /// Number of attributes in a net-flow record.
 pub const NETFLOW_DIM: usize = 6;

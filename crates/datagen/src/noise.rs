@@ -8,8 +8,7 @@
 //! back into dense vectors.
 
 use cludistream_linalg::Vector;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use cludistream_rng::{Rng, StdRng};
 
 /// Iterator adapter replacing each record, with probability `p`, by a
 /// uniform random point over a bounding box — the paper's "random noise".

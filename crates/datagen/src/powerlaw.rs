@@ -6,7 +6,7 @@
 //! probability `P_d` of a genuinely new distribution is small (< 0.1),
 //! which is what makes test-and-cluster profitable.
 
-use rand::Rng;
+use cludistream_rng::Rng;
 
 /// Zipf distribution over ranks `1..=n` with exponent `s`:
 /// `P(rank = k) ∝ k^(-s)`. Sampling is inverse-CDF over a precomputed
@@ -107,8 +107,7 @@ impl PowerLawEventProcess {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use cludistream_rng::StdRng;
 
     #[test]
     fn pmf_sums_to_one() {

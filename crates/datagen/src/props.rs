@@ -1,74 +1,91 @@
-//! Property-based tests over the generators and normalizers.
+//! Property-based tests over the generators and normalizers, driven by
+//! the seeded case harness in `cludistream_rng::check`.
 
 #![cfg(test)]
 
 use crate::{MinMaxNormalizer, StreamingNormalizer, Zipf};
 use cludistream_linalg::Vector;
-use proptest::prelude::*;
+use cludistream_rng::{check, Rng, StdRng};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+fn rows(
+    rng: &mut StdRng,
+    count: std::ops::Range<usize>,
+    dim: usize,
+    lo: f64,
+    hi: f64,
+) -> Vec<Vector> {
+    let n = rng.gen_range(count);
+    (0..n)
+        .map(|_| (0..dim).map(|_| rng.gen_range(lo..hi)).collect())
+        .collect()
+}
 
-    /// Min-max transforms of in-sample points always land in [0, 1].
-    #[test]
-    fn minmax_output_in_unit_cube(
-        rows in prop::collection::vec(prop::collection::vec(-100.0f64..100.0, 3), 2..30)
-    ) {
-        let sample: Vec<Vector> = rows.iter().map(|r| Vector::from_slice(r)).collect();
+/// Min-max transforms of in-sample points always land in [0, 1].
+#[test]
+fn minmax_output_in_unit_cube() {
+    check::cases("minmax_output_in_unit_cube", 64, |rng| {
+        let sample = rows(rng, 2..30, 3, -100.0, 100.0);
         let n = MinMaxNormalizer::fit(&sample);
         for x in &sample {
             let t = n.transform(x);
-            prop_assert!(t.iter().all(|&v| (0.0..=1.0).contains(&v)), "out of range: {t}");
+            assert!(t.iter().all(|&v| (0.0..=1.0).contains(&v)), "out of range: {t}");
         }
-    }
+    });
+}
 
-    /// Out-of-sample points clamp rather than escape the cube.
-    #[test]
-    fn minmax_clamps_everything(
-        rows in prop::collection::vec(prop::collection::vec(-10.0f64..10.0, 2), 2..10),
-        probe in prop::collection::vec(-1000.0f64..1000.0, 2),
-    ) {
-        let sample: Vec<Vector> = rows.iter().map(|r| Vector::from_slice(r)).collect();
+/// Out-of-sample points clamp rather than escape the cube.
+#[test]
+fn minmax_clamps_everything() {
+    check::cases("minmax_clamps_everything", 64, |rng| {
+        let sample = rows(rng, 2..10, 2, -10.0, 10.0);
+        let probe: Vector = (0..2).map(|_| rng.gen_range(-1000.0..1000.0)).collect();
         let n = MinMaxNormalizer::fit(&sample);
-        let t = n.transform(&Vector::from_slice(&probe));
-        prop_assert!(t.iter().all(|&v| (0.0..=1.0).contains(&v)));
-    }
+        let t = n.transform(&probe);
+        assert!(t.iter().all(|&v| (0.0..=1.0).contains(&v)));
+    });
+}
 
-    /// The streaming normalizer never emits non-finite values on finite
-    /// input, including constant streams (zero variance).
-    #[test]
-    fn streaming_normalizer_stays_finite(
-        values in prop::collection::vec(-100.0f64..100.0, 1..100)
-    ) {
+/// The streaming normalizer never emits non-finite values on finite
+/// input, including constant streams (zero variance).
+#[test]
+fn streaming_normalizer_stays_finite() {
+    check::cases("streaming_normalizer_stays_finite", 64, |rng| {
+        let len = rng.gen_range(1..100);
         let mut n = StreamingNormalizer::new(1);
-        for v in values {
+        for _ in 0..len {
+            let v = rng.gen_range(-100.0..100.0);
             let out = n.push(&Vector::from_slice(&[v]));
-            prop_assert!(out.is_finite(), "non-finite output {out}");
+            assert!(out.is_finite(), "non-finite output {out}");
         }
-    }
+    });
+}
 
-    /// Zipf pmf is a valid, monotonically decreasing distribution for any
-    /// size and exponent.
-    #[test]
-    fn zipf_pmf_valid(n in 1usize..200, s in 0.1f64..4.0) {
+/// Zipf pmf is a valid, monotonically decreasing distribution for any
+/// size and exponent.
+#[test]
+fn zipf_pmf_valid() {
+    check::cases("zipf_pmf_valid", 64, |rng| {
+        let n = rng.gen_range(1usize..200);
+        let s = rng.gen_range(0.1..4.0);
         let z = Zipf::new(n, s);
         let total: f64 = (1..=n).map(|k| z.pmf(k)).sum();
-        prop_assert!((total - 1.0).abs() < 1e-9, "pmf sums to {total}");
+        assert!((total - 1.0).abs() < 1e-9, "pmf sums to {total}");
         for k in 2..=n {
-            prop_assert!(z.pmf(k) <= z.pmf(k - 1) + 1e-15, "pmf not decreasing at {k}");
+            assert!(z.pmf(k) <= z.pmf(k - 1) + 1e-15, "pmf not decreasing at {k}");
         }
-    }
+    });
+}
 
-    /// Zipf samples always land in range.
-    #[test]
-    fn zipf_samples_in_range(n in 1usize..50, s in 0.1f64..3.0, seed in any::<u64>()) {
-        use rand::rngs::StdRng;
-        use rand::SeedableRng;
+/// Zipf samples always land in range.
+#[test]
+fn zipf_samples_in_range() {
+    check::cases("zipf_samples_in_range", 64, |rng| {
+        let n = rng.gen_range(1usize..50);
+        let s = rng.gen_range(0.1..3.0);
         let z = Zipf::new(n, s);
-        let mut rng = StdRng::seed_from_u64(seed);
         for _ in 0..50 {
-            let k = z.sample(&mut rng);
-            prop_assert!((1..=n).contains(&k));
+            let k = z.sample(rng);
+            assert!((1..=n).contains(&k));
         }
-    }
+    });
 }

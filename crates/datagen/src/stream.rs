@@ -1,8 +1,7 @@
 use crate::{random_mixture, MixtureGenConfig};
 use cludistream_gmm::Mixture;
 use cludistream_linalg::Vector;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use cludistream_rng::{Rng, StdRng};
 
 /// Configuration of the paper's synthetic evolving stream: "the data records
 /// in each synthetic data set follow a series of Gaussian distributions. To

@@ -18,7 +18,7 @@
 //! ```
 
 use crate::{CovarianceType, Gaussian, GmmError, Mixture, Result};
-use bytes::{Buf, BufMut, Bytes, BytesMut};
+use cludistream_wire::{ByteBuf, ByteReader};
 use cludistream_linalg::{Matrix, Vector};
 
 const TAG_FULL: u8 = 0;
@@ -34,9 +34,9 @@ pub fn encoded_len(k: usize, d: usize, cov: CovarianceType) -> usize {
 }
 
 /// Encodes a mixture into a fresh buffer.
-pub fn encode_mixture(mixture: &Mixture, cov: CovarianceType) -> Bytes {
+pub fn encode_mixture(mixture: &Mixture, cov: CovarianceType) -> ByteBuf {
     let (k, d) = (mixture.k(), mixture.dim());
-    let mut buf = BytesMut::with_capacity(encoded_len(k, d, cov));
+    let mut buf = ByteBuf::with_capacity(encoded_len(k, d, cov));
     buf.put_u8(match cov {
         CovarianceType::Full => TAG_FULL,
         CovarianceType::Diagonal => TAG_DIAGONAL,
@@ -65,11 +65,11 @@ pub fn encode_mixture(mixture: &Mixture, cov: CovarianceType) -> Bytes {
             }
         }
     }
-    buf.freeze()
+    buf
 }
 
 /// Decodes a mixture from a buffer produced by [`encode_mixture`].
-pub fn decode_mixture(buf: &mut impl Buf) -> Result<Mixture> {
+pub fn decode_mixture(buf: &mut ByteReader<'_>) -> Result<Mixture> {
     if buf.remaining() < 9 {
         return Err(GmmError::Codec("truncated header"));
     }
@@ -138,7 +138,7 @@ mod tests {
         let m = sample_mixture();
         let bytes = encode_mixture(&m, CovarianceType::Full);
         assert_eq!(bytes.len(), encoded_len(2, 2, CovarianceType::Full));
-        let back = decode_mixture(&mut bytes.clone()).unwrap();
+        let back = decode_mixture(&mut bytes.reader()).unwrap();
         assert_eq!(back.k(), 2);
         assert_eq!(back.dim(), 2);
         for i in 0..2 {
@@ -154,7 +154,7 @@ mod tests {
         let m = sample_mixture();
         let bytes = encode_mixture(&m, CovarianceType::Diagonal);
         assert_eq!(bytes.len(), encoded_len(2, 2, CovarianceType::Diagonal));
-        let back = decode_mixture(&mut bytes.clone()).unwrap();
+        let back = decode_mixture(&mut bytes.reader()).unwrap();
         let c = back.components()[0].cov();
         assert_eq!(c[(0, 0)], 2.0);
         assert_eq!(c[(0, 1)], 0.0); // off-diagonal dropped
@@ -182,14 +182,14 @@ mod tests {
         let m = sample_mixture();
         let bytes = encode_mixture(&m, CovarianceType::Full);
         for cut in [0, 5, 9, bytes.len() - 1] {
-            let mut slice = bytes.slice(..cut);
-            assert!(decode_mixture(&mut slice).is_err(), "cut {cut} accepted");
+            let slice = bytes.slice(..cut);
+            assert!(decode_mixture(&mut slice.reader()).is_err(), "cut {cut} accepted");
         }
     }
 
     #[test]
     fn bad_tag_rejected() {
-        let mut buf = BytesMut::new();
+        let mut buf = ByteBuf::new();
         buf.put_u8(99);
         buf.put_u32_le(1);
         buf.put_u32_le(1);
@@ -197,18 +197,18 @@ mod tests {
             buf.put_f64_le(1.0);
         }
         assert!(matches!(
-            decode_mixture(&mut buf.freeze()),
+            decode_mixture(&mut buf.reader()),
             Err(GmmError::Codec("unknown covariance tag"))
         ));
     }
 
     #[test]
     fn zero_k_rejected() {
-        let mut buf = BytesMut::new();
+        let mut buf = ByteBuf::new();
         buf.put_u8(TAG_FULL);
         buf.put_u32_le(0);
         buf.put_u32_le(2);
-        assert!(decode_mixture(&mut buf.freeze()).is_err());
+        assert!(decode_mixture(&mut buf.reader()).is_err());
     }
 
     #[test]
@@ -217,10 +217,10 @@ mod tests {
         // Gaussian validation (after ridge attempts fail) or accepted with a
         // ridge; NaN must always be rejected.
         let m = sample_mixture();
-        let mut raw = BytesMut::from(&encode_mixture(&m, CovarianceType::Full)[..]);
+        let mut raw = encode_mixture(&m, CovarianceType::Full);
         let len = raw.len();
         // Overwrite the last f64 (a covariance entry) with NaN.
         raw[len - 8..].copy_from_slice(&f64::NAN.to_le_bytes());
-        assert!(decode_mixture(&mut raw.freeze()).is_err());
+        assert!(decode_mixture(&mut raw.reader()).is_err());
     }
 }

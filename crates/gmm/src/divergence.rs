@@ -7,8 +7,7 @@
 //! distance here is the same functional the paper's `l(x)` integrates.
 
 use crate::Mixture;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use cludistream_rng::StdRng;
 
 /// Monte-Carlo estimate of `KL(p ‖ q) = E_p[log p(x) − log q(x)]` from
 /// `samples` draws of `p`. Non-negative in expectation; individual

@@ -3,8 +3,7 @@ use crate::{
     SuffStats,
 };
 use cludistream_linalg::Vector;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use cludistream_rng::{Rng, StdRng};
 
 /// How EM's initial mixture is chosen.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -355,8 +354,7 @@ fn initialize<R: Rng + ?Sized>(data: &[Vector], config: &EmConfig, rng: &mut R) 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use cludistream_rng::StdRng;
 
     /// Samples `n` points from a known 1-d two-component mixture.
     fn two_component_data(n: usize, seed: u64) -> Vec<Vector> {

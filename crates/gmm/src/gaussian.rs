@@ -1,6 +1,6 @@
 use crate::{GmmError, Result};
 use cludistream_linalg::{cholesky_regularized, Cholesky, Matrix, Vector};
-use rand::Rng;
+use cludistream_rng::Rng;
 
 /// Natural log of 2π, used by the Gaussian normalizer.
 pub(crate) const LN_2PI: f64 = 1.8378770664093453;
@@ -199,8 +199,7 @@ pub fn sample_standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use cludistream_rng::StdRng;
 
     fn standard_2d() -> Gaussian {
         Gaussian::new(Vector::zeros(2), Matrix::identity(2)).unwrap()

@@ -1,7 +1,6 @@
 use crate::{GmmError, Result};
 use cludistream_linalg::Vector;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use cludistream_rng::{Rng, StdRng};
 
 /// Configuration for Lloyd's k-means with k-means++ seeding.
 #[derive(Debug, Clone)]

@@ -266,8 +266,7 @@ mod tests {
         // Empirical check of Theorems 1/2: the average-log-likelihood gap
         // between two same-distribution chunks concentrates as the chunk
         // grows (smaller ε → larger M → smaller J_fit on average).
-        use rand::rngs::StdRng;
-        use rand::SeedableRng;
+        use cludistream_rng::StdRng;
         let m = mix();
         let mut rng = StdRng::seed_from_u64(42);
         let mean_gap = |chunk: usize, rng: &mut StdRng| -> f64 {

@@ -1,6 +1,6 @@
 use crate::{log_sum_exp, Gaussian, GmmError, Result, SuffStats};
 use cludistream_linalg::{Matrix, Vector};
-use rand::Rng;
+use cludistream_rng::Rng;
 
 /// A weighted Gaussian mixture `p(x) = Σ_j w_j p(x|j)` (paper Eq. 1).
 ///
@@ -261,8 +261,7 @@ impl Mixture {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use cludistream_rng::StdRng;
 
     fn two_blobs() -> Mixture {
         Mixture::new(
@@ -403,8 +402,7 @@ mod tests {
 
     #[test]
     fn labeled_sampling_matches_component_regions() {
-        use rand::rngs::StdRng;
-        use rand::SeedableRng;
+        use cludistream_rng::StdRng;
         let m = two_blobs();
         let mut rng = StdRng::seed_from_u64(8);
         for _ in 0..500 {

@@ -63,8 +63,7 @@ pub fn fit_em_bic(
 mod tests {
     use super::*;
     use crate::{Gaussian, Mixture};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use cludistream_rng::StdRng;
 
     fn blobs(centers: &[f64], n: usize, seed: u64) -> Vec<Vector> {
         let comps: Vec<Gaussian> = centers

@@ -1,125 +1,156 @@
-//! Property-based tests over the dense kernels. Kept in a separate module
+//! Property-based tests over the dense kernels, driven by the seeded case
+//! harness in `cludistream_rng::check`. Kept in a separate module
 //! (compiled only under test) so each numerical routine's file stays
 //! focused on example-based tests.
 
 #![cfg(test)]
 
 use crate::{jacobi_eigen, Cholesky, Lu, Matrix, Vector};
-use proptest::prelude::*;
+use cludistream_rng::{check, Rng, StdRng};
 
-/// Strategy: an arbitrary matrix with entries in ±5.
-fn matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
-    prop::collection::vec(-5.0f64..5.0, rows * cols)
-        .prop_map(move |v| Matrix::from_vec(rows, cols, v))
+/// An arbitrary matrix with entries in ±5.
+fn matrix(rng: &mut StdRng, rows: usize, cols: usize) -> Matrix {
+    let v = (0..rows * cols).map(|_| rng.gen_range(-5.0..5.0)).collect();
+    Matrix::from_vec(rows, cols, v)
 }
 
-/// Strategy: a well-conditioned SPD matrix `A Aᵀ + I`.
-fn spd(n: usize) -> impl Strategy<Value = Matrix> {
-    matrix(n, n).prop_map(|a| {
-        let mut m = a.matmul(&a.transpose());
-        m.add_ridge(1.0);
-        m
-    })
+/// A well-conditioned SPD matrix `A Aᵀ + I`.
+fn spd(rng: &mut StdRng, n: usize) -> Matrix {
+    let a = matrix(rng, n, n);
+    let mut m = a.matmul(&a.transpose());
+    m.add_ridge(1.0);
+    m
 }
 
-fn vector(n: usize) -> impl Strategy<Value = Vector> {
-    prop::collection::vec(-5.0f64..5.0, n).prop_map(Vector::from_vec)
+fn vector(rng: &mut StdRng, n: usize) -> Vector {
+    (0..n).map(|_| rng.gen_range(-5.0..5.0)).collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+#[test]
+fn transpose_is_involution() {
+    check::cases("transpose_is_involution", 64, |rng| {
+        let a = matrix(rng, 3, 4);
+        assert_eq!(a.transpose().transpose(), a);
+    });
+}
 
-    #[test]
-    fn transpose_is_involution(a in matrix(3, 4)) {
-        prop_assert_eq!(a.transpose().transpose(), a);
-    }
-
-    #[test]
-    fn matmul_transpose_identity(a in matrix(2, 3), b in matrix(3, 2)) {
+#[test]
+fn matmul_transpose_identity() {
+    check::cases("matmul_transpose_identity", 64, |rng| {
         // (AB)ᵀ = Bᵀ Aᵀ, exactly in floating point (same operations in
         // a different traversal order would not be exact, but entries are
         // computed as identical dot products up to addition order; use a
         // tolerance).
+        let a = matrix(rng, 2, 3);
+        let b = matrix(rng, 3, 2);
         let left = a.matmul(&b).transpose();
         let right = b.transpose().matmul(&a.transpose());
         for i in 0..left.rows() {
             for j in 0..left.cols() {
-                prop_assert!((left[(i, j)] - right[(i, j)]).abs() < 1e-9);
+                assert!((left[(i, j)] - right[(i, j)]).abs() < 1e-9);
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn matmul_distributes_over_addition(
-        a in matrix(2, 2), b in matrix(2, 2), c in matrix(2, 2)
-    ) {
+#[test]
+fn matmul_distributes_over_addition() {
+    check::cases("matmul_distributes_over_addition", 64, |rng| {
+        let (a, b, c) = (matrix(rng, 2, 2), matrix(rng, 2, 2), matrix(rng, 2, 2));
         let left = a.matmul(&(&b + &c));
         let right = &a.matmul(&b) + &a.matmul(&c);
         for i in 0..2 {
             for j in 0..2 {
-                prop_assert!((left[(i, j)] - right[(i, j)]).abs() < 1e-9);
+                assert!((left[(i, j)] - right[(i, j)]).abs() < 1e-9);
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn cholesky_always_succeeds_on_constructed_spd(m in spd(4)) {
+#[test]
+fn cholesky_always_succeeds_on_constructed_spd() {
+    check::cases("cholesky_always_succeeds_on_constructed_spd", 64, |rng| {
+        let m = spd(rng, 4);
         let chol = Cholesky::new(&m);
-        prop_assert!(chol.is_ok());
+        assert!(chol.is_ok());
         let r = chol.unwrap().reconstruct();
         for i in 0..4 {
             for j in 0..4 {
-                prop_assert!(
+                assert!(
                     (r[(i, j)] - m[(i, j)]).abs() < 1e-6 * (1.0 + m[(i, j)].abs()),
-                    "({}, {}): {} vs {}", i, j, r[(i, j)], m[(i, j)]
+                    "({}, {}): {} vs {}",
+                    i,
+                    j,
+                    r[(i, j)],
+                    m[(i, j)]
                 );
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn lu_and_cholesky_solves_agree_on_spd(m in spd(3), b in vector(3)) {
+#[test]
+fn lu_and_cholesky_solves_agree_on_spd() {
+    check::cases("lu_and_cholesky_solves_agree_on_spd", 64, |rng| {
+        let m = spd(rng, 3);
+        let b = vector(rng, 3);
         let x1 = Cholesky::new(&m).expect("SPD").solve(&b);
         let x2 = Lu::new(&m).expect("non-singular").solve(&b);
         for i in 0..3 {
-            prop_assert!((x1[i] - x2[i]).abs() < 1e-6 * (1.0 + x1[i].abs()));
+            assert!((x1[i] - x2[i]).abs() < 1e-6 * (1.0 + x1[i].abs()));
         }
-    }
+    });
+}
 
-    #[test]
-    fn jacobi_eigenvalues_descending_and_positive_on_spd(m in spd(4)) {
+#[test]
+fn jacobi_eigenvalues_descending_and_positive_on_spd() {
+    check::cases("jacobi_eigenvalues_descending_and_positive_on_spd", 64, |rng| {
+        let m = spd(rng, 4);
         let e = jacobi_eigen(&m, 200).expect("converges on symmetric input");
-        prop_assert!(e.values.windows(2).all(|w| w[0] >= w[1] - 1e-12));
-        prop_assert!(e.is_positive_definite(0.0));
+        assert!(e.values.windows(2).all(|w| w[0] >= w[1] - 1e-12));
+        assert!(e.is_positive_definite(0.0));
         // Trace is the eigenvalue sum.
         let sum: f64 = e.values.iter().sum();
-        prop_assert!((sum - m.trace()).abs() < 1e-8 * (1.0 + m.trace().abs()));
-    }
+        assert!((sum - m.trace()).abs() < 1e-8 * (1.0 + m.trace().abs()));
+    });
+}
 
-    #[test]
-    fn mahalanobis_positive_definite(m in spd(3), x in vector(3), mu in vector(3)) {
+#[test]
+fn mahalanobis_positive_definite() {
+    check::cases("mahalanobis_positive_definite", 64, |rng| {
+        let m = spd(rng, 3);
+        let x = vector(rng, 3);
+        let mu = vector(rng, 3);
         let chol = Cholesky::new(&m).expect("SPD");
         let d2 = chol.mahalanobis_sq(&x, &mu);
-        prop_assert!(d2 >= 0.0);
+        assert!(d2 >= 0.0);
         // Zero exactly at the mean.
-        prop_assert!(chol.mahalanobis_sq(&mu, &mu).abs() < 1e-20);
-    }
+        assert!(chol.mahalanobis_sq(&mu, &mu).abs() < 1e-20);
+    });
+}
 
-    #[test]
-    fn rank1_update_matches_outer_product(x in vector(3), alpha in -3.0f64..3.0) {
+#[test]
+fn rank1_update_matches_outer_product() {
+    check::cases("rank1_update_matches_outer_product", 64, |rng| {
+        let x = vector(rng, 3);
+        let alpha = rng.gen_range(-3.0..3.0);
         let mut m = Matrix::zeros(3, 3);
         m.rank1_update(alpha, &x);
         let outer = Matrix::outer(&x, &x).scaled(alpha);
         for i in 0..3 {
             for j in 0..3 {
-                prop_assert!((m[(i, j)] - outer[(i, j)]).abs() < 1e-12);
+                assert!((m[(i, j)] - outer[(i, j)]).abs() < 1e-12);
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn dot_is_symmetric_and_cauchy_schwarz(a in vector(4), b in vector(4)) {
-        prop_assert!((a.dot(&b) - b.dot(&a)).abs() < 1e-12);
-        prop_assert!(a.dot(&b).abs() <= a.norm() * b.norm() + 1e-9);
-    }
+#[test]
+fn dot_is_symmetric_and_cauchy_schwarz() {
+    check::cases("dot_is_symmetric_and_cauchy_schwarz", 64, |rng| {
+        let a = vector(rng, 4);
+        let b = vector(rng, 4);
+        assert!((a.dot(&b) - b.dot(&a)).abs() < 1e-12);
+        assert!(a.dot(&b).abs() <= a.norm() * b.norm() + 1e-9);
+    });
 }

@@ -303,21 +303,21 @@ mod tests {
 
     mod props {
         use super::*;
-        use proptest::prelude::*;
+        use cludistream_rng::{check, Rng, StdRng};
 
-        proptest! {
-            #![proptest_config(ProptestConfig::with_cases(48))]
+        fn coords(rng: &mut StdRng, n: usize, lo: f64, hi: f64) -> Vec<f64> {
+            (0..n).map(|_| rng.gen_range(lo..hi)).collect()
+        }
 
-            /// Any shifted convex quadratic in up to 4 dimensions is
-            /// minimized to its known optimum.
-            #[test]
-            fn converges_on_random_quadratics(
-                center in prop::collection::vec(-5.0f64..5.0, 1..=4),
-                scales in prop::collection::vec(0.1f64..10.0, 1..=4),
-                start in prop::collection::vec(-5.0f64..5.0, 1..=4),
-            ) {
-                let d = center.len().min(scales.len()).min(start.len());
-                let (center, scales, start) = (&center[..d], &scales[..d], &start[..d]);
+        /// Any shifted convex quadratic in up to 4 dimensions is
+        /// minimized to its known optimum.
+        #[test]
+        fn converges_on_random_quadratics() {
+            check::cases("converges_on_random_quadratics", 48, |rng| {
+                let d = rng.gen_range(1..=4);
+                let center = coords(rng, d, -5.0, 5.0);
+                let scales = coords(rng, d, 0.1, 10.0);
+                let start = coords(rng, d, -5.0, 5.0);
                 let nm = NelderMead::new(NelderMeadConfig {
                     max_evals: 20_000,
                     ..Default::default()
@@ -325,31 +325,33 @@ mod tests {
                 let r = nm.minimize(
                     |x| {
                         x.iter()
-                            .zip(center)
-                            .zip(scales)
+                            .zip(&center)
+                            .zip(&scales)
                             .map(|((xi, c), s)| s * (xi - c) * (xi - c))
                             .sum()
                     },
-                    start,
+                    &start,
                 );
-                for (xi, c) in r.point.iter().zip(center) {
-                    prop_assert!((xi - c).abs() < 1e-2, "found {xi}, optimum {c}");
+                for (xi, c) in r.point.iter().zip(&center) {
+                    assert!((xi - c).abs() < 1e-2, "found {xi}, optimum {c}");
                 }
-                prop_assert!(r.value < 1e-3, "value {}", r.value);
-            }
+                assert!(r.value < 1e-3, "value {}", r.value);
+            });
+        }
 
-            /// The returned value always matches the objective at the
-            /// returned point, and never exceeds the starting value.
-            #[test]
-            fn result_is_consistent_and_no_worse(
-                start in prop::collection::vec(-10.0f64..10.0, 1..=3),
-            ) {
+        /// The returned value always matches the objective at the
+        /// returned point, and never exceeds the starting value.
+        #[test]
+        fn result_is_consistent_and_no_worse() {
+            check::cases("result_is_consistent_and_no_worse", 48, |rng| {
+                let d = rng.gen_range(1..=3);
+                let start = coords(rng, d, -10.0, 10.0);
                 let f = |x: &[f64]| x.iter().map(|v| v.abs().sqrt() + v * v).sum::<f64>();
                 let nm = NelderMead::default();
                 let r = nm.minimize(f, &start);
-                prop_assert!((r.value - f(&r.point)).abs() < 1e-12);
-                prop_assert!(r.value <= f(&start) + 1e-12);
-            }
+                assert!((r.value - f(&r.point)).abs() < 1e-12);
+                assert!(r.value <= f(&start) + 1e-12);
+            });
         }
     }
 

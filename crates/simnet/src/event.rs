@@ -110,18 +110,16 @@ mod tests {
 
     mod props {
         use super::*;
-        use proptest::prelude::*;
+        use cludistream_rng::{check, Rng};
         use std::collections::BinaryHeap;
 
-        proptest! {
-            #![proptest_config(ProptestConfig::with_cases(64))]
-
-            /// Any random schedule pops in (time, seq) order — the
-            /// determinism guarantee the whole simulator rests on.
-            #[test]
-            fn random_schedules_pop_in_order(
-                times in prop::collection::vec(0u64..1_000, 1..100)
-            ) {
+        /// Any random schedule pops in (time, seq) order — the
+        /// determinism guarantee the whole simulator rests on.
+        #[test]
+        fn random_schedules_pop_in_order() {
+            check::cases("random_schedules_pop_in_order", 64, |rng| {
+                let n = rng.gen_range(1..100);
+                let times: Vec<u64> = (0..n).map(|_| rng.gen_range(0..1_000u64)).collect();
                 let mut heap = BinaryHeap::new();
                 for (seq, &time) in times.iter().enumerate() {
                     heap.push(entry(time, seq as u64));
@@ -129,7 +127,7 @@ mod tests {
                 let mut prev: Option<(SimTime, u64)> = None;
                 while let Some(e) = heap.pop() {
                     if let Some((pt, ps)) = prev {
-                        prop_assert!(
+                        assert!(
                             e.time > pt || (e.time == pt && e.seq > ps),
                             "order violated: ({}, {}) after ({pt}, {ps})",
                             e.time, e.seq
@@ -137,7 +135,7 @@ mod tests {
                     }
                     prev = Some((e.time, e.seq));
                 }
-            }
+            });
         }
     }
 }

@@ -1,0 +1,295 @@
+//! Little-endian byte buffers for the CluDistream wire formats.
+//!
+//! The communication-cost experiments (paper Sec. 5.3, Figs. 2 and 7)
+//! measure *bytes transmitted*, so every wire format in the workspace —
+//! the model-synopsis codec, the site ↔ coordinator protocol, and site
+//! snapshots — is written against an explicit byte layout. This crate is
+//! the only place that layout's primitives live: [`ByteBuf`] appends
+//! fixed-width little-endian values to a growable buffer, and
+//! [`ByteReader`] consumes them from the front.
+//!
+//! The encoding is exactly the one the formats used historically (the
+//! `put_u32_le` / `get_u32_le` little-endian convention), which the
+//! golden-bytes fixtures in `cludistream-gmm` lock in place.
+//!
+//! `ByteReader`'s getters panic on underflow, mirroring the usual
+//! `Buf`-style contract; decoders check [`ByteReader::remaining`] before
+//! every read so malformed input surfaces as an `Err`, never a panic.
+//!
+//! ```
+//! use cludistream_wire::ByteBuf;
+//!
+//! let mut buf = ByteBuf::new();
+//! buf.put_u8(7);
+//! buf.put_u32_le(0xDEAD_BEEF);
+//! buf.put_f64_le(-2.5);
+//! assert_eq!(buf.len(), 1 + 4 + 8);
+//!
+//! let mut r = buf.reader();
+//! assert_eq!(r.get_u8(), 7);
+//! assert_eq!(r.get_u32_le(), 0xDEAD_BEEF);
+//! assert_eq!(r.get_f64_le(), -2.5);
+//! assert_eq!(r.remaining(), 0);
+//! ```
+
+use std::ops::{Deref, DerefMut, RangeTo};
+
+/// A growable byte buffer with little-endian append methods.
+///
+/// Fills the role `bytes::BytesMut`/`Bytes` used to play: build a message
+/// with the `put_*` methods, hand it around by value or `clone()`, and
+/// decode it through [`ByteBuf::reader`]. Dereferences to `[u8]` so
+/// indexing and slicing work directly (the corruption tests flip bytes in
+/// place).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ByteBuf {
+    data: Vec<u8>,
+}
+
+impl ByteBuf {
+    /// An empty buffer.
+    pub fn new() -> ByteBuf {
+        ByteBuf { data: Vec::new() }
+    }
+
+    /// An empty buffer with `capacity` bytes pre-allocated.
+    pub fn with_capacity(capacity: usize) -> ByteBuf {
+        ByteBuf { data: Vec::with_capacity(capacity) }
+    }
+
+    /// Appends a `u8`.
+    pub fn put_u8(&mut self, v: u8) {
+        self.data.push(v);
+    }
+
+    /// Appends a `u16`, little-endian.
+    pub fn put_u16_le(&mut self, v: u16) {
+        self.data.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u32`, little-endian.
+    pub fn put_u32_le(&mut self, v: u32) {
+        self.data.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u64`, little-endian.
+    pub fn put_u64_le(&mut self, v: u64) {
+        self.data.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends an `f64` as its IEEE-754 bits, little-endian.
+    pub fn put_f64_le(&mut self, v: f64) {
+        self.data.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends raw bytes.
+    pub fn extend_from_slice(&mut self, bytes: &[u8]) {
+        self.data.extend_from_slice(bytes);
+    }
+
+    /// Number of bytes written.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// The contents as a slice.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// The underlying vector.
+    pub fn into_vec(self) -> Vec<u8> {
+        self.data
+    }
+
+    /// An owned prefix copy — `buf.slice(..n)` — used by the truncation
+    /// tests.
+    pub fn slice(&self, range: RangeTo<usize>) -> ByteBuf {
+        ByteBuf { data: self.data[range].to_vec() }
+    }
+
+    /// A read cursor over the whole buffer.
+    pub fn reader(&self) -> ByteReader<'_> {
+        ByteReader::new(&self.data)
+    }
+}
+
+impl Deref for ByteBuf {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl DerefMut for ByteBuf {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.data
+    }
+}
+
+impl AsRef<[u8]> for ByteBuf {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl From<Vec<u8>> for ByteBuf {
+    fn from(data: Vec<u8>) -> ByteBuf {
+        ByteBuf { data }
+    }
+}
+
+impl From<&[u8]> for ByteBuf {
+    fn from(data: &[u8]) -> ByteBuf {
+        ByteBuf { data: data.to_vec() }
+    }
+}
+
+/// A read cursor over a byte slice, consuming little-endian values from
+/// the front.
+///
+/// Getters panic if fewer bytes remain than the value needs; callers
+/// guard with [`ByteReader::remaining`], exactly as the decoders did with
+/// `bytes::Buf`.
+#[derive(Debug, Clone)]
+pub struct ByteReader<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// A cursor at the start of `data`.
+    pub fn new(data: &'a [u8]) -> ByteReader<'a> {
+        ByteReader { data, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    /// The unconsumed tail.
+    pub fn rest(&self) -> &'a [u8] {
+        &self.data[self.pos..]
+    }
+
+    /// Skips `n` bytes. Panics if fewer remain.
+    pub fn advance(&mut self, n: usize) {
+        assert!(n <= self.remaining(), "advance past end of buffer");
+        self.pos += n;
+    }
+
+    fn take<const N: usize>(&mut self) -> [u8; N] {
+        assert!(N <= self.remaining(), "read past end of buffer");
+        let out: [u8; N] = self.data[self.pos..self.pos + N].try_into().expect("length checked");
+        self.pos += N;
+        out
+    }
+
+    /// Consumes a `u8`.
+    pub fn get_u8(&mut self) -> u8 {
+        u8::from_le_bytes(self.take::<1>())
+    }
+
+    /// Consumes a little-endian `u16`.
+    pub fn get_u16_le(&mut self) -> u16 {
+        u16::from_le_bytes(self.take::<2>())
+    }
+
+    /// Consumes a little-endian `u32`.
+    pub fn get_u32_le(&mut self) -> u32 {
+        u32::from_le_bytes(self.take::<4>())
+    }
+
+    /// Consumes a little-endian `u64`.
+    pub fn get_u64_le(&mut self) -> u64 {
+        u64::from_le_bytes(self.take::<8>())
+    }
+
+    /// Consumes a little-endian `f64`.
+    pub fn get_f64_le(&mut self) -> f64 {
+        f64::from_le_bytes(self.take::<8>())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_widths() {
+        let mut buf = ByteBuf::with_capacity(23);
+        buf.put_u8(0xAB);
+        buf.put_u16_le(0x1234);
+        buf.put_u32_le(0xDEAD_BEEF);
+        buf.put_u64_le(0x0102_0304_0506_0708);
+        buf.put_f64_le(std::f64::consts::PI);
+        assert_eq!(buf.len(), 23);
+
+        let mut r = buf.reader();
+        assert_eq!(r.remaining(), 23);
+        assert_eq!(r.get_u8(), 0xAB);
+        assert_eq!(r.get_u16_le(), 0x1234);
+        assert_eq!(r.get_u32_le(), 0xDEAD_BEEF);
+        assert_eq!(r.get_u64_le(), 0x0102_0304_0506_0708);
+        assert_eq!(r.get_f64_le(), std::f64::consts::PI);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn layout_is_little_endian() {
+        let mut buf = ByteBuf::new();
+        buf.put_u32_le(0x0102_0304);
+        assert_eq!(buf.as_slice(), &[0x04, 0x03, 0x02, 0x01]);
+    }
+
+    #[test]
+    fn nan_bits_preserved() {
+        let nan = f64::from_bits(0x7FF8_0000_0000_1234);
+        let mut buf = ByteBuf::new();
+        buf.put_f64_le(nan);
+        assert_eq!(buf.reader().get_f64_le().to_bits(), nan.to_bits());
+    }
+
+    #[test]
+    fn slice_and_indexing() {
+        let mut buf = ByteBuf::new();
+        buf.extend_from_slice(&[1, 2, 3, 4, 5]);
+        assert_eq!(buf.slice(..3).as_slice(), &[1, 2, 3]);
+        assert_eq!(buf[4], 5);
+        let mut corrupt = buf.clone();
+        corrupt[0] ^= 0xFF;
+        assert_eq!(corrupt[0], 0xFE);
+        assert_eq!(&buf[1..3], &[2, 3]);
+    }
+
+    #[test]
+    fn advance_and_rest() {
+        let data = [9u8, 8, 7, 6];
+        let mut r = ByteReader::new(&data);
+        r.advance(2);
+        assert_eq!(r.rest(), &[7, 6]);
+        assert_eq!(r.remaining(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "read past end")]
+    fn underflow_panics() {
+        let mut r = ByteReader::new(&[1, 2]);
+        let _ = r.get_u32_le();
+    }
+
+    #[test]
+    fn conversions() {
+        let buf: ByteBuf = vec![1u8, 2].into();
+        assert_eq!(buf.len(), 2);
+        let buf2: ByteBuf = buf.as_slice().into();
+        assert_eq!(buf, buf2);
+        assert_eq!(buf.into_vec(), vec![1, 2]);
+    }
+}

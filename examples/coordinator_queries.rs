@@ -10,8 +10,7 @@
 use cludistream::{Config, Coordinator, CoordinatorConfig, Message, RemoteSite};
 use cludistream_gmm::{ChunkParams, Gaussian, Mixture};
 use cludistream_linalg::Vector;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use cludistream_rng::StdRng;
 
 fn main() {
     // Three sites observing overlapping traffic classes around three

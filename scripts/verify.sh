@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Tier-1 verification gate: build, test, and document the workspace with no
+# network access and warnings denied. This is the command CI and ROADMAP.md
+# mean by "tier-1 verify" — it must pass on a machine with an empty registry
+# cache, which is what keeps the zero-external-crates policy honest.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export RUSTFLAGS="-D warnings"
+export RUSTDOCFLAGS="-D warnings"
+
+cargo build --release --offline
+cargo test -q --offline
+cargo doc --no-deps -q --offline
+
+echo "verify: OK"

@@ -6,8 +6,7 @@ use cludistream_suite::cludistream::{
 };
 use cludistream_suite::gmm::{ChunkParams, Gaussian, Mixture};
 use cludistream_suite::linalg::Vector;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use cludistream_rng::StdRng;
 
 fn small_config() -> Config {
     Config {
@@ -74,7 +73,7 @@ fn stable_streams_transmit_one_synopsis_per_site() {
     let cfg = DriverConfig { site, ..Default::default() };
     let chunk = RemoteSite::new(cfg.site.clone()).unwrap().chunk_size() as u64;
     let streams: Vec<RecordStream> =
-        (0..5).map(|i| blob_stream(&[(0.0, 0.0)], 10 + i)).collect();
+        (0..5).map(|i| blob_stream(&[(0.0, 0.0)], 40 + i)).collect();
     let report = run_star(streams, 6 * chunk, cfg).expect("run succeeds");
     assert_eq!(
         report.comm.total_messages(),

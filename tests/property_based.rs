@@ -1,94 +1,107 @@
-//! Property-based tests (proptest) over the core mathematical invariants:
+//! Property-based tests over the core mathematical invariants —
 //! codec roundtrips, chunk-size theory, sufficient-statistics algebra,
-//! mixture normalization, and the linalg kernels.
+//! mixture normalization, and the linalg kernels — driven by the seeded
+//! case harness in `cludistream_rng::check`.
 
 use cludistream_suite::gmm::{
     self, chunk_size, codec, CovarianceType, Gaussian, Mixture, SuffStats,
 };
 use cludistream_suite::linalg::{Cholesky, Matrix, Vector};
-use proptest::prelude::*;
+use cludistream_suite::rng::{check, Rng, StdRng};
 
-/// Strategy: a well-conditioned random SPD matrix of dimension `d`,
-/// built as A·Aᵀ + I.
-fn spd_matrix(d: usize) -> impl Strategy<Value = Matrix> {
-    prop::collection::vec(-2.0f64..2.0, d * d).prop_map(move |vals| {
-        let a = Matrix::from_vec(d, d, vals);
-        let mut m = a.matmul(&a.transpose());
-        m.add_ridge(1.0);
-        m
-    })
+/// A well-conditioned random SPD matrix of dimension `d`, built as
+/// A·Aᵀ + I.
+fn spd_matrix(rng: &mut StdRng, d: usize) -> Matrix {
+    let vals: Vec<f64> = (0..d * d).map(|_| rng.gen_range(-2.0..2.0)).collect();
+    let a = Matrix::from_vec(d, d, vals);
+    let mut m = a.matmul(&a.transpose());
+    m.add_ridge(1.0);
+    m
 }
 
-fn gaussian(d: usize) -> impl Strategy<Value = Gaussian> {
-    (prop::collection::vec(-50.0f64..50.0, d), spd_matrix(d))
-        .prop_map(|(mean, cov)| Gaussian::new(Vector::from_vec(mean), cov).expect("SPD"))
+fn gaussian(rng: &mut StdRng, d: usize) -> Gaussian {
+    let mean: Vec<f64> = (0..d).map(|_| rng.gen_range(-50.0..50.0)).collect();
+    Gaussian::new(Vector::from_vec(mean), spd_matrix(rng, d)).expect("SPD")
 }
 
-fn mixture(d: usize, max_k: usize) -> impl Strategy<Value = Mixture> {
-    prop::collection::vec((gaussian(d), 0.1f64..10.0), 1..=max_k).prop_map(|parts| {
-        let (comps, weights): (Vec<_>, Vec<_>) = parts.into_iter().unzip();
-        Mixture::new(comps, weights).expect("valid mixture")
-    })
+fn mixture(rng: &mut StdRng, d: usize, max_k: usize) -> Mixture {
+    let k = rng.gen_range(1..=max_k);
+    let comps: Vec<Gaussian> = (0..k).map(|_| gaussian(rng, d)).collect();
+    let weights: Vec<f64> = (0..k).map(|_| rng.gen_range(0.1..10.0)).collect();
+    Mixture::new(comps, weights).expect("valid mixture")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+fn coords(rng: &mut StdRng, n: usize, lo: f64, hi: f64) -> Vec<f64> {
+    (0..n).map(|_| rng.gen_range(lo..hi)).collect()
+}
 
-    #[test]
-    fn codec_roundtrip_full_covariance(m in mixture(3, 4)) {
+#[test]
+fn codec_roundtrip_full_covariance() {
+    check::cases("codec_roundtrip_full_covariance", 64, |rng| {
+        let m = mixture(rng, 3, 4);
         let bytes = codec::encode_mixture(&m, CovarianceType::Full);
-        prop_assert_eq!(bytes.len(), codec::encoded_len(m.k(), m.dim(), CovarianceType::Full));
-        let back = codec::decode_mixture(&mut bytes.clone()).expect("roundtrip");
-        prop_assert_eq!(back.k(), m.k());
+        assert_eq!(bytes.len(), codec::encoded_len(m.k(), m.dim(), CovarianceType::Full));
+        let back = codec::decode_mixture(&mut bytes.reader()).expect("roundtrip");
+        assert_eq!(back.k(), m.k());
         for (a, b) in back.components().iter().zip(m.components()) {
-            prop_assert_eq!(a.mean(), b.mean());
-            prop_assert_eq!(a.cov().as_slice(), b.cov().as_slice());
+            assert_eq!(a.mean(), b.mean());
+            assert_eq!(a.cov().as_slice(), b.cov().as_slice());
         }
         for (wa, wb) in back.weights().iter().zip(m.weights()) {
-            prop_assert!((wa - wb).abs() < 1e-15);
+            assert!((wa - wb).abs() < 1e-15);
         }
-    }
+    });
+}
 
-    #[test]
-    fn posteriors_always_normalized(m in mixture(2, 5), x in prop::collection::vec(-100.0f64..100.0, 2)) {
+#[test]
+fn posteriors_always_normalized() {
+    check::cases("posteriors_always_normalized", 64, |rng| {
+        let m = mixture(rng, 2, 5);
+        let x = coords(rng, 2, -100.0, 100.0);
         let p = m.posteriors(&Vector::from_vec(x));
-        prop_assert_eq!(p.len(), m.k());
+        assert_eq!(p.len(), m.k());
         let total: f64 = p.iter().sum();
-        prop_assert!((total - 1.0).abs() < 1e-9, "posteriors sum to {}", total);
-        prop_assert!(p.iter().all(|&v| (0.0..=1.0 + 1e-12).contains(&v)));
-    }
+        assert!((total - 1.0).abs() < 1e-9, "posteriors sum to {}", total);
+        assert!(p.iter().all(|&v| (0.0..=1.0 + 1e-12).contains(&v)));
+    });
+}
 
-    #[test]
-    fn mixture_density_bounded_by_components(m in mixture(2, 4), x in prop::collection::vec(-20.0f64..20.0, 2)) {
+#[test]
+fn mixture_density_bounded_by_components() {
+    check::cases("mixture_density_bounded_by_components", 64, |rng| {
         // p(x) = Σ w_j p_j(x) ≤ max_j p_j(x) and ≥ min_j w_j p_j(x).
-        let x = Vector::from_vec(x);
+        let m = mixture(rng, 2, 4);
+        let x = Vector::from_vec(coords(rng, 2, -20.0, 20.0));
         let p = m.pdf(&x);
         let comp_max = m.components().iter().map(|c| c.pdf(&x)).fold(0.0, f64::max);
-        prop_assert!(p <= comp_max + 1e-12);
-    }
+        assert!(p <= comp_max + 1e-12);
+    });
+}
 
-    #[test]
-    fn chunk_size_monotone_in_parameters(
-        d in 1usize..20,
-        eps in 0.001f64..0.5,
-        delta in 0.001f64..0.5,
-    ) {
+#[test]
+fn chunk_size_monotone_in_parameters() {
+    check::cases("chunk_size_monotone_in_parameters", 64, |rng| {
+        let d = rng.gen_range(1usize..20);
+        let eps = rng.gen_range(0.001..0.5);
+        let delta = rng.gen_range(0.001..0.5);
         let m = chunk_size(d, eps, delta).expect("valid");
         // Monotone: tighter ε or δ never shrinks the chunk.
         let m_tight_eps = chunk_size(d, eps / 2.0, delta).expect("valid");
         let m_tight_delta = chunk_size(d, eps, delta / 2.0).expect("valid");
-        prop_assert!(m_tight_eps >= m);
-        prop_assert!(m_tight_delta >= m);
+        assert!(m_tight_eps >= m);
+        assert!(m_tight_delta >= m);
         // And grows with d.
         let m_bigger_d = chunk_size(d + 1, eps, delta).expect("valid");
-        prop_assert!(m_bigger_d >= m);
-    }
+        assert!(m_bigger_d >= m);
+    });
+}
 
-    #[test]
-    fn suffstats_merge_commutes(
-        xs in prop::collection::vec(prop::collection::vec(-10.0f64..10.0, 2), 2..20),
-        raw_split in 1usize..19,
-    ) {
+#[test]
+fn suffstats_merge_commutes() {
+    check::cases("suffstats_merge_commutes", 64, |rng| {
+        let n = rng.gen_range(2usize..20);
+        let xs: Vec<Vec<f64>> = (0..n).map(|_| coords(rng, 2, -10.0, 10.0)).collect();
+        let raw_split = rng.gen_range(1usize..19);
         let split_at = raw_split.min(xs.len() - 1).max(1);
         let mut left = SuffStats::new(2);
         let mut right = SuffStats::new(2);
@@ -96,74 +109,102 @@ proptest! {
         for (i, x) in xs.iter().enumerate() {
             let v = Vector::from_slice(x);
             all.add(&v, 1.0);
-            if i < split_at { left.add(&v, 1.0) } else { right.add(&v, 1.0) }
+            if i < split_at {
+                left.add(&v, 1.0)
+            } else {
+                right.add(&v, 1.0)
+            }
         }
         let mut ab = left.clone();
         ab.merge(&right);
         let mut ba = right;
         ba.merge(&left);
-        prop_assert!((ab.n() - all.n()).abs() < 1e-9);
+        assert!((ab.n() - all.n()).abs() < 1e-9);
         let (ma, mb, mall) = (ab.mean().unwrap(), ba.mean().unwrap(), all.mean().unwrap());
         for i in 0..2 {
-            prop_assert!((ma[i] - mall[i]).abs() < 1e-9);
-            prop_assert!((mb[i] - mall[i]).abs() < 1e-9);
+            assert!((ma[i] - mall[i]).abs() < 1e-9);
+            assert!((mb[i] - mall[i]).abs() < 1e-9);
         }
-    }
+    });
+}
 
-    #[test]
-    fn cholesky_solve_inverts(m in spd_matrix(4), b in prop::collection::vec(-10.0f64..10.0, 4)) {
+#[test]
+fn cholesky_solve_inverts() {
+    check::cases("cholesky_solve_inverts", 64, |rng| {
+        let m = spd_matrix(rng, 4);
+        let b = Vector::from_vec(coords(rng, 4, -10.0, 10.0));
         let chol = Cholesky::new(&m).expect("SPD by construction");
-        let b = Vector::from_vec(b);
         let x = chol.solve(&b);
         let back = m.matvec(&x);
         for i in 0..4 {
-            prop_assert!((back[i] - b[i]).abs() < 1e-6 * (1.0 + b[i].abs()),
-                "component {}: {} vs {}", i, back[i], b[i]);
+            assert!(
+                (back[i] - b[i]).abs() < 1e-6 * (1.0 + b[i].abs()),
+                "component {}: {} vs {}",
+                i,
+                back[i],
+                b[i]
+            );
         }
-    }
+    });
+}
 
-    #[test]
-    fn log_det_consistent_with_lu(m in spd_matrix(3)) {
+#[test]
+fn log_det_consistent_with_lu() {
+    check::cases("log_det_consistent_with_lu", 64, |rng| {
+        let m = spd_matrix(rng, 3);
         let chol = Cholesky::new(&m).expect("SPD");
         let lu_det = m.det().expect("non-singular");
-        prop_assert!(lu_det > 0.0);
-        prop_assert!((chol.log_det() - lu_det.ln()).abs() < 1e-8);
-    }
+        assert!(lu_det > 0.0);
+        assert!((chol.log_det() - lu_det.ln()).abs() < 1e-8);
+    });
+}
 
-    #[test]
-    fn gaussian_log_pdf_maximal_at_mean(g in gaussian(2), x in prop::collection::vec(-50.0f64..50.0, 2)) {
+#[test]
+fn gaussian_log_pdf_maximal_at_mean() {
+    check::cases("gaussian_log_pdf_maximal_at_mean", 64, |rng| {
+        let g = gaussian(rng, 2);
+        let x = coords(rng, 2, -50.0, 50.0);
         let at_mean = g.log_pdf(g.mean());
         let elsewhere = g.log_pdf(&Vector::from_vec(x));
-        prop_assert!(elsewhere <= at_mean + 1e-12);
-    }
+        assert!(elsewhere <= at_mean + 1e-12);
+    });
+}
 
-    #[test]
-    fn moment_merge_preserves_mass_and_mean(m in mixture(2, 4)) {
-        prop_assume!(m.k() >= 2);
+#[test]
+fn moment_merge_preserves_mass_and_mean() {
+    check::cases("moment_merge_preserves_mass_and_mean", 64, |rng| {
+        // Draw k ≥ 2 directly instead of discarding k = 1 cases.
+        let m = {
+            let k = rng.gen_range(2..=4);
+            let comps: Vec<Gaussian> = (0..k).map(|_| gaussian(rng, 2)).collect();
+            let weights: Vec<f64> = (0..k).map(|_| rng.gen_range(0.1..10.0)).collect();
+            Mixture::new(comps, weights).expect("valid mixture")
+        };
         let (merged, w) = m.moment_merge(0, 1).expect("valid merge");
         let (w0, w1) = (m.weights()[0], m.weights()[1]);
-        prop_assert!((w - (w0 + w1)).abs() < 1e-12);
+        assert!((w - (w0 + w1)).abs() < 1e-12);
         // Merged mean is the weighted mean of the pair.
         let mut expect = m.components()[0].mean().scaled(w0 / (w0 + w1));
         expect.axpy(w1 / (w0 + w1), m.components()[1].mean());
         for i in 0..2 {
-            prop_assert!((merged.mean()[i] - expect[i]).abs() < 1e-9);
+            assert!((merged.mean()[i] - expect[i]).abs() < 1e-9);
         }
-    }
+    });
+}
 
-    #[test]
-    fn fit_tolerance_at_least_epsilon(
-        eps in 0.001f64..1.0,
-        delta in 0.001f64..0.5,
-        sigma in 0.0f64..10.0,
-        m in 1usize..100_000,
-        p in 0usize..200,
-    ) {
+#[test]
+fn fit_tolerance_at_least_epsilon() {
+    check::cases("fit_tolerance_at_least_epsilon", 64, |rng| {
+        let eps = rng.gen_range(0.001..1.0);
+        let delta = rng.gen_range(0.001..0.5);
+        let sigma = rng.gen_range(0.0..10.0);
+        let m = rng.gen_range(1usize..100_000);
+        let p = rng.gen_range(0usize..200);
         let tol = gmm::fit_tolerance(eps, delta, sigma, m, p);
-        prop_assert!(tol >= eps);
-        prop_assert!(tol.is_finite());
+        assert!(tol >= eps);
+        assert!(tol.is_finite());
         // Tolerance shrinks toward ε as M grows.
         let tol_big = gmm::fit_tolerance(eps, delta, sigma, m * 100, p);
-        prop_assert!(tol_big <= tol + 1e-12);
-    }
+        assert!(tol_big <= tol + 1e-12);
+    });
 }

@@ -7,8 +7,7 @@ use cludistream_suite::baselines::{
 use cludistream_suite::cludistream::{horizon_mixture, landmark_mixture, Config, RemoteSite};
 use cludistream_suite::gmm::{ChunkParams, Gaussian, Mixture};
 use cludistream_suite::linalg::Vector;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use cludistream_rng::StdRng;
 
 fn site_config() -> Config {
     Config {

@@ -9,9 +9,7 @@ use cludistream_suite::datagen::{impute_missing, MissingValueInjector, NoiseInje
 use cludistream_suite::gmm::metrics::{nmi, purity};
 use cludistream_suite::gmm::{ChunkParams, Gaussian, Mixture};
 use cludistream_suite::linalg::Vector;
-use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use cludistream_rng::{check, Rng, StdRng};
 
 fn small_config() -> Config {
     Config {
@@ -72,7 +70,7 @@ fn map_clustering_recovers_ground_truth_components() {
     let mut labels = Vec::new();
     for _ in 0..(2 * chunk) {
         // Sample with a known component id.
-        let comp = if rand::Rng::gen::<f64>(&mut rng) < 0.5 { 0 } else { 1 };
+        let comp = if cludistream_rng::Rng::gen::<f64>(&mut rng) < 0.5 { 0 } else { 1 };
         let x = truth.components()[comp].sample(&mut rng);
         records.push(x.clone());
         labels.push(comp);
@@ -121,22 +119,24 @@ fn distributed_sliding_window_forgets_expired_regimes() {
     assert!(report.comm.total_messages() > 4, "deletions not transmitted");
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+/// Protocol fuzzing: arbitrary bytes must never panic the decoder —
+/// they either decode to a valid message or return an error.
+#[test]
+fn message_decoder_never_panics() {
+    check::cases("message_decoder_never_panics", 256, |rng| {
+        let len = rng.gen_range(0..600);
+        let bytes: Vec<u8> = (0..len).map(|_| rng.gen::<u8>()).collect();
+        let _ = Message::decode(&mut cludistream_suite::wire::ByteReader::new(&bytes));
+    });
+}
 
-    /// Protocol fuzzing: arbitrary bytes must never panic the decoder —
-    /// they either decode to a valid message or return an error.
-    #[test]
-    fn message_decoder_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..600)) {
-        let mut buf = bytes::Bytes::from(bytes);
-        let _ = Message::decode(&mut buf);
-    }
-
-    /// Truncations of a valid encoded message must never panic and never
-    /// decode to a different valid message silently... (truncated synopses
-    /// must be rejected).
-    #[test]
-    fn truncated_messages_rejected(cut in 0usize..100) {
+/// Truncations of a valid encoded message must never panic and never
+/// decode to a different valid message silently... (truncated synopses
+/// must be rejected).
+#[test]
+fn truncated_messages_rejected() {
+    check::cases("truncated_messages_rejected", 256, |rng| {
+        let cut = rng.gen_range(0usize..100);
         let mixture = Mixture::single(
             Gaussian::spherical(Vector::from_slice(&[1.0, 2.0]), 1.0).unwrap(),
         );
@@ -149,7 +149,7 @@ proptest! {
         };
         let bytes = msg.encode(cludistream_suite::gmm::CovarianceType::Full);
         let cut = cut.min(bytes.len() - 1);
-        let mut slice = bytes.slice(..cut);
-        prop_assert!(Message::decode(&mut slice).is_err());
-    }
+        let slice = bytes.slice(..cut);
+        assert!(Message::decode(&mut slice.reader()).is_err());
+    });
 }

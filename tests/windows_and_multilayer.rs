@@ -7,8 +7,7 @@ use cludistream_suite::cludistream::{
 use cludistream_suite::datagen::{EvolvingStream, EvolvingStreamConfig};
 use cludistream_suite::gmm::{ChunkParams, Gaussian};
 use cludistream_suite::linalg::Vector;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use cludistream_rng::StdRng;
 
 fn small_config() -> Config {
     Config {

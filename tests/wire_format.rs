@@ -1,0 +1,111 @@
+//! Golden-bytes fixture for the model-synopsis wire format.
+//!
+//! The expected buffers below are built with plain `Vec<u8>` pushes —
+//! independently of `cludistream_wire::ByteBuf` — straight from the layout
+//! documented in `gmm/src/codec.rs`:
+//!
+//! ```text
+//! u8  covariance tag (0 = full, 1 = diagonal)
+//! u32 K   u32 d      (little-endian)
+//! K × f64             weights
+//! K × d × f64         means
+//! K × (d² | d) × f64  covariances (row-major for full)
+//! ```
+//!
+//! If the encoder, the byte-buffer primitives, or the layout ever drift,
+//! these tests fail on the exact offending byte. Every constant in the
+//! fixture mixture is exactly representable in f64 (and the weights sum to
+//! 1.0) so the encoding is bit-reproducible on any platform.
+
+use cludistream_suite::gmm::{codec, CovarianceType, Gaussian, Mixture};
+use cludistream_suite::linalg::{Matrix, Vector};
+
+/// The fixed fixture mixture: K = 2, d = 2, one full-covariance component
+/// and one spherical, weights 1/4 and 3/4.
+fn fixture_mixture() -> Mixture {
+    Mixture::new(
+        vec![
+            Gaussian::new(
+                Vector::from_slice(&[1.0, 2.0]),
+                Matrix::from_rows(&[&[2.0, 0.5], &[0.5, 1.0]]),
+            )
+            .unwrap(),
+            Gaussian::spherical(Vector::from_slice(&[-3.0, 4.0]), 0.25).unwrap(),
+        ],
+        vec![0.25, 0.75],
+    )
+    .unwrap()
+}
+
+/// Spec-derived expected bytes, assembled without the wire crate.
+fn expected_bytes(tag: u8, covariances: &[f64]) -> Vec<u8> {
+    let mut exp: Vec<u8> = Vec::new();
+    exp.push(tag);
+    exp.extend_from_slice(&2u32.to_le_bytes()); // K
+    exp.extend_from_slice(&2u32.to_le_bytes()); // d
+    for w in [0.25f64, 0.75] {
+        exp.extend_from_slice(&w.to_le_bytes());
+    }
+    for m in [1.0f64, 2.0, -3.0, 4.0] {
+        exp.extend_from_slice(&m.to_le_bytes());
+    }
+    for &c in covariances {
+        exp.extend_from_slice(&c.to_le_bytes());
+    }
+    exp
+}
+
+#[test]
+fn full_synopsis_encoding_matches_golden_bytes() {
+    let bytes = codec::encode_mixture(&fixture_mixture(), CovarianceType::Full);
+    // Row-major full covariances: component 0 then component 1.
+    let exp = expected_bytes(0, &[2.0, 0.5, 0.5, 1.0, 0.25, 0.0, 0.0, 0.25]);
+    assert_eq!(exp.len(), codec::encoded_len(2, 2, CovarianceType::Full));
+    assert_eq!(&bytes[..], &exp[..], "full-covariance synopsis bytes drifted");
+    // Spot-check the 9-byte header literally, so a failure in the helper
+    // itself cannot mask a header change.
+    assert_eq!(&bytes[..9], &[0u8, 2, 0, 0, 0, 2, 0, 0, 0]);
+}
+
+#[test]
+fn diagonal_synopsis_encoding_matches_golden_bytes() {
+    let bytes = codec::encode_mixture(&fixture_mixture(), CovarianceType::Diagonal);
+    // Only the d diagonal entries per component are transmitted.
+    let exp = expected_bytes(1, &[2.0, 1.0, 0.25, 0.25]);
+    assert_eq!(exp.len(), codec::encoded_len(2, 2, CovarianceType::Diagonal));
+    assert_eq!(&bytes[..], &exp[..], "diagonal synopsis bytes drifted");
+}
+
+#[test]
+fn golden_bytes_decode_back_to_the_fixture() {
+    // The fixture is also readable: decoding the golden buffer reproduces
+    // the mixture exactly (all values are f64-exact, weights pre-normalized).
+    let m = fixture_mixture();
+    let bytes = codec::encode_mixture(&m, CovarianceType::Full);
+    let back = codec::decode_mixture(&mut bytes.reader()).expect("golden buffer decodes");
+    assert_eq!(back.weights(), m.weights());
+    for (a, b) in back.components().iter().zip(m.components()) {
+        assert_eq!(a.mean(), b.mean());
+        assert_eq!(a.cov().as_slice(), b.cov().as_slice());
+    }
+}
+
+/// Mirrors `remote/snapshot.rs`'s `corrupt_snapshots_rejected`: decoding a
+/// synopsis truncated at *every* possible length, or with a corrupted
+/// header, must return `Err` — never panic, never succeed.
+#[test]
+fn truncated_and_corrupt_synopses_rejected() {
+    let bytes = codec::encode_mixture(&fixture_mixture(), CovarianceType::Full);
+    for cut in 0..bytes.len() {
+        let prefix = bytes.slice(..cut);
+        assert!(
+            codec::decode_mixture(&mut prefix.reader()).is_err(),
+            "truncation at {cut} of {} accepted",
+            bytes.len()
+        );
+    }
+    // Header corruption: an unknown covariance tag.
+    let mut corrupt = bytes.clone();
+    corrupt[0] ^= 0xFF;
+    assert!(codec::decode_mixture(&mut corrupt.reader()).is_err());
+}
