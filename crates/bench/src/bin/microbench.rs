@@ -3,14 +3,18 @@
 //! workloads with the `timing::best_of` harness.
 //!
 //! ```text
-//! microbench              # every group
-//! microbench em codec     # specific groups
-//! microbench --list       # available group ids
+//! microbench                      # every group
+//! microbench em codec             # specific groups
+//! microbench --list               # available group ids
+//! microbench --json BENCH.json    # also write machine-readable results
 //! ```
 //!
 //! Each line is `group/benchmark/param: <best> s (best of N)`, where
 //! "best" is the minimum wall time over N runs — the noise-robust
-//! micro-measurement convention `timing::best_of` implements.
+//! micro-measurement convention `timing::best_of` implements. With
+//! `--json PATH` the same results are additionally written as a JSON
+//! array of `{name, iters, ns_per_op[, bytes_per_op]}` rows (human
+//! output stays on stdout).
 
 use cludistream::{Config, Coordinator, CoordinatorConfig, Message, ModelId, RemoteSite};
 use cludistream::coordinator::{j_merge, m_merge, MergeRefiner};
@@ -18,36 +22,95 @@ use cludistream_bench::{timing::best_of, workloads};
 use cludistream_datagen::random_spd_matrix;
 use cludistream_gmm::codec::{decode_mixture, encode_mixture};
 use cludistream_gmm::{
-    avg_log_likelihood, fit_em, fit_tolerance, free_parameters, ChunkParams, CovarianceType,
-    EmConfig, Mixture,
+    avg_log_likelihood, fit_em, fit_em_recorded, fit_tolerance, free_parameters, ChunkParams,
+    CovarianceType, EmConfig, Mixture,
 };
 use cludistream_linalg::{jacobi_eigen, Cholesky, Vector};
+use cludistream_obs::{json_f64, NopRecorder, Obs, Recorder, Registry};
 use cludistream_rng::StdRng;
+use std::io::Write;
 use std::process::ExitCode;
+use std::sync::Arc;
 
-const GROUPS: &[(&str, fn())] = &[
+const GROUPS: &[(&str, fn(&mut Sink))] = &[
     ("em", bench_em),
     ("test_vs_cluster", bench_test_vs_cluster),
     ("merge", bench_merge),
     ("codec", bench_codec),
     ("linalg", bench_linalg),
     ("pipeline", bench_pipeline),
+    ("obs", bench_obs),
 ];
 
 /// Repetitions per measurement; the printed number is the minimum.
 const RUNS: usize = 10;
 
-fn report(group: &str, name: &str, param: &str, seconds: f64) {
-    if param.is_empty() {
-        println!("{group}/{name}: {seconds:.6} s (best of {RUNS})");
-    } else {
-        println!("{group}/{name}/{param}: {seconds:.6} s (best of {RUNS})");
+/// One finished measurement.
+struct Row {
+    /// `group/name` or `group/name/param`.
+    name: String,
+    /// Best-of-[`RUNS`] wall time for one operation, seconds.
+    seconds: f64,
+    /// Payload size for throughput benches (codec encodes), when known.
+    bytes: Option<u64>,
+}
+
+/// Collects rows for `--json` while echoing the human line to stdout.
+#[derive(Default)]
+struct Sink {
+    rows: Vec<Row>,
+}
+
+impl Sink {
+    fn report(&mut self, group: &str, name: &str, param: &str, seconds: f64) {
+        self.report_sized(group, name, param, seconds, None);
+    }
+
+    fn report_sized(
+        &mut self,
+        group: &str,
+        name: &str,
+        param: &str,
+        seconds: f64,
+        bytes: Option<u64>,
+    ) {
+        let full = if param.is_empty() {
+            format!("{group}/{name}")
+        } else {
+            format!("{group}/{name}/{param}")
+        };
+        println!("{full}: {seconds:.6} s (best of {RUNS})");
+        self.rows.push(Row { name: full, seconds, bytes });
+    }
+
+    /// The machine-readable result file: a JSON array, one object per
+    /// measurement, `ns_per_op` from the best-of time.
+    fn to_json(&self) -> String {
+        let mut s = String::from("[\n");
+        for (i, row) in self.rows.iter().enumerate() {
+            s.push_str(&format!(
+                "  {{\"name\":\"{}\",\"iters\":{RUNS},\"ns_per_op\":{}",
+                row.name,
+                json_f64(row.seconds * 1e9)
+            ));
+            if let Some(b) = row.bytes {
+                s.push_str(&format!(",\"bytes_per_op\":{b}"));
+            }
+            s.push('}');
+            if i + 1 < self.rows.len() {
+                s.push(',');
+            }
+            s.push('\n');
+        }
+        s.push(']');
+        s.push('\n');
+        s
     }
 }
 
 /// EM iteration cost vs dimensionality, component count, and chunk size —
 /// the microbenchmark behind the Figs. 8-9 scalability claims.
-fn bench_em() {
+fn bench_em(sink: &mut Sink) {
     for d in [2usize, 4, 8, 16] {
         let mut stream = workloads::synthetic_boxed(d, 5, 0.0, 1);
         let data = workloads::collect(&mut *stream, 1000);
@@ -55,7 +118,7 @@ fn bench_em() {
             fit_em(&data, &EmConfig { k: 5, max_iters: 10, tol: 0.0, seed: 2, ..Default::default() })
                 .expect("EM fits")
         });
-        report("em", "dim", &d.to_string(), t);
+        sink.report("em", "dim", &d.to_string(), t);
     }
     for k in [2usize, 5, 10, 20] {
         let mut stream = workloads::synthetic_boxed(4, 5, 0.0, 3);
@@ -64,7 +127,7 @@ fn bench_em() {
             fit_em(&data, &EmConfig { k, max_iters: 10, tol: 0.0, seed: 4, ..Default::default() })
                 .expect("EM fits")
         });
-        report("em", "k", &k.to_string(), t);
+        sink.report("em", "k", &k.to_string(), t);
     }
     for n in [500usize, 1000, 2000, 4000] {
         let mut stream = workloads::synthetic_boxed(4, 5, 0.0, 5);
@@ -73,13 +136,13 @@ fn bench_em() {
             fit_em(&data, &EmConfig { k: 5, max_iters: 10, tol: 0.0, seed: 6, ..Default::default() })
                 .expect("EM fits")
         });
-        report("em", "n", &n.to_string(), t);
+        sink.report("em", "n", &n.to_string(), t);
     }
 }
 
 /// The λ of Theorem 4: testing a chunk against a model vs clustering it
 /// with EM — both sides of the `(P_d + λ(1−P_d))·C` per-chunk cost.
-fn bench_test_vs_cluster() {
+fn bench_test_vs_cluster(sink: &mut Sink) {
     let m = ChunkParams::PAPER_DEFAULTS.chunk_size(4).expect("valid params");
     let mut stream = workloads::synthetic_boxed(4, 5, 0.0, 1);
     let chunk = workloads::collect(&mut *stream, m);
@@ -93,63 +156,49 @@ fn bench_test_vs_cluster() {
         let tol = fit_tolerance(0.02, 0.01, 1.0, chunk.len(), p);
         (avg, tol)
     });
-    report("test_vs_cluster", "distribution_test", "", t);
+    sink.report("test_vs_cluster", "distribution_test", "", t);
 
     let t = best_of(RUNS, || {
         fit_em(&chunk, &EmConfig { k: 5, seed: 3, ..Default::default() }).expect("EM fits")
     });
-    report("test_vs_cluster", "em_clustering", "", t);
+    sink.report("test_vs_cluster", "em_clustering", "", t);
 }
 
 /// Coordinator merge machinery: `M_merge`, `J_merge` (for contrast — it
 /// needs raw data), the moment-preserving merge, and the Nelder-Mead
 /// refinement.
-fn bench_merge() {
+fn bench_merge(sink: &mut Sink) {
     let mut stream = workloads::synthetic_boxed(4, 5, 0.0, 1);
     let data = workloads::collect(&mut *stream, 2000);
     let fit = fit_em(&data, &EmConfig { k: 8, seed: 2, ..Default::default() }).expect("EM fits");
     let mixture: Mixture = fit.mixture;
     let (a, b) = (&mixture.components()[0], &mixture.components()[1]);
 
-    report("merge", "m_merge_pair", "", best_of(RUNS, || m_merge(a, b)));
-    report(
-        "merge",
-        "j_merge_pair_2000pts",
-        "",
-        best_of(RUNS, || j_merge(&mixture, 0, 1, &data)),
-    );
-    report(
-        "merge",
-        "moment_merge",
-        "",
-        best_of(RUNS, || mixture.moment_merge(0, 1).expect("valid merge")),
-    );
+    sink.report("merge", "m_merge_pair", "", best_of(RUNS, || m_merge(a, b)));
+    let t = best_of(RUNS, || j_merge(&mixture, 0, 1, &data));
+    sink.report("merge", "j_merge_pair_2000pts", "", t);
+    let t = best_of(RUNS, || mixture.moment_merge(0, 1).expect("valid merge"));
+    sink.report("merge", "moment_merge", "", t);
     let refiner = MergeRefiner { samples: 128, max_evals: 300, seed: 3 };
-    report(
-        "merge",
-        "simplex_refined_merge",
-        "",
-        best_of(RUNS, || refiner.refine(0.5, a, 0.5, b)),
-    );
+    let t = best_of(RUNS, || refiner.refine(0.5, a, 0.5, b));
+    sink.report("merge", "simplex_refined_merge", "", t);
 }
 
 /// Wire-codec throughput and message sizes: the synopsis encoding that
 /// every communication-cost number rests on.
-fn bench_codec() {
+fn bench_codec(sink: &mut Sink) {
     let mut stream = workloads::synthetic_boxed(4, 5, 0.0, 1);
     let data = workloads::collect(&mut *stream, 1000);
     let fit = fit_em(&data, &EmConfig { k: 5, seed: 2, ..Default::default() }).expect("EM fits");
     let mixture = fit.mixture;
 
     for (name, cov) in [("full", CovarianceType::Full), ("diag", CovarianceType::Diagonal)] {
-        report("codec", "encode", name, best_of(RUNS, || encode_mixture(&mixture, cov)));
         let bytes = encode_mixture(&mixture, cov);
-        report(
-            "codec",
-            "decode",
-            name,
-            best_of(RUNS, || decode_mixture(&mut bytes.reader()).expect("valid buffer")),
-        );
+        let size = bytes.len() as u64;
+        let t = best_of(RUNS, || encode_mixture(&mixture, cov));
+        sink.report_sized("codec", "encode", name, t, Some(size));
+        let t = best_of(RUNS, || decode_mixture(&mut bytes.reader()).expect("valid buffer"));
+        sink.report_sized("codec", "decode", name, t, Some(size));
     }
 
     let msg = Message::NewModel {
@@ -159,20 +208,17 @@ fn bench_codec() {
         avg_ll: -2.0,
         mixture: mixture.clone(),
     };
-    report(
-        "codec",
-        "message_roundtrip",
-        "",
-        best_of(RUNS, || {
-            let bytes = msg.encode(CovarianceType::Full);
-            Message::decode(&mut bytes.reader()).expect("valid message")
-        }),
-    );
+    let size = msg.encode(CovarianceType::Full).len() as u64;
+    let t = best_of(RUNS, || {
+        let bytes = msg.encode(CovarianceType::Full);
+        Message::decode(&mut bytes.reader()).expect("valid message")
+    });
+    sink.report_sized("codec", "message_roundtrip", "", t, Some(size));
 }
 
 /// Dense-kernel microbenchmarks: Cholesky factorization, triangular
 /// solves, Mahalanobis quadratic forms, and the Jacobi eigensolver.
-fn bench_linalg() {
+fn bench_linalg(sink: &mut Sink) {
     for d in [4usize, 8, 16, 32] {
         let mut rng = StdRng::seed_from_u64(d as u64);
         let spd = random_spd_matrix(d, (0.5, 2.0), &mut rng);
@@ -181,22 +227,18 @@ fn bench_linalg() {
         let mu = Vector::zeros(d);
         let p = &d.to_string();
 
-        report("linalg", "cholesky", p, best_of(RUNS, || Cholesky::new(&spd).expect("SPD")));
-        report("linalg", "mahalanobis", p, best_of(RUNS, || chol.mahalanobis_sq(&x, &mu)));
-        report("linalg", "solve", p, best_of(RUNS, || chol.solve(&x)));
-        report("linalg", "inverse", p, best_of(RUNS, || chol.inverse()));
-        report(
-            "linalg",
-            "jacobi_eigen",
-            p,
-            best_of(RUNS, || jacobi_eigen(&spd, 100).expect("converges")),
-        );
+        sink.report("linalg", "cholesky", p, best_of(RUNS, || Cholesky::new(&spd).expect("SPD")));
+        sink.report("linalg", "mahalanobis", p, best_of(RUNS, || chol.mahalanobis_sq(&x, &mu)));
+        sink.report("linalg", "solve", p, best_of(RUNS, || chol.solve(&x)));
+        sink.report("linalg", "inverse", p, best_of(RUNS, || chol.inverse()));
+        let t = best_of(RUNS, || jacobi_eigen(&spd, 100).expect("converges"));
+        sink.report("linalg", "jacobi_eigen", p, t);
     }
 }
 
 /// End-to-end pipeline: remote-site record throughput (the steady-state
 /// "test only" path) and coordinator message-application throughput.
-fn bench_pipeline() {
+fn bench_pipeline(sink: &mut Sink) {
     let config = Config {
         dim: 4,
         k: 5,
@@ -220,7 +262,7 @@ fn bench_pipeline() {
         }
         site
     });
-    report("pipeline", "steady_state_10k_records", "", t);
+    sink.report("pipeline", "steady_state_10k_records", "", t);
 
     let mut stream = workloads::synthetic_boxed(4, 5, 0.0, 3);
     let data = workloads::collect(&mut *stream, 2000);
@@ -241,7 +283,46 @@ fn bench_pipeline() {
         }
         coord
     });
-    report("pipeline", "apply_100_new_models", "", t);
+    sink.report("pipeline", "apply_100_new_models", "", t);
+}
+
+/// Telemetry overhead: the same EM fit uninstrumented, through the
+/// monomorphized no-op recorder (must be within noise of the baseline —
+/// the zero-cost contract), through the dynamic no-op handle, and with a
+/// live registry attached.
+fn bench_obs(sink: &mut Sink) {
+    let mut stream = workloads::synthetic_boxed(4, 5, 0.0, 1);
+    let data = workloads::collect(&mut *stream, 1000);
+    let cfg = EmConfig { k: 5, max_iters: 10, tol: 0.0, seed: 2, ..Default::default() };
+
+    let t = best_of(RUNS, || fit_em(&data, &cfg).expect("EM fits"));
+    sink.report("obs", "fit_em_baseline", "", t);
+
+    let t = best_of(RUNS, || fit_em_recorded(&data, &cfg, &NopRecorder).expect("EM fits"));
+    sink.report("obs", "fit_em_noop_static", "", t);
+
+    let noop = Obs::noop();
+    let t = best_of(RUNS, || fit_em_recorded(&data, &cfg, &noop).expect("EM fits"));
+    sink.report("obs", "fit_em_noop_dyn", "", t);
+
+    let registry = Arc::new(Registry::new());
+    let live = Obs::from_registry(Arc::clone(&registry));
+    let t = best_of(RUNS, || fit_em_recorded(&data, &cfg, &live).expect("EM fits"));
+    sink.report("obs", "fit_em_registry", "", t);
+
+    // Raw registry primitive costs, amortized over 1000 operations.
+    let t = best_of(RUNS, || {
+        for _ in 0..1000 {
+            live.counter("bench.counter", 1);
+        }
+    });
+    sink.report("obs", "registry_counter_x1000", "", t);
+    let t = best_of(RUNS, || {
+        for i in 0..1000u64 {
+            live.observe("bench.histogram", i);
+        }
+    });
+    sink.report("obs", "registry_observe_x1000", "", t);
 }
 
 fn main() -> ExitCode {
@@ -252,12 +333,28 @@ fn main() -> ExitCode {
         }
         return ExitCode::SUCCESS;
     }
-    let selected: Vec<&(&str, fn())> = if args.is_empty() {
+    let mut json_path: Option<String> = None;
+    let mut group_args: Vec<&String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--json" {
+            match it.next() {
+                Some(p) => json_path = Some(p.clone()),
+                None => {
+                    eprintln!("--json expects an output path");
+                    return ExitCode::FAILURE;
+                }
+            }
+        } else {
+            group_args.push(a);
+        }
+    }
+    let selected: Vec<&(&str, fn(&mut Sink))> = if group_args.is_empty() {
         GROUPS.iter().collect()
     } else {
         let mut sel = Vec::new();
-        for a in &args {
-            match GROUPS.iter().find(|(id, _)| id == a) {
+        for a in &group_args {
+            match GROUPS.iter().find(|(id, _)| id == *a) {
                 Some(g) => sel.push(g),
                 None => {
                     eprintln!("unknown group {a}; try --list");
@@ -267,9 +364,20 @@ fn main() -> ExitCode {
         }
         sel
     };
+    let mut sink = Sink::default();
     for (id, run) in selected {
         println!("######## {id} ########");
-        run();
+        run(&mut sink);
+    }
+    if let Some(path) = json_path {
+        let json = sink.to_json();
+        match std::fs::File::create(&path).and_then(|mut f| f.write_all(json.as_bytes())) {
+            Ok(()) => println!("json results written to {path}"),
+            Err(e) => {
+                eprintln!("failed to write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
     }
     ExitCode::SUCCESS
 }

@@ -13,16 +13,25 @@
 //!   table.
 //! - `generate` — write a synthetic evolving-GMM stream to CSV (for
 //!   demos and round-trip testing).
+//! - `metrics` — run a small deterministic distributed workload with the
+//!   telemetry layer attached and print the metrics table; `--journal`
+//!   additionally writes the structured event journal as JSONL.
 //!
 //! The argument parser is deliberately dependency-free; see
 //! [`parse_args`].
 
-use cludistream::{ChunkOutcome, Config, RemoteSite};
+use cludistream::coordinator::MergeRefiner;
+use cludistream::{
+    run_star, ChunkOutcome, Config, CoordinatorConfig, DriverConfig, RecordStream, RemoteSite,
+};
 use cludistream_datagen::csvio;
 use cludistream_datagen::{EvolvingStream, EvolvingStreamConfig};
-use cludistream_gmm::{fit_em, fit_em_bic, ChunkParams, EmConfig};
+use cludistream_gmm::{fit_em, fit_em_bic, ChunkParams, EmConfig, Gaussian, Mixture};
 use cludistream_linalg::Vector;
+use cludistream_obs::{Obs, Registry};
+use cludistream_rng::StdRng;
 use std::io::Write;
+use std::sync::Arc;
 
 /// A parsed command line.
 #[derive(Debug, Clone, PartialEq)]
@@ -67,6 +76,19 @@ pub enum Command {
         p_new: f64,
         /// RNG seed.
         seed: u64,
+    },
+    /// Run an instrumented deterministic workload and print telemetry.
+    Metrics {
+        /// Remote sites in the star.
+        sites: usize,
+        /// Chunks per regime per site (each site sees two regimes).
+        chunks: usize,
+        /// RNG seed for data generation and EM.
+        seed: u64,
+        /// Error bound ε (drives the chunk size).
+        epsilon: f64,
+        /// Write the JSONL event journal here.
+        journal: Option<String>,
     },
     /// Print usage.
     Help,
@@ -122,10 +144,12 @@ USAGE:
   cludistream cluster  <csv|-> [--k N] [--auto-k LO..HI] [--seed S] [--memberships]
   cludistream stream   <csv|-> [--k N] [--epsilon E] [--delta D] [--c-max C] [--seed S]
   cludistream generate [--records N] [--dim D] [--k K] [--p-new P] [--seed S]
+  cludistream metrics  [--sites R] [--chunks C] [--seed S] [--epsilon E] [--journal OUT.jsonl]
   cludistream help
 
 Defaults: k=5, epsilon=0.02, delta=0.01, c-max=4, seed=0,
-          records=10000, dim=4, p-new=0.1.
+          records=10000, dim=4, p-new=0.1,
+          metrics: sites=2, chunks=2, seed=7, epsilon=0.15.
 ";
 
 /// Parses a command line (excluding the program name).
@@ -215,8 +239,43 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             p_new: parse_num("--p-new", 0.1)?,
             seed: parse_int("--seed", 0)? as u64,
         }),
+        "metrics" => Ok(Command::Metrics {
+            sites: parse_int("--sites", 2)?.max(1),
+            chunks: parse_int("--chunks", 2)?.max(1),
+            seed: parse_int("--seed", 7)? as u64,
+            epsilon: parse_num("--epsilon", 0.15)?,
+            journal: flag("--journal").map(|s| s.to_string()),
+        }),
         other => Err(CliError::Usage(format!("unknown command {other:?}; try help"))),
     }
+}
+
+/// The deterministic two-regime stream behind `cludistream metrics`:
+/// `per_regime` records of two blobs at ±3 (shifted slightly per site),
+/// then `per_regime` records of the same shape moved to 40 ± 3.
+fn metrics_stream(site: usize, seed: u64, per_regime: usize) -> RecordStream {
+    let regime = |center: f64| -> Mixture {
+        let offset = 0.3 * site as f64;
+        Mixture::new(
+            vec![
+                Gaussian::spherical(Vector::from_slice(&[center - 3.0 + offset]), 0.5)
+                    .expect("valid gaussian"),
+                Gaussian::spherical(Vector::from_slice(&[center + 3.0 + offset]), 0.5)
+                    .expect("valid gaussian"),
+            ],
+            vec![0.5, 0.5],
+        )
+        .expect("valid mixture")
+    };
+    let a = regime(0.0);
+    let b = regime(40.0);
+    let mut rng = StdRng::seed_from_u64(seed ^ (site as u64).wrapping_mul(0x9E37_79B9));
+    let mut emitted = 0usize;
+    Box::new(std::iter::from_fn(move || {
+        let m = if emitted < per_regime { &a } else { &b };
+        emitted += 1;
+        Some(m.sample(&mut rng))
+    }))
 }
 
 fn read_input(path: &str) -> Result<Vec<Vector>, CliError> {
@@ -315,6 +374,65 @@ pub fn run(command: Command, out: &mut impl Write) -> Result<(), CliError> {
                     "  chunks {:>4}..={:<4} -> model {}",
                     e.start_chunk, e.end_chunk, e.model
                 )?;
+            }
+            Ok(())
+        }
+        Command::Metrics { sites, chunks, seed, epsilon, journal } => {
+            let registry = match &journal {
+                Some(path) => {
+                    let file = std::fs::File::create(path)?;
+                    Arc::new(Registry::with_journal(Box::new(std::io::BufWriter::new(file))))
+                }
+                None => Arc::new(Registry::new()),
+            };
+            let obs = Obs::from_registry(Arc::clone(&registry));
+
+            // A two-regime workload engineered so every event type fires:
+            // each site streams `chunks` chunks from regime A (blobs at
+            // ±3), then `chunks` chunks from regime B (blobs at 40 ± 3) —
+            // re-clustering on the change — and the per-regime component
+            // pairs give the coordinator more groups than `max_groups`,
+            // forcing merges with simplex refinement.
+            let site_config = Config {
+                dim: 1,
+                k: 2,
+                chunk: ChunkParams { epsilon, delta: 0.01 },
+                c_max: 4,
+                seed,
+                ..Default::default()
+            };
+            let chunk_size = RemoteSite::new(site_config.clone())?.chunk_size();
+            let per_regime = chunks * chunk_size;
+            let streams: Vec<RecordStream> = (0..sites)
+                .map(|i| metrics_stream(i, seed, per_regime))
+                .collect();
+            let driver_config = DriverConfig {
+                site: site_config,
+                coordinator: CoordinatorConfig {
+                    max_groups: 2,
+                    refine_merges: true,
+                    refiner: MergeRefiner { samples: 32, max_evals: 100, seed: 9 },
+                    ..Default::default()
+                },
+                obs,
+                ..Default::default()
+            };
+            let report = run_star(streams, 2 * per_regime as u64, driver_config)
+                .map_err(|e| CliError::Usage(format!("driver: {e}")))?;
+            registry.flush_journal()?;
+
+            writeln!(out, "sites: {sites} | chunk size M = {chunk_size} records")?;
+            writeln!(
+                out,
+                "sim seconds: {:.3} | total bytes on the wire: {}",
+                report.sim_seconds,
+                report.comm.total_bytes()
+            )?;
+            writeln!(out, "coordinator groups: {}", report.coordinator_groups)?;
+            writeln!(out)?;
+            write!(out, "{}", registry.render_table())?;
+            if let Some(path) = journal {
+                writeln!(out, "journal written to {path}")?;
             }
             Ok(())
         }

@@ -124,6 +124,19 @@ impl MergeRefiner {
     /// (mean, log-Cholesky) space so every candidate is a valid Gaussian.
     /// Returns the refined component and its accuracy loss.
     pub fn refine(&self, wi: f64, gi: &Gaussian, wj: f64, gj: &Gaussian) -> (Gaussian, f64) {
+        let (g, loss, _) = self.refine_detailed(wi, gi, wj, gj);
+        (g, loss)
+    }
+
+    /// [`MergeRefiner::refine`] plus the number of simplex objective
+    /// evaluations spent — what telemetry journals as `SimplexRefine`.
+    pub fn refine_detailed(
+        &self,
+        wi: f64,
+        gi: &Gaussian,
+        wj: f64,
+        gj: &Gaussian,
+    ) -> (Gaussian, f64, usize) {
         let two = Mixture::new(vec![gi.clone(), gj.clone()], vec![wi, wj])
             .expect("two valid components");
         let (start, _) = two.moment_merge(0, 1).expect("valid merge");
@@ -159,8 +172,8 @@ impl MergeRefiner {
         match unpack(&result.point, d) {
             // Keep the refinement only when it actually improved on the
             // moment merge.
-            Some(g) if result.value <= start_loss => (g, result.value),
-            _ => (start, start_loss),
+            Some(g) if result.value <= start_loss => (g, result.value, result.evaluations),
+            _ => (start, start_loss, result.evaluations),
         }
     }
 }

@@ -22,6 +22,7 @@ pub use split::{m_remerge, m_split, should_split};
 use crate::protocol::Message;
 use crate::remote::ModelId;
 use cludistream_gmm::{CovarianceType, Gaussian, GmmError, Mixture};
+use cludistream_obs::{Event, Obs, Recorder};
 use std::collections::HashMap;
 
 /// Coordinator tuning knobs.
@@ -109,6 +110,8 @@ pub struct Coordinator {
     index_cache: Option<GroupIndex>,
     /// Append-only merge history (the hierarchy record).
     merge_log: Vec<MergeRecord>,
+    /// Telemetry handle (no-op unless [`Coordinator::set_observer`] ran).
+    obs: Obs,
 }
 
 impl Coordinator {
@@ -124,7 +127,15 @@ impl Coordinator {
             messages_applied: 0,
             index_cache: None,
             merge_log: Vec::new(),
+            obs: Obs::noop(),
         }
+    }
+
+    /// Attaches a telemetry observer. Merge / split / re-merge decisions
+    /// and simplex refinements are journaled; `coord.*` counters and the
+    /// `coord.groups` gauge land in the registry.
+    pub fn set_observer(&mut self, obs: Obs) {
+        self.obs = obs;
     }
 
     /// The merge history: every group-absorbs-group event, oldest first.
@@ -165,7 +176,8 @@ impl Coordinator {
     /// Applies one protocol message.
     pub fn apply(&mut self, message: &Message) -> Result<(), GmmError> {
         self.messages_applied += 1;
-        match message {
+        self.obs.counter("coord.messages", 1);
+        let result = match message {
             Message::NewModel { site, model, count, mixture, .. } => {
                 // Idempotent under retransmission: a duplicate NewModel for
                 // a known (site, model) replaces the previous components
@@ -252,7 +264,9 @@ impl Coordinator {
                 }
                 Ok(())
             }
-        }
+        };
+        self.obs.gauge("coord.groups", self.groups.len() as f64);
+        result
     }
 
     /// The "simple procedure" of Sec. 5.2: the flat mixture of all known
@@ -280,7 +294,8 @@ impl Coordinator {
 
     /// Inserts a component under the re-merge rule: join the group with the
     /// largest `M_remerge` when close enough, found a new group otherwise.
-    fn insert_component(&mut self, key: ComponentKey, gaussian: Gaussian, weight: f64) {
+    /// Returns the id of the group the component landed in.
+    fn insert_component(&mut self, key: ComponentKey, gaussian: Gaussian, weight: f64) -> u64 {
         let d = gaussian.dim() as f64;
         let best = if self.config.use_index && self.groups.len() > self.config.index_candidates {
             // Index-accelerated: Euclidean pre-filter over aggregate means,
@@ -322,6 +337,7 @@ impl Coordinator {
                 let agg = group.aggregate().clone();
                 let member = group.members.last_mut().expect("just pushed");
                 member.remerge_at_merge = m_remerge(&member.gaussian, &agg);
+                group.id
             }
             _ => {
                 let id = self.next_group_id;
@@ -330,6 +346,7 @@ impl Coordinator {
                 // Singleton: the member IS the aggregate, distance 0.
                 seed.remerge_at_merge = f64::INFINITY;
                 self.groups.push(Group::new(id, seed));
+                id
             }
         }
     }
@@ -338,6 +355,7 @@ impl Coordinator {
     /// component belonging to the updated model; split drifted components
     /// from their fathers and re-merge them into their best group.
     fn on_model_update(&mut self, site: u32, model: ModelId) {
+        let obs = self.obs.clone();
         let mut split_off: Vec<Member> = Vec::new();
         for g in &mut self.groups {
             if g.is_empty() {
@@ -359,13 +377,17 @@ impl Coordinator {
                 }
             }
             if !to_split.is_empty() {
+                obs.counter("coord.splits", to_split.len() as u64);
+                obs.event(&Event::Split { group: g.id, members: to_split.len() as u64 });
                 split_off.extend(g.drain_matching(|m| to_split.contains(&m.key)));
             }
         }
         self.groups.retain(|g| !g.is_empty());
         self.index_cache = None;
         for m in split_off {
-            self.insert_component(m.key, m.gaussian, m.weight);
+            let target = self.insert_component(m.key, m.gaussian, m.weight);
+            self.obs.counter("coord.remerges", 1);
+            self.obs.event(&Event::ReMerge { group: target });
         }
         self.consolidate();
     }
@@ -384,7 +406,7 @@ impl Coordinator {
                     }
                 }
             }
-            let Some((i, j, _)) = best else { break };
+            let Some((i, j, m)) = best else { break };
             self.index_cache = None;
             let absorbed = self.groups.remove(j);
             self.merge_log.push(MergeRecord {
@@ -393,12 +415,18 @@ impl Coordinator {
                 absorbed_group: absorbed.id,
                 members_moved: absorbed.members.len(),
             });
+            self.obs.counter("coord.merges", 1);
+            self.obs.event(&Event::Merge {
+                groups: (self.groups[i].id, absorbed.id),
+                mahalanobis: m,
+            });
             let (wi, wj) = (self.groups[i].weight(), absorbed.weight());
             let refined = if self.config.refine_merges {
                 let gi = self.groups[i].representative().clone();
                 let gj = absorbed.representative().clone();
-                let (g, _loss) =
-                    self.config.refiner.refine(wi.max(1e-9), &gi, wj.max(1e-9), &gj);
+                let (g, loss, evals) =
+                    self.config.refiner.refine_detailed(wi.max(1e-9), &gi, wj.max(1e-9), &gj);
+                self.obs.event(&Event::SimplexRefine { iters: evals as u64, loss });
                 Some(g)
             } else {
                 None

@@ -9,6 +9,7 @@ use crate::protocol::Message;
 use crate::remote::{RemoteSite, SiteStats};
 use cludistream_gmm::{GmmError, Mixture};
 use cludistream_linalg::Vector;
+use cludistream_obs::{Event, Obs, Recorder};
 use cludistream_simnet::{
     CommStats, Context, LinkModel, Node, NodeId, SimError, Simulation, Topology, MICROS_PER_SEC,
 };
@@ -31,6 +32,9 @@ pub struct DriverConfig {
     pub batch: usize,
     /// Link timing model.
     pub link: LinkModel,
+    /// Telemetry observer, threaded through the sites, the coordinator and
+    /// the simulator. Defaults to a no-op recorder.
+    pub obs: Obs,
 }
 
 impl Default for DriverConfig {
@@ -41,6 +45,7 @@ impl Default for DriverConfig {
             records_per_second: 1000,
             batch: 100,
             link: LinkModel::default(),
+            obs: Obs::noop(),
         }
     }
 }
@@ -77,6 +82,7 @@ struct SiteNode {
     batch: usize,
     interval_us: u64,
     error: Option<GmmError>,
+    obs: Obs,
 }
 
 impl SiteNode {
@@ -99,9 +105,14 @@ impl SiteNode {
         // Transmit whatever the test-and-cluster strategy queued.
         let cov = self.site.config().covariance;
         for event in self.site.drain_events() {
+            let is_synopsis = matches!(event, crate::remote::SiteEvent::NewModel { .. });
             let msg = Message::from_site_event(self.site_index, event);
             let bytes = msg.encode(cov);
             let len = bytes.len();
+            if is_synopsis {
+                self.obs
+                    .event(&Event::SynopsisSent { site: self.site_index, bytes: len as u64 });
+            }
             ctx.send(self.coordinator, bytes, len);
         }
         if self.remaining > 0 {
@@ -186,7 +197,8 @@ pub fn run_star(
         let mut site_config = config.site.clone();
         // De-correlate EM initialization across sites.
         site_config.seed = site_config.seed.wrapping_add(i as u64 * 7919);
-        let site = RemoteSite::new(site_config).map_err(DriverError::Site)?;
+        let mut site = RemoteSite::new(site_config).map_err(DriverError::Site)?;
+        site.set_observer(config.obs.clone(), i as u32);
         let id = sim.add_node(Box::new(SiteNode {
             site,
             stream,
@@ -196,14 +208,18 @@ pub fn run_star(
             batch: config.batch,
             interval_us: interval_us.max(1),
             error: None,
+            obs: config.obs.clone(),
         }));
         site_ids.push(id);
     }
+    let mut coordinator = Coordinator::new(config.coordinator.clone());
+    coordinator.set_observer(config.obs.clone());
     sim.add_node(Box::new(CoordinatorNode {
-        coordinator: Coordinator::new(config.coordinator.clone()),
+        coordinator,
         decode_errors: 0,
         apply_errors: 0,
     }));
+    sim.set_observer(config.obs.clone());
 
     sim.run().map_err(DriverError::Sim)?;
 
@@ -247,6 +263,7 @@ struct WindowedSiteNode {
     batch: usize,
     interval_us: u64,
     error: Option<GmmError>,
+    obs: Obs,
 }
 
 impl Node<ByteBuf> for WindowedSiteNode {
@@ -276,9 +293,14 @@ impl Node<ByteBuf> for WindowedSiteNode {
         }
         let cov = self.site.site().config().covariance;
         for event in self.site.drain_events() {
+            let is_synopsis = matches!(event, crate::remote::SiteEvent::NewModel { .. });
             let msg = Message::from_site_event(self.site_index, event);
             let bytes = msg.encode(cov);
             let len = bytes.len();
+            if is_synopsis {
+                self.obs
+                    .event(&Event::SynopsisSent { site: self.site_index, bytes: len as u64 });
+            }
             ctx.send(self.coordinator, bytes, len);
         }
         for (model, count) in self.site.drain_deletions() {
@@ -319,8 +341,9 @@ pub fn run_star_windowed(
     for (i, stream) in streams.into_iter().enumerate() {
         let mut site_config = config.site.clone();
         site_config.seed = site_config.seed.wrapping_add(i as u64 * 7919);
-        let site = crate::windows::SlidingWindowSite::new(site_config, window_chunks)
+        let mut site = crate::windows::SlidingWindowSite::new(site_config, window_chunks)
             .map_err(DriverError::Site)?;
+        site.set_observer(config.obs.clone(), i as u32);
         let id = sim.add_node(Box::new(WindowedSiteNode {
             site,
             stream,
@@ -330,14 +353,18 @@ pub fn run_star_windowed(
             batch: config.batch,
             interval_us: interval_us.max(1),
             error: None,
+            obs: config.obs.clone(),
         }));
         site_ids.push(id);
     }
+    let mut coordinator = Coordinator::new(config.coordinator.clone());
+    coordinator.set_observer(config.obs.clone());
     sim.add_node(Box::new(CoordinatorNode {
-        coordinator: Coordinator::new(config.coordinator.clone()),
+        coordinator,
         decode_errors: 0,
         apply_errors: 0,
     }));
+    sim.set_observer(config.obs.clone());
 
     sim.run().map_err(DriverError::Sim)?;
 

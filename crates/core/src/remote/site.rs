@@ -2,10 +2,11 @@ use crate::config::Config;
 use crate::remote::event_table::EventTable;
 use crate::remote::model_list::{ModelId, ModelList};
 use cludistream_gmm::{
-    avg_log_likelihood, fit_em, fit_em_bic, fit_em_warm, fit_tolerance, free_parameters, j_fit,
-    log_likelihood_std, GmmError, Mixture,
+    avg_log_likelihood, fit_em_bic, fit_em_recorded, fit_em_warm_recorded, fit_tolerance,
+    free_parameters, j_fit, log_likelihood_std, GmmError, Mixture,
 };
 use cludistream_linalg::Vector;
+use cludistream_obs::{Event, Obs, Recorder, Verdict};
 
 /// What a remote site emits toward the coordinator. Stability costs
 /// nothing: a chunk fitting the *current* model produces no message at all
@@ -112,6 +113,8 @@ pub struct RemoteSite {
     chunk_index: u64,
     outbox: Vec<SiteEvent>,
     stats: SiteStats,
+    obs: Obs,
+    obs_site: u32,
 }
 
 impl RemoteSite {
@@ -129,7 +132,17 @@ impl RemoteSite {
             chunk_index: 0,
             outbox: Vec::new(),
             stats: SiteStats::default(),
+            obs: Obs::noop(),
+            obs_site: 0,
         })
+    }
+
+    /// Attaches a telemetry observer; `site` identifies this site in
+    /// journaled events. Off by default (a no-op recorder), so uninstru-
+    /// mented use pays nothing.
+    pub fn set_observer(&mut self, obs: Obs, site: u32) {
+        self.obs = obs;
+        self.obs_site = site;
     }
 
     /// The chunk size M in records.
@@ -244,10 +257,16 @@ impl RemoteSite {
 
     /// Algorithm 1 for one full chunk.
     fn process_chunk(&mut self, chunk: &[Vector]) -> Result<ChunkOutcome, GmmError> {
+        // Clone the (Arc-backed) handle so the span's Drop does not hold a
+        // borrow of `self` across the mutable calls below.
+        let obs = self.obs.clone();
+        let _span = obs.span("site.chunk_ns");
         let this_chunk = self.chunk_index;
         self.chunk_index += 1;
         self.stats.chunks += 1;
         let m = chunk.len() as u64;
+        self.obs.counter("site.chunks", 1);
+        self.obs.counter("site.records", m);
 
         // The very first chunk is always clustered (Algorithm 1 line 2).
         let Some(current_id) = self.current else {
@@ -264,17 +283,26 @@ impl RemoteSite {
         let j = j_fit(avg_n, current.avg_ll);
         let tol = fit_tolerance(epsilon, delta, current.ll_std, chunk.len(), p_free);
         self.stats.tests += 1;
+        self.obs.counter("site.tests", 1);
         if j <= tol {
             let entry = self.models.get_mut(current_id).expect("current model exists");
             entry.count += m;
             entry.last_active_chunk = this_chunk;
             self.stats.fit_current += 1;
+            self.obs.counter("site.fit_current", 1);
+            self.obs.event(&Event::ChunkTested {
+                site: self.obs_site,
+                chunk: this_chunk,
+                avg_ll: avg_n,
+                threshold: tol,
+                verdict: Verdict::FitCurrent,
+            });
             return Ok(ChunkOutcome::FitCurrent { j_fit: j });
         }
 
         // Tests 2..c_max: most recent other models in the list.
         let mut tests = 1usize;
-        let mut hit: Option<(ModelId, f64)> = None;
+        let mut hit: Option<(ModelId, f64, f64, f64)> = None;
         for entry in self.models.recent_except(current_id) {
             if tests >= self.config.c_max {
                 break;
@@ -282,14 +310,16 @@ impl RemoteSite {
             tests += 1;
             let avg = avg_log_likelihood(&entry.mixture, chunk);
             let j = j_fit(avg, entry.avg_ll);
-            if j <= fit_tolerance(epsilon, delta, entry.ll_std, chunk.len(), p_free) {
-                hit = Some((entry.id, j));
+            let entry_tol = fit_tolerance(epsilon, delta, entry.ll_std, chunk.len(), p_free);
+            if j <= entry_tol {
+                hit = Some((entry.id, j, avg, entry_tol));
                 break;
             }
         }
         self.stats.tests += (tests - 1) as u64;
+        self.obs.counter("site.tests", (tests - 1) as u64);
 
-        if let Some((model, j)) = hit {
+        if let Some((model, j, hit_avg, hit_tol)) = hit {
             // Multi-test hit: switch the current model and queue a weight
             // update (Sec. 5.3 point 1).
             let entry = self.models.get_mut(model).expect("hit model exists");
@@ -298,11 +328,28 @@ impl RemoteSite {
             self.events.switch_to(model, this_chunk);
             self.current = Some(model);
             self.stats.switched += 1;
+            self.obs.counter("site.switched", 1);
+            self.obs.event(&Event::ChunkTested {
+                site: self.obs_site,
+                chunk: this_chunk,
+                avg_ll: hit_avg,
+                threshold: hit_tol,
+                verdict: Verdict::Switched,
+            });
             self.outbox.push(SiteEvent::WeightUpdate { model, count_delta: m });
             return Ok(ChunkOutcome::SwitchedTo { model, j_fit: j, tests });
         }
 
         // Every test failed: cluster the chunk (Algorithm 1 lines 8-10).
+        // The journaled values are from the current-model test — the one
+        // the paper's single-test variant would have made.
+        self.obs.event(&Event::ChunkTested {
+            site: self.obs_site,
+            chunk: this_chunk,
+            avg_ll: avg_n,
+            threshold: tol,
+            verdict: Verdict::NewModel,
+        });
         let model = self.cluster_chunk(chunk, this_chunk)?;
         Ok(ChunkOutcome::NewModel { model, tests })
     }
@@ -310,12 +357,13 @@ impl RemoteSite {
     /// Runs EM on a chunk, installs the new model as current, and queues the
     /// synopsis for the coordinator.
     fn cluster_chunk(&mut self, chunk: &[Vector], this_chunk: u64) -> Result<ModelId, GmmError> {
+        self.obs.event(&Event::Reclustered { site: self.obs_site, chunk: this_chunk });
         let fit = match self.config.auto_k {
             None => {
                 let em_config = self.config.em_config(this_chunk);
                 match self.current_mixture().filter(|_| self.config.warm_start) {
-                    Some(current) => fit_em_warm(chunk, current, &em_config)?,
-                    None => fit_em(chunk, &em_config)?,
+                    Some(current) => fit_em_warm_recorded(chunk, current, &em_config, &self.obs)?,
+                    None => fit_em_recorded(chunk, &em_config, &self.obs)?,
                 }
             }
             Some((lo, hi)) => {
@@ -325,6 +373,7 @@ impl RemoteSite {
         };
         self.stats.clustered += 1;
         self.stats.em_iterations += fit.iterations as u64;
+        self.obs.counter("site.clustered", 1);
         let count = chunk.len() as u64;
         // AvgPr₀ is the founding chunk's average log likelihood, exactly as
         // in the paper; the optimism allowance lives in the tolerance.

@@ -48,6 +48,12 @@ impl SlidingWindowSite {
         &self.inner
     }
 
+    /// Attaches a telemetry observer to the wrapped site (see
+    /// [`RemoteSite::set_observer`]).
+    pub fn set_observer(&mut self, obs: cludistream_obs::Obs, site: u32) {
+        self.inner.set_observer(obs, site);
+    }
+
     /// Window capacity in chunks.
     pub fn window_chunks(&self) -> usize {
         self.window_chunks

@@ -3,6 +3,7 @@ use crate::{
     SuffStats,
 };
 use cludistream_linalg::Vector;
+use cludistream_obs::{Event, NopRecorder, Recorder};
 use cludistream_rng::{Rng, StdRng};
 
 /// How EM's initial mixture is chosen.
@@ -115,7 +116,22 @@ impl DiagStats {
 /// sufficient statistics. Iteration stops when the average log likelihood
 /// improves by less than `tol` or `max_iters` is reached.
 pub fn fit_em(data: &[Vector], config: &EmConfig) -> Result<EmFit> {
-    fit_em_impl(data, config, None)
+    // Monomorphized against the no-op recorder: the telemetry calls in the
+    // loop compile away entirely (the `noop_alloc` contract test and the
+    // `obs` microbench group both pin this down).
+    fit_em_impl(data, config, None, &NopRecorder)
+}
+
+/// [`fit_em`] with telemetry: per-iteration counters (`em.iterations`,
+/// `em.fits`, `em.converged`/`em.iter_capped`), an `em.iters_per_fit`
+/// histogram, and an [`Event::EmConverged`] journal event when
+/// ϖ-convergence (not the iteration cap) stops the loop.
+pub fn fit_em_recorded(
+    data: &[Vector],
+    config: &EmConfig,
+    recorder: &(impl Recorder + ?Sized),
+) -> Result<EmFit> {
+    fit_em_impl(data, config, None, recorder)
 }
 
 /// Fits EM warm-started from `initial` instead of k-means++ — the
@@ -127,14 +143,29 @@ pub fn fit_em(data: &[Vector], config: &EmConfig) -> Result<EmFit> {
 /// mildly, but inherit the initial model's local optimum; the
 /// `warm_vs_cold` ablation quantifies the trade-off.
 pub fn fit_em_warm(data: &[Vector], initial: &Mixture, config: &EmConfig) -> Result<EmFit> {
+    fit_em_warm_recorded(data, initial, config, &NopRecorder)
+}
+
+/// [`fit_em_warm`] with telemetry; see [`fit_em_recorded`].
+pub fn fit_em_warm_recorded(
+    data: &[Vector],
+    initial: &Mixture,
+    config: &EmConfig,
+    recorder: &(impl Recorder + ?Sized),
+) -> Result<EmFit> {
     if !data.is_empty() && data[0].dim() != initial.dim() {
         return Err(GmmError::DimensionMismatch { expected: initial.dim(), got: data[0].dim() });
     }
     let config = EmConfig { k: initial.k(), ..config.clone() };
-    fit_em_impl(data, &config, Some(initial.clone()))
+    fit_em_impl(data, &config, Some(initial.clone()), recorder)
 }
 
-fn fit_em_impl(data: &[Vector], config: &EmConfig, warm: Option<Mixture>) -> Result<EmFit> {
+fn fit_em_impl(
+    data: &[Vector],
+    config: &EmConfig,
+    warm: Option<Mixture>,
+    recorder: &(impl Recorder + ?Sized),
+) -> Result<EmFit> {
     if config.k == 0 {
         return Err(GmmError::InvalidParameter { name: "k", constraint: "k >= 1" });
     }
@@ -243,8 +274,10 @@ fn fit_em_impl(data: &[Vector], config: &EmConfig, warm: Option<Mixture>) -> Res
         // ϖ-convergence on the average log likelihood. Strict comparison:
         // tol = 0 means "run max_iters" rather than stopping on an exact
         // floating-point plateau.
-        if (avg - prev_avg).abs() < config.tol {
+        let delta_ll = (avg - prev_avg).abs();
+        if delta_ll < config.tol {
             converged = true;
+            recorder.event(&Event::EmConverged { iters: iterations as u64, delta_ll });
             break;
         }
         prev_avg = avg;
@@ -293,6 +326,11 @@ fn fit_em_impl(data: &[Vector], config: &EmConfig, warm: Option<Mixture>) -> Res
         }
         mixture = Mixture::new(comps, weights)?;
     }
+
+    recorder.counter("em.fits", 1);
+    recorder.counter("em.iterations", iterations as u64);
+    recorder.counter(if converged { "em.converged" } else { "em.iter_capped" }, 1);
+    recorder.observe("em.iters_per_fit", iterations as u64);
 
     Ok(EmFit {
         avg_log_likelihood: log_likelihood / n,
@@ -538,6 +576,32 @@ mod tests {
             Gaussian::spherical(Vector::from_slice(&[0.0, 0.0]), 1.0).unwrap(),
         );
         assert!(fit_em_warm(&data, &m, &EmConfig::default()).is_err());
+    }
+
+    #[test]
+    fn recorded_fit_matches_unrecorded_and_counts() {
+        use cludistream_obs::{Obs, Registry};
+        use std::sync::Arc;
+        let data = two_component_data(500, 40);
+        let cfg = EmConfig { k: 2, seed: 41, ..Default::default() };
+        let plain = fit_em(&data, &cfg).unwrap();
+        let registry = Arc::new(Registry::new());
+        let obs = Obs::from_registry(registry.clone());
+        let recorded = fit_em_recorded(&data, &cfg, &obs).unwrap();
+        // Telemetry must not perturb the numerics.
+        assert_eq!(plain.log_likelihood, recorded.log_likelihood);
+        assert_eq!(plain.iterations, recorded.iterations);
+        assert_eq!(registry.counter_value("em.fits"), 1);
+        assert_eq!(registry.counter_value("em.iterations"), recorded.iterations as u64);
+        assert_eq!(
+            registry.counter_value("em.converged"),
+            u64::from(recorded.converged)
+        );
+        let h = registry.histogram_snapshot("em.iters_per_fit").unwrap();
+        assert_eq!(h.count, 1);
+        assert_eq!(h.max, recorded.iterations as u64);
+        // Convergence journaled exactly once.
+        assert_eq!(registry.events_recorded(), u64::from(recorded.converged));
     }
 
     #[test]

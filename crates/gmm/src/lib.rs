@@ -55,7 +55,9 @@ mod suffstats;
 
 pub use chunk::{chunk_size, ChunkParams};
 pub use covariance::CovarianceType;
-pub use em::{fit_em, fit_em_warm, EmConfig, EmFit, InitMethod};
+pub use em::{
+    fit_em, fit_em_recorded, fit_em_warm, fit_em_warm_recorded, EmConfig, EmFit, InitMethod,
+};
 pub use error::GmmError;
 pub use gaussian::{sample_standard_normal, Gaussian};
 pub use kmeans::{kmeans, KMeansConfig, KMeansFit};

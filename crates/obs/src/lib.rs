@@ -1,0 +1,51 @@
+#![warn(missing_docs)]
+
+//! # cludistream-obs — zero-dependency telemetry for the CluDistream stack
+//!
+//! The paper's headline claims are all *measurements*: communication cost
+//! collected every second (Fig. 2), processing time per chunk (Figs. 5–7),
+//! and clustering-quality response to concept drift. This crate is the
+//! in-repo instrument those measurements flow through:
+//!
+//! - a **metrics registry** ([`Registry`]) with named counters, gauges and
+//!   fixed-bucket log2 [`Histogram`]s, plus [`Span`] timers that record
+//!   wall-clock durations into histograms;
+//! - a **structured event journal**: typed [`Event`]s serialized to JSONL
+//!   by a hand-rolled writer, stamped with *simulated* time so journals of
+//!   seeded runs are byte-identical and diffable;
+//! - a cheap [`Recorder`] trait with a no-op default ([`NopRecorder`]) so
+//!   instrumented hot paths cost nothing when telemetry is disabled, and a
+//!   cloneable [`Obs`] handle that the site, coordinator, driver and
+//!   simulator all share.
+//!
+//! ## Determinism rules
+//!
+//! Journaled fields carry only values derived from the (seeded) algorithms
+//! and the discrete-event simulator's clock — never wall-clock time.
+//! Wall-clock measurements (span timers) go to registry histograms only,
+//! which are reported but never journaled. This is what makes the golden
+//! journal fixture in `crates/cli/tests` stable across machines and runs.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use cludistream_obs::{Event, Obs, Recorder, Registry, Verdict};
+//! use std::sync::Arc;
+//!
+//! let registry = Arc::new(Registry::new());
+//! let obs = Obs::from_registry(registry.clone());
+//! obs.counter("em.iterations", 12);
+//! obs.observe("em.iters_per_fit", 12);
+//! obs.event(&Event::EmConverged { iters: 12, delta_ll: 3.2e-5 });
+//! assert_eq!(registry.counter_value("em.iterations"), 12);
+//! ```
+
+mod histogram;
+mod journal;
+mod recorder;
+mod registry;
+
+pub use histogram::{Histogram, HistogramSnapshot, BUCKETS};
+pub use journal::{json_escape, json_f64, Event, Verdict};
+pub use recorder::{NopRecorder, Obs, Recorder, Span};
+pub use registry::Registry;

@@ -1,0 +1,196 @@
+//! The [`Recorder`] trait, the free no-op implementation, the shared
+//! [`Obs`] handle, and span timers.
+
+use crate::journal::Event;
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
+
+/// The sink instrumented code records into.
+///
+/// Every method has a no-op default, so implementations override only what
+/// they store and call sites never branch. Hot paths that must be
+/// *provably* free are generic over `R: Recorder` and monomorphize against
+/// [`NopRecorder`], compiling the calls away entirely; everything else
+/// goes through the dynamically-dispatched [`Obs`] handle, whose per-chunk
+/// (never per-record) call frequency makes a virtual call irrelevant.
+pub trait Recorder {
+    /// True when this recorder stores anything. Call sites use this to
+    /// skip *preparing* expensive measurements (e.g. reading the clock for
+    /// a span), not to guard plain record calls.
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    /// Adds `delta` to the named monotone counter.
+    fn counter(&self, name: &'static str, delta: u64) {
+        let _ = (name, delta);
+    }
+
+    /// Sets the named gauge to `value`.
+    fn gauge(&self, name: &'static str, value: f64) {
+        let _ = (name, value);
+    }
+
+    /// Records one observation into the named log2 histogram.
+    fn observe(&self, name: &'static str, value: u64) {
+        let _ = (name, value);
+    }
+
+    /// Appends a typed event to the journal (stamped with the current
+    /// simulated time).
+    fn event(&self, event: &Event) {
+        let _ = event;
+    }
+
+    /// Advances the simulated clock used to stamp journal events. The
+    /// discrete-event simulator calls this as its clock moves; code running
+    /// outside a simulation leaves it at 0.
+    fn set_sim_time(&self, micros: u64) {
+        let _ = micros;
+    }
+}
+
+/// The recorder that records nothing. All methods inherit the trait's
+/// no-op defaults, so monomorphized call sites vanish at compile time —
+/// the API-contract form of "instrumentation costs nothing when disabled"
+/// (the `noop_alloc` integration test additionally pins down that no
+/// allocation sneaks in).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NopRecorder;
+
+impl Recorder for NopRecorder {}
+
+/// A cheap, cloneable, shareable handle to a [`Recorder`].
+///
+/// This is what flows through constructors and config structs: it is
+/// `Clone + Debug + Default` (defaulting to the no-op recorder), so
+/// embedding it in `DriverConfig`-style structs costs nothing
+/// syntactically.
+#[derive(Clone)]
+pub struct Obs(Arc<dyn Recorder + Send + Sync>);
+
+impl std::fmt::Debug for Obs {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Obs").field("enabled", &self.0.enabled()).finish()
+    }
+}
+
+impl Default for Obs {
+    fn default() -> Self {
+        Obs::noop()
+    }
+}
+
+impl Obs {
+    /// Wraps an arbitrary recorder.
+    pub fn new(recorder: Arc<dyn Recorder + Send + Sync>) -> Self {
+        Obs(recorder)
+    }
+
+    /// Wraps a [`crate::Registry`] (the common case).
+    pub fn from_registry(registry: Arc<crate::Registry>) -> Self {
+        Obs(registry)
+    }
+
+    /// The shared no-op handle. Cloning an `Arc` of a zero-sized type —
+    /// no allocation after the first call.
+    pub fn noop() -> Self {
+        static NOOP: OnceLock<Arc<NopRecorder>> = OnceLock::new();
+        Obs(NOOP.get_or_init(|| Arc::new(NopRecorder)).clone())
+    }
+
+    /// Starts a wall-clock span that records its duration in nanoseconds
+    /// into the named histogram when dropped. When the recorder is
+    /// disabled the clock is never read.
+    pub fn span(&self, name: &'static str) -> Span<'_> {
+        Span {
+            obs: self,
+            name,
+            start: self.0.enabled().then(Instant::now),
+        }
+    }
+}
+
+impl Recorder for Obs {
+    fn enabled(&self) -> bool {
+        self.0.enabled()
+    }
+    fn counter(&self, name: &'static str, delta: u64) {
+        self.0.counter(name, delta);
+    }
+    fn gauge(&self, name: &'static str, value: f64) {
+        self.0.gauge(name, value);
+    }
+    fn observe(&self, name: &'static str, value: u64) {
+        self.0.observe(name, value);
+    }
+    fn event(&self, event: &Event) {
+        self.0.event(event);
+    }
+    fn set_sim_time(&self, micros: u64) {
+        self.0.set_sim_time(micros);
+    }
+}
+
+/// RAII wall-clock timer from [`Obs::span`]. Durations land in registry
+/// histograms only — never in the journal — so they cannot break journal
+/// determinism.
+#[must_use = "a span records on drop; binding it to _ drops it immediately"]
+pub struct Span<'a> {
+    obs: &'a Obs,
+    name: &'static str,
+    start: Option<Instant>,
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        if let Some(start) = self.start {
+            let ns = start.elapsed().as_nanos();
+            self.obs.observe(self.name, ns.min(u64::MAX as u128) as u64);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Registry;
+
+    #[test]
+    fn noop_recorder_is_disabled_and_silent() {
+        let r = NopRecorder;
+        assert!(!r.enabled());
+        r.counter("a", 1);
+        r.gauge("b", 1.0);
+        r.observe("c", 1);
+        r.event(&Event::ReMerge { group: 0 });
+        r.set_sim_time(9);
+    }
+
+    #[test]
+    fn obs_default_is_noop() {
+        let obs = Obs::default();
+        assert!(!obs.enabled());
+        let dbg = format!("{obs:?}");
+        assert!(dbg.contains("enabled: false"), "{dbg}");
+    }
+
+    #[test]
+    fn span_records_into_histogram_when_enabled() {
+        let registry = Arc::new(Registry::new());
+        let obs = Obs::from_registry(registry.clone());
+        {
+            let _span = obs.span("test.span_ns");
+            std::hint::black_box(1 + 1);
+        }
+        let h = registry.histogram_snapshot("test.span_ns").expect("recorded");
+        assert_eq!(h.count, 1);
+    }
+
+    #[test]
+    fn span_skips_clock_when_disabled() {
+        let obs = Obs::noop();
+        let span = obs.span("never");
+        assert!(span.start.is_none());
+    }
+}

@@ -1,0 +1,297 @@
+//! The storing [`Recorder`]: named counters, gauges and histograms behind
+//! one mutex, plus the optional JSONL journal writer.
+
+use crate::histogram::{Histogram, HistogramSnapshot};
+use crate::journal::Event;
+use crate::recorder::Recorder;
+use std::collections::BTreeMap;
+use std::io::Write;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+#[derive(Debug, Default)]
+struct Metrics {
+    counters: BTreeMap<&'static str, u64>,
+    gauges: BTreeMap<&'static str, f64>,
+    histograms: BTreeMap<&'static str, Histogram>,
+}
+
+/// The metrics registry and journal sink.
+///
+/// One `Registry` is shared (via [`crate::Obs`]) by every instrumented
+/// layer of a run: sites, coordinator, driver and simulator. `BTreeMap`
+/// storage means every report is name-sorted without an explicit sort,
+/// and `&'static str` keys mean recording never allocates for the name.
+pub struct Registry {
+    metrics: Mutex<Metrics>,
+    events_recorded: AtomicU64,
+    sim_time: AtomicU64,
+    journal: Mutex<Option<Box<dyn Write + Send>>>,
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Registry")
+            .field("events_recorded", &self.events_recorded.load(Ordering::Relaxed))
+            .field("sim_time", &self.sim_time.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Registry {
+    /// Creates a registry with no journal: events still count toward
+    /// [`Registry::events_recorded`] but are not persisted.
+    pub fn new() -> Self {
+        Registry {
+            metrics: Mutex::new(Metrics::default()),
+            events_recorded: AtomicU64::new(0),
+            sim_time: AtomicU64::new(0),
+            journal: Mutex::new(None),
+        }
+    }
+
+    /// Creates a registry journaling every event as one JSONL line into
+    /// `writer`. Call [`Registry::flush_journal`] before reading the
+    /// output.
+    pub fn with_journal(writer: Box<dyn Write + Send>) -> Self {
+        let r = Registry::new();
+        *r.journal.lock().expect("journal lock") = Some(writer);
+        r
+    }
+
+    /// Flushes the journal writer, if any.
+    pub fn flush_journal(&self) -> std::io::Result<()> {
+        match self.journal.lock().expect("journal lock").as_mut() {
+            Some(w) => w.flush(),
+            None => Ok(()),
+        }
+    }
+
+    /// Total events recorded (journaled or not).
+    pub fn events_recorded(&self) -> u64 {
+        self.events_recorded.load(Ordering::Relaxed)
+    }
+
+    /// Current value of a counter (0 when never touched).
+    pub fn counter_value(&self, name: &str) -> u64 {
+        self.metrics.lock().expect("metrics lock").counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Current value of a gauge, if set.
+    pub fn gauge_value(&self, name: &str) -> Option<f64> {
+        self.metrics.lock().expect("metrics lock").gauges.get(name).copied()
+    }
+
+    /// Snapshot of a histogram, if it has recorded anything.
+    pub fn histogram_snapshot(&self, name: &str) -> Option<HistogramSnapshot> {
+        self.metrics
+            .lock()
+            .expect("metrics lock")
+            .histograms
+            .get(name)
+            .map(Histogram::snapshot)
+    }
+
+    /// All counters, name-sorted.
+    pub fn counters(&self) -> Vec<(&'static str, u64)> {
+        self.metrics
+            .lock()
+            .expect("metrics lock")
+            .counters
+            .iter()
+            .map(|(&k, &v)| (k, v))
+            .collect()
+    }
+
+    /// All gauges, name-sorted.
+    pub fn gauges(&self) -> Vec<(&'static str, f64)> {
+        self.metrics
+            .lock()
+            .expect("metrics lock")
+            .gauges
+            .iter()
+            .map(|(&k, &v)| (k, v))
+            .collect()
+    }
+
+    /// All histogram snapshots, name-sorted.
+    pub fn histograms(&self) -> Vec<(&'static str, HistogramSnapshot)> {
+        self.metrics
+            .lock()
+            .expect("metrics lock")
+            .histograms
+            .iter()
+            .map(|(&k, h)| (k, h.snapshot()))
+            .collect()
+    }
+
+    /// Renders the whole registry as a fixed-width human-readable table
+    /// (the `cli metrics` summary).
+    pub fn render_table(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let counters = self.counters();
+        let gauges = self.gauges();
+        let histograms = self.histograms();
+        if !counters.is_empty() {
+            let _ = writeln!(out, "counters:");
+            for (name, v) in counters {
+                let _ = writeln!(out, "  {name:<28} {v:>12}");
+            }
+        }
+        if !gauges.is_empty() {
+            let _ = writeln!(out, "gauges:");
+            for (name, v) in gauges {
+                let _ = writeln!(out, "  {name:<28} {v:>12.3}");
+            }
+        }
+        if !histograms.is_empty() {
+            let _ = writeln!(
+                out,
+                "histograms:                        count          mean           p99           max"
+            );
+            for (name, s) in histograms {
+                let _ = writeln!(
+                    out,
+                    "  {name:<28} {:>12} {:>13.1} {:>13} {:>13}",
+                    s.count, s.mean, s.p99_bound, s.max
+                );
+            }
+        }
+        let _ = writeln!(out, "events recorded: {}", self.events_recorded());
+        out
+    }
+}
+
+impl Recorder for Registry {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn counter(&self, name: &'static str, delta: u64) {
+        *self.metrics.lock().expect("metrics lock").counters.entry(name).or_insert(0) += delta;
+    }
+
+    fn gauge(&self, name: &'static str, value: f64) {
+        self.metrics.lock().expect("metrics lock").gauges.insert(name, value);
+    }
+
+    fn observe(&self, name: &'static str, value: u64) {
+        self.metrics
+            .lock()
+            .expect("metrics lock")
+            .histograms
+            .entry(name)
+            .or_default()
+            .record(value);
+    }
+
+    fn event(&self, event: &Event) {
+        self.events_recorded.fetch_add(1, Ordering::Relaxed);
+        let mut journal = self.journal.lock().expect("journal lock");
+        if let Some(w) = journal.as_mut() {
+            let t = self.sim_time.load(Ordering::Relaxed);
+            // Journal I/O errors must not poison the run; they surface
+            // via the flush the reader performs before consuming output.
+            let _ = writeln!(w, "{}", event.to_json(t));
+        }
+    }
+
+    fn set_sim_time(&self, micros: u64) {
+        self.sim_time.store(micros, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn counters_accumulate_and_sort() {
+        let r = Registry::new();
+        r.counter("b.two", 2);
+        r.counter("a.one", 1);
+        r.counter("b.two", 3);
+        assert_eq!(r.counter_value("b.two"), 5);
+        assert_eq!(r.counter_value("missing"), 0);
+        let names: Vec<_> = r.counters().iter().map(|(n, _)| *n).collect();
+        assert_eq!(names, vec!["a.one", "b.two"]);
+    }
+
+    #[test]
+    fn gauges_overwrite() {
+        let r = Registry::new();
+        r.gauge("g", 1.0);
+        r.gauge("g", 2.5);
+        assert_eq!(r.gauge_value("g"), Some(2.5));
+        assert_eq!(r.gauge_value("missing"), None);
+    }
+
+    #[test]
+    fn histograms_record() {
+        let r = Registry::new();
+        r.observe("h", 3);
+        r.observe("h", 5);
+        let s = r.histogram_snapshot("h").unwrap();
+        assert_eq!(s.count, 2);
+        assert_eq!(s.sum, 8);
+    }
+
+    #[test]
+    fn journal_writes_jsonl_with_sim_time() {
+        // Shared buffer so the test can read what the registry wrote.
+        #[derive(Clone)]
+        struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+        impl Write for SharedBuf {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let buf = SharedBuf(Arc::new(Mutex::new(Vec::new())));
+        let r = Registry::with_journal(Box::new(buf.clone()));
+        r.event(&Event::ReMerge { group: 3 });
+        r.set_sim_time(1_500_000);
+        r.event(&Event::SynopsisSent { site: 1, bytes: 100 });
+        r.flush_journal().unwrap();
+        let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(lines[0], "{\"t\":0,\"event\":\"ReMerge\",\"group\":3}");
+        assert_eq!(
+            lines[1],
+            "{\"t\":1500000,\"event\":\"SynopsisSent\",\"site\":1,\"bytes\":100}"
+        );
+        assert_eq!(r.events_recorded(), 2);
+    }
+
+    #[test]
+    fn events_counted_without_journal() {
+        let r = Registry::new();
+        r.event(&Event::ReMerge { group: 0 });
+        assert_eq!(r.events_recorded(), 1);
+    }
+
+    #[test]
+    fn render_table_lists_everything() {
+        let r = Registry::new();
+        r.counter("site.chunks", 4);
+        r.gauge("coord.groups", 2.0);
+        r.observe("em.iters_per_fit", 12);
+        let table = r.render_table();
+        assert!(table.contains("site.chunks"), "{table}");
+        assert!(table.contains("coord.groups"), "{table}");
+        assert!(table.contains("em.iters_per_fit"), "{table}");
+        assert!(table.contains("events recorded: 0"), "{table}");
+    }
+}

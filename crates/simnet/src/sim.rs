@@ -3,6 +3,7 @@ use crate::network::{LinkModel, Topology};
 use crate::node::{Action, Context, Node};
 use crate::stats::CommStats;
 use crate::trace::Trace;
+use cludistream_obs::{Obs, Recorder};
 use std::collections::BinaryHeap;
 use std::fmt;
 
@@ -58,6 +59,7 @@ pub struct Simulation<M> {
     seq: u64,
     stats: CommStats,
     trace: Option<Trace>,
+    obs: Obs,
     halted: bool,
 }
 
@@ -73,6 +75,7 @@ impl<M: 'static> Simulation<M> {
             seq: 0,
             stats: CommStats::new(),
             trace: None,
+            obs: Obs::noop(),
             halted: false,
         }
     }
@@ -88,6 +91,15 @@ impl<M: 'static> Simulation<M> {
     /// The message trace, when [`Self::enable_trace`] was called.
     pub fn trace(&self) -> Option<&Trace> {
         self.trace.as_ref()
+    }
+
+    /// Attaches a telemetry observer. The simulator stamps the observer's
+    /// sim-time clock as the event loop advances (so journaled events carry
+    /// deterministic simulated timestamps, never wall-clock) and records
+    /// `net.messages` / `net.bytes` counters plus a `net.msg_bytes`
+    /// size histogram for every send.
+    pub fn set_observer(&mut self, obs: Obs) {
+        self.obs = obs;
     }
 
     /// Registers the next node; returns its id (ids are assigned densely in
@@ -166,6 +178,7 @@ impl<M: 'static> Simulation<M> {
             }
             debug_assert!(entry.time >= self.time, "time went backwards");
             self.time = entry.time;
+            self.obs.set_sim_time(self.time);
             type Callback<'a, M> = Box<dyn FnMut(&mut dyn Node<M>, &mut Context<'_, M>) + 'a>;
             let (node_id, mut run): (NodeId, Callback<'_, M>) =
                 match entry.event {
@@ -210,6 +223,11 @@ impl<M: 'static> Simulation<M> {
                     self.stats.record(self.time, from, to, bytes);
                     if let Some(trace) = &mut self.trace {
                         trace.record(self.time, from, to, bytes);
+                    }
+                    if self.obs.enabled() {
+                        self.obs.counter("net.messages", 1);
+                        self.obs.counter("net.bytes", bytes as u64);
+                        self.obs.observe("net.msg_bytes", bytes as u64);
                     }
                     let time = self.time + self.link.delay(bytes);
                     self.seq += 1;

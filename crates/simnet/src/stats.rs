@@ -1,6 +1,13 @@
 use crate::event::{NodeId, SimTime, MICROS_PER_SEC};
 use std::collections::HashMap;
 
+/// Per-directed-link accumulators.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+struct LinkCounters {
+    bytes: u64,
+    messages: u64,
+}
+
 /// Byte-accurate communication accounting with a per-second time series —
 /// the measurement instrument behind the paper's Fig. 2 ("the total
 /// communication cost is collected every second").
@@ -10,8 +17,8 @@ pub struct CommStats {
     total_messages: u64,
     /// bytes per simulated second, indexed by second.
     per_second: Vec<u64>,
-    /// (from, to) → bytes.
-    per_link: HashMap<(NodeId, NodeId), u64>,
+    /// (from, to) → bytes and message counts.
+    per_link: HashMap<(NodeId, NodeId), LinkCounters>,
 }
 
 impl CommStats {
@@ -29,7 +36,9 @@ impl CommStats {
             self.per_second.resize(sec + 1, 0);
         }
         self.per_second[sec] += bytes as u64;
-        *self.per_link.entry((from, to)).or_insert(0) += bytes as u64;
+        let link = self.per_link.entry((from, to)).or_default();
+        link.bytes += bytes as u64;
+        link.messages += 1;
     }
 
     /// Total bytes transmitted.
@@ -61,12 +70,50 @@ impl CommStats {
 
     /// Bytes sent over a specific directed link.
     pub fn link_bytes(&self, from: NodeId, to: NodeId) -> u64 {
-        self.per_link.get(&(from, to)).copied().unwrap_or(0)
+        self.per_link.get(&(from, to)).map(|l| l.bytes).unwrap_or(0)
+    }
+
+    /// Messages sent over a specific directed link.
+    pub fn link_messages(&self, from: NodeId, to: NodeId) -> u64 {
+        self.per_link.get(&(from, to)).map(|l| l.messages).unwrap_or(0)
     }
 
     /// Bytes sent *by* a node over all links.
     pub fn bytes_from(&self, node: NodeId) -> u64 {
-        self.per_link.iter().filter(|((f, _), _)| *f == node).map(|(_, b)| b).sum()
+        self.per_link.iter().filter(|((f, _), _)| *f == node).map(|(_, l)| l.bytes).sum()
+    }
+
+    /// Bytes received *by* a node over all links — the counterpart of
+    /// [`CommStats::bytes_from`] (in a star this is the coordinator's
+    /// ingress load).
+    pub fn bytes_to(&self, node: NodeId) -> u64 {
+        self.per_link.iter().filter(|((_, t), _)| *t == node).map(|(_, l)| l.bytes).sum()
+    }
+
+    /// Messages sent *by* a node over all links.
+    pub fn messages_from(&self, node: NodeId) -> u64 {
+        self.per_link.iter().filter(|((f, _), _)| *f == node).map(|(_, l)| l.messages).sum()
+    }
+
+    /// Messages received *by* a node over all links.
+    pub fn messages_to(&self, node: NodeId) -> u64 {
+        self.per_link.iter().filter(|((_, t), _)| *t == node).map(|(_, l)| l.messages).sum()
+    }
+
+    /// Per-directed-link message counts, sorted by `(from, to)` so output
+    /// is deterministic despite the hash-map storage.
+    pub fn per_link_messages(&self) -> Vec<((NodeId, NodeId), u64)> {
+        let mut rows: Vec<_> =
+            self.per_link.iter().map(|(&k, l)| (k, l.messages)).collect();
+        rows.sort_by_key(|((f, t), _)| (f.0, t.0));
+        rows
+    }
+
+    /// Per-directed-link byte counts, sorted by `(from, to)`.
+    pub fn per_link_bytes(&self) -> Vec<((NodeId, NodeId), u64)> {
+        let mut rows: Vec<_> = self.per_link.iter().map(|(&k, l)| (k, l.bytes)).collect();
+        rows.sort_by_key(|((f, t), _)| (f.0, t.0));
+        rows
     }
 }
 
@@ -107,10 +154,48 @@ mod tests {
     }
 
     #[test]
+    fn ingress_mirrors_egress() {
+        let mut s = CommStats::new();
+        s.record(0, NodeId(0), NodeId(2), 5);
+        s.record(0, NodeId(1), NodeId(2), 7);
+        s.record(0, NodeId(2), NodeId(0), 11);
+        // The hub receives what the spokes send.
+        assert_eq!(s.bytes_to(NodeId(2)), 12);
+        assert_eq!(s.bytes_to(NodeId(0)), 11);
+        assert_eq!(s.bytes_to(NodeId(1)), 0);
+        assert_eq!(s.bytes_from(NodeId(0)) + s.bytes_from(NodeId(1)), s.bytes_to(NodeId(2)));
+    }
+
+    #[test]
+    fn message_counts_per_node_and_link() {
+        let mut s = CommStats::new();
+        s.record(0, NodeId(0), NodeId(2), 5);
+        s.record(1, NodeId(0), NodeId(2), 5);
+        s.record(2, NodeId(1), NodeId(2), 7);
+        assert_eq!(s.messages_from(NodeId(0)), 2);
+        assert_eq!(s.messages_from(NodeId(1)), 1);
+        assert_eq!(s.messages_from(NodeId(2)), 0);
+        assert_eq!(s.messages_to(NodeId(2)), 3);
+        assert_eq!(s.link_messages(NodeId(0), NodeId(2)), 2);
+        assert_eq!(s.link_messages(NodeId(2), NodeId(0)), 0);
+        assert_eq!(
+            s.per_link_messages(),
+            vec![((NodeId(0), NodeId(2)), 2), ((NodeId(1), NodeId(2)), 1)]
+        );
+        assert_eq!(
+            s.per_link_bytes(),
+            vec![((NodeId(0), NodeId(2)), 10), ((NodeId(1), NodeId(2)), 7)]
+        );
+    }
+
+    #[test]
     fn empty_stats_are_zero() {
         let s = CommStats::new();
         assert_eq!(s.total_bytes(), 0);
         assert!(s.per_second().is_empty());
         assert!(s.cumulative_per_second().is_empty());
+        assert_eq!(s.bytes_to(NodeId(0)), 0);
+        assert_eq!(s.messages_from(NodeId(0)), 0);
+        assert!(s.per_link_messages().is_empty());
     }
 }

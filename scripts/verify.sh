@@ -13,4 +13,12 @@ cargo build --release --offline
 cargo test -q --offline
 cargo doc --no-deps -q --offline
 
+# Telemetry smoke test: the default `metrics` workload must produce an event
+# journal byte-identical to the committed golden fixture (journal entries are
+# stamped with deterministic sim-time, never wall-clock).
+journal="$(mktemp /tmp/cludistream_verify_XXXXXX.jsonl)"
+trap 'rm -f "$journal"' EXIT
+./target/release/cludistream metrics --journal "$journal" >/dev/null
+diff -u crates/cli/tests/fixtures/metrics_journal.jsonl "$journal"
+
 echo "verify: OK"
