@@ -277,7 +277,7 @@ fn bench_pipeline(sink: &mut Sink) {
         })
         .collect();
     let t = best_of(RUNS, || {
-        let mut coord = Coordinator::new(CoordinatorConfig::default());
+        let mut coord = Coordinator::new(CoordinatorConfig::default()).unwrap();
         for m in &messages {
             coord.apply(m).expect("valid update");
         }

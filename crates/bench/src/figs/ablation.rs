@@ -92,7 +92,7 @@ fn group_index(_scale: Scale) {
             max_groups: groups + 8,
             use_index,
             ..Default::default()
-        });
+        }).unwrap();
         // Phase 1: build the group set (untimed).
         for g in 0..groups {
             coordinator
@@ -174,7 +174,7 @@ fn merge_refinement(scale: Scale) {
             refine_merges: refine,
             refiner: MergeRefiner { samples: 256, max_evals: 600, seed: 211 },
             ..Default::default()
-        });
+        }).unwrap();
         let r = 10;
         let config = paper_config();
         let mut sites: Vec<RemoteSite> = (0..r)

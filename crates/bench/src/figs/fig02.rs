@@ -10,7 +10,7 @@ use crate::figs::common::paper_config_dim;
 use crate::table::{emit, Series};
 use crate::workloads;
 use crate::Scale;
-use cludistream::{run_star, DriverConfig, RecordStream};
+use cludistream::{DriverConfig, RecordStream, Simulation};
 use cludistream_baselines::periodic::{run_periodic_star, PeriodicConfig};
 use cludistream_baselines::SemConfig;
 
@@ -32,7 +32,12 @@ fn cumulative_series(name: &str, per_second_cumulative: &[u64], sim_seconds: f64
 
 fn cludistream_run(streams: Vec<RecordStream>, updates: u64, dim: usize) -> Series {
     let config = DriverConfig { site: paper_config_dim(dim), ..Default::default() };
-    let report = run_star(streams, updates, config).expect("simulation runs");
+    let report = Simulation::star(streams.len())
+        .with_driver_config(config)
+        .with_streams(streams)
+        .with_updates_per_site(updates)
+        .run()
+        .expect("simulation runs");
     cumulative_series("CluDistream", &report.comm.cumulative_per_second(), report.sim_seconds)
 }
 

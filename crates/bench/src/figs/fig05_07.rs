@@ -134,7 +134,7 @@ fn coordinator_run(
         max_groups: 8,
         refine_merges: true,
         ..Default::default()
-    });
+    }).unwrap();
     let mut central_sem = ScalableEm::new(SemConfig {
         k: config.k,
         buffer_size: 2000,

@@ -22,7 +22,8 @@
 
 use cludistream::coordinator::MergeRefiner;
 use cludistream::{
-    run_star, ChunkOutcome, Config, CoordinatorConfig, DriverConfig, RecordStream, RemoteSite,
+    ChunkOutcome, Config, CoordinatorConfig, DriverConfig, FaultPlan, LinkFaults, NodeId,
+    RecordStream, RemoteSite, Simulation,
 };
 use cludistream_datagen::csvio;
 use cludistream_datagen::{EvolvingStream, EvolvingStreamConfig};
@@ -90,6 +91,26 @@ pub enum Command {
         /// Write the JSONL event journal here.
         journal: Option<String>,
     },
+    /// Run the metrics workload over a lossy network with one site
+    /// crash/restart, exercising the reliable delivery protocol.
+    Faults {
+        /// Remote sites in the star.
+        sites: usize,
+        /// Chunks per regime per site (each site sees two regimes).
+        chunks: usize,
+        /// RNG seed for data generation, EM, and fault injection.
+        seed: u64,
+        /// Error bound ε (drives the chunk size).
+        epsilon: f64,
+        /// Per-message drop probability on every link.
+        drop: f64,
+        /// Per-message duplication probability.
+        duplicate: f64,
+        /// Per-message reorder probability.
+        reorder: f64,
+        /// Write the JSONL event journal here.
+        journal: Option<String>,
+    },
     /// Print usage.
     Help,
 }
@@ -145,11 +166,17 @@ USAGE:
   cludistream stream   <csv|-> [--k N] [--epsilon E] [--delta D] [--c-max C] [--seed S]
   cludistream generate [--records N] [--dim D] [--k K] [--p-new P] [--seed S]
   cludistream metrics  [--sites R] [--chunks C] [--seed S] [--epsilon E] [--journal OUT.jsonl]
+  cludistream faults   [--sites R] [--chunks C] [--seed S] [--epsilon E]
+                       [--drop P] [--duplicate P] [--reorder P] [--journal OUT.jsonl]
   cludistream help
 
 Defaults: k=5, epsilon=0.02, delta=0.01, c-max=4, seed=0,
           records=10000, dim=4, p-new=0.1,
-          metrics: sites=2, chunks=2, seed=7, epsilon=0.15.
+          metrics: sites=2, chunks=2, seed=7, epsilon=0.15,
+          faults: metrics defaults + drop=0.1, duplicate=0.05, reorder=0.25.
+
+`faults` replays the metrics workload over a lossy network (crashing and
+restarting site 0 mid-run) and prints the delivery accounting.
 ";
 
 /// Parses a command line (excluding the program name).
@@ -244,6 +271,16 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             chunks: parse_int("--chunks", 2)?.max(1),
             seed: parse_int("--seed", 7)? as u64,
             epsilon: parse_num("--epsilon", 0.15)?,
+            journal: flag("--journal").map(|s| s.to_string()),
+        }),
+        "faults" => Ok(Command::Faults {
+            sites: parse_int("--sites", 2)?.max(1),
+            chunks: parse_int("--chunks", 2)?.max(1),
+            seed: parse_int("--seed", 7)? as u64,
+            epsilon: parse_num("--epsilon", 0.15)?,
+            drop: parse_num("--drop", 0.1)?,
+            duplicate: parse_num("--duplicate", 0.05)?,
+            reorder: parse_num("--reorder", 0.25)?,
             journal: flag("--journal").map(|s| s.to_string()),
         }),
         other => Err(CliError::Usage(format!("unknown command {other:?}; try help"))),
@@ -417,7 +454,11 @@ pub fn run(command: Command, out: &mut impl Write) -> Result<(), CliError> {
                 obs,
                 ..Default::default()
             };
-            let report = run_star(streams, 2 * per_regime as u64, driver_config)
+            let report = Simulation::star(sites)
+                .with_driver_config(driver_config)
+                .with_streams(streams)
+                .with_updates_per_site(2 * per_regime as u64)
+                .run()
                 .map_err(|e| CliError::Usage(format!("driver: {e}")))?;
             registry.flush_journal()?;
 
@@ -429,6 +470,123 @@ pub fn run(command: Command, out: &mut impl Write) -> Result<(), CliError> {
                 report.comm.total_bytes()
             )?;
             writeln!(out, "coordinator groups: {}", report.coordinator_groups)?;
+            writeln!(out)?;
+            write!(out, "{}", registry.render_table())?;
+            if let Some(path) = journal {
+                writeln!(out, "journal written to {path}")?;
+            }
+            Ok(())
+        }
+        Command::Faults { sites, chunks, seed, epsilon, drop, duplicate, reorder, journal } => {
+            let registry = match &journal {
+                Some(path) => {
+                    let file = std::fs::File::create(path)?;
+                    Arc::new(Registry::with_journal(Box::new(std::io::BufWriter::new(file))))
+                }
+                None => Arc::new(Registry::new()),
+            };
+            let obs = Obs::from_registry(Arc::clone(&registry));
+
+            // The metrics two-regime workload, over a hostile network.
+            let site_config = Config {
+                dim: 1,
+                k: 2,
+                chunk: ChunkParams { epsilon, delta: 0.01 },
+                c_max: 4,
+                seed,
+                ..Default::default()
+            };
+            let chunk_size = RemoteSite::new(site_config.clone())?.chunk_size();
+            let per_regime = chunks * chunk_size;
+            let updates = 2 * per_regime as u64;
+            let streams: Vec<RecordStream> =
+                (0..sites).map(|i| metrics_stream(i, seed, per_regime)).collect();
+            let driver_config = DriverConfig {
+                site: site_config,
+                coordinator: CoordinatorConfig {
+                    max_groups: 2,
+                    refine_merges: true,
+                    refiner: MergeRefiner { samples: 32, max_evals: 100, seed: 9 },
+                    ..Default::default()
+                },
+                obs,
+                ..Default::default()
+            };
+            // Site 0 crashes at 40% of the nominal run and comes back at
+            // 55%, recovering from its last checkpoint. The nominal
+            // duration follows from the default driver rate (1000 rec/s).
+            let duration_us = updates.saturating_mul(1_000_000) / driver_config.records_per_second;
+            let plan = FaultPlan::seeded(seed)
+                .with_link(LinkFaults {
+                    drop_p: drop,
+                    duplicate_p: duplicate,
+                    reorder_p: reorder,
+                    reorder_max_delay_us: 5_000,
+                })
+                .with_outage(NodeId(0), duration_us * 2 / 5, duration_us * 11 / 20);
+            let report = Simulation::star(sites)
+                .with_driver_config(driver_config)
+                .with_faults(plan)
+                .with_streams(streams)
+                .with_updates_per_site(updates)
+                .run()
+                .map_err(|e| CliError::Usage(format!("driver: {e}")))?;
+            registry.flush_journal()?;
+
+            writeln!(out, "sites: {sites} | chunk size M = {chunk_size} records")?;
+            writeln!(
+                out,
+                "faults: drop={drop} duplicate={duplicate} reorder={reorder} | site 0 \
+                 down {:.3}s..{:.3}s",
+                (duration_us * 2 / 5) as f64 / 1e6,
+                (duration_us * 11 / 20) as f64 / 1e6,
+            )?;
+            writeln!(
+                out,
+                "sim seconds: {:.3} | total bytes on the wire: {}",
+                report.sim_seconds,
+                report.comm.total_bytes()
+            )?;
+            writeln!(out, "coordinator groups: {}", report.coordinator_groups)?;
+            let d = &report.delivery;
+            writeln!(out)?;
+            writeln!(out, "delivery (reliable = {}):", d.reliable)?;
+            writeln!(
+                out,
+                "  sent         : {:>6} msgs {:>8} bytes",
+                d.sent_messages, d.sent_bytes
+            )?;
+            writeln!(
+                out,
+                "  delivered    : {:>6} msgs {:>8} bytes",
+                d.delivered_messages, d.delivered_bytes
+            )?;
+            writeln!(
+                out,
+                "  dropped      : {:>6} msgs {:>8} bytes",
+                d.dropped_messages, d.dropped_bytes
+            )?;
+            writeln!(
+                out,
+                "  duplicated   : {:>6} msgs {:>8} bytes",
+                d.duplicated_messages, d.duplicated_bytes
+            )?;
+            writeln!(
+                out,
+                "  retransmitted: {:>6} msgs {:>8} bytes",
+                d.retransmitted_messages, d.retransmitted_bytes
+            )?;
+            writeln!(out, "  acks         : {:>6} msgs {:>8} bytes", d.ack_messages, d.ack_bytes)?;
+            writeln!(
+                out,
+                "  reordered {} | stale/dup discarded {} | crashes {} | restarts {}",
+                d.reordered_messages, d.duplicates_discarded, d.crashes, d.restarts
+            )?;
+            writeln!(
+                out,
+                "  conservation : sent + duplicated == delivered + dropped ({})",
+                if d.balanced() { "balanced" } else { "VIOLATED" }
+            )?;
             writeln!(out)?;
             write!(out, "{}", registry.render_table())?;
             if let Some(path) = journal {

@@ -116,10 +116,20 @@ pub struct Coordinator {
 
 impl Coordinator {
     /// Creates an empty coordinator.
-    pub fn new(config: CoordinatorConfig) -> Self {
-        assert!(config.max_groups >= 1, "max_groups must be at least 1");
-        assert!(config.join_distance > 0.0, "join_distance must be positive");
-        Coordinator {
+    pub fn new(config: CoordinatorConfig) -> Result<Self, crate::CludiError> {
+        if config.max_groups < 1 {
+            return Err(crate::CludiError::InvalidConfig {
+                name: "max_groups",
+                constraint: "max_groups >= 1",
+            });
+        }
+        if !(config.join_distance > 0.0) {
+            return Err(crate::CludiError::InvalidConfig {
+                name: "join_distance",
+                constraint: "join_distance > 0",
+            });
+        }
+        Ok(Coordinator {
             config,
             groups: Vec::new(),
             next_group_id: 0,
@@ -128,7 +138,7 @@ impl Coordinator {
             index_cache: None,
             merge_log: Vec::new(),
             obs: Obs::noop(),
-        }
+        })
     }
 
     /// Attaches a telemetry observer. Merge / split / re-merge decisions
@@ -491,7 +501,7 @@ mod tests {
 
     #[test]
     fn identical_site_models_collapse_into_few_groups() {
-        let mut c = Coordinator::new(CoordinatorConfig::default());
+        let mut c = Coordinator::new(CoordinatorConfig::default()).unwrap();
         // Three sites report the same two clusters.
         for site in 0..3 {
             c.apply(&new_model(site, 0, &[0.0, 20.0], 1000)).unwrap();
@@ -509,7 +519,7 @@ mod tests {
 
     #[test]
     fn distant_components_found_new_groups() {
-        let mut c = Coordinator::new(CoordinatorConfig::default());
+        let mut c = Coordinator::new(CoordinatorConfig::default()).unwrap();
         c.apply(&new_model(0, 0, &[0.0], 100)).unwrap();
         c.apply(&new_model(1, 0, &[100.0], 100)).unwrap();
         assert_eq!(c.group_count(), 2);
@@ -517,7 +527,7 @@ mod tests {
 
     #[test]
     fn consolidation_caps_group_count() {
-        let mut c = Coordinator::new(CoordinatorConfig { max_groups: 3, ..Default::default() });
+        let mut c = Coordinator::new(CoordinatorConfig { max_groups: 3, ..Default::default() }).unwrap();
         // Eight far-apart components from different sites.
         for site in 0..8 {
             c.apply(&new_model(site, 0, &[site as f64 * 50.0], 100)).unwrap();
@@ -530,7 +540,7 @@ mod tests {
 
     #[test]
     fn weight_update_rescales_members() {
-        let mut c = Coordinator::new(CoordinatorConfig::default());
+        let mut c = Coordinator::new(CoordinatorConfig::default()).unwrap();
         c.apply(&new_model(0, 0, &[0.0], 100)).unwrap();
         let before = c.total_weight();
         c.apply(&Message::WeightUpdate { site: 0, model: ModelId(0), count_delta: 100 })
@@ -541,7 +551,7 @@ mod tests {
 
     #[test]
     fn weight_update_for_unknown_model_errors() {
-        let mut c = Coordinator::new(CoordinatorConfig::default());
+        let mut c = Coordinator::new(CoordinatorConfig::default()).unwrap();
         assert!(c
             .apply(&Message::WeightUpdate { site: 0, model: ModelId(9), count_delta: 1 })
             .is_err());
@@ -549,7 +559,7 @@ mod tests {
 
     #[test]
     fn delete_to_zero_removes_model() {
-        let mut c = Coordinator::new(CoordinatorConfig::default());
+        let mut c = Coordinator::new(CoordinatorConfig::default()).unwrap();
         c.apply(&new_model(0, 0, &[0.0], 100)).unwrap();
         c.apply(&new_model(1, 0, &[50.0], 100)).unwrap();
         assert_eq!(c.group_count(), 2);
@@ -562,7 +572,7 @@ mod tests {
 
     #[test]
     fn partial_delete_rescales() {
-        let mut c = Coordinator::new(CoordinatorConfig::default());
+        let mut c = Coordinator::new(CoordinatorConfig::default()).unwrap();
         c.apply(&new_model(0, 0, &[0.0], 100)).unwrap();
         c.apply(&Message::Delete { site: 0, model: ModelId(0), count_delta: 40 }).unwrap();
         assert!((c.total_weight() - 60.0).abs() < 1e-6);
@@ -571,7 +581,7 @@ mod tests {
 
     #[test]
     fn global_mixture_weights_proportional_to_records() {
-        let mut c = Coordinator::new(CoordinatorConfig::default());
+        let mut c = Coordinator::new(CoordinatorConfig::default()).unwrap();
         c.apply(&new_model(0, 0, &[0.0], 300)).unwrap();
         c.apply(&new_model(1, 0, &[100.0], 100)).unwrap();
         let g = c.global_mixture().unwrap();
@@ -586,7 +596,7 @@ mod tests {
 
     #[test]
     fn empty_coordinator_has_no_mixture() {
-        let c = Coordinator::new(CoordinatorConfig::default());
+        let c = Coordinator::new(CoordinatorConfig::default()).unwrap();
         assert!(c.global_mixture().is_err());
         assert_eq!(c.group_count(), 0);
         assert_eq!(c.total_weight(), 0.0);
@@ -594,7 +604,7 @@ mod tests {
 
     #[test]
     fn flat_mixture_preserves_all_components() {
-        let mut c = Coordinator::new(CoordinatorConfig::default());
+        let mut c = Coordinator::new(CoordinatorConfig::default()).unwrap();
         c.apply(&new_model(0, 0, &[0.0, 20.0], 100)).unwrap();
         c.apply(&new_model(1, 0, &[0.5, 19.5], 100)).unwrap();
         let flat = c.flat_mixture().unwrap();
@@ -610,7 +620,8 @@ mod tests {
             refine_merges: true,
             refiner: MergeRefiner { samples: 64, max_evals: 200, seed: 1 },
             ..Default::default()
-        });
+        })
+        .unwrap();
         c.apply(&new_model(0, 0, &[0.0], 100)).unwrap();
         c.apply(&new_model(1, 0, &[3.0], 100)).unwrap();
         assert_eq!(c.group_count(), 1);
@@ -626,7 +637,7 @@ mod tests {
     fn update_triggers_split_and_remerge() {
         // Two groups around 0 and 30; a model near 0 grows heavy enough to
         // drag its group aggregate, eventually splitting drifted members.
-        let mut c = Coordinator::new(CoordinatorConfig { max_groups: 8, ..Default::default() });
+        let mut c = Coordinator::new(CoordinatorConfig { max_groups: 8, ..Default::default() }).unwrap();
         c.apply(&new_model(0, 0, &[0.0, 2.0], 100)).unwrap();
         c.apply(&new_model(1, 0, &[30.0], 100)).unwrap();
         let groups_before = c.group_count();
@@ -651,7 +662,7 @@ mod tests {
                 use_index,
                 index_candidates: 4,
                 ..Default::default()
-            });
+            }).unwrap();
             // 12 well-separated site models plus near-duplicates from a
             // second site: grouping decisions are unambiguous, so the
             // approximate pre-filter must agree with the exact scan.
@@ -681,7 +692,7 @@ mod tests {
 
     #[test]
     fn duplicate_new_model_is_idempotent() {
-        let mut c = Coordinator::new(CoordinatorConfig::default());
+        let mut c = Coordinator::new(CoordinatorConfig::default()).unwrap();
         let msg = new_model(0, 0, &[0.0, 20.0], 100);
         c.apply(&msg).unwrap();
         let (groups, comps, weight) =
@@ -695,7 +706,7 @@ mod tests {
 
     #[test]
     fn new_model_with_same_id_replaces_components() {
-        let mut c = Coordinator::new(CoordinatorConfig::default());
+        let mut c = Coordinator::new(CoordinatorConfig::default()).unwrap();
         c.apply(&new_model(0, 0, &[0.0], 100)).unwrap();
         // Same (site, model) id, different parameters (e.g. a coordinator
         // restart replay with a fresher synopsis).
@@ -713,7 +724,8 @@ mod tests {
             refine_merges: true,
             refiner: MergeRefiner { samples: 64, max_evals: 200, seed: 7 },
             ..Default::default()
-        });
+        })
+        .unwrap();
         // Two models merge into one refined group.
         c.apply(&new_model(0, 0, &[0.0], 100)).unwrap();
         c.apply(&new_model(1, 0, &[3.0], 100)).unwrap();
@@ -728,7 +740,7 @@ mod tests {
 
         // Now two separate groups, one refined-free update path: group B's
         // state must be untouched by an update to group A's model.
-        let mut c = Coordinator::new(CoordinatorConfig::default());
+        let mut c = Coordinator::new(CoordinatorConfig::default()).unwrap();
         c.apply(&new_model(0, 0, &[0.0], 100)).unwrap();
         c.apply(&new_model(1, 0, &[100.0], 100)).unwrap();
         assert_eq!(c.group_count(), 2);
@@ -747,7 +759,7 @@ mod tests {
 
     #[test]
     fn merge_log_records_hierarchy() {
-        let mut c = Coordinator::new(CoordinatorConfig { max_groups: 2, ..Default::default() });
+        let mut c = Coordinator::new(CoordinatorConfig { max_groups: 2, ..Default::default() }).unwrap();
         // Four far-apart models force two consolidation merges.
         for site in 0..4 {
             c.apply(&new_model(site, 0, &[site as f64 * 50.0], 100)).unwrap();
@@ -771,7 +783,7 @@ mod tests {
 
     #[test]
     fn messages_applied_counter() {
-        let mut c = Coordinator::new(CoordinatorConfig::default());
+        let mut c = Coordinator::new(CoordinatorConfig::default()).unwrap();
         c.apply(&new_model(0, 0, &[0.0], 100)).unwrap();
         c.apply(&Message::WeightUpdate { site: 0, model: ModelId(0), count_delta: 1 }).unwrap();
         assert_eq!(c.messages_applied(), 2);
@@ -779,7 +791,7 @@ mod tests {
 
     #[test]
     fn memory_accounting_positive_and_grows() {
-        let mut c = Coordinator::new(CoordinatorConfig::default());
+        let mut c = Coordinator::new(CoordinatorConfig::default()).unwrap();
         c.apply(&new_model(0, 0, &[0.0], 100)).unwrap();
         let one = c.memory_bytes();
         assert!(one > 0);

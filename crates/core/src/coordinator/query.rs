@@ -78,7 +78,7 @@ mod tests {
     use cludistream_linalg::Vector;
 
     fn loaded_coordinator() -> Coordinator {
-        let mut c = Coordinator::new(CoordinatorConfig::default());
+        let mut c = Coordinator::new(CoordinatorConfig::default()).unwrap();
         // Two sites, same two regions: heavy near 0, light near 30.
         for site in 0..2 {
             let mixture = Mixture::new(
@@ -147,7 +147,7 @@ mod tests {
 
     #[test]
     fn queries_on_empty_coordinator_error() {
-        let c = Coordinator::new(CoordinatorConfig::default());
+        let c = Coordinator::new(CoordinatorConfig::default()).unwrap();
         assert!(c.dense_regions().is_err());
         assert!(c.membership(&Vector::zeros(2)).is_err());
         assert!(c.density_at(&Vector::zeros(2)).is_err());

@@ -2,16 +2,44 @@
 //! discrete-event simulator, reproducing the paper's experimental setup
 //! (r remote sites around one coordinator, records arriving at a fixed
 //! rate, communication cost collected per second).
+//!
+//! The entry point is the [`Simulation`] builder:
+//!
+//! ```no_run
+//! use cludistream::{Simulation, WindowSpec};
+//! use cludistream_simnet::{FaultPlan, LinkFaults};
+//!
+//! # let streams = Vec::new();
+//! let report = Simulation::star(4)
+//!     .with_window(WindowSpec::Sliding { chunks: 8 })
+//!     .with_faults(FaultPlan::seeded(7).with_link(LinkFaults {
+//!         drop_p: 0.1,
+//!         ..Default::default()
+//!     }))
+//!     .with_streams(streams)
+//!     .with_updates_per_site(10_000)
+//!     .run()?;
+//! assert!(report.delivery.balanced());
+//! # Ok::<(), cludistream::CludiError>(())
+//! ```
+//!
+//! Attaching a [`FaultPlan`] automatically switches the wire protocol to
+//! reliable delivery (sequence numbers, coordinator ACKs, retransmit with
+//! exponential backoff — see [`crate::protocol`]); fault-free runs default
+//! to fire-and-forget and pay zero protocol overhead.
 
 use crate::config::Config;
 use crate::coordinator::{Coordinator, CoordinatorConfig};
-use crate::protocol::Message;
-use crate::remote::{RemoteSite, SiteStats};
-use cludistream_gmm::{GmmError, Mixture};
+use crate::error::CludiError;
+use crate::protocol::{Frame, Message, ReliableInbox, ReliableSender};
+use crate::remote::SiteStats;
+use crate::windows::{Window, WindowSpec};
+use cludistream_gmm::{CovarianceType, Mixture};
 use cludistream_linalg::Vector;
 use cludistream_obs::{Event, Obs, Recorder};
 use cludistream_simnet::{
-    CommStats, Context, LinkModel, Node, NodeId, SimError, Simulation, Topology, MICROS_PER_SEC,
+    CommStats, Context, FaultPlan, FaultStats, LinkModel, Node, NodeId,
+    Simulation as NetSimulation, Topology, MICROS_PER_SEC,
 };
 use cludistream_wire::ByteBuf;
 
@@ -50,11 +78,97 @@ impl Default for DriverConfig {
     }
 }
 
+/// How synopses travel from sites to the coordinator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeliveryMode {
+    /// Bare messages, no acknowledgements. Correct on a fault-free
+    /// network and byte-identical to the legacy protocol.
+    FireAndForget,
+    /// Sequence numbers, cumulative ACKs and retransmission with
+    /// exponential backoff (see [`crate::protocol::ReliableSender`]).
+    Reliable,
+}
+
+/// Reliable-delivery tuning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeliveryConfig {
+    /// Delivery mode.
+    pub mode: DeliveryMode,
+    /// Initial retransmission timeout, simulated microseconds.
+    pub rto_us: u64,
+    /// Backoff cap, simulated microseconds.
+    pub rto_cap_us: u64,
+}
+
+impl Default for DeliveryConfig {
+    fn default() -> Self {
+        DeliveryConfig { mode: DeliveryMode::FireAndForget, rto_us: 50_000, rto_cap_us: 1_000_000 }
+    }
+}
+
+/// Byte-accurate accounting of what happened on the wire: every message
+/// the sites and coordinator sent is either delivered or dropped, and
+/// retransmissions/ACKs are broken out so the protocol overhead of a
+/// lossy run is measurable.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DeliveryReport {
+    /// Whether the reliable protocol was active.
+    pub reliable: bool,
+    /// Messages put on the wire (sites + coordinator, including
+    /// retransmissions and ACKs).
+    pub sent_messages: u64,
+    /// Bytes put on the wire.
+    pub sent_bytes: u64,
+    /// Messages handed to a recipient.
+    pub delivered_messages: u64,
+    /// Bytes handed to recipients.
+    pub delivered_bytes: u64,
+    /// Messages lost to faults (random loss, partitions, down nodes).
+    pub dropped_messages: u64,
+    /// Bytes lost to faults.
+    pub dropped_bytes: u64,
+    /// Extra copies injected by the fault layer.
+    pub duplicated_messages: u64,
+    /// Bytes of injected duplicates.
+    pub duplicated_bytes: u64,
+    /// Messages given reorder jitter by the fault layer.
+    pub reordered_messages: u64,
+    /// Data frames retransmitted by site senders.
+    pub retransmitted_messages: u64,
+    /// Bytes of retransmitted data frames.
+    pub retransmitted_bytes: u64,
+    /// ACK frames the coordinator sent.
+    pub ack_messages: u64,
+    /// Bytes of ACK frames.
+    pub ack_bytes: u64,
+    /// Duplicate or stale data frames the coordinator discarded.
+    pub duplicates_discarded: u64,
+    /// Site crashes executed by the fault plan.
+    pub crashes: u64,
+    /// Site restarts executed by the fault plan.
+    pub restarts: u64,
+}
+
+impl DeliveryReport {
+    /// The conservation invariant: once the simulation drains, every
+    /// message (and byte) put on the wire — plus fault-layer duplicates —
+    /// was either delivered or dropped. Nothing vanishes silently.
+    pub fn balanced(&self) -> bool {
+        self.sent_messages + self.duplicated_messages
+            == self.delivered_messages + self.dropped_messages
+            && self.sent_bytes + self.duplicated_bytes
+                == self.delivered_bytes + self.dropped_bytes
+    }
+}
+
 /// Outcome of a star-topology run.
 #[derive(Debug)]
 pub struct StarReport {
     /// Byte-accurate communication statistics.
     pub comm: CommStats,
+    /// Delivered / dropped / retransmitted accounting (see
+    /// [`DeliveryReport::balanced`]).
+    pub delivery: DeliveryReport,
     /// The coordinator's global mixture at the end of the run (None when no
     /// site ever reported a model).
     pub global: Option<Mixture>,
@@ -72,20 +186,59 @@ pub struct StarReport {
     pub sim_seconds: f64,
 }
 
-/// Simulation node wrapping one remote site and its stream.
+/// Timer tag: pull the next batch from the stream.
+const TIMER_TICK: u64 = 0;
+/// Timer tag: retransmit unacknowledged frames.
+const TIMER_RETX: u64 = 1;
+
+/// Simulation node wrapping one windowed remote site and its stream.
+///
+/// One node type serves every window kind (`Box<dyn Window>`) and both
+/// delivery modes; under a fault plan with outages it keeps a durable
+/// checkpoint each tick and resyncs from it in `on_restart`.
 struct SiteNode {
-    site: RemoteSite,
+    window: Box<dyn Window>,
     stream: RecordStream,
     coordinator: NodeId,
     site_index: u32,
     remaining: u64,
     batch: usize,
     interval_us: u64,
-    error: Option<GmmError>,
+    error: Option<CludiError>,
     obs: Obs,
+    /// Present in reliable mode.
+    sender: Option<ReliableSender>,
+    rto_us: u64,
+    rto_cap_us: u64,
+    retx_armed: bool,
+    retransmitted_messages: u64,
+    retransmitted_bytes: u64,
+    /// Durable state written each tick when the fault plan can crash this
+    /// node; everything else is volatile and lost on crash.
+    checkpoint: Option<ByteBuf>,
+    checkpointing: bool,
 }
 
 impl SiteNode {
+    fn cov(&self) -> CovarianceType {
+        self.window.site().config().covariance
+    }
+
+    /// Encodes and sends one synopsis, sequenced when reliable.
+    fn transmit(&mut self, ctx: &mut Context<'_, ByteBuf>, msg: Message, is_synopsis: bool) {
+        let cov = self.cov();
+        let frame = match &mut self.sender {
+            Some(sender) => sender.send(msg),
+            None => Frame::Bare(msg),
+        };
+        let bytes = frame.encode(cov);
+        let len = bytes.len();
+        if is_synopsis {
+            self.obs.event(&Event::SynopsisSent { site: self.site_index, bytes: len as u64 });
+        }
+        ctx.send(self.coordinator, bytes, len);
+    }
+
     fn tick(&mut self, ctx: &mut Context<'_, ByteBuf>) {
         if self.error.is_some() {
             return;
@@ -96,311 +249,492 @@ impl SiteNode {
                 self.remaining = 0;
                 break;
             };
-            if let Err(e) = self.site.push(record) {
+            if let Err(e) = self.window.push(record) {
                 self.error = Some(e);
                 return;
             }
             self.remaining -= 1;
         }
-        // Transmit whatever the test-and-cluster strategy queued.
-        let cov = self.site.config().covariance;
-        for event in self.site.drain_events() {
+        // Transmit whatever the test-and-cluster strategy queued, then the
+        // window-expiry deletions (paper Sec. 7, negative weights).
+        for event in self.window.drain_events() {
             let is_synopsis = matches!(event, crate::remote::SiteEvent::NewModel { .. });
             let msg = Message::from_site_event(self.site_index, event);
-            let bytes = msg.encode(cov);
-            let len = bytes.len();
-            if is_synopsis {
-                self.obs
-                    .event(&Event::SynopsisSent { site: self.site_index, bytes: len as u64 });
-            }
-            ctx.send(self.coordinator, bytes, len);
+            self.transmit(ctx, msg, is_synopsis);
         }
+        for (model, count) in self.window.drain_deletions() {
+            let msg = Message::Delete { site: self.site_index, model, count_delta: count };
+            self.transmit(ctx, msg, false);
+        }
+        self.arm_retransmit(ctx);
         if self.remaining > 0 {
-            ctx.set_timer(self.interval_us, 0);
+            ctx.set_timer(self.interval_us, TIMER_TICK);
         }
+        if self.checkpointing {
+            self.checkpoint = Some(self.make_checkpoint());
+        }
+    }
+
+    fn arm_retransmit(&mut self, ctx: &mut Context<'_, ByteBuf>) {
+        if self.retx_armed {
+            return;
+        }
+        if let Some(sender) = &self.sender {
+            if sender.pending() > 0 {
+                ctx.set_timer(sender.next_timeout_us(), TIMER_RETX);
+                self.retx_armed = true;
+            }
+        }
+    }
+
+    /// Serializes the durable state: stream position, sender queue, and
+    /// the full window (site, ledger, undrained events).
+    fn make_checkpoint(&self) -> ByteBuf {
+        let mut buf = ByteBuf::new();
+        buf.put_u64_le(self.remaining);
+        if let Some(sender) = &self.sender {
+            sender.snapshot(self.cov(), &mut buf);
+        }
+        buf.extend_from_slice(&self.window.snapshot());
+        buf
+    }
+
+    fn restore_checkpoint(&mut self, checkpoint: &ByteBuf) -> Result<(), CludiError> {
+        let mut reader = checkpoint.reader();
+        if reader.remaining() < 8 {
+            return Err(CludiError::Decode("truncated site checkpoint"));
+        }
+        self.remaining = reader.get_u64_le();
+        if self.sender.is_some() {
+            self.sender =
+                Some(ReliableSender::restore(self.rto_us, self.rto_cap_us, &mut reader)?);
+        }
+        self.window.restore_from(&mut reader)?;
+        // The restored site lost its observer wiring; re-attach.
+        self.window.set_observer(self.obs.clone(), self.site_index);
+        Ok(())
     }
 }
 
 impl Node<ByteBuf> for SiteNode {
     fn on_start(&mut self, ctx: &mut Context<'_, ByteBuf>) {
+        if self.checkpointing {
+            // Eager first checkpoint so a crash before the first tick
+            // still restores a coherent (empty) state.
+            self.checkpoint = Some(self.make_checkpoint());
+        }
         if self.remaining > 0 {
-            ctx.set_timer(self.interval_us, 0);
+            ctx.set_timer(self.interval_us, TIMER_TICK);
         }
     }
 
-    fn on_message(&mut self, _ctx: &mut Context<'_, ByteBuf>, _from: NodeId, _msg: ByteBuf) {
-        // Sites receive nothing in the basic protocol.
+    fn on_message(&mut self, _ctx: &mut Context<'_, ByteBuf>, _from: NodeId, msg: ByteBuf) {
+        // The only coordinator→site traffic is cumulative ACKs.
+        if let Ok(Frame::Ack { cumulative }) = Frame::decode(&mut msg.reader()) {
+            if let Some(sender) = &mut self.sender {
+                sender.on_ack(cumulative);
+            }
+        }
     }
 
-    fn on_timer(&mut self, ctx: &mut Context<'_, ByteBuf>, _tag: u64) {
-        self.tick(ctx);
+    fn on_timer(&mut self, ctx: &mut Context<'_, ByteBuf>, tag: u64) {
+        match tag {
+            TIMER_TICK => self.tick(ctx),
+            TIMER_RETX => {
+                self.retx_armed = false;
+                let cov = self.cov();
+                let frames = match &mut self.sender {
+                    Some(sender) => sender.on_timeout(),
+                    None => Vec::new(),
+                };
+                for frame in frames {
+                    let bytes = frame.encode(cov);
+                    let len = bytes.len();
+                    if let Frame::Data { seq, .. } = &frame {
+                        self.obs.counter("net.retransmits", 1);
+                        self.obs.event(&Event::Retransmitted {
+                            site: self.site_index,
+                            seq: *seq,
+                            bytes: len as u64,
+                        });
+                    }
+                    self.retransmitted_messages += 1;
+                    self.retransmitted_bytes += len as u64;
+                    ctx.send(self.coordinator, bytes, len);
+                }
+                self.arm_retransmit(ctx);
+            }
+            _ => {}
+        }
+    }
+
+    fn on_restart(&mut self, ctx: &mut Context<'_, ByteBuf>) {
+        if let Some(checkpoint) = self.checkpoint.take() {
+            if let Err(e) = self.restore_checkpoint(&checkpoint) {
+                self.error = Some(e);
+                return;
+            }
+            self.checkpoint = Some(checkpoint);
+        }
+        self.retx_armed = false;
+        self.arm_retransmit(ctx);
+        if self.remaining > 0 {
+            ctx.set_timer(self.interval_us, TIMER_TICK);
+        }
     }
 }
 
-/// Simulation node wrapping the coordinator.
+/// Simulation node wrapping the coordinator, with one reliable inbox per
+/// site when the reliable protocol is active.
 struct CoordinatorNode {
     coordinator: Coordinator,
+    inboxes: Vec<ReliableInbox>,
+    cov: CovarianceType,
     decode_errors: u64,
     apply_errors: u64,
+    ack_messages: u64,
+    ack_bytes: u64,
+}
+
+impl CoordinatorNode {
+    fn apply(&mut self, message: &Message) {
+        if self.coordinator.apply(message).is_err() {
+            self.apply_errors += 1;
+        }
+    }
 }
 
 impl Node<ByteBuf> for CoordinatorNode {
-    fn on_message(&mut self, _ctx: &mut Context<'_, ByteBuf>, _from: NodeId, msg: ByteBuf) {
-        match Message::decode(&mut msg.reader()) {
-            Ok(m) => {
-                if self.coordinator.apply(&m).is_err() {
-                    self.apply_errors += 1;
+    fn on_message(&mut self, ctx: &mut Context<'_, ByteBuf>, from: NodeId, msg: ByteBuf) {
+        match Frame::decode(&mut msg.reader()) {
+            Ok(Frame::Bare(message)) => self.apply(&message),
+            Ok(Frame::Data { seq, message }) => {
+                let site = message.site() as usize;
+                if site >= self.inboxes.len() {
+                    self.decode_errors += 1;
+                    return;
                 }
+                for ready in self.inboxes[site].accept(seq, message) {
+                    self.apply(&ready);
+                }
+                // Always ACK — a duplicate means the site has not seen our
+                // cumulative position yet.
+                let ack = Frame::Ack { cumulative: self.inboxes[site].cumulative() };
+                let bytes = ack.encode(self.cov);
+                let len = bytes.len();
+                self.ack_messages += 1;
+                self.ack_bytes += len as u64;
+                ctx.send(from, bytes, len);
             }
+            Ok(Frame::Ack { .. }) => self.decode_errors += 1,
             Err(_) => self.decode_errors += 1,
         }
     }
 }
 
-/// Errors from a driver run.
-#[derive(Debug)]
-pub enum DriverError {
-    /// The simulator rejected the setup or a send.
-    Sim(SimError),
-    /// A site hit a processing error.
-    Site(GmmError),
+/// A deprecated alias for [`CludiError`], kept so pre-builder code keeps
+/// compiling.
+#[deprecated(note = "use CludiError")]
+pub type DriverError = CludiError;
+
+/// Builder for a CluDistream star-topology run: `r` remote sites around
+/// one coordinator, each consuming records from its own stream under a
+/// chosen window semantics, optionally over a faulty network.
+///
+/// ```no_run
+/// # use cludistream::{Simulation, WindowSpec};
+/// # let streams = Vec::new();
+/// let report = Simulation::star(2)
+///     .with_window(WindowSpec::Landmark)
+///     .with_streams(streams)
+///     .with_updates_per_site(5_000)
+///     .run()?;
+/// # Ok::<(), cludistream::CludiError>(())
+/// ```
+pub struct Simulation {
+    sites: usize,
+    window: WindowSpec,
+    config: DriverConfig,
+    faults: Option<FaultPlan>,
+    delivery: Option<DeliveryConfig>,
+    streams: Option<Vec<RecordStream>>,
+    updates_per_site: u64,
 }
 
-impl std::fmt::Display for DriverError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            DriverError::Sim(e) => write!(f, "simulation error: {e}"),
-            DriverError::Site(e) => write!(f, "site error: {e}"),
+impl Simulation {
+    /// A star of `sites` remote sites around one coordinator, with
+    /// landmark windows and default parameters.
+    pub fn star(sites: usize) -> Simulation {
+        Simulation {
+            sites,
+            window: WindowSpec::Landmark,
+            config: DriverConfig::default(),
+            faults: None,
+            delivery: None,
+            streams: None,
+            updates_per_site: 0,
         }
+    }
+
+    /// Replaces the whole driver configuration.
+    pub fn with_driver_config(mut self, config: DriverConfig) -> Simulation {
+        self.config = config;
+        self
+    }
+
+    /// Sets the remote-site configuration.
+    pub fn with_config(mut self, site: Config) -> Simulation {
+        self.config.site = site;
+        self
+    }
+
+    /// Sets the coordinator configuration.
+    pub fn with_coordinator(mut self, coordinator: CoordinatorConfig) -> Simulation {
+        self.config.coordinator = coordinator;
+        self
+    }
+
+    /// Sets the window semantics every site runs under.
+    pub fn with_window(mut self, window: WindowSpec) -> Simulation {
+        self.window = window;
+        self
+    }
+
+    /// Attaches a deterministic fault plan. Unless overridden with
+    /// [`Simulation::with_reliability`], this switches delivery to
+    /// [`DeliveryMode::Reliable`].
+    pub fn with_faults(mut self, plan: FaultPlan) -> Simulation {
+        self.faults = Some(plan);
+        self
+    }
+
+    /// Overrides the delivery mode/tuning (default: fire-and-forget, or
+    /// reliable when a fault plan is attached).
+    pub fn with_reliability(mut self, delivery: DeliveryConfig) -> Simulation {
+        self.delivery = Some(delivery);
+        self
+    }
+
+    /// Attaches a telemetry observer.
+    pub fn with_recorder(mut self, obs: Obs) -> Simulation {
+        self.config.obs = obs;
+        self
+    }
+
+    /// Sets the link timing model.
+    pub fn with_link(mut self, link: LinkModel) -> Simulation {
+        self.config.link = link;
+        self
+    }
+
+    /// Sets the per-site record arrival rate (records per simulated
+    /// second).
+    pub fn with_rate(mut self, records_per_second: u64) -> Simulation {
+        self.config.records_per_second = records_per_second;
+        self
+    }
+
+    /// Sets how many records each site pulls per timer tick.
+    pub fn with_batch(mut self, batch: usize) -> Simulation {
+        self.config.batch = batch;
+        self
+    }
+
+    /// Attaches the record streams, one per site.
+    pub fn with_streams(mut self, streams: Vec<RecordStream>) -> Simulation {
+        self.streams = Some(streams);
+        self
+    }
+
+    /// Sets how many records each site consumes.
+    pub fn with_updates_per_site(mut self, updates_per_site: u64) -> Simulation {
+        self.updates_per_site = updates_per_site;
+        self
+    }
+
+    /// Runs the simulation to completion and reports.
+    pub fn run(self) -> Result<StarReport, CludiError> {
+        let Simulation { sites, window, config, faults, delivery, streams, updates_per_site } =
+            self;
+        if sites == 0 {
+            return Err(CludiError::Build("need at least one site"));
+        }
+        let Some(streams) = streams else {
+            return Err(CludiError::Build("no streams attached; call with_streams"));
+        };
+        if streams.len() != sites {
+            return Err(CludiError::Build("stream count must equal the site count"));
+        }
+        if config.records_per_second == 0 {
+            return Err(CludiError::InvalidConfig {
+                name: "records_per_second",
+                constraint: "rate > 0",
+            });
+        }
+        if config.batch == 0 {
+            return Err(CludiError::InvalidConfig { name: "batch", constraint: "batch > 0" });
+        }
+        let delivery = delivery.unwrap_or_else(|| DeliveryConfig {
+            mode: if faults.is_some() {
+                DeliveryMode::Reliable
+            } else {
+                DeliveryMode::FireAndForget
+            },
+            ..Default::default()
+        });
+        let reliable = delivery.mode == DeliveryMode::Reliable;
+        // Durable checkpoints only matter when the plan can crash a site.
+        let checkpointing = faults.as_ref().is_some_and(|p| !p.outages.is_empty());
+
+        let mut sim: NetSimulation<ByteBuf> =
+            NetSimulation::new(Topology::star(sites), config.link);
+        if let Some(plan) = faults {
+            sim.set_fault_plan(plan);
+        }
+        let coordinator_id = Topology::star_hub(sites);
+        let interval_us =
+            ((config.batch as u64 * MICROS_PER_SEC) / config.records_per_second).max(1);
+
+        let mut site_ids = Vec::with_capacity(sites);
+        for (i, stream) in streams.into_iter().enumerate() {
+            let mut site_config = config.site.clone();
+            // De-correlate EM initialization across sites.
+            site_config.seed = site_config.seed.wrapping_add(i as u64 * 7919);
+            let mut win = window.build(site_config)?;
+            win.set_observer(config.obs.clone(), i as u32);
+            let id = sim.add_node(Box::new(SiteNode {
+                window: win,
+                stream,
+                coordinator: coordinator_id,
+                site_index: i as u32,
+                remaining: updates_per_site,
+                batch: config.batch,
+                interval_us,
+                error: None,
+                obs: config.obs.clone(),
+                sender: reliable
+                    .then(|| ReliableSender::new(delivery.rto_us, delivery.rto_cap_us)),
+                rto_us: delivery.rto_us,
+                rto_cap_us: delivery.rto_cap_us,
+                retx_armed: false,
+                retransmitted_messages: 0,
+                retransmitted_bytes: 0,
+                checkpoint: None,
+                checkpointing,
+            }));
+            site_ids.push(id);
+        }
+        let mut coordinator = Coordinator::new(config.coordinator.clone())?;
+        coordinator.set_observer(config.obs.clone());
+        sim.add_node(Box::new(CoordinatorNode {
+            coordinator,
+            inboxes: vec![ReliableInbox::new(); sites],
+            cov: config.site.covariance,
+            decode_errors: 0,
+            apply_errors: 0,
+            ack_messages: 0,
+            ack_bytes: 0,
+        }));
+        sim.set_observer(config.obs.clone());
+
+        sim.run()?;
+
+        // Harvest.
+        let fault_stats: FaultStats = *sim.fault_stats();
+        let mut site_stats = Vec::with_capacity(sites);
+        let mut site_models = Vec::with_capacity(sites);
+        let mut site_memory = Vec::with_capacity(sites);
+        let mut retransmitted_messages = 0;
+        let mut retransmitted_bytes = 0;
+        for &id in &site_ids {
+            let node: &mut SiteNode = sim.node_as(id).expect("site node");
+            if let Some(e) = node.error.take() {
+                return Err(e);
+            }
+            site_stats.push(node.window.site().stats());
+            site_models.push(node.window.site().models().len());
+            site_memory.push(node.window.site().memory_bytes());
+            retransmitted_messages += node.retransmitted_messages;
+            retransmitted_bytes += node.retransmitted_bytes;
+        }
+        let sim_seconds = sim.now() as f64 / MICROS_PER_SEC as f64;
+        let comm = sim.stats().clone();
+        let coord: &mut CoordinatorNode = sim.node_as(coordinator_id).expect("coordinator node");
+        let global = coord.coordinator.global_mixture().ok();
+        let delivery_report = DeliveryReport {
+            reliable,
+            sent_messages: comm.total_messages(),
+            sent_bytes: comm.total_bytes(),
+            delivered_messages: fault_stats.delivered_messages,
+            delivered_bytes: fault_stats.delivered_bytes,
+            dropped_messages: fault_stats.dropped_messages,
+            dropped_bytes: fault_stats.dropped_bytes,
+            duplicated_messages: fault_stats.duplicated_messages,
+            duplicated_bytes: fault_stats.duplicated_bytes,
+            reordered_messages: fault_stats.reordered_messages,
+            retransmitted_messages,
+            retransmitted_bytes,
+            ack_messages: coord.ack_messages,
+            ack_bytes: coord.ack_bytes,
+            duplicates_discarded: coord.inboxes.iter().map(ReliableInbox::duplicates).sum(),
+            crashes: fault_stats.crashes,
+            restarts: fault_stats.restarts,
+        };
+        Ok(StarReport {
+            comm,
+            delivery: delivery_report,
+            global,
+            site_stats,
+            site_models,
+            site_memory,
+            coordinator_groups: coord.coordinator.group_count(),
+            coordinator_memory: coord.coordinator.memory_bytes(),
+            sim_seconds,
+        })
     }
 }
 
-impl std::error::Error for DriverError {}
-
 /// Runs CluDistream over `streams` (one per remote site) in a star around
 /// one coordinator, each site consuming `updates_per_site` records.
+#[deprecated(note = "use Simulation::star(..).with_streams(..).run()")]
 pub fn run_star(
     streams: Vec<RecordStream>,
     updates_per_site: u64,
     config: DriverConfig,
-) -> Result<StarReport, DriverError> {
-    assert!(!streams.is_empty(), "need at least one site");
-    assert!(config.records_per_second > 0, "arrival rate must be positive");
-    assert!(config.batch > 0, "batch must be positive");
-    let r = streams.len();
-    let mut sim: Simulation<ByteBuf> = Simulation::new(Topology::star(r), config.link);
-    let coordinator_id = Topology::star_hub(r);
-    let interval_us = (config.batch as u64 * MICROS_PER_SEC) / config.records_per_second;
-
-    let mut site_ids = Vec::with_capacity(r);
-    for (i, stream) in streams.into_iter().enumerate() {
-        let mut site_config = config.site.clone();
-        // De-correlate EM initialization across sites.
-        site_config.seed = site_config.seed.wrapping_add(i as u64 * 7919);
-        let mut site = RemoteSite::new(site_config).map_err(DriverError::Site)?;
-        site.set_observer(config.obs.clone(), i as u32);
-        let id = sim.add_node(Box::new(SiteNode {
-            site,
-            stream,
-            coordinator: coordinator_id,
-            site_index: i as u32,
-            remaining: updates_per_site,
-            batch: config.batch,
-            interval_us: interval_us.max(1),
-            error: None,
-            obs: config.obs.clone(),
-        }));
-        site_ids.push(id);
-    }
-    let mut coordinator = Coordinator::new(config.coordinator.clone());
-    coordinator.set_observer(config.obs.clone());
-    sim.add_node(Box::new(CoordinatorNode {
-        coordinator,
-        decode_errors: 0,
-        apply_errors: 0,
-    }));
-    sim.set_observer(config.obs.clone());
-
-    sim.run().map_err(DriverError::Sim)?;
-
-    // Harvest.
-    let mut site_stats = Vec::with_capacity(r);
-    let mut site_models = Vec::with_capacity(r);
-    let mut site_memory = Vec::with_capacity(r);
-    for &id in &site_ids {
-        let node: &mut SiteNode = sim.node_as(id).expect("site node");
-        if let Some(e) = node.error.take() {
-            return Err(DriverError::Site(e));
-        }
-        site_stats.push(node.site.stats());
-        site_models.push(node.site.models().len());
-        site_memory.push(node.site.memory_bytes());
-    }
-    let sim_seconds = sim.now() as f64 / MICROS_PER_SEC as f64;
-    let comm = sim.stats().clone();
-    let coord: &mut CoordinatorNode = sim.node_as(coordinator_id).expect("coordinator node");
-    let global = coord.coordinator.global_mixture().ok();
-    Ok(StarReport {
-        comm,
-        global,
-        site_stats,
-        site_models,
-        site_memory,
-        coordinator_groups: coord.coordinator.group_count(),
-        coordinator_memory: coord.coordinator.memory_bytes(),
-        sim_seconds,
-    })
-}
-
-/// Simulation node wrapping a sliding-window site: expired chunks emit
-/// deletions over the wire (paper Sec. 7).
-struct WindowedSiteNode {
-    site: crate::windows::SlidingWindowSite,
-    stream: RecordStream,
-    coordinator: NodeId,
-    site_index: u32,
-    remaining: u64,
-    batch: usize,
-    interval_us: u64,
-    error: Option<GmmError>,
-    obs: Obs,
-}
-
-impl Node<ByteBuf> for WindowedSiteNode {
-    fn on_start(&mut self, ctx: &mut Context<'_, ByteBuf>) {
-        if self.remaining > 0 {
-            ctx.set_timer(self.interval_us, 0);
-        }
-    }
-
-    fn on_message(&mut self, _ctx: &mut Context<'_, ByteBuf>, _from: NodeId, _msg: ByteBuf) {}
-
-    fn on_timer(&mut self, ctx: &mut Context<'_, ByteBuf>, _tag: u64) {
-        if self.error.is_some() {
-            return;
-        }
-        let take = (self.batch as u64).min(self.remaining) as usize;
-        for _ in 0..take {
-            let Some(record) = self.stream.next() else {
-                self.remaining = 0;
-                break;
-            };
-            if let Err(e) = self.site.push(record) {
-                self.error = Some(e);
-                return;
-            }
-            self.remaining -= 1;
-        }
-        let cov = self.site.site().config().covariance;
-        for event in self.site.drain_events() {
-            let is_synopsis = matches!(event, crate::remote::SiteEvent::NewModel { .. });
-            let msg = Message::from_site_event(self.site_index, event);
-            let bytes = msg.encode(cov);
-            let len = bytes.len();
-            if is_synopsis {
-                self.obs
-                    .event(&Event::SynopsisSent { site: self.site_index, bytes: len as u64 });
-            }
-            ctx.send(self.coordinator, bytes, len);
-        }
-        for (model, count) in self.site.drain_deletions() {
-            let msg = Message::Delete {
-                site: self.site_index,
-                model,
-                count_delta: count,
-            };
-            let bytes = msg.encode(cov);
-            let len = bytes.len();
-            ctx.send(self.coordinator, bytes, len);
-        }
-        if self.remaining > 0 {
-            ctx.set_timer(self.interval_us, 0);
-        }
-    }
+) -> Result<StarReport, CludiError> {
+    let sites = streams.len();
+    Simulation::star(sites)
+        .with_driver_config(config)
+        .with_streams(streams)
+        .with_updates_per_site(updates_per_site)
+        .run()
 }
 
 /// Runs CluDistream with sliding-window semantics (paper Sec. 7) over
-/// `streams` in a star topology: each site keeps only the last
-/// `window_chunks` chunks, transmitting deletions for expired ones; the
-/// coordinator's model reflects the union of the sites' windows.
+/// `streams` in a star topology.
+#[deprecated(note = "use Simulation::star(..).with_window(WindowSpec::Sliding {..}).run()")]
 pub fn run_star_windowed(
     streams: Vec<RecordStream>,
     updates_per_site: u64,
     window_chunks: usize,
     config: DriverConfig,
-) -> Result<StarReport, DriverError> {
-    assert!(!streams.is_empty(), "need at least one site");
-    assert!(config.records_per_second > 0, "arrival rate must be positive");
-    assert!(config.batch > 0, "batch must be positive");
-    let r = streams.len();
-    let mut sim: Simulation<ByteBuf> = Simulation::new(Topology::star(r), config.link);
-    let coordinator_id = Topology::star_hub(r);
-    let interval_us = (config.batch as u64 * MICROS_PER_SEC) / config.records_per_second;
-
-    let mut site_ids = Vec::with_capacity(r);
-    for (i, stream) in streams.into_iter().enumerate() {
-        let mut site_config = config.site.clone();
-        site_config.seed = site_config.seed.wrapping_add(i as u64 * 7919);
-        let mut site = crate::windows::SlidingWindowSite::new(site_config, window_chunks)
-            .map_err(DriverError::Site)?;
-        site.set_observer(config.obs.clone(), i as u32);
-        let id = sim.add_node(Box::new(WindowedSiteNode {
-            site,
-            stream,
-            coordinator: coordinator_id,
-            site_index: i as u32,
-            remaining: updates_per_site,
-            batch: config.batch,
-            interval_us: interval_us.max(1),
-            error: None,
-            obs: config.obs.clone(),
-        }));
-        site_ids.push(id);
-    }
-    let mut coordinator = Coordinator::new(config.coordinator.clone());
-    coordinator.set_observer(config.obs.clone());
-    sim.add_node(Box::new(CoordinatorNode {
-        coordinator,
-        decode_errors: 0,
-        apply_errors: 0,
-    }));
-    sim.set_observer(config.obs.clone());
-
-    sim.run().map_err(DriverError::Sim)?;
-
-    let mut site_stats = Vec::with_capacity(r);
-    let mut site_models = Vec::with_capacity(r);
-    let mut site_memory = Vec::with_capacity(r);
-    for &id in &site_ids {
-        let node: &mut WindowedSiteNode = sim.node_as(id).expect("windowed site node");
-        if let Some(e) = node.error.take() {
-            return Err(DriverError::Site(e));
-        }
-        site_stats.push(node.site.site().stats());
-        site_models.push(node.site.site().models().len());
-        site_memory.push(node.site.site().memory_bytes());
-    }
-    let sim_seconds = sim.now() as f64 / MICROS_PER_SEC as f64;
-    let comm = sim.stats().clone();
-    let coord: &mut CoordinatorNode = sim.node_as(coordinator_id).expect("coordinator node");
-    let global = coord.coordinator.global_mixture().ok();
-    Ok(StarReport {
-        comm,
-        global,
-        site_stats,
-        site_models,
-        site_memory,
-        coordinator_groups: coord.coordinator.group_count(),
-        coordinator_memory: coord.coordinator.memory_bytes(),
-        sim_seconds,
-    })
+) -> Result<StarReport, CludiError> {
+    let sites = streams.len();
+    Simulation::star(sites)
+        .with_driver_config(config)
+        .with_window(WindowSpec::Sliding { chunks: window_chunks })
+        .with_streams(streams)
+        .with_updates_per_site(updates_per_site)
+        .run()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::remote::RemoteSite;
     use cludistream_gmm::{ChunkParams, Gaussian};
     use cludistream_rng::StdRng;
+    use cludistream_simnet::LinkFaults;
 
     fn small_config() -> DriverConfig {
         DriverConfig {
@@ -421,27 +755,41 @@ mod tests {
         Box::new(std::iter::repeat_with(move || g.sample(&mut rng)))
     }
 
+    fn chunk_of(cfg: &DriverConfig) -> u64 {
+        RemoteSite::new(cfg.site.clone()).unwrap().chunk_size() as u64
+    }
+
     #[test]
     fn star_run_produces_global_model() {
         let cfg = small_config();
-        let chunk = RemoteSite::new(cfg.site.clone()).unwrap().chunk_size() as u64;
-        let streams: Vec<RecordStream> =
-            vec![stable_stream(0.0, 1), stable_stream(50.0, 2)];
-        let report = run_star(streams, 3 * chunk, cfg).unwrap();
+        let chunk = chunk_of(&cfg);
+        let streams: Vec<RecordStream> = vec![stable_stream(0.0, 1), stable_stream(50.0, 2)];
+        let report = Simulation::star(2)
+            .with_driver_config(cfg)
+            .with_streams(streams)
+            .with_updates_per_site(3 * chunk)
+            .run()
+            .unwrap();
         let global = report.global.expect("global mixture");
         assert!(global.k() >= 2, "coordinator lost a dense region");
         assert_eq!(report.site_stats.len(), 2);
         assert_eq!(report.site_stats[0].chunks, 3);
         assert!(report.sim_seconds > 0.0);
+        assert!(report.delivery.balanced());
+        assert!(!report.delivery.reliable);
     }
 
     #[test]
     fn stable_sites_send_one_synopsis_each() {
         let cfg = small_config();
-        let chunk = RemoteSite::new(cfg.site.clone()).unwrap().chunk_size() as u64;
-        let streams: Vec<RecordStream> =
-            vec![stable_stream(0.0, 21), stable_stream(0.0, 22)];
-        let report = run_star(streams, 5 * chunk, cfg).unwrap();
+        let chunk = chunk_of(&cfg);
+        let streams: Vec<RecordStream> = vec![stable_stream(0.0, 21), stable_stream(0.0, 22)];
+        let report = Simulation::star(2)
+            .with_driver_config(cfg)
+            .with_streams(streams)
+            .with_updates_per_site(5 * chunk)
+            .run()
+            .unwrap();
         // One NewModel message per site and nothing else.
         assert_eq!(report.comm.total_messages(), 2, "stability violated");
         assert_eq!(report.site_models, vec![1, 1]);
@@ -450,8 +798,13 @@ mod tests {
     #[test]
     fn per_second_series_available() {
         let cfg = small_config();
-        let chunk = RemoteSite::new(cfg.site.clone()).unwrap().chunk_size() as u64;
-        let report = run_star(vec![stable_stream(0.0, 5)], 2 * chunk, cfg).unwrap();
+        let chunk = chunk_of(&cfg);
+        let report = Simulation::star(1)
+            .with_driver_config(cfg)
+            .with_streams(vec![stable_stream(0.0, 5)])
+            .with_updates_per_site(2 * chunk)
+            .run()
+            .unwrap();
         assert!(!report.comm.per_second().is_empty());
         let cum = report.comm.cumulative_per_second();
         assert_eq!(*cum.last().unwrap(), report.comm.total_bytes());
@@ -460,8 +813,143 @@ mod tests {
     #[test]
     fn short_stream_with_no_full_chunk_is_silent() {
         let cfg = small_config();
-        let report = run_star(vec![stable_stream(0.0, 6)], 10, cfg).unwrap();
+        let report = Simulation::star(1)
+            .with_driver_config(cfg)
+            .with_streams(vec![stable_stream(0.0, 6)])
+            .with_updates_per_site(10)
+            .run()
+            .unwrap();
         assert!(report.global.is_none());
         assert_eq!(report.comm.total_messages(), 0);
+    }
+
+    #[test]
+    fn builder_rejects_bad_recipes() {
+        assert!(matches!(Simulation::star(0).run(), Err(CludiError::Build(_))));
+        assert!(matches!(Simulation::star(1).run(), Err(CludiError::Build(_))));
+        assert!(matches!(
+            Simulation::star(2).with_streams(vec![stable_stream(0.0, 1)]).run(),
+            Err(CludiError::Build(_))
+        ));
+        assert!(matches!(
+            Simulation::star(1)
+                .with_streams(vec![stable_stream(0.0, 1)])
+                .with_rate(0)
+                .run(),
+            Err(CludiError::InvalidConfig { name: "records_per_second", .. })
+        ));
+        assert!(matches!(
+            Simulation::star(1)
+                .with_streams(vec![stable_stream(0.0, 1)])
+                .with_batch(0)
+                .run(),
+            Err(CludiError::InvalidConfig { name: "batch", .. })
+        ));
+    }
+
+    #[test]
+    fn reliable_mode_on_clean_network_matches_fire_and_forget_model() {
+        let cfg = small_config();
+        let chunk = chunk_of(&cfg);
+        let run = |reliable: bool| {
+            let mut b = Simulation::star(2)
+                .with_driver_config(small_config())
+                .with_streams(vec![stable_stream(0.0, 1), stable_stream(50.0, 2)])
+                .with_updates_per_site(3 * chunk);
+            if reliable {
+                b = b.with_reliability(DeliveryConfig {
+                    mode: DeliveryMode::Reliable,
+                    ..Default::default()
+                });
+            }
+            b.run().unwrap()
+        };
+        let plain = run(false);
+        let reliable = run(true);
+        assert_eq!(plain.coordinator_groups, reliable.coordinator_groups);
+        assert_eq!(plain.site_models, reliable.site_models);
+        // The reliable run pays for sequence headers and ACKs.
+        assert!(reliable.comm.total_bytes() > plain.comm.total_bytes());
+        assert!(reliable.delivery.ack_messages > 0);
+        assert_eq!(reliable.delivery.retransmitted_messages, 0, "clean network");
+        assert!(reliable.delivery.balanced());
+    }
+
+    #[test]
+    fn lossy_run_recovers_every_synopsis() {
+        let cfg = small_config();
+        let chunk = chunk_of(&cfg);
+        let clean = Simulation::star(2)
+            .with_driver_config(small_config())
+            .with_streams(vec![stable_stream(0.0, 1), stable_stream(50.0, 2)])
+            .with_updates_per_site(3 * chunk)
+            .run()
+            .unwrap();
+        let lossy = Simulation::star(2)
+            .with_driver_config(cfg)
+            .with_streams(vec![stable_stream(0.0, 1), stable_stream(50.0, 2)])
+            .with_updates_per_site(3 * chunk)
+            .with_faults(FaultPlan::seeded(13).with_link(LinkFaults {
+                drop_p: 0.2,
+                duplicate_p: 0.1,
+                reorder_p: 0.3,
+                reorder_max_delay_us: 5_000,
+            }))
+            .run()
+            .unwrap();
+        assert!(lossy.delivery.reliable, "faults imply reliable delivery");
+        assert!(lossy.delivery.dropped_messages > 0, "plan did drop traffic");
+        assert_eq!(
+            clean.coordinator_groups, lossy.coordinator_groups,
+            "reliable delivery must recover the coordinator model"
+        );
+        assert!(lossy.delivery.balanced(), "byte accounting must balance");
+    }
+
+    #[test]
+    fn site_crash_restart_resyncs_from_checkpoint() {
+        let cfg = small_config();
+        let chunk = chunk_of(&cfg);
+        let updates = 3 * chunk;
+        // Crash site 0 mid-run; the run must still deliver everything.
+        let clean = Simulation::star(2)
+            .with_driver_config(small_config())
+            .with_streams(vec![stable_stream(0.0, 1), stable_stream(50.0, 2)])
+            .with_updates_per_site(updates)
+            .run()
+            .unwrap();
+        let crash_at = 2 * MICROS_PER_SEC;
+        let faulty = Simulation::star(2)
+            .with_driver_config(cfg)
+            .with_streams(vec![stable_stream(0.0, 1), stable_stream(50.0, 2)])
+            .with_updates_per_site(updates)
+            .with_faults(
+                FaultPlan::seeded(5).with_outage(NodeId(0), crash_at, crash_at + MICROS_PER_SEC),
+            )
+            .run()
+            .unwrap();
+        assert_eq!(faulty.delivery.crashes, 1);
+        assert_eq!(faulty.delivery.restarts, 1);
+        assert_eq!(clean.coordinator_groups, faulty.coordinator_groups);
+        // All records were processed despite the outage.
+        assert_eq!(
+            faulty.site_stats.iter().map(|s| s.records).sum::<u64>(),
+            2 * updates,
+            "restarted site lost records"
+        );
+        assert!(faulty.delivery.balanced());
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_still_run() {
+        let cfg = small_config();
+        let chunk = chunk_of(&cfg);
+        let report =
+            run_star(vec![stable_stream(0.0, 9)], chunk, small_config()).unwrap();
+        assert_eq!(report.site_stats.len(), 1);
+        let report =
+            run_star_windowed(vec![stable_stream(0.0, 9)], chunk, 4, cfg).unwrap();
+        assert_eq!(report.site_stats.len(), 1);
     }
 }

@@ -28,7 +28,14 @@
 //! - [`change`] — change detection from chunk outcomes (Sec. 7).
 //! - [`multilayer`] — tree-structured networks (Sec. 7).
 //! - [`driver`] — glue to run everything under the discrete-event
-//!   simulator with per-second communication accounting.
+//!   simulator with per-second communication accounting. Runs are built
+//!   with the [`Simulation`] builder: `Simulation::star(n)` configures a
+//!   star of `n` sites, `with_window` selects landmark or sliding-window
+//!   semantics ([`WindowSpec`]), `with_faults` attaches a
+//!   [`FaultPlan`] (switching synopsis delivery to the reliable
+//!   protocol), and `run()` returns a [`StarReport`] with byte-accurate
+//!   communication and delivery accounting — see the [`driver`] module
+//!   docs for a worked example.
 //!
 //! ## Quickstart
 //!
@@ -58,16 +65,26 @@ pub mod change;
 mod config;
 pub mod coordinator;
 pub mod driver;
+mod error;
 pub mod multilayer;
 pub mod protocol;
 pub mod remote;
 pub mod windows;
 
 pub use change::{ChangeDetector, ChangeKind, ChangePoint};
+pub use cludistream_simnet::{FaultPlan, FaultStats, LinkFaults, NodeId, Outage, Partition};
 pub use config::Config;
 pub use coordinator::{Coordinator, CoordinatorConfig, MergeRecord};
-pub use driver::{run_star, run_star_windowed, DriverConfig, DriverError, RecordStream, StarReport};
+pub use driver::{
+    DeliveryConfig, DeliveryMode, DeliveryReport, DriverConfig, RecordStream, Simulation,
+    StarReport,
+};
+#[allow(deprecated)]
+pub use driver::{run_star, run_star_windowed, DriverError};
+pub use error::CludiError;
 pub use multilayer::MultiLayerNetwork;
-pub use protocol::Message;
+pub use protocol::{Frame, Message, ReliableInbox, ReliableSender};
 pub use remote::{ChunkOutcome, ModelId, RemoteSite, SiteEvent, SiteStats};
-pub use windows::{horizon_mixture, landmark_mixture, SlidingWindowSite};
+pub use windows::{
+    horizon_mixture, landmark_mixture, LandmarkWindow, SlidingWindowSite, Window, WindowSpec,
+};

@@ -14,6 +14,7 @@
 
 use crate::config::Config;
 use crate::coordinator::{m_split, Coordinator, CoordinatorConfig};
+use crate::error::CludiError;
 use crate::protocol::Message;
 use crate::remote::{ModelId, RemoteSite};
 use cludistream_gmm::{CovarianceType, GmmError, Mixture};
@@ -76,12 +77,32 @@ impl MultiLayerNetwork {
         parent: Vec<usize>,
         site_config: Config,
         coordinator_config: CoordinatorConfig,
-    ) -> Result<Self, GmmError> {
-        assert!(!parent.is_empty(), "network needs at least one node");
-        assert_eq!(parent[0], 0, "node 0 must be the root");
+    ) -> Result<Self, CludiError> {
+        if parent.is_empty() {
+            return Err(CludiError::InvalidConfig {
+                name: "parent",
+                constraint: "network needs at least one node",
+            });
+        }
+        if parent[0] != 0 {
+            return Err(CludiError::InvalidConfig {
+                name: "parent",
+                constraint: "node 0 must be the root",
+            });
+        }
         for (i, &p) in parent.iter().enumerate() {
-            assert!(p < parent.len(), "parent out of range");
-            assert!(i == 0 || p != i, "only the root may self-parent");
+            if p >= parent.len() {
+                return Err(CludiError::InvalidConfig {
+                    name: "parent",
+                    constraint: "every parent index must be in range",
+                });
+            }
+            if i != 0 && p == i {
+                return Err(CludiError::InvalidConfig {
+                    name: "parent",
+                    constraint: "only the root may self-parent",
+                });
+            }
         }
         let has_children: Vec<bool> = {
             let mut h = vec![false; parent.len()];
@@ -101,7 +122,7 @@ impl MultiLayerNetwork {
                 internals.insert(
                     i,
                     InternalNode {
-                        coordinator: Coordinator::new(coordinator_config.clone()),
+                        coordinator: Coordinator::new(coordinator_config.clone())?,
                         last_upload: None,
                         version: 0,
                     },

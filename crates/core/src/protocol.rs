@@ -6,11 +6,32 @@
 //! multi-test strategy, and deletions (negative weight) for sliding-window
 //! expiry (Sec. 7). Every message has an exact byte size so the
 //! communication-cost experiments measure real wire traffic.
+//!
+//! ## Reliable delivery
+//!
+//! On a faulty network (see `cludistream_simnet::FaultPlan`) synopses can
+//! be dropped, duplicated, or reordered, and a crashed coordinator link
+//! loses everything in flight. The [`Frame`] layer adds go-back-N
+//! reliability on top of [`Message`]:
+//!
+//! - sites wrap each synopsis in [`Frame::Data`] with a per-site sequence
+//!   number assigned by a [`ReliableSender`], which keeps unacknowledged
+//!   messages queued and retransmits them with exponential backoff;
+//! - the coordinator runs one [`ReliableInbox`] per site, which releases
+//!   messages in sequence order exactly once (duplicates and stale
+//!   retransmits are discarded idempotently) and answers with cumulative
+//!   [`Frame::Ack`]s.
+//!
+//! [`Frame::Bare`] carries an unsequenced message and preserves the
+//! legacy encoding byte-for-byte, so fault-free runs pay zero overhead
+//! and existing wire fixtures stay valid.
 
+use crate::error::CludiError;
 use crate::remote::{ModelId, SiteEvent};
 use cludistream_gmm::codec::{decode_mixture, encode_mixture, encoded_len};
 use cludistream_gmm::{CovarianceType, GmmError, Mixture};
 use cludistream_wire::{ByteBuf, ByteReader};
+use std::collections::{BTreeMap, VecDeque};
 
 /// A message from a remote site to the coordinator.
 #[derive(Debug, Clone)]
@@ -53,6 +74,8 @@ pub enum Message {
 const TAG_NEW_MODEL: u8 = 1;
 const TAG_WEIGHT_UPDATE: u8 = 2;
 const TAG_DELETE: u8 = 3;
+const TAG_DATA: u8 = 4;
+const TAG_ACK: u8 = 5;
 
 /// Fixed header: tag (1) + site (4) + model id (8).
 const HEADER_BYTES: usize = 13;
@@ -135,6 +158,15 @@ impl Message {
             return Err(GmmError::Codec("truncated message header"));
         }
         let tag = buf.get_u8();
+        Message::decode_after_tag(tag, buf)
+    }
+
+    /// Decodes the header remainder and body once `tag` has been read
+    /// (shared by [`Message::decode`] and [`Frame::decode`]).
+    fn decode_after_tag(tag: u8, buf: &mut ByteReader<'_>) -> Result<Message, GmmError> {
+        if buf.remaining() < HEADER_BYTES - 1 {
+            return Err(GmmError::Codec("truncated message header"));
+        }
         let site = buf.get_u32_le();
         let model = ModelId(buf.get_u64_le());
         match tag {
@@ -160,6 +192,288 @@ impl Message {
             }
             _ => Err(GmmError::Codec("unknown message tag")),
         }
+    }
+}
+
+/// A wire frame: either a bare legacy message or a sequenced/ack frame of
+/// the reliable-delivery protocol.
+#[derive(Debug, Clone)]
+pub enum Frame {
+    /// An unsequenced message (fire-and-forget mode). Encodes exactly as
+    /// [`Message::encode`] — the legacy format.
+    Bare(Message),
+    /// A sequenced synopsis from a site. Sequence numbers are per-site
+    /// and start at 0.
+    Data {
+        /// Per-site sequence number.
+        seq: u64,
+        /// The synopsis being carried.
+        message: Message,
+    },
+    /// A cumulative acknowledgement from the coordinator: every sequence
+    /// number `< cumulative` has been received.
+    Ack {
+        /// Next sequence number the coordinator expects.
+        cumulative: u64,
+    },
+}
+
+/// Wire size of an [`Frame::Ack`]: tag (1) + cumulative (8).
+pub const ACK_BYTES: usize = 9;
+
+/// Per-frame overhead of [`Frame::Data`] over the bare message: tag (1) +
+/// sequence number (8).
+pub const DATA_OVERHEAD_BYTES: usize = 9;
+
+impl Frame {
+    /// Exact encoded size under the given covariance representation.
+    pub fn wire_bytes(&self, cov: CovarianceType) -> usize {
+        match self {
+            Frame::Bare(m) => m.wire_bytes(cov),
+            Frame::Data { message, .. } => DATA_OVERHEAD_BYTES + message.wire_bytes(cov),
+            Frame::Ack { .. } => ACK_BYTES,
+        }
+    }
+
+    /// Encodes the frame.
+    pub fn encode(&self, cov: CovarianceType) -> ByteBuf {
+        match self {
+            Frame::Bare(m) => m.encode(cov),
+            Frame::Data { seq, message } => {
+                let mut buf = ByteBuf::with_capacity(self.wire_bytes(cov));
+                buf.put_u8(TAG_DATA);
+                buf.put_u64_le(*seq);
+                buf.extend_from_slice(&message.encode(cov));
+                buf
+            }
+            Frame::Ack { cumulative } => {
+                let mut buf = ByteBuf::with_capacity(ACK_BYTES);
+                buf.put_u8(TAG_ACK);
+                buf.put_u64_le(*cumulative);
+                buf
+            }
+        }
+    }
+
+    /// Decodes any frame: tags 1–3 are legacy bare messages, 4 is a
+    /// sequenced data frame, 5 a cumulative ACK.
+    pub fn decode(buf: &mut ByteReader<'_>) -> Result<Frame, CludiError> {
+        if buf.remaining() < 1 {
+            return Err(CludiError::Decode("empty frame"));
+        }
+        let tag = buf.get_u8();
+        match tag {
+            TAG_NEW_MODEL | TAG_WEIGHT_UPDATE | TAG_DELETE => {
+                Ok(Frame::Bare(Message::decode_after_tag(tag, buf)?))
+            }
+            TAG_DATA => {
+                if buf.remaining() < 8 {
+                    return Err(CludiError::Decode("truncated data frame"));
+                }
+                let seq = buf.get_u64_le();
+                let message = Message::decode(buf)?;
+                Ok(Frame::Data { seq, message })
+            }
+            TAG_ACK => {
+                if buf.remaining() < 8 {
+                    return Err(CludiError::Decode("truncated ack frame"));
+                }
+                Ok(Frame::Ack { cumulative: buf.get_u64_le() })
+            }
+            _ => Err(CludiError::Decode("unknown frame tag")),
+        }
+    }
+}
+
+/// The site half of the reliable-delivery protocol: assigns sequence
+/// numbers, keeps every unacknowledged synopsis queued, and retransmits
+/// the whole queue (go-back-N) with exponential backoff when the
+/// retransmit timer fires.
+///
+/// The sender is deliberately snapshot-friendly ([`ReliableSender::snapshot`]
+/// / [`ReliableSender::restore`]): a crashed site restored from its last
+/// checkpoint resumes retransmitting whatever was unacknowledged at
+/// checkpoint time. Re-sending already-acknowledged messages is harmless —
+/// the coordinator's [`ReliableInbox`] discards them as duplicates and
+/// re-acknowledges.
+#[derive(Debug, Clone)]
+pub struct ReliableSender {
+    next_seq: u64,
+    unacked: VecDeque<(u64, Message)>,
+    retries: u32,
+    base_rto_us: u64,
+    max_rto_us: u64,
+    retransmitted_messages: u64,
+}
+
+impl ReliableSender {
+    /// A sender with the given initial retransmission timeout and cap
+    /// (both simulated microseconds).
+    pub fn new(base_rto_us: u64, max_rto_us: u64) -> ReliableSender {
+        ReliableSender {
+            next_seq: 0,
+            unacked: VecDeque::new(),
+            retries: 0,
+            base_rto_us: base_rto_us.max(1),
+            max_rto_us: max_rto_us.max(1),
+            retransmitted_messages: 0,
+        }
+    }
+
+    /// Wraps `message` in the next sequenced frame and queues it until
+    /// acknowledged.
+    pub fn send(&mut self, message: Message) -> Frame {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.unacked.push_back((seq, message.clone()));
+        Frame::Data { seq, message }
+    }
+
+    /// Processes a cumulative ACK: drops every queued frame with sequence
+    /// number `< cumulative` and, if that made progress, resets the
+    /// backoff. Returns how many frames were newly acknowledged.
+    pub fn on_ack(&mut self, cumulative: u64) -> usize {
+        let before = self.unacked.len();
+        while self.unacked.front().is_some_and(|(seq, _)| *seq < cumulative) {
+            self.unacked.pop_front();
+        }
+        let progressed = self.unacked.len() < before;
+        if progressed {
+            self.retries = 0;
+        }
+        before - self.unacked.len()
+    }
+
+    /// Frames still awaiting acknowledgement.
+    pub fn pending(&self) -> usize {
+        self.unacked.len()
+    }
+
+    /// Total retransmitted frames over the sender's lifetime.
+    pub fn retransmitted(&self) -> u64 {
+        self.retransmitted_messages
+    }
+
+    /// The delay before the next retransmission attempt: the base RTO
+    /// doubled per consecutive unacknowledged timeout, capped.
+    pub fn next_timeout_us(&self) -> u64 {
+        let shift = self.retries.min(32);
+        (((self.base_rto_us as u128) << shift).min(self.max_rto_us as u128) as u64).max(1)
+    }
+
+    /// Retransmits the whole unacknowledged queue (go-back-N) and bumps
+    /// the backoff. Returns the frames to put back on the wire, oldest
+    /// first; empty when nothing is pending.
+    pub fn on_timeout(&mut self) -> Vec<Frame> {
+        if self.unacked.is_empty() {
+            return Vec::new();
+        }
+        self.retries = self.retries.saturating_add(1);
+        self.retransmitted_messages += self.unacked.len() as u64;
+        self.unacked
+            .iter()
+            .map(|(seq, message)| Frame::Data { seq: *seq, message: message.clone() })
+            .collect()
+    }
+
+    /// Serializes the durable part of the sender (sequence counter and
+    /// unacknowledged queue) into `buf`, for inclusion in a site
+    /// checkpoint. Backoff state is deliberately volatile.
+    pub fn snapshot(&self, cov: CovarianceType, buf: &mut ByteBuf) {
+        buf.put_u64_le(self.next_seq);
+        buf.put_u64_le(self.unacked.len() as u64);
+        for (seq, message) in &self.unacked {
+            buf.put_u64_le(*seq);
+            let encoded = message.encode(cov);
+            buf.put_u64_le(encoded.len() as u64);
+            buf.extend_from_slice(&encoded);
+        }
+    }
+
+    /// Restores a sender from [`ReliableSender::snapshot`] bytes, with
+    /// fresh (reset) backoff state.
+    pub fn restore(
+        base_rto_us: u64,
+        max_rto_us: u64,
+        buf: &mut ByteReader<'_>,
+    ) -> Result<ReliableSender, CludiError> {
+        if buf.remaining() < 16 {
+            return Err(CludiError::Decode("truncated sender snapshot"));
+        }
+        let next_seq = buf.get_u64_le();
+        let n = buf.get_u64_le();
+        let mut unacked = VecDeque::new();
+        for _ in 0..n {
+            if buf.remaining() < 16 {
+                return Err(CludiError::Decode("truncated sender snapshot entry"));
+            }
+            let seq = buf.get_u64_le();
+            let len = buf.get_u64_le() as usize;
+            if buf.remaining() < len {
+                return Err(CludiError::Decode("truncated sender snapshot message"));
+            }
+            let message = Message::decode(buf)?;
+            unacked.push_back((seq, message));
+        }
+        Ok(ReliableSender {
+            next_seq,
+            unacked,
+            retries: 0,
+            base_rto_us: base_rto_us.max(1),
+            max_rto_us: max_rto_us.max(1),
+            retransmitted_messages: 0,
+        })
+    }
+}
+
+/// The coordinator half of the reliable-delivery protocol: one inbox per
+/// site. Releases messages in sequence order exactly once; duplicates and
+/// stale retransmits are discarded idempotently.
+#[derive(Debug, Clone, Default)]
+pub struct ReliableInbox {
+    next: u64,
+    buffer: BTreeMap<u64, Message>,
+    duplicates: u64,
+}
+
+impl ReliableInbox {
+    /// A fresh inbox expecting sequence number 0.
+    pub fn new() -> ReliableInbox {
+        ReliableInbox::default()
+    }
+
+    /// Accepts a sequenced frame and returns every message that is now
+    /// deliverable, in sequence order. A stale or duplicate sequence
+    /// number yields nothing (but the caller should still ACK — the
+    /// retransmit means the site has not seen the ACK yet).
+    pub fn accept(&mut self, seq: u64, message: Message) -> Vec<Message> {
+        if seq < self.next || self.buffer.contains_key(&seq) {
+            self.duplicates += 1;
+            return Vec::new();
+        }
+        self.buffer.insert(seq, message);
+        let mut ready = Vec::new();
+        while let Some(message) = self.buffer.remove(&self.next) {
+            ready.push(message);
+            self.next += 1;
+        }
+        ready
+    }
+
+    /// The cumulative ACK to answer with: every sequence number `<` this
+    /// has been delivered to the application.
+    pub fn cumulative(&self) -> u64 {
+        self.next
+    }
+
+    /// Frames buffered out of order, awaiting a gap fill.
+    pub fn buffered(&self) -> usize {
+        self.buffer.len()
+    }
+
+    /// Duplicate or stale frames discarded so far.
+    pub fn duplicates(&self) -> u64 {
+        self.duplicates
     }
 }
 
@@ -309,5 +623,194 @@ mod tests {
         let msg = Message::Delete { site: 2, model: ModelId(8), count_delta: 1 };
         assert_eq!(msg.site(), 2);
         assert_eq!(msg.model(), ModelId(8));
+    }
+
+    // ---- reliable delivery ----
+
+    fn update(n: u64) -> Message {
+        Message::WeightUpdate { site: 0, model: ModelId(n), count_delta: n }
+    }
+
+    fn model_of(m: &Message) -> u64 {
+        m.model().0
+    }
+
+    #[test]
+    fn frame_roundtrips_and_bare_matches_legacy_encoding() {
+        let cov = CovarianceType::Full;
+        let msg = update(4);
+        // Bare frames are the legacy bytes, bit for bit.
+        let bare = Frame::Bare(msg.clone()).encode(cov);
+        assert_eq!(bare.as_slice(), msg.encode(cov).as_slice());
+        assert!(matches!(Frame::decode(&mut bare.reader()).unwrap(), Frame::Bare(_)));
+
+        let data = Frame::Data { seq: 17, message: msg.clone() };
+        let bytes = data.encode(cov);
+        assert_eq!(bytes.len(), data.wire_bytes(cov));
+        assert_eq!(bytes.len(), DATA_OVERHEAD_BYTES + msg.wire_bytes(cov));
+        match Frame::decode(&mut bytes.reader()).unwrap() {
+            Frame::Data { seq, message } => {
+                assert_eq!(seq, 17);
+                assert_eq!(message.model(), ModelId(4));
+            }
+            other => panic!("wrong variant {other:?}"),
+        }
+
+        let ack = Frame::Ack { cumulative: 9 };
+        let bytes = ack.encode(cov);
+        assert_eq!(bytes.len(), ACK_BYTES);
+        match Frame::decode(&mut bytes.reader()).unwrap() {
+            Frame::Ack { cumulative } => assert_eq!(cumulative, 9),
+            other => panic!("wrong variant {other:?}"),
+        }
+    }
+
+    #[test]
+    fn frame_decode_rejects_garbage() {
+        let empty = ByteBuf::new();
+        assert!(Frame::decode(&mut empty.reader()).is_err());
+        let mut bad = ByteBuf::new();
+        bad.put_u8(77);
+        assert!(Frame::decode(&mut bad.reader()).is_err());
+        let mut short_ack = ByteBuf::new();
+        short_ack.put_u8(5);
+        short_ack.put_u32_le(1);
+        assert!(Frame::decode(&mut short_ack.reader()).is_err());
+    }
+
+    #[test]
+    fn inbox_discards_duplicates_idempotently() {
+        let mut inbox = ReliableInbox::new();
+        assert_eq!(inbox.accept(0, update(0)).len(), 1);
+        // Same frame retransmitted: discarded, but cumulative unchanged so
+        // the site still gets an ACK telling it to stop.
+        assert!(inbox.accept(0, update(0)).is_empty());
+        assert!(inbox.accept(0, update(0)).is_empty());
+        assert_eq!(inbox.duplicates(), 2);
+        assert_eq!(inbox.cumulative(), 1);
+        assert_eq!(inbox.accept(1, update(1)).len(), 1);
+        assert_eq!(inbox.cumulative(), 2);
+    }
+
+    #[test]
+    fn inbox_releases_out_of_order_frames_in_sequence() {
+        let mut inbox = ReliableInbox::new();
+        assert!(inbox.accept(2, update(2)).is_empty(), "gap: buffered");
+        assert!(inbox.accept(1, update(1)).is_empty(), "still gapped");
+        assert_eq!(inbox.buffered(), 2);
+        assert_eq!(inbox.cumulative(), 0);
+        // The gap fill releases the whole run, in order.
+        let ready = inbox.accept(0, update(0));
+        assert_eq!(ready.iter().map(model_of).collect::<Vec<_>>(), vec![0, 1, 2]);
+        assert_eq!(inbox.cumulative(), 3);
+        assert_eq!(inbox.buffered(), 0);
+        // A duplicate of a buffered-then-released frame is stale now.
+        assert!(inbox.accept(2, update(2)).is_empty());
+        assert_eq!(inbox.duplicates(), 1);
+    }
+
+    #[test]
+    fn sender_retransmits_with_exponential_backoff() {
+        let mut sender = ReliableSender::new(1_000, 10_000);
+        assert!(sender.on_timeout().is_empty(), "nothing pending, no retransmit");
+        let f0 = sender.send(update(0));
+        let f1 = sender.send(update(1));
+        assert!(matches!(f0, Frame::Data { seq: 0, .. }));
+        assert!(matches!(f1, Frame::Data { seq: 1, .. }));
+        assert_eq!(sender.pending(), 2);
+        assert_eq!(sender.next_timeout_us(), 1_000);
+
+        // First timeout: both frames go back on the wire, backoff doubles.
+        let retx = sender.on_timeout();
+        assert_eq!(retx.len(), 2);
+        assert_eq!(sender.next_timeout_us(), 2_000);
+        sender.on_timeout();
+        sender.on_timeout();
+        sender.on_timeout();
+        assert_eq!(sender.next_timeout_us(), 10_000, "capped at max");
+        assert_eq!(sender.retransmitted(), 8);
+
+        // Progress resets the backoff; acked frames leave the queue.
+        assert_eq!(sender.on_ack(1), 1);
+        assert_eq!(sender.pending(), 1);
+        assert_eq!(sender.next_timeout_us(), 1_000);
+        // A stale ACK changes nothing.
+        assert_eq!(sender.on_ack(1), 0);
+        assert_eq!(sender.on_ack(2), 1);
+        assert_eq!(sender.pending(), 0);
+    }
+
+    #[test]
+    fn sender_snapshot_roundtrips_unacked_queue() {
+        let cov = CovarianceType::Full;
+        let mut sender = ReliableSender::new(500, 8_000);
+        sender.send(update(0));
+        sender.send(update(1));
+        sender.on_ack(1);
+        sender.send(Message::NewModel {
+            site: 0,
+            model: ModelId(2),
+            count: 5,
+            avg_ll: -1.0,
+            mixture: mixture(),
+        });
+        let mut buf = ByteBuf::new();
+        sender.snapshot(cov, &mut buf);
+        let restored = ReliableSender::restore(500, 8_000, &mut buf.reader()).unwrap();
+        assert_eq!(restored.pending(), 2);
+        assert_eq!(restored.next_timeout_us(), 500, "backoff is volatile");
+        // The restored sender continues the sequence where it left off.
+        let mut restored = restored;
+        assert!(matches!(restored.send(update(9)), Frame::Data { seq: 3, .. }));
+        let retx = restored.on_timeout();
+        assert_eq!(retx.len(), 3);
+        assert!(matches!(retx[0], Frame::Data { seq: 1, .. }));
+    }
+
+    #[test]
+    fn sender_restore_rejects_truncation() {
+        let cov = CovarianceType::Full;
+        let mut sender = ReliableSender::new(500, 8_000);
+        sender.send(update(0));
+        let mut buf = ByteBuf::new();
+        sender.snapshot(cov, &mut buf);
+        for cut in [0, 8, 17, buf.len() - 1] {
+            assert!(
+                ReliableSender::restore(500, 8_000, &mut buf.slice(..cut).reader()).is_err(),
+                "cut at {cut} must fail"
+            );
+        }
+    }
+
+    #[test]
+    fn lossy_duplicate_reordered_link_converges() {
+        // Simulate a nasty link by hand: drop every third frame, deliver
+        // the rest twice in reverse order, until the sender drains.
+        let mut sender = ReliableSender::new(1_000, 16_000);
+        let mut inbox = ReliableInbox::new();
+        let mut delivered = Vec::new();
+        let mut wire: Vec<Frame> = (0..10).map(|i| sender.send(update(i))).collect();
+        let mut round = 0;
+        while sender.pending() > 0 {
+            round += 1;
+            assert!(round < 50, "must converge");
+            let mut batch: Vec<Frame> = wire
+                .drain(..)
+                .enumerate()
+                .filter(|(i, _)| (i + round) % 3 != 0)
+                .map(|(_, f)| f)
+                .collect();
+            batch.reverse();
+            let dups: Vec<Frame> = batch.clone();
+            for frame in batch.into_iter().chain(dups) {
+                if let Frame::Data { seq, message } = frame {
+                    delivered.extend(inbox.accept(seq, message));
+                }
+            }
+            sender.on_ack(inbox.cumulative());
+            wire = sender.on_timeout();
+        }
+        assert_eq!(delivered.iter().map(model_of).collect::<Vec<_>>(), (0..10).collect::<Vec<_>>());
+        assert!(inbox.duplicates() > 0);
     }
 }

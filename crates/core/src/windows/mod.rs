@@ -5,7 +5,9 @@
 mod horizon;
 mod landmark;
 mod sliding;
+mod window;
 
 pub use horizon::horizon_mixture;
 pub use landmark::landmark_mixture;
 pub use sliding::SlidingWindowSite;
+pub use window::{LandmarkWindow, Window, WindowSpec};

@@ -117,6 +117,79 @@ impl SlidingWindowSite {
         events
     }
 
+    /// Serializes the full window state — the wrapped site plus the
+    /// in-window chunk ledger and any undrained deletions/updates — for
+    /// crash recovery. Restore with [`SlidingWindowSite::restore`] under
+    /// the same configuration and window size.
+    pub fn snapshot(&self) -> cludistream_wire::ByteBuf {
+        let mut buf = self.inner.snapshot();
+        buf.put_u64_le(self.window_chunks as u64);
+        buf.put_u64_le(self.chunk_models.len() as u64);
+        for m in &self.chunk_models {
+            buf.put_u64_le(m.0);
+        }
+        buf.put_u64_le(self.deletions.len() as u64);
+        for (m, c) in &self.deletions {
+            buf.put_u64_le(m.0);
+            buf.put_u64_le(*c);
+        }
+        buf.put_u64_le(self.fit_updates.len() as u64);
+        for ev in &self.fit_updates {
+            let SiteEvent::WeightUpdate { model, count_delta } = ev else {
+                unreachable!("fit_updates holds only weight updates")
+            };
+            buf.put_u64_le(model.0);
+            buf.put_u64_le(*count_delta);
+        }
+        buf
+    }
+
+    /// Restores a window from [`SlidingWindowSite::snapshot`] bytes. The
+    /// configuration and `window_chunks` must match snapshot time.
+    pub fn restore(
+        config: Config,
+        window_chunks: usize,
+        snapshot: &mut cludistream_wire::ByteReader<'_>,
+    ) -> Result<Self, GmmError> {
+        let inner = RemoteSite::restore(config, snapshot)?;
+        if snapshot.remaining() < 16 {
+            return Err(GmmError::Codec("truncated window snapshot"));
+        }
+        if snapshot.get_u64_le() != window_chunks as u64 {
+            return Err(GmmError::Codec("window size mismatch"));
+        }
+        let n_chunks = snapshot.get_u64_le() as usize;
+        if snapshot.remaining() < n_chunks * 8 {
+            return Err(GmmError::Codec("truncated chunk ledger"));
+        }
+        let chunk_models: VecDeque<ModelId> =
+            (0..n_chunks).map(|_| ModelId(snapshot.get_u64_le())).collect();
+        if snapshot.remaining() < 8 {
+            return Err(GmmError::Codec("truncated deletion queue"));
+        }
+        let n_dels = snapshot.get_u64_le() as usize;
+        if snapshot.remaining() < n_dels * 16 {
+            return Err(GmmError::Codec("truncated deletion queue"));
+        }
+        let deletions = (0..n_dels)
+            .map(|_| (ModelId(snapshot.get_u64_le()), snapshot.get_u64_le()))
+            .collect();
+        if snapshot.remaining() < 8 {
+            return Err(GmmError::Codec("truncated update queue"));
+        }
+        let n_fit = snapshot.get_u64_le() as usize;
+        if snapshot.remaining() < n_fit * 16 {
+            return Err(GmmError::Codec("truncated update queue"));
+        }
+        let fit_updates = (0..n_fit)
+            .map(|_| SiteEvent::WeightUpdate {
+                model: ModelId(snapshot.get_u64_le()),
+                count_delta: snapshot.get_u64_le(),
+            })
+            .collect();
+        Ok(SlidingWindowSite { inner, window_chunks, chunk_models, deletions, fit_updates })
+    }
+
     /// The mixture over the current window: models weighted by how many
     /// in-window chunks they govern.
     pub fn window_mixture(&self) -> Result<Mixture, GmmError> {

@@ -80,7 +80,7 @@ impl Histogram {
         (self.count > 0).then(|| self.sum as f64 / self.count as f64)
     }
 
-    /// Raw bucket counts (index per [`bucket_index`]).
+    /// Raw bucket counts (index per `bucket_index`).
     pub fn buckets(&self) -> &[u64; BUCKETS] {
         &self.buckets
     }

@@ -32,6 +32,28 @@ impl Verdict {
     }
 }
 
+/// Why the simulated network discarded a message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DropReason {
+    /// Random loss drawn from the fault plan's per-link drop probability.
+    Loss,
+    /// The link was inside a scheduled partition window.
+    Partition,
+    /// The recipient was crashed when the message arrived.
+    NodeDown,
+}
+
+impl DropReason {
+    /// Stable wire name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            DropReason::Loss => "loss",
+            DropReason::Partition => "partition",
+            DropReason::NodeDown => "node_down",
+        }
+    }
+}
+
 /// A typed journal event. Every variant maps to one JSONL line; see the
 /// module docs for the determinism rules its fields obey.
 #[derive(Debug, Clone, PartialEq)]
@@ -98,6 +120,58 @@ pub enum Event {
         /// Final L1 accuracy loss of the kept representative.
         loss: f64,
     },
+    /// The simulated network discarded a message (fault injection).
+    Dropped {
+        /// Sending node id.
+        from: u64,
+        /// Intended recipient node id.
+        to: u64,
+        /// Wire size of the lost message.
+        bytes: u64,
+        /// Why it was discarded.
+        reason: DropReason,
+    },
+    /// The fault layer delivered an extra copy of a message.
+    Duplicated {
+        /// Sending node id.
+        from: u64,
+        /// Recipient node id.
+        to: u64,
+        /// Wire size of the duplicated message.
+        bytes: u64,
+    },
+    /// A site re-sent an unacknowledged synopsis frame (reliable delivery).
+    Retransmitted {
+        /// Site index.
+        site: u32,
+        /// Sequence number of the re-sent frame.
+        seq: u64,
+        /// Wire size of the retransmission.
+        bytes: u64,
+    },
+    /// A scheduled link partition (declared at run start; the window is
+    /// carried in the fields, not in `t`).
+    Partitioned {
+        /// One endpoint node id.
+        a: u64,
+        /// Other endpoint node id.
+        b: u64,
+        /// Partition start, simulated microseconds.
+        from_us: u64,
+        /// Partition end (exclusive), simulated microseconds.
+        until_us: u64,
+    },
+    /// A node crashed (fault plan outage): its volatile state is lost and
+    /// its pending timers are cancelled.
+    SiteCrashed {
+        /// Crashed node id.
+        node: u64,
+    },
+    /// A crashed node restarted and resynced from its durable checkpoint.
+    SiteRecovered {
+        /// Restarted node id.
+        node: u64,
+    },
 }
 
 impl Event {
@@ -112,6 +186,12 @@ impl Event {
             Event::Split { .. } => "Split",
             Event::ReMerge { .. } => "ReMerge",
             Event::SimplexRefine { .. } => "SimplexRefine",
+            Event::Dropped { .. } => "Dropped",
+            Event::Duplicated { .. } => "Duplicated",
+            Event::Retransmitted { .. } => "Retransmitted",
+            Event::Partitioned { .. } => "Partitioned",
+            Event::SiteCrashed { .. } => "SiteCrashed",
+            Event::SiteRecovered { .. } => "SiteRecovered",
         }
     }
 
@@ -156,6 +236,28 @@ impl Event {
             }
             Event::SimplexRefine { iters, loss } => {
                 let _ = write!(s, ",\"iters\":{iters},\"loss\":{}", json_f64(*loss));
+            }
+            Event::Dropped { from, to, bytes, reason } => {
+                let _ = write!(
+                    s,
+                    ",\"from\":{from},\"to\":{to},\"bytes\":{bytes},\"reason\":\"{}\"",
+                    reason.as_str()
+                );
+            }
+            Event::Duplicated { from, to, bytes } => {
+                let _ = write!(s, ",\"from\":{from},\"to\":{to},\"bytes\":{bytes}");
+            }
+            Event::Retransmitted { site, seq, bytes } => {
+                let _ = write!(s, ",\"site\":{site},\"seq\":{seq},\"bytes\":{bytes}");
+            }
+            Event::Partitioned { a, b, from_us, until_us } => {
+                let _ = write!(s, ",\"a\":{a},\"b\":{b},\"from_us\":{from_us},\"until_us\":{until_us}");
+            }
+            Event::SiteCrashed { node } => {
+                let _ = write!(s, ",\"node\":{node}");
+            }
+            Event::SiteRecovered { node } => {
+                let _ = write!(s, ",\"node\":{node}");
             }
         }
         s.push('}');
@@ -233,6 +335,12 @@ mod tests {
             Event::Split { group: 4, members: 2 },
             Event::ReMerge { group: 11 },
             Event::SimplexRefine { iters: 300, loss: 0.03 },
+            Event::Dropped { from: 0, to: 2, bytes: 21, reason: DropReason::Loss },
+            Event::Duplicated { from: 1, to: 2, bytes: 30 },
+            Event::Retransmitted { site: 0, seq: 4, bytes: 30 },
+            Event::Partitioned { a: 1, b: 2, from_us: 1000, until_us: 2000 },
+            Event::SiteCrashed { node: 1 },
+            Event::SiteRecovered { node: 1 },
         ];
         for e in &events {
             let line = e.to_json(0);
@@ -242,6 +350,16 @@ mod tests {
             // Exactly one object per line, no raw newlines.
             assert!(!line.contains('\n'));
         }
+    }
+
+    #[test]
+    fn dropped_serializes_with_fixed_field_order() {
+        let e = Event::Dropped { from: 0, to: 3, bytes: 629, reason: DropReason::Partition };
+        assert_eq!(
+            e.to_json(17),
+            "{\"t\":17,\"event\":\"Dropped\",\"from\":0,\"to\":3,\
+             \"bytes\":629,\"reason\":\"partition\"}"
+        );
     }
 
     #[test]

@@ -46,6 +46,6 @@ mod recorder;
 mod registry;
 
 pub use histogram::{Histogram, HistogramSnapshot, BUCKETS};
-pub use journal::{json_escape, json_f64, Event, Verdict};
+pub use journal::{json_escape, json_f64, DropReason, Event, Verdict};
 pub use recorder::{NopRecorder, Obs, Recorder, Span};
 pub use registry::Registry;

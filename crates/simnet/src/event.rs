@@ -36,6 +36,21 @@ pub enum SimEvent<M> {
         node: NodeId,
         /// Caller-chosen tag distinguishing concurrent timers.
         tag: u64,
+        /// The node's crash epoch when the timer was set. A timer fires
+        /// only if the node's epoch is unchanged: a crash bumps the epoch,
+        /// cancelling every timer armed before it (a restarted process has
+        /// no memory of them).
+        epoch: u64,
+    },
+    /// A scheduled node crash (from a [`crate::FaultPlan`] outage).
+    Crash {
+        /// The node going down.
+        node: NodeId,
+    },
+    /// A scheduled node restart ending an outage.
+    Restart {
+        /// The node coming back.
+        node: NodeId,
     },
 }
 
@@ -78,7 +93,7 @@ mod tests {
     use std::collections::BinaryHeap;
 
     fn entry(time: SimTime, seq: u64) -> QueuedEvent<()> {
-        QueuedEvent { time, seq, event: SimEvent::Timer { node: NodeId(0), tag: 0 } }
+        QueuedEvent { time, seq, event: SimEvent::Timer { node: NodeId(0), tag: 0, epoch: 0 } }
     }
 
     #[test]

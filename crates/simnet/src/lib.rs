@@ -17,6 +17,12 @@
 //!   serialization delay.
 //! - [`CommStats`] — byte-accurate accounting with a per-second time
 //!   series, exactly what Fig. 2 plots.
+//! - [`FaultPlan`] — deterministic fault injection: per-link drop /
+//!   duplicate / reorder probabilities ([`LinkFaults`]), timed
+//!   [`Partition`]s, and site crash/restart [`Outage`]s, with every random
+//!   decision drawn from a dedicated RNG stream seeded by the plan, so a
+//!   fault trace replays byte-identically. Accounting lands in
+//!   [`FaultStats`].
 //!
 //! Time is `u64` microseconds ([`SimTime`]); ties are broken by insertion
 //! sequence so runs are reproducible bit-for-bit.
@@ -50,6 +56,7 @@
 //! ```
 
 mod event;
+mod faults;
 mod network;
 mod node;
 mod sim;
@@ -57,6 +64,7 @@ mod stats;
 mod trace;
 
 pub use event::{NodeId, QueuedEvent, SimEvent, SimTime, MICROS_PER_SEC};
+pub use faults::{FaultPlan, FaultStats, LinkFaults, Outage, Partition};
 pub use network::{LinkModel, Topology};
 pub use node::{Context, Node};
 pub use sim::{SimError, Simulation};

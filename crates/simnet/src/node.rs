@@ -61,6 +61,20 @@ pub trait Node<M>: std::any::Any {
 
     /// Called when a timer set via [`Context::set_timer`] fires.
     fn on_timer(&mut self, _ctx: &mut Context<'_, M>, _tag: u64) {}
+
+    /// Called when a [`crate::FaultPlan`] outage crashes this node. The
+    /// process is dying: there is no [`Context`], so nothing can be sent,
+    /// and every pending timer is cancelled by the simulator. The default
+    /// does nothing (volatile state is simply frozen until restart);
+    /// realistic nodes should treat everything not explicitly checkpointed
+    /// as lost.
+    fn on_crash(&mut self) {}
+
+    /// Called when the outage ends and the node restarts. Runs with a
+    /// fresh [`Context`] so the node can resync from durable state and
+    /// re-arm its timers. The default does nothing, which leaves a
+    /// crashed node inert for the rest of the run.
+    fn on_restart(&mut self, _ctx: &mut Context<'_, M>) {}
 }
 
 #[cfg(test)]

@@ -1,9 +1,11 @@
 use crate::event::{NodeId, QueuedEvent, SimEvent, SimTime};
+use crate::faults::{FaultPlan, FaultStats};
 use crate::network::{LinkModel, Topology};
 use crate::node::{Action, Context, Node};
 use crate::stats::CommStats;
 use crate::trace::Trace;
-use cludistream_obs::{Obs, Recorder};
+use cludistream_obs::{DropReason, Event as ObsEvent, Obs, Recorder};
+use cludistream_rng::{Rng, StdRng};
 use std::collections::BinaryHeap;
 use std::fmt;
 
@@ -26,6 +28,12 @@ pub enum SimError {
         /// Nodes the topology describes.
         need: usize,
     },
+    /// A fault-plan outage is malformed (restart not strictly after the
+    /// crash).
+    BadOutage {
+        /// The node the outage concerns.
+        node: NodeId,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -37,6 +45,9 @@ impl fmt::Display for SimError {
             SimError::UnknownNode(n) => write!(f, "unknown node {n}"),
             SimError::TopologySize { have, need } => {
                 write!(f, "topology requires {need} nodes, {have} registered")
+            }
+            SimError::BadOutage { node } => {
+                write!(f, "outage for {node} must restart strictly after it crashes")
             }
         }
     }
@@ -61,6 +72,27 @@ pub struct Simulation<M> {
     trace: Option<Trace>,
     obs: Obs,
     halted: bool,
+    /// Fault schedule plus its dedicated RNG stream (None = reliable net).
+    fault: Option<FaultCtl>,
+    /// Always-on delivery/fault accounting (zeros without a plan).
+    fault_stats: FaultStats,
+    /// Which nodes are currently crashed.
+    down: Vec<bool>,
+    /// Per-node crash epoch; bumped on crash to cancel stale timers.
+    epochs: Vec<u64>,
+    /// Set once the plan's outages/partitions have been scheduled, so a
+    /// resumed `run_until` does not schedule them twice.
+    faults_scheduled: bool,
+    /// How to clone a payload for duplicate injection; captured by
+    /// [`Simulation::set_fault_plan`], which requires `M: Clone`.
+    clone_payload: Option<fn(&M) -> M>,
+}
+
+/// The live fault state: the plan and the RNG stream its decisions come
+/// from.
+struct FaultCtl {
+    plan: FaultPlan,
+    rng: StdRng,
 }
 
 impl<M: 'static> Simulation<M> {
@@ -77,7 +109,30 @@ impl<M: 'static> Simulation<M> {
             trace: None,
             obs: Obs::noop(),
             halted: false,
+            fault: None,
+            fault_stats: FaultStats::default(),
+            down: Vec::new(),
+            epochs: Vec::new(),
+            faults_scheduled: false,
+            clone_payload: None,
         }
+    }
+
+    /// The fault/delivery accounting accumulated so far. All-zero when no
+    /// fault plan is attached, except `delivered_*`, which always counts
+    /// completed deliveries.
+    pub fn fault_stats(&self) -> &FaultStats {
+        &self.fault_stats
+    }
+
+    /// The attached fault plan, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.fault.as_ref().map(|f| &f.plan)
+    }
+
+    /// True when `node` is currently crashed.
+    pub fn is_down(&self, node: NodeId) -> bool {
+        self.down.get(node.0).copied().unwrap_or(false)
     }
 
     /// Enables per-message tracing (off by default; traces grow with the
@@ -152,6 +207,9 @@ impl<M: 'static> Simulation<M> {
                 return Err(SimError::TopologySize { have: self.nodes.len(), need });
             }
         }
+        self.down.resize(self.nodes.len(), false);
+        self.epochs.resize(self.nodes.len(), 0);
+        self.schedule_faults()?;
 
         // Start phase.
         let mut staged: Vec<(NodeId, Vec<Action<M>>)> = Vec::new();
@@ -182,7 +240,47 @@ impl<M: 'static> Simulation<M> {
             type Callback<'a, M> = Box<dyn FnMut(&mut dyn Node<M>, &mut Context<'_, M>) + 'a>;
             let (node_id, mut run): (NodeId, Callback<'_, M>) =
                 match entry.event {
-                    SimEvent::Message { from, to, payload, bytes: _ } => {
+                    SimEvent::Crash { node } => {
+                        self.epochs[node.0] += 1;
+                        self.down[node.0] = true;
+                        self.fault_stats.crashes += 1;
+                        if self.obs.enabled() {
+                            self.obs.counter("net.crashes", 1);
+                            self.obs.event(&ObsEvent::SiteCrashed { node: node.0 as u64 });
+                        }
+                        self.nodes[node.0].on_crash();
+                        continue;
+                    }
+                    SimEvent::Restart { node } => {
+                        self.down[node.0] = false;
+                        self.fault_stats.restarts += 1;
+                        if self.obs.enabled() {
+                            self.obs.counter("net.restarts", 1);
+                            self.obs.event(&ObsEvent::SiteRecovered { node: node.0 as u64 });
+                        }
+                        (node, Box::new(move |n, ctx| n.on_restart(ctx)))
+                    }
+                    SimEvent::Message { from, to, payload, bytes } => {
+                        if to.0 < self.down.len() && self.down[to.0] {
+                            // Recipient is crashed at arrival: the message
+                            // is lost, exactly as a dead TCP endpoint
+                            // would lose it.
+                            self.fault_stats.dropped_messages += 1;
+                            self.fault_stats.dropped_bytes += bytes as u64;
+                            self.fault_stats.dropped_to_down_node += 1;
+                            if self.obs.enabled() {
+                                self.obs.counter("net.dropped", 1);
+                                self.obs.event(&ObsEvent::Dropped {
+                                    from: from.0 as u64,
+                                    to: to.0 as u64,
+                                    bytes: bytes as u64,
+                                    reason: DropReason::NodeDown,
+                                });
+                            }
+                            continue;
+                        }
+                        self.fault_stats.delivered_messages += 1;
+                        self.fault_stats.delivered_bytes += bytes as u64;
                         let mut payload = Some(payload);
                         (
                             to,
@@ -191,7 +289,16 @@ impl<M: 'static> Simulation<M> {
                             }),
                         )
                     }
-                    SimEvent::Timer { node, tag } => {
+                    SimEvent::Timer { node, tag, epoch } => {
+                        let current =
+                            self.epochs.get(node.0).copied().unwrap_or(0);
+                        let down = self.down.get(node.0).copied().unwrap_or(false);
+                        if down || epoch != current {
+                            // The node crashed after arming this timer: a
+                            // restarted process has no memory of it.
+                            self.fault_stats.timers_cancelled += 1;
+                            continue;
+                        }
                         (node, Box::new(move |n, ctx| n.on_timer(ctx, tag)))
                     }
                 };
@@ -229,7 +336,73 @@ impl<M: 'static> Simulation<M> {
                         self.obs.counter("net.bytes", bytes as u64);
                         self.obs.observe("net.msg_bytes", bytes as u64);
                     }
-                    let time = self.time + self.link.delay(bytes);
+                    // Fault decisions, drawn in a fixed order from the
+                    // plan's dedicated RNG stream so runs replay exactly.
+                    let mut delay = self.link.delay(bytes);
+                    let mut duplicate = false;
+                    if let Some(fault) = &mut self.fault {
+                        let severed = fault.plan.severed(from, to, self.time).is_some();
+                        let lost = !severed
+                            && fault.plan.link.drop_p > 0.0
+                            && fault.rng.gen_bool(fault.plan.link.drop_p);
+                        if severed || lost {
+                            let reason = if severed {
+                                self.fault_stats.dropped_by_partition += 1;
+                                DropReason::Partition
+                            } else {
+                                self.fault_stats.dropped_by_loss += 1;
+                                DropReason::Loss
+                            };
+                            self.fault_stats.dropped_messages += 1;
+                            self.fault_stats.dropped_bytes += bytes as u64;
+                            if self.obs.enabled() {
+                                self.obs.counter("net.dropped", 1);
+                                self.obs.event(&ObsEvent::Dropped {
+                                    from: from.0 as u64,
+                                    to: to.0 as u64,
+                                    bytes: bytes as u64,
+                                    reason,
+                                });
+                            }
+                            continue;
+                        }
+                        if fault.plan.link.duplicate_p > 0.0 {
+                            duplicate = fault.rng.gen_bool(fault.plan.link.duplicate_p);
+                        }
+                        if fault.plan.link.reorder_p > 0.0
+                            && fault.plan.link.reorder_max_delay_us > 0
+                            && fault.rng.gen_bool(fault.plan.link.reorder_p)
+                        {
+                            delay +=
+                                fault.rng.gen_range(1..=fault.plan.link.reorder_max_delay_us);
+                            self.fault_stats.reordered_messages += 1;
+                            if self.obs.enabled() {
+                                self.obs.counter("net.reordered", 1);
+                            }
+                        }
+                    }
+                    let time = self.time + delay;
+                    if duplicate {
+                        if let Some(clone) = self.clone_payload {
+                            let copy = clone(&payload);
+                            self.fault_stats.duplicated_messages += 1;
+                            self.fault_stats.duplicated_bytes += bytes as u64;
+                            if self.obs.enabled() {
+                                self.obs.counter("net.duplicated", 1);
+                                self.obs.event(&ObsEvent::Duplicated {
+                                    from: from.0 as u64,
+                                    to: to.0 as u64,
+                                    bytes: bytes as u64,
+                                });
+                            }
+                            self.seq += 1;
+                            self.queue.push(QueuedEvent {
+                                time,
+                                seq: self.seq,
+                                event: SimEvent::Message { from, to, payload: copy, bytes },
+                            });
+                        }
+                    }
                     self.seq += 1;
                     self.queue.push(QueuedEvent {
                         time,
@@ -238,17 +411,81 @@ impl<M: 'static> Simulation<M> {
                     });
                 }
                 Action::Timer { delay, tag } => {
+                    let epoch = self.epochs.get(from.0).copied().unwrap_or(0);
                     self.seq += 1;
                     self.queue.push(QueuedEvent {
                         time: self.time + delay,
                         seq: self.seq,
-                        event: SimEvent::Timer { node: from, tag },
+                        event: SimEvent::Timer { node: from, tag, epoch },
                     });
                 }
                 Action::Halt => self.halted = true,
             }
         }
         Ok(())
+    }
+
+    /// Validates the attached fault plan against the node table and
+    /// enqueues its crash/restart events (once per simulation).
+    fn schedule_faults(&mut self) -> Result<(), SimError> {
+        if self.faults_scheduled {
+            return Ok(());
+        }
+        self.faults_scheduled = true;
+        let Some(fault) = &self.fault else { return Ok(()) };
+        let mut crash_events = Vec::new();
+        for outage in &fault.plan.outages {
+            if outage.node.0 >= self.nodes.len() {
+                return Err(SimError::UnknownNode(outage.node));
+            }
+            if outage.up_at_us <= outage.down_at_us {
+                return Err(SimError::BadOutage { node: outage.node });
+            }
+            crash_events.push(*outage);
+        }
+        for p in &fault.plan.partitions {
+            for end in [p.a, p.b] {
+                if end.0 >= self.nodes.len() {
+                    return Err(SimError::UnknownNode(end));
+                }
+            }
+            if self.obs.enabled() {
+                // Declared up front: the window itself is in the fields.
+                self.obs.event(&ObsEvent::Partitioned {
+                    a: p.a.0 as u64,
+                    b: p.b.0 as u64,
+                    from_us: p.from_us,
+                    until_us: p.until_us,
+                });
+            }
+        }
+        for outage in crash_events {
+            self.seq += 1;
+            self.queue.push(QueuedEvent {
+                time: outage.down_at_us,
+                seq: self.seq,
+                event: SimEvent::Crash { node: outage.node },
+            });
+            self.seq += 1;
+            self.queue.push(QueuedEvent {
+                time: outage.up_at_us,
+                seq: self.seq,
+                event: SimEvent::Restart { node: outage.node },
+            });
+        }
+        Ok(())
+    }
+}
+
+impl<M: Clone + 'static> Simulation<M> {
+    /// Attaches a deterministic fault plan. Requires `M: Clone` so the
+    /// fault layer can inject duplicate deliveries. Attach before
+    /// [`Simulation::run`]; replacing the plan mid-run is not supported
+    /// (the outage schedule is enqueued once, at the first run).
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        let rng = StdRng::seed_from_u64(plan.seed);
+        self.fault = Some(FaultCtl { plan, rng });
+        self.clone_payload = Some(|payload| payload.clone());
     }
 }
 
@@ -449,5 +686,194 @@ mod tests {
         let mut sim: Simulation<()> = Simulation::new(Topology::Complete, LinkModel::instant());
         sim.add_node(Box::new(Wild));
         assert_eq!(sim.run(), Err(SimError::UnknownNode(NodeId(42))));
+    }
+
+    // ---- fault injection ----
+
+    use crate::faults::{FaultPlan, LinkFaults};
+
+    /// Sends `count` 8-byte messages to the hub, one per millisecond.
+    struct Blaster {
+        count: u32,
+    }
+    impl Node<u32> for Blaster {
+        fn on_start(&mut self, ctx: &mut Context<'_, u32>) {
+            ctx.set_timer(1_000, 0);
+        }
+        fn on_message(&mut self, _: &mut Context<'_, u32>, _: NodeId, _: u32) {}
+        fn on_timer(&mut self, ctx: &mut Context<'_, u32>, _: u64) {
+            if self.count > 0 {
+                self.count -= 1;
+                ctx.send(NodeId(1), self.count, 8);
+                ctx.set_timer(1_000, 0);
+            }
+        }
+    }
+
+    /// Counts deliveries.
+    struct Sink {
+        received: u32,
+    }
+    impl Node<u32> for Sink {
+        fn on_message(&mut self, _: &mut Context<'_, u32>, _: NodeId, _: u32) {
+            self.received += 1;
+        }
+    }
+
+    fn lossy_run(plan: FaultPlan) -> (u32, FaultStats) {
+        let mut sim: Simulation<u32> = Simulation::new(Topology::star(1), LinkModel::instant());
+        sim.add_node(Box::new(Blaster { count: 200 }));
+        let hub = sim.add_node(Box::new(Sink { received: 0 }));
+        sim.set_fault_plan(plan);
+        sim.run().unwrap();
+        let stats = *sim.fault_stats();
+        let sink: &mut Sink = sim.node_as(hub).expect("concrete type");
+        (sink.received, stats)
+    }
+
+    #[test]
+    fn random_loss_is_deterministic_and_conserves_messages() {
+        let plan = FaultPlan::seeded(42)
+            .with_link(LinkFaults { drop_p: 0.25, ..Default::default() });
+        let (recv_a, stats_a) = lossy_run(plan.clone());
+        let (recv_b, stats_b) = lossy_run(plan);
+        assert_eq!(recv_a, recv_b, "same plan must replay identically");
+        assert_eq!(stats_a, stats_b);
+        assert!(stats_a.dropped_by_loss > 0, "25% loss over 200 sends");
+        assert!(recv_a < 200);
+        // Conservation: every send is delivered or dropped.
+        assert_eq!(
+            stats_a.delivered_messages + stats_a.dropped_messages,
+            200 + stats_a.duplicated_messages
+        );
+        assert_eq!(u64::from(recv_a), stats_a.delivered_messages);
+    }
+
+    #[test]
+    fn duplicates_are_injected_and_counted() {
+        let plan = FaultPlan::seeded(7)
+            .with_link(LinkFaults { duplicate_p: 0.5, ..Default::default() });
+        let (received, stats) = lossy_run(plan);
+        assert!(stats.duplicated_messages > 0);
+        assert_eq!(u64::from(received), 200 + stats.duplicated_messages);
+        assert_eq!(stats.dropped_messages, 0);
+    }
+
+    #[test]
+    fn partition_window_drops_only_inside_it() {
+        // Sends happen at t = 1ms, 2ms, ..., 200ms. Cut [50ms, 100ms).
+        let plan = FaultPlan::seeded(3).with_partition(NodeId(0), NodeId(1), 50_000, 100_000);
+        let (received, stats) = lossy_run(plan);
+        assert_eq!(stats.dropped_by_partition, 50);
+        assert_eq!(received, 150);
+    }
+
+    #[test]
+    fn reorder_jitter_lets_later_sends_overtake() {
+        struct OrderSink {
+            seen: Vec<u32>,
+        }
+        impl Node<u32> for OrderSink {
+            fn on_message(&mut self, _: &mut Context<'_, u32>, _: NodeId, msg: u32) {
+                self.seen.push(msg);
+            }
+        }
+        struct Burst;
+        impl Node<u32> for Burst {
+            fn on_start(&mut self, ctx: &mut Context<'_, u32>) {
+                ctx.set_timer(1, 0);
+            }
+            fn on_message(&mut self, _: &mut Context<'_, u32>, _: NodeId, _: u32) {}
+            fn on_timer(&mut self, ctx: &mut Context<'_, u32>, tag: u64) {
+                ctx.send(NodeId(1), tag as u32, 8);
+                if tag < 63 {
+                    ctx.set_timer(1, tag + 1);
+                }
+            }
+        }
+        let plan = FaultPlan::seeded(11).with_link(LinkFaults {
+            reorder_p: 0.5,
+            reorder_max_delay_us: 500,
+            ..Default::default()
+        });
+        let mut sim: Simulation<u32> = Simulation::new(Topology::star(1), LinkModel::instant());
+        sim.add_node(Box::new(Burst));
+        let hub = sim.add_node(Box::new(OrderSink { seen: vec![] }));
+        sim.set_fault_plan(plan);
+        sim.run().unwrap();
+        assert!(sim.fault_stats().reordered_messages > 0);
+        let sink: &mut OrderSink = sim.node_as(hub).expect("concrete type");
+        assert_eq!(sink.seen.len(), 64, "reordering never loses messages");
+        let mut sorted = sink.seen.clone();
+        sorted.sort_unstable();
+        assert_ne!(sink.seen, sorted, "some message overtook an earlier one");
+        assert_eq!(sorted, (0..64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn crash_cancels_timers_and_restart_hook_runs() {
+        struct Phoenix {
+            ticks: u32,
+            crashes_seen: u32,
+            restarts_seen: u32,
+        }
+        impl Node<u32> for Phoenix {
+            fn on_start(&mut self, ctx: &mut Context<'_, u32>) {
+                ctx.set_timer(1_000, 0);
+            }
+            fn on_message(&mut self, _: &mut Context<'_, u32>, _: NodeId, _: u32) {}
+            fn on_timer(&mut self, ctx: &mut Context<'_, u32>, _: u64) {
+                self.ticks += 1;
+                ctx.set_timer(1_000, 0);
+            }
+            fn on_crash(&mut self) {
+                self.crashes_seen += 1;
+            }
+            fn on_restart(&mut self, ctx: &mut Context<'_, u32>) {
+                self.restarts_seen += 1;
+                ctx.set_timer(1_000, 0); // re-arm after resurrection
+            }
+        }
+        let plan = FaultPlan::seeded(0).with_outage(NodeId(0), 10_500, 20_500);
+        let mut sim: Simulation<u32> = Simulation::new(Topology::Complete, LinkModel::instant());
+        let id = sim.add_node(Box::new(Phoenix { ticks: 0, crashes_seen: 0, restarts_seen: 0 }));
+        sim.set_fault_plan(plan);
+        sim.run_until(30_000).unwrap();
+        let stats = *sim.fault_stats();
+        assert_eq!(stats.crashes, 1);
+        assert_eq!(stats.restarts, 1);
+        assert_eq!(stats.timers_cancelled, 1, "the in-flight pre-crash timer");
+        let node: &mut Phoenix = sim.node_as(id).expect("concrete type");
+        assert_eq!(node.crashes_seen, 1);
+        assert_eq!(node.restarts_seen, 1);
+        // 10 ticks before the crash (1ms..10ms), none while down, then
+        // ticks resume at 21.5ms through 30ms → 9 more.
+        assert_eq!(node.ticks, 19);
+    }
+
+    #[test]
+    fn messages_to_down_node_are_dropped() {
+        let plan = FaultPlan::seeded(0).with_outage(NodeId(1), 50_500, 100_500);
+        let (received, stats) = lossy_run(plan);
+        assert_eq!(stats.dropped_to_down_node, 50);
+        assert_eq!(received, 150);
+    }
+
+    #[test]
+    fn bad_outage_rejected() {
+        let plan = FaultPlan::seeded(0).with_outage(NodeId(0), 100, 100);
+        let mut sim: Simulation<u32> = Simulation::new(Topology::Complete, LinkModel::instant());
+        sim.add_node(Box::new(Blaster { count: 0 }));
+        sim.set_fault_plan(plan);
+        assert_eq!(sim.run(), Err(SimError::BadOutage { node: NodeId(0) }));
+    }
+
+    #[test]
+    fn outage_for_unknown_node_rejected() {
+        let plan = FaultPlan::seeded(0).with_outage(NodeId(9), 100, 200);
+        let mut sim: Simulation<u32> = Simulation::new(Topology::Complete, LinkModel::instant());
+        sim.add_node(Box::new(Blaster { count: 0 }));
+        sim.set_fault_plan(plan);
+        assert_eq!(sim.run(), Err(SimError::UnknownNode(NodeId(9))));
     }
 }

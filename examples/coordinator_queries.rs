@@ -26,7 +26,7 @@ fn main() {
         max_groups: 4,
         refine_merges: true,
         ..Default::default()
-    });
+    }).unwrap();
 
     let site_mixtures = [
         Mixture::new(

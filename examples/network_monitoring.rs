@@ -10,7 +10,7 @@
 //! cargo run --release --example network_monitoring
 //! ```
 
-use cludistream::{run_star, Config, CoordinatorConfig, DriverConfig, RecordStream};
+use cludistream::{Config, CoordinatorConfig, DriverConfig, RecordStream, Simulation};
 use cludistream_datagen::{MinMaxNormalizer, NetflowConfig, NetflowGenerator};
 use cludistream_gmm::ChunkParams;
 
@@ -52,7 +52,12 @@ fn main() {
     };
 
     println!("running {sites} sites x {updates_per_site} flow records each ...");
-    let report = run_star(streams, updates_per_site, config).expect("simulation runs");
+    let report = Simulation::star(sites)
+        .with_driver_config(config)
+        .with_streams(streams)
+        .with_updates_per_site(updates_per_site)
+        .run()
+        .expect("simulation runs");
 
     println!("\n--- communication (the Fig. 2 measurement) ---");
     println!("total bytes    : {}", report.comm.total_bytes());

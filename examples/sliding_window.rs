@@ -24,7 +24,7 @@ fn main() {
     let chunk_size = site.site().chunk_size();
     println!("window = {window_chunks} chunks x {chunk_size} records");
 
-    let mut coordinator = Coordinator::new(CoordinatorConfig::default());
+    let mut coordinator = Coordinator::new(CoordinatorConfig::default()).unwrap();
 
     let mut stream = EvolvingStream::new(EvolvingStreamConfig {
         dim: 1,

@@ -9,9 +9,9 @@ cd "$(dirname "$0")/.."
 export RUSTFLAGS="-D warnings"
 export RUSTDOCFLAGS="-D warnings"
 
-cargo build --release --offline
-cargo test -q --offline
-cargo doc --no-deps -q --offline
+cargo build --release --offline --workspace
+cargo test -q --offline --workspace
+cargo doc --no-deps -q --offline --workspace
 
 # Telemetry smoke test: the default `metrics` workload must produce an event
 # journal byte-identical to the committed golden fixture (journal entries are
@@ -20,5 +20,31 @@ journal="$(mktemp /tmp/cludistream_verify_XXXXXX.jsonl)"
 trap 'rm -f "$journal"' EXIT
 ./target/release/cludistream metrics --journal "$journal" >/dev/null
 diff -u crates/cli/tests/fixtures/metrics_journal.jsonl "$journal"
+
+# Fault smoke test: the default `faults` workload — random loss, duplication,
+# reordering, and one site crash/restart — must replay byte-identically
+# against its committed journal fixture (fault decisions come from a
+# dedicated seeded RNG stream).
+./target/release/cludistream faults --journal "$journal" >/dev/null
+diff -u crates/cli/tests/fixtures/faults_journal.jsonl "$journal"
+
+# Panic-free public API gate: non-test code in the core crate must not use
+# `unwrap()` or `panic!` — public entry points return Result<_, CludiError>.
+# Test modules (everything below `#[cfg(test)]`) and comment lines are
+# exempt.
+gate_failed=0
+for f in $(find crates/core/src -name '*.rs'); do
+    hits="$(awk '/#\[cfg\(test\)\]/{exit} !/^[[:space:]]*\/\//' "$f" \
+        | grep -nE '\.unwrap\(\)|panic!\(' || true)"
+    if [ -n "$hits" ]; then
+        echo "unwrap()/panic! in non-test code of $f:" >&2
+        echo "$hits" >&2
+        gate_failed=1
+    fi
+done
+if [ "$gate_failed" -ne 0 ]; then
+    echo "verify: FAILED (panic-free gate)" >&2
+    exit 1
+fi
 
 echo "verify: OK"

@@ -3,7 +3,7 @@
 //! bit-for-bit under fixed seeds, and the simulated message timeline must
 //! be causally sane.
 
-use cludistream_suite::cludistream::{run_star, Config, DriverConfig, RecordStream, RemoteSite};
+use cludistream_suite::cludistream::{Config, DriverConfig, RecordStream, RemoteSite, Simulation};
 use cludistream_suite::datagen::{EvolvingStream, EvolvingStreamConfig};
 use cludistream_suite::gmm::ChunkParams;
 
@@ -39,7 +39,14 @@ fn streams(n: usize) -> Vec<RecordStream> {
 fn distributed_runs_are_bit_reproducible() {
     let cfg = driver_config();
     let chunk = RemoteSite::new(cfg.site.clone()).unwrap().chunk_size() as u64;
-    let run = || run_star(streams(3), 4 * chunk, cfg.clone()).expect("run succeeds");
+    let run = || {
+        Simulation::star(3)
+            .with_driver_config(cfg.clone())
+            .with_streams(streams(3))
+            .with_updates_per_site(4 * chunk)
+            .run()
+            .expect("run succeeds")
+    };
     let a = run();
     let b = run();
     assert_eq!(a.comm.total_bytes(), b.comm.total_bytes());
@@ -68,7 +75,12 @@ fn different_seeds_produce_different_traffic() {
     // set almost surely changes at least the byte timeline.
     let cfg = driver_config();
     let chunk = RemoteSite::new(cfg.site.clone()).unwrap().chunk_size() as u64;
-    let a = run_star(streams(3), 4 * chunk, cfg.clone()).expect("run succeeds");
+    let a = Simulation::star(3)
+        .with_driver_config(cfg.clone())
+        .with_streams(streams(3))
+        .with_updates_per_site(4 * chunk)
+        .run()
+        .expect("run succeeds");
     let other: Vec<RecordStream> = (0..3)
         .map(|i| {
             Box::new(EvolvingStream::new(EvolvingStreamConfig {
@@ -81,7 +93,12 @@ fn different_seeds_produce_different_traffic() {
             })) as RecordStream
         })
         .collect();
-    let b = run_star(other, 4 * chunk, cfg).expect("run succeeds");
+    let b = Simulation::star(3)
+        .with_driver_config(cfg)
+        .with_streams(other)
+        .with_updates_per_site(4 * chunk)
+        .run()
+        .expect("run succeeds");
     assert!(
         a.comm.total_bytes() != b.comm.total_bytes()
             || a.comm.per_second() != b.comm.per_second()

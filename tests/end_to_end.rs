@@ -2,7 +2,7 @@
 //! protocol, simulator, coordinator — on streams with known structure.
 
 use cludistream_suite::cludistream::{
-    run_star, Config, CoordinatorConfig, DriverConfig, RecordStream, RemoteSite,
+    Config, CoordinatorConfig, DriverConfig, RecordStream, RemoteSite, Simulation,
 };
 use cludistream_suite::gmm::{ChunkParams, Gaussian, Mixture};
 use cludistream_suite::linalg::Vector;
@@ -44,7 +44,12 @@ fn distributed_run_recovers_all_dense_regions() {
         blob_stream(&[(0.0, 20.0), (20.0, 20.0)], 3),
         blob_stream(&[(0.0, 20.0), (20.0, 20.0)], 4),
     ];
-    let report = run_star(streams, 3 * chunk, cfg).expect("run succeeds");
+    let report = Simulation::star(4)
+        .with_driver_config(cfg)
+        .with_streams(streams)
+        .with_updates_per_site(3 * chunk)
+        .run()
+        .expect("run succeeds");
     let global = report.global.expect("global model");
 
     for target in [(0.0, 0.0), (20.0, 0.0), (0.0, 20.0), (20.0, 20.0)] {
@@ -74,7 +79,12 @@ fn stable_streams_transmit_one_synopsis_per_site() {
     let chunk = RemoteSite::new(cfg.site.clone()).unwrap().chunk_size() as u64;
     let streams: Vec<RecordStream> =
         (0..5).map(|i| blob_stream(&[(0.0, 0.0)], 40 + i)).collect();
-    let report = run_star(streams, 6 * chunk, cfg).expect("run succeeds");
+    let report = Simulation::star(5)
+        .with_driver_config(cfg)
+        .with_streams(streams)
+        .with_updates_per_site(6 * chunk)
+        .run()
+        .expect("run succeeds");
     assert_eq!(
         report.comm.total_messages(),
         5,
@@ -88,9 +98,17 @@ fn stable_streams_transmit_one_synopsis_per_site() {
 fn site_memory_is_stream_length_independent() {
     let cfg = DriverConfig { site: small_config(), ..Default::default() };
     let chunk = RemoteSite::new(cfg.site.clone()).unwrap().chunk_size() as u64;
-    let short = run_star(vec![blob_stream(&[(0.0, 0.0)], 20)], 2 * chunk, cfg.clone())
+    let short = Simulation::star(1)
+        .with_driver_config(cfg.clone())
+        .with_streams(vec![blob_stream(&[(0.0, 0.0)], 20)])
+        .with_updates_per_site(2 * chunk)
+        .run()
         .expect("run succeeds");
-    let long = run_star(vec![blob_stream(&[(0.0, 0.0)], 20)], 8 * chunk, cfg)
+    let long = Simulation::star(1)
+        .with_driver_config(cfg)
+        .with_streams(vec![blob_stream(&[(0.0, 0.0)], 20)])
+        .with_updates_per_site(8 * chunk)
+        .run()
         .expect("run succeeds");
     assert_eq!(
         short.site_memory[0], long.site_memory[0],
@@ -105,9 +123,17 @@ fn communication_is_event_driven_not_linear() {
     // quality_vs_baselines.rs).
     let cfg = DriverConfig { site: small_config(), ..Default::default() };
     let chunk = RemoteSite::new(cfg.site.clone()).unwrap().chunk_size() as u64;
-    let short = run_star(vec![blob_stream(&[(0.0, 0.0)], 30)], 3 * chunk, cfg.clone())
+    let short = Simulation::star(1)
+        .with_driver_config(cfg.clone())
+        .with_streams(vec![blob_stream(&[(0.0, 0.0)], 30)])
+        .with_updates_per_site(3 * chunk)
+        .run()
         .expect("run succeeds");
-    let long = run_star(vec![blob_stream(&[(0.0, 0.0)], 30)], 9 * chunk, cfg)
+    let long = Simulation::star(1)
+        .with_driver_config(cfg)
+        .with_streams(vec![blob_stream(&[(0.0, 0.0)], 30)])
+        .with_updates_per_site(9 * chunk)
+        .run()
         .expect("run succeeds");
     assert_eq!(
         short.comm.total_bytes(),

@@ -3,7 +3,7 @@
 //! and ground-truth recovery measured with external indices.
 
 use cludistream_suite::cludistream::{
-    run_star_windowed, Config, DriverConfig, Message, RecordStream, RemoteSite,
+    Config, DriverConfig, Message, RecordStream, RemoteSite, Simulation, WindowSpec,
 };
 use cludistream_suite::datagen::{impute_missing, MissingValueInjector, NoiseInjector};
 use cludistream_suite::gmm::metrics::{nmi, purity};
@@ -102,13 +102,13 @@ fn distributed_sliding_window_forgets_expired_regimes() {
             Some(g.sample(&mut rng))
         }))
     };
-    let report = run_star_windowed(
-        vec![make_stream(1), make_stream(2)],
-        6 * chunk,
-        2,
-        cfg,
-    )
-    .expect("windowed run succeeds");
+    let report = Simulation::star(2)
+        .with_driver_config(cfg)
+        .with_window(WindowSpec::Sliding { chunks: 2 })
+        .with_streams(vec![make_stream(1), make_stream(2)])
+        .with_updates_per_site(6 * chunk)
+        .run()
+        .expect("windowed run succeeds");
     let global = report.global.expect("global model");
     let old = global.log_pdf(&Vector::from_slice(&[0.0, 0.0]));
     let new = global.log_pdf(&Vector::from_slice(&[60.0, 60.0]));

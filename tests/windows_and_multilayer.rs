@@ -29,7 +29,7 @@ fn blob(center: f64, n: usize, seed: u64) -> Vec<Vector> {
 fn sliding_window_deletions_keep_coordinator_in_sync() {
     let mut site = SlidingWindowSite::new(small_config(), 2).unwrap();
     let chunk = site.site().chunk_size();
-    let mut coordinator = Coordinator::new(CoordinatorConfig::default());
+    let mut coordinator = Coordinator::new(CoordinatorConfig::default()).unwrap();
 
     let forward = |site: &mut SlidingWindowSite, coordinator: &mut Coordinator| {
         for ev in site.drain_events() {
@@ -88,7 +88,7 @@ fn tree_network_matches_flat_star_quality() {
             cludistream_suite::cludistream::RemoteSite::new(c).unwrap()
         })
         .collect();
-    let mut flat = Coordinator::new(CoordinatorConfig::default());
+    let mut flat = Coordinator::new(CoordinatorConfig::default()).unwrap();
 
     let chunk = tree.leaf(leaves[0]).unwrap().chunk_size();
     for (slot, &leaf) in leaves.iter().enumerate() {
