@@ -323,6 +323,38 @@ fn bench_obs(sink: &mut Sink) {
         }
     });
     sink.report("obs", "registry_observe_x1000", "", t);
+
+    // Tracing overhead: two chunks through a remote site with the no-op
+    // recorder, a live registry with tracing off (every span call must
+    // short-circuit on one atomic load — within noise of no-op), and
+    // tracing on.
+    let config = Config {
+        dim: 4,
+        k: 5,
+        chunk: ChunkParams::PAPER_DEFAULTS,
+        seed: 1,
+        ..Default::default()
+    };
+    let mut stream = workloads::synthetic_boxed(4, 5, 0.0, 7);
+    let chunk_size = RemoteSite::new(config.clone()).expect("valid config").chunk_size();
+    let records = workloads::collect(&mut *stream, 2 * chunk_size);
+    let run_site = |obs: Obs| {
+        let mut site = RemoteSite::new(config.clone()).expect("valid config");
+        site.set_observer(obs, 0);
+        for x in &records {
+            site.push(x.clone()).expect("processes");
+        }
+        site
+    };
+    let t = best_of(RUNS, || run_site(Obs::noop()));
+    sink.report("obs", "site_2chunks_noop", "", t);
+    let registry_off = Arc::new(Registry::new());
+    let t = best_of(RUNS, || run_site(Obs::from_registry(Arc::clone(&registry_off))));
+    sink.report("obs", "site_2chunks_tracing_off", "", t);
+    let registry_on = Arc::new(Registry::new());
+    registry_on.enable_tracing();
+    let t = best_of(RUNS, || run_site(Obs::from_registry(Arc::clone(&registry_on))));
+    sink.report("obs", "site_2chunks_tracing_on", "", t);
 }
 
 fn main() -> ExitCode {

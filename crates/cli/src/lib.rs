@@ -16,20 +16,23 @@
 //! - `metrics` — run a small deterministic distributed workload with the
 //!   telemetry layer attached and print the metrics table; `--journal`
 //!   additionally writes the structured event journal as JSONL.
+//! - `trace` — run the same workload with causal tracing on and print the
+//!   critical-path latency profile; `--out` writes a Chrome trace-event
+//!   (Perfetto-loadable) JSON file, byte-identical across runs.
 //!
 //! The argument parser is deliberately dependency-free; see
 //! [`parse_args`].
 
 use cludistream::coordinator::MergeRefiner;
 use cludistream::{
-    ChunkOutcome, Config, CoordinatorConfig, DriverConfig, FaultPlan, LinkFaults, NodeId,
-    RecordStream, RemoteSite, Simulation,
+    ChunkOutcome, Config, CoordinatorConfig, DeliveryConfig, DeliveryMode, DriverConfig,
+    FaultPlan, LinkFaults, NodeId, RecordStream, RemoteSite, Simulation,
 };
 use cludistream_datagen::csvio;
 use cludistream_datagen::{EvolvingStream, EvolvingStreamConfig};
 use cludistream_gmm::{fit_em, fit_em_bic, ChunkParams, EmConfig, Gaussian, Mixture};
 use cludistream_linalg::Vector;
-use cludistream_obs::{Obs, Registry};
+use cludistream_obs::{analyze, perfetto_json, Obs, Registry};
 use cludistream_rng::StdRng;
 use std::io::Write;
 use std::sync::Arc;
@@ -111,6 +114,22 @@ pub enum Command {
         /// Write the JSONL event journal here.
         journal: Option<String>,
     },
+    /// Run the metrics workload with causal tracing enabled and print the
+    /// critical-path latency profile; optionally export a Perfetto trace.
+    Trace {
+        /// Remote sites in the star.
+        sites: usize,
+        /// Chunks per regime per site (each site sees two regimes).
+        chunks: usize,
+        /// RNG seed for data generation, EM, and fault injection.
+        seed: u64,
+        /// Error bound ε (drives the chunk size).
+        epsilon: f64,
+        /// Attach the `faults` command's lossy network and site-0 outage.
+        faults: bool,
+        /// Write Chrome trace-event (Perfetto) JSON here.
+        out: Option<String>,
+    },
     /// Print usage.
     Help,
 }
@@ -168,15 +187,24 @@ USAGE:
   cludistream metrics  [--sites R] [--chunks C] [--seed S] [--epsilon E] [--journal OUT.jsonl]
   cludistream faults   [--sites R] [--chunks C] [--seed S] [--epsilon E]
                        [--drop P] [--duplicate P] [--reorder P] [--journal OUT.jsonl]
+  cludistream trace    [--sites R] [--chunks C] [--seed S] [--epsilon E]
+                       [--faults] [--out TRACE.json]
   cludistream help
 
 Defaults: k=5, epsilon=0.02, delta=0.01, c-max=4, seed=0,
           records=10000, dim=4, p-new=0.1,
           metrics: sites=2, chunks=2, seed=7, epsilon=0.15,
-          faults: metrics defaults + drop=0.1, duplicate=0.05, reorder=0.25.
+          faults: metrics defaults + drop=0.1, duplicate=0.05, reorder=0.25,
+          trace: metrics defaults.
 
 `faults` replays the metrics workload over a lossy network (crashing and
 restarting site 0 mid-run) and prints the delivery accounting.
+
+`trace` replays the metrics workload with causal tracing on (always over
+the reliable protocol, so trace context rides the data frames), prints
+the critical-path latency attribution, and with `--out` writes a
+Perfetto-loadable Chrome trace-event JSON; `--faults` adds the `faults`
+command's default fault plan so retransmit time shows up on the path.
 ";
 
 /// Parses a command line (excluding the program name).
@@ -282,6 +310,14 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             duplicate: parse_num("--duplicate", 0.05)?,
             reorder: parse_num("--reorder", 0.25)?,
             journal: flag("--journal").map(|s| s.to_string()),
+        }),
+        "trace" => Ok(Command::Trace {
+            sites: parse_int("--sites", 2)?.max(1),
+            chunks: parse_int("--chunks", 2)?.max(1),
+            seed: parse_int("--seed", 7)? as u64,
+            epsilon: parse_num("--epsilon", 0.15)?,
+            faults: has("--faults"),
+            out: flag("--out").map(|s| s.to_string()),
         }),
         other => Err(CliError::Usage(format!("unknown command {other:?}; try help"))),
     }
@@ -422,6 +458,10 @@ pub fn run(command: Command, out: &mut impl Write) -> Result<(), CliError> {
                 }
                 None => Arc::new(Registry::new()),
             };
+            // Exact quantiles alongside the histogram's power-of-two
+            // bounds, for the deterministic EM-cost distributions.
+            registry.track_quantiles("em.iters_per_fit");
+            registry.track_quantiles("em.cost_us");
             let obs = Obs::from_registry(Arc::clone(&registry));
 
             // A two-regime workload engineered so every event type fires:
@@ -485,6 +525,8 @@ pub fn run(command: Command, out: &mut impl Write) -> Result<(), CliError> {
                 }
                 None => Arc::new(Registry::new()),
             };
+            registry.track_quantiles("em.iters_per_fit");
+            registry.track_quantiles("em.cost_us");
             let obs = Obs::from_registry(Arc::clone(&registry));
 
             // The metrics two-regime workload, over a hostile network.
@@ -591,6 +633,79 @@ pub fn run(command: Command, out: &mut impl Write) -> Result<(), CliError> {
             write!(out, "{}", registry.render_table())?;
             if let Some(path) = journal {
                 writeln!(out, "journal written to {path}")?;
+            }
+            Ok(())
+        }
+        Command::Trace { sites, chunks, seed, epsilon, faults, out: trace_out } => {
+            let registry = Arc::new(Registry::new());
+            registry.enable_tracing();
+            let obs = Obs::from_registry(Arc::clone(&registry));
+
+            // The metrics two-regime workload, traced end to end.
+            let site_config = Config {
+                dim: 1,
+                k: 2,
+                chunk: ChunkParams { epsilon, delta: 0.01 },
+                c_max: 4,
+                seed,
+                ..Default::default()
+            };
+            let chunk_size = RemoteSite::new(site_config.clone())?.chunk_size();
+            let per_regime = chunks * chunk_size;
+            let updates = 2 * per_regime as u64;
+            let streams: Vec<RecordStream> =
+                (0..sites).map(|i| metrics_stream(i, seed, per_regime)).collect();
+            let driver_config = DriverConfig {
+                site: site_config,
+                coordinator: CoordinatorConfig {
+                    max_groups: 2,
+                    refine_merges: true,
+                    refiner: MergeRefiner { samples: 32, max_evals: 100, seed: 9 },
+                    ..Default::default()
+                },
+                obs,
+                ..Default::default()
+            };
+            let duration_us = updates.saturating_mul(1_000_000) / driver_config.records_per_second;
+            // Trace context rides the sequenced data frames, so delivery
+            // is always reliable here — even fault-free.
+            let mut sim = Simulation::star(sites)
+                .with_driver_config(driver_config)
+                .with_reliability(DeliveryConfig {
+                    mode: DeliveryMode::Reliable,
+                    ..Default::default()
+                })
+                .with_streams(streams)
+                .with_updates_per_site(updates);
+            if faults {
+                sim = sim.with_faults(
+                    FaultPlan::seeded(seed)
+                        .with_link(LinkFaults {
+                            drop_p: 0.1,
+                            duplicate_p: 0.05,
+                            reorder_p: 0.25,
+                            reorder_max_delay_us: 5_000,
+                        })
+                        .with_outage(NodeId(0), duration_us * 2 / 5, duration_us * 11 / 20),
+                );
+            }
+            let report = sim.run().map_err(|e| CliError::Usage(format!("driver: {e}")))?;
+
+            let spans = registry.spans();
+            let breakdown = analyze(&spans);
+            writeln!(out, "sites: {sites} | chunk size M = {chunk_size} records")?;
+            writeln!(
+                out,
+                "faults: {} | spans recorded: {} | retransmitted frames: {}",
+                if faults { "on" } else { "off" },
+                spans.len(),
+                report.delivery.retransmitted_messages
+            )?;
+            writeln!(out)?;
+            write!(out, "{}", breakdown.render())?;
+            if let Some(path) = trace_out {
+                std::fs::write(&path, perfetto_json(&spans))?;
+                writeln!(out, "perfetto trace written to {path}")?;
             }
             Ok(())
         }

@@ -1,0 +1,54 @@
+//! Structural invariants over the committed journal fixtures.
+//!
+//! The journal is an append-only record of one discrete-event simulation,
+//! so beyond the byte-for-byte golden diffs the fixtures must satisfy:
+//! timestamps are monotone non-decreasing — globally (one writer, one
+//! simulated clock) and therefore also per emitting node.
+
+/// Extracts `"key":<int>` from a JSONL line.
+fn field(line: &str, key: &str) -> Option<u64> {
+    let tag = format!("\"{key}\":");
+    let start = line.find(&tag)? + tag.len();
+    let rest = &line[start..];
+    let end = rest.find(|c: char| !c.is_ascii_digit()).unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// The emitting node of a journal line: site events carry `"site"`,
+/// fault/lifecycle events `"node"`, link events `"from"`; the rest
+/// (coordinator-side) fall in one shared bucket.
+fn emitter(line: &str) -> u64 {
+    field(line, "site")
+        .or_else(|| field(line, "node"))
+        .or_else(|| field(line, "from"))
+        .unwrap_or(u64::MAX)
+}
+
+fn check_monotone_per_node(journal: &str, which: &str) {
+    let mut last: std::collections::BTreeMap<u64, u64> = std::collections::BTreeMap::new();
+    let mut lines = 0usize;
+    for line in journal.lines() {
+        let t = field(line, "t").unwrap_or_else(|| panic!("{which}: no sim-time in {line}"));
+        let node = emitter(line);
+        if let Some(&prev) = last.get(&node) {
+            assert!(
+                t >= prev,
+                "{which}: node {node} time went backwards ({prev} -> {t}): {line}"
+            );
+        }
+        last.insert(node, t);
+        lines += 1;
+    }
+    assert!(lines > 0, "{which}: empty fixture");
+    assert!(last.len() > 1, "{which}: expected events from more than one node");
+}
+
+#[test]
+fn metrics_fixture_timestamps_monotone_per_node() {
+    check_monotone_per_node(include_str!("fixtures/metrics_journal.jsonl"), "metrics");
+}
+
+#[test]
+fn faults_fixture_timestamps_monotone_per_node() {
+    check_monotone_per_node(include_str!("fixtures/faults_journal.jsonl"), "faults");
+}

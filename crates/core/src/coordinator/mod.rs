@@ -22,7 +22,7 @@ pub use split::{m_remerge, m_split, should_split};
 use crate::protocol::Message;
 use crate::remote::ModelId;
 use cludistream_gmm::{CovarianceType, Gaussian, GmmError, Mixture};
-use cludistream_obs::{Event, Obs, Recorder};
+use cludistream_obs::{simplex_cost_us, Event, Obs, Recorder, SpanRecord, SpanScope};
 use std::collections::HashMap;
 
 /// Coordinator tuning knobs.
@@ -112,6 +112,9 @@ pub struct Coordinator {
     merge_log: Vec<MergeRecord>,
     /// Telemetry handle (no-op unless [`Coordinator::set_observer`] ran).
     obs: Obs,
+    /// Trace scope of the message currently being applied, when tracing;
+    /// child spans (simplex refinements) are recorded under it.
+    trace_scope: Option<SpanScope>,
 }
 
 impl Coordinator {
@@ -138,6 +141,7 @@ impl Coordinator {
             index_cache: None,
             merge_log: Vec::new(),
             obs: Obs::noop(),
+            trace_scope: None,
         })
     }
 
@@ -146,6 +150,13 @@ impl Coordinator {
     /// `coord.groups` gauge land in the registry.
     pub fn set_observer(&mut self, obs: Obs) {
         self.obs = obs;
+    }
+
+    /// Sets (or clears) the trace scope for the message being applied, so
+    /// coordinator-side work records child spans under the right parent.
+    /// The driver brackets each `apply` call with this.
+    pub fn set_trace_scope(&mut self, scope: Option<SpanScope>) {
+        self.trace_scope = scope;
     }
 
     /// The merge history: every group-absorbs-group event, oldest first.
@@ -437,6 +448,20 @@ impl Coordinator {
                 let (g, loss, evals) =
                     self.config.refiner.refine_detailed(wi.max(1e-9), &gi, wj.max(1e-9), &gj);
                 self.obs.event(&Event::SimplexRefine { iters: evals as u64, loss });
+                if let Some(scope) = self.trace_scope.filter(|_| self.obs.tracing_enabled()) {
+                    let span = self.obs.alloc_span(scope.node);
+                    let now = self.obs.sim_now_us();
+                    self.obs.record_span(&SpanRecord {
+                        trace: scope.trace,
+                        span,
+                        parent: Some(scope.parent),
+                        name: "coord.simplex",
+                        node: scope.node,
+                        start_us: now,
+                        end_us: now,
+                        cost_us: simplex_cost_us(evals as u64),
+                    });
+                }
                 Some(g)
             } else {
                 None

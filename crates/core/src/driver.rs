@@ -36,7 +36,7 @@ use crate::remote::SiteStats;
 use crate::windows::{Window, WindowSpec};
 use cludistream_gmm::{CovarianceType, Mixture};
 use cludistream_linalg::Vector;
-use cludistream_obs::{Event, Obs, Recorder};
+use cludistream_obs::{Event, Obs, Recorder, SpanRecord, SpanScope, TraceCtx};
 use cludistream_simnet::{
     CommStats, Context, FaultPlan, FaultStats, LinkModel, Node, NodeId,
     Simulation as NetSimulation, Topology, MICROS_PER_SEC,
@@ -224,11 +224,20 @@ impl SiteNode {
         self.window.site().config().covariance
     }
 
-    /// Encodes and sends one synopsis, sequenced when reliable.
-    fn transmit(&mut self, ctx: &mut Context<'_, ByteBuf>, msg: Message, is_synopsis: bool) {
+    /// Encodes and sends one synopsis, sequenced when reliable. When the
+    /// message carries a trace context, a `wire.send` marker span is
+    /// recorded under its wire span (one per transmit, so retransmits show
+    /// up as extra markers).
+    fn transmit(
+        &mut self,
+        ctx: &mut Context<'_, ByteBuf>,
+        msg: Message,
+        is_synopsis: bool,
+        tctx: Option<TraceCtx>,
+    ) {
         let cov = self.cov();
         let frame = match &mut self.sender {
-            Some(sender) => sender.send(msg),
+            Some(sender) => sender.send_traced(msg, tctx),
             None => Frame::Bare(msg),
         };
         let bytes = frame.encode(cov);
@@ -237,6 +246,27 @@ impl SiteNode {
             self.obs.event(&Event::SynopsisSent { site: self.site_index, bytes: len as u64 });
         }
         ctx.send(self.coordinator, bytes, len);
+        self.record_send(tctx);
+    }
+
+    /// Records one `wire.send` marker under `tctx`'s wire span.
+    fn record_send(&self, tctx: Option<TraceCtx>) {
+        let Some(tc) = tctx else { return };
+        if !self.obs.tracing_enabled() {
+            return;
+        }
+        let span = self.obs.alloc_span(self.site_index);
+        let now = self.obs.sim_now_us();
+        self.obs.record_span(&SpanRecord {
+            trace: tc.trace,
+            span,
+            parent: Some(tc.span),
+            name: "wire.send",
+            node: self.site_index,
+            start_us: now,
+            end_us: now,
+            cost_us: 0,
+        });
     }
 
     fn tick(&mut self, ctx: &mut Context<'_, ByteBuf>) {
@@ -257,14 +287,14 @@ impl SiteNode {
         }
         // Transmit whatever the test-and-cluster strategy queued, then the
         // window-expiry deletions (paper Sec. 7, negative weights).
-        for event in self.window.drain_events() {
+        for (event, tctx) in self.window.drain_events_traced() {
             let is_synopsis = matches!(event, crate::remote::SiteEvent::NewModel { .. });
             let msg = Message::from_site_event(self.site_index, event);
-            self.transmit(ctx, msg, is_synopsis);
+            self.transmit(ctx, msg, is_synopsis, tctx);
         }
         for (model, count) in self.window.drain_deletions() {
             let msg = Message::Delete { site: self.site_index, model, count_delta: count };
-            self.transmit(ctx, msg, false);
+            self.transmit(ctx, msg, false, None);
         }
         self.arm_retransmit(ctx);
         if self.remaining > 0 {
@@ -350,13 +380,14 @@ impl Node<ByteBuf> for SiteNode {
                 for frame in frames {
                     let bytes = frame.encode(cov);
                     let len = bytes.len();
-                    if let Frame::Data { seq, .. } = &frame {
+                    if let Frame::Data { seq, ctx: tctx, .. } = &frame {
                         self.obs.counter("net.retransmits", 1);
                         self.obs.event(&Event::Retransmitted {
                             site: self.site_index,
                             seq: *seq,
                             bytes: len as u64,
                         });
+                        self.record_send(*tctx);
                     }
                     self.retransmitted_messages += 1;
                     self.retransmitted_bytes += len as u64;
@@ -390,6 +421,10 @@ struct CoordinatorNode {
     coordinator: Coordinator,
     inboxes: Vec<ReliableInbox>,
     cov: CovarianceType,
+    obs: Obs,
+    /// Node id coordinator-side spans are allocated from (= site count,
+    /// matching the star hub's position after the sites).
+    trace_node: u32,
     decode_errors: u64,
     apply_errors: u64,
     ack_messages: u64,
@@ -398,8 +433,38 @@ struct CoordinatorNode {
 
 impl CoordinatorNode {
     fn apply(&mut self, message: &Message) {
+        self.apply_traced(message, None);
+    }
+
+    /// Applies one released message. With a trace context, this is where a
+    /// frame's wire span ends: close it at the release time, record a
+    /// `coord.apply` marker under it, and scope the coordinator so its
+    /// merge/refine work lands in the same trace.
+    fn apply_traced(&mut self, message: &Message, tctx: Option<TraceCtx>) {
+        let scope = tctx.filter(|_| self.obs.tracing_enabled()).map(|tc| {
+            let now = self.obs.sim_now_us();
+            self.obs.close_span(tc.span, now);
+            let span = self.obs.alloc_span(self.trace_node);
+            self.obs.record_span(&SpanRecord {
+                trace: tc.trace,
+                span,
+                parent: Some(tc.span),
+                name: "coord.apply",
+                node: self.trace_node,
+                start_us: now,
+                end_us: now,
+                cost_us: 0,
+            });
+            SpanScope { trace: tc.trace, parent: span, node: self.trace_node }
+        });
+        if scope.is_some() {
+            self.coordinator.set_trace_scope(scope);
+        }
         if self.coordinator.apply(message).is_err() {
             self.apply_errors += 1;
+        }
+        if scope.is_some() {
+            self.coordinator.set_trace_scope(None);
         }
     }
 }
@@ -408,14 +473,14 @@ impl Node<ByteBuf> for CoordinatorNode {
     fn on_message(&mut self, ctx: &mut Context<'_, ByteBuf>, from: NodeId, msg: ByteBuf) {
         match Frame::decode(&mut msg.reader()) {
             Ok(Frame::Bare(message)) => self.apply(&message),
-            Ok(Frame::Data { seq, message }) => {
+            Ok(Frame::Data { seq, message, ctx: tctx }) => {
                 let site = message.site() as usize;
                 if site >= self.inboxes.len() {
                     self.decode_errors += 1;
                     return;
                 }
-                for ready in self.inboxes[site].accept(seq, message) {
-                    self.apply(&ready);
+                for (ready, rctx) in self.inboxes[site].accept_traced(seq, message, tctx) {
+                    self.apply_traced(&ready, rctx);
                 }
                 // Always ACK — a duplicate means the site has not seen our
                 // cumulative position yet.
@@ -431,11 +496,6 @@ impl Node<ByteBuf> for CoordinatorNode {
         }
     }
 }
-
-/// A deprecated alias for [`CludiError`], kept so pre-builder code keeps
-/// compiling.
-#[deprecated(note = "use CludiError")]
-pub type DriverError = CludiError;
 
 /// Builder for a CluDistream star-topology run: `r` remote sites around
 /// one coordinator, each consuming records from its own stream under a
@@ -630,6 +690,8 @@ impl Simulation {
             coordinator,
             inboxes: vec![ReliableInbox::new(); sites],
             cov: config.site.covariance,
+            obs: config.obs.clone(),
+            trace_node: sites as u32,
             decode_errors: 0,
             apply_errors: 0,
             ack_messages: 0,
@@ -692,40 +754,6 @@ impl Simulation {
             sim_seconds,
         })
     }
-}
-
-/// Runs CluDistream over `streams` (one per remote site) in a star around
-/// one coordinator, each site consuming `updates_per_site` records.
-#[deprecated(note = "use Simulation::star(..).with_streams(..).run()")]
-pub fn run_star(
-    streams: Vec<RecordStream>,
-    updates_per_site: u64,
-    config: DriverConfig,
-) -> Result<StarReport, CludiError> {
-    let sites = streams.len();
-    Simulation::star(sites)
-        .with_driver_config(config)
-        .with_streams(streams)
-        .with_updates_per_site(updates_per_site)
-        .run()
-}
-
-/// Runs CluDistream with sliding-window semantics (paper Sec. 7) over
-/// `streams` in a star topology.
-#[deprecated(note = "use Simulation::star(..).with_window(WindowSpec::Sliding {..}).run()")]
-pub fn run_star_windowed(
-    streams: Vec<RecordStream>,
-    updates_per_site: u64,
-    window_chunks: usize,
-    config: DriverConfig,
-) -> Result<StarReport, CludiError> {
-    let sites = streams.len();
-    Simulation::star(sites)
-        .with_driver_config(config)
-        .with_window(WindowSpec::Sliding { chunks: window_chunks })
-        .with_streams(streams)
-        .with_updates_per_site(updates_per_site)
-        .run()
 }
 
 #[cfg(test)]
@@ -940,16 +968,4 @@ mod tests {
         assert!(faulty.delivery.balanced());
     }
 
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_still_run() {
-        let cfg = small_config();
-        let chunk = chunk_of(&cfg);
-        let report =
-            run_star(vec![stable_stream(0.0, 9)], chunk, small_config()).unwrap();
-        assert_eq!(report.site_stats.len(), 1);
-        let report =
-            run_star_windowed(vec![stable_stream(0.0, 9)], chunk, 4, cfg).unwrap();
-        assert_eq!(report.site_stats.len(), 1);
-    }
 }

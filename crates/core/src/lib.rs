@@ -79,8 +79,6 @@ pub use driver::{
     DeliveryConfig, DeliveryMode, DeliveryReport, DriverConfig, RecordStream, Simulation,
     StarReport,
 };
-#[allow(deprecated)]
-pub use driver::{run_star, run_star_windowed, DriverError};
 pub use error::CludiError;
 pub use multilayer::MultiLayerNetwork;
 pub use protocol::{Frame, Message, ReliableInbox, ReliableSender};

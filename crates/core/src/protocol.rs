@@ -25,11 +25,24 @@
 //! [`Frame::Bare`] carries an unsequenced message and preserves the
 //! legacy encoding byte-for-byte, so fault-free runs pay zero overhead
 //! and existing wire fixtures stay valid.
+//!
+//! ## Trace context
+//!
+//! When tracing is enabled, [`Frame::Data`] optionally carries a
+//! [`TraceCtx`] — the trace id and wire-span id allocated at the site —
+//! encoded as a distinct frame tag so untraced runs keep the exact
+//! pre-tracing byte layout. Retransmitted and fault-duplicated frames
+//! carry the *originating* context (the [`ReliableSender`] stores it with
+//! each unacknowledged message, including across checkpoint
+//! snapshot/restore), so every copy of a synopsis lands under the same
+//! span and the coordinator can close the span at exactly-once inbox
+//! release.
 
 use crate::error::CludiError;
 use crate::remote::{ModelId, SiteEvent};
 use cludistream_gmm::codec::{decode_mixture, encode_mixture, encoded_len};
 use cludistream_gmm::{CovarianceType, GmmError, Mixture};
+use cludistream_obs::{SpanId, TraceCtx, TraceId};
 use cludistream_wire::{ByteBuf, ByteReader};
 use std::collections::{BTreeMap, VecDeque};
 
@@ -76,6 +89,7 @@ const TAG_WEIGHT_UPDATE: u8 = 2;
 const TAG_DELETE: u8 = 3;
 const TAG_DATA: u8 = 4;
 const TAG_ACK: u8 = 5;
+const TAG_TRACED: u8 = 6;
 
 /// Fixed header: tag (1) + site (4) + model id (8).
 const HEADER_BYTES: usize = 13;
@@ -209,6 +223,9 @@ pub enum Frame {
         seq: u64,
         /// The synopsis being carried.
         message: Message,
+        /// Trace context when tracing is enabled; `None` encodes exactly
+        /// as the pre-tracing data-frame format.
+        ctx: Option<TraceCtx>,
     },
     /// A cumulative acknowledgement from the coordinator: every sequence
     /// number `< cumulative` has been received.
@@ -225,12 +242,19 @@ pub const ACK_BYTES: usize = 9;
 /// sequence number (8).
 pub const DATA_OVERHEAD_BYTES: usize = 9;
 
+/// Additional overhead of a traced data frame over an untraced one:
+/// trace id (8) + span id (8).
+pub const TRACE_CTX_BYTES: usize = 16;
+
 impl Frame {
     /// Exact encoded size under the given covariance representation.
     pub fn wire_bytes(&self, cov: CovarianceType) -> usize {
         match self {
             Frame::Bare(m) => m.wire_bytes(cov),
-            Frame::Data { message, .. } => DATA_OVERHEAD_BYTES + message.wire_bytes(cov),
+            Frame::Data { message, ctx, .. } => {
+                let trace = if ctx.is_some() { TRACE_CTX_BYTES } else { 0 };
+                DATA_OVERHEAD_BYTES + trace + message.wire_bytes(cov)
+            }
             Frame::Ack { .. } => ACK_BYTES,
         }
     }
@@ -239,9 +263,18 @@ impl Frame {
     pub fn encode(&self, cov: CovarianceType) -> ByteBuf {
         match self {
             Frame::Bare(m) => m.encode(cov),
-            Frame::Data { seq, message } => {
+            Frame::Data { seq, message, ctx } => {
                 let mut buf = ByteBuf::with_capacity(self.wire_bytes(cov));
-                buf.put_u8(TAG_DATA);
+                match ctx {
+                    None => {
+                        buf.put_u8(TAG_DATA);
+                    }
+                    Some(ctx) => {
+                        buf.put_u8(TAG_TRACED);
+                        buf.put_u64_le(ctx.trace.0);
+                        buf.put_u64_le(ctx.span.0);
+                    }
+                }
                 buf.put_u64_le(*seq);
                 buf.extend_from_slice(&message.encode(cov));
                 buf
@@ -256,7 +289,7 @@ impl Frame {
     }
 
     /// Decodes any frame: tags 1–3 are legacy bare messages, 4 is a
-    /// sequenced data frame, 5 a cumulative ACK.
+    /// sequenced data frame, 5 a cumulative ACK, 6 a traced data frame.
     pub fn decode(buf: &mut ByteReader<'_>) -> Result<Frame, CludiError> {
         if buf.remaining() < 1 {
             return Err(CludiError::Decode("empty frame"));
@@ -272,7 +305,17 @@ impl Frame {
                 }
                 let seq = buf.get_u64_le();
                 let message = Message::decode(buf)?;
-                Ok(Frame::Data { seq, message })
+                Ok(Frame::Data { seq, message, ctx: None })
+            }
+            TAG_TRACED => {
+                if buf.remaining() < TRACE_CTX_BYTES + 8 {
+                    return Err(CludiError::Decode("truncated traced frame"));
+                }
+                let trace = TraceId(buf.get_u64_le());
+                let span = SpanId(buf.get_u64_le());
+                let seq = buf.get_u64_le();
+                let message = Message::decode(buf)?;
+                Ok(Frame::Data { seq, message, ctx: Some(TraceCtx { trace, span }) })
             }
             TAG_ACK => {
                 if buf.remaining() < 8 {
@@ -299,7 +342,7 @@ impl Frame {
 #[derive(Debug, Clone)]
 pub struct ReliableSender {
     next_seq: u64,
-    unacked: VecDeque<(u64, Message)>,
+    unacked: VecDeque<(u64, Message, Option<TraceCtx>)>,
     retries: u32,
     base_rto_us: u64,
     max_rto_us: u64,
@@ -323,10 +366,16 @@ impl ReliableSender {
     /// Wraps `message` in the next sequenced frame and queues it until
     /// acknowledged.
     pub fn send(&mut self, message: Message) -> Frame {
+        self.send_traced(message, None)
+    }
+
+    /// Like [`ReliableSender::send`], attaching a trace context that every
+    /// copy of the frame (initial send and retransmits) will carry.
+    pub fn send_traced(&mut self, message: Message, ctx: Option<TraceCtx>) -> Frame {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.unacked.push_back((seq, message.clone()));
-        Frame::Data { seq, message }
+        self.unacked.push_back((seq, message.clone(), ctx));
+        Frame::Data { seq, message, ctx }
     }
 
     /// Processes a cumulative ACK: drops every queued frame with sequence
@@ -334,7 +383,7 @@ impl ReliableSender {
     /// backoff. Returns how many frames were newly acknowledged.
     pub fn on_ack(&mut self, cumulative: u64) -> usize {
         let before = self.unacked.len();
-        while self.unacked.front().is_some_and(|(seq, _)| *seq < cumulative) {
+        while self.unacked.front().is_some_and(|(seq, _, _)| *seq < cumulative) {
             self.unacked.pop_front();
         }
         let progressed = self.unacked.len() < before;
@@ -372,7 +421,11 @@ impl ReliableSender {
         self.retransmitted_messages += self.unacked.len() as u64;
         self.unacked
             .iter()
-            .map(|(seq, message)| Frame::Data { seq: *seq, message: message.clone() })
+            .map(|(seq, message, ctx)| Frame::Data {
+                seq: *seq,
+                message: message.clone(),
+                ctx: *ctx,
+            })
             .collect()
     }
 
@@ -382,8 +435,18 @@ impl ReliableSender {
     pub fn snapshot(&self, cov: CovarianceType, buf: &mut ByteBuf) {
         buf.put_u64_le(self.next_seq);
         buf.put_u64_le(self.unacked.len() as u64);
-        for (seq, message) in &self.unacked {
+        for (seq, message, ctx) in &self.unacked {
             buf.put_u64_le(*seq);
+            // Trace context survives the checkpoint so post-restore
+            // retransmits still land under the originating span.
+            match ctx {
+                None => buf.put_u8(0),
+                Some(ctx) => {
+                    buf.put_u8(1);
+                    buf.put_u64_le(ctx.trace.0);
+                    buf.put_u64_le(ctx.span.0);
+                }
+            }
             let encoded = message.encode(cov);
             buf.put_u64_le(encoded.len() as u64);
             buf.extend_from_slice(&encoded);
@@ -404,16 +467,31 @@ impl ReliableSender {
         let n = buf.get_u64_le();
         let mut unacked = VecDeque::new();
         for _ in 0..n {
-            if buf.remaining() < 16 {
+            if buf.remaining() < 17 {
                 return Err(CludiError::Decode("truncated sender snapshot entry"));
             }
             let seq = buf.get_u64_le();
+            let ctx = match buf.get_u8() {
+                0 => None,
+                1 => {
+                    if buf.remaining() < TRACE_CTX_BYTES {
+                        return Err(CludiError::Decode("truncated sender snapshot trace ctx"));
+                    }
+                    let trace = TraceId(buf.get_u64_le());
+                    let span = SpanId(buf.get_u64_le());
+                    Some(TraceCtx { trace, span })
+                }
+                _ => return Err(CludiError::Decode("bad sender snapshot trace flag")),
+            };
+            if buf.remaining() < 8 {
+                return Err(CludiError::Decode("truncated sender snapshot entry"));
+            }
             let len = buf.get_u64_le() as usize;
             if buf.remaining() < len {
                 return Err(CludiError::Decode("truncated sender snapshot message"));
             }
             let message = Message::decode(buf)?;
-            unacked.push_back((seq, message));
+            unacked.push_back((seq, message, ctx));
         }
         Ok(ReliableSender {
             next_seq,
@@ -432,7 +510,7 @@ impl ReliableSender {
 #[derive(Debug, Clone, Default)]
 pub struct ReliableInbox {
     next: u64,
-    buffer: BTreeMap<u64, Message>,
+    buffer: BTreeMap<u64, (Message, Option<TraceCtx>)>,
     duplicates: u64,
 }
 
@@ -447,14 +525,27 @@ impl ReliableInbox {
     /// number yields nothing (but the caller should still ACK — the
     /// retransmit means the site has not seen the ACK yet).
     pub fn accept(&mut self, seq: u64, message: Message) -> Vec<Message> {
+        self.accept_traced(seq, message, None).into_iter().map(|(m, _)| m).collect()
+    }
+
+    /// Like [`ReliableInbox::accept`], preserving each released message's
+    /// trace context. Because release is exactly-once, the caller can
+    /// close each context's wire span exactly once no matter how many
+    /// duplicates arrived.
+    pub fn accept_traced(
+        &mut self,
+        seq: u64,
+        message: Message,
+        ctx: Option<TraceCtx>,
+    ) -> Vec<(Message, Option<TraceCtx>)> {
         if seq < self.next || self.buffer.contains_key(&seq) {
             self.duplicates += 1;
             return Vec::new();
         }
-        self.buffer.insert(seq, message);
+        self.buffer.insert(seq, (message, ctx));
         let mut ready = Vec::new();
-        while let Some(message) = self.buffer.remove(&self.next) {
-            ready.push(message);
+        while let Some(entry) = self.buffer.remove(&self.next) {
+            ready.push(entry);
             self.next += 1;
         }
         ready
@@ -644,14 +735,15 @@ mod tests {
         assert_eq!(bare.as_slice(), msg.encode(cov).as_slice());
         assert!(matches!(Frame::decode(&mut bare.reader()).unwrap(), Frame::Bare(_)));
 
-        let data = Frame::Data { seq: 17, message: msg.clone() };
+        let data = Frame::Data { seq: 17, message: msg.clone(), ctx: None };
         let bytes = data.encode(cov);
         assert_eq!(bytes.len(), data.wire_bytes(cov));
         assert_eq!(bytes.len(), DATA_OVERHEAD_BYTES + msg.wire_bytes(cov));
         match Frame::decode(&mut bytes.reader()).unwrap() {
-            Frame::Data { seq, message } => {
+            Frame::Data { seq, message, ctx } => {
                 assert_eq!(seq, 17);
                 assert_eq!(message.model(), ModelId(4));
+                assert_eq!(ctx, None);
             }
             other => panic!("wrong variant {other:?}"),
         }
@@ -803,7 +895,7 @@ mod tests {
             batch.reverse();
             let dups: Vec<Frame> = batch.clone();
             for frame in batch.into_iter().chain(dups) {
-                if let Frame::Data { seq, message } = frame {
+                if let Frame::Data { seq, message, .. } = frame {
                     delivered.extend(inbox.accept(seq, message));
                 }
             }
@@ -812,5 +904,70 @@ mod tests {
         }
         assert_eq!(delivered.iter().map(model_of).collect::<Vec<_>>(), (0..10).collect::<Vec<_>>());
         assert!(inbox.duplicates() > 0);
+    }
+
+    // ---- trace context ----
+
+    fn ctx(trace: u64, span: u64) -> TraceCtx {
+        TraceCtx { trace: TraceId(trace), span: SpanId(span) }
+    }
+
+    #[test]
+    fn traced_frame_roundtrips_and_untraced_bytes_are_unchanged() {
+        let cov = CovarianceType::Full;
+        let msg = update(4);
+        let plain = Frame::Data { seq: 3, message: msg.clone(), ctx: None };
+        let traced = Frame::Data { seq: 3, message: msg.clone(), ctx: Some(ctx(7, 99)) };
+        let plain_bytes = plain.encode(cov);
+        let traced_bytes = traced.encode(cov);
+        // The untraced encoding is the legacy TAG_DATA layout; the traced
+        // one costs exactly the context bytes more.
+        assert_eq!(plain_bytes[0], TAG_DATA);
+        assert_eq!(traced_bytes[0], TAG_TRACED);
+        assert_eq!(traced_bytes.len(), plain_bytes.len() + TRACE_CTX_BYTES);
+        assert_eq!(traced_bytes.len(), traced.wire_bytes(cov));
+        match Frame::decode(&mut traced_bytes.reader()).unwrap() {
+            Frame::Data { seq, message, ctx: c } => {
+                assert_eq!(seq, 3);
+                assert_eq!(message.model(), ModelId(4));
+                assert_eq!(c, Some(ctx(7, 99)));
+            }
+            other => panic!("wrong variant {other:?}"),
+        }
+        // Truncated traced frames are rejected.
+        assert!(Frame::decode(&mut traced_bytes.slice(..10).reader()).is_err());
+    }
+
+    #[test]
+    fn retransmits_and_snapshots_keep_the_originating_ctx() {
+        let cov = CovarianceType::Full;
+        let mut sender = ReliableSender::new(1_000, 16_000);
+        sender.send_traced(update(0), Some(ctx(1, 10)));
+        sender.send(update(1)); // untraced in the same queue
+        let retx = sender.on_timeout();
+        assert!(matches!(retx[0], Frame::Data { seq: 0, ctx: Some(c), .. } if c == ctx(1, 10)));
+        assert!(matches!(retx[1], Frame::Data { seq: 1, ctx: None, .. }));
+        // Checkpoint/restore: the context survives, so a restored site's
+        // retransmits still land under the original span.
+        let mut buf = ByteBuf::new();
+        sender.snapshot(cov, &mut buf);
+        let mut restored = ReliableSender::restore(1_000, 16_000, &mut buf.reader()).unwrap();
+        let retx = restored.on_timeout();
+        assert!(matches!(retx[0], Frame::Data { seq: 0, ctx: Some(c), .. } if c == ctx(1, 10)));
+        assert!(matches!(retx[1], Frame::Data { seq: 1, ctx: None, .. }));
+    }
+
+    #[test]
+    fn inbox_releases_each_ctx_exactly_once() {
+        let mut inbox = ReliableInbox::new();
+        assert!(inbox.accept_traced(1, update(1), Some(ctx(1, 11))).is_empty());
+        let ready = inbox.accept_traced(0, update(0), Some(ctx(1, 10)));
+        let ctxs: Vec<_> = ready.iter().map(|(_, c)| *c).collect();
+        assert_eq!(ctxs, vec![Some(ctx(1, 10)), Some(ctx(1, 11))]);
+        // Duplicates of released frames yield nothing: the wire span is
+        // closed exactly once.
+        assert!(inbox.accept_traced(0, update(0), Some(ctx(1, 10))).is_empty());
+        assert!(inbox.accept_traced(1, update(1), Some(ctx(1, 11))).is_empty());
+        assert_eq!(inbox.duplicates(), 2);
     }
 }

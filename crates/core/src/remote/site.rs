@@ -6,7 +6,9 @@ use cludistream_gmm::{
     free_parameters, j_fit, log_likelihood_std, GmmError, Mixture,
 };
 use cludistream_linalg::Vector;
-use cludistream_obs::{Event, Obs, Recorder, Verdict};
+use cludistream_obs::{
+    em_cost_us, Event, Obs, Recorder, SpanId, SpanRecord, TraceCtx, TraceId, Verdict,
+};
 
 /// What a remote site emits toward the coordinator. Stability costs
 /// nothing: a chunk fitting the *current* model produces no message at all
@@ -112,6 +114,9 @@ pub struct RemoteSite {
     current: Option<ModelId>,
     chunk_index: u64,
     outbox: Vec<SiteEvent>,
+    /// Trace context per outbox entry (kept parallel to `outbox`; always
+    /// pushed through [`RemoteSite::queue_event`]).
+    outbox_ctx: Vec<Option<TraceCtx>>,
     stats: SiteStats,
     obs: Obs,
     obs_site: u32,
@@ -131,6 +136,7 @@ impl RemoteSite {
             current: None,
             chunk_index: 0,
             outbox: Vec::new(),
+            outbox_ctx: Vec::new(),
             stats: SiteStats::default(),
             obs: Obs::noop(),
             obs_site: 0,
@@ -247,7 +253,71 @@ impl RemoteSite {
 
     /// Drains the coordinator-bound message queue.
     pub fn drain_events(&mut self) -> Vec<SiteEvent> {
+        self.outbox_ctx.clear();
         std::mem::take(&mut self.outbox)
+    }
+
+    /// Drains the message queue with each event's trace context (the wire
+    /// span allocated when the event was produced; `None` when tracing is
+    /// off or the event has no traced origin).
+    pub fn drain_events_traced(&mut self) -> Vec<(SiteEvent, Option<TraceCtx>)> {
+        let ctxs = std::mem::take(&mut self.outbox_ctx);
+        let events = std::mem::take(&mut self.outbox);
+        debug_assert_eq!(events.len(), ctxs.len());
+        events.into_iter().zip(ctxs).collect()
+    }
+
+    /// The single path into the outbox, keeping event and context vectors
+    /// aligned.
+    fn queue_event(&mut self, event: SiteEvent, ctx: Option<TraceCtx>) {
+        self.outbox.push(event);
+        self.outbox_ctx.push(ctx);
+    }
+
+    /// Opens the root span of this chunk's trace, when tracing is on.
+    fn trace_root(&self, this_chunk: u64) -> Option<(TraceId, SpanId)> {
+        if !self.obs.tracing_enabled() {
+            return None;
+        }
+        let trace = TraceId::new(self.obs_site, this_chunk);
+        let span = self.obs.alloc_span(self.obs_site);
+        let now = self.obs.sim_now_us();
+        self.obs.record_span(&SpanRecord {
+            trace,
+            span,
+            parent: None,
+            name: "site.chunk",
+            node: self.obs_site,
+            start_us: now,
+            end_us: now,
+            cost_us: 0,
+        });
+        Some((trace, span))
+    }
+
+    /// Records a child span under the chunk root and returns its context.
+    /// Wire spans (`wire.synopsis` / `wire.update`) are recorded open here
+    /// and closed by the coordinator at inbox release.
+    fn trace_child(
+        &self,
+        root: Option<(TraceId, SpanId)>,
+        name: &'static str,
+        cost_us: u64,
+    ) -> Option<TraceCtx> {
+        let (trace, parent) = root?;
+        let span = self.obs.alloc_span(self.obs_site);
+        let now = self.obs.sim_now_us();
+        self.obs.record_span(&SpanRecord {
+            trace,
+            span,
+            parent: Some(parent),
+            name,
+            node: self.obs_site,
+            start_us: now,
+            end_us: now,
+            cost_us,
+        });
+        Some(TraceCtx { trace, span })
     }
 
     /// Pending (undrained) events.
@@ -267,10 +337,11 @@ impl RemoteSite {
         let m = chunk.len() as u64;
         self.obs.counter("site.chunks", 1);
         self.obs.counter("site.records", m);
+        let root = self.trace_root(this_chunk);
 
         // The very first chunk is always clustered (Algorithm 1 line 2).
         let Some(current_id) = self.current else {
-            let model = self.cluster_chunk(chunk, this_chunk)?;
+            let model = self.cluster_chunk(chunk, this_chunk, root)?;
             return Ok(ChunkOutcome::NewModel { model, tests: 0 });
         };
 
@@ -284,6 +355,7 @@ impl RemoteSite {
         let tol = fit_tolerance(epsilon, delta, current.ll_std, chunk.len(), p_free);
         self.stats.tests += 1;
         self.obs.counter("site.tests", 1);
+        self.trace_child(root, "site.test", 0);
         if j <= tol {
             let entry = self.models.get_mut(current_id).expect("current model exists");
             entry.count += m;
@@ -336,7 +408,8 @@ impl RemoteSite {
                 threshold: hit_tol,
                 verdict: Verdict::Switched,
             });
-            self.outbox.push(SiteEvent::WeightUpdate { model, count_delta: m });
+            let ctx = self.trace_child(root, "wire.update", 0);
+            self.queue_event(SiteEvent::WeightUpdate { model, count_delta: m }, ctx);
             return Ok(ChunkOutcome::SwitchedTo { model, j_fit: j, tests });
         }
 
@@ -350,13 +423,18 @@ impl RemoteSite {
             threshold: tol,
             verdict: Verdict::NewModel,
         });
-        let model = self.cluster_chunk(chunk, this_chunk)?;
+        let model = self.cluster_chunk(chunk, this_chunk, root)?;
         Ok(ChunkOutcome::NewModel { model, tests })
     }
 
     /// Runs EM on a chunk, installs the new model as current, and queues the
     /// synopsis for the coordinator.
-    fn cluster_chunk(&mut self, chunk: &[Vector], this_chunk: u64) -> Result<ModelId, GmmError> {
+    fn cluster_chunk(
+        &mut self,
+        chunk: &[Vector],
+        this_chunk: u64,
+        root: Option<(TraceId, SpanId)>,
+    ) -> Result<ModelId, GmmError> {
         self.obs.event(&Event::Reclustered { site: self.obs_site, chunk: this_chunk });
         let fit = match self.config.auto_k {
             None => {
@@ -374,6 +452,7 @@ impl RemoteSite {
         self.stats.clustered += 1;
         self.stats.em_iterations += fit.iterations as u64;
         self.obs.counter("site.clustered", 1);
+        self.trace_child(root, "site.em", em_cost_us(fit.iterations as u64));
         let count = chunk.len() as u64;
         // AvgPr₀ is the founding chunk's average log likelihood, exactly as
         // in the paper; the optimism allowance lives in the tolerance.
@@ -382,12 +461,16 @@ impl RemoteSite {
         let id = self.models.insert(fit.mixture.clone(), avg_ll, ll_std, count, this_chunk);
         self.events.switch_to(id, this_chunk);
         self.current = Some(id);
-        self.outbox.push(SiteEvent::NewModel {
-            model: id,
-            mixture: fit.mixture,
-            count,
-            avg_ll,
-        });
+        let ctx = self.trace_child(root, "wire.synopsis", 0);
+        self.queue_event(
+            SiteEvent::NewModel {
+                model: id,
+                mixture: fit.mixture,
+                count,
+                avg_ll,
+            },
+            ctx,
+        );
         // Bounded model list: evict the least-recently-active non-current
         // model (its event-table spans survive; horizon queries simply skip
         // evicted ids).
@@ -395,7 +478,7 @@ impl RemoteSite {
             while self.models.len() > bound {
                 let Some(victim) = self.models.least_recently_active_except(id) else { break };
                 let removed = self.models.remove(victim).expect("victim exists");
-                self.outbox.push(SiteEvent::Retired { model: victim, count: removed.count });
+                self.queue_event(SiteEvent::Retired { model: victim, count: removed.count }, None);
             }
         }
         Ok(id)

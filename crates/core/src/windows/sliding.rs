@@ -117,6 +117,18 @@ impl SlidingWindowSite {
         events
     }
 
+    /// [`SlidingWindowSite::drain_events`] with trace contexts: the inner
+    /// site's events keep their wire spans; the synthesized fit-chunk
+    /// weight updates carry none (they aggregate many chunks, so no single
+    /// chunk trace owns them).
+    pub fn drain_events_traced(
+        &mut self,
+    ) -> Vec<(SiteEvent, Option<cludistream_obs::TraceCtx>)> {
+        let mut events = self.inner.drain_events_traced();
+        events.extend(std::mem::take(&mut self.fit_updates).into_iter().map(|e| (e, None)));
+        events
+    }
+
     /// Serializes the full window state — the wrapped site plus the
     /// in-window chunk ledger and any undrained deletions/updates — for
     /// crash recovery. Restore with [`SlidingWindowSite::restore`] under

@@ -14,7 +14,7 @@ use crate::remote::{ChunkOutcome, ModelId, RemoteSite, SiteEvent};
 use crate::windows::{landmark_mixture, SlidingWindowSite};
 use cludistream_gmm::Mixture;
 use cludistream_linalg::Vector;
-use cludistream_obs::Obs;
+use cludistream_obs::{Obs, TraceCtx};
 use cludistream_wire::{ByteBuf, ByteReader};
 
 /// A remote site wrapped in some window semantics. Object safe: the
@@ -26,6 +26,14 @@ pub trait Window: std::fmt::Debug {
 
     /// Drains the coordinator-bound events (new models, weight updates).
     fn drain_events(&mut self) -> Vec<SiteEvent>;
+
+    /// Drains the coordinator-bound events paired with the trace context
+    /// of the wire span opened when each event was produced. The default
+    /// forwards to [`Window::drain_events`] with no context, for window
+    /// kinds that do not trace.
+    fn drain_events_traced(&mut self) -> Vec<(SiteEvent, Option<TraceCtx>)> {
+        self.drain_events().into_iter().map(|e| (e, None)).collect()
+    }
 
     /// Drains expiry deletions as `(model, count)` pairs. Windows without
     /// expiry (landmark) never produce any.
@@ -77,6 +85,10 @@ impl Window for LandmarkWindow {
         self.site.drain_events()
     }
 
+    fn drain_events_traced(&mut self) -> Vec<(SiteEvent, Option<TraceCtx>)> {
+        self.site.drain_events_traced()
+    }
+
     fn site(&self) -> &RemoteSite {
         &self.site
     }
@@ -106,6 +118,10 @@ impl Window for SlidingWindowSite {
 
     fn drain_events(&mut self) -> Vec<SiteEvent> {
         SlidingWindowSite::drain_events(self)
+    }
+
+    fn drain_events_traced(&mut self) -> Vec<(SiteEvent, Option<TraceCtx>)> {
+        SlidingWindowSite::drain_events_traced(self)
     }
 
     fn drain_deletions(&mut self) -> Vec<(ModelId, u64)> {

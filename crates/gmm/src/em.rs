@@ -3,7 +3,7 @@ use crate::{
     SuffStats,
 };
 use cludistream_linalg::Vector;
-use cludistream_obs::{Event, NopRecorder, Recorder};
+use cludistream_obs::{em_cost_us, Event, NopRecorder, Recorder};
 use cludistream_rng::{Rng, StdRng};
 
 /// How EM's initial mixture is chosen.
@@ -331,6 +331,7 @@ fn fit_em_impl(
     recorder.counter("em.iterations", iterations as u64);
     recorder.counter(if converged { "em.converged" } else { "em.iter_capped" }, 1);
     recorder.observe("em.iters_per_fit", iterations as u64);
+    recorder.observe("em.cost_us", em_cost_us(iterations as u64));
 
     Ok(EmFit {
         avg_log_likelihood: log_likelihood / n,

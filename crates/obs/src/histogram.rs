@@ -103,6 +103,19 @@ impl Histogram {
         Some(bucket_lo(BUCKETS - 1))
     }
 
+    /// Exclusive upper bound of the bucket answering [`Histogram::quantile_bound`]
+    /// for `q`: at least `q` of observations are `< ` the returned value
+    /// (capped at `u64::MAX` for the top bucket, and 1 for the zero
+    /// bucket). `None` when empty. This is what a log2 histogram can
+    /// honestly promise about a quantile — an upper *bound*, not the
+    /// quantile itself.
+    pub fn quantile_upper_bound(&self, q: f64) -> Option<u64> {
+        self.quantile_bound(q).map(|lo| match lo {
+            0 => 1,
+            l => l.saturating_mul(2),
+        })
+    }
+
     /// A copyable summary for reporting.
     pub fn snapshot(&self) -> HistogramSnapshot {
         HistogramSnapshot {
@@ -113,6 +126,8 @@ impl Histogram {
             mean: self.mean().unwrap_or(0.0),
             p50_bound: self.quantile_bound(0.5).unwrap_or(0),
             p99_bound: self.quantile_bound(0.99).unwrap_or(0),
+            p50_ub: self.quantile_upper_bound(0.5).unwrap_or(0),
+            p99_ub: self.quantile_upper_bound(0.99).unwrap_or(0),
         }
     }
 }
@@ -134,6 +149,10 @@ pub struct HistogramSnapshot {
     pub p50_bound: u64,
     /// Log2-coarse p99 lower bound.
     pub p99_bound: u64,
+    /// Log2-coarse median *upper* bound (the median is `< p50_ub`).
+    pub p50_ub: u64,
+    /// Log2-coarse p99 *upper* bound (the p99 is `< p99_ub`).
+    pub p99_ub: u64,
 }
 
 #[cfg(test)]
@@ -200,6 +219,24 @@ mod tests {
         assert_eq!(h.quantile_bound(0.5), Some(32));
         assert_eq!(h.quantile_bound(1.0), Some(64));
         assert_eq!(Histogram::new().quantile_bound(0.5), None);
+    }
+
+    #[test]
+    fn quantile_upper_bound_is_exclusive_bucket_end() {
+        let mut h = Histogram::new();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        // Median bucket is [32, 64): the true median is < 64.
+        assert_eq!(h.quantile_upper_bound(0.5), Some(64));
+        assert_eq!(h.quantile_upper_bound(1.0), Some(128));
+        let mut z = Histogram::new();
+        z.record(0);
+        assert_eq!(z.quantile_upper_bound(0.5), Some(1));
+        let mut top = Histogram::new();
+        top.record(u64::MAX);
+        assert_eq!(top.quantile_upper_bound(0.5), Some(u64::MAX));
+        assert_eq!(Histogram::new().quantile_upper_bound(0.5), None);
     }
 
     #[test]

@@ -18,6 +18,15 @@
 //!   cloneable [`Obs`] handle that the site, coordinator, driver and
 //!   simulator all share.
 //!
+//! Since PR 4 it is also a **causal tracer**: deterministic
+//! [`TraceId`]/[`SpanId`] span trees ([`trace`]) that follow one chunk
+//! from site ingestion to the coordinator's group update, a
+//! Perfetto-loadable Chrome trace-event exporter ([`perfetto_json`]), a
+//! critical-path extractor ([`critical_path`]) attributing group-update
+//! latency to {EM, simplex, retransmit, queueing}, and an exact
+//! Greenwald–Khanna streaming quantile sketch ([`QuantileSketch`])
+//! complementing the log2 histogram's coarse bounds.
+//!
 //! ## Determinism rules
 //!
 //! Journaled fields carry only values derived from the (seeded) algorithms
@@ -25,6 +34,15 @@
 //! Wall-clock measurements (span timers) go to registry histograms only,
 //! which are reported but never journaled. This is what makes the golden
 //! journal fixture in `crates/cli/tests` stable across machines and runs.
+//!
+//! Traces follow the same discipline: span ids are packed
+//! `(node, per-node sequence)` pairs allocated in simulator dispatch
+//! order, timestamps are simulated microseconds, and pure compute carries
+//! a *virtual* cost derived from iteration counts instead of wall time —
+//! so the Perfetto export of a seeded run is byte-identical across
+//! machines. Tracing is opt-in ([`Registry::enable_tracing`]) separately
+//! from metrics, and spans live in registry memory, never in the journal,
+//! so enabling it cannot perturb the journal fixtures.
 //!
 //! ## Quickstart
 //!
@@ -40,12 +58,23 @@
 //! assert_eq!(registry.counter_value("em.iterations"), 12);
 //! ```
 
+pub mod critical_path;
 mod histogram;
 mod journal;
+mod perfetto;
+mod quantile;
 mod recorder;
 mod registry;
+pub mod trace;
 
+pub use critical_path::{analyze, LatencyBreakdown};
 pub use histogram::{Histogram, HistogramSnapshot, BUCKETS};
 pub use journal::{json_escape, json_f64, DropReason, Event, Verdict};
+pub use perfetto::perfetto_json;
+pub use quantile::{QuantileSketch, DEFAULT_EPSILON};
 pub use recorder::{NopRecorder, Obs, Recorder, Span};
 pub use registry::Registry;
+pub use trace::{
+    em_cost_us, simplex_cost_us, SpanId, SpanRecord, SpanScope, TraceCtx, TraceId,
+    EM_ITER_COST_US, SIMPLEX_EVAL_COST_US,
+};

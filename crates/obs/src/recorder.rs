@@ -2,6 +2,7 @@
 //! [`Obs`] handle, and span timers.
 
 use crate::journal::Event;
+use crate::trace::{SpanId, SpanRecord};
 use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
@@ -47,6 +48,41 @@ pub trait Recorder {
     /// outside a simulation leaves it at 0.
     fn set_sim_time(&self, micros: u64) {
         let _ = micros;
+    }
+
+    /// True when span tracing is on. Tracing is opt-in *separately* from
+    /// metrics ([`Recorder::enabled`]) so the metrics/faults golden
+    /// fixtures are untouched by trace instrumentation.
+    fn tracing_enabled(&self) -> bool {
+        false
+    }
+
+    /// The current simulated time in microseconds (what
+    /// [`Recorder::set_sim_time`] last stored). Span instrumentation reads
+    /// the clock through this instead of threading timestamps by hand.
+    fn sim_now_us(&self) -> u64 {
+        0
+    }
+
+    /// Allocates the next deterministic span id for `node` (per-node
+    /// sequence, starting at 1). Disabled recorders return
+    /// [`SpanId::NONE`].
+    fn alloc_span(&self, node: u32) -> SpanId {
+        let _ = node;
+        SpanId::NONE
+    }
+
+    /// Stores one span record. Records may be stored open
+    /// (`end_us == start_us`) and finished later via
+    /// [`Recorder::close_span`].
+    fn record_span(&self, record: &SpanRecord) {
+        let _ = record;
+    }
+
+    /// Sets the end time of a previously recorded span (e.g. a wire span
+    /// closed when the coordinator's inbox releases the message).
+    fn close_span(&self, span: SpanId, end_us: u64) {
+        let _ = (span, end_us);
     }
 }
 
@@ -130,6 +166,21 @@ impl Recorder for Obs {
     fn set_sim_time(&self, micros: u64) {
         self.0.set_sim_time(micros);
     }
+    fn tracing_enabled(&self) -> bool {
+        self.0.tracing_enabled()
+    }
+    fn sim_now_us(&self) -> u64 {
+        self.0.sim_now_us()
+    }
+    fn alloc_span(&self, node: u32) -> SpanId {
+        self.0.alloc_span(node)
+    }
+    fn record_span(&self, record: &SpanRecord) {
+        self.0.record_span(record);
+    }
+    fn close_span(&self, span: SpanId, end_us: u64) {
+        self.0.close_span(span, end_us);
+    }
 }
 
 /// RAII wall-clock timer from [`Obs::span`]. Durations land in registry
@@ -165,6 +216,10 @@ mod tests {
         r.observe("c", 1);
         r.event(&Event::ReMerge { group: 0 });
         r.set_sim_time(9);
+        assert!(!r.tracing_enabled());
+        assert_eq!(r.sim_now_us(), 0);
+        assert_eq!(r.alloc_span(3), SpanId::NONE);
+        r.close_span(SpanId::NONE, 5);
     }
 
     #[test]

@@ -3,10 +3,12 @@
 
 use crate::histogram::{Histogram, HistogramSnapshot};
 use crate::journal::Event;
+use crate::quantile::QuantileSketch;
 use crate::recorder::Recorder;
+use crate::trace::{SpanId, SpanRecord};
 use std::collections::BTreeMap;
 use std::io::Write;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Mutex;
 
 #[derive(Debug, Default)]
@@ -14,6 +16,17 @@ struct Metrics {
     counters: BTreeMap<&'static str, u64>,
     gauges: BTreeMap<&'static str, f64>,
     histograms: BTreeMap<&'static str, Histogram>,
+    sketches: BTreeMap<&'static str, QuantileSketch>,
+}
+
+/// Span storage: per-node id allocators plus the flat record list. Records
+/// keep insertion order (deterministic under the single-threaded
+/// simulator); `index` maps span id → record position for `close_span`.
+#[derive(Debug, Default)]
+struct TraceState {
+    next_seq: BTreeMap<u32, u64>,
+    records: Vec<SpanRecord>,
+    index: BTreeMap<u64, usize>,
 }
 
 /// The metrics registry and journal sink.
@@ -27,6 +40,8 @@ pub struct Registry {
     events_recorded: AtomicU64,
     sim_time: AtomicU64,
     journal: Mutex<Option<Box<dyn Write + Send>>>,
+    tracing: AtomicBool,
+    trace: Mutex<TraceState>,
 }
 
 impl std::fmt::Debug for Registry {
@@ -53,7 +68,67 @@ impl Registry {
             events_recorded: AtomicU64::new(0),
             sim_time: AtomicU64::new(0),
             journal: Mutex::new(None),
+            tracing: AtomicBool::new(false),
+            trace: Mutex::new(TraceState::default()),
         }
+    }
+
+    /// Turns on span tracing. Off by default so existing metrics/journal
+    /// workloads (and their golden fixtures) are byte-for-byte unaffected
+    /// by trace instrumentation.
+    pub fn enable_tracing(&self) {
+        self.tracing.store(true, Ordering::Relaxed);
+    }
+
+    /// All span records, in allocation order. Open spans (never closed)
+    /// keep `end_us == start_us`.
+    pub fn spans(&self) -> Vec<SpanRecord> {
+        self.trace.lock().expect("trace lock").records.clone()
+    }
+
+    /// Registers an exact quantile sketch fed by every subsequent
+    /// [`Recorder::observe`] of `name` (with the default rank-error bound
+    /// [`crate::quantile::DEFAULT_EPSILON`]). Observations recorded before
+    /// registration are not replayed.
+    pub fn track_quantiles(&self, name: &'static str) {
+        self.metrics
+            .lock()
+            .expect("metrics lock")
+            .sketches
+            .entry(name)
+            .or_insert_with(QuantileSketch::default);
+    }
+
+    /// Exact (within the sketch's εn rank error) quantile of a tracked
+    /// series, or `None` when no sketch is registered or it is empty.
+    pub fn exact_quantile(&self, name: &str, q: f64) -> Option<u64> {
+        self.metrics
+            .lock()
+            .expect("metrics lock")
+            .sketches
+            .get(name)
+            .and_then(|s| s.query(q))
+    }
+
+    /// Name-sorted `(name, count, p50, p90, p99, max)` rows for every
+    /// non-empty registered quantile sketch.
+    pub fn quantile_rows(&self) -> Vec<(&'static str, u64, u64, u64, u64, u64)> {
+        let metrics = self.metrics.lock().expect("metrics lock");
+        metrics
+            .sketches
+            .iter()
+            .filter(|(_, s)| s.count() > 0)
+            .map(|(&name, s)| {
+                (
+                    name,
+                    s.count(),
+                    s.query(0.5).unwrap_or(0),
+                    s.query(0.9).unwrap_or(0),
+                    s.query(0.99).unwrap_or(0),
+                    s.max().unwrap_or(0),
+                )
+            })
+            .collect()
     }
 
     /// Creates a registry journaling every event as one JSONL line into
@@ -152,15 +227,31 @@ impl Registry {
             }
         }
         if !histograms.is_empty() {
+            // p50< / p99< are log2-bucket *upper bounds* (the quantile is
+            // strictly below the printed value), not the quantiles
+            // themselves — see the "quantiles (exact)" section for those.
             let _ = writeln!(
                 out,
-                "histograms:                        count          mean           p99           max"
+                "histograms:                        count          mean          p50<          p99<           max"
             );
             for (name, s) in histograms {
                 let _ = writeln!(
                     out,
-                    "  {name:<28} {:>12} {:>13.1} {:>13} {:>13}",
-                    s.count, s.mean, s.p99_bound, s.max
+                    "  {name:<28} {:>12} {:>13.1} {:>13} {:>13} {:>13}",
+                    s.count, s.mean, s.p50_ub, s.p99_ub, s.max
+                );
+            }
+        }
+        let quantiles = self.quantile_rows();
+        if !quantiles.is_empty() {
+            let _ = writeln!(
+                out,
+                "quantiles (exact):                 count           p50           p90           p99           max"
+            );
+            for (name, count, p50, p90, p99, max) in quantiles {
+                let _ = writeln!(
+                    out,
+                    "  {name:<28} {count:>12} {p50:>13} {p90:>13} {p99:>13} {max:>13}"
                 );
             }
         }
@@ -183,13 +274,11 @@ impl Recorder for Registry {
     }
 
     fn observe(&self, name: &'static str, value: u64) {
-        self.metrics
-            .lock()
-            .expect("metrics lock")
-            .histograms
-            .entry(name)
-            .or_default()
-            .record(value);
+        let mut metrics = self.metrics.lock().expect("metrics lock");
+        metrics.histograms.entry(name).or_default().record(value);
+        if let Some(sketch) = metrics.sketches.get_mut(name) {
+            sketch.insert(value);
+        }
     }
 
     fn event(&self, event: &Event) {
@@ -205,6 +294,45 @@ impl Recorder for Registry {
 
     fn set_sim_time(&self, micros: u64) {
         self.sim_time.store(micros, Ordering::Relaxed);
+    }
+
+    fn tracing_enabled(&self) -> bool {
+        self.tracing.load(Ordering::Relaxed)
+    }
+
+    fn sim_now_us(&self) -> u64 {
+        self.sim_time.load(Ordering::Relaxed)
+    }
+
+    fn alloc_span(&self, node: u32) -> SpanId {
+        if !self.tracing_enabled() {
+            return SpanId::NONE;
+        }
+        let mut trace = self.trace.lock().expect("trace lock");
+        let seq = trace.next_seq.entry(node).or_insert(0);
+        *seq += 1;
+        SpanId::new(node, *seq)
+    }
+
+    fn record_span(&self, record: &SpanRecord) {
+        if !self.tracing_enabled() {
+            return;
+        }
+        let mut trace = self.trace.lock().expect("trace lock");
+        let idx = trace.records.len();
+        trace.records.push(*record);
+        trace.index.insert(record.span.0, idx);
+    }
+
+    fn close_span(&self, span: SpanId, end_us: u64) {
+        if !self.tracing_enabled() {
+            return;
+        }
+        let mut trace = self.trace.lock().expect("trace lock");
+        if let Some(&idx) = trace.index.get(&span.0) {
+            let r = &mut trace.records[idx];
+            r.end_us = end_us.max(r.start_us);
+        }
     }
 }
 
@@ -280,6 +408,72 @@ mod tests {
         let r = Registry::new();
         r.event(&Event::ReMerge { group: 0 });
         assert_eq!(r.events_recorded(), 1);
+    }
+
+    #[test]
+    fn tracing_is_opt_in_and_deterministic() {
+        use crate::trace::{TraceId, SpanRecord, SpanId};
+        let r = Registry::new();
+        // Off by default: allocations return NONE, records are dropped.
+        assert!(!r.tracing_enabled());
+        assert_eq!(r.alloc_span(0), SpanId::NONE);
+        r.record_span(&SpanRecord {
+            trace: TraceId::new(0, 0),
+            span: SpanId::new(0, 1),
+            parent: None,
+            name: "dropped",
+            node: 0,
+            start_us: 0,
+            end_us: 0,
+            cost_us: 0,
+        });
+        assert!(r.spans().is_empty());
+        r.enable_tracing();
+        // Per-node sequences are independent and start at 1.
+        assert_eq!(r.alloc_span(0), SpanId::new(0, 1));
+        assert_eq!(r.alloc_span(1), SpanId::new(1, 1));
+        assert_eq!(r.alloc_span(0), SpanId::new(0, 2));
+        let span = SpanId::new(0, 1);
+        r.record_span(&SpanRecord {
+            trace: TraceId::new(0, 0),
+            span,
+            parent: None,
+            name: "wire",
+            node: 0,
+            start_us: 100,
+            end_us: 100,
+            cost_us: 0,
+        });
+        r.close_span(span, 250);
+        // Closing an unknown span is a no-op, and end never precedes start.
+        r.close_span(SpanId::new(9, 9), 1);
+        let spans = r.spans();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].end_us, 250);
+        r.close_span(span, 50);
+        assert_eq!(r.spans()[0].end_us, 100);
+    }
+
+    #[test]
+    fn sketches_feed_from_observe_after_registration() {
+        let r = Registry::new();
+        r.observe("lat", 1); // before registration: not replayed
+        r.track_quantiles("lat");
+        for v in [10u64, 20, 30, 40] {
+            r.observe("lat", v);
+        }
+        assert_eq!(r.exact_quantile("lat", 0.5), Some(20));
+        assert_eq!(r.exact_quantile("lat", 1.0), Some(40));
+        assert_eq!(r.exact_quantile("other", 0.5), None);
+        let rows = r.quantile_rows();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].0, "lat");
+        assert_eq!(rows[0].1, 4);
+        // The histogram still records everything, including the pre-registration value.
+        assert_eq!(r.histogram_snapshot("lat").unwrap().count, 5);
+        let table = r.render_table();
+        assert!(table.contains("quantiles (exact):"), "{table}");
+        assert!(table.contains("p50<"), "{table}");
     }
 
     #[test]

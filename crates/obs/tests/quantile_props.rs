@@ -1,0 +1,96 @@
+//! Seeded property tests: the GK quantile sketch against a sorted exact
+//! oracle, across stream sizes, value ranges, and epsilons.
+
+use cludistream_obs::QuantileSketch;
+use cludistream_rng::{check, Rng};
+
+/// The exact value of rank `ceil(q·n)` (1-based) in sorted data.
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    let n = sorted.len() as f64;
+    let rank = ((q * n).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// Rank of `v` interpreted loosely: the range of 1-based ranks whose
+/// sorted value equals `v` (sketch answers are correct if their *rank*
+/// error is within εn, even when the value differs).
+fn rank_bounds(sorted: &[u64], v: u64) -> (usize, usize) {
+    let lo = sorted.partition_point(|&x| x < v);
+    let hi = sorted.partition_point(|&x| x <= v);
+    (lo + 1, hi.max(lo + 1))
+}
+
+#[test]
+fn sketch_matches_sorted_oracle_within_epsilon() {
+    check::cases("gk_vs_sorted_exact", 64, |rng| {
+        let n = rng.gen_range(1..3_000usize);
+        let range = rng.gen_range(2..10_000u64);
+        let eps = [0.001, 0.01, 0.05][rng.gen_range(0..3u32) as usize];
+        let mut sketch = QuantileSketch::new(eps);
+        let mut data = Vec::with_capacity(n);
+        for _ in 0..n {
+            let v = rng.gen_range(0..range);
+            sketch.insert(v);
+            data.push(v);
+        }
+        data.sort_unstable();
+        assert_eq!(sketch.count(), n as u64);
+        assert_eq!(sketch.min(), Some(data[0]), "min must be exact");
+        assert_eq!(sketch.max(), Some(data[n - 1]), "max must be exact");
+        for q in [0.0, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0] {
+            let got = sketch.query(q).expect("non-empty sketch");
+            let target = ((q * n as f64).ceil() as i64).clamp(1, n as i64);
+            let err = (eps * n as f64).floor() as i64;
+            let (rank_lo, rank_hi) = rank_bounds(&data, got);
+            // Some rank of the answered value lies within εn of the target.
+            let ok = (rank_lo as i64) <= target + err && (rank_hi as i64) >= target - err;
+            assert!(
+                ok,
+                "q={q}: answered {got} (ranks {rank_lo}..={rank_hi}), \
+                 target rank {target} ± {err}, n={n}, eps={eps}, \
+                 exact={}",
+                exact_quantile(&data, q)
+            );
+        }
+    });
+}
+
+#[test]
+fn small_streams_are_exact_for_default_epsilon() {
+    // n ≤ 1/(2ε) = 500 for the default ε=0.001: no compression triggers,
+    // every answer is the exact order statistic.
+    check::cases("gk_small_stream_exact", 64, |rng| {
+        let n = rng.gen_range(1..500usize);
+        let mut sketch = QuantileSketch::default();
+        let mut data = Vec::with_capacity(n);
+        for _ in 0..n {
+            let v = rng.gen_range(0..1_000u64);
+            sketch.insert(v);
+            data.push(v);
+        }
+        data.sort_unstable();
+        for q in [0.0, 0.1, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(
+                sketch.query(q),
+                Some(exact_quantile(&data, q)),
+                "q={q}, n={n}: small stream must answer exactly"
+            );
+        }
+    });
+}
+
+#[test]
+fn memory_stays_sublinear_under_compression() {
+    check::cases("gk_memory_bound", 16, |rng| {
+        let eps = 0.01;
+        let n = rng.gen_range(5_000..20_000usize);
+        let mut sketch = QuantileSketch::new(eps);
+        for _ in 0..n {
+            sketch.insert(rng.gen_range(0..1_000_000u64));
+        }
+        // GK stores O((1/ε)·log(εn)) tuples; 20/ε is a generous ceiling
+        // that a linear-growth regression would blow through immediately.
+        let cap = (20.0 / eps) as usize;
+        assert!(sketch.tuples() <= cap, "{} tuples for n={n} (cap {cap})", sketch.tuples());
+    });
+}

@@ -28,6 +28,15 @@ diff -u crates/cli/tests/fixtures/metrics_journal.jsonl "$journal"
 ./target/release/cludistream faults --journal "$journal" >/dev/null
 diff -u crates/cli/tests/fixtures/faults_journal.jsonl "$journal"
 
+# Trace smoke test: the traced faults workload must export a Perfetto
+# (Chrome trace-event) JSON byte-identical to the committed golden fixture
+# (span ids allocated in simulator dispatch order, sim-time stamps, virtual
+# compute costs — no wall clock anywhere).
+trace="$(mktemp /tmp/cludistream_verify_XXXXXX.json)"
+trap 'rm -f "$journal" "$trace"' EXIT
+./target/release/cludistream trace --faults --out "$trace" >/dev/null
+diff -u crates/cli/tests/fixtures/trace_faults.json "$trace"
+
 # Panic-free public API gate: non-test code in the core crate must not use
 # `unwrap()` or `panic!` — public entry points return Result<_, CludiError>.
 # Test modules (everything below `#[cfg(test)]`) and comment lines are
