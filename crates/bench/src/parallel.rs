@@ -5,29 +5,14 @@
 //! scoped threads. Timing figures must stay sequential (concurrent runs
 //! contend for cores and distort wall-clock measurements), so only the
 //! quality sweeps use this.
+//!
+//! The implementation lives in `cludistream-par` (shared with the EM
+//! engine's E-step); this module re-exports it so figure code keeps its
+//! `crate::parallel::par_map` call sites. Unlike the old local copy, a
+//! worker panic now resurfaces with its *original* payload instead of a
+//! generic "sweep worker panicked" message.
 
-/// Applies `f` to every input on its own scoped thread, preserving input
-/// order in the output. `f` must be `Sync` (it is shared across threads).
-pub fn par_map<T, R, F>(inputs: Vec<T>, f: F) -> Vec<R>
-where
-    T: Send,
-    R: Send,
-    F: Fn(T) -> R + Sync,
-{
-    std::thread::scope(|scope| {
-        let f = &f;
-        // Spawn in input order, join in the same order: the handle list
-        // itself is the ordering.
-        let workers: Vec<_> = inputs
-            .into_iter()
-            .map(|input| scope.spawn(move || f(input)))
-            .collect();
-        workers
-            .into_iter()
-            .map(|w| w.join().expect("a sweep worker panicked"))
-            .collect()
-    })
-}
+pub use cludistream_par::par_map;
 
 #[cfg(test)]
 mod tests {
@@ -61,8 +46,8 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "sweep worker panicked")]
-    fn worker_panic_propagates() {
+    #[should_panic(expected = "boom")]
+    fn worker_panic_propagates_original_payload() {
         let _ = par_map(vec![1, 2, 3], |x| {
             if x == 2 {
                 panic!("boom");

@@ -52,6 +52,9 @@ pub enum Command {
         seed: u64,
         /// Print per-record memberships.
         memberships: bool,
+        /// E-step worker threads (0 = all cores). Results are
+        /// bit-identical for every value.
+        threads: usize,
     },
     /// Stream a CSV file through a remote site.
     Stream {
@@ -67,6 +70,9 @@ pub enum Command {
         c_max: usize,
         /// RNG seed.
         seed: u64,
+        /// E-step worker threads (0 = all cores). Results are
+        /// bit-identical for every value.
+        threads: usize,
     },
     /// Generate a synthetic evolving stream as CSV.
     Generate {
@@ -91,6 +97,9 @@ pub enum Command {
         seed: u64,
         /// Error bound ε (drives the chunk size).
         epsilon: f64,
+        /// E-step worker threads (0 = all cores). Results are
+        /// bit-identical for every value.
+        threads: usize,
         /// Write the JSONL event journal here.
         journal: Option<String>,
     },
@@ -111,6 +120,9 @@ pub enum Command {
         duplicate: f64,
         /// Per-message reorder probability.
         reorder: f64,
+        /// E-step worker threads (0 = all cores). Results are
+        /// bit-identical for every value.
+        threads: usize,
         /// Write the JSONL event journal here.
         journal: Option<String>,
     },
@@ -127,6 +139,9 @@ pub enum Command {
         epsilon: f64,
         /// Attach the `faults` command's lossy network and site-0 outage.
         faults: bool,
+        /// E-step worker threads (0 = all cores). Results are
+        /// bit-identical for every value.
+        threads: usize,
         /// Write Chrome trace-event (Perfetto) JSON here.
         out: Option<String>,
     },
@@ -182,20 +197,28 @@ cludistream — EM-based (distributed) data stream clustering
 
 USAGE:
   cludistream cluster  <csv|-> [--k N] [--auto-k LO..HI] [--seed S] [--memberships]
+                       [--threads T]
   cludistream stream   <csv|-> [--k N] [--epsilon E] [--delta D] [--c-max C] [--seed S]
+                       [--threads T]
   cludistream generate [--records N] [--dim D] [--k K] [--p-new P] [--seed S]
   cludistream metrics  [--sites R] [--chunks C] [--seed S] [--epsilon E] [--journal OUT.jsonl]
+                       [--threads T]
   cludistream faults   [--sites R] [--chunks C] [--seed S] [--epsilon E]
                        [--drop P] [--duplicate P] [--reorder P] [--journal OUT.jsonl]
+                       [--threads T]
   cludistream trace    [--sites R] [--chunks C] [--seed S] [--epsilon E]
-                       [--faults] [--out TRACE.json]
+                       [--faults] [--out TRACE.json] [--threads T]
   cludistream help
 
-Defaults: k=5, epsilon=0.02, delta=0.01, c-max=4, seed=0,
+Defaults: k=5, epsilon=0.02, delta=0.01, c-max=4, seed=0, threads=1,
           records=10000, dim=4, p-new=0.1,
           metrics: sites=2, chunks=2, seed=7, epsilon=0.15,
           faults: metrics defaults + drop=0.1, duplicate=0.05, reorder=0.25,
           trace: metrics defaults.
+
+`--threads T` parallelizes each EM fit's E-step over T scoped worker
+threads (0 = all cores). Clustering output is bit-identical for every T;
+only wall-clock time changes.
 
 `faults` replays the metrics workload over a lossy network (crashing and
 restarting site 0 mid-run) and prints the delivery accounting.
@@ -277,6 +300,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 k_range,
                 seed: parse_int("--seed", 0)? as u64,
                 memberships: has("--memberships"),
+                threads: parse_int("--threads", 1)?,
             })
         }
         "stream" => Ok(Command::Stream {
@@ -286,6 +310,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             delta: parse_num("--delta", 0.01)?,
             c_max: parse_int("--c-max", 4)?,
             seed: parse_int("--seed", 0)? as u64,
+            threads: parse_int("--threads", 1)?,
         }),
         "generate" => Ok(Command::Generate {
             records: parse_int("--records", 10_000)?,
@@ -299,6 +324,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             chunks: parse_int("--chunks", 2)?.max(1),
             seed: parse_int("--seed", 7)? as u64,
             epsilon: parse_num("--epsilon", 0.15)?,
+            threads: parse_int("--threads", 1)?,
             journal: flag("--journal").map(|s| s.to_string()),
         }),
         "faults" => Ok(Command::Faults {
@@ -309,6 +335,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             drop: parse_num("--drop", 0.1)?,
             duplicate: parse_num("--duplicate", 0.05)?,
             reorder: parse_num("--reorder", 0.25)?,
+            threads: parse_int("--threads", 1)?,
             journal: flag("--journal").map(|s| s.to_string()),
         }),
         "trace" => Ok(Command::Trace {
@@ -317,6 +344,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             seed: parse_int("--seed", 7)? as u64,
             epsilon: parse_num("--epsilon", 0.15)?,
             faults: has("--faults"),
+            threads: parse_int("--threads", 1)?,
             out: flag("--out").map(|s| s.to_string()),
         }),
         other => Err(CliError::Usage(format!("unknown command {other:?}; try help"))),
@@ -371,9 +399,9 @@ pub fn run(command: Command, out: &mut impl Write) -> Result<(), CliError> {
             write!(out, "{USAGE}")?;
             Ok(())
         }
-        Command::Cluster { input, k, k_range, seed, memberships } => {
+        Command::Cluster { input, k, k_range, seed, memberships, threads } => {
             let data = read_input(&input)?;
-            let config = EmConfig { k, seed, ..Default::default() };
+            let config = EmConfig { k, seed, threads, ..Default::default() };
             let (mixture, chosen_k, bic) = match k_range {
                 None => {
                     let fit = fit_em(&data, &config)?;
@@ -403,7 +431,7 @@ pub fn run(command: Command, out: &mut impl Write) -> Result<(), CliError> {
             }
             Ok(())
         }
-        Command::Stream { input, k, epsilon, delta, c_max, seed } => {
+        Command::Stream { input, k, epsilon, delta, c_max, seed, threads } => {
             let data = read_input(&input)?;
             let dim = data[0].dim();
             let config = Config {
@@ -412,6 +440,7 @@ pub fn run(command: Command, out: &mut impl Write) -> Result<(), CliError> {
                 chunk: ChunkParams { epsilon, delta },
                 c_max,
                 seed,
+                em_threads: threads,
                 ..Default::default()
             };
             let mut site = RemoteSite::new(config)?;
@@ -450,7 +479,7 @@ pub fn run(command: Command, out: &mut impl Write) -> Result<(), CliError> {
             }
             Ok(())
         }
-        Command::Metrics { sites, chunks, seed, epsilon, journal } => {
+        Command::Metrics { sites, chunks, seed, epsilon, threads, journal } => {
             let registry = match &journal {
                 Some(path) => {
                     let file = std::fs::File::create(path)?;
@@ -476,6 +505,7 @@ pub fn run(command: Command, out: &mut impl Write) -> Result<(), CliError> {
                 chunk: ChunkParams { epsilon, delta: 0.01 },
                 c_max: 4,
                 seed,
+                em_threads: threads,
                 ..Default::default()
             };
             let chunk_size = RemoteSite::new(site_config.clone())?.chunk_size();
@@ -517,7 +547,17 @@ pub fn run(command: Command, out: &mut impl Write) -> Result<(), CliError> {
             }
             Ok(())
         }
-        Command::Faults { sites, chunks, seed, epsilon, drop, duplicate, reorder, journal } => {
+        Command::Faults {
+            sites,
+            chunks,
+            seed,
+            epsilon,
+            drop,
+            duplicate,
+            reorder,
+            threads,
+            journal,
+        } => {
             let registry = match &journal {
                 Some(path) => {
                     let file = std::fs::File::create(path)?;
@@ -536,6 +576,7 @@ pub fn run(command: Command, out: &mut impl Write) -> Result<(), CliError> {
                 chunk: ChunkParams { epsilon, delta: 0.01 },
                 c_max: 4,
                 seed,
+                em_threads: threads,
                 ..Default::default()
             };
             let chunk_size = RemoteSite::new(site_config.clone())?.chunk_size();
@@ -636,7 +677,7 @@ pub fn run(command: Command, out: &mut impl Write) -> Result<(), CliError> {
             }
             Ok(())
         }
-        Command::Trace { sites, chunks, seed, epsilon, faults, out: trace_out } => {
+        Command::Trace { sites, chunks, seed, epsilon, faults, threads, out: trace_out } => {
             let registry = Arc::new(Registry::new());
             registry.enable_tracing();
             let obs = Obs::from_registry(Arc::clone(&registry));
@@ -648,6 +689,7 @@ pub fn run(command: Command, out: &mut impl Write) -> Result<(), CliError> {
                 chunk: ChunkParams { epsilon, delta: 0.01 },
                 c_max: 4,
                 seed,
+                em_threads: threads,
                 ..Default::default()
             };
             let chunk_size = RemoteSite::new(site_config.clone())?.chunk_size();
@@ -742,7 +784,8 @@ mod tests {
                 k: 3,
                 k_range: None,
                 seed: 7,
-                memberships: true
+                memberships: true,
+                threads: 1
             }
         );
     }
@@ -772,7 +815,8 @@ mod tests {
                 epsilon: 0.02,
                 delta: 0.01,
                 c_max: 4,
-                seed: 0
+                seed: 0,
+                threads: 1
             }
         );
     }
@@ -814,6 +858,7 @@ mod tests {
                 k_range: None,
                 seed: 2,
                 memberships: false,
+                threads: 1,
             },
             &mut out,
         )
@@ -846,6 +891,7 @@ mod tests {
                 delta: 0.05,
                 c_max: 4,
                 seed: 4,
+                threads: 0,
             },
             &mut out,
         )
@@ -857,6 +903,23 @@ mod tests {
         // models.
         assert!(text.contains("models: 1") || text.contains("models: 2"), "{text}");
         let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn parses_threads_flag() {
+        match parse_args(&args("cluster data.csv --threads 4")).unwrap() {
+            Command::Cluster { threads, .. } => assert_eq!(threads, 4),
+            other => panic!("{other:?}"),
+        }
+        match parse_args(&args("metrics --threads 0")).unwrap() {
+            Command::Metrics { threads, .. } => assert_eq!(threads, 0),
+            other => panic!("{other:?}"),
+        }
+        match parse_args(&args("trace")).unwrap() {
+            Command::Trace { threads, .. } => assert_eq!(threads, 1),
+            other => panic!("{other:?}"),
+        }
+        assert!(parse_args(&args("stream in.csv --threads nope")).is_err());
     }
 
     #[test]

@@ -20,6 +20,7 @@ fn default_faults(journal: &std::path::Path) -> Command {
         drop: 0.1,
         duplicate: 0.05,
         reorder: 0.25,
+        threads: 1,
         journal: Some(journal.to_string_lossy().into_owned()),
     }
 }
@@ -68,7 +69,9 @@ fn faults_args_parse() {
             .map(|s| s.to_string())
             .collect();
     match parse_args(&args).expect("valid args") {
-        Command::Faults { sites, chunks, seed, epsilon, drop, duplicate, reorder, journal } => {
+        Command::Faults {
+            sites, chunks, seed, epsilon, drop, duplicate, reorder, journal, ..
+        } => {
             assert_eq!(sites, 3);
             assert_eq!(chunks, 2);
             assert_eq!(seed, 7);

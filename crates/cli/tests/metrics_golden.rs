@@ -15,6 +15,7 @@ fn default_metrics(journal: &std::path::Path) -> Command {
         chunks: 2,
         seed: 7,
         epsilon: 0.15,
+        threads: 1,
         journal: Some(journal.to_string_lossy().into_owned()),
     }
 }
@@ -76,7 +77,7 @@ fn metrics_args_parse() {
         .map(|s| s.to_string())
         .collect();
     match parse_args(&args).expect("valid args") {
-        Command::Metrics { sites, chunks, seed, epsilon, journal } => {
+        Command::Metrics { sites, chunks, seed, epsilon, journal, .. } => {
             assert_eq!(sites, 3);
             assert_eq!(chunks, 1);
             assert_eq!(seed, 7);
@@ -91,7 +92,7 @@ fn metrics_args_parse() {
 fn metrics_without_journal_prints_table_only() {
     let mut out = Vec::new();
     run(
-        Command::Metrics { sites: 2, chunks: 1, seed: 7, epsilon: 0.15, journal: None },
+        Command::Metrics { sites: 2, chunks: 1, seed: 7, epsilon: 0.15, threads: 1, journal: None },
         &mut out,
     )
     .expect("metrics run succeeds");

@@ -16,6 +16,7 @@ fn default_trace(faults: bool, out: Option<&std::path::Path>) -> Command {
         seed: 7,
         epsilon: 0.15,
         faults,
+        threads: 1,
         out: out.map(|p| p.to_string_lossy().into_owned()),
     }
 }
@@ -85,7 +86,7 @@ fn trace_args_parse() {
         .map(|s| s.to_string())
         .collect();
     match parse_args(&args).expect("valid args") {
-        Command::Trace { sites, chunks, seed, epsilon, faults, out } => {
+        Command::Trace { sites, chunks, seed, epsilon, faults, out, .. } => {
             assert_eq!(sites, 3);
             assert_eq!(chunks, 2);
             assert_eq!(seed, 7);

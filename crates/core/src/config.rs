@@ -44,6 +44,11 @@ pub struct Config {
     /// model (its event-table spans remain but horizon queries skip it).
     /// `None` (default) reproduces the paper's unbounded behaviour.
     pub max_models: Option<usize>,
+    /// Worker threads for each chunk clustering's E-step (`EmConfig::
+    /// threads`): 1 (default) is sequential, 0 uses all available cores.
+    /// Clustering results — and therefore every simulation artifact — are
+    /// bit-identical for every value; only wall-clock time changes.
+    pub em_threads: usize,
 }
 
 impl Default for Config {
@@ -61,6 +66,7 @@ impl Default for Config {
             auto_k: None,
             warm_start: false,
             max_models: None,
+            em_threads: 1,
         }
     }
 }
@@ -120,6 +126,7 @@ impl Config {
             init: self.em_init,
             seed: self.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(chunk_seed),
             min_weight: 1e-6,
+            threads: self.em_threads,
         }
     }
 }
@@ -184,5 +191,12 @@ mod tests {
         let c = Config::default();
         assert_ne!(c.em_config(0).seed, c.em_config(1).seed);
         assert_eq!(c.em_config(5).seed, c.em_config(5).seed);
+    }
+
+    #[test]
+    fn em_threads_plumbed_through() {
+        assert_eq!(Config::default().em_config(0).threads, 1);
+        let c = Config { em_threads: 4, ..Default::default() };
+        assert_eq!(c.em_config(0).threads, 4);
     }
 }

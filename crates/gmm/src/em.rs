@@ -1,9 +1,10 @@
 use crate::{
-    kmeans, log_sum_exp, CovarianceType, Gaussian, GmmError, KMeansConfig, Mixture, Result,
-    SuffStats,
+    kmeans, log_sum_exp, Batch, CovarianceType, Gaussian, GmmError, KMeansConfig, Mixture,
+    MixtureScratch, Result, SuffStats, BLOCK,
 };
 use cludistream_linalg::Vector;
 use cludistream_obs::{em_cost_us, Event, NopRecorder, Recorder};
+use cludistream_par::{par_block_map, resolve_workers};
 use cludistream_rng::{Rng, StdRng};
 
 /// How EM's initial mixture is chosen.
@@ -40,6 +41,14 @@ pub struct EmConfig {
     /// |D|; components falling below are re-seeded from the lowest-density
     /// record to avoid starvation.
     pub min_weight: f64,
+    /// Worker threads for the E-step: `1` (the default) scores blocks
+    /// inline on the calling thread, `0` uses the machine's available
+    /// parallelism, any other value spawns that many scoped workers.
+    ///
+    /// The fitted model is **bit-identical for every value**: the E-step
+    /// always reduces per-[`BLOCK`] statistics in block order, and the
+    /// thread count only decides which worker scores which blocks.
+    pub threads: usize,
 }
 
 impl Default for EmConfig {
@@ -52,6 +61,7 @@ impl Default for EmConfig {
             init: InitMethod::KMeansPlusPlus,
             seed: 0,
             min_weight: 1e-6,
+            threads: 1,
         }
     }
 }
@@ -86,12 +96,24 @@ impl DiagStats {
         DiagStats { n: 0.0, sum: vec![0.0; d], sum_sq: vec![0.0; d] }
     }
 
-    fn add(&mut self, x: &Vector, w: f64) {
+    fn add_slice(&mut self, x: &[f64], w: f64) {
         self.n += w;
         for (i, (s, sq)) in self.sum.iter_mut().zip(self.sum_sq.iter_mut()).enumerate() {
             let v = x[i];
             *s += w * v;
             *sq += w * v * v;
+        }
+    }
+
+    /// Merges another accumulator (block-order reduction of the parallel
+    /// E-step).
+    fn merge(&mut self, other: &DiagStats) {
+        self.n += other.n;
+        for (s, o) in self.sum.iter_mut().zip(&other.sum) {
+            *s += o;
+        }
+        for (s, o) in self.sum_sq.iter_mut().zip(&other.sum_sq) {
+            *s += o;
         }
     }
 
@@ -209,67 +231,37 @@ fn fit_em_impl(
     let mut iterations = 0;
     let mut converged = false;
 
-    // Reusable responsibility buffer: k log-densities per record.
-    let mut log_terms = vec![0.0f64; config.k];
+    // SoA copy of the chunk, scored [`BLOCK`] records at a time. The block
+    // partition — not the thread count — is the unit of reduction, so the
+    // fitted model is bit-identical for every `config.threads` value.
+    let batch = Batch::from_records(data);
+    let blocks = data.len().div_ceil(BLOCK);
+    let workers = resolve_workers(config.threads);
+    let mut estep_blocks = 0u64;
 
     let diagonal = config.covariance == CovarianceType::Diagonal;
     for iter in 0..config.max_iters {
         iterations = iter + 1;
 
-        // E-step + M-step fused: accumulate responsibility-weighted
-        // sufficient statistics while scoring each record. Diagonal mode
-        // accumulates per-dimension moments only (O(d) per record), full
-        // mode the complete scatter (O(d²)).
-        let mut stats: Vec<SuffStats> = if diagonal {
-            Vec::new()
-        } else {
-            (0..config.k).map(|_| SuffStats::new(d)).collect()
-        };
-        let mut diag_stats: Vec<DiagStats> = if diagonal {
-            (0..config.k).map(|_| DiagStats::new(d)).collect()
-        } else {
-            Vec::new()
-        };
-        let add = |j: usize,
-                       x: &Vector,
-                       w: f64,
-                       stats: &mut Vec<SuffStats>,
-                       diag_stats: &mut Vec<DiagStats>| {
-            if diagonal {
-                diag_stats[j].add(x, w);
-            } else {
-                stats[j].add(x, w);
-            }
-        };
-        let mut total_ll = 0.0;
-        let log_weights: Vec<f64> =
-            mixture.weights().iter().map(|&w| if w > 0.0 { w.ln() } else { f64::NEG_INFINITY }).collect();
-        for x in data {
-            for (t, (c, lw)) in log_terms
-                .iter_mut()
-                .zip(mixture.components().iter().zip(&log_weights))
-            {
-                *t = lw + c.log_pdf(x);
-            }
-            let norm = log_sum_exp(&log_terms);
-            total_ll += norm;
-            if norm.is_finite() {
-                for (j, &t) in log_terms.iter().enumerate() {
-                    let r = (t - norm).exp();
-                    if r > 0.0 {
-                        add(j, x, r, &mut stats, &mut diag_stats);
-                    }
-                }
-            } else {
-                // Degenerate point: spread responsibility uniformly.
-                let r = 1.0 / config.k as f64;
-                for j in 0..config.k {
-                    add(j, x, r, &mut stats, &mut diag_stats);
-                }
-            }
+        // Fused E-step: each block is scored against the current mixture
+        // with the batched density kernels, accumulating its own
+        // responsibility-weighted sufficient statistics (per-dimension
+        // moments in diagonal mode — O(d) per record — full scatter
+        // otherwise) plus its log-likelihood contribution. Workers hand
+        // blocks back in block order; the reduction below is a strict
+        // left fold over that order, seeded with block 0's statistics.
+        let results = par_block_map(blocks, workers, MixtureScratch::default, |scratch, b| {
+            score_block(&mixture, &batch, b, config.k, diagonal, scratch)
+        });
+        estep_blocks += blocks as u64;
+        let mut results = results.into_iter();
+        let mut acc = results.next().expect("non-empty data yields at least one block");
+        for r in results {
+            acc.merge(&r);
         }
-        log_likelihood = total_ll;
-        let avg = total_ll / n;
+
+        log_likelihood = acc.ll;
+        let avg = acc.ll / n;
 
         // ϖ-convergence on the average log likelihood. Strict comparison:
         // tol = 0 means "run max_iters" rather than stopping on an exact
@@ -290,7 +282,7 @@ fn fit_em_impl(
         let mut comps = Vec::with_capacity(config.k);
         let mut weights = Vec::with_capacity(config.k);
         for j in 0..config.k {
-            let mass = if diagonal { diag_stats[j].n } else { stats[j].n() };
+            let mass = if diagonal { acc.diag[j].n } else { acc.stats[j].n() };
             if mass < config.min_weight * n || mass <= 0.0 {
                 let worst = worst_record.get_or_insert_with(|| {
                     const RESCUE_SAMPLE: usize = 256;
@@ -313,13 +305,13 @@ fn fit_em_impl(
                 continue;
             }
             let g = if diagonal {
-                let (mean, mut vars) = diag_stats[j].moments();
+                let (mean, mut vars) = acc.diag[j].moments();
                 for v in &mut vars {
                     *v = v.max(1e-12);
                 }
                 Gaussian::diagonal(mean, &vars)?
             } else {
-                Gaussian::new(stats[j].mean()?, stats[j].cov()?)?
+                Gaussian::new(acc.stats[j].mean()?, acc.stats[j].cov()?)?
             };
             comps.push(g);
             weights.push(mass / n);
@@ -329,6 +321,7 @@ fn fit_em_impl(
 
     recorder.counter("em.fits", 1);
     recorder.counter("em.iterations", iterations as u64);
+    recorder.counter("em.estep_blocks", estep_blocks);
     recorder.counter(if converged { "em.converged" } else { "em.iter_capped" }, 1);
     recorder.observe("em.iters_per_fit", iterations as u64);
     recorder.observe("em.cost_us", em_cost_us(iterations as u64));
@@ -340,6 +333,89 @@ fn fit_em_impl(
         iterations,
         converged,
     })
+}
+
+/// One block's E-step output: its log-likelihood contribution plus
+/// responsibility-weighted sufficient statistics for every component
+/// (exactly one of `stats`/`diag` is populated, by covariance mode).
+struct BlockStats {
+    ll: f64,
+    stats: Vec<SuffStats>,
+    diag: Vec<DiagStats>,
+}
+
+impl BlockStats {
+    fn new(d: usize, k: usize, diagonal: bool) -> Self {
+        if diagonal {
+            BlockStats { ll: 0.0, stats: Vec::new(), diag: (0..k).map(|_| DiagStats::new(d)).collect() }
+        } else {
+            BlockStats { ll: 0.0, stats: (0..k).map(|_| SuffStats::new(d)).collect(), diag: Vec::new() }
+        }
+    }
+
+    fn add(&mut self, j: usize, x: &[f64], w: f64) {
+        if self.diag.is_empty() {
+            self.stats[j].add_slice(x, w);
+        } else {
+            self.diag[j].add_slice(x, w);
+        }
+    }
+
+    fn merge(&mut self, other: &BlockStats) {
+        self.ll += other.ll;
+        for (a, b) in self.stats.iter_mut().zip(&other.stats) {
+            a.merge(b);
+        }
+        for (a, b) in self.diag.iter_mut().zip(&other.diag) {
+            a.merge(b);
+        }
+    }
+}
+
+/// Scores one [`BLOCK`]-sized block of records against `mixture`. Per
+/// record the arithmetic is the scalar E-step's, identically ordered:
+/// weighted log densities (batched kernel, bit-identical to
+/// `lw + log_pdf`), log-sum-exp normalizer over components in order,
+/// `exp(t - norm)` responsibilities, statistics accumulated in record
+/// order with the uniform fallback for degenerate points.
+fn score_block(
+    mixture: &Mixture,
+    batch: &Batch,
+    block: usize,
+    k: usize,
+    diagonal: bool,
+    scratch: &mut MixtureScratch,
+) -> BlockStats {
+    let d = batch.dim();
+    let start = block * BLOCK;
+    let count = BLOCK.min(batch.len() - start);
+    let rows = batch.rows(start, count);
+    mixture.weighted_log_density_block(rows, count, scratch);
+    let mut out = BlockStats::new(d, k, diagonal);
+    scratch.terms.resize(k, 0.0);
+    for b in 0..count {
+        for j in 0..k {
+            scratch.terms[j] = scratch.weighted[j * count + b];
+        }
+        let norm = log_sum_exp(&scratch.terms);
+        out.ll += norm;
+        let x = &rows[b * d..(b + 1) * d];
+        if norm.is_finite() {
+            for (j, &t) in scratch.terms.iter().enumerate() {
+                let r = (t - norm).exp();
+                if r > 0.0 {
+                    out.add(j, x, r);
+                }
+            }
+        } else {
+            // Degenerate point: spread responsibility uniformly.
+            let r = 1.0 / k as f64;
+            for j in 0..k {
+                out.add(j, x, r);
+            }
+        }
+    }
+    out
 }
 
 /// Produces the initial mixture for EM.
@@ -603,6 +679,93 @@ mod tests {
         assert_eq!(h.max, recorded.iterations as u64);
         // Convergence journaled exactly once.
         assert_eq!(registry.events_recorded(), u64::from(recorded.converged));
+    }
+
+    #[test]
+    fn thread_count_never_changes_the_fit() {
+        use cludistream_rng::check;
+        // Random multi-block workloads (BLOCK = 256 → 2-3 blocks), both
+        // covariance modes: threads ∈ {2, 4, 8} must reproduce threads=1
+        // bit for bit — mixtures, log-likelihoods, iteration counts.
+        check::cases("em.threads_bit_identical", 6, |rng| {
+            let n = 300 + (rng.gen::<u64>() % 300) as usize;
+            let d = 1 + (rng.gen::<u64>() % 3) as usize;
+            let k = 2 + (rng.gen::<u64>() % 2) as usize;
+            let seed = rng.gen::<u64>();
+            let comps: Vec<Gaussian> = (0..k)
+                .map(|j| {
+                    Gaussian::spherical(Vector::filled(d, j as f64 * 8.0 - 4.0), 1.0).unwrap()
+                })
+                .collect();
+            let gen = Mixture::uniform(comps).unwrap();
+            let data: Vec<Vector> = (0..n).map(|_| gen.sample(rng)).collect();
+            for covariance in [CovarianceType::Full, CovarianceType::Diagonal] {
+                let cfg = EmConfig {
+                    k,
+                    max_iters: 12,
+                    tol: 1e-6,
+                    covariance,
+                    seed,
+                    threads: 1,
+                    ..Default::default()
+                };
+                let base = fit_em(&data, &cfg).unwrap();
+                for threads in [2usize, 4, 8] {
+                    let f = fit_em(&data, &EmConfig { threads, ..cfg.clone() }).unwrap();
+                    assert_eq!(
+                        f.log_likelihood.to_bits(),
+                        base.log_likelihood.to_bits(),
+                        "ll, threads={threads} cov={covariance:?}"
+                    );
+                    assert_eq!(
+                        f.avg_log_likelihood.to_bits(),
+                        base.avg_log_likelihood.to_bits(),
+                        "avg ll, threads={threads}"
+                    );
+                    assert_eq!(f.iterations, base.iterations, "iterations, threads={threads}");
+                    assert_eq!(f.converged, base.converged, "converged, threads={threads}");
+                    for (a, b) in f.mixture.weights().iter().zip(base.mixture.weights()) {
+                        assert_eq!(a.to_bits(), b.to_bits(), "weight, threads={threads}");
+                    }
+                    for (ca, cb) in
+                        f.mixture.components().iter().zip(base.mixture.components())
+                    {
+                        for (a, b) in ca.mean().iter().zip(cb.mean().iter()) {
+                            assert_eq!(a.to_bits(), b.to_bits(), "mean, threads={threads}");
+                        }
+                        for (a, b) in ca.cov().as_slice().iter().zip(cb.cov().as_slice()) {
+                            assert_eq!(a.to_bits(), b.to_bits(), "cov, threads={threads}");
+                        }
+                    }
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn auto_threads_matches_single_thread() {
+        // threads = 0 resolves to the machine's parallelism; whatever that
+        // is, the fit must equal the sequential one bit for bit.
+        let data = two_component_data(700, 21);
+        let cfg = EmConfig { k: 2, seed: 22, ..Default::default() };
+        let base = fit_em(&data, &cfg).unwrap();
+        let auto = fit_em(&data, &EmConfig { threads: 0, ..cfg }).unwrap();
+        assert_eq!(base.log_likelihood.to_bits(), auto.log_likelihood.to_bits());
+        assert_eq!(base.iterations, auto.iterations);
+    }
+
+    #[test]
+    fn estep_block_accounting() {
+        use cludistream_obs::{Obs, Registry};
+        use std::sync::Arc;
+        // 600 records → ⌈600/256⌉ = 3 blocks per iteration, 4 iterations.
+        let data = two_component_data(600, 50);
+        let cfg = EmConfig { k: 2, seed: 51, max_iters: 4, tol: 0.0, ..Default::default() };
+        let registry = Arc::new(Registry::new());
+        let obs = Obs::from_registry(registry.clone());
+        let fit = fit_em_recorded(&data, &cfg, &obs).unwrap();
+        assert_eq!(fit.iterations, 4);
+        assert_eq!(registry.counter_value("em.estep_blocks"), 12);
     }
 
     #[test]

@@ -1,3 +1,4 @@
+use crate::batch::DensityScratch;
 use crate::{GmmError, Result};
 use cludistream_linalg::{cholesky_regularized, Cholesky, Matrix, Vector};
 use cludistream_rng::Rng;
@@ -132,6 +133,55 @@ impl Gaussian {
     /// Density `p(x)` (prefer [`Self::log_pdf`] in accumulations).
     pub fn pdf(&self, x: &Vector) -> f64 {
         self.log_pdf(x).exp()
+    }
+
+    /// Batched [`Self::log_pdf`]: scores `out.len()` records stored
+    /// row-major in `rows` (`rows[b*d .. (b+1)*d]` is record `b`), writing
+    /// `out[b] = ln p(x_b)`.
+    ///
+    /// Bit-identical to calling `log_pdf` per record — both paths perform
+    /// the same floating-point operations in the same order. The win is
+    /// mechanical: the diagonal fast path streams one flat buffer, and
+    /// the dense path makes a single pass over the Cholesky factor per
+    /// block (one `solve_lower_batch`) instead of one pass per record,
+    /// with the solve buffer reused via `scratch`.
+    pub fn log_pdf_batch(&self, rows: &[f64], out: &mut [f64], scratch: &mut DensityScratch) {
+        let d = self.dim();
+        let count = out.len();
+        assert_eq!(rows.len(), count * d, "log_pdf_batch: rows/out length mismatch");
+        let mean = self.mean.as_slice();
+        match &self.inv_diag {
+            Some(inv) => {
+                for (x, o) in rows.chunks_exact(d).zip(out.iter_mut()) {
+                    let mut acc = 0.0;
+                    for i in 0..d {
+                        let diff = x[i] - mean[i];
+                        acc += diff * diff * inv[i];
+                    }
+                    *o = self.log_norm - 0.5 * acc;
+                }
+            }
+            None => {
+                // Dimension-major transpose of the centered records:
+                // buf[i*count + b] = x_b[i] - μ_i, then one forward solve
+                // across the whole block.
+                let buf = scratch.buf(d * count);
+                for (b, x) in rows.chunks_exact(d).enumerate() {
+                    for i in 0..d {
+                        buf[i * count + b] = x[i] - mean[i];
+                    }
+                }
+                self.chol.solve_lower_batch(buf, count);
+                for (b, o) in out.iter_mut().enumerate() {
+                    let mut acc = 0.0;
+                    for i in 0..d {
+                        let y = buf[i * count + b];
+                        acc += y * y;
+                    }
+                    *o = self.log_norm - 0.5 * acc;
+                }
+            }
+        }
     }
 
     /// Squared Mahalanobis distance `(x-μ)ᵀ Σ⁻¹ (x-μ)`. Uses the O(d)

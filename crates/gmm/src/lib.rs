@@ -39,6 +39,7 @@
 //! assert!(fit.avg_log_likelihood.is_finite());
 //! ```
 
+mod batch;
 pub mod chunk;
 pub mod codec;
 mod covariance;
@@ -53,6 +54,7 @@ mod mixture;
 mod model_selection;
 mod suffstats;
 
+pub use batch::{Batch, DensityScratch, MixtureScratch, BLOCK};
 pub use chunk::{chunk_size, ChunkParams};
 pub use covariance::CovarianceType;
 pub use em::{

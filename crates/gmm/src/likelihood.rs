@@ -1,4 +1,4 @@
-use crate::{CovarianceType, Mixture};
+use crate::{Batch, CovarianceType, Mixture, MixtureScratch, BLOCK};
 use cludistream_linalg::Vector;
 
 /// Average log likelihood of `data` under `mixture` — the paper's
@@ -23,22 +23,27 @@ pub fn sharpened_avg_log_likelihood(mixture: &Mixture, data: &[Vector]) -> f64 {
     if data.is_empty() {
         return f64::NEG_INFINITY;
     }
-    let log_weights: Vec<f64> = mixture
-        .weights()
-        .iter()
-        .map(|&w| if w > 0.0 { w.ln() } else { f64::NEG_INFINITY })
-        .collect();
-    let total: f64 = data
-        .iter()
-        .map(|x| {
-            mixture
-                .components()
-                .iter()
-                .zip(&log_weights)
-                .map(|(c, lw)| lw + c.log_pdf(x))
-                .fold(f64::NEG_INFINITY, f64::max)
-        })
-        .sum();
+    // Batched evaluation: the weighted log-density table holds exactly the
+    // `ln w_j + ln p(x|j)` terms the per-record path folded over, so the
+    // per-record j-order max and flat record-order sum are bit-identical
+    // to the scalar implementation this replaces.
+    let batch = Batch::from_records(data);
+    let mut scratch = MixtureScratch::default();
+    let k = mixture.k();
+    let mut total = 0.0;
+    let mut start = 0;
+    while start < batch.len() {
+        let count = BLOCK.min(batch.len() - start);
+        mixture.weighted_log_density_block(batch.rows(start, count), count, &mut scratch);
+        for b in 0..count {
+            let mut best = f64::NEG_INFINITY;
+            for j in 0..k {
+                best = best.max(scratch.weighted[j * count + b]);
+            }
+            total += best;
+        }
+        start += count;
+    }
     total / data.len() as f64
 }
 
@@ -55,7 +60,21 @@ pub fn log_likelihood_std(mixture: &Mixture, data: &[Vector]) -> f64 {
     if data.len() < 2 {
         return 0.0;
     }
-    let lls: Vec<f64> = data.iter().map(|x| mixture.log_pdf(x)).collect();
+    // Per-record log densities via the batch kernel (bit-identical to
+    // `log_pdf` per record), then the same flat mean/variance passes.
+    let batch = Batch::from_records(data);
+    let mut scratch = MixtureScratch::default();
+    let mut lls = vec![0.0f64; data.len()];
+    let mut start = 0;
+    while start < data.len() {
+        let count = BLOCK.min(data.len() - start);
+        mixture.log_pdf_batch(
+            batch.rows(start, count),
+            &mut lls[start..start + count],
+            &mut scratch,
+        );
+        start += count;
+    }
     let mean = lls.iter().sum::<f64>() / lls.len() as f64;
     let var = lls.iter().map(|l| (l - mean) * (l - mean)).sum::<f64>() / lls.len() as f64;
     var.sqrt()
@@ -189,6 +208,38 @@ mod tests {
         let data = vec![Vector::from_slice(&[0.0]), Vector::from_slice(&[8.0])];
         let diff = avg_log_likelihood(&m, &data) - sharpened_avg_log_likelihood(&m, &data);
         assert!(diff.abs() < 1e-6, "diff {diff}");
+    }
+
+    #[test]
+    fn sharpened_bit_identical_to_per_record_reference() {
+        let m = mix();
+        let data: Vec<Vector> =
+            (0..600).map(|i| Vector::from_slice(&[(i % 37) as f64 * 0.4])).collect();
+        // Hand-rolled per-record reference (the pre-batching definition).
+        let reference = data
+            .iter()
+            .map(|x| {
+                m.components()
+                    .iter()
+                    .zip(m.log_weights())
+                    .map(|(c, lw)| lw + c.log_pdf(x))
+                    .fold(f64::NEG_INFINITY, f64::max)
+            })
+            .sum::<f64>()
+            / data.len() as f64;
+        assert_eq!(sharpened_avg_log_likelihood(&m, &data).to_bits(), reference.to_bits());
+    }
+
+    #[test]
+    fn ll_std_bit_identical_to_per_record_reference() {
+        let m = mix();
+        let data: Vec<Vector> =
+            (0..300).map(|i| Vector::from_slice(&[(i % 23) as f64 * 0.3 - 2.0])).collect();
+        let lls: Vec<f64> = data.iter().map(|x| m.log_pdf(x)).collect();
+        let mean = lls.iter().sum::<f64>() / lls.len() as f64;
+        let var =
+            lls.iter().map(|l| (l - mean) * (l - mean)).sum::<f64>() / lls.len() as f64;
+        assert_eq!(log_likelihood_std(&m, &data).to_bits(), var.sqrt().to_bits());
     }
 
     #[test]

@@ -83,6 +83,14 @@ impl Mixture {
         &self.weights
     }
 
+    /// Borrow the cached `ln w_j` values (`-inf` for zero weights). These
+    /// are exactly the log weights the density and posterior paths use,
+    /// so callers that combine them with component log densities reproduce
+    /// [`Self::log_pdf`]'s terms bit for bit.
+    pub fn log_weights(&self) -> &[f64] {
+        &self.log_weights
+    }
+
     /// Log density `ln p(x) = ln Σ_j w_j p(x|j)` via log-sum-exp.
     pub fn log_pdf(&self, x: &Vector) -> f64 {
         let terms: Vec<f64> = self
@@ -130,11 +138,13 @@ impl Mixture {
 
     /// Average log likelihood of `data` under this mixture — the paper's
     /// Definition 1. Returns `-inf` on empty data.
+    ///
+    /// Evaluated through the batched density kernels (flatten once, score
+    /// [`crate::BLOCK`]-sized blocks); bit-identical to the per-record
+    /// `Σ log_pdf(x) / n` it replaces.
     pub fn avg_log_likelihood(&self, data: &[Vector]) -> f64 {
-        if data.is_empty() {
-            return f64::NEG_INFINITY;
-        }
-        data.iter().map(|x| self.log_pdf(x)).sum::<f64>() / data.len() as f64
+        let batch = crate::Batch::from_records(data);
+        self.avg_log_likelihood_batch(&batch, &mut crate::MixtureScratch::default())
     }
 
     /// Draws one sample: pick a component by weight, then sample from it.

@@ -42,10 +42,17 @@ impl SuffStats {
     /// Accumulates one record with the given weight (a membership
     /// probability in EM, 1.0 for plain counting).
     pub fn add(&mut self, x: &Vector, weight: f64) {
-        debug_assert_eq!(x.dim(), self.dim(), "suffstats add: dimension mismatch");
+        self.add_slice(x.as_slice(), weight);
+    }
+
+    /// [`Self::add`] over a raw row slice — the accumulation path of the
+    /// batched E-step, which reads records out of a flat SoA buffer.
+    /// Identical arithmetic (and arithmetic order) to `add`.
+    pub fn add_slice(&mut self, x: &[f64], weight: f64) {
+        debug_assert_eq!(x.len(), self.dim(), "suffstats add: dimension mismatch");
         self.n += weight;
-        self.sum.axpy(weight, x);
-        self.scatter.rank1_update(weight, x);
+        self.sum.axpy_slice(weight, x);
+        self.scatter.rank1_update_slice(weight, x);
     }
 
     /// Merges another set of statistics into this one.

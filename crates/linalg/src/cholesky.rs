@@ -109,6 +109,36 @@ impl Cholesky {
         y
     }
 
+    /// Solves `L Y = B` for a block of right-hand sides stored
+    /// dimension-major: `rhs[i * count + b]` holds element `i` of column
+    /// `b`, and the solve happens in place.
+    ///
+    /// Per column the operation order — subtract `L[i,k]·y[k]` in
+    /// ascending `k`, then divide by `L[i,i]` — matches
+    /// [`Self::solve_lower`] exactly, so every column's result is
+    /// bit-identical to the scalar solve. This is the kernel behind the
+    /// batched Gaussian density evaluation: one pass over `L` serves the
+    /// whole block instead of one pass per record.
+    pub fn solve_lower_batch(&self, rhs: &mut [f64], count: usize) {
+        let n = self.dim();
+        assert_eq!(rhs.len(), n * count, "solve_lower_batch: buffer length mismatch");
+        for i in 0..n {
+            let (solved, rest) = rhs.split_at_mut(i * count);
+            let yi = &mut rest[..count];
+            for k in 0..i {
+                let lik = self.l[(i, k)];
+                let yk = &solved[k * count..(k + 1) * count];
+                for (y, &v) in yi.iter_mut().zip(yk) {
+                    *y -= lik * v;
+                }
+            }
+            let lii = self.l[(i, i)];
+            for y in yi.iter_mut() {
+                *y /= lii;
+            }
+        }
+    }
+
     /// Solves `Lᵀ x = y` (backward substitution).
     pub fn solve_upper(&self, y: &Vector) -> Vector {
         let n = self.dim();
@@ -279,6 +309,47 @@ mod tests {
         let diff = &x - &mu;
         let explicit = inv.quad_form(&diff);
         assert!(approx_eq(c.mahalanobis_sq(&x, &mu), explicit, 1e-10));
+    }
+
+    #[test]
+    fn solve_lower_batch_bit_identical_to_scalar() {
+        let a = spd3();
+        let c = Cholesky::new(&a).unwrap();
+        let cols = [
+            Vector::from_slice(&[1.0, -2.0, 0.5]),
+            Vector::from_slice(&[0.0, 3.25, -7.5]),
+            Vector::from_slice(&[-1e-9, 1e9, 2.0]),
+            Vector::from_slice(&[4.0, 4.0, 4.0]),
+        ];
+        // Dimension-major pack: rhs[i * count + b] = cols[b][i].
+        let count = cols.len();
+        let mut rhs = vec![0.0; 3 * count];
+        for (b, col) in cols.iter().enumerate() {
+            for i in 0..3 {
+                rhs[i * count + b] = col[i];
+            }
+        }
+        c.solve_lower_batch(&mut rhs, count);
+        for (b, col) in cols.iter().enumerate() {
+            let scalar = c.solve_lower(col);
+            for i in 0..3 {
+                assert_eq!(
+                    rhs[i * count + b].to_bits(),
+                    scalar[i].to_bits(),
+                    "column {b} element {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn solve_lower_batch_single_column_matches() {
+        let c = Cholesky::new(&spd3()).unwrap();
+        let b = Vector::from_slice(&[2.0, -1.0, 0.25]);
+        let mut rhs = b.as_slice().to_vec();
+        c.solve_lower_batch(&mut rhs, 1);
+        let scalar = c.solve_lower(&b);
+        assert_eq!(rhs, scalar.as_slice());
     }
 
     #[test]

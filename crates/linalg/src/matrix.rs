@@ -161,8 +161,16 @@ impl Matrix {
     /// Used by the M-step scatter accumulation. Panics unless square and
     /// matching `x`.
     pub fn rank1_update(&mut self, alpha: f64, x: &Vector) {
+        self.rank1_update_slice(alpha, x.as_slice());
+    }
+
+    /// [`Self::rank1_update`] over a raw slice — the scatter-accumulation
+    /// primitive of the SoA batch kernels, which address records as rows
+    /// of a flat buffer. Identical arithmetic (and arithmetic order) to
+    /// the `Vector` form.
+    pub fn rank1_update_slice(&mut self, alpha: f64, x: &[f64]) {
         assert!(self.is_square(), "rank1_update: matrix must be square");
-        assert_eq!(self.rows, x.dim(), "rank1_update: dimension mismatch");
+        assert_eq!(self.rows, x.len(), "rank1_update: dimension mismatch");
         for i in 0..self.rows {
             let xi = alpha * x[i];
             let row = self.row_mut(i);

@@ -93,8 +93,15 @@ impl Vector {
 
     /// `self += alpha * other` (BLAS axpy). Panics on dimension mismatch.
     pub fn axpy(&mut self, alpha: f64, other: &Vector) {
-        assert_eq!(self.dim(), other.dim(), "axpy: dimension mismatch");
-        for (a, b) in self.data.iter_mut().zip(&other.data) {
+        self.axpy_slice(alpha, &other.data);
+    }
+
+    /// [`Self::axpy`] over a raw slice — the accumulation primitive of the
+    /// SoA batch kernels, which address records as rows of a flat buffer.
+    /// Identical arithmetic (and arithmetic order) to the `Vector` form.
+    pub fn axpy_slice(&mut self, alpha: f64, other: &[f64]) {
+        assert_eq!(self.dim(), other.len(), "axpy: dimension mismatch");
+        for (a, b) in self.data.iter_mut().zip(other) {
             *a += alpha * b;
         }
     }

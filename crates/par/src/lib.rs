@@ -1,0 +1,239 @@
+#![warn(missing_docs)]
+
+//! Deterministic scoped-thread parallelism utilities.
+//!
+//! Two fan-out shapes cover everything the workspace parallelizes:
+//!
+//! - [`par_map`] — one scoped thread per input, output in input order.
+//!   Used by the experiment harness's parameter sweeps (one independent
+//!   simulation per parameter value).
+//! - [`par_block_map`] — a fixed number of *block indices* sharded over a
+//!   bounded worker pool as contiguous ranges, with per-worker scratch
+//!   state. This is the shape of the EM engine's data-parallel E-step:
+//!   the block size (and therefore each block's result) is independent of
+//!   the worker count, and results are returned in block order, so any
+//!   block-ordered reduction over them is bit-identical for every worker
+//!   count — including 1, which runs inline on the caller without
+//!   spawning.
+//!
+//! The crate is dependency-free and rng-free: nothing here may perturb
+//! the workspace's deterministic simulations. Worker panics are
+//! propagated to the caller with their original payload via
+//! [`std::panic::resume_unwind`], so a failing assertion inside a worker
+//! reads the same as it would sequentially.
+
+use std::panic::resume_unwind;
+
+/// Resolves a requested thread count: `0` means "use the machine's
+/// available parallelism" (1 when it cannot be queried), any other value
+/// is taken as-is.
+pub fn resolve_workers(requested: usize) -> usize {
+    if requested == 0 {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    } else {
+        requested
+    }
+}
+
+/// Applies `f` to every input on its own scoped thread, preserving input
+/// order in the output. `f` must be `Sync` (it is shared across threads).
+///
+/// A panic inside any worker is re-raised on the caller with the
+/// worker's original panic payload.
+pub fn par_map<T, R, F>(inputs: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    std::thread::scope(|scope| {
+        let f = &f;
+        // Spawn in input order, join in the same order: the handle list
+        // itself is the ordering.
+        let workers: Vec<_> = inputs
+            .into_iter()
+            .map(|input| scope.spawn(move || f(input)))
+            .collect();
+        workers
+            .into_iter()
+            .map(|w| match w.join() {
+                Ok(r) => r,
+                Err(payload) => resume_unwind(payload),
+            })
+            .collect()
+    })
+}
+
+/// Evaluates `f(scratch, block)` for every block index in `0..blocks`,
+/// returning the results in block order.
+///
+/// Blocks are sharded over at most `workers` scoped threads as contiguous
+/// index ranges (worker 0 gets the first range, worker 1 the next, …).
+/// Each worker owns one scratch value produced by `init`, threaded
+/// mutably through its blocks — reusable buffers never cross threads.
+///
+/// Determinism contract: the partition affects only *where* a block runs,
+/// never its index or its result, and the output order is always block
+/// order. A caller that reduces the returned vector front-to-back
+/// therefore computes a bit-identical result for every `workers` value.
+/// With `workers <= 1` (or a single block) everything runs inline on the
+/// calling thread — no spawn, no `Send` round-trip cost.
+///
+/// A panic inside any worker is re-raised on the caller with the
+/// worker's original panic payload.
+pub fn par_block_map<S, R, I, F>(blocks: usize, workers: usize, init: I, f: F) -> Vec<R>
+where
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) -> R + Sync,
+{
+    if blocks == 0 {
+        return Vec::new();
+    }
+    let workers = workers.clamp(1, blocks);
+    if workers == 1 {
+        let mut scratch = init();
+        return (0..blocks).map(|b| f(&mut scratch, b)).collect();
+    }
+    // Contiguous, near-even ranges: the first `blocks % workers` workers
+    // take one extra block.
+    let base = blocks / workers;
+    let extra = blocks % workers;
+    std::thread::scope(|scope| {
+        let (init, f) = (&init, &f);
+        let mut handles = Vec::with_capacity(workers);
+        let mut start = 0usize;
+        for w in 0..workers {
+            let len = base + usize::from(w < extra);
+            let range = start..start + len;
+            start += len;
+            handles.push(scope.spawn(move || {
+                let mut scratch = init();
+                range.map(|b| f(&mut scratch, b)).collect::<Vec<R>>()
+            }));
+        }
+        let mut out = Vec::with_capacity(blocks);
+        for h in handles {
+            match h.join() {
+                Ok(part) => out.extend(part),
+                Err(payload) => resume_unwind(payload),
+            }
+        }
+        out
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn par_map_preserves_order() {
+        let out = par_map(vec![3u64, 1, 4, 1, 5], |x| x * 10);
+        assert_eq!(out, vec![30, 10, 40, 10, 50]);
+    }
+
+    #[test]
+    fn par_map_empty_input() {
+        let out: Vec<u8> = par_map(Vec::<u8>::new(), |x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn par_map_heavier_work_still_ordered() {
+        let out = par_map((0..16u64).collect(), |x| {
+            // Unequal work per item.
+            let mut acc = 0u64;
+            for i in 0..(x * 10_000) {
+                acc = acc.wrapping_add(i);
+            }
+            (x, acc)
+        });
+        for (i, (x, _)) in out.iter().enumerate() {
+            assert_eq!(*x, i as u64);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn par_map_propagates_worker_panic_payload() {
+        let _ = par_map(vec![1, 2, 3], |x| {
+            if x == 2 {
+                panic!("boom");
+            }
+            x
+        });
+    }
+
+    #[test]
+    fn block_map_matches_sequential_for_any_worker_count() {
+        let sequential: Vec<u64> = (0..37u64).map(|b| b * b + 7).collect();
+        for workers in [1usize, 2, 3, 4, 8, 64] {
+            let out = par_block_map(37, workers, || (), |_, b| (b as u64) * (b as u64) + 7);
+            assert_eq!(out, sequential, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn block_map_zero_blocks_is_empty() {
+        let out: Vec<u8> = par_block_map(0, 4, || (), |_: &mut (), _| 0u8);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn block_map_creates_one_scratch_per_worker() {
+        let created = AtomicUsize::new(0);
+        let out = par_block_map(
+            16,
+            4,
+            || {
+                created.fetch_add(1, Ordering::SeqCst);
+                0u64
+            },
+            |scratch, b| {
+                // The scratch is genuinely threaded through each worker's
+                // blocks.
+                *scratch += 1;
+                (*scratch, b)
+            },
+        );
+        assert_eq!(created.load(Ordering::SeqCst), 4);
+        // 4 workers x 4 blocks each: per-worker counters restart at 1.
+        let restarts = out.iter().filter(|(c, _)| *c == 1).count();
+        assert_eq!(restarts, 4);
+        // Block indices still in order.
+        for (i, (_, b)) in out.iter().enumerate() {
+            assert_eq!(*b, i);
+        }
+    }
+
+    #[test]
+    fn block_map_inline_when_single_worker() {
+        // With workers=1 the closure runs on the calling thread — observable
+        // through a !Send-friendly pattern: thread id equality.
+        let caller = std::thread::current().id();
+        let out = par_block_map(5, 1, || (), |_, b| (std::thread::current().id(), b));
+        for (id, _) in &out {
+            assert_eq!(*id, caller);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "block 3 exploded")]
+    fn block_map_propagates_worker_panic_payload() {
+        let _ = par_block_map(8, 4, || (), |_, b| {
+            if b == 3 {
+                panic!("block {b} exploded");
+            }
+            b
+        });
+    }
+
+    #[test]
+    fn resolve_workers_contract() {
+        assert_eq!(resolve_workers(1), 1);
+        assert_eq!(resolve_workers(7), 7);
+        assert!(resolve_workers(0) >= 1);
+    }
+}

@@ -37,12 +37,20 @@ trap 'rm -f "$journal" "$trace"' EXIT
 ./target/release/cludistream trace --faults --out "$trace" >/dev/null
 diff -u crates/cli/tests/fixtures/trace_faults.json "$trace"
 
-# Panic-free public API gate: non-test code in the core crate must not use
-# `unwrap()` or `panic!` — public entry points return Result<_, CludiError>.
-# Test modules (everything below `#[cfg(test)]`) and comment lines are
-# exempt.
+# Perf-regression smoke test: the parallel E-step must produce a
+# bit-identical fit with threads=all vs threads=1, and parallelism must
+# never cost more than 10% wall-clock. (On a single-core host both sides
+# run the same inline path — a hard speedup floor would be unfalsifiable
+# there, so the gate is slowdown-tolerance.)
+./target/release/microbench --assert-parallel-speedup
+
+# Panic-free public API gate: non-test code in the core and par crates
+# must not use `unwrap()` or `panic!` — public entry points return
+# Result<_, CludiError>, and the thread pool forwards worker panics via
+# resume_unwind. Test modules (everything below `#[cfg(test)]`) and
+# comment lines are exempt.
 gate_failed=0
-for f in $(find crates/core/src -name '*.rs'); do
+for f in $(find crates/core/src crates/par/src -name '*.rs'); do
     hits="$(awk '/#\[cfg\(test\)\]/{exit} !/^[[:space:]]*\/\//' "$f" \
         | grep -nE '\.unwrap\(\)|panic!\(' || true)"
     if [ -n "$hits" ]; then
