@@ -63,7 +63,7 @@ pub fn run_fig4(_scale: Scale) {
         let m = site.chunk_size();
         let horizon_chunks = (HORIZON as u64).div_ceil(m as u64).max(1);
         let base = one_d_stream(31);
-        let mut stream: Box<dyn Iterator<Item = Vector>> = if noisy {
+        let mut stream: Box<dyn Iterator<Item = Vector> + Send> = if noisy {
             Box::new(NoiseInjector::new(base, 0.05, RANGE, 33))
         } else {
             Box::new(base)

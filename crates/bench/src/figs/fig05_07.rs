@@ -98,13 +98,13 @@ pub fn run_fig6(scale: Scale) {
 pub fn run_fig7(scale: Scale) {
     // (a) NFD-like.
     let norm = workloads::nfd_like_normalizer(71);
-    let nfd_streams: Vec<Box<dyn Iterator<Item = Vector>>> =
+    let nfd_streams: Vec<Box<dyn Iterator<Item = Vector> + Send>> =
         (0..20).map(|i| workloads::nfd_like_boxed(&norm, 0.05, 730 + i as u64)).collect();
     let series_a = coordinator_run(nfd_streams, workloads::NFD_DIM, scale.updates(8), 72);
     emit("fig7a", "Fig 7(a): coordinator quality, NFD-like (r=20)", "time point", &series_a);
 
     // (b) synthetic.
-    let syn_streams: Vec<Box<dyn Iterator<Item = Vector>>> =
+    let syn_streams: Vec<Box<dyn Iterator<Item = Vector> + Send>> =
         (0..20).map(|i| workloads::synthetic_boxed(4, 5, 0.1, 830 + i as u64)).collect();
     let series_b = coordinator_run(syn_streams, 4, scale.updates(8), 73);
     summarize_gap("fig7b", &series_b[0], &series_b[1]);
@@ -115,7 +115,7 @@ pub fn run_fig7(scale: Scale) {
 /// SEM sees every record; both are scored on a pooled recent-record
 /// window at each checkpoint.
 fn coordinator_run(
-    mut streams: Vec<Box<dyn Iterator<Item = Vector>>>,
+    mut streams: Vec<Box<dyn Iterator<Item = Vector> + Send>>,
     dim: usize,
     checkpoints: usize,
     seed: u64,

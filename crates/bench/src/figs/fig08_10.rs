@@ -155,7 +155,7 @@ pub fn run_fig10(scale: Scale) {
     {
         let config = paper_config_dim(dim);
         let mut site = RemoteSite::new(config).expect("valid config");
-        let mut stream: Box<dyn Iterator<Item = Vector>> = if nfd {
+        let mut stream: Box<dyn Iterator<Item = Vector> + Send> = if nfd {
             let norm = workloads::nfd_like_normalizer(seed);
             workloads::nfd_like_boxed(&norm, 0.05, seed + 1)
         } else {

@@ -19,14 +19,21 @@
 //! - `trace` — run the same workload with causal tracing on and print the
 //!   critical-path latency profile; `--out` writes a Chrome trace-event
 //!   (Perfetto-loadable) JSON file, byte-identical across runs.
+//! - `coordinator` / `site` — the process-per-site socket runtime: the
+//!   `metrics` workload over real loopback TCP, one process per role.
+//!   See `docs/OPERATIONS.md` for the operator's manual.
 //!
 //! The argument parser is deliberately dependency-free; see
 //! [`parse_args`].
 
 use cludistream::coordinator::MergeRefiner;
+use cludistream::runtime::{
+    run_site, serve, CoordinatorRun, SiteRun, SocketConfig,
+};
+use cludistream::windows::WindowSpec;
 use cludistream::{
     ChunkOutcome, Config, CoordinatorConfig, DeliveryConfig, DeliveryMode, DriverConfig,
-    FaultPlan, LinkFaults, NodeId, RecordStream, RemoteSite, Simulation,
+    FaultPlan, LinkFaults, NodeId, RecordStream, RemoteSite, SimnetTransport, Simulation,
 };
 use cludistream_datagen::csvio;
 use cludistream_datagen::{EvolvingStream, EvolvingStreamConfig};
@@ -102,6 +109,10 @@ pub enum Command {
         threads: usize,
         /// Write the JSONL event journal here.
         journal: Option<String>,
+        /// Use the reliable delivery protocol even without faults (what
+        /// the socket runtime always does; lets `metrics` journals be
+        /// diffed against socket-runtime journals).
+        reliable: bool,
     },
     /// Run the metrics workload over a lossy network with one site
     /// crash/restart, exercising the reliable delivery protocol.
@@ -144,6 +155,44 @@ pub enum Command {
         threads: usize,
         /// Write Chrome trace-event (Perfetto) JSON here.
         out: Option<String>,
+    },
+    /// Serve the socket coordinator for one round of the `metrics`
+    /// workload over real TCP.
+    Coordinator {
+        /// Address to listen on (`HOST:PORT`; port 0 picks one).
+        listen: String,
+        /// Sites that must rendezvous before the round starts.
+        sites: usize,
+        /// Heartbeat interval pushed to the sites, milliseconds.
+        heartbeat_ms: u64,
+        /// Silence after which a site is evicted, milliseconds.
+        timeout_ms: u64,
+        /// Abort the round after this many seconds (0 = never); a CI
+        /// safety net against wedged rounds.
+        deadline_s: u64,
+        /// Write the bound address (`HOST:PORT`) here once listening, so
+        /// scripts can discover an ephemeral port.
+        port_file: Option<String>,
+        /// Write the JSONL event journal here.
+        journal: Option<String>,
+    },
+    /// Run one socket site of the `metrics` workload against a
+    /// coordinator.
+    Site {
+        /// Coordinator address to connect to (`HOST:PORT`).
+        connect: String,
+        /// This site's index in `0..sites`.
+        site: usize,
+        /// Chunks per regime (mirrors `metrics --chunks`).
+        chunks: usize,
+        /// RNG seed (mirrors `metrics --seed`).
+        seed: u64,
+        /// Error bound ε (mirrors `metrics --epsilon`).
+        epsilon: f64,
+        /// E-step worker threads (0 = all cores).
+        threads: usize,
+        /// Write the JSONL event journal here.
+        journal: Option<String>,
     },
     /// Print usage.
     Help,
@@ -202,19 +251,34 @@ USAGE:
                        [--threads T]
   cludistream generate [--records N] [--dim D] [--k K] [--p-new P] [--seed S]
   cludistream metrics  [--sites R] [--chunks C] [--seed S] [--epsilon E] [--journal OUT.jsonl]
-                       [--threads T]
+                       [--threads T] [--reliable]
   cludistream faults   [--sites R] [--chunks C] [--seed S] [--epsilon E]
                        [--drop P] [--duplicate P] [--reorder P] [--journal OUT.jsonl]
                        [--threads T]
   cludistream trace    [--sites R] [--chunks C] [--seed S] [--epsilon E]
                        [--faults] [--out TRACE.json] [--threads T]
+  cludistream coordinator [--listen HOST:PORT] [--sites R] [--heartbeat-ms H]
+                       [--timeout-ms T] [--deadline-s D] [--port-file PATH]
+                       [--journal OUT.jsonl]
+  cludistream site     --connect HOST:PORT [--site I] [--chunks C] [--seed S]
+                       [--epsilon E] [--threads T] [--journal OUT.jsonl]
   cludistream help
 
 Defaults: k=5, epsilon=0.02, delta=0.01, c-max=4, seed=0, threads=1,
           records=10000, dim=4, p-new=0.1,
           metrics: sites=2, chunks=2, seed=7, epsilon=0.15,
           faults: metrics defaults + drop=0.1, duplicate=0.05, reorder=0.25,
-          trace: metrics defaults.
+          trace: metrics defaults,
+          coordinator: listen=127.0.0.1:0, sites=2, heartbeat-ms=500,
+                       timeout-ms=5000, deadline-s=0 (none),
+          site: site=0, metrics workload defaults.
+
+`coordinator` and `site` run the metrics workload distributed for real:
+one coordinator process and one process per site, talking length-prefixed
+frames over TCP (the same synopsis bytes the simulator accounts). The
+coordinator waits for all R sites, broadcasts start, evicts sites silent
+past --timeout-ms, and a site that reconnects resyncs via go-back-N.
+See docs/OPERATIONS.md for the full operator's manual.
 
 `--threads T` parallelizes each EM fit's E-step over T scoped worker
 threads (0 = all cores). Clustering output is bit-identical for every T;
@@ -326,6 +390,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             epsilon: parse_num("--epsilon", 0.15)?,
             threads: parse_int("--threads", 1)?,
             journal: flag("--journal").map(|s| s.to_string()),
+            reliable: has("--reliable"),
         }),
         "faults" => Ok(Command::Faults {
             sites: parse_int("--sites", 2)?.max(1),
@@ -346,6 +411,26 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             faults: has("--faults"),
             threads: parse_int("--threads", 1)?,
             out: flag("--out").map(|s| s.to_string()),
+        }),
+        "coordinator" => Ok(Command::Coordinator {
+            listen: flag("--listen").unwrap_or("127.0.0.1:0").to_string(),
+            sites: parse_int("--sites", 2)?.max(1),
+            heartbeat_ms: parse_int("--heartbeat-ms", 500)?.max(1) as u64,
+            timeout_ms: parse_int("--timeout-ms", 5_000)?.max(1) as u64,
+            deadline_s: parse_int("--deadline-s", 0)? as u64,
+            port_file: flag("--port-file").map(|s| s.to_string()),
+            journal: flag("--journal").map(|s| s.to_string()),
+        }),
+        "site" => Ok(Command::Site {
+            connect: flag("--connect")
+                .ok_or_else(|| CliError::Usage("site requires --connect HOST:PORT".into()))?
+                .to_string(),
+            site: parse_int("--site", 0)?,
+            chunks: parse_int("--chunks", 2)?.max(1),
+            seed: parse_int("--seed", 7)? as u64,
+            epsilon: parse_num("--epsilon", 0.15)?,
+            threads: parse_int("--threads", 1)?,
+            journal: flag("--journal").map(|s| s.to_string()),
         }),
         other => Err(CliError::Usage(format!("unknown command {other:?}; try help"))),
     }
@@ -479,7 +564,7 @@ pub fn run(command: Command, out: &mut impl Write) -> Result<(), CliError> {
             }
             Ok(())
         }
-        Command::Metrics { sites, chunks, seed, epsilon, threads, journal } => {
+        Command::Metrics { sites, chunks, seed, epsilon, threads, journal, reliable } => {
             let registry = match &journal {
                 Some(path) => {
                     let file = std::fs::File::create(path)?;
@@ -524,12 +609,17 @@ pub fn run(command: Command, out: &mut impl Write) -> Result<(), CliError> {
                 obs,
                 ..Default::default()
             };
-            let report = Simulation::star(sites)
+            let mut sim = Simulation::star(sites)
                 .with_driver_config(driver_config)
                 .with_streams(streams)
-                .with_updates_per_site(2 * per_regime as u64)
-                .run()
-                .map_err(|e| CliError::Usage(format!("driver: {e}")))?;
+                .with_updates_per_site(2 * per_regime as u64);
+            if reliable {
+                sim = sim.with_reliability(DeliveryConfig {
+                    mode: DeliveryMode::Reliable,
+                    ..Default::default()
+                });
+            }
+            let report = sim.run().map_err(|e| CliError::Usage(format!("driver: {e}")))?;
             registry.flush_journal()?;
 
             writeln!(out, "sites: {sites} | chunk size M = {chunk_size} records")?;
@@ -609,7 +699,7 @@ pub fn run(command: Command, out: &mut impl Write) -> Result<(), CliError> {
                 .with_outage(NodeId(0), duration_us * 2 / 5, duration_us * 11 / 20);
             let report = Simulation::star(sites)
                 .with_driver_config(driver_config)
-                .with_faults(plan)
+                .with_transport(Box::new(SimnetTransport::new().with_faults(plan)))
                 .with_streams(streams)
                 .with_updates_per_site(updates)
                 .run()
@@ -720,16 +810,18 @@ pub fn run(command: Command, out: &mut impl Write) -> Result<(), CliError> {
                 .with_streams(streams)
                 .with_updates_per_site(updates);
             if faults {
-                sim = sim.with_faults(
-                    FaultPlan::seeded(seed)
-                        .with_link(LinkFaults {
-                            drop_p: 0.1,
-                            duplicate_p: 0.05,
-                            reorder_p: 0.25,
-                            reorder_max_delay_us: 5_000,
-                        })
-                        .with_outage(NodeId(0), duration_us * 2 / 5, duration_us * 11 / 20),
-                );
+                sim = sim.with_transport(Box::new(
+                    SimnetTransport::new().with_faults(
+                        FaultPlan::seeded(seed)
+                            .with_link(LinkFaults {
+                                drop_p: 0.1,
+                                duplicate_p: 0.05,
+                                reorder_p: 0.25,
+                                reorder_max_delay_us: 5_000,
+                            })
+                            .with_outage(NodeId(0), duration_us * 2 / 5, duration_us * 11 / 20),
+                    ),
+                ));
             }
             let report = sim.run().map_err(|e| CliError::Usage(format!("driver: {e}")))?;
 
@@ -748,6 +840,141 @@ pub fn run(command: Command, out: &mut impl Write) -> Result<(), CliError> {
             if let Some(path) = trace_out {
                 std::fs::write(&path, perfetto_json(&spans))?;
                 writeln!(out, "perfetto trace written to {path}")?;
+            }
+            Ok(())
+        }
+        Command::Coordinator {
+            listen,
+            sites,
+            heartbeat_ms,
+            timeout_ms,
+            deadline_s,
+            port_file,
+            journal,
+        } => {
+            let registry = match &journal {
+                Some(path) => {
+                    let file = std::fs::File::create(path)?;
+                    Arc::new(Registry::with_journal(Box::new(std::io::BufWriter::new(file))))
+                }
+                None => Arc::new(Registry::new()),
+            };
+            let obs = Obs::from_registry(Arc::clone(&registry));
+            let listener = std::net::TcpListener::bind(&listen)
+                .map_err(|e| CliError::Usage(format!("coordinator: bind {listen}: {e}")))?;
+            let addr = listener
+                .local_addr()
+                .map_err(|e| CliError::Usage(format!("coordinator: {e}")))?;
+            writeln!(out, "coordinator listening on {addr} for {sites} sites")?;
+            out.flush()?;
+            // Ephemeral-port discovery for scripts: write-then-rename so a
+            // poller never reads a half-written file.
+            if let Some(path) = &port_file {
+                let tmp = format!("{path}.tmp");
+                std::fs::write(&tmp, addr.to_string())?;
+                std::fs::rename(&tmp, path)?;
+            }
+            let run = CoordinatorRun {
+                sites,
+                // The metrics-workload coordinator configuration, so a
+                // socket round is diffable against `metrics --reliable`.
+                coordinator: CoordinatorConfig {
+                    max_groups: 2,
+                    refine_merges: true,
+                    refiner: MergeRefiner { samples: 32, max_evals: 100, seed: 9 },
+                    ..Default::default()
+                },
+                dim: 1,
+                cov: Default::default(),
+                obs,
+                socket: SocketConfig {
+                    heartbeat_us: heartbeat_ms.saturating_mul(1_000),
+                    timeout_us: timeout_ms.saturating_mul(1_000),
+                    deadline: (deadline_s > 0)
+                        .then(|| std::time::Duration::from_secs(deadline_s)),
+                    ..Default::default()
+                },
+            };
+            let report =
+                serve(listener, run).map_err(|e| CliError::Usage(format!("coordinator: {e}")))?;
+            registry.flush_journal()?;
+
+            writeln!(out, "coordinator groups: {}", report.groups)?;
+            writeln!(
+                out,
+                "data bytes received: {} | acks: {} msgs {} bytes | dup/stale discarded: {}",
+                report.comm.total_bytes(),
+                report.ack_messages,
+                report.ack_bytes,
+                report.duplicates_discarded
+            )?;
+            writeln!(
+                out,
+                "resyncs served: {} | evicted sites: {:?}",
+                report.resyncs, report.evicted
+            )?;
+            if let Some(path) = journal {
+                writeln!(out, "journal written to {path}")?;
+            }
+            Ok(())
+        }
+        Command::Site { connect, site, chunks, seed, epsilon, threads, journal } => {
+            let registry = match &journal {
+                Some(path) => {
+                    let file = std::fs::File::create(path)?;
+                    Arc::new(Registry::with_journal(Box::new(std::io::BufWriter::new(file))))
+                }
+                None => Arc::new(Registry::new()),
+            };
+            registry.track_quantiles("em.iters_per_fit");
+            registry.track_quantiles("em.cost_us");
+            let obs = Obs::from_registry(Arc::clone(&registry));
+
+            // The metrics two-regime workload for one site; the per-site
+            // seed decorrelation happens inside `run_site`, exactly as the
+            // simulator's driver does it.
+            let site_config = Config {
+                dim: 1,
+                k: 2,
+                chunk: ChunkParams { epsilon, delta: 0.01 },
+                c_max: 4,
+                seed,
+                em_threads: threads,
+                ..Default::default()
+            };
+            let chunk_size = RemoteSite::new(site_config.clone())?.chunk_size();
+            let per_regime = chunks * chunk_size;
+            let updates = 2 * per_regime as u64;
+            let run = SiteRun {
+                site,
+                window: WindowSpec::Landmark,
+                config: DriverConfig { site: site_config, obs, ..Default::default() },
+                delivery: DeliveryConfig { mode: DeliveryMode::Reliable, ..Default::default() },
+                stream: metrics_stream(site, seed, per_regime),
+                updates,
+                socket: SocketConfig::default(),
+            };
+            let report =
+                run_site(&connect, run).map_err(|e| CliError::Usage(format!("site: {e}")))?;
+            registry.flush_journal()?;
+
+            writeln!(out, "site {site}: chunk size M = {chunk_size} records")?;
+            writeln!(
+                out,
+                "records {} | chunks {} | clustered {} | models {}",
+                report.stats.records, report.stats.chunks, report.stats.clustered, report.models
+            )?;
+            writeln!(
+                out,
+                "sent: {} msgs {} bytes | retransmitted: {} msgs {} bytes | resyncs: {}",
+                report.sent_messages,
+                report.sent_bytes,
+                report.retransmitted_messages,
+                report.retransmitted_bytes,
+                report.resyncs
+            )?;
+            if let Some(path) = journal {
+                writeln!(out, "journal written to {path}")?;
             }
             Ok(())
         }

@@ -17,6 +17,7 @@ fn default_metrics(journal: &std::path::Path) -> Command {
         epsilon: 0.15,
         threads: 1,
         journal: Some(journal.to_string_lossy().into_owned()),
+        reliable: false,
     }
 }
 
@@ -92,7 +93,15 @@ fn metrics_args_parse() {
 fn metrics_without_journal_prints_table_only() {
     let mut out = Vec::new();
     run(
-        Command::Metrics { sites: 2, chunks: 1, seed: 7, epsilon: 0.15, threads: 1, journal: None },
+        Command::Metrics {
+            sites: 2,
+            chunks: 1,
+            seed: 7,
+            epsilon: 0.15,
+            threads: 1,
+            journal: None,
+            reliable: false,
+        },
         &mut out,
     )
     .expect("metrics run succeeds");

@@ -1,21 +1,24 @@
-//! Simulation driver: wires remote sites and the coordinator into the
-//! discrete-event simulator, reproducing the paper's experimental setup
-//! (r remote sites around one coordinator, records arriving at a fixed
-//! rate, communication cost collected per second).
+//! Run driver: wires remote sites and the coordinator into a star
+//! topology, reproducing the paper's experimental setup (r remote sites
+//! around one coordinator, records arriving at a fixed rate,
+//! communication cost collected per second).
 //!
-//! The entry point is the [`Simulation`] builder:
+//! The entry point is the [`Simulation`] builder. By default runs execute
+//! on the deterministic discrete-event transport
+//! ([`crate::SimnetTransport`]); transport-specific knobs — fault plans,
+//! link timing, socket heartbeats — live on the transport value, not
+//! here:
 //!
 //! ```no_run
-//! use cludistream::{Simulation, WindowSpec};
+//! use cludistream::{Simulation, SimnetTransport, WindowSpec};
 //! use cludistream_simnet::{FaultPlan, LinkFaults};
 //!
 //! # let streams = Vec::new();
 //! let report = Simulation::star(4)
 //!     .with_window(WindowSpec::Sliding { chunks: 8 })
-//!     .with_faults(FaultPlan::seeded(7).with_link(LinkFaults {
-//!         drop_p: 0.1,
-//!         ..Default::default()
-//!     }))
+//!     .with_transport(Box::new(SimnetTransport::new().with_faults(
+//!         FaultPlan::seeded(7).with_link(LinkFaults { drop_p: 0.1, ..Default::default() }),
+//!     )))
 //!     .with_streams(streams)
 //!     .with_updates_per_site(10_000)
 //!     .run()?;
@@ -23,30 +26,36 @@
 //! # Ok::<(), cludistream::CludiError>(())
 //! ```
 //!
-//! Attaching a [`FaultPlan`] automatically switches the wire protocol to
-//! reliable delivery (sequence numbers, coordinator ACKs, retransmit with
-//! exponential backoff — see [`crate::protocol`]); fault-free runs default
-//! to fire-and-forget and pay zero protocol overhead.
+//! Attaching a fault plan to the simnet transport automatically switches
+//! the wire protocol to reliable delivery (sequence numbers, coordinator
+//! ACKs, retransmit with exponential backoff — see [`crate::protocol`]);
+//! fault-free simnet runs default to fire-and-forget and pay zero
+//! protocol overhead. The TCP transport ([`crate::runtime::TcpTransport`])
+//! is reliable-only.
 
 use crate::config::Config;
 use crate::coordinator::{Coordinator, CoordinatorConfig};
+use crate::engine::{CoordinatorEngine, SiteCore};
 use crate::error::CludiError;
-use crate::protocol::{Frame, Message, ReliableInbox, ReliableSender};
+use crate::protocol::{Frame, ReliableSender};
 use crate::remote::SiteStats;
-use crate::windows::{Window, WindowSpec};
-use cludistream_gmm::{CovarianceType, Mixture};
+use crate::transport::{RunRecipe, SimnetTransport, Transport};
+use crate::windows::WindowSpec;
+use cludistream_gmm::Mixture;
 use cludistream_linalg::Vector;
-use cludistream_obs::{Event, Obs, Recorder, SpanRecord, SpanScope, TraceCtx};
+use cludistream_obs::Obs;
 use cludistream_simnet::{
     CommStats, Context, FaultPlan, FaultStats, LinkModel, Node, NodeId,
     Simulation as NetSimulation, Topology, MICROS_PER_SEC,
 };
 use cludistream_wire::ByteBuf;
 
-/// A boxed record stream feeding one site.
-pub type RecordStream = Box<dyn Iterator<Item = Vector>>;
+/// A boxed record stream feeding one site. `Send` so the socket transport
+/// can move each site's stream into its own thread.
+pub type RecordStream = Box<dyn Iterator<Item = Vector> + Send>;
 
-/// Driver parameters.
+/// Driver parameters (transport-agnostic; link timing and fault plans
+/// moved to [`SimnetTransport`]).
 #[derive(Debug, Clone)]
 pub struct DriverConfig {
     /// Remote-site configuration.
@@ -58,10 +67,8 @@ pub struct DriverConfig {
     pub records_per_second: u64,
     /// Records pulled from the stream per timer tick.
     pub batch: usize,
-    /// Link timing model.
-    pub link: LinkModel,
     /// Telemetry observer, threaded through the sites, the coordinator and
-    /// the simulator. Defaults to a no-op recorder.
+    /// the transport. Defaults to a no-op recorder.
     pub obs: Obs,
 }
 
@@ -72,7 +79,6 @@ impl Default for DriverConfig {
             coordinator: CoordinatorConfig::default(),
             records_per_second: 1000,
             batch: 100,
-            link: LinkModel::default(),
             obs: Obs::noop(),
         }
     }
@@ -94,9 +100,9 @@ pub enum DeliveryMode {
 pub struct DeliveryConfig {
     /// Delivery mode.
     pub mode: DeliveryMode,
-    /// Initial retransmission timeout, simulated microseconds.
+    /// Initial retransmission timeout, microseconds.
     pub rto_us: u64,
-    /// Backoff cap, simulated microseconds.
+    /// Backoff cap, microseconds.
     pub rto_cap_us: u64,
 }
 
@@ -182,7 +188,8 @@ pub struct StarReport {
     pub coordinator_groups: usize,
     /// Coordinator memory, bytes.
     pub coordinator_memory: usize,
-    /// Simulated duration in seconds.
+    /// Simulated (or, for the socket transport, wall-clock) duration in
+    /// seconds.
     pub sim_seconds: f64,
 }
 
@@ -195,21 +202,17 @@ const TIMER_RETX: u64 = 1;
 ///
 /// One node type serves every window kind (`Box<dyn Window>`) and both
 /// delivery modes; under a fault plan with outages it keeps a durable
-/// checkpoint each tick and resyncs from it in `on_restart`.
+/// checkpoint each tick and resyncs from it in `on_restart`. The protocol
+/// logic lives in the shared [`SiteCore`]; this wrapper adds only the
+/// simulator plumbing (timers, stream pacing, checkpoints).
 struct SiteNode {
-    window: Box<dyn Window>,
+    core: SiteCore,
     stream: RecordStream,
     coordinator: NodeId,
-    site_index: u32,
     remaining: u64,
     batch: usize,
     interval_us: u64,
     error: Option<CludiError>,
-    obs: Obs,
-    /// Present in reliable mode.
-    sender: Option<ReliableSender>,
-    rto_us: u64,
-    rto_cap_us: u64,
     retx_armed: bool,
     retransmitted_messages: u64,
     retransmitted_bytes: u64,
@@ -220,55 +223,6 @@ struct SiteNode {
 }
 
 impl SiteNode {
-    fn cov(&self) -> CovarianceType {
-        self.window.site().config().covariance
-    }
-
-    /// Encodes and sends one synopsis, sequenced when reliable. When the
-    /// message carries a trace context, a `wire.send` marker span is
-    /// recorded under its wire span (one per transmit, so retransmits show
-    /// up as extra markers).
-    fn transmit(
-        &mut self,
-        ctx: &mut Context<'_, ByteBuf>,
-        msg: Message,
-        is_synopsis: bool,
-        tctx: Option<TraceCtx>,
-    ) {
-        let cov = self.cov();
-        let frame = match &mut self.sender {
-            Some(sender) => sender.send_traced(msg, tctx),
-            None => Frame::Bare(msg),
-        };
-        let bytes = frame.encode(cov);
-        let len = bytes.len();
-        if is_synopsis {
-            self.obs.event(&Event::SynopsisSent { site: self.site_index, bytes: len as u64 });
-        }
-        ctx.send(self.coordinator, bytes, len);
-        self.record_send(tctx);
-    }
-
-    /// Records one `wire.send` marker under `tctx`'s wire span.
-    fn record_send(&self, tctx: Option<TraceCtx>) {
-        let Some(tc) = tctx else { return };
-        if !self.obs.tracing_enabled() {
-            return;
-        }
-        let span = self.obs.alloc_span(self.site_index);
-        let now = self.obs.sim_now_us();
-        self.obs.record_span(&SpanRecord {
-            trace: tc.trace,
-            span,
-            parent: Some(tc.span),
-            name: "wire.send",
-            node: self.site_index,
-            start_us: now,
-            end_us: now,
-            cost_us: 0,
-        });
-    }
-
     fn tick(&mut self, ctx: &mut Context<'_, ByteBuf>) {
         if self.error.is_some() {
             return;
@@ -279,23 +233,17 @@ impl SiteNode {
                 self.remaining = 0;
                 break;
             };
-            if let Err(e) = self.window.push(record) {
+            if let Err(e) = self.core.window.push(record) {
                 self.error = Some(e);
                 return;
             }
             self.remaining -= 1;
         }
-        // Transmit whatever the test-and-cluster strategy queued, then the
-        // window-expiry deletions (paper Sec. 7, negative weights).
-        for (event, tctx) in self.window.drain_events_traced() {
-            let is_synopsis = matches!(event, crate::remote::SiteEvent::NewModel { .. });
-            let msg = Message::from_site_event(self.site_index, event);
-            self.transmit(ctx, msg, is_synopsis, tctx);
-        }
-        for (model, count) in self.window.drain_deletions() {
-            let msg = Message::Delete { site: self.site_index, model, count_delta: count };
-            self.transmit(ctx, msg, false, None);
-        }
+        let coordinator = self.coordinator;
+        self.core.drain_outbound(&mut |bytes| {
+            let len = bytes.len();
+            ctx.send(coordinator, bytes, len);
+        });
         self.arm_retransmit(ctx);
         if self.remaining > 0 {
             ctx.set_timer(self.interval_us, TIMER_TICK);
@@ -309,7 +257,7 @@ impl SiteNode {
         if self.retx_armed {
             return;
         }
-        if let Some(sender) = &self.sender {
+        if let Some(sender) = &self.core.sender {
             if sender.pending() > 0 {
                 ctx.set_timer(sender.next_timeout_us(), TIMER_RETX);
                 self.retx_armed = true;
@@ -322,10 +270,10 @@ impl SiteNode {
     fn make_checkpoint(&self) -> ByteBuf {
         let mut buf = ByteBuf::new();
         buf.put_u64_le(self.remaining);
-        if let Some(sender) = &self.sender {
-            sender.snapshot(self.cov(), &mut buf);
+        if let Some(sender) = &self.core.sender {
+            sender.snapshot(self.core.cov(), &mut buf);
         }
-        buf.extend_from_slice(&self.window.snapshot());
+        buf.extend_from_slice(&self.core.window.snapshot());
         buf
     }
 
@@ -335,13 +283,16 @@ impl SiteNode {
             return Err(CludiError::Decode("truncated site checkpoint"));
         }
         self.remaining = reader.get_u64_le();
-        if self.sender.is_some() {
-            self.sender =
-                Some(ReliableSender::restore(self.rto_us, self.rto_cap_us, &mut reader)?);
+        if self.core.sender.is_some() {
+            self.core.sender = Some(ReliableSender::restore(
+                self.core.rto_us,
+                self.core.rto_cap_us,
+                &mut reader,
+            )?);
         }
-        self.window.restore_from(&mut reader)?;
+        self.core.window.restore_from(&mut reader)?;
         // The restored site lost its observer wiring; re-attach.
-        self.window.set_observer(self.obs.clone(), self.site_index);
+        self.core.window.set_observer(self.core.obs.clone(), self.core.site_index);
         Ok(())
     }
 }
@@ -361,9 +312,7 @@ impl Node<ByteBuf> for SiteNode {
     fn on_message(&mut self, _ctx: &mut Context<'_, ByteBuf>, _from: NodeId, msg: ByteBuf) {
         // The only coordinator→site traffic is cumulative ACKs.
         if let Ok(Frame::Ack { cumulative }) = Frame::decode(&mut msg.reader()) {
-            if let Some(sender) = &mut self.sender {
-                sender.on_ack(cumulative);
-            }
+            self.core.on_ack(cumulative);
         }
     }
 
@@ -372,27 +321,13 @@ impl Node<ByteBuf> for SiteNode {
             TIMER_TICK => self.tick(ctx),
             TIMER_RETX => {
                 self.retx_armed = false;
-                let cov = self.cov();
-                let frames = match &mut self.sender {
-                    Some(sender) => sender.on_timeout(),
-                    None => Vec::new(),
-                };
-                for frame in frames {
-                    let bytes = frame.encode(cov);
+                let coordinator = self.coordinator;
+                let (messages, bytes) = self.core.retransmit(&mut |bytes| {
                     let len = bytes.len();
-                    if let Frame::Data { seq, ctx: tctx, .. } = &frame {
-                        self.obs.counter("net.retransmits", 1);
-                        self.obs.event(&Event::Retransmitted {
-                            site: self.site_index,
-                            seq: *seq,
-                            bytes: len as u64,
-                        });
-                        self.record_send(*tctx);
-                    }
-                    self.retransmitted_messages += 1;
-                    self.retransmitted_bytes += len as u64;
-                    ctx.send(self.coordinator, bytes, len);
-                }
+                    ctx.send(coordinator, bytes, len);
+                });
+                self.retransmitted_messages += messages;
+                self.retransmitted_bytes += bytes;
                 self.arm_retransmit(ctx);
             }
             _ => {}
@@ -415,91 +350,24 @@ impl Node<ByteBuf> for SiteNode {
     }
 }
 
-/// Simulation node wrapping the coordinator, with one reliable inbox per
-/// site when the reliable protocol is active.
+/// Simulation node wrapping the shared [`CoordinatorEngine`].
 struct CoordinatorNode {
-    coordinator: Coordinator,
-    inboxes: Vec<ReliableInbox>,
-    cov: CovarianceType,
-    obs: Obs,
-    /// Node id coordinator-side spans are allocated from (= site count,
-    /// matching the star hub's position after the sites).
-    trace_node: u32,
-    decode_errors: u64,
-    apply_errors: u64,
-    ack_messages: u64,
-    ack_bytes: u64,
-}
-
-impl CoordinatorNode {
-    fn apply(&mut self, message: &Message) {
-        self.apply_traced(message, None);
-    }
-
-    /// Applies one released message. With a trace context, this is where a
-    /// frame's wire span ends: close it at the release time, record a
-    /// `coord.apply` marker under it, and scope the coordinator so its
-    /// merge/refine work lands in the same trace.
-    fn apply_traced(&mut self, message: &Message, tctx: Option<TraceCtx>) {
-        let scope = tctx.filter(|_| self.obs.tracing_enabled()).map(|tc| {
-            let now = self.obs.sim_now_us();
-            self.obs.close_span(tc.span, now);
-            let span = self.obs.alloc_span(self.trace_node);
-            self.obs.record_span(&SpanRecord {
-                trace: tc.trace,
-                span,
-                parent: Some(tc.span),
-                name: "coord.apply",
-                node: self.trace_node,
-                start_us: now,
-                end_us: now,
-                cost_us: 0,
-            });
-            SpanScope { trace: tc.trace, parent: span, node: self.trace_node }
-        });
-        if scope.is_some() {
-            self.coordinator.set_trace_scope(scope);
-        }
-        if self.coordinator.apply(message).is_err() {
-            self.apply_errors += 1;
-        }
-        if scope.is_some() {
-            self.coordinator.set_trace_scope(None);
-        }
-    }
+    engine: CoordinatorEngine,
 }
 
 impl Node<ByteBuf> for CoordinatorNode {
     fn on_message(&mut self, ctx: &mut Context<'_, ByteBuf>, from: NodeId, msg: ByteBuf) {
-        match Frame::decode(&mut msg.reader()) {
-            Ok(Frame::Bare(message)) => self.apply(&message),
-            Ok(Frame::Data { seq, message, ctx: tctx }) => {
-                let site = message.site() as usize;
-                if site >= self.inboxes.len() {
-                    self.decode_errors += 1;
-                    return;
-                }
-                for (ready, rctx) in self.inboxes[site].accept_traced(seq, message, tctx) {
-                    self.apply_traced(&ready, rctx);
-                }
-                // Always ACK — a duplicate means the site has not seen our
-                // cumulative position yet.
-                let ack = Frame::Ack { cumulative: self.inboxes[site].cumulative() };
-                let bytes = ack.encode(self.cov);
-                let len = bytes.len();
-                self.ack_messages += 1;
-                self.ack_bytes += len as u64;
-                ctx.send(from, bytes, len);
-            }
-            Ok(Frame::Ack { .. }) => self.decode_errors += 1,
-            Err(_) => self.decode_errors += 1,
+        if let Some(ack) = self.engine.on_wire(&msg) {
+            let len = ack.len();
+            ctx.send(from, ack, len);
         }
     }
 }
 
 /// Builder for a CluDistream star-topology run: `r` remote sites around
 /// one coordinator, each consuming records from its own stream under a
-/// chosen window semantics, optionally over a faulty network.
+/// chosen window semantics, over a pluggable [`Transport`] (the
+/// deterministic simulator by default).
 ///
 /// ```no_run
 /// # use cludistream::{Simulation, WindowSpec};
@@ -515,7 +383,7 @@ pub struct Simulation {
     sites: usize,
     window: WindowSpec,
     config: DriverConfig,
-    faults: Option<FaultPlan>,
+    transport: Option<Box<dyn Transport>>,
     delivery: Option<DeliveryConfig>,
     streams: Option<Vec<RecordStream>>,
     updates_per_site: u64,
@@ -529,7 +397,7 @@ impl Simulation {
             sites,
             window: WindowSpec::Landmark,
             config: DriverConfig::default(),
-            faults: None,
+            transport: None,
             delivery: None,
             streams: None,
             updates_per_site: 0,
@@ -560,16 +428,17 @@ impl Simulation {
         self
     }
 
-    /// Attaches a deterministic fault plan. Unless overridden with
-    /// [`Simulation::with_reliability`], this switches delivery to
-    /// [`DeliveryMode::Reliable`].
-    pub fn with_faults(mut self, plan: FaultPlan) -> Simulation {
-        self.faults = Some(plan);
+    /// Selects the transport (default: a fault-free [`SimnetTransport`]).
+    /// Transport-specific knobs — fault plans, link timing, socket
+    /// addresses and heartbeats — are configured on the transport value.
+    pub fn with_transport(mut self, transport: Box<dyn Transport>) -> Simulation {
+        self.transport = Some(transport);
         self
     }
 
-    /// Overrides the delivery mode/tuning (default: fire-and-forget, or
-    /// reliable when a fault plan is attached).
+    /// Overrides the delivery mode/tuning (default: the transport's
+    /// choice — simnet picks fire-and-forget unless faults are attached;
+    /// TCP is reliable-only).
     pub fn with_reliability(mut self, delivery: DeliveryConfig) -> Simulation {
         self.delivery = Some(delivery);
         self
@@ -578,12 +447,6 @@ impl Simulation {
     /// Attaches a telemetry observer.
     pub fn with_recorder(mut self, obs: Obs) -> Simulation {
         self.config.obs = obs;
-        self
-    }
-
-    /// Sets the link timing model.
-    pub fn with_link(mut self, link: LinkModel) -> Simulation {
-        self.config.link = link;
         self
     }
 
@@ -612,9 +475,9 @@ impl Simulation {
         self
     }
 
-    /// Runs the simulation to completion and reports.
+    /// Validates the recipe and runs it on the configured transport.
     pub fn run(self) -> Result<StarReport, CludiError> {
-        let Simulation { sites, window, config, faults, delivery, streams, updates_per_site } =
+        let Simulation { sites, window, config, transport, delivery, streams, updates_per_site } =
             self;
         if sites == 0 {
             return Err(CludiError::Build("need at least one site"));
@@ -634,126 +497,141 @@ impl Simulation {
         if config.batch == 0 {
             return Err(CludiError::InvalidConfig { name: "batch", constraint: "batch > 0" });
         }
-        let delivery = delivery.unwrap_or_else(|| DeliveryConfig {
-            mode: if faults.is_some() {
-                DeliveryMode::Reliable
-            } else {
-                DeliveryMode::FireAndForget
-            },
-            ..Default::default()
-        });
-        let reliable = delivery.mode == DeliveryMode::Reliable;
-        // Durable checkpoints only matter when the plan can crash a site.
-        let checkpointing = faults.as_ref().is_some_and(|p| !p.outages.is_empty());
-
-        let mut sim: NetSimulation<ByteBuf> =
-            NetSimulation::new(Topology::star(sites), config.link);
-        if let Some(plan) = faults {
-            sim.set_fault_plan(plan);
-        }
-        let coordinator_id = Topology::star_hub(sites);
-        let interval_us =
-            ((config.batch as u64 * MICROS_PER_SEC) / config.records_per_second).max(1);
-
-        let mut site_ids = Vec::with_capacity(sites);
-        for (i, stream) in streams.into_iter().enumerate() {
-            let mut site_config = config.site.clone();
-            // De-correlate EM initialization across sites.
-            site_config.seed = site_config.seed.wrapping_add(i as u64 * 7919);
-            let mut win = window.build(site_config)?;
-            win.set_observer(config.obs.clone(), i as u32);
-            let id = sim.add_node(Box::new(SiteNode {
-                window: win,
-                stream,
-                coordinator: coordinator_id,
-                site_index: i as u32,
-                remaining: updates_per_site,
-                batch: config.batch,
-                interval_us,
-                error: None,
-                obs: config.obs.clone(),
-                sender: reliable
-                    .then(|| ReliableSender::new(delivery.rto_us, delivery.rto_cap_us)),
-                rto_us: delivery.rto_us,
-                rto_cap_us: delivery.rto_cap_us,
-                retx_armed: false,
-                retransmitted_messages: 0,
-                retransmitted_bytes: 0,
-                checkpoint: None,
-                checkpointing,
-            }));
-            site_ids.push(id);
-        }
-        let mut coordinator = Coordinator::new(config.coordinator.clone())?;
-        coordinator.set_observer(config.obs.clone());
-        sim.add_node(Box::new(CoordinatorNode {
-            coordinator,
-            inboxes: vec![ReliableInbox::new(); sites],
-            cov: config.site.covariance,
-            obs: config.obs.clone(),
-            trace_node: sites as u32,
-            decode_errors: 0,
-            apply_errors: 0,
-            ack_messages: 0,
-            ack_bytes: 0,
-        }));
-        sim.set_observer(config.obs.clone());
-
-        sim.run()?;
-
-        // Harvest.
-        let fault_stats: FaultStats = *sim.fault_stats();
-        let mut site_stats = Vec::with_capacity(sites);
-        let mut site_models = Vec::with_capacity(sites);
-        let mut site_memory = Vec::with_capacity(sites);
-        let mut retransmitted_messages = 0;
-        let mut retransmitted_bytes = 0;
-        for &id in &site_ids {
-            let node: &mut SiteNode = sim.node_as(id).expect("site node");
-            if let Some(e) = node.error.take() {
-                return Err(e);
-            }
-            site_stats.push(node.window.site().stats());
-            site_models.push(node.window.site().models().len());
-            site_memory.push(node.window.site().memory_bytes());
-            retransmitted_messages += node.retransmitted_messages;
-            retransmitted_bytes += node.retransmitted_bytes;
-        }
-        let sim_seconds = sim.now() as f64 / MICROS_PER_SEC as f64;
-        let comm = sim.stats().clone();
-        let coord: &mut CoordinatorNode = sim.node_as(coordinator_id).expect("coordinator node");
-        let global = coord.coordinator.global_mixture().ok();
-        let delivery_report = DeliveryReport {
-            reliable,
-            sent_messages: comm.total_messages(),
-            sent_bytes: comm.total_bytes(),
-            delivered_messages: fault_stats.delivered_messages,
-            delivered_bytes: fault_stats.delivered_bytes,
-            dropped_messages: fault_stats.dropped_messages,
-            dropped_bytes: fault_stats.dropped_bytes,
-            duplicated_messages: fault_stats.duplicated_messages,
-            duplicated_bytes: fault_stats.duplicated_bytes,
-            reordered_messages: fault_stats.reordered_messages,
-            retransmitted_messages,
-            retransmitted_bytes,
-            ack_messages: coord.ack_messages,
-            ack_bytes: coord.ack_bytes,
-            duplicates_discarded: coord.inboxes.iter().map(ReliableInbox::duplicates).sum(),
-            crashes: fault_stats.crashes,
-            restarts: fault_stats.restarts,
-        };
-        Ok(StarReport {
-            comm,
-            delivery: delivery_report,
-            global,
-            site_stats,
-            site_models,
-            site_memory,
-            coordinator_groups: coord.coordinator.group_count(),
-            coordinator_memory: coord.coordinator.memory_bytes(),
-            sim_seconds,
-        })
+        let transport = transport.unwrap_or_else(|| Box::new(SimnetTransport::new()));
+        transport.run(RunRecipe { sites, window, config, delivery, streams, updates_per_site })
     }
+}
+
+/// Builds one [`SiteCore`] for site `i` of a recipe: window construction,
+/// per-site seed decorrelation, observer wiring, and the reliable sender
+/// when requested. Shared by the simnet driver and the socket runtime so
+/// both transports stamp out *identical* site state.
+pub(crate) fn build_site_core(
+    recipe_config: &DriverConfig,
+    window: WindowSpec,
+    i: usize,
+    reliable: bool,
+    delivery: DeliveryConfig,
+) -> Result<SiteCore, CludiError> {
+    let mut site_config = recipe_config.site.clone();
+    // De-correlate EM initialization across sites.
+    site_config.seed = site_config.seed.wrapping_add(i as u64 * 7919);
+    let mut win = window.build(site_config)?;
+    win.set_observer(recipe_config.obs.clone(), i as u32);
+    Ok(SiteCore {
+        window: win,
+        site_index: i as u32,
+        obs: recipe_config.obs.clone(),
+        sender: reliable.then(|| ReliableSender::new(delivery.rto_us, delivery.rto_cap_us)),
+        rto_us: delivery.rto_us,
+        rto_cap_us: delivery.rto_cap_us,
+    })
+}
+
+/// Runs a recipe on the discrete-event simulator (the [`SimnetTransport`]
+/// implementation).
+pub(crate) fn run_simnet(
+    recipe: RunRecipe,
+    link: LinkModel,
+    faults: Option<FaultPlan>,
+) -> Result<StarReport, CludiError> {
+    let RunRecipe { sites, window, config, delivery, streams, updates_per_site } = recipe;
+    let delivery = delivery.unwrap_or_else(|| DeliveryConfig {
+        mode: if faults.is_some() { DeliveryMode::Reliable } else { DeliveryMode::FireAndForget },
+        ..Default::default()
+    });
+    let reliable = delivery.mode == DeliveryMode::Reliable;
+    // Durable checkpoints only matter when the plan can crash a site.
+    let checkpointing = faults.as_ref().is_some_and(|p| !p.outages.is_empty());
+
+    let mut sim: NetSimulation<ByteBuf> = NetSimulation::new(Topology::star(sites), link);
+    if let Some(plan) = faults {
+        sim.set_fault_plan(plan);
+    }
+    let coordinator_id = Topology::star_hub(sites);
+    let interval_us = ((config.batch as u64 * MICROS_PER_SEC) / config.records_per_second).max(1);
+
+    let mut site_ids = Vec::with_capacity(sites);
+    for (i, stream) in streams.into_iter().enumerate() {
+        let core = build_site_core(&config, window, i, reliable, delivery)?;
+        let id = sim.add_node(Box::new(SiteNode {
+            core,
+            stream,
+            coordinator: coordinator_id,
+            remaining: updates_per_site,
+            batch: config.batch,
+            interval_us,
+            error: None,
+            retx_armed: false,
+            retransmitted_messages: 0,
+            retransmitted_bytes: 0,
+            checkpoint: None,
+            checkpointing,
+        }));
+        site_ids.push(id);
+    }
+    let mut coordinator = Coordinator::new(config.coordinator.clone())?;
+    coordinator.set_observer(config.obs.clone());
+    sim.add_node(Box::new(CoordinatorNode {
+        engine: CoordinatorEngine::new(coordinator, sites, config.site.covariance, config.obs.clone()),
+    }));
+    sim.set_observer(config.obs.clone());
+
+    sim.run()?;
+
+    // Harvest.
+    let fault_stats: FaultStats = *sim.fault_stats();
+    let mut site_stats = Vec::with_capacity(sites);
+    let mut site_models = Vec::with_capacity(sites);
+    let mut site_memory = Vec::with_capacity(sites);
+    let mut retransmitted_messages = 0;
+    let mut retransmitted_bytes = 0;
+    for &id in &site_ids {
+        let node: &mut SiteNode = sim.node_as(id).expect("site node");
+        if let Some(e) = node.error.take() {
+            return Err(e);
+        }
+        site_stats.push(node.core.window.site().stats());
+        site_models.push(node.core.window.site().models().len());
+        site_memory.push(node.core.window.site().memory_bytes());
+        retransmitted_messages += node.retransmitted_messages;
+        retransmitted_bytes += node.retransmitted_bytes;
+    }
+    let sim_seconds = sim.now() as f64 / MICROS_PER_SEC as f64;
+    let comm = sim.stats().clone();
+    let coord: &mut CoordinatorNode = sim.node_as(coordinator_id).expect("coordinator node");
+    let engine = &mut coord.engine;
+    let global = engine.coordinator.global_mixture().ok();
+    let delivery_report = DeliveryReport {
+        reliable,
+        sent_messages: comm.total_messages(),
+        sent_bytes: comm.total_bytes(),
+        delivered_messages: fault_stats.delivered_messages,
+        delivered_bytes: fault_stats.delivered_bytes,
+        dropped_messages: fault_stats.dropped_messages,
+        dropped_bytes: fault_stats.dropped_bytes,
+        duplicated_messages: fault_stats.duplicated_messages,
+        duplicated_bytes: fault_stats.duplicated_bytes,
+        reordered_messages: fault_stats.reordered_messages,
+        retransmitted_messages,
+        retransmitted_bytes,
+        ack_messages: engine.ack_messages,
+        ack_bytes: engine.ack_bytes,
+        duplicates_discarded: engine.inboxes.iter().map(crate::protocol::ReliableInbox::duplicates).sum(),
+        crashes: fault_stats.crashes,
+        restarts: fault_stats.restarts,
+    };
+    Ok(StarReport {
+        comm,
+        delivery: delivery_report,
+        global,
+        site_stats,
+        site_models,
+        site_memory,
+        coordinator_groups: engine.coordinator.group_count(),
+        coordinator_memory: engine.coordinator.memory_bytes(),
+        sim_seconds,
+    })
 }
 
 #[cfg(test)]
@@ -917,12 +795,14 @@ mod tests {
             .with_driver_config(cfg)
             .with_streams(vec![stable_stream(0.0, 1), stable_stream(50.0, 2)])
             .with_updates_per_site(3 * chunk)
-            .with_faults(FaultPlan::seeded(13).with_link(LinkFaults {
-                drop_p: 0.2,
-                duplicate_p: 0.1,
-                reorder_p: 0.3,
-                reorder_max_delay_us: 5_000,
-            }))
+            .with_transport(Box::new(SimnetTransport::new().with_faults(
+                FaultPlan::seeded(13).with_link(LinkFaults {
+                    drop_p: 0.2,
+                    duplicate_p: 0.1,
+                    reorder_p: 0.3,
+                    reorder_max_delay_us: 5_000,
+                }),
+            )))
             .run()
             .unwrap();
         assert!(lossy.delivery.reliable, "faults imply reliable delivery");
@@ -951,9 +831,9 @@ mod tests {
             .with_driver_config(cfg)
             .with_streams(vec![stable_stream(0.0, 1), stable_stream(50.0, 2)])
             .with_updates_per_site(updates)
-            .with_faults(
+            .with_transport(Box::new(SimnetTransport::new().with_faults(
                 FaultPlan::seeded(5).with_outage(NodeId(0), crash_at, crash_at + MICROS_PER_SEC),
-            )
+            )))
             .run()
             .unwrap();
         assert_eq!(faulty.delivery.crashes, 1);
@@ -967,5 +847,4 @@ mod tests {
         );
         assert!(faulty.delivery.balanced());
     }
-
 }

@@ -1,0 +1,254 @@
+//! Transport-independent site and coordinator engines.
+//!
+//! The discrete-event driver ([`crate::driver`]) and the socket runtime
+//! ([`crate::runtime`]) both move the same protocol state machines: a
+//! windowed site draining synopses through a [`ReliableSender`], and a
+//! coordinator releasing them through per-site [`ReliableInbox`]es. The
+//! engines here own that shared logic with the transport abstracted to a
+//! `send` closure, so *every* telemetry call — journal events, counters,
+//! trace spans — happens in the same order no matter which transport is
+//! underneath. That ordering is load-bearing: the golden journal and
+//! trace fixtures in `crates/cli/tests` are byte-diffed against it, and
+//! the socket-smoke CI step diffs the two transports against each other.
+
+use crate::coordinator::Coordinator;
+use crate::protocol::{Frame, Message, ReliableInbox, ReliableSender};
+use crate::windows::Window;
+use cludistream_gmm::CovarianceType;
+use cludistream_obs::{Event, Obs, Recorder, SpanRecord, SpanScope, TraceCtx};
+use cludistream_wire::ByteBuf;
+
+/// The transport-independent half of a remote site: the window, the
+/// optional reliable sender, and the telemetry plumbing around both.
+///
+/// Callers provide a `send` closure that puts encoded frames on their
+/// transport (a simulator context, a TCP socket); the engine guarantees
+/// the observability calls bracket each send identically everywhere.
+pub(crate) struct SiteCore {
+    /// The windowed site producing synopses.
+    pub window: Box<dyn Window>,
+    /// Site index (journal field, trace node id).
+    pub site_index: u32,
+    /// Telemetry observer.
+    pub obs: Obs,
+    /// Present in reliable mode.
+    pub sender: Option<ReliableSender>,
+    /// Initial retransmission timeout (microseconds; simulated or real,
+    /// depending on the transport driving the engine).
+    pub rto_us: u64,
+    /// Backoff cap, microseconds.
+    pub rto_cap_us: u64,
+}
+
+impl SiteCore {
+    pub fn cov(&self) -> CovarianceType {
+        self.window.site().config().covariance
+    }
+
+    /// Encodes and sends one synopsis, sequenced when reliable. When the
+    /// message carries a trace context, a `wire.send` marker span is
+    /// recorded under its wire span (one per transmit, so retransmits show
+    /// up as extra markers).
+    fn transmit(
+        &mut self,
+        msg: Message,
+        is_synopsis: bool,
+        tctx: Option<TraceCtx>,
+        send: &mut dyn FnMut(ByteBuf),
+    ) {
+        let cov = self.cov();
+        let frame = match &mut self.sender {
+            Some(sender) => sender.send_traced(msg, tctx),
+            None => Frame::Bare(msg),
+        };
+        let bytes = frame.encode(cov);
+        if is_synopsis {
+            self.obs
+                .event(&Event::SynopsisSent { site: self.site_index, bytes: bytes.len() as u64 });
+        }
+        send(bytes);
+        self.record_send(tctx);
+    }
+
+    /// Records one `wire.send` marker under `tctx`'s wire span.
+    pub fn record_send(&self, tctx: Option<TraceCtx>) {
+        let Some(tc) = tctx else { return };
+        if !self.obs.tracing_enabled() {
+            return;
+        }
+        let span = self.obs.alloc_span(self.site_index);
+        let now = self.obs.sim_now_us();
+        self.obs.record_span(&SpanRecord {
+            trace: tc.trace,
+            span,
+            parent: Some(tc.span),
+            name: "wire.send",
+            node: self.site_index,
+            start_us: now,
+            end_us: now,
+            cost_us: 0,
+        });
+    }
+
+    /// Transmits whatever the test-and-cluster strategy queued, then the
+    /// window-expiry deletions (paper Sec. 7, negative weights).
+    pub fn drain_outbound(&mut self, send: &mut dyn FnMut(ByteBuf)) {
+        for (event, tctx) in self.window.drain_events_traced() {
+            let is_synopsis = matches!(event, crate::remote::SiteEvent::NewModel { .. });
+            let msg = Message::from_site_event(self.site_index, event);
+            self.transmit(msg, is_synopsis, tctx, send);
+        }
+        for (model, count) in self.window.drain_deletions() {
+            let msg = Message::Delete { site: self.site_index, model, count_delta: count };
+            self.transmit(msg, false, None, send);
+        }
+    }
+
+    /// Feeds a cumulative ACK from the coordinator to the sender.
+    pub fn on_ack(&mut self, cumulative: u64) {
+        if let Some(sender) = &mut self.sender {
+            sender.on_ack(cumulative);
+        }
+    }
+
+    /// Frames still awaiting acknowledgement (0 in fire-and-forget mode).
+    pub fn pending(&self) -> usize {
+        self.sender.as_ref().map_or(0, ReliableSender::pending)
+    }
+
+    /// Current retransmission timeout (with backoff), microseconds.
+    /// `u64::MAX` without a reliable sender — nothing to retransmit.
+    pub fn next_timeout_us(&self) -> u64 {
+        self.sender.as_ref().map_or(u64::MAX, ReliableSender::next_timeout_us)
+    }
+
+    /// Re-sends the whole unacknowledged queue (go-back-N timeout) through
+    /// `send`; returns `(messages, bytes)` retransmitted.
+    pub fn retransmit(&mut self, send: &mut dyn FnMut(ByteBuf)) -> (u64, u64) {
+        let cov = self.cov();
+        let frames = match &mut self.sender {
+            Some(sender) => sender.on_timeout(),
+            None => Vec::new(),
+        };
+        let mut messages = 0;
+        let mut total_bytes = 0;
+        for frame in frames {
+            let bytes = frame.encode(cov);
+            let len = bytes.len();
+            if let Frame::Data { seq, ctx: tctx, .. } = &frame {
+                self.obs.counter("net.retransmits", 1);
+                self.obs.event(&Event::Retransmitted {
+                    site: self.site_index,
+                    seq: *seq,
+                    bytes: len as u64,
+                });
+                self.record_send(*tctx);
+            }
+            messages += 1;
+            total_bytes += len as u64;
+            send(bytes);
+        }
+        (messages, total_bytes)
+    }
+}
+
+/// The transport-independent coordinator: applies released messages to
+/// the [`Coordinator`] and answers sequenced frames with cumulative ACKs
+/// through one [`ReliableInbox`] per site.
+pub(crate) struct CoordinatorEngine {
+    pub coordinator: Coordinator,
+    pub inboxes: Vec<ReliableInbox>,
+    pub cov: CovarianceType,
+    pub obs: Obs,
+    /// Node id coordinator-side spans are allocated from (= site count,
+    /// matching the star hub's position after the sites).
+    pub trace_node: u32,
+    pub decode_errors: u64,
+    pub apply_errors: u64,
+    pub ack_messages: u64,
+    pub ack_bytes: u64,
+}
+
+impl CoordinatorEngine {
+    pub fn new(coordinator: Coordinator, sites: usize, cov: CovarianceType, obs: Obs) -> Self {
+        CoordinatorEngine {
+            coordinator,
+            inboxes: vec![ReliableInbox::new(); sites],
+            cov,
+            obs,
+            trace_node: sites as u32,
+            decode_errors: 0,
+            apply_errors: 0,
+            ack_messages: 0,
+            ack_bytes: 0,
+        }
+    }
+
+    fn apply(&mut self, message: &Message) {
+        self.apply_traced(message, None);
+    }
+
+    /// Applies one released message. With a trace context, this is where a
+    /// frame's wire span ends: close it at the release time, record a
+    /// `coord.apply` marker under it, and scope the coordinator so its
+    /// merge/refine work lands in the same trace.
+    fn apply_traced(&mut self, message: &Message, tctx: Option<TraceCtx>) {
+        let scope = tctx.filter(|_| self.obs.tracing_enabled()).map(|tc| {
+            let now = self.obs.sim_now_us();
+            self.obs.close_span(tc.span, now);
+            let span = self.obs.alloc_span(self.trace_node);
+            self.obs.record_span(&SpanRecord {
+                trace: tc.trace,
+                span,
+                parent: Some(tc.span),
+                name: "coord.apply",
+                node: self.trace_node,
+                start_us: now,
+                end_us: now,
+                cost_us: 0,
+            });
+            SpanScope { trace: tc.trace, parent: span, node: self.trace_node }
+        });
+        if scope.is_some() {
+            self.coordinator.set_trace_scope(scope);
+        }
+        if self.coordinator.apply(message).is_err() {
+            self.apply_errors += 1;
+        }
+        if scope.is_some() {
+            self.coordinator.set_trace_scope(None);
+        }
+    }
+
+    /// Decodes and processes one raw wire payload. Returns the encoded
+    /// cumulative-ACK frame to answer with, when the payload was a
+    /// sequenced data frame (a duplicate still gets an ACK — the site has
+    /// not seen our cumulative position yet).
+    pub fn on_wire(&mut self, payload: &ByteBuf) -> Option<ByteBuf> {
+        match Frame::decode(&mut payload.reader()) {
+            Ok(Frame::Bare(message)) => {
+                self.apply(&message);
+                None
+            }
+            Ok(Frame::Data { seq, message, ctx: tctx }) => {
+                let site = message.site() as usize;
+                if site >= self.inboxes.len() {
+                    self.decode_errors += 1;
+                    return None;
+                }
+                for (ready, rctx) in self.inboxes[site].accept_traced(seq, message, tctx) {
+                    self.apply_traced(&ready, rctx);
+                }
+                let ack = Frame::Ack { cumulative: self.inboxes[site].cumulative() };
+                let bytes = ack.encode(self.cov);
+                self.ack_messages += 1;
+                self.ack_bytes += bytes.len() as u64;
+                Some(bytes)
+            }
+            Ok(Frame::Ack { .. }) | Err(_) => {
+                self.decode_errors += 1;
+                None
+            }
+        }
+    }
+}

@@ -31,6 +31,10 @@ pub enum CludiError {
     /// A [`crate::Simulation`] builder was given an inconsistent recipe
     /// (e.g. a stream count that disagrees with the site count).
     Build(&'static str),
+    /// The socket runtime failed: connect/accept, handshake rejection, or
+    /// an I/O error that retries could not absorb. Carries the rendered
+    /// cause (`std::io::Error` is neither `Clone` nor `PartialEq`).
+    Net(String),
 }
 
 impl fmt::Display for CludiError {
@@ -43,6 +47,7 @@ impl fmt::Display for CludiError {
             }
             CludiError::Decode(msg) => write!(f, "decode error: {msg}"),
             CludiError::Build(msg) => write!(f, "builder error: {msg}"),
+            CludiError::Net(msg) => write!(f, "network error: {msg}"),
         }
     }
 }
@@ -66,6 +71,12 @@ impl From<GmmError> for CludiError {
 impl From<SimError> for CludiError {
     fn from(e: SimError) -> Self {
         CludiError::Sim(e)
+    }
+}
+
+impl From<std::io::Error> for CludiError {
+    fn from(e: std::io::Error) -> Self {
+        CludiError::Net(e.to_string())
     }
 }
 

@@ -27,15 +27,19 @@
 //! - [`windows`] — landmark, horizon, and sliding-window semantics.
 //! - [`change`] — change detection from chunk outcomes (Sec. 7).
 //! - [`multilayer`] — tree-structured networks (Sec. 7).
-//! - [`driver`] — glue to run everything under the discrete-event
-//!   simulator with per-second communication accounting. Runs are built
-//!   with the [`Simulation`] builder: `Simulation::star(n)` configures a
-//!   star of `n` sites, `with_window` selects landmark or sliding-window
-//!   semantics ([`WindowSpec`]), `with_faults` attaches a
-//!   [`FaultPlan`] (switching synopsis delivery to the reliable
-//!   protocol), and `run()` returns a [`StarReport`] with byte-accurate
-//!   communication and delivery accounting — see the [`driver`] module
-//!   docs for a worked example.
+//! - [`driver`] — the [`Simulation`] builder: `Simulation::star(n)`
+//!   configures a star of `n` sites, `with_window` selects landmark or
+//!   sliding-window semantics ([`WindowSpec`]), and `run()` returns a
+//!   [`StarReport`] with byte-accurate communication and delivery
+//!   accounting — see the [`driver`] module docs for a worked example.
+//! - [`transport`] — how the bytes move: the deterministic
+//!   [`SimnetTransport`] (default; `with_faults` on the transport attaches
+//!   a [`FaultPlan`], switching synopsis delivery to the reliable
+//!   protocol) or the socket runtime's [`runtime::TcpTransport`], selected
+//!   via `with_transport`.
+//! - [`runtime`] — the process-per-site TCP runtime: coordinator/site
+//!   loops over real `std::net` sockets, rendezvous handshake, heartbeats
+//!   and timeout-based eviction.
 //!
 //! ## Quickstart
 //!
@@ -65,10 +69,13 @@ pub mod change;
 mod config;
 pub mod coordinator;
 pub mod driver;
+mod engine;
 mod error;
 pub mod multilayer;
 pub mod protocol;
 pub mod remote;
+pub mod runtime;
+pub mod transport;
 pub mod windows;
 
 pub use change::{ChangeDetector, ChangeKind, ChangePoint};
@@ -83,6 +90,7 @@ pub use error::CludiError;
 pub use multilayer::MultiLayerNetwork;
 pub use protocol::{Frame, Message, ReliableInbox, ReliableSender};
 pub use remote::{ChunkOutcome, ModelId, RemoteSite, SiteEvent, SiteStats};
+pub use transport::{RunRecipe, SimnetTransport, Transport, TransportSemantics};
 pub use windows::{
     horizon_mixture, landmark_mixture, LandmarkWindow, SlidingWindowSite, Window, WindowSpec,
 };

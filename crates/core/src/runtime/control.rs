@@ -1,0 +1,320 @@
+//! Control-plane frames for the socket runtime.
+//!
+//! The data plane reuses [`crate::protocol::Frame`] unchanged (tags
+//! 1–6); control frames claim tags from [`CONTROL_TAG_MIN`] upward, so
+//! either side classifies an incoming payload by its first byte and the
+//! synopsis bytes on the wire stay identical to the simulator's.
+//!
+//! The rendezvous handshake: a site connects and sends [`Control::Hello`]
+//! (protocol version, site index, data dimension, covariance kind, and
+//! whether it is resuming after a dropped connection). The coordinator
+//! answers [`Control::Welcome`] — carrying its heartbeat/timeout policy
+//! and the cumulative ACK for that site's inbox, which is what makes
+//! reconnect a resync instead of a replay-from-zero — or a
+//! [`Control::Reject`] naming the mismatched parameter. Once every site
+//! has said hello the coordinator broadcasts [`Control::Start`]; sites
+//! keep liveness with [`Control::Ping`], announce stream exhaustion with
+//! [`Control::Done`], and disband on [`Control::Stop`].
+
+use crate::error::CludiError;
+use cludistream_gmm::CovarianceType;
+use cludistream_wire::{ByteBuf, ByteReader};
+
+/// Version both ends must agree on before any data-plane traffic.
+pub const PROTOCOL_VERSION: u16 = 1;
+
+/// First payload byte at or above this value marks a control frame;
+/// anything below is a data-plane [`crate::protocol::Frame`].
+pub const CONTROL_TAG_MIN: u8 = 32;
+
+const TAG_HELLO: u8 = 32;
+const TAG_WELCOME: u8 = 33;
+const TAG_REJECT: u8 = 34;
+const TAG_START: u8 = 35;
+const TAG_PING: u8 = 36;
+const TAG_DONE: u8 = 37;
+const TAG_STOP: u8 = 38;
+
+/// Why the coordinator refused a [`Control::Hello`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RejectCode {
+    /// Protocol version mismatch.
+    Version,
+    /// Data dimension mismatch.
+    Dimension,
+    /// Covariance kind mismatch.
+    Covariance,
+    /// Site index out of range (or already taken by a live connection).
+    SiteIndex,
+}
+
+impl RejectCode {
+    fn to_u8(self) -> u8 {
+        match self {
+            RejectCode::Version => 1,
+            RejectCode::Dimension => 2,
+            RejectCode::Covariance => 3,
+            RejectCode::SiteIndex => 4,
+        }
+    }
+
+    fn from_u8(v: u8) -> Result<RejectCode, CludiError> {
+        match v {
+            1 => Ok(RejectCode::Version),
+            2 => Ok(RejectCode::Dimension),
+            3 => Ok(RejectCode::Covariance),
+            4 => Ok(RejectCode::SiteIndex),
+            _ => Err(CludiError::Decode("unknown reject code")),
+        }
+    }
+
+    /// Human-readable name of the mismatched parameter, for operator
+    /// diagnostics.
+    pub fn describe(self) -> &'static str {
+        match self {
+            RejectCode::Version => "protocol version",
+            RejectCode::Dimension => "data dimension",
+            RejectCode::Covariance => "covariance kind",
+            RejectCode::SiteIndex => "site index",
+        }
+    }
+}
+
+fn cov_to_u8(cov: CovarianceType) -> u8 {
+    match cov {
+        CovarianceType::Full => 0,
+        CovarianceType::Diagonal => 1,
+    }
+}
+
+fn cov_from_u8(v: u8) -> Result<CovarianceType, CludiError> {
+    match v {
+        0 => Ok(CovarianceType::Full),
+        1 => Ok(CovarianceType::Diagonal),
+        _ => Err(CludiError::Decode("unknown covariance tag")),
+    }
+}
+
+/// A socket-runtime control frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Control {
+    /// Site → coordinator: rendezvous request.
+    Hello {
+        /// The site's [`PROTOCOL_VERSION`].
+        version: u16,
+        /// The site's index in `0..sites`.
+        site: u32,
+        /// Record dimension the site was configured with.
+        dim: u32,
+        /// Covariance kind the site encodes synopses with.
+        cov: CovarianceType,
+        /// `true` when this is a reconnect after a dropped connection:
+        /// the site still holds sender state and wants a resync, not a
+        /// fresh round.
+        resume: bool,
+    },
+    /// Coordinator → site: rendezvous accepted.
+    Welcome {
+        /// The coordinator's [`PROTOCOL_VERSION`].
+        version: u16,
+        /// How often the site should ping, microseconds.
+        heartbeat_us: u64,
+        /// Silence after which the coordinator evicts, microseconds.
+        timeout_us: u64,
+        /// Cumulative ACK of the coordinator's inbox for this site; a
+        /// resuming site trims its retransmit queue to this before
+        /// re-sending anything.
+        ack: u64,
+    },
+    /// Coordinator → site: rendezvous refused; the connection closes.
+    Reject {
+        /// Which parameter disagreed.
+        code: RejectCode,
+        /// The coordinator's value.
+        expect: u64,
+        /// The site's offending value.
+        got: u64,
+    },
+    /// Coordinator → sites: every site joined; start streaming.
+    Start,
+    /// Site → coordinator: liveness heartbeat.
+    Ping {
+        /// The pinging site.
+        site: u32,
+    },
+    /// Site → coordinator: stream exhausted and every frame acknowledged.
+    Done {
+        /// The finished site.
+        site: u32,
+    },
+    /// Coordinator → sites: the round is over; disconnect.
+    Stop,
+}
+
+impl Control {
+    /// Encodes the frame.
+    pub fn encode(&self) -> ByteBuf {
+        let mut buf = ByteBuf::new();
+        match *self {
+            Control::Hello { version, site, dim, cov, resume } => {
+                buf.put_u8(TAG_HELLO);
+                buf.put_u16_le(version);
+                buf.put_u32_le(site);
+                buf.put_u32_le(dim);
+                buf.put_u8(cov_to_u8(cov));
+                buf.put_u8(u8::from(resume));
+            }
+            Control::Welcome { version, heartbeat_us, timeout_us, ack } => {
+                buf.put_u8(TAG_WELCOME);
+                buf.put_u16_le(version);
+                buf.put_u64_le(heartbeat_us);
+                buf.put_u64_le(timeout_us);
+                buf.put_u64_le(ack);
+            }
+            Control::Reject { code, expect, got } => {
+                buf.put_u8(TAG_REJECT);
+                buf.put_u8(code.to_u8());
+                buf.put_u64_le(expect);
+                buf.put_u64_le(got);
+            }
+            Control::Start => buf.put_u8(TAG_START),
+            Control::Ping { site } => {
+                buf.put_u8(TAG_PING);
+                buf.put_u32_le(site);
+            }
+            Control::Done { site } => {
+                buf.put_u8(TAG_DONE);
+                buf.put_u32_le(site);
+            }
+            Control::Stop => buf.put_u8(TAG_STOP),
+        }
+        buf
+    }
+
+    /// Decodes one control frame, validating length before every field.
+    pub fn decode(reader: &mut ByteReader<'_>) -> Result<Control, CludiError> {
+        if reader.remaining() < 1 {
+            return Err(CludiError::Decode("empty control frame"));
+        }
+        match reader.get_u8() {
+            TAG_HELLO => {
+                if reader.remaining() < 12 {
+                    return Err(CludiError::Decode("truncated Hello"));
+                }
+                let version = reader.get_u16_le();
+                let site = reader.get_u32_le();
+                let dim = reader.get_u32_le();
+                let cov = cov_from_u8(reader.get_u8())?;
+                let resume = reader.get_u8() != 0;
+                Ok(Control::Hello { version, site, dim, cov, resume })
+            }
+            TAG_WELCOME => {
+                if reader.remaining() < 26 {
+                    return Err(CludiError::Decode("truncated Welcome"));
+                }
+                Ok(Control::Welcome {
+                    version: reader.get_u16_le(),
+                    heartbeat_us: reader.get_u64_le(),
+                    timeout_us: reader.get_u64_le(),
+                    ack: reader.get_u64_le(),
+                })
+            }
+            TAG_REJECT => {
+                if reader.remaining() < 17 {
+                    return Err(CludiError::Decode("truncated Reject"));
+                }
+                let code = RejectCode::from_u8(reader.get_u8())?;
+                let expect = reader.get_u64_le();
+                let got = reader.get_u64_le();
+                Ok(Control::Reject { code, expect, got })
+            }
+            TAG_START => Ok(Control::Start),
+            TAG_PING => {
+                if reader.remaining() < 4 {
+                    return Err(CludiError::Decode("truncated Ping"));
+                }
+                Ok(Control::Ping { site: reader.get_u32_le() })
+            }
+            TAG_DONE => {
+                if reader.remaining() < 4 {
+                    return Err(CludiError::Decode("truncated Done"));
+                }
+                Ok(Control::Done { site: reader.get_u32_le() })
+            }
+            TAG_STOP => Ok(Control::Stop),
+            _ => Err(CludiError::Decode("unknown control tag")),
+        }
+    }
+
+    /// `true` when a payload's first byte marks a control frame rather
+    /// than a data-plane [`crate::protocol::Frame`].
+    pub fn is_control(payload: &[u8]) -> bool {
+        payload.first().is_some_and(|&b| b >= CONTROL_TAG_MIN)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(frame: Control) {
+        let bytes = frame.encode();
+        assert!(Control::is_control(bytes.as_slice()), "{frame:?} must classify as control");
+        let decoded = Control::decode(&mut bytes.reader()).expect("decode");
+        assert_eq!(decoded, frame);
+    }
+
+    #[test]
+    fn every_control_frame_roundtrips() {
+        roundtrip(Control::Hello {
+            version: PROTOCOL_VERSION,
+            site: 7,
+            dim: 3,
+            cov: CovarianceType::Diagonal,
+            resume: true,
+        });
+        roundtrip(Control::Welcome {
+            version: PROTOCOL_VERSION,
+            heartbeat_us: 500_000,
+            timeout_us: 5_000_000,
+            ack: 42,
+        });
+        roundtrip(Control::Reject { code: RejectCode::Dimension, expect: 3, got: 5 });
+        roundtrip(Control::Start);
+        roundtrip(Control::Ping { site: 2 });
+        roundtrip(Control::Done { site: 1 });
+        roundtrip(Control::Stop);
+    }
+
+    #[test]
+    fn data_plane_frames_are_not_control() {
+        use crate::protocol::{Frame, Message};
+        use crate::remote::ModelId;
+        // A Delete message is the smallest data-plane frame to build.
+        let frame = Frame::Bare(Message::Delete { site: 0, model: ModelId(1), count_delta: 2 });
+        let bytes = frame.encode(CovarianceType::Full);
+        assert!(!Control::is_control(bytes.as_slice()));
+    }
+
+    #[test]
+    fn truncated_frames_error_instead_of_panicking() {
+        for frame in [
+            Control::Hello {
+                version: 1,
+                site: 0,
+                dim: 1,
+                cov: CovarianceType::Full,
+                resume: false,
+            },
+            Control::Welcome { version: 1, heartbeat_us: 1, timeout_us: 2, ack: 3 },
+            Control::Reject { code: RejectCode::Version, expect: 1, got: 2 },
+            Control::Ping { site: 0 },
+        ] {
+            let bytes = frame.encode();
+            let short = bytes.slice(..bytes.len() - 1);
+            assert!(Control::decode(&mut short.reader()).is_err(), "{frame:?}");
+        }
+        assert!(Control::decode(&mut ByteReader::new(&[])).is_err());
+        assert!(Control::decode(&mut ByteReader::new(&[200])).is_err());
+    }
+}

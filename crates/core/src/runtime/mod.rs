@@ -1,0 +1,29 @@
+//! The process-per-site socket runtime.
+//!
+//! The simulator answers "what would CluDistream's protocol cost on a
+//! modelled network"; this module answers "does the implementation
+//! actually run distributed" — real `std::net` TCP sockets, one process
+//! (or thread) per site, a rendezvous handshake, heartbeats, and
+//! timeout-based eviction. The synopsis bytes on the wire are identical
+//! to the simulator's: the data plane reuses [`crate::protocol::Frame`]
+//! unchanged inside length-prefixed frames, and only the control plane
+//! ([`control::Control`], tags ≥ [`control::CONTROL_TAG_MIN`]) is new.
+//!
+//! - [`control`] — handshake/liveness frame codec.
+//! - [`liveness`] — the coordinator's pure round/eviction state machine.
+//! - [`tcp`] — the coordinator serve loop, the site loop, and the
+//!   in-process [`TcpTransport`].
+//!
+//! See `docs/OPERATIONS.md` for the operator's manual (launching,
+//! tuning, troubleshooting) and DESIGN.md's "Transport abstraction"
+//! section for the semantics contract.
+
+pub mod control;
+pub mod liveness;
+pub mod tcp;
+
+pub use control::{Control, RejectCode, CONTROL_TAG_MIN, PROTOCOL_VERSION};
+pub use liveness::{RoundMachine, SiteState};
+pub use tcp::{
+    run_site, serve, CoordReport, CoordinatorRun, SiteReport, SiteRun, SocketConfig, TcpTransport,
+};

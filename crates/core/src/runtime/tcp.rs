@@ -1,0 +1,1079 @@
+//! The process-per-site socket runtime: coordinator and site loops over
+//! real `std::net` TCP, plus the in-process [`TcpTransport`].
+//!
+//! Wire layout: every payload travels as a length-prefixed frame
+//! ([`cludistream_wire::framing`]). The payload bytes themselves are
+//! either a data-plane [`crate::protocol::Frame`] — the *same* synopsis
+//! encoding the simulator delivers, so communication-cost numbers stay
+//! comparable — or a [`Control`] frame (first byte ≥
+//! [`super::control::CONTROL_TAG_MIN`]).
+//!
+//! Topology and threading: [`serve`] runs the coordinator — an acceptor
+//! thread hands connections to per-connection reader threads, which feed
+//! decoded frames over a channel into one single-threaded event loop
+//! owning the `CoordinatorEngine` and the `RoundMachine`. Keeping the
+//! engine single-threaded preserves the telemetry call order the golden
+//! fixtures depend on. [`run_site`] runs one site synchronously: connect,
+//! handshake, stream records, retransmit on real-time RTO, heartbeat,
+//! reconnect-and-resync on any socket failure.
+
+use std::collections::HashMap;
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use crate::coordinator::{Coordinator, CoordinatorConfig};
+use crate::driver::{
+    build_site_core, DeliveryConfig, DeliveryMode, DeliveryReport, DriverConfig, RecordStream,
+    StarReport,
+};
+use crate::engine::CoordinatorEngine;
+use crate::error::CludiError;
+use crate::protocol::{Frame, ReliableInbox};
+use crate::remote::SiteStats;
+use crate::runtime::control::{Control, RejectCode, PROTOCOL_VERSION};
+use crate::runtime::liveness::RoundMachine;
+use crate::transport::{RunRecipe, Transport, TransportSemantics};
+use crate::windows::WindowSpec;
+use cludistream_gmm::{CovarianceType, Mixture};
+use cludistream_obs::{net, Event, Obs, Recorder};
+use cludistream_simnet::{CommStats, NodeId};
+use cludistream_wire::framing::{write_frame, FrameReader};
+use cludistream_wire::{ByteBuf, ByteReader};
+
+/// Socket-runtime tuning shared by the coordinator and the sites. The
+/// coordinator's values are authoritative: sites learn `heartbeat_us`
+/// and `timeout_us` from the `Welcome` frame.
+#[derive(Debug, Clone, Copy)]
+pub struct SocketConfig {
+    /// How often idle sites ping, microseconds (default 500 ms).
+    pub heartbeat_us: u64,
+    /// Silence after which the coordinator evicts a site, microseconds
+    /// (default 5 s; keep it several heartbeats wide).
+    pub timeout_us: u64,
+    /// How many times a site retries `connect` before giving up.
+    pub connect_attempts: u32,
+    /// Delay between connect attempts, milliseconds.
+    pub connect_retry_ms: u64,
+    /// Hard wall-clock bound on [`serve`]; `None` waits indefinitely.
+    /// Set it in CI so a wedged round fails instead of hanging.
+    pub deadline: Option<Duration>,
+}
+
+impl Default for SocketConfig {
+    fn default() -> Self {
+        SocketConfig {
+            heartbeat_us: 500_000,
+            timeout_us: 5_000_000,
+            connect_attempts: 50,
+            connect_retry_ms: 100,
+            deadline: None,
+        }
+    }
+}
+
+/// Everything the socket coordinator needs to serve one round.
+pub struct CoordinatorRun {
+    /// Number of sites that must rendezvous before the round starts.
+    pub sites: usize,
+    /// Coordinator (merge/split/refine) configuration.
+    pub coordinator: CoordinatorConfig,
+    /// Record dimension every site must agree on.
+    pub dim: u32,
+    /// Covariance kind every site must agree on.
+    pub cov: CovarianceType,
+    /// Telemetry observer.
+    pub obs: Obs,
+    /// Socket tuning (heartbeat/timeout policy lives here).
+    pub socket: SocketConfig,
+}
+
+/// What the socket coordinator produced.
+#[derive(Debug)]
+pub struct CoordReport {
+    /// Final group count.
+    pub groups: usize,
+    /// Final global mixture, when any site reported a model.
+    pub global: Option<Mixture>,
+    /// Coordinator memory, bytes.
+    pub memory_bytes: usize,
+    /// Per-second communication accounting (data frames in, ACKs out),
+    /// stamped with wall-clock microseconds since serve start.
+    pub comm: CommStats,
+    /// ACK frames sent.
+    pub ack_messages: u64,
+    /// ACK bytes sent.
+    pub ack_bytes: u64,
+    /// Duplicate or stale data frames discarded by the inboxes.
+    pub duplicates_discarded: u64,
+    /// Sites that ended the round evicted.
+    pub evicted: Vec<u32>,
+    /// Reconnect-resyncs served.
+    pub resyncs: u64,
+}
+
+/// One finished site's accounting, returned by [`run_site`].
+#[derive(Debug)]
+pub struct SiteReport {
+    /// Site processing statistics (records, chunks, EM runs).
+    pub stats: SiteStats,
+    /// Models held at the end of the run.
+    pub models: usize,
+    /// Site memory (Theorem 3 accounting), bytes.
+    pub memory_bytes: usize,
+    /// Frames put on the wire (including retransmissions).
+    pub sent_messages: u64,
+    /// Bytes put on the wire (payloads; the 4-byte length prefix is
+    /// excluded to match the simulator's accounting).
+    pub sent_bytes: u64,
+    /// Frames re-sent on RTO expiry.
+    pub retransmitted_messages: u64,
+    /// Bytes re-sent on RTO expiry.
+    pub retransmitted_bytes: u64,
+    /// Times this site reconnected and resynced.
+    pub resyncs: u64,
+}
+
+/// Events the acceptor/reader threads feed the coordinator loop.
+enum NetEvent {
+    /// A connection arrived; `writer` is the write half (a
+    /// `try_clone`).
+    Accepted { conn: u64, writer: TcpStream },
+    /// One length-prefixed frame's payload arrived on `conn`.
+    Frame { conn: u64, payload: Vec<u8> },
+    /// The connection closed or its reader failed.
+    Closed { conn: u64 },
+}
+
+/// A live connection as the coordinator loop sees it.
+struct Conn {
+    writer: TcpStream,
+    site: Option<usize>,
+}
+
+/// Writes one length-prefixed frame to a blocking stream.
+fn write_payload(stream: &TcpStream, payload: &[u8]) -> std::io::Result<()> {
+    write_frame(&mut { stream }, payload)
+}
+
+/// Sends a control frame, counting it under the `net.ctrl_*` counters.
+/// Returns `false` on I/O failure (the caller cuts the connection; the
+/// site reconnects).
+fn send_control(stream: &TcpStream, obs: &Obs, frame: &Control) -> bool {
+    let bytes = frame.encode();
+    net::on_ctrl_send(obs, bytes.len() as u64);
+    write_payload(stream, bytes.as_slice()).is_ok()
+}
+
+/// Serves one clustering round: waits for `run.sites` sites to
+/// rendezvous, broadcasts `Start`, applies their synopses, answers with
+/// ACKs, evicts sites silent past the timeout, and broadcasts `Stop`
+/// once every site is done (or evicted).
+///
+/// The caller binds the listener (so it can publish the ephemeral port
+/// before any site connects) and this function consumes it.
+pub fn serve(listener: TcpListener, run: CoordinatorRun) -> Result<CoordReport, CludiError> {
+    let CoordinatorRun { sites, coordinator, dim, cov, obs, socket } = run;
+    if sites == 0 {
+        return Err(CludiError::Build("need at least one site"));
+    }
+    let mut coord = Coordinator::new(coordinator)?;
+    coord.set_observer(obs.clone());
+    let mut engine = CoordinatorEngine::new(coord, sites, cov, obs.clone());
+    let mut machine = RoundMachine::new(sites, socket.timeout_us);
+    let mut comm = CommStats::new();
+    let hub = NodeId(sites);
+    let mut resyncs = 0u64;
+
+    listener.set_nonblocking(true)?;
+    let done = Arc::new(AtomicBool::new(false));
+    let (tx, rx) = mpsc::channel::<NetEvent>();
+    let acceptor = {
+        let done = Arc::clone(&done);
+        let tx = tx.clone();
+        thread::spawn(move || {
+            let mut next_conn = 0u64;
+            while !done.load(Ordering::Relaxed) {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        let _ = stream.set_nodelay(true);
+                        let conn = next_conn;
+                        next_conn += 1;
+                        let Ok(writer) = stream.try_clone() else { continue };
+                        if tx.send(NetEvent::Accepted { conn, writer }).is_err() {
+                            return;
+                        }
+                        let tx = tx.clone();
+                        thread::spawn(move || read_loop(conn, stream, &tx));
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        thread::sleep(Duration::from_millis(10));
+                    }
+                    Err(_) => return,
+                }
+            }
+        })
+    };
+    drop(tx);
+
+    let started_at = Instant::now();
+    let mut conns: HashMap<u64, Conn> = HashMap::new();
+    let mut site_conn: Vec<Option<u64>> = vec![None; sites];
+
+    let outcome = loop {
+        if socket.deadline.is_some_and(|d| started_at.elapsed() > d) {
+            break Err(CludiError::Net("coordinator serve deadline exceeded".into()));
+        }
+        match rx.recv_timeout(Duration::from_millis(20)) {
+            Ok(NetEvent::Accepted { conn, writer }) => {
+                conns.insert(conn, Conn { writer, site: None });
+            }
+            Ok(NetEvent::Frame { conn, payload }) => {
+                let now_us = started_at.elapsed().as_micros() as u64;
+                on_coord_frame(
+                    &payload, conn, now_us, sites, dim, cov, &obs, &mut engine, &mut machine,
+                    &mut comm, hub, &mut conns, &mut site_conn, &mut resyncs, socket,
+                );
+            }
+            Ok(NetEvent::Closed { conn }) => {
+                if let Some(c) = conns.remove(&conn) {
+                    if let Some(s) = c.site {
+                        if site_conn[s] == Some(conn) {
+                            site_conn[s] = None;
+                        }
+                    }
+                }
+            }
+            Err(mpsc::RecvTimeoutError::Timeout) => {}
+            Err(mpsc::RecvTimeoutError::Disconnected) => {
+                break Err(CludiError::Net("coordinator event channel closed".into()));
+            }
+        }
+        let now_us = started_at.elapsed().as_micros() as u64;
+        for (site, silent_us) in machine.evictions(now_us) {
+            obs.event(&Event::SiteEvicted { site: site as u32, silent_us });
+            obs.counter("coord.evict", 1);
+            if let Some(conn) = site_conn[site].take() {
+                if let Some(c) = conns.get(&conn) {
+                    let _ = c.writer.shutdown(Shutdown::Both);
+                }
+            }
+        }
+        if machine.finished() {
+            for c in conns.values() {
+                send_control(&c.writer, &obs, &Control::Stop);
+            }
+            break Ok(());
+        }
+    };
+
+    // Tear down: stop accepting, cut every socket so blocked readers
+    // exit, and collect the acceptor (reader threads die on their own).
+    done.store(true, Ordering::Relaxed);
+    for c in conns.values() {
+        let _ = c.writer.shutdown(Shutdown::Both);
+    }
+    let _ = acceptor.join();
+    outcome?;
+
+    Ok(CoordReport {
+        groups: engine.coordinator.group_count(),
+        global: engine.coordinator.global_mixture().ok(),
+        memory_bytes: engine.coordinator.memory_bytes(),
+        comm,
+        ack_messages: engine.ack_messages,
+        ack_bytes: engine.ack_bytes,
+        duplicates_discarded: engine.inboxes.iter().map(ReliableInbox::duplicates).sum(),
+        evicted: machine.evicted_sites(),
+        resyncs,
+    })
+}
+
+/// Blocking per-connection reader: length-prefixed frames in, channel
+/// events out, `Closed` on EOF or error.
+fn read_loop(conn: u64, mut stream: TcpStream, tx: &mpsc::Sender<NetEvent>) {
+    let mut fr = FrameReader::new();
+    loop {
+        match fr.poll(&mut stream) {
+            Ok(polled) => {
+                for payload in polled.frames {
+                    if tx.send(NetEvent::Frame { conn, payload }).is_err() {
+                        return;
+                    }
+                }
+                if polled.eof {
+                    let _ = tx.send(NetEvent::Closed { conn });
+                    return;
+                }
+            }
+            Err(_) => {
+                let _ = tx.send(NetEvent::Closed { conn });
+                return;
+            }
+        }
+    }
+}
+
+/// Handles one inbound payload in the coordinator loop: handshake and
+/// liveness for control frames, engine + ACK for data frames.
+#[allow(clippy::too_many_arguments)]
+fn on_coord_frame(
+    payload: &[u8],
+    conn: u64,
+    now_us: u64,
+    sites: usize,
+    dim: u32,
+    cov: CovarianceType,
+    obs: &Obs,
+    engine: &mut CoordinatorEngine,
+    machine: &mut RoundMachine,
+    comm: &mut CommStats,
+    hub: NodeId,
+    conns: &mut HashMap<u64, Conn>,
+    site_conn: &mut [Option<u64>],
+    resyncs: &mut u64,
+    socket: SocketConfig,
+) {
+    if Control::is_control(payload) {
+        let Ok(frame) = Control::decode(&mut ByteReader::new(payload)) else {
+            return;
+        };
+        match frame {
+            Control::Hello { version, site, dim: site_dim, cov: site_cov, resume } => {
+                let reject = if version != PROTOCOL_VERSION {
+                    Some(Control::Reject {
+                        code: RejectCode::Version,
+                        expect: u64::from(PROTOCOL_VERSION),
+                        got: u64::from(version),
+                    })
+                } else if site as usize >= sites {
+                    Some(Control::Reject {
+                        code: RejectCode::SiteIndex,
+                        expect: sites as u64,
+                        got: u64::from(site),
+                    })
+                } else if site_dim != dim {
+                    Some(Control::Reject {
+                        code: RejectCode::Dimension,
+                        expect: u64::from(dim),
+                        got: u64::from(site_dim),
+                    })
+                } else if site_cov != cov {
+                    Some(Control::Reject {
+                        code: RejectCode::Covariance,
+                        expect: u64::from(cov != CovarianceType::Full),
+                        got: u64::from(site_cov != CovarianceType::Full),
+                    })
+                } else {
+                    None
+                };
+                if let Some(reject) = reject {
+                    if let Some(c) = conns.get(&conn) {
+                        send_control(&c.writer, obs, &reject);
+                        let _ = c.writer.shutdown(Shutdown::Both);
+                    }
+                    return;
+                }
+                let site = site as usize;
+                // Newest connection wins: cut a stale one left over from
+                // a drop the reader has not reported yet.
+                if let Some(old) = site_conn[site].replace(conn) {
+                    if old != conn {
+                        if let Some(c) = conns.get(&old) {
+                            let _ = c.writer.shutdown(Shutdown::Both);
+                        }
+                    }
+                }
+                if let Some(c) = conns.get_mut(&conn) {
+                    c.site = Some(site);
+                }
+                machine.join(site, now_us);
+                obs.event(&Event::SiteJoined { site: site as u32 });
+                obs.counter("coord.join", 1);
+                let ack = engine.inboxes[site].cumulative();
+                if resume {
+                    *resyncs += 1;
+                    obs.event(&Event::SiteResynced { site: site as u32, ack });
+                    obs.counter("coord.resync", 1);
+                }
+                let Some(c) = conns.get(&conn) else { return };
+                let welcome = Control::Welcome {
+                    version: PROTOCOL_VERSION,
+                    heartbeat_us: socket.heartbeat_us,
+                    timeout_us: socket.timeout_us,
+                    ack,
+                };
+                if !send_control(&c.writer, obs, &welcome) {
+                    let _ = c.writer.shutdown(Shutdown::Both);
+                    return;
+                }
+                if machine.started() {
+                    // Late (re)joiner: the round is already running.
+                    send_control(&c.writer, obs, &Control::Start);
+                }
+                if machine.ready_to_start() {
+                    for &sc in site_conn.iter() {
+                        let Some(live) = sc.and_then(|id| conns.get(&id)) else { continue };
+                        send_control(&live.writer, obs, &Control::Start);
+                    }
+                }
+            }
+            Control::Ping { site } if (site as usize) < sites => {
+                machine.heard(site as usize, now_us);
+            }
+            Control::Done { site } if (site as usize) < sites => {
+                machine.heard(site as usize, now_us);
+                machine.done(site as usize);
+            }
+            _ => {}
+        }
+        return;
+    }
+    // Data plane: only handshaken connections may speak it.
+    let Some(site) = conns.get(&conn).and_then(|c| c.site) else { return };
+    machine.heard(site, now_us);
+    comm.record(now_us, NodeId(site), hub, payload.len());
+    let mut buf = ByteBuf::with_capacity(payload.len());
+    buf.extend_from_slice(payload);
+    if let Some(ack) = engine.on_wire(&buf) {
+        net::on_send(obs, ack.len() as u64);
+        comm.record(now_us, hub, NodeId(site), ack.len());
+        if let Some(c) = conns.get(&conn) {
+            if write_payload(&c.writer, ack.as_slice()).is_err() {
+                let _ = c.writer.shutdown(Shutdown::Both);
+            }
+        }
+    }
+}
+
+/// Everything one socket site needs to run its half of a round.
+pub struct SiteRun {
+    /// This site's index in `0..sites`.
+    pub site: usize,
+    /// Window semantics.
+    pub window: WindowSpec,
+    /// Driver configuration (site config, rates, observer). The per-site
+    /// seed decorrelation is applied here exactly as the simulator does.
+    pub config: DriverConfig,
+    /// Delivery tuning; the mode must be [`DeliveryMode::Reliable`].
+    pub delivery: DeliveryConfig,
+    /// The record stream.
+    pub stream: RecordStream,
+    /// Records to consume.
+    pub updates: u64,
+    /// Socket tuning (connect retries; heartbeat/timeout are overridden
+    /// by the coordinator's `Welcome`).
+    pub socket: SocketConfig,
+}
+
+/// Connects with retries (the coordinator may not be listening yet).
+fn connect(addr: &str, socket: &SocketConfig) -> Result<TcpStream, CludiError> {
+    let attempts = socket.connect_attempts.max(1);
+    let mut last = String::new();
+    for attempt in 0..attempts {
+        match TcpStream::connect(addr) {
+            Ok(stream) => return Ok(stream),
+            Err(e) => {
+                last = e.to_string();
+                if attempt + 1 < attempts {
+                    thread::sleep(Duration::from_millis(socket.connect_retry_ms));
+                }
+            }
+        }
+    }
+    Err(CludiError::Net(format!("connect to {addr} failed after {attempts} attempts: {last}")))
+}
+
+/// Builds the send closure for one connection: payload counters, sent
+/// accounting, length-prefixed write, and sticky I/O error capture (a
+/// `FnMut(ByteBuf)` cannot return a `Result`; the pump loop checks the
+/// flag and reconnects).
+fn frame_sender<'a>(
+    conn: &'a TcpStream,
+    obs: &'a Obs,
+    sent_messages: &'a mut u64,
+    sent_bytes: &'a mut u64,
+    io_err: &'a mut bool,
+) -> impl FnMut(ByteBuf) + 'a {
+    move |bytes: ByteBuf| {
+        let len = bytes.len() as u64;
+        net::on_send(obs, len);
+        *sent_messages += 1;
+        *sent_bytes += len;
+        if !*io_err && write_payload(conn, bytes.as_slice()).is_err() {
+            *io_err = true;
+        }
+    }
+}
+
+/// Runs one site against a coordinator at `addr`: rendezvous, stream the
+/// records, keep liveness, and reconnect-with-resync on any socket
+/// failure until the coordinator says `Stop`.
+pub fn run_site(addr: &str, run: SiteRun) -> Result<SiteReport, CludiError> {
+    let SiteRun { site, window, config, delivery, stream, updates, socket } = run;
+    if delivery.mode != DeliveryMode::Reliable {
+        return Err(CludiError::Build(
+            "the TCP transport is reliable-only: a reconnect needs sequence state to resync",
+        ));
+    }
+    let mut core = build_site_core(&config, window, site, true, delivery)?;
+    let obs = config.obs.clone();
+    let dim = config.site.dim as u32;
+    let cov = config.site.covariance;
+    let batch = config.batch;
+    let mut stream = stream;
+    let mut remaining = updates;
+    let mut sent_messages = 0u64;
+    let mut sent_bytes = 0u64;
+    let mut retransmitted_messages = 0u64;
+    let mut retransmitted_bytes = 0u64;
+    let mut resyncs = 0u64;
+    let mut reconnects = 0u32;
+
+    'round: loop {
+        let conn = connect(addr, &socket)?;
+        conn.set_nodelay(true)?;
+        conn.set_read_timeout(Some(Duration::from_millis(20)))?;
+        let resume = reconnects > 0;
+        {
+            let hello = Control::Hello {
+                version: PROTOCOL_VERSION,
+                site: site as u32,
+                dim,
+                cov,
+                resume,
+            };
+            let bytes = hello.encode();
+            net::on_ctrl_send(&obs, bytes.len() as u64);
+            write_payload(&conn, bytes.as_slice())?;
+        }
+        let mut fr = FrameReader::new();
+
+        // Rendezvous: wait for Welcome (or Reject) under a deadline.
+        let handshake_deadline = Instant::now() + Duration::from_micros(socket.timeout_us.max(1));
+        let mut welcome = None;
+        'handshake: while welcome.is_none() {
+            if Instant::now() > handshake_deadline {
+                return Err(CludiError::Net(format!("site {site}: handshake timed out")));
+            }
+            let polled = fr.poll(&mut { &conn })?;
+            for payload in polled.frames {
+                if !Control::is_control(&payload) {
+                    continue;
+                }
+                match Control::decode(&mut ByteReader::new(&payload))? {
+                    Control::Welcome { heartbeat_us, ack, .. } => {
+                        welcome = Some((heartbeat_us, ack));
+                        break 'handshake;
+                    }
+                    Control::Reject { code, expect, got } => {
+                        return Err(CludiError::Net(format!(
+                            "site {site}: coordinator rejected handshake: {} mismatch \
+                             (coordinator has {expect}, site sent {got})",
+                            code.describe()
+                        )));
+                    }
+                    _ => {}
+                }
+            }
+            if polled.eof {
+                return Err(CludiError::Net(format!(
+                    "site {site}: connection closed during handshake"
+                )));
+            }
+        }
+        let Some((heartbeat_us, coord_ack)) = welcome else {
+            return Err(CludiError::Net(format!("site {site}: no Welcome received")));
+        };
+        let heartbeat = Duration::from_micros(heartbeat_us.max(1));
+        core.on_ack(coord_ack);
+        let mut io_err = false;
+        if resume {
+            // Go-back-N resync: the Welcome told us the coordinator's
+            // cumulative position; re-send everything past it now.
+            resyncs += 1;
+            let (m, b) = core.retransmit(&mut frame_sender(
+                &conn, &obs, &mut sent_messages, &mut sent_bytes, &mut io_err,
+            ));
+            retransmitted_messages += m;
+            retransmitted_bytes += b;
+        }
+
+        // The pump: poll the socket, feed the window, drain synopses,
+        // retransmit on RTO, heartbeat, announce Done, obey Stop.
+        let mut done_sent = false;
+        let mut last_ping = Instant::now();
+        let mut retx_at: Option<Instant> = None;
+        let mut streaming_timeout = true;
+        conn.set_read_timeout(Some(Duration::from_millis(1)))?;
+        loop {
+            if io_err {
+                break; // reconnect
+            }
+            let polled = match fr.poll(&mut { &conn }) {
+                Ok(p) => p,
+                Err(_) => {
+                    if done_sent {
+                        break 'round;
+                    }
+                    break; // reconnect
+                }
+            };
+            for payload in polled.frames {
+                if Control::is_control(&payload) {
+                    if let Ok(Control::Stop) = Control::decode(&mut ByteReader::new(&payload)) {
+                        break 'round;
+                    }
+                } else if let Ok(Frame::Ack { cumulative }) =
+                    Frame::decode(&mut ByteReader::new(&payload))
+                {
+                    core.on_ack(cumulative);
+                }
+            }
+            if polled.eof {
+                if done_sent {
+                    // Everything was acknowledged before Done went out;
+                    // a close now is the coordinator tearing down.
+                    break 'round;
+                }
+                break; // reconnect
+            }
+            if remaining > 0 {
+                let take = (batch as u64).min(remaining) as usize;
+                for _ in 0..take {
+                    let Some(record) = stream.next() else {
+                        remaining = 0;
+                        break;
+                    };
+                    let _ = core.window.push(record)?;
+                    remaining -= 1;
+                }
+                core.drain_outbound(&mut frame_sender(
+                    &conn, &obs, &mut sent_messages, &mut sent_bytes, &mut io_err,
+                ));
+            } else if streaming_timeout {
+                // Stream drained: stop busy-polling, block up to 20 ms.
+                conn.set_read_timeout(Some(Duration::from_millis(20)))?;
+                streaming_timeout = false;
+            }
+            if core.pending() > 0 {
+                let due = *retx_at.get_or_insert_with(|| {
+                    Instant::now() + Duration::from_micros(core.next_timeout_us())
+                });
+                if Instant::now() >= due {
+                    let (m, b) = core.retransmit(&mut frame_sender(
+                        &conn, &obs, &mut sent_messages, &mut sent_bytes, &mut io_err,
+                    ));
+                    retransmitted_messages += m;
+                    retransmitted_bytes += b;
+                    retx_at = Some(Instant::now() + Duration::from_micros(core.next_timeout_us()));
+                }
+            } else {
+                retx_at = None;
+            }
+            if remaining == 0 && core.pending() == 0 && !done_sent {
+                if send_control(&conn, &obs, &Control::Done { site: site as u32 }) {
+                    done_sent = true;
+                } else {
+                    io_err = true;
+                }
+            }
+            if last_ping.elapsed() >= heartbeat {
+                if !send_control(&conn, &obs, &Control::Ping { site: site as u32 }) {
+                    io_err = true;
+                }
+                last_ping = Instant::now();
+            }
+        }
+        reconnects += 1;
+    }
+
+    Ok(SiteReport {
+        stats: core.window.site().stats(),
+        models: core.window.site().models().len(),
+        memory_bytes: core.window.site().memory_bytes(),
+        sent_messages,
+        sent_bytes,
+        retransmitted_messages,
+        retransmitted_bytes,
+        resyncs,
+    })
+}
+
+/// The socket transport: sites on their own OS threads, the coordinator
+/// loop on the calling thread, loopback TCP in between. Reliable-only —
+/// [`DeliveryMode::FireAndForget`] recipes are rejected, because a
+/// reconnect needs sequence state to resync.
+///
+/// For genuinely separate processes, use the `cludistream coordinator` /
+/// `cludistream site` binaries, which call [`serve`] and [`run_site`]
+/// directly.
+#[derive(Debug, Default)]
+pub struct TcpTransport {
+    socket: SocketConfig,
+}
+
+impl TcpTransport {
+    /// A loopback socket transport with default heartbeat/timeout tuning.
+    pub fn new() -> TcpTransport {
+        TcpTransport::default()
+    }
+
+    /// Overrides the socket tuning.
+    pub fn with_socket(mut self, socket: SocketConfig) -> TcpTransport {
+        self.socket = socket;
+        self
+    }
+}
+
+impl Transport for TcpTransport {
+    fn semantics(&self) -> TransportSemantics {
+        TransportSemantics {
+            name: "tcp",
+            deterministic_clock: false,
+            lossy: true,
+            supports_fire_and_forget: false,
+            multi_process: true,
+        }
+    }
+
+    fn run(self: Box<Self>, recipe: RunRecipe) -> Result<StarReport, CludiError> {
+        let RunRecipe { sites, window, config, delivery, streams, updates_per_site } = recipe;
+        let delivery = delivery.unwrap_or(DeliveryConfig {
+            mode: DeliveryMode::Reliable,
+            rto_us: 50_000,
+            rto_cap_us: 1_000_000,
+        });
+        if delivery.mode != DeliveryMode::Reliable {
+            return Err(CludiError::Build(
+                "the TCP transport is reliable-only: a reconnect needs sequence state to resync",
+            ));
+        }
+        let listener = TcpListener::bind(("127.0.0.1", 0))?;
+        let addr = listener.local_addr()?.to_string();
+        let started = Instant::now();
+
+        let mut handles = Vec::with_capacity(sites);
+        for (i, stream) in streams.into_iter().enumerate() {
+            let run = SiteRun {
+                site: i,
+                window,
+                config: config.clone(),
+                delivery,
+                stream,
+                updates: updates_per_site,
+                socket: self.socket,
+            };
+            let addr = addr.clone();
+            handles.push(thread::spawn(move || run_site(&addr, run)));
+        }
+        let coord_outcome = serve(
+            listener,
+            CoordinatorRun {
+                sites,
+                coordinator: config.coordinator.clone(),
+                dim: config.site.dim as u32,
+                cov: config.site.covariance,
+                obs: config.obs.clone(),
+                socket: self.socket,
+            },
+        );
+        // Join the sites even when the coordinator failed, so their
+        // threads never outlive the run.
+        let mut site_reports = Vec::with_capacity(sites);
+        for handle in handles {
+            site_reports.push(
+                handle
+                    .join()
+                    .map_err(|_| CludiError::Net("site thread panicked".into()))?,
+            );
+        }
+        let coord = coord_outcome?;
+        let mut site_stats = Vec::with_capacity(sites);
+        let mut site_models = Vec::with_capacity(sites);
+        let mut site_memory = Vec::with_capacity(sites);
+        let mut retransmitted_messages = 0;
+        let mut retransmitted_bytes = 0;
+        for report in site_reports {
+            let report = report?;
+            site_stats.push(report.stats);
+            site_models.push(report.models);
+            site_memory.push(report.memory_bytes);
+            retransmitted_messages += report.retransmitted_messages;
+            retransmitted_bytes += report.retransmitted_bytes;
+        }
+        // TCP delivers everything it accepts; anything lost to a dropped
+        // connection was retransmitted after the resync, so the books
+        // balance with zero drop/duplicate rows.
+        let delivery_report = DeliveryReport {
+            reliable: true,
+            sent_messages: coord.comm.total_messages(),
+            sent_bytes: coord.comm.total_bytes(),
+            delivered_messages: coord.comm.total_messages(),
+            delivered_bytes: coord.comm.total_bytes(),
+            retransmitted_messages,
+            retransmitted_bytes,
+            ack_messages: coord.ack_messages,
+            ack_bytes: coord.ack_bytes,
+            duplicates_discarded: coord.duplicates_discarded,
+            ..Default::default()
+        };
+        Ok(StarReport {
+            comm: coord.comm,
+            delivery: delivery_report,
+            global: coord.global,
+            site_stats,
+            site_models,
+            site_memory,
+            coordinator_groups: coord.groups,
+            coordinator_memory: coord.memory_bytes,
+            sim_seconds: started.elapsed().as_secs_f64(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::Message;
+    use crate::remote::ModelId;
+    use cludistream_obs::Registry;
+    use std::io::Write as _;
+    use std::sync::Mutex;
+
+    /// In-memory journal sink readable after the run.
+    #[derive(Clone, Default)]
+    struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+    impl std::io::Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().expect("sink lock").extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    fn send(stream: &mut TcpStream, payload: &[u8]) {
+        write_frame(stream, payload).expect("write frame");
+        stream.flush().expect("flush");
+    }
+
+    /// Blocks until one whole frame arrives.
+    fn next_frame(stream: &mut TcpStream, reader: &mut FrameReader) -> Vec<u8> {
+        loop {
+            let polled = reader.poll(stream).expect("poll");
+            if let Some(frame) = polled.frames.into_iter().next() {
+                return frame;
+            }
+            assert!(!polled.eof, "coordinator closed the connection early");
+        }
+    }
+
+    fn hello(site: u32, resume: bool) -> Control {
+        Control::Hello { version: PROTOCOL_VERSION, site, dim: 1, cov: CovarianceType::Full, resume }
+    }
+
+    /// Reads frames until the coordinator's `Welcome`, skipping `Start`
+    /// (whose arrival order depends on when the other site joins).
+    fn await_welcome(stream: &mut TcpStream, reader: &mut FrameReader) -> u64 {
+        loop {
+            let frame = next_frame(stream, reader);
+            if !Control::is_control(&frame) {
+                continue;
+            }
+            match Control::decode(&mut ByteReader::new(&frame)).expect("control frame") {
+                Control::Welcome { version, ack, .. } => {
+                    assert_eq!(version, PROTOCOL_VERSION);
+                    return ack;
+                }
+                Control::Start => {}
+                other => panic!("expected Welcome, got {other:?}"),
+            }
+        }
+    }
+
+    /// Drives a hand-rolled site against [`serve`] through the full
+    /// failure story: join, send one sequenced frame, vanish silently,
+    /// get evicted (journal event + `coord.evict`), reconnect with
+    /// `resume`, and receive the coordinator's cumulative ACK so the
+    /// resync starts exactly where the inbox left off.
+    #[test]
+    fn eviction_and_rejoin_resync_over_real_sockets() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let sink = SharedBuf::default();
+        let registry = Arc::new(Registry::with_journal(Box::new(sink.clone())));
+        let run = CoordinatorRun {
+            sites: 2,
+            coordinator: CoordinatorConfig::default(),
+            dim: 1,
+            cov: CovarianceType::Full,
+            obs: Obs::from_registry(Arc::clone(&registry)),
+            socket: SocketConfig {
+                // Pings every 50 ms against a 1 s timeout: a 20× margin,
+                // so site 1 survives scheduler stalls even when the whole
+                // workspace test suite runs in parallel on a loaded host.
+                heartbeat_us: 50_000,
+                timeout_us: 1_000_000,
+                deadline: Some(Duration::from_secs(30)),
+                ..SocketConfig::default()
+            },
+        };
+        let server = thread::spawn(move || serve(listener, run));
+
+        // Site 1 stays healthy for the whole round on its own thread,
+        // pinging until told to finish — it keeps the round alive while
+        // site 0 is evicted.
+        let finish = Arc::new(AtomicBool::new(false));
+        let finish_signal = Arc::clone(&finish);
+        let site1 = thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).expect("site 1 connect");
+            let mut reader = FrameReader::new();
+            send(&mut s, hello(1, false).encode().as_slice());
+            await_welcome(&mut s, &mut reader);
+            s.set_read_timeout(Some(Duration::from_millis(10))).expect("read timeout");
+            while !finish_signal.load(Ordering::Relaxed) {
+                send(&mut s, Control::Ping { site: 1 }.encode().as_slice());
+                // Drain whatever the coordinator broadcast (`Start`):
+                // closing a socket with unread data queued makes TCP
+                // reset the connection, which would discard our final
+                // `Done` in flight. The real site loop drains too.
+                let _ = reader.poll(&mut s);
+                thread::sleep(Duration::from_millis(40));
+            }
+            send(&mut s, Control::Done { site: 1 }.encode().as_slice());
+            // Hold the socket open until `Stop` (or the teardown EOF) so
+            // the `Done` is delivered before the close.
+            loop {
+                match reader.poll(&mut s) {
+                    Ok(polled) => {
+                        if polled.frames.iter().any(|f| {
+                            matches!(
+                                Control::decode(&mut ByteReader::new(f)),
+                                Ok(Control::Stop)
+                            )
+                        }) || polled.eof
+                        {
+                            return;
+                        }
+                    }
+                    Err(_) => return,
+                }
+            }
+        });
+
+        // Site 0 joins and gets one sequenced data frame acknowledged.
+        let mut s0 = TcpStream::connect(addr).expect("site 0 connect");
+        let mut reader0 = FrameReader::new();
+        send(&mut s0, hello(0, false).encode().as_slice());
+        assert_eq!(await_welcome(&mut s0, &mut reader0), 0, "fresh inbox");
+        // Sequence numbers start at 0; the cumulative ACK counts in-order
+        // frames received, so one accepted frame acks as 1.
+        let data = Frame::Data {
+            seq: 0,
+            message: Message::Delete { site: 0, model: ModelId(9), count_delta: 1 },
+            ctx: None,
+        };
+        send(&mut s0, data.encode(CovarianceType::Full).as_slice());
+        let ack = loop {
+            let frame = next_frame(&mut s0, &mut reader0);
+            if Control::is_control(&frame) {
+                continue; // Start
+            }
+            match Frame::decode(&mut ByteReader::new(&frame)).expect("data-plane frame") {
+                Frame::Ack { cumulative } => break cumulative,
+                other => panic!("expected Ack, got {other:?}"),
+            }
+        };
+        assert_eq!(ack, 1, "coordinator acknowledged seq 1");
+
+        // Site 0 vanishes without a Done; past the timeout it is evicted.
+        drop(s0);
+        thread::sleep(Duration::from_millis(1_400));
+
+        // Reconnect-resume: the Welcome must carry cumulative ACK 1, the
+        // go-back-N resync point (nothing before it is retransmitted).
+        let mut s0 = TcpStream::connect(addr).expect("site 0 reconnect");
+        let mut reader0 = FrameReader::new();
+        send(&mut s0, hello(0, true).encode().as_slice());
+        assert_eq!(await_welcome(&mut s0, &mut reader0), 1, "resync from the inbox position");
+        send(&mut s0, Control::Done { site: 0 }.encode().as_slice());
+        finish.store(true, Ordering::Relaxed);
+
+        site1.join().expect("site 1 thread");
+        let report = server.join().expect("serve thread").expect("serve succeeds");
+        registry.flush_journal().expect("flush");
+
+        let journal =
+            String::from_utf8(sink.0.lock().expect("sink lock").clone()).expect("utf-8");
+        assert_eq!(report.resyncs, 1, "one resume served");
+        assert!(
+            report.evicted.is_empty(),
+            "no site may end the round evicted (0 rejoined, 1 stayed live): {:?}\n{journal}",
+            report.evicted
+        );
+        assert!(
+            journal.lines().any(|l| l.contains("\"event\":\"SiteEvicted\"") && l.contains("\"site\":0")),
+            "missing SiteEvicted for site 0:\n{journal}"
+        );
+        assert!(
+            journal.lines().any(|l| l.contains("\"event\":\"SiteResynced\"") && l.contains("\"ack\":1")),
+            "missing SiteResynced with ack 1:\n{journal}"
+        );
+    }
+
+    /// A `Hello` with the wrong protocol version is refused with a
+    /// `Reject` naming the mismatch, and the round goes on without the
+    /// impostor.
+    #[test]
+    fn version_mismatch_is_rejected() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let run = CoordinatorRun {
+            sites: 1,
+            coordinator: CoordinatorConfig::default(),
+            dim: 1,
+            cov: CovarianceType::Full,
+            obs: Obs::noop(),
+            socket: SocketConfig {
+                deadline: Some(Duration::from_secs(10)),
+                ..SocketConfig::default()
+            },
+        };
+        let server = thread::spawn(move || serve(listener, run));
+
+        let mut bad = TcpStream::connect(addr).expect("connect");
+        let mut reader = FrameReader::new();
+        let wrong = Control::Hello {
+            version: PROTOCOL_VERSION + 1,
+            site: 0,
+            dim: 1,
+            cov: CovarianceType::Full,
+            resume: false,
+        };
+        send(&mut bad, wrong.encode().as_slice());
+        let frame = next_frame(&mut bad, &mut reader);
+        match Control::decode(&mut ByteReader::new(&frame)).expect("control") {
+            Control::Reject { code, expect, got } => {
+                assert_eq!(code, RejectCode::Version);
+                assert_eq!(expect, u64::from(PROTOCOL_VERSION));
+                assert_eq!(got, u64::from(PROTOCOL_VERSION) + 1);
+            }
+            other => panic!("expected Reject, got {other:?}"),
+        }
+        drop(bad);
+
+        // A well-versioned site still completes the round.
+        let mut good = TcpStream::connect(addr).expect("connect");
+        let mut reader = FrameReader::new();
+        send(&mut good, hello(0, false).encode().as_slice());
+        await_welcome(&mut good, &mut reader);
+        send(&mut good, Control::Done { site: 0 }.encode().as_slice());
+        let report = server.join().expect("serve thread").expect("serve succeeds");
+        assert!(report.evicted.is_empty());
+    }
+}

@@ -1,0 +1,142 @@
+//! The [`Transport`] abstraction: how a star of remote sites reaches the
+//! coordinator.
+//!
+//! The paper's experiments assume real sites streaming synopses over a
+//! network; the early PRs ran everything inside the deterministic
+//! discrete-event simulator. This module splits the two concerns: the
+//! [`crate::Simulation`] builder describes the *workload* (sites, window
+//! semantics, streams, delivery tuning) as a [`RunRecipe`], and a
+//! [`Transport`] decides how the bytes actually move:
+//!
+//! - [`SimnetTransport`] — the discrete-event simulator. Deterministic,
+//!   simulated clock, optional fault injection ([`FaultPlan`]) and link
+//!   timing ([`LinkModel`]). Golden journal/trace fixtures are recorded
+//!   through this transport and stay byte-identical.
+//! - [`crate::runtime::TcpTransport`] — real `std::net` TCP sockets on
+//!   loopback, one OS thread per site, wall clock, reliable delivery
+//!   always on. Same synopsis bytes, same merge/split decisions, same
+//!   `net.*` counters — different clock.
+//!
+//! Transport-specific knobs (fault plans, link timing, heartbeat tuning)
+//! live on the transport value, not on the builder, so the builder stays
+//! implementation-agnostic:
+//!
+//! ```no_run
+//! use cludistream::{Simulation, SimnetTransport, WindowSpec};
+//! use cludistream_simnet::{FaultPlan, LinkFaults};
+//!
+//! # let streams = Vec::new();
+//! let report = Simulation::star(4)
+//!     .with_window(WindowSpec::Sliding { chunks: 8 })
+//!     .with_transport(Box::new(SimnetTransport::new().with_faults(
+//!         FaultPlan::seeded(7).with_link(LinkFaults { drop_p: 0.1, ..Default::default() }),
+//!     )))
+//!     .with_streams(streams)
+//!     .with_updates_per_site(10_000)
+//!     .run()?;
+//! assert!(report.delivery.balanced());
+//! # Ok::<(), cludistream::CludiError>(())
+//! ```
+
+use crate::driver::{DeliveryConfig, DriverConfig, RecordStream, StarReport};
+use crate::error::CludiError;
+use crate::windows::WindowSpec;
+use cludistream_simnet::{FaultPlan, LinkModel};
+
+/// A fully validated run description, handed by the [`crate::Simulation`]
+/// builder to a [`Transport`]. Everything in it is transport-agnostic.
+pub struct RunRecipe {
+    /// Number of remote sites (≥ 1; equals `streams.len()`).
+    pub sites: usize,
+    /// Window semantics every site runs under.
+    pub window: WindowSpec,
+    /// Site/coordinator configuration, rates, and the observer.
+    pub config: DriverConfig,
+    /// Delivery mode/tuning override; `None` lets the transport pick its
+    /// default (simnet: fire-and-forget unless faults are attached; TCP:
+    /// always reliable).
+    pub delivery: Option<DeliveryConfig>,
+    /// One record stream per site.
+    pub streams: Vec<RecordStream>,
+    /// Records each site consumes.
+    pub updates_per_site: u64,
+}
+
+/// What a transport guarantees (and costs), for documentation, test
+/// assertions, and operator diagnostics. See DESIGN.md's "Transport
+/// abstraction" section for the full contract.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TransportSemantics {
+    /// Short identifier (`"simnet"`, `"tcp"`).
+    pub name: &'static str,
+    /// `true` when timestamps are simulated microseconds (byte-identical
+    /// reruns); `false` when they come from the wall clock.
+    pub deterministic_clock: bool,
+    /// `true` when the transport can drop, duplicate, or reorder frames
+    /// (simnet with a fault plan; TCP across connection drops).
+    pub lossy: bool,
+    /// `true` when fire-and-forget delivery is supported. TCP is
+    /// reliable-only: a reconnect needs sequence state to resync.
+    pub supports_fire_and_forget: bool,
+    /// `true` when sites run as independent threads/processes talking
+    /// over real sockets.
+    pub multi_process: bool,
+}
+
+/// How synopsis frames travel between sites and the coordinator.
+///
+/// Implementations consume a [`RunRecipe`] and drive the shared site and
+/// coordinator engines to completion, returning the same [`StarReport`]
+/// shape regardless of what moved the bytes.
+pub trait Transport {
+    /// The ordering/delivery/failure contract this transport provides.
+    fn semantics(&self) -> TransportSemantics;
+
+    /// Runs the recipe to completion.
+    fn run(self: Box<Self>, recipe: RunRecipe) -> Result<StarReport, CludiError>;
+}
+
+/// The deterministic discrete-event transport (the default). Owns the
+/// simnet-specific knobs that used to sit on the `Simulation` builder:
+/// the link timing model and the fault plan.
+#[derive(Debug, Default)]
+pub struct SimnetTransport {
+    link: LinkModel,
+    faults: Option<FaultPlan>,
+}
+
+impl SimnetTransport {
+    /// A fault-free simulator transport with default link timing.
+    pub fn new() -> SimnetTransport {
+        SimnetTransport::default()
+    }
+
+    /// Sets the link timing model (latency, bandwidth).
+    pub fn with_link(mut self, link: LinkModel) -> SimnetTransport {
+        self.link = link;
+        self
+    }
+
+    /// Attaches a deterministic fault plan. Unless the recipe overrides
+    /// delivery explicitly, this switches the run to reliable delivery.
+    pub fn with_faults(mut self, plan: FaultPlan) -> SimnetTransport {
+        self.faults = Some(plan);
+        self
+    }
+}
+
+impl Transport for SimnetTransport {
+    fn semantics(&self) -> TransportSemantics {
+        TransportSemantics {
+            name: "simnet",
+            deterministic_clock: true,
+            lossy: self.faults.is_some(),
+            supports_fire_and_forget: true,
+            multi_process: false,
+        }
+    }
+
+    fn run(self: Box<Self>, recipe: RunRecipe) -> Result<StarReport, CludiError> {
+        crate::driver::run_simnet(recipe, self.link, self.faults)
+    }
+}

@@ -18,8 +18,9 @@ use cludistream_obs::{Obs, TraceCtx};
 use cludistream_wire::{ByteBuf, ByteReader};
 
 /// A remote site wrapped in some window semantics. Object safe: the
-/// driver holds `Box<dyn Window>`.
-pub trait Window: std::fmt::Debug {
+/// driver holds `Box<dyn Window>`. `Send` so the socket transport can
+/// run each site's window on its own thread.
+pub trait Window: std::fmt::Debug + Send {
     /// Consumes one record; returns the chunk outcome when a chunk
     /// completed.
     fn push(&mut self, x: Vector) -> Result<Option<ChunkOutcome>, CludiError>;

@@ -172,6 +172,28 @@ pub enum Event {
         /// Restarted node id.
         node: u64,
     },
+    /// A site completed the rendezvous handshake with the coordinator
+    /// (socket transport; `coord.join` counter accompanies it).
+    SiteJoined {
+        /// Site index.
+        site: u32,
+    },
+    /// The coordinator evicted a site whose heartbeats went silent past
+    /// the liveness timeout (`coord.evict` counter accompanies it).
+    SiteEvicted {
+        /// Site index.
+        site: u32,
+        /// Microseconds since the site's last observed traffic.
+        silent_us: u64,
+    },
+    /// An evicted or disconnected site reconnected and resynced from the
+    /// coordinator's cumulative ACK (go-back-N checkpoint resync).
+    SiteResynced {
+        /// Site index.
+        site: u32,
+        /// The cumulative ACK the site resumed from.
+        ack: u64,
+    },
 }
 
 impl Event {
@@ -192,6 +214,9 @@ impl Event {
             Event::Partitioned { .. } => "Partitioned",
             Event::SiteCrashed { .. } => "SiteCrashed",
             Event::SiteRecovered { .. } => "SiteRecovered",
+            Event::SiteJoined { .. } => "SiteJoined",
+            Event::SiteEvicted { .. } => "SiteEvicted",
+            Event::SiteResynced { .. } => "SiteResynced",
         }
     }
 
@@ -258,6 +283,15 @@ impl Event {
             }
             Event::SiteRecovered { node } => {
                 let _ = write!(s, ",\"node\":{node}");
+            }
+            Event::SiteJoined { site } => {
+                let _ = write!(s, ",\"site\":{site}");
+            }
+            Event::SiteEvicted { site, silent_us } => {
+                let _ = write!(s, ",\"site\":{site},\"silent_us\":{silent_us}");
+            }
+            Event::SiteResynced { site, ack } => {
+                let _ = write!(s, ",\"site\":{site},\"ack\":{ack}");
             }
         }
         s.push('}');
@@ -341,6 +375,9 @@ mod tests {
             Event::Partitioned { a: 1, b: 2, from_us: 1000, until_us: 2000 },
             Event::SiteCrashed { node: 1 },
             Event::SiteRecovered { node: 1 },
+            Event::SiteJoined { site: 2 },
+            Event::SiteEvicted { site: 2, silent_us: 250_000 },
+            Event::SiteResynced { site: 2, ack: 17 },
         ];
         for e in &events {
             let line = e.to_json(0);

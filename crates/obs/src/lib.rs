@@ -61,6 +61,7 @@
 pub mod critical_path;
 mod histogram;
 mod journal;
+pub mod net;
 mod perfetto;
 mod quantile;
 mod recorder;

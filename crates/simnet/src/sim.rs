@@ -4,7 +4,7 @@ use crate::network::{LinkModel, Topology};
 use crate::node::{Action, Context, Node};
 use crate::stats::CommStats;
 use crate::trace::Trace;
-use cludistream_obs::{DropReason, Event as ObsEvent, Obs, Recorder};
+use cludistream_obs::{net, DropReason, Event as ObsEvent, Obs, Recorder};
 use cludistream_rng::{Rng, StdRng};
 use std::collections::BinaryHeap;
 use std::fmt;
@@ -244,20 +244,14 @@ impl<M: 'static> Simulation<M> {
                         self.epochs[node.0] += 1;
                         self.down[node.0] = true;
                         self.fault_stats.crashes += 1;
-                        if self.obs.enabled() {
-                            self.obs.counter("net.crashes", 1);
-                            self.obs.event(&ObsEvent::SiteCrashed { node: node.0 as u64 });
-                        }
+                        net::on_crash(&self.obs, node.0 as u64);
                         self.nodes[node.0].on_crash();
                         continue;
                     }
                     SimEvent::Restart { node } => {
                         self.down[node.0] = false;
                         self.fault_stats.restarts += 1;
-                        if self.obs.enabled() {
-                            self.obs.counter("net.restarts", 1);
-                            self.obs.event(&ObsEvent::SiteRecovered { node: node.0 as u64 });
-                        }
+                        net::on_restart(&self.obs, node.0 as u64);
                         (node, Box::new(move |n, ctx| n.on_restart(ctx)))
                     }
                     SimEvent::Message { from, to, payload, bytes } => {
@@ -268,15 +262,13 @@ impl<M: 'static> Simulation<M> {
                             self.fault_stats.dropped_messages += 1;
                             self.fault_stats.dropped_bytes += bytes as u64;
                             self.fault_stats.dropped_to_down_node += 1;
-                            if self.obs.enabled() {
-                                self.obs.counter("net.dropped", 1);
-                                self.obs.event(&ObsEvent::Dropped {
-                                    from: from.0 as u64,
-                                    to: to.0 as u64,
-                                    bytes: bytes as u64,
-                                    reason: DropReason::NodeDown,
-                                });
-                            }
+                            net::on_dropped(
+                                &self.obs,
+                                from.0 as u64,
+                                to.0 as u64,
+                                bytes as u64,
+                                DropReason::NodeDown,
+                            );
                             continue;
                         }
                         self.fault_stats.delivered_messages += 1;
@@ -331,11 +323,7 @@ impl<M: 'static> Simulation<M> {
                     if let Some(trace) = &mut self.trace {
                         trace.record(self.time, from, to, bytes);
                     }
-                    if self.obs.enabled() {
-                        self.obs.counter("net.messages", 1);
-                        self.obs.counter("net.bytes", bytes as u64);
-                        self.obs.observe("net.msg_bytes", bytes as u64);
-                    }
+                    net::on_send(&self.obs, bytes as u64);
                     // Fault decisions, drawn in a fixed order from the
                     // plan's dedicated RNG stream so runs replay exactly.
                     let mut delay = self.link.delay(bytes);
@@ -355,15 +343,13 @@ impl<M: 'static> Simulation<M> {
                             };
                             self.fault_stats.dropped_messages += 1;
                             self.fault_stats.dropped_bytes += bytes as u64;
-                            if self.obs.enabled() {
-                                self.obs.counter("net.dropped", 1);
-                                self.obs.event(&ObsEvent::Dropped {
-                                    from: from.0 as u64,
-                                    to: to.0 as u64,
-                                    bytes: bytes as u64,
-                                    reason,
-                                });
-                            }
+                            net::on_dropped(
+                                &self.obs,
+                                from.0 as u64,
+                                to.0 as u64,
+                                bytes as u64,
+                                reason,
+                            );
                             continue;
                         }
                         if fault.plan.link.duplicate_p > 0.0 {
@@ -376,9 +362,7 @@ impl<M: 'static> Simulation<M> {
                             delay +=
                                 fault.rng.gen_range(1..=fault.plan.link.reorder_max_delay_us);
                             self.fault_stats.reordered_messages += 1;
-                            if self.obs.enabled() {
-                                self.obs.counter("net.reordered", 1);
-                            }
+                            net::on_reordered(&self.obs);
                         }
                     }
                     let time = self.time + delay;
@@ -387,14 +371,7 @@ impl<M: 'static> Simulation<M> {
                             let copy = clone(&payload);
                             self.fault_stats.duplicated_messages += 1;
                             self.fault_stats.duplicated_bytes += bytes as u64;
-                            if self.obs.enabled() {
-                                self.obs.counter("net.duplicated", 1);
-                                self.obs.event(&ObsEvent::Duplicated {
-                                    from: from.0 as u64,
-                                    to: to.0 as u64,
-                                    bytes: bytes as u64,
-                                });
-                            }
+                            net::on_duplicated(&self.obs, from.0 as u64, to.0 as u64, bytes as u64);
                             self.seq += 1;
                             self.queue.push(QueuedEvent {
                                 time,

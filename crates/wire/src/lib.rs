@@ -217,6 +217,145 @@ impl<'a> ByteReader<'a> {
     }
 }
 
+/// Length-prefixed stream framing for the socket transport.
+///
+/// A TCP connection is a byte stream with no message boundaries, so the
+/// socket runtime wraps every encoded [`ByteBuf`] payload in a 4-byte
+/// little-endian length prefix:
+///
+/// ```text
+/// u32 payload length (little-endian) | payload bytes
+/// ```
+///
+/// The payload bytes are *exactly* the frame encoding the discrete-event
+/// simulator delivers as one message — the prefix is transport overhead,
+/// never part of the synopsis wire format, so byte accounting stays
+/// comparable across transports by counting payload bytes only.
+pub mod framing {
+    use std::io::{self, Read, Write};
+
+    /// Bytes of the length prefix preceding every payload.
+    pub const LENGTH_PREFIX_BYTES: usize = 4;
+
+    /// Upper bound on a single payload. A synopsis for K components in d
+    /// dimensions is ~`K·(1 + d + d²)·8` bytes; 64 MiB covers K and d far
+    /// beyond anything the coordinator accepts, while bounding how much a
+    /// malformed or hostile peer can make the reader buffer.
+    pub const MAX_FRAME_BYTES: usize = 64 * 1024 * 1024;
+
+    /// Writes one length-prefixed frame. A payload exceeding
+    /// [`MAX_FRAME_BYTES`] is refused with an `InvalidData` error instead
+    /// of being written (the peer would refuse to read it anyway).
+    pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+        if payload.len() > MAX_FRAME_BYTES {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("frame of {} bytes exceeds MAX_FRAME_BYTES", payload.len()),
+            ));
+        }
+        w.write_all(&(payload.len() as u32).to_le_bytes())?;
+        w.write_all(payload)
+    }
+
+    /// Incremental reader for length-prefixed frames.
+    ///
+    /// TCP delivers bytes in arbitrary pieces — a frame can arrive split
+    /// across reads, or several frames can arrive in one read, and a read
+    /// timeout can interrupt mid-frame. `FrameReader` buffers partial data
+    /// across [`FrameReader::poll`] calls so none of that is visible to
+    /// the caller: each call returns only *complete* payloads, in order.
+    #[derive(Debug, Default)]
+    pub struct FrameReader {
+        buf: Vec<u8>,
+    }
+
+    /// What one [`FrameReader::poll`] observed on the stream.
+    #[derive(Debug)]
+    pub struct Polled {
+        /// Complete frames extracted, oldest first.
+        pub frames: Vec<Vec<u8>>,
+        /// True when the peer closed the stream (EOF).
+        pub eof: bool,
+    }
+
+    impl FrameReader {
+        /// A reader with no buffered bytes.
+        pub fn new() -> FrameReader {
+            FrameReader::default()
+        }
+
+        /// Bytes buffered while waiting for the rest of a frame.
+        pub fn buffered(&self) -> usize {
+            self.buf.len()
+        }
+
+        /// Reads whatever the stream currently has and returns every
+        /// complete frame. `WouldBlock`/`TimedOut` (a read timeout on a
+        /// blocking socket) is not an error — it ends the poll with the
+        /// frames extracted so far. A declared length beyond
+        /// [`MAX_FRAME_BYTES`] is an `InvalidData` error: the stream is
+        /// unrecoverable after it, since resynchronizing on a corrupt
+        /// prefix is impossible.
+        pub fn poll(&mut self, r: &mut impl Read) -> io::Result<Polled> {
+            let mut scratch = [0u8; 16 * 1024];
+            let mut eof = false;
+            loop {
+                match r.read(&mut scratch) {
+                    Ok(0) => {
+                        eof = true;
+                        break;
+                    }
+                    Ok(n) => {
+                        self.buf.extend_from_slice(&scratch[..n]);
+                        // Keep draining while full reads suggest more is
+                        // pending; a short read means the socket is empty.
+                        if n < scratch.len() {
+                            break;
+                        }
+                    }
+                    Err(e)
+                        if e.kind() == io::ErrorKind::WouldBlock
+                            || e.kind() == io::ErrorKind::TimedOut =>
+                    {
+                        break;
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(e) => return Err(e),
+                }
+            }
+            let frames = self.extract()?;
+            Ok(Polled { frames, eof })
+        }
+
+        /// Extracts every complete frame from the internal buffer.
+        fn extract(&mut self) -> io::Result<Vec<Vec<u8>>> {
+            let mut frames = Vec::new();
+            let mut offset = 0usize;
+            while self.buf.len() - offset >= LENGTH_PREFIX_BYTES {
+                let len = u32::from_le_bytes(
+                    self.buf[offset..offset + LENGTH_PREFIX_BYTES].try_into().expect("4 bytes"),
+                ) as usize;
+                if len > MAX_FRAME_BYTES {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("peer declared a {len}-byte frame"),
+                    ));
+                }
+                if self.buf.len() - offset - LENGTH_PREFIX_BYTES < len {
+                    break;
+                }
+                let start = offset + LENGTH_PREFIX_BYTES;
+                frames.push(self.buf[start..start + len].to_vec());
+                offset = start + len;
+            }
+            if offset > 0 {
+                self.buf.drain(..offset);
+            }
+            Ok(frames)
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -291,5 +430,125 @@ mod tests {
         let buf2: ByteBuf = buf.as_slice().into();
         assert_eq!(buf, buf2);
         assert_eq!(buf.into_vec(), vec![1, 2]);
+    }
+
+    mod framing {
+        use crate::framing::{write_frame, FrameReader, LENGTH_PREFIX_BYTES, MAX_FRAME_BYTES};
+        use std::io::{self, Read};
+
+        /// A `Read` impl that serves a byte script in fixed-size pieces,
+        /// mimicking TCP's arbitrary segmentation.
+        struct Chunked {
+            data: Vec<u8>,
+            pos: usize,
+            chunk: usize,
+        }
+
+        impl Read for Chunked {
+            fn read(&mut self, out: &mut [u8]) -> io::Result<usize> {
+                if self.pos == self.data.len() {
+                    return Err(io::Error::new(io::ErrorKind::WouldBlock, "drained"));
+                }
+                let n = self.chunk.min(out.len()).min(self.data.len() - self.pos);
+                out[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
+                self.pos += n;
+                Ok(n)
+            }
+        }
+
+        fn encode(payloads: &[&[u8]]) -> Vec<u8> {
+            let mut wire = Vec::new();
+            for p in payloads {
+                write_frame(&mut wire, p).expect("write");
+            }
+            wire
+        }
+
+        #[test]
+        fn roundtrip_multiple_frames_one_read() {
+            let wire = encode(&[b"alpha", b"", b"gamma-synopsis"]);
+            let mut reader = FrameReader::new();
+            let mut src = Chunked { data: wire, pos: 0, chunk: 1 << 20 };
+            let polled = reader.poll(&mut src).expect("poll");
+            assert!(!polled.eof);
+            assert_eq!(polled.frames, vec![b"alpha".to_vec(), Vec::new(), b"gamma-synopsis".to_vec()]);
+            assert_eq!(reader.buffered(), 0);
+        }
+
+        #[test]
+        fn frames_split_across_single_byte_reads() {
+            let wire = encode(&[&[1, 2, 3], &[0xFF; 300]]);
+            let mut reader = FrameReader::new();
+            let mut collected = Vec::new();
+            // One byte per poll: every frame boundary is crossed mid-read.
+            for i in 0..wire.len() {
+                let mut src = Chunked { data: wire[i..i + 1].to_vec(), pos: 0, chunk: 1 };
+                collected.extend(reader.poll(&mut src).expect("poll").frames);
+            }
+            assert_eq!(collected, vec![vec![1, 2, 3], vec![0xFF; 300]]);
+            assert_eq!(reader.buffered(), 0);
+        }
+
+        #[test]
+        fn partial_prefix_is_buffered_not_lost() {
+            let wire = encode(&[b"payload"]);
+            let mut reader = FrameReader::new();
+            let mut head = Chunked { data: wire[..2].to_vec(), pos: 0, chunk: 2 };
+            let polled = reader.poll(&mut head).expect("poll");
+            assert!(polled.frames.is_empty());
+            assert_eq!(reader.buffered(), 2);
+            let mut tail = Chunked { data: wire[2..].to_vec(), pos: 0, chunk: 64 };
+            let polled = reader.poll(&mut tail).expect("poll");
+            assert_eq!(polled.frames, vec![b"payload".to_vec()]);
+        }
+
+        #[test]
+        fn eof_reported_after_final_frame() {
+            let wire = encode(&[b"last"]);
+            let mut reader = FrameReader::new();
+            // io::Cursor returns Ok(0) at end of data — a closed stream.
+            // The first poll ends on the short read that drained the data;
+            // the closed stream is observed on the next poll.
+            let mut src = io::Cursor::new(wire);
+            let polled = reader.poll(&mut src).expect("poll");
+            assert_eq!(polled.frames, vec![b"last".to_vec()]);
+            let polled = reader.poll(&mut src).expect("poll");
+            assert!(polled.eof);
+            assert!(polled.frames.is_empty());
+        }
+
+        #[test]
+        fn oversize_declared_length_is_invalid_data() {
+            let mut wire = ((MAX_FRAME_BYTES + 1) as u32).to_le_bytes().to_vec();
+            wire.extend_from_slice(&[0u8; 8]);
+            let mut reader = FrameReader::new();
+            let mut src = io::Cursor::new(wire);
+            let err = reader.poll(&mut src).expect_err("oversize must error");
+            assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        }
+
+        #[test]
+        fn oversize_payload_refused_on_write() {
+            struct NullSink;
+            impl io::Write for NullSink {
+                fn write(&mut self, b: &[u8]) -> io::Result<usize> {
+                    Ok(b.len())
+                }
+                fn flush(&mut self) -> io::Result<()> {
+                    Ok(())
+                }
+            }
+            let big = vec![0u8; MAX_FRAME_BYTES + 1];
+            let err = write_frame(&mut NullSink, &big).expect_err("oversize must error");
+            assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        }
+
+        #[test]
+        fn prefix_is_four_bytes_little_endian() {
+            let wire = encode(&[&[0xAA; 5]]);
+            assert_eq!(LENGTH_PREFIX_BYTES, 4);
+            assert_eq!(&wire[..4], &[5, 0, 0, 0]);
+            assert_eq!(wire.len(), 4 + 5);
+        }
     }
 }

@@ -37,6 +37,41 @@ trap 'rm -f "$journal" "$trace"' EXIT
 ./target/release/cludistream trace --faults --out "$trace" >/dev/null
 diff -u crates/cli/tests/fixtures/trace_faults.json "$trace"
 
+# Socket smoke test: a real multi-process round — one coordinator and two
+# site processes on 127.0.0.1 ephemeral ports — must reach the same
+# merge/split decisions and emit the same per-site protocol events as the
+# simulator running the identical workload (`metrics --reliable`). Only
+# the "t" timestamps differ: sim-time on one side, the socket runtime's
+# zero on the other, so both are stripped before the diff.
+smokedir="$(mktemp -d /tmp/cludistream_socket_XXXXXX)"
+trap 'rm -f "$journal" "$trace"; rm -rf "$smokedir"' EXIT
+./target/release/cludistream coordinator --sites 2 --deadline-s 120 \
+    --port-file "$smokedir/port.txt" > "$smokedir/coord.out" &
+coord_pid=$!
+for _ in $(seq 1 150); do
+    [ -s "$smokedir/port.txt" ] && break
+    kill -0 "$coord_pid" 2>/dev/null || { echo "coordinator died early" >&2; exit 1; }
+    sleep 0.1
+done
+addr="$(cat "$smokedir/port.txt")"
+./target/release/cludistream site --connect "$addr" --site 0 \
+    --journal "$smokedir/tcp_site0.jsonl" >/dev/null &
+./target/release/cludistream site --connect "$addr" --site 1 \
+    --journal "$smokedir/tcp_site1.jsonl" >/dev/null &
+wait
+./target/release/cludistream metrics --reliable --journal "$smokedir/sim.jsonl" \
+    > "$smokedir/sim.out"
+grep '^coordinator groups:' "$smokedir/coord.out" > "$smokedir/coord_groups"
+grep '^coordinator groups:' "$smokedir/sim.out" > "$smokedir/sim_groups"
+diff -u "$smokedir/sim_groups" "$smokedir/coord_groups"
+for i in 0 1; do
+    grep -E '"event":"(ChunkTested|Reclustered|SynopsisSent)"' "$smokedir/sim.jsonl" \
+        | grep "\"site\":$i" | sed 's/"t":[0-9]*/"t":_/' > "$smokedir/sim_site$i"
+    grep -E '"event":"(ChunkTested|Reclustered|SynopsisSent)"' "$smokedir/tcp_site$i.jsonl" \
+        | sed 's/"t":[0-9]*/"t":_/' > "$smokedir/tcp_site$i"
+    diff -u "$smokedir/sim_site$i" "$smokedir/tcp_site$i"
+done
+
 # Perf-regression smoke test: the parallel E-step must produce a
 # bit-identical fit with threads=all vs threads=1, and parallelism must
 # never cost more than 10% wall-clock. (On a single-core host both sides

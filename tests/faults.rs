@@ -4,8 +4,8 @@
 //! accounted for, and the whole fault trace must replay byte-identically.
 
 use cludistream_suite::cludistream::{
-    Config, DriverConfig, FaultPlan, LinkFaults, NodeId, RecordStream, RemoteSite, Simulation,
-    StarReport,
+    Config, DriverConfig, FaultPlan, LinkFaults, NodeId, RecordStream, RemoteSite,
+    SimnetTransport, Simulation, StarReport,
 };
 use cludistream_suite::gmm::{ChunkParams, Gaussian, Mixture};
 use cludistream_suite::linalg::Vector;
@@ -74,7 +74,7 @@ fn run(updates: u64, faults: Option<FaultPlan>, obs: Obs) -> StarReport {
         .with_streams(streams)
         .with_updates_per_site(updates);
     if let Some(plan) = faults {
-        sim = sim.with_faults(plan);
+        sim = sim.with_transport(Box::new(SimnetTransport::new().with_faults(plan)));
     }
     sim.run().expect("run succeeds")
 }

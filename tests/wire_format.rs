@@ -90,6 +90,42 @@ fn golden_bytes_decode_back_to_the_fixture() {
     }
 }
 
+/// The socket runtime wraps every payload in a `[u32-le length][payload]`
+/// TCP frame. Framing must be a pure envelope: the golden synopsis bytes
+/// above pass through completely unchanged, and the on-wire buffer is
+/// exactly the 4-byte little-endian length followed by those bytes.
+#[test]
+fn tcp_framing_roundtrips_golden_synopsis_bytes_unchanged() {
+    use cludistream_suite::wire::framing::{write_frame, FrameReader, LENGTH_PREFIX_BYTES};
+
+    for cov in [CovarianceType::Full, CovarianceType::Diagonal] {
+        let golden = codec::encode_mixture(&fixture_mixture(), cov);
+
+        // Encode: length prefix + untouched payload, nothing else.
+        let mut wire_bytes: Vec<u8> = Vec::new();
+        write_frame(&mut wire_bytes, golden.as_slice()).expect("write to Vec");
+        assert_eq!(wire_bytes.len(), LENGTH_PREFIX_BYTES + golden.len());
+        assert_eq!(&wire_bytes[..LENGTH_PREFIX_BYTES], (golden.len() as u32).to_le_bytes());
+        assert_eq!(&wire_bytes[LENGTH_PREFIX_BYTES..], golden.as_slice(), "{cov:?}");
+
+        // Decode: the reader hands back the exact golden payload, even
+        // when the frame arrives a byte at a time.
+        let mut reader = FrameReader::new();
+        let mut frames = Vec::new();
+        for chunk in wire_bytes.chunks(1) {
+            let polled = reader.poll(&mut std::io::Cursor::new(chunk)).expect("poll");
+            frames.extend(polled.frames);
+        }
+        assert_eq!(frames.len(), 1, "{cov:?}");
+        assert_eq!(frames[0].as_slice(), golden.as_slice(), "framing altered synopsis bytes");
+
+        // And the framed payload still decodes to the fixture mixture.
+        let mut payload = cludistream_suite::wire::ByteReader::new(&frames[0]);
+        let back = codec::decode_mixture(&mut payload).expect("decode framed synopsis");
+        assert_eq!(back.weights(), fixture_mixture().weights());
+    }
+}
+
 /// Mirrors `remote/snapshot.rs`'s `corrupt_snapshots_rejected`: decoding a
 /// synopsis truncated at *every* possible length, or with a corrupted
 /// header, must return `Err` — never panic, never succeed.
