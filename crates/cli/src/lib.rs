@@ -22,13 +22,16 @@
 //! - `coordinator` / `site` — the process-per-site socket runtime: the
 //!   `metrics` workload over real loopback TCP, one process per role.
 //!   See `docs/OPERATIONS.md` for the operator's manual.
+//! - `status` — scrape a running coordinator's fleet registry over the
+//!   same TCP listener and print it in Prometheus text exposition;
+//!   `--watch SECS` re-scrapes on an interval.
 //!
 //! The argument parser is deliberately dependency-free; see
 //! [`parse_args`].
 
 use cludistream::coordinator::MergeRefiner;
 use cludistream::runtime::{
-    run_site, serve, CoordinatorRun, SiteRun, SocketConfig,
+    run_site, serve, Control, CoordinatorRun, SiteRun, SocketConfig,
 };
 use cludistream::windows::WindowSpec;
 use cludistream::{
@@ -39,8 +42,10 @@ use cludistream_datagen::csvio;
 use cludistream_datagen::{EvolvingStream, EvolvingStreamConfig};
 use cludistream_gmm::{fit_em, fit_em_bic, ChunkParams, EmConfig, Gaussian, Mixture};
 use cludistream_linalg::Vector;
-use cludistream_obs::{analyze, perfetto_json, Obs, Registry};
+use cludistream_obs::{analyze, perfetto_json, FleetAggregator, Obs, Registry};
 use cludistream_rng::StdRng;
+use cludistream_wire::framing::{write_frame, FrameReader};
+use cludistream_wire::ByteReader;
 use std::io::Write;
 use std::sync::Arc;
 
@@ -175,6 +180,10 @@ pub enum Command {
         port_file: Option<String>,
         /// Write the JSONL event journal here.
         journal: Option<String>,
+        /// Write the fleet's Chrome trace-event (Perfetto) JSON here:
+        /// coordinator spans plus every telemetry-reporting site's spans,
+        /// rebased onto the coordinator clock.
+        trace_out: Option<String>,
     },
     /// Run one socket site of the `metrics` workload against a
     /// coordinator.
@@ -193,6 +202,19 @@ pub enum Command {
         threads: usize,
         /// Write the JSONL event journal here.
         journal: Option<String>,
+        /// Record spans locally and ship them to the coordinator over the
+        /// telemetry plane. Changes data-plane frame bytes (trace context
+        /// rides the data frames), so byte accounting is only comparable
+        /// across runs that agree on this flag.
+        trace: bool,
+    },
+    /// Scrape a running coordinator's fleet metrics over TCP and print
+    /// them in Prometheus text exposition format.
+    Status {
+        /// Coordinator address to scrape (`HOST:PORT`).
+        connect: String,
+        /// Re-scrape every this many seconds (0 = scrape once and exit).
+        watch: u64,
     },
     /// Print usage.
     Help,
@@ -259,9 +281,10 @@ USAGE:
                        [--faults] [--out TRACE.json] [--threads T]
   cludistream coordinator [--listen HOST:PORT] [--sites R] [--heartbeat-ms H]
                        [--timeout-ms T] [--deadline-s D] [--port-file PATH]
-                       [--journal OUT.jsonl]
+                       [--journal OUT.jsonl] [--trace-out TRACE.json]
   cludistream site     --connect HOST:PORT [--site I] [--chunks C] [--seed S]
-                       [--epsilon E] [--threads T] [--journal OUT.jsonl]
+                       [--epsilon E] [--threads T] [--journal OUT.jsonl] [--trace]
+  cludistream status   --connect HOST:PORT [--watch SECS]
   cludistream help
 
 Defaults: k=5, epsilon=0.02, delta=0.01, c-max=4, seed=0, threads=1,
@@ -271,7 +294,8 @@ Defaults: k=5, epsilon=0.02, delta=0.01, c-max=4, seed=0, threads=1,
           trace: metrics defaults,
           coordinator: listen=127.0.0.1:0, sites=2, heartbeat-ms=500,
                        timeout-ms=5000, deadline-s=0 (none),
-          site: site=0, metrics workload defaults.
+          site: site=0, metrics workload defaults,
+          status: watch=0 (scrape once).
 
 `coordinator` and `site` run the metrics workload distributed for real:
 one coordinator process and one process per site, talking length-prefixed
@@ -279,6 +303,13 @@ frames over TCP (the same synopsis bytes the simulator accounts). The
 coordinator waits for all R sites, broadcasts start, evicts sites silent
 past --timeout-ms, and a site that reconnects resyncs via go-back-N.
 See docs/OPERATIONS.md for the full operator's manual.
+
+Sites piggyback metric/span deltas on their heartbeats; the coordinator
+folds them into a fleet registry that `status --connect` scrapes over the
+same listener (Prometheus text exposition). `coordinator --trace-out`
+writes one Perfetto JSON spanning every process, with remote spans
+rebased onto the coordinator clock; site spans only exist under
+`site --trace`.
 
 `--threads T` parallelizes each EM fit's E-step over T scoped worker
 threads (0 = all cores). Clustering output is bit-identical for every T;
@@ -420,6 +451,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             deadline_s: parse_int("--deadline-s", 0)? as u64,
             port_file: flag("--port-file").map(|s| s.to_string()),
             journal: flag("--journal").map(|s| s.to_string()),
+            trace_out: flag("--trace-out").map(|s| s.to_string()),
         }),
         "site" => Ok(Command::Site {
             connect: flag("--connect")
@@ -431,8 +463,49 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             epsilon: parse_num("--epsilon", 0.15)?,
             threads: parse_int("--threads", 1)?,
             journal: flag("--journal").map(|s| s.to_string()),
+            trace: has("--trace"),
+        }),
+        "status" => Ok(Command::Status {
+            connect: flag("--connect")
+                .ok_or_else(|| CliError::Usage("status requires --connect HOST:PORT".into()))?
+                .to_string(),
+            watch: parse_int("--watch", 0)? as u64,
         }),
         other => Err(CliError::Usage(format!("unknown command {other:?}; try help"))),
+    }
+}
+
+/// Connects to a coordinator, sends one `StatusRequest` control frame,
+/// and returns the Prometheus text exposition from the `StatusReply`.
+///
+/// Works on a bare connection — no `Hello` handshake — so a scrape never
+/// counts as a site joining or rejoining the round.
+fn scrape_status(addr: &str) -> std::io::Result<String> {
+    use std::io::{Error, ErrorKind};
+    let mut stream = std::net::TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(std::time::Duration::from_millis(200)))?;
+    write_frame(&mut stream, Control::StatusRequest.encode().as_slice())?;
+    let mut reader = FrameReader::new();
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+    loop {
+        let polled = reader.poll(&mut stream)?;
+        for payload in polled.frames {
+            let control = Control::decode(&mut ByteReader::new(&payload))
+                .map_err(|e| Error::new(ErrorKind::InvalidData, format!("status: {e}")))?;
+            if let Control::StatusReply { text } = control {
+                return String::from_utf8(text)
+                    .map_err(|_| Error::new(ErrorKind::InvalidData, "status reply is not UTF-8"));
+            }
+        }
+        if polled.eof {
+            return Err(Error::new(
+                ErrorKind::UnexpectedEof,
+                "coordinator closed the connection before replying",
+            ));
+        }
+        if std::time::Instant::now() >= deadline {
+            return Err(Error::new(ErrorKind::TimedOut, "no status reply within 5s"));
+        }
     }
 }
 
@@ -851,6 +924,7 @@ pub fn run(command: Command, out: &mut impl Write) -> Result<(), CliError> {
             deadline_s,
             port_file,
             journal,
+            trace_out,
         } => {
             let registry = match &journal {
                 Some(path) => {
@@ -859,7 +933,14 @@ pub fn run(command: Command, out: &mut impl Write) -> Result<(), CliError> {
                 }
                 None => Arc::new(Registry::new()),
             };
+            if trace_out.is_some() {
+                registry.enable_tracing();
+            }
             let obs = Obs::from_registry(Arc::clone(&registry));
+            // The fleet registry folds every site's telemetry deltas; the
+            // `status` subcommand scrapes it mid-round over the same
+            // listener.
+            let fleet = Arc::new(FleetAggregator::new());
             let listener = std::net::TcpListener::bind(&listen)
                 .map_err(|e| CliError::Usage(format!("coordinator: bind {listen}: {e}")))?;
             let addr = listener
@@ -894,6 +975,7 @@ pub fn run(command: Command, out: &mut impl Write) -> Result<(), CliError> {
                         .then(|| std::time::Duration::from_secs(deadline_s)),
                     ..Default::default()
                 },
+                fleet: Some(Arc::clone(&fleet)),
             };
             let report =
                 serve(listener, run).map_err(|e| CliError::Usage(format!("coordinator: {e}")))?;
@@ -910,15 +992,27 @@ pub fn run(command: Command, out: &mut impl Write) -> Result<(), CliError> {
             )?;
             writeln!(
                 out,
-                "resyncs served: {} | evicted sites: {:?}",
-                report.resyncs, report.evicted
+                "resyncs served: {} | evicted sites: {:?} | ctrl sent: {} msgs {} bytes",
+                report.resyncs,
+                report.evicted,
+                registry.counter_value("net.ctrl_messages"),
+                registry.counter_value("net.ctrl_bytes")
             )?;
             if let Some(path) = journal {
                 writeln!(out, "journal written to {path}")?;
             }
+            if let Some(path) = trace_out {
+                // One timeline across processes: the coordinator's own
+                // spans plus every site's, already rebased onto the
+                // coordinator clock by the fleet aggregator.
+                let mut spans = registry.spans();
+                spans.extend(fleet.spans());
+                std::fs::write(&path, perfetto_json(&spans))?;
+                writeln!(out, "perfetto trace written to {path}")?;
+            }
             Ok(())
         }
-        Command::Site { connect, site, chunks, seed, epsilon, threads, journal } => {
+        Command::Site { connect, site, chunks, seed, epsilon, threads, journal, trace } => {
             let registry = match &journal {
                 Some(path) => {
                     let file = std::fs::File::create(path)?;
@@ -928,6 +1022,17 @@ pub fn run(command: Command, out: &mut impl Write) -> Result<(), CliError> {
             };
             registry.track_quantiles("em.iters_per_fit");
             registry.track_quantiles("em.cost_us");
+            registry.track_quantiles("hb.rtt_us");
+            // A CLI site always reports telemetry — its registry is its
+            // own, so there is nothing to double-count — and keeps a
+            // flight-recorder ring for crash forensics. Span recording
+            // stays opt-in because trace context changes data-plane
+            // frame bytes.
+            registry.enable_telemetry();
+            registry.enable_flight_recorder(64);
+            if trace {
+                registry.enable_tracing();
+            }
             let obs = Obs::from_registry(Arc::clone(&registry));
 
             // The metrics two-regime workload for one site; the per-site
@@ -953,6 +1058,7 @@ pub fn run(command: Command, out: &mut impl Write) -> Result<(), CliError> {
                 stream: metrics_stream(site, seed, per_regime),
                 updates,
                 socket: SocketConfig::default(),
+                telemetry: true,
             };
             let report =
                 run_site(&connect, run).map_err(|e| CliError::Usage(format!("site: {e}")))?;
@@ -975,6 +1081,20 @@ pub fn run(command: Command, out: &mut impl Write) -> Result<(), CliError> {
             )?;
             if let Some(path) = journal {
                 writeln!(out, "journal written to {path}")?;
+            }
+            Ok(())
+        }
+        Command::Status { connect, watch } => {
+            loop {
+                let text = scrape_status(&connect)
+                    .map_err(|e| CliError::Usage(format!("status: {connect}: {e}")))?;
+                out.write_all(text.as_bytes())?;
+                out.flush()?;
+                if watch == 0 {
+                    break;
+                }
+                writeln!(out)?;
+                std::thread::sleep(std::time::Duration::from_secs(watch));
             }
             Ok(())
         }
@@ -1147,6 +1267,35 @@ mod tests {
             other => panic!("{other:?}"),
         }
         assert!(parse_args(&args("stream in.csv --threads nope")).is_err());
+    }
+
+    #[test]
+    fn parses_status_command() {
+        let c = parse_args(&args("status --connect 127.0.0.1:9000")).unwrap();
+        assert_eq!(c, Command::Status { connect: "127.0.0.1:9000".into(), watch: 0 });
+        match parse_args(&args("status --connect h:1 --watch 5")).unwrap() {
+            Command::Status { watch, .. } => assert_eq!(watch, 5),
+            other => panic!("{other:?}"),
+        }
+        assert!(parse_args(&args("status")).is_err(), "--connect is required");
+    }
+
+    #[test]
+    fn parses_telemetry_flags() {
+        match parse_args(&args("coordinator --trace-out fleet.json")).unwrap() {
+            Command::Coordinator { trace_out, .. } => {
+                assert_eq!(trace_out.as_deref(), Some("fleet.json"));
+            }
+            other => panic!("{other:?}"),
+        }
+        match parse_args(&args("site --connect h:1 --trace")).unwrap() {
+            Command::Site { trace, .. } => assert!(trace),
+            other => panic!("{other:?}"),
+        }
+        match parse_args(&args("site --connect h:1")).unwrap() {
+            Command::Site { trace, .. } => assert!(!trace, "span recording is opt-in"),
+            other => panic!("{other:?}"),
+        }
     }
 
     #[test]

@@ -15,6 +15,15 @@
 //! has said hello the coordinator broadcasts [`Control::Start`]; sites
 //! keep liveness with [`Control::Ping`], announce stream exhaustion with
 //! [`Control::Done`], and disband on [`Control::Stop`].
+//!
+//! The telemetry plane rides the same tag space: sites piggyback
+//! [`Control::Telemetry`] deltas on the heartbeat cadence, the
+//! coordinator answers every ping with [`Control::Pong`] (per-site RTT),
+//! estimates each site's clock offset with a Cristian-style
+//! [`Control::ClockProbe`]/[`Control::ClockEcho`] exchange right after
+//! `Welcome`, and serves live Prometheus scrapes through
+//! [`Control::StatusRequest`]/[`Control::StatusReply`] on the same
+//! listener.
 
 use crate::error::CludiError;
 use cludistream_gmm::CovarianceType;
@@ -34,6 +43,12 @@ const TAG_START: u8 = 35;
 const TAG_PING: u8 = 36;
 const TAG_DONE: u8 = 37;
 const TAG_STOP: u8 = 38;
+const TAG_TELEMETRY: u8 = 39;
+const TAG_PONG: u8 = 40;
+const TAG_CLOCK_PROBE: u8 = 41;
+const TAG_CLOCK_ECHO: u8 = 42;
+const TAG_STATUS_REQUEST: u8 = 43;
+const TAG_STATUS_REPLY: u8 = 44;
 
 /// Why the coordinator refused a [`Control::Hello`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -96,7 +111,7 @@ fn cov_from_u8(v: u8) -> Result<CovarianceType, CludiError> {
 }
 
 /// A socket-runtime control frame.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Control {
     /// Site → coordinator: rendezvous request.
     Hello {
@@ -141,6 +156,9 @@ pub enum Control {
     Ping {
         /// The pinging site.
         site: u32,
+        /// The site's local clock at send time, microseconds; echoed back
+        /// in [`Control::Pong`] so the site measures its heartbeat RTT.
+        sent_us: u64,
     },
     /// Site → coordinator: stream exhausted and every frame acknowledged.
     Done {
@@ -149,44 +167,111 @@ pub enum Control {
     },
     /// Coordinator → sites: the round is over; disconnect.
     Stop,
+    /// Site → coordinator: a telemetry delta (encoded
+    /// `cludistream_obs::TelemetryDelta` bytes), piggybacked on the
+    /// heartbeat cadence.
+    Telemetry {
+        /// Originating site.
+        site: u32,
+        /// The encoded delta.
+        payload: Vec<u8>,
+    },
+    /// Coordinator → site: answer to a [`Control::Ping`].
+    Pong {
+        /// The site being answered.
+        site: u32,
+        /// The `sent_us` from the ping, echoed verbatim.
+        echo_us: u64,
+    },
+    /// Coordinator → site: clock-offset probe sent right after `Welcome`.
+    ClockProbe {
+        /// Coordinator clock at probe send, microseconds.
+        t0_us: u64,
+    },
+    /// Site → coordinator: answer to a [`Control::ClockProbe`]. The
+    /// coordinator receives this at `t1` and estimates the site's offset
+    /// Cristian-style: `offset = (t0 + t1) / 2 − site_us`.
+    ClockEcho {
+        /// The echoing site.
+        site: u32,
+        /// The probe's `t0_us`, echoed verbatim.
+        t0_us: u64,
+        /// The site's local clock when it echoed, microseconds.
+        site_us: u64,
+    },
+    /// Scraper → coordinator: request the fleet registry (any connection
+    /// on the listener may send this; no handshake required).
+    StatusRequest,
+    /// Coordinator → scraper: the fleet registry rendered in Prometheus
+    /// text exposition format, UTF-8.
+    StatusReply {
+        /// The exposition text bytes.
+        text: Vec<u8>,
+    },
 }
 
 impl Control {
     /// Encodes the frame.
     pub fn encode(&self) -> ByteBuf {
         let mut buf = ByteBuf::new();
-        match *self {
+        match self {
             Control::Hello { version, site, dim, cov, resume } => {
                 buf.put_u8(TAG_HELLO);
-                buf.put_u16_le(version);
-                buf.put_u32_le(site);
-                buf.put_u32_le(dim);
-                buf.put_u8(cov_to_u8(cov));
-                buf.put_u8(u8::from(resume));
+                buf.put_u16_le(*version);
+                buf.put_u32_le(*site);
+                buf.put_u32_le(*dim);
+                buf.put_u8(cov_to_u8(*cov));
+                buf.put_u8(u8::from(*resume));
             }
             Control::Welcome { version, heartbeat_us, timeout_us, ack } => {
                 buf.put_u8(TAG_WELCOME);
-                buf.put_u16_le(version);
-                buf.put_u64_le(heartbeat_us);
-                buf.put_u64_le(timeout_us);
-                buf.put_u64_le(ack);
+                buf.put_u16_le(*version);
+                buf.put_u64_le(*heartbeat_us);
+                buf.put_u64_le(*timeout_us);
+                buf.put_u64_le(*ack);
             }
             Control::Reject { code, expect, got } => {
                 buf.put_u8(TAG_REJECT);
                 buf.put_u8(code.to_u8());
-                buf.put_u64_le(expect);
-                buf.put_u64_le(got);
+                buf.put_u64_le(*expect);
+                buf.put_u64_le(*got);
             }
             Control::Start => buf.put_u8(TAG_START),
-            Control::Ping { site } => {
+            Control::Ping { site, sent_us } => {
                 buf.put_u8(TAG_PING);
-                buf.put_u32_le(site);
+                buf.put_u32_le(*site);
+                buf.put_u64_le(*sent_us);
             }
             Control::Done { site } => {
                 buf.put_u8(TAG_DONE);
-                buf.put_u32_le(site);
+                buf.put_u32_le(*site);
             }
             Control::Stop => buf.put_u8(TAG_STOP),
+            Control::Telemetry { site, payload } => {
+                buf.put_u8(TAG_TELEMETRY);
+                buf.put_u32_le(*site);
+                buf.put_var_bytes(payload);
+            }
+            Control::Pong { site, echo_us } => {
+                buf.put_u8(TAG_PONG);
+                buf.put_u32_le(*site);
+                buf.put_u64_le(*echo_us);
+            }
+            Control::ClockProbe { t0_us } => {
+                buf.put_u8(TAG_CLOCK_PROBE);
+                buf.put_u64_le(*t0_us);
+            }
+            Control::ClockEcho { site, t0_us, site_us } => {
+                buf.put_u8(TAG_CLOCK_ECHO);
+                buf.put_u32_le(*site);
+                buf.put_u64_le(*t0_us);
+                buf.put_u64_le(*site_us);
+            }
+            Control::StatusRequest => buf.put_u8(TAG_STATUS_REQUEST),
+            Control::StatusReply { text } => {
+                buf.put_u8(TAG_STATUS_REPLY);
+                buf.put_var_bytes(text);
+            }
         }
         buf
     }
@@ -230,10 +315,10 @@ impl Control {
             }
             TAG_START => Ok(Control::Start),
             TAG_PING => {
-                if reader.remaining() < 4 {
+                if reader.remaining() < 12 {
                     return Err(CludiError::Decode("truncated Ping"));
                 }
-                Ok(Control::Ping { site: reader.get_u32_le() })
+                Ok(Control::Ping { site: reader.get_u32_le(), sent_us: reader.get_u64_le() })
             }
             TAG_DONE => {
                 if reader.remaining() < 4 {
@@ -242,6 +327,45 @@ impl Control {
                 Ok(Control::Done { site: reader.get_u32_le() })
             }
             TAG_STOP => Ok(Control::Stop),
+            TAG_TELEMETRY => {
+                if reader.remaining() < 4 {
+                    return Err(CludiError::Decode("truncated Telemetry"));
+                }
+                let site = reader.get_u32_le();
+                let payload = reader
+                    .get_var_bytes()
+                    .ok_or(CludiError::Decode("truncated Telemetry payload"))?;
+                Ok(Control::Telemetry { site, payload })
+            }
+            TAG_PONG => {
+                if reader.remaining() < 12 {
+                    return Err(CludiError::Decode("truncated Pong"));
+                }
+                Ok(Control::Pong { site: reader.get_u32_le(), echo_us: reader.get_u64_le() })
+            }
+            TAG_CLOCK_PROBE => {
+                if reader.remaining() < 8 {
+                    return Err(CludiError::Decode("truncated ClockProbe"));
+                }
+                Ok(Control::ClockProbe { t0_us: reader.get_u64_le() })
+            }
+            TAG_CLOCK_ECHO => {
+                if reader.remaining() < 20 {
+                    return Err(CludiError::Decode("truncated ClockEcho"));
+                }
+                Ok(Control::ClockEcho {
+                    site: reader.get_u32_le(),
+                    t0_us: reader.get_u64_le(),
+                    site_us: reader.get_u64_le(),
+                })
+            }
+            TAG_STATUS_REQUEST => Ok(Control::StatusRequest),
+            TAG_STATUS_REPLY => {
+                let text = reader
+                    .get_var_bytes()
+                    .ok_or(CludiError::Decode("truncated StatusReply"))?;
+                Ok(Control::StatusReply { text })
+            }
             _ => Err(CludiError::Decode("unknown control tag")),
         }
     }
@@ -281,9 +405,16 @@ mod tests {
         });
         roundtrip(Control::Reject { code: RejectCode::Dimension, expect: 3, got: 5 });
         roundtrip(Control::Start);
-        roundtrip(Control::Ping { site: 2 });
+        roundtrip(Control::Ping { site: 2, sent_us: 123_456 });
         roundtrip(Control::Done { site: 1 });
         roundtrip(Control::Stop);
+        roundtrip(Control::Telemetry { site: 3, payload: vec![1, 2, 3, 0xFF] });
+        roundtrip(Control::Telemetry { site: 0, payload: Vec::new() });
+        roundtrip(Control::Pong { site: 2, echo_us: 123_456 });
+        roundtrip(Control::ClockProbe { t0_us: 9_999 });
+        roundtrip(Control::ClockEcho { site: 1, t0_us: 9_999, site_us: 77 });
+        roundtrip(Control::StatusRequest);
+        roundtrip(Control::StatusReply { text: b"cludistream_up 1\n".to_vec() });
     }
 
     #[test]
@@ -308,7 +439,12 @@ mod tests {
             },
             Control::Welcome { version: 1, heartbeat_us: 1, timeout_us: 2, ack: 3 },
             Control::Reject { code: RejectCode::Version, expect: 1, got: 2 },
-            Control::Ping { site: 0 },
+            Control::Ping { site: 0, sent_us: 5 },
+            Control::Telemetry { site: 0, payload: vec![9, 9] },
+            Control::Pong { site: 0, echo_us: 5 },
+            Control::ClockProbe { t0_us: 1 },
+            Control::ClockEcho { site: 0, t0_us: 1, site_us: 2 },
+            Control::StatusReply { text: b"x".to_vec() },
         ] {
             let bytes = frame.encode();
             let short = bytes.slice(..bytes.len() - 1);

@@ -126,6 +126,23 @@ impl RoundMachine {
         self.states[site]
     }
 
+    /// States of all sites, indexed by site. The status scraper exports
+    /// these as per-site gauges (`Waiting=0, Joined=1, Done=2,
+    /// Evicted=3`).
+    pub fn states(&self) -> &[SiteState] {
+        &self.states
+    }
+
+    /// The numeric encoding of a state used by the status exposition.
+    pub fn state_code(state: SiteState) -> u8 {
+        match state {
+            SiteState::Waiting => 0,
+            SiteState::Joined => 1,
+            SiteState::Done => 2,
+            SiteState::Evicted => 3,
+        }
+    }
+
     /// Sites currently in the `Evicted` state.
     pub fn evicted_sites(&self) -> Vec<u32> {
         (0..self.states.len())
@@ -216,6 +233,22 @@ mod tests {
         m.evictions(5_000);
         m.heard(0, 5_100);
         assert_eq!(m.state(0), SiteState::Evicted, "only a fresh Hello rejoins");
+    }
+
+    #[test]
+    fn states_exports_every_site_with_stable_codes() {
+        let mut m = RoundMachine::new(3, TIMEOUT);
+        m.join(0, 0);
+        m.join(1, 0);
+        m.done(1);
+        assert_eq!(
+            m.states(),
+            &[SiteState::Joined, SiteState::Done, SiteState::Waiting]
+        );
+        let codes: Vec<u8> =
+            m.states().iter().map(|&s| RoundMachine::state_code(s)).collect();
+        assert_eq!(codes, vec![1, 2, 0]);
+        assert_eq!(RoundMachine::state_code(SiteState::Evicted), 3);
     }
 
     #[test]

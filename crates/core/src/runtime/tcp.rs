@@ -16,6 +16,18 @@
 //! fixtures depend on. [`run_site`] runs one site synchronously: connect,
 //! handshake, stream records, retransmit on real-time RTO, heartbeat,
 //! reconnect-and-resync on any socket failure.
+//!
+//! Fleet telemetry plane (opt-in): when [`CoordinatorRun::fleet`] is
+//! set and sites run with [`SiteRun::telemetry`], each site piggybacks
+//! [`TelemetryDelta`] frames on its heartbeat cadence, the coordinator
+//! folds them into one [`FleetAggregator`], every `Ping` is answered
+//! with a `Pong` (feeding a per-site `hb.rtt_us` histogram), the
+//! rendezvous is followed by a Cristian clock probe so remote span
+//! timestamps rebase onto the coordinator clock, and `StatusRequest` on
+//! the same listener serves the fleet registry as Prometheus text. Both
+//! knobs default off, so the in-process [`TcpTransport`] — whose sites
+//! share one registry with the coordinator — and the golden socket
+//! fixtures see a control plane identical to the pre-telemetry one.
 
 use std::collections::HashMap;
 use std::net::{Shutdown, TcpListener, TcpStream};
@@ -38,7 +50,7 @@ use crate::runtime::liveness::RoundMachine;
 use crate::transport::{RunRecipe, Transport, TransportSemantics};
 use crate::windows::WindowSpec;
 use cludistream_gmm::{CovarianceType, Mixture};
-use cludistream_obs::{net, Event, Obs, Recorder};
+use cludistream_obs::{intern, net, Event, FleetAggregator, Obs, Recorder, TelemetryDelta};
 use cludistream_simnet::{CommStats, NodeId};
 use cludistream_wire::framing::{write_frame, FrameReader};
 use cludistream_wire::{ByteBuf, ByteReader};
@@ -88,6 +100,13 @@ pub struct CoordinatorRun {
     pub obs: Obs,
     /// Socket tuning (heartbeat/timeout policy lives here).
     pub socket: SocketConfig,
+    /// Fleet telemetry aggregator. `Some` opts the coordinator into the
+    /// telemetry plane: a Cristian clock probe after every `Welcome`,
+    /// folding inbound [`TelemetryDelta`]s into the fleet registry, and
+    /// answering `StatusRequest` scrapes with Prometheus text. `None`
+    /// (the in-process [`TcpTransport`]) keeps the control plane
+    /// byte-identical to the pre-telemetry runtime.
+    pub fleet: Option<Arc<FleetAggregator>>,
 }
 
 /// What the socket coordinator produced.
@@ -175,7 +194,7 @@ fn send_control(stream: &TcpStream, obs: &Obs, frame: &Control) -> bool {
 /// The caller binds the listener (so it can publish the ephemeral port
 /// before any site connects) and this function consumes it.
 pub fn serve(listener: TcpListener, run: CoordinatorRun) -> Result<CoordReport, CludiError> {
-    let CoordinatorRun { sites, coordinator, dim, cov, obs, socket } = run;
+    let CoordinatorRun { sites, coordinator, dim, cov, obs, socket, fleet } = run;
     if sites == 0 {
         return Err(CludiError::Build("need at least one site"));
     }
@@ -232,9 +251,17 @@ pub fn serve(listener: TcpListener, run: CoordinatorRun) -> Result<CoordReport, 
             }
             Ok(NetEvent::Frame { conn, payload }) => {
                 let now_us = started_at.elapsed().as_micros() as u64;
+                if fleet.is_some() {
+                    // Stamp journal events and spans with wall-clock
+                    // microseconds since serve start (the fleet's
+                    // reference clock). Skipped without a fleet so the
+                    // shared-registry TcpTransport keeps `t: 0` stamps.
+                    obs.set_sim_time(now_us);
+                }
                 on_coord_frame(
                     &payload, conn, now_us, sites, dim, cov, &obs, &mut engine, &mut machine,
                     &mut comm, hub, &mut conns, &mut site_conn, &mut resyncs, socket,
+                    fleet.as_deref(),
                 );
             }
             Ok(NetEvent::Closed { conn }) => {
@@ -252,6 +279,9 @@ pub fn serve(listener: TcpListener, run: CoordinatorRun) -> Result<CoordReport, 
             }
         }
         let now_us = started_at.elapsed().as_micros() as u64;
+        if fleet.is_some() {
+            obs.set_sim_time(now_us);
+        }
         for (site, silent_us) in machine.evictions(now_us) {
             obs.event(&Event::SiteEvicted { site: site as u32, silent_us });
             obs.counter("coord.evict", 1);
@@ -335,6 +365,7 @@ fn on_coord_frame(
     site_conn: &mut [Option<u64>],
     resyncs: &mut u64,
     socket: SocketConfig,
+    fleet: Option<&FleetAggregator>,
 ) {
     if Control::is_control(payload) {
         let Ok(frame) = Control::decode(&mut ByteReader::new(payload)) else {
@@ -409,6 +440,12 @@ fn on_coord_frame(
                     let _ = c.writer.shutdown(Shutdown::Both);
                     return;
                 }
+                if fleet.is_some() {
+                    // Cristian probe: t0 is stamped here, the site
+                    // echoes its local clock, and t1 is the arrival
+                    // time of the `ClockEcho`.
+                    send_control(&c.writer, obs, &Control::ClockProbe { t0_us: now_us });
+                }
                 if machine.started() {
                     // Late (re)joiner: the round is already running.
                     send_control(&c.writer, obs, &Control::Start);
@@ -420,8 +457,59 @@ fn on_coord_frame(
                     }
                 }
             }
-            Control::Ping { site } if (site as usize) < sites => {
+            Control::Ping { site, sent_us } if (site as usize) < sites => {
                 machine.heard(site as usize, now_us);
+                // Echo the site's send stamp back so it can measure the
+                // heartbeat round-trip on its own clock.
+                if let Some(c) = conns.get(&conn) {
+                    send_control(&c.writer, obs, &Control::Pong { site, echo_us: sent_us });
+                }
+            }
+            Control::ClockEcho { site, t0_us, site_us } if (site as usize) < sites => {
+                machine.heard(site as usize, now_us);
+                if let Some(fleet) = fleet {
+                    // Cristian's algorithm: the site read its clock
+                    // somewhere between t0 (probe sent) and t1 = now_us
+                    // (echo received); assume the midpoint.
+                    let midpoint = (t0_us + now_us) / 2;
+                    fleet.set_offset(site, midpoint as i64 - site_us as i64);
+                }
+            }
+            Control::Telemetry { site, payload } if (site as usize) < sites => {
+                machine.heard(site as usize, now_us);
+                let Some(fleet) = fleet else { return };
+                let Ok(mut delta) = TelemetryDelta::decode(&mut ByteReader::new(&payload))
+                else {
+                    obs.counter("coord.telemetry_decode_err", 1);
+                    return;
+                };
+                // Trust the authenticated frame header over the payload.
+                delta.site = site;
+                for entry in delta.flight.drain(..) {
+                    obs.event(&Event::FlightRecorder { site, entry });
+                }
+                fleet.apply(&delta);
+            }
+            Control::StatusRequest => {
+                // Scrapers skip the handshake: any connection may ask.
+                let Some(c) = conns.get(&conn) else { return };
+                let text = match fleet {
+                    Some(fleet) => {
+                        for (s, &state) in machine.states().iter().enumerate() {
+                            fleet.registry().gauge(
+                                intern(&format!("site{s}.round_state")),
+                                f64::from(RoundMachine::state_code(state)),
+                            );
+                        }
+                        let started = if machine.started() { 1.0 } else { 0.0 };
+                        fleet.registry().gauge("coord.round_started", started);
+                        fleet.prometheus_text()
+                    }
+                    // No fleet: still answer, so scrapes against a
+                    // telemetry-less coordinator degrade gracefully.
+                    None => String::from("# TYPE cludistream_up gauge\ncludistream_up 1\n"),
+                };
+                send_control(&c.writer, obs, &Control::StatusReply { text: text.into_bytes() });
             }
             Control::Done { site } if (site as usize) < sites => {
                 machine.heard(site as usize, now_us);
@@ -466,6 +554,13 @@ pub struct SiteRun {
     /// Socket tuning (connect retries; heartbeat/timeout are overridden
     /// by the coordinator's `Welcome`).
     pub socket: SocketConfig,
+    /// Opt into the fleet telemetry plane: stamp the registry clock
+    /// from a local monotonic epoch, answer `ClockProbe`s, record
+    /// `hb.rtt_us` from `Pong` echoes, and flush [`TelemetryDelta`]s to
+    /// the coordinator on the heartbeat cadence. Leave `false` whenever
+    /// the site shares a registry with the coordinator (the in-process
+    /// [`TcpTransport`]), where deltas would double-count.
+    pub telemetry: bool,
 }
 
 /// Connects with retries (the coordinator may not be listening yet).
@@ -508,11 +603,32 @@ fn frame_sender<'a>(
     }
 }
 
+/// Drains the registry's staged telemetry and ships it as one
+/// [`Control::Telemetry`] frame. The first flush after a resync carries
+/// the flight-recorder ring (`flush_flight`), which this clears; a
+/// quiet registry (nothing staged) sends nothing.
+fn flush_telemetry(
+    conn: &TcpStream,
+    obs: &Obs,
+    site: usize,
+    flush_flight: &mut bool,
+    io_err: &mut bool,
+) {
+    let include_flight = *flush_flight;
+    let Some(mut delta) = obs.drain_telemetry(include_flight) else { return };
+    *flush_flight = false;
+    delta.site = site as u32;
+    let frame = Control::Telemetry { site: site as u32, payload: delta.encode().into_vec() };
+    if !send_control(conn, obs, &frame) {
+        *io_err = true;
+    }
+}
+
 /// Runs one site against a coordinator at `addr`: rendezvous, stream the
 /// records, keep liveness, and reconnect-with-resync on any socket
 /// failure until the coordinator says `Stop`.
 pub fn run_site(addr: &str, run: SiteRun) -> Result<SiteReport, CludiError> {
-    let SiteRun { site, window, config, delivery, stream, updates, socket } = run;
+    let SiteRun { site, window, config, delivery, stream, updates, socket, telemetry } = run;
     if delivery.mode != DeliveryMode::Reliable {
         return Err(CludiError::Build(
             "the TCP transport is reliable-only: a reconnect needs sequence state to resync",
@@ -531,6 +647,12 @@ pub fn run_site(addr: &str, run: SiteRun) -> Result<SiteReport, CludiError> {
     let mut retransmitted_bytes = 0u64;
     let mut resyncs = 0u64;
     let mut reconnects = 0u32;
+    // Local monotonic clock for telemetry stamps, Cristian echoes and
+    // RTT samples. Deliberately *not* the coordinator's clock: the
+    // coordinator estimates this site's offset from the
+    // ClockProbe/ClockEcho exchange and rebases on its side.
+    let epoch = Instant::now();
+    let local_now = move || epoch.elapsed().as_micros() as u64;
 
     'round: loop {
         let conn = connect(addr, &socket)?;
@@ -554,18 +676,24 @@ pub fn run_site(addr: &str, run: SiteRun) -> Result<SiteReport, CludiError> {
         // Rendezvous: wait for Welcome (or Reject) under a deadline.
         let handshake_deadline = Instant::now() + Duration::from_micros(socket.timeout_us.max(1));
         let mut welcome = None;
+        let mut leftover: Vec<Vec<u8>> = Vec::new();
         'handshake: while welcome.is_none() {
             if Instant::now() > handshake_deadline {
                 return Err(CludiError::Net(format!("site {site}: handshake timed out")));
             }
             let polled = fr.poll(&mut { &conn })?;
-            for payload in polled.frames {
+            let mut frames = polled.frames.into_iter();
+            while let Some(payload) = frames.next() {
                 if !Control::is_control(&payload) {
                     continue;
                 }
                 match Control::decode(&mut ByteReader::new(&payload))? {
                     Control::Welcome { heartbeat_us, ack, .. } => {
                         welcome = Some((heartbeat_us, ack));
+                        // Frames behind the Welcome in the same poll
+                        // (Start, the coordinator's ClockProbe) belong
+                        // to the pump loop; don't drop them.
+                        leftover.extend(frames);
                         break 'handshake;
                     }
                     Control::Reject { code, expect, got } => {
@@ -607,10 +735,18 @@ pub fn run_site(addr: &str, run: SiteRun) -> Result<SiteReport, CludiError> {
         let mut last_ping = Instant::now();
         let mut retx_at: Option<Instant> = None;
         let mut streaming_timeout = true;
+        // The first flush after a resync carries the flight-recorder
+        // ring: the coordinator journals what this site saw before the
+        // crash.
+        let mut flush_flight = telemetry && resume;
+        let mut inbound = leftover;
         conn.set_read_timeout(Some(Duration::from_millis(1)))?;
         loop {
             if io_err {
                 break; // reconnect
+            }
+            if telemetry {
+                obs.set_sim_time(local_now());
             }
             let polled = match fr.poll(&mut { &conn }) {
                 Ok(p) => p,
@@ -621,10 +757,27 @@ pub fn run_site(addr: &str, run: SiteRun) -> Result<SiteReport, CludiError> {
                     break; // reconnect
                 }
             };
-            for payload in polled.frames {
+            inbound.extend(polled.frames);
+            for payload in inbound.drain(..) {
                 if Control::is_control(&payload) {
-                    if let Ok(Control::Stop) = Control::decode(&mut ByteReader::new(&payload)) {
-                        break 'round;
+                    match Control::decode(&mut ByteReader::new(&payload)) {
+                        Ok(Control::Stop) => break 'round,
+                        Ok(Control::Pong { echo_us, .. }) => {
+                            if telemetry {
+                                obs.observe("hb.rtt_us", local_now().saturating_sub(echo_us));
+                            }
+                        }
+                        Ok(Control::ClockProbe { t0_us }) => {
+                            let echo = Control::ClockEcho {
+                                site: site as u32,
+                                t0_us,
+                                site_us: local_now(),
+                            };
+                            if !send_control(&conn, &obs, &echo) {
+                                io_err = true;
+                            }
+                        }
+                        _ => {}
                     }
                 } else if let Ok(Frame::Ack { cumulative }) =
                     Frame::decode(&mut ByteReader::new(&payload))
@@ -674,6 +827,14 @@ pub fn run_site(addr: &str, run: SiteRun) -> Result<SiteReport, CludiError> {
                 retx_at = None;
             }
             if remaining == 0 && core.pending() == 0 && !done_sent {
+                if telemetry {
+                    // Flush before Done: once every site is done the
+                    // coordinator may Stop and tear down, so this is
+                    // the last delta guaranteed to land in the fleet
+                    // registry. Every data-plane counter is final here
+                    // (stream drained, everything acknowledged).
+                    flush_telemetry(&conn, &obs, site, &mut flush_flight, &mut io_err);
+                }
                 if send_control(&conn, &obs, &Control::Done { site: site as u32 }) {
                     done_sent = true;
                 } else {
@@ -681,8 +842,12 @@ pub fn run_site(addr: &str, run: SiteRun) -> Result<SiteReport, CludiError> {
                 }
             }
             if last_ping.elapsed() >= heartbeat {
-                if !send_control(&conn, &obs, &Control::Ping { site: site as u32 }) {
+                let ping = Control::Ping { site: site as u32, sent_us: local_now() };
+                if !send_control(&conn, &obs, &ping) {
                     io_err = true;
+                }
+                if telemetry {
+                    flush_telemetry(&conn, &obs, site, &mut flush_flight, &mut io_err);
                 }
                 last_ping = Instant::now();
             }
@@ -765,6 +930,9 @@ impl Transport for TcpTransport {
                 stream,
                 updates: updates_per_site,
                 socket: self.socket,
+                // All roles share `config.obs` here; deltas folded back
+                // into the same registry would double-count.
+                telemetry: false,
             };
             let addr = addr.clone();
             handles.push(thread::spawn(move || run_site(&addr, run)));
@@ -778,6 +946,7 @@ impl Transport for TcpTransport {
                 cov: config.site.covariance,
                 obs: config.obs.clone(),
                 socket: self.socket,
+                fleet: None,
             },
         );
         // Join the sites even when the coordinator failed, so their
@@ -922,6 +1091,7 @@ mod tests {
                 deadline: Some(Duration::from_secs(30)),
                 ..SocketConfig::default()
             },
+            fleet: None,
         };
         let server = thread::spawn(move || serve(listener, run));
 
@@ -937,7 +1107,7 @@ mod tests {
             await_welcome(&mut s, &mut reader);
             s.set_read_timeout(Some(Duration::from_millis(10))).expect("read timeout");
             while !finish_signal.load(Ordering::Relaxed) {
-                send(&mut s, Control::Ping { site: 1 }.encode().as_slice());
+                send(&mut s, Control::Ping { site: 1, sent_us: 0 }.encode().as_slice());
                 // Drain whatever the coordinator broadcast (`Start`):
                 // closing a socket with unread data queued makes TCP
                 // reset the connection, which would discard our final
@@ -1043,6 +1213,7 @@ mod tests {
                 deadline: Some(Duration::from_secs(10)),
                 ..SocketConfig::default()
             },
+            fleet: None,
         };
         let server = thread::spawn(move || serve(listener, run));
 
@@ -1075,5 +1246,180 @@ mod tests {
         send(&mut good, Control::Done { site: 0 }.encode().as_slice());
         let report = server.join().expect("serve thread").expect("serve succeeds");
         assert!(report.evicted.is_empty());
+    }
+
+    /// Like [`next_frame`] but keeps *every* frame a poll returns —
+    /// back-to-back control frames (Welcome + ClockProbe + Start
+    /// coalesce under nodelay) must not be dropped.
+    struct FrameRx {
+        reader: FrameReader,
+        pending: std::collections::VecDeque<Vec<u8>>,
+    }
+
+    impl FrameRx {
+        fn new() -> FrameRx {
+            FrameRx { reader: FrameReader::new(), pending: std::collections::VecDeque::new() }
+        }
+
+        /// Reads control frames until `want` accepts one, skipping the
+        /// rest (Start arrives interleaved with the telemetry plane).
+        fn next_control(
+            &mut self,
+            stream: &mut TcpStream,
+            want: impl Fn(&Control) -> bool,
+        ) -> Control {
+            loop {
+                if let Some(frame) = self.pending.pop_front() {
+                    if !Control::is_control(&frame) {
+                        continue;
+                    }
+                    let ctrl =
+                        Control::decode(&mut ByteReader::new(&frame)).expect("control frame");
+                    if want(&ctrl) {
+                        return ctrl;
+                    }
+                    continue;
+                }
+                let polled = self.reader.poll(stream).expect("poll");
+                assert!(
+                    !(polled.frames.is_empty() && polled.eof),
+                    "connection closed while awaiting a control frame"
+                );
+                self.pending.extend(polled.frames);
+            }
+        }
+    }
+
+    /// Drives the whole telemetry plane with a hand-rolled site: the
+    /// post-Welcome `ClockProbe` is echoed (fixing this site's offset),
+    /// a `Telemetry` delta folds into the fleet registry with spans
+    /// rebased and flight lines journaled, `Ping` comes back as `Pong`,
+    /// and a bare `StatusRequest` connection — no handshake — scrapes
+    /// the folded metrics as Prometheus text.
+    #[test]
+    fn telemetry_plane_folds_deltas_and_serves_status() {
+        use cludistream_obs::trace::{SpanId, TraceId};
+        use cludistream_obs::{FleetAggregator, SpanRecord, TelemetryDelta};
+
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let sink = SharedBuf::default();
+        let registry = Arc::new(Registry::with_journal(Box::new(sink.clone())));
+        let fleet = Arc::new(FleetAggregator::new());
+        let run = CoordinatorRun {
+            sites: 1,
+            coordinator: CoordinatorConfig::default(),
+            dim: 1,
+            cov: CovarianceType::Full,
+            obs: Obs::from_registry(Arc::clone(&registry)),
+            socket: SocketConfig {
+                deadline: Some(Duration::from_secs(30)),
+                ..SocketConfig::default()
+            },
+            fleet: Some(Arc::clone(&fleet)),
+        };
+        let server = thread::spawn(move || serve(listener, run));
+
+        let mut s = TcpStream::connect(addr).expect("connect");
+        let mut rx = FrameRx::new();
+        send(&mut s, hello(0, false).encode().as_slice());
+        rx.next_control(&mut s, |c| matches!(c, Control::Welcome { .. }));
+
+        // Clock sync: echo the probe with a site clock pinned at 0, so
+        // the offset becomes the (non-negative) probe midpoint.
+        let probe = rx.next_control(&mut s, |c| matches!(c, Control::ClockProbe { .. }));
+        let Control::ClockProbe { t0_us } = probe else { unreachable!() };
+        send(
+            &mut s,
+            Control::ClockEcho { site: 0, t0_us, site_us: 0 }.encode().as_slice(),
+        );
+
+        // Heartbeat RTT: the echo must carry our send stamp back.
+        send(&mut s, Control::Ping { site: 0, sent_us: 777 }.encode().as_slice());
+        let pong = rx.next_control(&mut s, |c| matches!(c, Control::Pong { .. }));
+        assert_eq!(pong, Control::Pong { site: 0, echo_us: 777 });
+
+        // One telemetry delta: a counter, a span starting at its local
+        // t=10, and a flight-recorder line.
+        let delta = TelemetryDelta {
+            site: 0,
+            local_now_us: 50,
+            counters: vec![("em.iterations", 7)],
+            observations: vec![("hb.rtt_us", vec![777])],
+            spans: vec![SpanRecord {
+                trace: TraceId(1),
+                span: SpanId(1),
+                parent: None,
+                name: "site.chunk",
+                node: 0,
+                start_us: 10,
+                end_us: 40,
+                cost_us: 30,
+            }],
+            flight: vec!["{\"t\":9,\"event\":\"ReMerge\",\"group\":1}".into()],
+            ..TelemetryDelta::default()
+        };
+        send(
+            &mut s,
+            Control::Telemetry { site: 0, payload: delta.encode().into_vec() }
+                .encode()
+                .as_slice(),
+        );
+
+        // Scrape from a *second* connection that never says Hello: the
+        // status endpoint must not require a handshake. The scrape also
+        // acts as a barrier — it is answered by the same single-threaded
+        // loop after the Telemetry frame above (same reader ordering is
+        // not guaranteed across connections, so poll until visible).
+        let deadline = Instant::now() + Duration::from_secs(10);
+        let text = loop {
+            let mut scraper = TcpStream::connect(addr).expect("scrape connect");
+            let mut srx = FrameRx::new();
+            send(&mut scraper, Control::StatusRequest.encode().as_slice());
+            let reply =
+                srx.next_control(&mut scraper, |c| matches!(c, Control::StatusReply { .. }));
+            let Control::StatusReply { text } = reply else { unreachable!() };
+            let text = String::from_utf8(text).expect("utf-8 exposition");
+            if text.contains("em_iterations") || Instant::now() > deadline {
+                break text;
+            }
+            thread::sleep(Duration::from_millis(20));
+        };
+        assert!(
+            text.contains("cludistream_em_iterations_total{site=\"0\"} 7\n"),
+            "per-site counter missing:\n{text}"
+        );
+        assert!(
+            text.contains("cludistream_em_iterations_total 7\n"),
+            "fleet sum missing:\n{text}"
+        );
+        assert!(
+            text.contains("cludistream_round_state{site=\"0\"} 1\n"),
+            "round-state gauge missing (Joined=1):\n{text}"
+        );
+        assert!(
+            text.contains("cludistream_hb_rtt_us_count{site=\"0\"} 1\n"),
+            "hb.rtt_us summary missing:\n{text}"
+        );
+
+        // The span was rebased by the Cristian offset (midpoint - 0).
+        let offset = fleet.offset(0);
+        assert!(offset >= 0, "site clock pinned at 0 gives a non-negative offset");
+        let spans = fleet.spans();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].start_us, 10 + offset as u64, "start rebased");
+        assert_eq!(spans[0].end_us, 40 + offset as u64, "end rebased");
+
+        send(&mut s, Control::Done { site: 0 }.encode().as_slice());
+        let report = server.join().expect("serve thread").expect("serve succeeds");
+        assert!(report.evicted.is_empty());
+        registry.flush_journal().expect("flush");
+        let journal =
+            String::from_utf8(sink.0.lock().expect("sink lock").clone()).expect("utf-8");
+        assert!(
+            journal.lines().any(|l| l.contains("\"event\":\"FlightRecorder\"")
+                && l.contains("\\\"event\\\":\\\"ReMerge\\\"")),
+            "flight line not replayed into the coordinator journal:\n{journal}"
+        );
     }
 }

@@ -1,0 +1,434 @@
+//! Fleet-wide telemetry aggregation for the socket runtime.
+//!
+//! The coordinator folds each site's [`TelemetryDelta`] into one
+//! [`FleetAggregator`]: every metric lands twice, once under its per-site
+//! name (`site3.em.cost_us`) and once under its plain name, so the plain
+//! entry is *structurally* the sum over sites — the fleet-equivalence
+//! test in `crates/cli/tests` checks exactly that identity. Histogram
+//! observations are re-inserted value by value, which keeps both the log2
+//! histograms and the Greenwald–Khanna sketches exact (GK has no merge
+//! operation, so shipping raw values is the only way the fleet quantiles
+//! stay within the sketch's rank-error bound).
+//!
+//! Span records arrive on each site's local clock; [`FleetAggregator`]
+//! rebases them onto the coordinator clock using the Cristian-style
+//! offset estimated during the rendezvous handshake
+//! ([`FleetAggregator::set_offset`]), so
+//! [`crate::perfetto_json`] over [`FleetAggregator::spans`] yields one
+//! coherent multi-process timeline.
+//!
+//! [`prometheus_text`] renders any [`Registry`] in the Prometheus text
+//! exposition format (version 0.0.4): `site<N>.` name prefixes become
+//! `{site="N"}` labels, counters get the `_total` suffix, histograms
+//! render as summaries with exact GK quantiles where tracked. Output is
+//! byte-deterministic for a given registry state (BTreeMap iteration
+//! order everywhere).
+
+use crate::registry::Registry;
+use crate::telemetry::{intern, TelemetryDelta};
+use crate::trace::SpanRecord;
+use crate::Recorder;
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+/// The coordinator's fold target for site telemetry deltas.
+///
+/// Owns its own [`Registry`] — separate from the coordinator's journal
+/// registry — so fleet metrics are purely site-originated and never mix
+/// with the coordinator's local instrumentation.
+pub struct FleetAggregator {
+    registry: Arc<Registry>,
+    inner: Mutex<FleetInner>,
+}
+
+#[derive(Debug, Default)]
+struct FleetInner {
+    /// Per-site clock offset, microseconds: `site clock + offset =`
+    /// coordinator clock.
+    offsets: BTreeMap<u32, i64>,
+    /// Rebased span records, in arrival order.
+    spans: Vec<SpanRecord>,
+}
+
+impl std::fmt::Debug for FleetAggregator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FleetAggregator").field("registry", &self.registry).finish()
+    }
+}
+
+impl Default for FleetAggregator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FleetAggregator {
+    /// An empty aggregator with a fresh registry.
+    pub fn new() -> Self {
+        FleetAggregator {
+            registry: Arc::new(Registry::new()),
+            inner: Mutex::new(FleetInner::default()),
+        }
+    }
+
+    /// The registry fleet metrics accumulate into.
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
+    /// Records `site`'s clock offset (coordinator µs − site µs), from the
+    /// handshake's Cristian-style probe. Must be set before the site's
+    /// first delta for its spans to land on the coordinator timeline.
+    pub fn set_offset(&self, site: u32, offset_us: i64) {
+        self.inner.lock().expect("fleet lock").offsets.insert(site, offset_us);
+    }
+
+    /// The stored offset for `site` (0 when no probe completed).
+    pub fn offset(&self, site: u32) -> i64 {
+        self.inner.lock().expect("fleet lock").offsets.get(&site).copied().unwrap_or(0)
+    }
+
+    /// Folds one delta into the fleet registry: counters and observations
+    /// land under both `site<N>.<name>` and the plain `<name>` (so plain
+    /// names sum over sites), gauges under the per-site name only (a sum
+    /// of gauges is rarely meaningful), and spans are rebased onto the
+    /// coordinator clock via the site's stored offset.
+    pub fn apply(&self, delta: &TelemetryDelta) {
+        let site = delta.site;
+        let site_name =
+            |name: &str| -> &'static str { intern(&format!("site{site}.{name}")) };
+        for &(name, value) in &delta.counters {
+            self.registry.counter(site_name(name), value);
+            self.registry.counter(name, value);
+        }
+        for &(name, value) in &delta.gauges {
+            self.registry.gauge(site_name(name), value);
+        }
+        for (name, values) in &delta.observations {
+            let per_site = site_name(name);
+            self.registry.track_quantiles(per_site);
+            self.registry.track_quantiles(name);
+            for &v in values {
+                self.registry.observe(per_site, v);
+                self.registry.observe(name, v);
+            }
+        }
+        if !delta.spans.is_empty() {
+            let mut inner = self.inner.lock().expect("fleet lock");
+            let offset = inner.offsets.get(&site).copied().unwrap_or(0);
+            let rebase = |us: u64| (us as i64).saturating_add(offset).max(0) as u64;
+            for span in &delta.spans {
+                inner.spans.push(SpanRecord {
+                    start_us: rebase(span.start_us),
+                    end_us: rebase(span.end_us),
+                    ..*span
+                });
+            }
+        }
+    }
+
+    /// All rebased span records collected so far (coordinator clock).
+    pub fn spans(&self) -> Vec<SpanRecord> {
+        self.inner.lock().expect("fleet lock").spans.clone()
+    }
+
+    /// Renders the fleet registry in Prometheus text exposition format.
+    pub fn prometheus_text(&self) -> String {
+        prometheus_text(&self.registry)
+    }
+}
+
+/// Mangles a metric name into the Prometheus name charset
+/// (`[a-zA-Z0-9_]`) under the `cludistream_` namespace.
+fn mangle(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 12);
+    out.push_str("cludistream_");
+    for c in name.chars() {
+        out.push(if c.is_ascii_alphanumeric() { c } else { '_' });
+    }
+    out
+}
+
+/// Escapes a label value per the exposition format: backslash, double
+/// quote, and newline.
+fn escape_label(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Splits a registry name into `(family, site label)`: a `site<digits>.`
+/// prefix becomes `Some(digits)`, anything else is an unlabelled fleet
+/// total.
+fn split_site(name: &str) -> (&str, Option<&str>) {
+    if let Some(rest) = name.strip_prefix("site") {
+        if let Some(dot) = rest.find('.') {
+            let (digits, tail) = rest.split_at(dot);
+            if !digits.is_empty() && digits.bytes().all(|b| b.is_ascii_digit()) {
+                return (&tail[1..], Some(digits));
+            }
+        }
+    }
+    (name, None)
+}
+
+/// Formats one `name{labels} value` line. The site label is omitted for
+/// fleet totals; `extra` carries e.g. a `quantile` label.
+fn sample_line(
+    out: &mut String,
+    family: &str,
+    suffix: &str,
+    site: Option<&str>,
+    extra: Option<(&str, &str)>,
+    value: &str,
+) {
+    out.push_str(family);
+    out.push_str(suffix);
+    let mut labels = Vec::new();
+    if let Some(s) = site {
+        labels.push(format!("site=\"{}\"", escape_label(s)));
+    }
+    if let Some((k, v)) = extra {
+        labels.push(format!("{k}=\"{}\"", escape_label(v)));
+    }
+    if !labels.is_empty() {
+        out.push('{');
+        out.push_str(&labels.join(","));
+        out.push('}');
+    }
+    out.push(' ');
+    out.push_str(value);
+    out.push('\n');
+}
+
+/// Formats an f64 the exposition way: integral values without a trailing
+/// `.0`, non-finite values as `NaN`/`+Inf`/`-Inf`.
+fn format_f64(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_owned()
+    } else if v.is_infinite() {
+        (if v > 0.0 { "+Inf" } else { "-Inf" }).to_owned()
+    } else if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Groups name-sorted `(name, value)` rows into
+/// `family → [(site label, value)]`, preserving order within a family.
+fn group_by_family<T>(rows: Vec<(&'static str, T)>) -> BTreeMap<String, Vec<(Option<String>, T)>> {
+    let mut families: BTreeMap<String, Vec<(Option<String>, T)>> = BTreeMap::new();
+    for (name, value) in rows {
+        let (family, site) = split_site(name);
+        families
+            .entry(mangle(family))
+            .or_default()
+            .push((site.map(str::to_owned), value));
+    }
+    for samples in families.values_mut() {
+        samples.sort_by(|a, b| a.0.cmp(&b.0));
+    }
+    families
+}
+
+/// Renders `registry` in the Prometheus text exposition format:
+/// `cludistream_up 1` first, then counters (`_total` suffix), gauges, and
+/// histograms as summaries (`_count`/`_sum`, plus exact
+/// `{quantile="..."}` samples for series registered with
+/// [`Registry::track_quantiles`]). Byte-deterministic for a given
+/// registry state.
+pub fn prometheus_text(registry: &Registry) -> String {
+    let mut out = String::new();
+    out.push_str("# TYPE cludistream_up gauge\ncludistream_up 1\n");
+
+    for (family, samples) in group_by_family(registry.counters()) {
+        out.push_str(&format!("# TYPE {family}_total counter\n"));
+        for (site, value) in samples {
+            sample_line(&mut out, &family, "_total", site.as_deref(), None, &value.to_string());
+        }
+    }
+
+    for (family, samples) in group_by_family(registry.gauges()) {
+        out.push_str(&format!("# TYPE {family} gauge\n"));
+        for (site, value) in samples {
+            sample_line(&mut out, &family, "", site.as_deref(), None, &format_f64(value));
+        }
+    }
+
+    // Exact quantiles per tracked series, keyed by the raw registry name.
+    let quantiles: BTreeMap<&str, (u64, u64, u64)> = registry
+        .quantile_rows()
+        .into_iter()
+        .map(|(name, _count, p50, p90, p99, _max)| (name, (p50, p90, p99)))
+        .collect();
+    let mut summaries: BTreeMap<String, Vec<(Option<String>, &'static str)>> = BTreeMap::new();
+    for (name, _snapshot) in registry.histograms() {
+        let (family, site) = split_site(name);
+        summaries
+            .entry(mangle(family))
+            .or_default()
+            .push((site.map(str::to_owned), name));
+    }
+    for (family, mut samples) in summaries {
+        samples.sort_by(|a, b| a.0.cmp(&b.0));
+        out.push_str(&format!("# TYPE {family} summary\n"));
+        for (site, name) in samples {
+            let site = site.as_deref();
+            if let Some(&(p50, p90, p99)) = quantiles.get(name) {
+                for (q, v) in [("0.5", p50), ("0.9", p90), ("0.99", p99)] {
+                    sample_line(&mut out, &family, "", site, Some(("quantile", q)), &v.to_string());
+                }
+            }
+            let snapshot = match registry.histogram_snapshot(name) {
+                Some(s) => s,
+                None => continue,
+            };
+            sample_line(&mut out, &family, "_count", site, None, &snapshot.count.to_string());
+            sample_line(&mut out, &family, "_sum", site, None, &snapshot.sum.to_string());
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{SpanId, TraceId};
+
+    fn delta(site: u32) -> TelemetryDelta {
+        TelemetryDelta {
+            site,
+            local_now_us: 1000,
+            counters: vec![(intern("net.bytes"), 100 * (site as u64 + 1))],
+            gauges: vec![(intern("window.models"), site as f64)],
+            observations: vec![(intern("em.cost_us"), vec![10 * (site as u64 + 1)])],
+            spans: Vec::new(),
+            flight: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn plain_names_sum_over_sites() {
+        let fleet = FleetAggregator::new();
+        fleet.apply(&delta(0));
+        fleet.apply(&delta(1));
+        fleet.apply(&delta(1));
+        let r = fleet.registry();
+        assert_eq!(r.counter_value("site0.net.bytes"), 100);
+        assert_eq!(r.counter_value("site1.net.bytes"), 400);
+        assert_eq!(r.counter_value("net.bytes"), 500);
+        // Gauges stay per-site.
+        assert_eq!(r.gauge_value("site1.window.models"), Some(1.0));
+        assert_eq!(r.gauge_value("window.models"), None);
+        // Observations feed both histograms and exact sketches.
+        assert_eq!(r.histogram_snapshot("em.cost_us").unwrap().count, 3);
+        assert_eq!(r.histogram_snapshot("site1.em.cost_us").unwrap().count, 2);
+        assert_eq!(r.exact_quantile("em.cost_us", 1.0), Some(20));
+    }
+
+    #[test]
+    fn spans_are_rebased_with_the_site_offset() {
+        let fleet = FleetAggregator::new();
+        fleet.set_offset(2, 1_000_000);
+        fleet.set_offset(3, -50);
+        assert_eq!(fleet.offset(2), 1_000_000);
+        let span = |site: u32, start: u64, end: u64| SpanRecord {
+            trace: TraceId::new(site, 0),
+            span: SpanId::new(site, 1),
+            parent: None,
+            name: intern("site.chunk"),
+            node: site,
+            start_us: start,
+            end_us: end,
+            cost_us: 0,
+        };
+        let mut d2 = TelemetryDelta { site: 2, ..TelemetryDelta::default() };
+        d2.spans.push(span(2, 100, 200));
+        fleet.apply(&d2);
+        let mut d3 = TelemetryDelta { site: 3, ..TelemetryDelta::default() };
+        d3.spans.push(span(3, 100, 200));
+        fleet.apply(&d3);
+        // No offset stored: spans pass through unshifted, clamped at 0.
+        let mut d4 = TelemetryDelta { site: 4, ..TelemetryDelta::default() };
+        d4.spans.push(span(4, 30, 60));
+        fleet.apply(&d4);
+        let spans = fleet.spans();
+        assert_eq!((spans[0].start_us, spans[0].end_us), (1_000_100, 1_000_200));
+        assert_eq!((spans[1].start_us, spans[1].end_us), (50, 150));
+        assert_eq!((spans[2].start_us, spans[2].end_us), (30, 60));
+    }
+
+    #[test]
+    fn negative_offset_clamps_at_zero() {
+        let fleet = FleetAggregator::new();
+        fleet.set_offset(0, -500);
+        let mut d = TelemetryDelta { site: 0, ..TelemetryDelta::default() };
+        d.spans.push(SpanRecord {
+            trace: TraceId::new(0, 0),
+            span: SpanId::new(0, 1),
+            parent: None,
+            name: intern("early"),
+            node: 0,
+            start_us: 100,
+            end_us: 600,
+            cost_us: 0,
+        });
+        fleet.apply(&d);
+        let spans = fleet.spans();
+        assert_eq!((spans[0].start_us, spans[0].end_us), (0, 100));
+    }
+
+    #[test]
+    fn split_site_only_matches_strict_prefix() {
+        assert_eq!(split_site("site3.em.cost_us"), ("em.cost_us", Some("3")));
+        assert_eq!(split_site("site12.net.bytes"), ("net.bytes", Some("12")));
+        assert_eq!(split_site("net.bytes"), ("net.bytes", None));
+        assert_eq!(split_site("site.chunks"), ("site.chunks", None));
+        assert_eq!(split_site("siteX.chunks"), ("siteX.chunks", None));
+        assert_eq!(split_site("site3"), ("site3", None));
+    }
+
+    #[test]
+    fn exposition_basics() {
+        let fleet = FleetAggregator::new();
+        fleet.apply(&delta(0));
+        fleet.apply(&delta(1));
+        let text = fleet.prometheus_text();
+        assert!(text.starts_with("# TYPE cludistream_up gauge\ncludistream_up 1\n"), "{text}");
+        assert!(text.contains("# TYPE cludistream_net_bytes_total counter\n"), "{text}");
+        assert!(text.contains("cludistream_net_bytes_total 300\n"), "{text}");
+        assert!(text.contains("cludistream_net_bytes_total{site=\"0\"} 100\n"), "{text}");
+        assert!(text.contains("cludistream_window_models{site=\"1\"} 1\n"), "{text}");
+        assert!(
+            text.contains("cludistream_em_cost_us{site=\"1\",quantile=\"0.5\"} 20\n"),
+            "{text}"
+        );
+        assert!(text.contains("cludistream_em_cost_us_count{site=\"0\"} 1\n"), "{text}");
+        // Deterministic: rendering twice is byte-identical.
+        assert_eq!(text, fleet.prometheus_text());
+    }
+
+    #[test]
+    fn label_escaping() {
+        assert_eq!(escape_label("plain"), "plain");
+        assert_eq!(escape_label("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+
+    #[test]
+    fn f64_formatting() {
+        assert_eq!(format_f64(2.0), "2");
+        assert_eq!(format_f64(-3.0), "-3");
+        assert_eq!(format_f64(2.5), "2.5");
+        assert_eq!(format_f64(f64::NAN), "NaN");
+        assert_eq!(format_f64(f64::INFINITY), "+Inf");
+        assert_eq!(format_f64(f64::NEG_INFINITY), "-Inf");
+    }
+}

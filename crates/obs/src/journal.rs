@@ -194,6 +194,16 @@ pub enum Event {
         /// The cumulative ACK the site resumed from.
         ack: u64,
     },
+    /// One line of a site's flight-recorder ring, replayed into the
+    /// coordinator journal when the site resynced after a crash or
+    /// eviction. `entry` is the site's original JSONL event line (its
+    /// local `t`), embedded as an escaped string.
+    FlightRecorder {
+        /// Originating site index.
+        site: u32,
+        /// The site's journal line, verbatim.
+        entry: String,
+    },
 }
 
 impl Event {
@@ -217,6 +227,7 @@ impl Event {
             Event::SiteJoined { .. } => "SiteJoined",
             Event::SiteEvicted { .. } => "SiteEvicted",
             Event::SiteResynced { .. } => "SiteResynced",
+            Event::FlightRecorder { .. } => "FlightRecorder",
         }
     }
 
@@ -292,6 +303,9 @@ impl Event {
             }
             Event::SiteResynced { site, ack } => {
                 let _ = write!(s, ",\"site\":{site},\"ack\":{ack}");
+            }
+            Event::FlightRecorder { site, entry } => {
+                let _ = write!(s, ",\"site\":{site},\"entry\":\"{}\"", json_escape(entry));
             }
         }
         s.push('}');
@@ -378,6 +392,7 @@ mod tests {
             Event::SiteJoined { site: 2 },
             Event::SiteEvicted { site: 2, silent_us: 250_000 },
             Event::SiteResynced { site: 2, ack: 17 },
+            Event::FlightRecorder { site: 1, entry: "{\"t\":0}".to_owned() },
         ];
         for e in &events {
             let line = e.to_json(0);
@@ -396,6 +411,19 @@ mod tests {
             e.to_json(17),
             "{\"t\":17,\"event\":\"Dropped\",\"from\":0,\"to\":3,\
              \"bytes\":629,\"reason\":\"partition\"}"
+        );
+    }
+
+    #[test]
+    fn flight_recorder_entry_is_escaped() {
+        let e = Event::FlightRecorder {
+            site: 3,
+            entry: "{\"t\":9,\"event\":\"ReMerge\",\"group\":1}".to_owned(),
+        };
+        assert_eq!(
+            e.to_json(100),
+            "{\"t\":100,\"event\":\"FlightRecorder\",\"site\":3,\
+             \"entry\":\"{\\\"t\\\":9,\\\"event\\\":\\\"ReMerge\\\",\\\"group\\\":1}\"}"
         );
     }
 

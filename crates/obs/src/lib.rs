@@ -27,6 +27,16 @@
 //! Greenwald–Khanna streaming quantile sketch ([`QuantileSketch`])
 //! complementing the log2 histogram's coarse bounds.
 //!
+//! For the socket runtime it is additionally a **fleet telemetry plane**:
+//! a registry can stage everything it records into wire-encodable
+//! [`TelemetryDelta`]s ([`Registry::enable_telemetry`] /
+//! [`Registry::drain_telemetry`]), which a coordinator folds into one
+//! [`FleetAggregator`] with per-site metric names and clock-rebased span
+//! records, renderable live in Prometheus text exposition format
+//! ([`prometheus_text`]). A bounded flight-recorder ring
+//! ([`Registry::enable_flight_recorder`]) preserves a site's last journal
+//! lines across a crash for post-mortem dumps at the coordinator.
+//!
 //! ## Determinism rules
 //!
 //! Journaled fields carry only values derived from the (seeded) algorithms
@@ -59,6 +69,7 @@
 //! ```
 
 pub mod critical_path;
+mod fleet;
 mod histogram;
 mod journal;
 pub mod net;
@@ -66,15 +77,18 @@ mod perfetto;
 mod quantile;
 mod recorder;
 mod registry;
+mod telemetry;
 pub mod trace;
 
 pub use critical_path::{analyze, LatencyBreakdown};
+pub use fleet::{prometheus_text, FleetAggregator};
 pub use histogram::{Histogram, HistogramSnapshot, BUCKETS};
 pub use journal::{json_escape, json_f64, DropReason, Event, Verdict};
 pub use perfetto::perfetto_json;
 pub use quantile::{QuantileSketch, DEFAULT_EPSILON};
 pub use recorder::{NopRecorder, Obs, Recorder, Span};
 pub use registry::Registry;
+pub use telemetry::{intern, TelemetryDelta, TELEMETRY_VERSION};
 pub use trace::{
     em_cost_us, simplex_cost_us, SpanId, SpanRecord, SpanScope, TraceCtx, TraceId,
     EM_ITER_COST_US, SIMPLEX_EVAL_COST_US,

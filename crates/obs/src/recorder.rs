@@ -2,6 +2,7 @@
 //! [`Obs`] handle, and span timers.
 
 use crate::journal::Event;
+use crate::telemetry::TelemetryDelta;
 use crate::trace::{SpanId, SpanRecord};
 use std::sync::{Arc, OnceLock};
 use std::time::Instant;
@@ -83,6 +84,15 @@ pub trait Recorder {
     /// closed when the coordinator's inbox releases the message).
     fn close_span(&self, span: SpanId, end_us: u64) {
         let _ = (span, end_us);
+    }
+
+    /// Drains everything staged for fleet telemetry since the last drain
+    /// (see [`crate::Registry::drain_telemetry`]). `None` for recorders
+    /// without telemetry capture — the default — so transports flush
+    /// through the [`Obs`] handle without knowing the concrete recorder.
+    fn drain_telemetry(&self, include_flight: bool) -> Option<TelemetryDelta> {
+        let _ = include_flight;
+        None
     }
 }
 
@@ -180,6 +190,9 @@ impl Recorder for Obs {
     }
     fn close_span(&self, span: SpanId, end_us: u64) {
         self.0.close_span(span, end_us);
+    }
+    fn drain_telemetry(&self, include_flight: bool) -> Option<TelemetryDelta> {
+        self.0.drain_telemetry(include_flight)
     }
 }
 

@@ -5,8 +5,9 @@ use crate::histogram::{Histogram, HistogramSnapshot};
 use crate::journal::Event;
 use crate::quantile::QuantileSketch;
 use crate::recorder::Recorder;
+use crate::telemetry::TelemetryDelta;
 use crate::trace::{SpanId, SpanRecord};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 use std::io::Write;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Mutex;
@@ -17,16 +18,33 @@ struct Metrics {
     gauges: BTreeMap<&'static str, f64>,
     histograms: BTreeMap<&'static str, Histogram>,
     sketches: BTreeMap<&'static str, QuantileSketch>,
+    /// When true, every record call also feeds the telemetry capture
+    /// below, which [`Registry::drain_telemetry`] swaps out periodically.
+    telemetry: bool,
+    tele_counters: BTreeMap<&'static str, u64>,
+    tele_gauges: BTreeMap<&'static str, f64>,
+    tele_observations: Vec<(&'static str, u64)>,
 }
 
 /// Span storage: per-node id allocators plus the flat record list. Records
 /// keep insertion order (deterministic under the single-threaded
 /// simulator); `index` maps span id → record position for `close_span`.
+/// `drained` is the telemetry cursor: records before it were already
+/// shipped in a [`TelemetryDelta`].
 #[derive(Debug, Default)]
 struct TraceState {
     next_seq: BTreeMap<u32, u64>,
     records: Vec<SpanRecord>,
     index: BTreeMap<u64, usize>,
+    drained: usize,
+}
+
+/// Bounded ring of the most recent journal lines (the site-side flight
+/// recorder). `cap == 0` means disabled.
+#[derive(Debug, Default)]
+struct FlightRing {
+    cap: usize,
+    lines: VecDeque<String>,
 }
 
 /// The metrics registry and journal sink.
@@ -42,6 +60,7 @@ pub struct Registry {
     journal: Mutex<Option<Box<dyn Write + Send>>>,
     tracing: AtomicBool,
     trace: Mutex<TraceState>,
+    flight: Mutex<FlightRing>,
 }
 
 impl std::fmt::Debug for Registry {
@@ -70,7 +89,66 @@ impl Registry {
             journal: Mutex::new(None),
             tracing: AtomicBool::new(false),
             trace: Mutex::new(TraceState::default()),
+            flight: Mutex::new(FlightRing::default()),
         }
+    }
+
+    /// Turns on telemetry capture: from now on every counter/gauge/observe
+    /// call is additionally staged for the next
+    /// [`Registry::drain_telemetry`]. Off by default, so registries that
+    /// never flush (the simulator, tests) pay only a `bool` check.
+    pub fn enable_telemetry(&self) {
+        self.metrics.lock().expect("metrics lock").telemetry = true;
+    }
+
+    /// Turns on the flight recorder: the last `cap` journal lines are
+    /// retained in a ring (independent of whether a journal writer is
+    /// attached) and shipped with the next drained delta that asks for
+    /// them — the post-mortem trail a crashed site leaves behind.
+    pub fn enable_flight_recorder(&self, cap: usize) {
+        let mut flight = self.flight.lock().expect("flight lock");
+        flight.cap = cap;
+        while flight.lines.len() > cap {
+            flight.lines.pop_front();
+        }
+    }
+
+    /// Drains everything recorded since the previous drain into a
+    /// [`TelemetryDelta`] (site 0; the sender stamps its index). Spans are
+    /// included from the telemetry cursor onward — a span still open at
+    /// drain time ships with `end_us == start_us` and is *not* re-sent
+    /// when later closed. With `include_flight` the flight-recorder ring
+    /// is moved into the delta too. Returns `None` when nothing new was
+    /// recorded (including when telemetry capture was never enabled).
+    pub fn drain_telemetry(&self, include_flight: bool) -> Option<TelemetryDelta> {
+        let mut delta = TelemetryDelta {
+            local_now_us: self.sim_time.load(Ordering::Relaxed),
+            ..TelemetryDelta::default()
+        };
+        {
+            let mut m = self.metrics.lock().expect("metrics lock");
+            if !m.telemetry {
+                return None;
+            }
+            delta.counters = std::mem::take(&mut m.tele_counters).into_iter().collect();
+            delta.gauges = std::mem::take(&mut m.tele_gauges).into_iter().collect();
+            let mut grouped: BTreeMap<&'static str, Vec<u64>> = BTreeMap::new();
+            for (name, value) in std::mem::take(&mut m.tele_observations) {
+                grouped.entry(name).or_default().push(value);
+            }
+            delta.observations = grouped.into_iter().collect();
+        }
+        {
+            let mut trace = self.trace.lock().expect("trace lock");
+            let from = trace.drained;
+            delta.spans.extend_from_slice(&trace.records[from..]);
+            trace.drained = trace.records.len();
+        }
+        if include_flight {
+            let mut flight = self.flight.lock().expect("flight lock");
+            delta.flight = flight.lines.drain(..).collect();
+        }
+        (!delta.is_empty()).then_some(delta)
     }
 
     /// Turns on span tracing. Off by default so existing metrics/journal
@@ -266,11 +344,19 @@ impl Recorder for Registry {
     }
 
     fn counter(&self, name: &'static str, delta: u64) {
-        *self.metrics.lock().expect("metrics lock").counters.entry(name).or_insert(0) += delta;
+        let mut metrics = self.metrics.lock().expect("metrics lock");
+        *metrics.counters.entry(name).or_insert(0) += delta;
+        if metrics.telemetry {
+            *metrics.tele_counters.entry(name).or_insert(0) += delta;
+        }
     }
 
     fn gauge(&self, name: &'static str, value: f64) {
-        self.metrics.lock().expect("metrics lock").gauges.insert(name, value);
+        let mut metrics = self.metrics.lock().expect("metrics lock");
+        metrics.gauges.insert(name, value);
+        if metrics.telemetry {
+            metrics.tele_gauges.insert(name, value);
+        }
     }
 
     fn observe(&self, name: &'static str, value: u64) {
@@ -279,16 +365,27 @@ impl Recorder for Registry {
         if let Some(sketch) = metrics.sketches.get_mut(name) {
             sketch.insert(value);
         }
+        if metrics.telemetry {
+            metrics.tele_observations.push((name, value));
+        }
     }
 
     fn event(&self, event: &Event) {
         self.events_recorded.fetch_add(1, Ordering::Relaxed);
+        let t = self.sim_time.load(Ordering::Relaxed);
         let mut journal = self.journal.lock().expect("journal lock");
         if let Some(w) = journal.as_mut() {
-            let t = self.sim_time.load(Ordering::Relaxed);
             // Journal I/O errors must not poison the run; they surface
             // via the flush the reader performs before consuming output.
             let _ = writeln!(w, "{}", event.to_json(t));
+        }
+        drop(journal);
+        let mut flight = self.flight.lock().expect("flight lock");
+        if flight.cap > 0 {
+            if flight.lines.len() == flight.cap {
+                flight.lines.pop_front();
+            }
+            flight.lines.push_back(event.to_json(t));
         }
     }
 
@@ -333,6 +430,10 @@ impl Recorder for Registry {
             let r = &mut trace.records[idx];
             r.end_us = end_us.max(r.start_us);
         }
+    }
+
+    fn drain_telemetry(&self, include_flight: bool) -> Option<TelemetryDelta> {
+        Registry::drain_telemetry(self, include_flight)
     }
 }
 
@@ -474,6 +575,80 @@ mod tests {
         let table = r.render_table();
         assert!(table.contains("quantiles (exact):"), "{table}");
         assert!(table.contains("p50<"), "{table}");
+    }
+
+    #[test]
+    fn telemetry_capture_is_opt_in_and_drains_once() {
+        let r = Registry::new();
+        r.counter("pre", 1);
+        assert!(r.drain_telemetry(false).is_none(), "capture off: nothing staged");
+        r.enable_telemetry();
+        // Metrics recorded before enabling are not replayed.
+        r.counter("net.bytes", 10);
+        r.counter("net.bytes", 5);
+        r.gauge("window.models", 2.0);
+        r.gauge("window.models", 3.0);
+        r.observe("em.cost_us", 40);
+        r.observe("em.cost_us", 80);
+        let delta = r.drain_telemetry(false).expect("staged");
+        assert_eq!(delta.counters, vec![("net.bytes", 15)]);
+        assert_eq!(delta.gauges, vec![("window.models", 3.0)]);
+        assert_eq!(delta.observations, vec![("em.cost_us", vec![40, 80])]);
+        assert!(delta.spans.is_empty() && delta.flight.is_empty());
+        // Drained means drained: a second drain with nothing new is None.
+        assert!(r.drain_telemetry(false).is_none());
+        r.counter("net.bytes", 1);
+        assert_eq!(r.drain_telemetry(false).unwrap().counters, vec![("net.bytes", 1)]);
+        // The cumulative registry view is unaffected by draining.
+        assert_eq!(r.counter_value("net.bytes"), 16);
+    }
+
+    #[test]
+    fn telemetry_drains_new_spans_only() {
+        use crate::trace::{SpanId, SpanRecord, TraceId};
+        let r = Registry::new();
+        r.enable_telemetry();
+        r.enable_tracing();
+        let record = |seq: u64| SpanRecord {
+            trace: TraceId::new(0, 0),
+            span: SpanId::new(0, seq),
+            parent: None,
+            name: "s",
+            node: 0,
+            start_us: seq,
+            end_us: seq,
+            cost_us: 0,
+        };
+        r.record_span(&record(1));
+        let delta = r.drain_telemetry(false).expect("span staged");
+        assert_eq!(delta.spans.len(), 1);
+        r.record_span(&record(2));
+        let delta = r.drain_telemetry(false).expect("second span");
+        assert_eq!(delta.spans.len(), 1);
+        assert_eq!(delta.spans[0].span, SpanId::new(0, 2));
+    }
+
+    #[test]
+    fn flight_recorder_keeps_last_n_lines() {
+        let r = Registry::new();
+        r.enable_telemetry();
+        r.enable_flight_recorder(2);
+        r.set_sim_time(7);
+        r.event(&Event::ReMerge { group: 1 });
+        r.event(&Event::ReMerge { group: 2 });
+        r.event(&Event::ReMerge { group: 3 });
+        // Not included unless asked for.
+        assert!(r.drain_telemetry(false).is_none());
+        let delta = r.drain_telemetry(true).expect("flight staged");
+        assert_eq!(
+            delta.flight,
+            vec![
+                "{\"t\":7,\"event\":\"ReMerge\",\"group\":2}",
+                "{\"t\":7,\"event\":\"ReMerge\",\"group\":3}"
+            ]
+        );
+        // The ring was moved out, not copied.
+        assert!(r.drain_telemetry(true).is_none());
     }
 
     #[test]

@@ -1,0 +1,57 @@
+//! Byte-exact golden test for the Prometheus text exposition renderer.
+//!
+//! `prometheus_text` promises a deterministic document for a given
+//! registry state: families in mangled-name order, the unlabelled fleet
+//! total before per-site samples, per-site samples in label order,
+//! counters suffixed `_total`, histograms as summaries with exact
+//! quantiles only for tracked series. Any drift in ordering, mangling, or
+//! label syntax shows up here as a full-document diff.
+
+use cludistream_obs::{intern, prometheus_text, Recorder, Registry};
+
+#[test]
+fn exposition_matches_golden_document() {
+    let r = Registry::new();
+    r.counter("net.bytes", 300);
+    r.counter(intern("site0.net.bytes"), 100);
+    r.counter(intern("site1.net.bytes"), 200);
+    r.counter("coord.telemetry_decode_err", 1);
+    r.gauge("coord.round_started", 1.0);
+    r.gauge("load.factor", 0.625);
+    r.gauge(intern("site10.round_state"), 2.0);
+    r.gauge(intern("site2.round_state"), 1.0);
+    r.track_quantiles("hb.rtt_us");
+    for v in [100, 200, 300] {
+        r.observe("hb.rtt_us", v);
+    }
+    // Untracked series: a summary with `_count`/`_sum` but no quantiles.
+    r.observe(intern("site0.em.cost_us"), 50);
+
+    let golden = "\
+# TYPE cludistream_up gauge
+cludistream_up 1
+# TYPE cludistream_coord_telemetry_decode_err_total counter
+cludistream_coord_telemetry_decode_err_total 1
+# TYPE cludistream_net_bytes_total counter
+cludistream_net_bytes_total 300
+cludistream_net_bytes_total{site=\"0\"} 100
+cludistream_net_bytes_total{site=\"1\"} 200
+# TYPE cludistream_coord_round_started gauge
+cludistream_coord_round_started 1
+# TYPE cludistream_load_factor gauge
+cludistream_load_factor 0.625
+# TYPE cludistream_round_state gauge
+cludistream_round_state{site=\"10\"} 2
+cludistream_round_state{site=\"2\"} 1
+# TYPE cludistream_em_cost_us summary
+cludistream_em_cost_us_count{site=\"0\"} 1
+cludistream_em_cost_us_sum{site=\"0\"} 50
+# TYPE cludistream_hb_rtt_us summary
+cludistream_hb_rtt_us{quantile=\"0.5\"} 200
+cludistream_hb_rtt_us{quantile=\"0.9\"} 300
+cludistream_hb_rtt_us{quantile=\"0.99\"} 300
+cludistream_hb_rtt_us_count 3
+cludistream_hb_rtt_us_sum 600
+";
+    assert_eq!(prometheus_text(&r), golden);
+}

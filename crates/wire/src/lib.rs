@@ -113,6 +113,19 @@ impl ByteBuf {
         ByteBuf { data: self.data[range].to_vec() }
     }
 
+    /// Appends a length-prefixed byte string: `u32-le length | bytes`.
+    /// The telemetry codec uses this for metric names and journal lines.
+    pub fn put_var_bytes(&mut self, bytes: &[u8]) {
+        self.put_u32_le(bytes.len() as u32);
+        self.data.extend_from_slice(bytes);
+    }
+
+    /// Appends a length-prefixed UTF-8 string (same layout as
+    /// [`ByteBuf::put_var_bytes`]).
+    pub fn put_var_str(&mut self, s: &str) {
+        self.put_var_bytes(s.as_bytes());
+    }
+
     /// A read cursor over the whole buffer.
     pub fn reader(&self) -> ByteReader<'_> {
         ByteReader::new(&self.data)
@@ -214,6 +227,29 @@ impl<'a> ByteReader<'a> {
     /// Consumes a little-endian `f64`.
     pub fn get_f64_le(&mut self) -> f64 {
         f64::from_le_bytes(self.take::<8>())
+    }
+
+    /// Consumes a length-prefixed byte string written by
+    /// [`ByteBuf::put_var_bytes`]. Unlike the fixed-width getters this
+    /// never panics: `None` means the prefix or the payload is truncated,
+    /// letting decoders propagate malformed input as an error.
+    pub fn get_var_bytes(&mut self) -> Option<Vec<u8>> {
+        if self.remaining() < 4 {
+            return None;
+        }
+        let len = self.get_u32_le() as usize;
+        if self.remaining() < len {
+            return None;
+        }
+        let out = self.data[self.pos..self.pos + len].to_vec();
+        self.pos += len;
+        Some(out)
+    }
+
+    /// Consumes a length-prefixed UTF-8 string written by
+    /// [`ByteBuf::put_var_str`]. `None` on truncation or invalid UTF-8.
+    pub fn get_var_str(&mut self) -> Option<String> {
+        String::from_utf8(self.get_var_bytes()?).ok()
     }
 }
 
@@ -421,6 +457,41 @@ mod tests {
     fn underflow_panics() {
         let mut r = ByteReader::new(&[1, 2]);
         let _ = r.get_u32_le();
+    }
+
+    #[test]
+    fn var_bytes_roundtrip() {
+        let mut buf = ByteBuf::new();
+        buf.put_var_str("em.cost_us");
+        buf.put_var_bytes(b"");
+        buf.put_var_bytes(&[0xFF, 0x00, 0x7F]);
+        let mut r = buf.reader();
+        assert_eq!(r.get_var_str().as_deref(), Some("em.cost_us"));
+        assert_eq!(r.get_var_bytes(), Some(Vec::new()));
+        assert_eq!(r.get_var_bytes(), Some(vec![0xFF, 0x00, 0x7F]));
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn var_bytes_truncation_is_none_not_panic() {
+        let mut buf = ByteBuf::new();
+        buf.put_var_str("site0.net.bytes");
+        for len in 0..buf.len() {
+            let cut = buf.slice(..len);
+            assert_eq!(cut.reader().get_var_bytes(), None, "truncated at {len}");
+        }
+        // A declared length past the end must also fail cleanly.
+        let mut lying = ByteBuf::new();
+        lying.put_u32_le(100);
+        lying.put_u8(1);
+        assert_eq!(lying.reader().get_var_bytes(), None);
+    }
+
+    #[test]
+    fn var_str_rejects_invalid_utf8() {
+        let mut buf = ByteBuf::new();
+        buf.put_var_bytes(&[0xFF, 0xFE]);
+        assert_eq!(buf.reader().get_var_str(), None);
     }
 
     #[test]

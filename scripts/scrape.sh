@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Scrape a running cludistream coordinator's fleet metrics (Prometheus
+# text exposition) over its TCP listener.
+#
+#   scripts/scrape.sh HOST:PORT            one scrape to stdout
+#   scripts/scrape.sh HOST:PORT 2          re-scrape every 2 seconds
+#
+# The scrape opens a fresh connection and never performs the site
+# handshake, so it cannot join, resync, or otherwise perturb the round.
+# See "Monitoring a live round" in docs/OPERATIONS.md.
+set -euo pipefail
+
+addr="${1:?usage: scrape.sh HOST:PORT [WATCH_SECONDS]}"
+watch="${2:-0}"
+
+bin="$(dirname "$0")/../target/release/cludistream"
+if [ ! -x "$bin" ]; then
+    bin="cludistream"
+fi
+
+if [ "$watch" -gt 0 ]; then
+    exec "$bin" status --connect "$addr" --watch "$watch"
+fi
+exec "$bin" status --connect "$addr"

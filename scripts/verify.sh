@@ -41,8 +41,10 @@ diff -u crates/cli/tests/fixtures/trace_faults.json "$trace"
 # site processes on 127.0.0.1 ephemeral ports — must reach the same
 # merge/split decisions and emit the same per-site protocol events as the
 # simulator running the identical workload (`metrics --reliable`). Only
-# the "t" timestamps differ: sim-time on one side, the socket runtime's
-# zero on the other, so both are stripped before the diff.
+# the "t" timestamps differ: sim-time on one side, wall-clock on the
+# other, so both are stripped before the diff. Mid-round, the `status`
+# subcommand must scrape a parseable Prometheus exposition with the
+# fleet's metric families present.
 smokedir="$(mktemp -d /tmp/cludistream_socket_XXXXXX)"
 trap 'rm -f "$journal" "$trace"; rm -rf "$smokedir"' EXIT
 ./target/release/cludistream coordinator --sites 2 --deadline-s 120 \
@@ -56,6 +58,35 @@ done
 addr="$(cat "$smokedir/port.txt")"
 ./target/release/cludistream site --connect "$addr" --site 0 \
     --journal "$smokedir/tcp_site0.jsonl" >/dev/null &
+# Mid-round status scrape: with site 1 not yet launched the round cannot
+# end, so the scrape deterministically observes a live fleet. Site 0's
+# telemetry rides its heartbeat cadence (500 ms), hence the poll.
+scraped=0
+for _ in $(seq 1 150); do
+    if ./target/release/cludistream status --connect "$addr" \
+            > "$smokedir/status.txt" 2>/dev/null \
+        && grep -q '^cludistream_up 1$' "$smokedir/status.txt" \
+        && grep -q 'cludistream_net_messages_total{site="0"}' "$smokedir/status.txt" \
+        && grep -q 'cludistream_round_state{site="1"} 0' "$smokedir/status.txt"; then
+        scraped=1
+        break
+    fi
+    sleep 0.1
+done
+if [ "$scraped" -ne 1 ]; then
+    echo "status scrape never showed the required metric families:" >&2
+    cat "$smokedir/status.txt" >&2 || true
+    exit 1
+fi
+# Every line of the exposition must parse: a `# TYPE` comment or a
+# `name{labels} value` sample.
+expo_re='^(# TYPE [a-zA-Z_][a-zA-Z0-9_]* (counter|gauge|summary)|[a-zA-Z_][a-zA-Z0-9_]*(\{[^}]*\})? (-?[0-9]+(\.[0-9]+)?([eE][+-]?[0-9]+)?|NaN|[+-]Inf))$'
+bad="$(grep -vE "$expo_re" "$smokedir/status.txt" || true)"
+if [ -n "$bad" ]; then
+    echo "status exposition has unparseable lines:" >&2
+    echo "$bad" >&2
+    exit 1
+fi
 ./target/release/cludistream site --connect "$addr" --site 1 \
     --journal "$smokedir/tcp_site1.jsonl" >/dev/null &
 wait
