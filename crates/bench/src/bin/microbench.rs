@@ -22,11 +22,11 @@ use cludistream_bench::{timing::best_of, workloads};
 use cludistream_datagen::random_spd_matrix;
 use cludistream_gmm::codec::{decode_mixture, encode_mixture};
 use cludistream_gmm::{
-    avg_log_likelihood, fit_em, fit_em_recorded, fit_tolerance, free_parameters, Batch,
-    ChunkParams, CovarianceType, EmConfig, Mixture, MixtureScratch,
+    avg_log_likelihood, fit_em, fit_em_recorded, fit_tolerance, free_parameters, score,
+    score_record, Batch, ChunkParams, CovarianceType, EmConfig, Mixture, MixtureScratch,
 };
 use cludistream_linalg::{jacobi_eigen, Cholesky, Vector};
-use cludistream_obs::{json_f64, NopRecorder, Obs, Recorder, Registry};
+use cludistream_obs::{json_f64, NopRecorder, Obs, QuantileSketch, Recorder, Registry};
 use cludistream_rng::StdRng;
 use std::io::Write;
 use std::process::ExitCode;
@@ -36,6 +36,7 @@ const GROUPS: &[(&str, fn(&mut Sink))] = &[
     ("em", bench_em),
     ("em.batch", bench_em_batch),
     ("likelihood.batch", bench_likelihood_batch),
+    ("scoring", bench_scoring),
     ("test_vs_cluster", bench_test_vs_cluster),
     ("merge", bench_merge),
     ("codec", bench_codec),
@@ -192,6 +193,51 @@ fn bench_likelihood_batch(sink: &mut Sink) {
         mixture.avg_log_likelihood_batch(&batch, &mut scratch)
     });
     sink.report("likelihood.batch", "batched", "8192x8", t);
+}
+
+/// The serving read path: batched Definition-1 assignment (`score`, the
+/// SoA kernels) against the per-record `score_record` loop it replaces,
+/// at several thread counts, with per-core throughput printed alongside
+/// the raw time. A second pass scores 1024-record batches one at a time
+/// and feeds each latency into a GK quantile sketch — the p99 a serving
+/// deployment would report.
+fn bench_scoring(sink: &mut Sink) {
+    const N: usize = 8192;
+    let mut stream = workloads::synthetic_boxed(8, 5, 0.0, 17);
+    let data = workloads::collect(&mut *stream, N);
+    let fit = fit_em(&data, &EmConfig { k: 5, seed: 2, ..Default::default() }).expect("EM fits");
+    let mixture = fit.mixture;
+    let batch = Batch::from_records(&data);
+
+    let t = best_of(RUNS, || {
+        data.iter().map(|x| score_record(&mixture, x).1).sum::<f64>()
+    });
+    sink.report("scoring", "per_record", &format!("{N}x8"), t);
+    println!("  -> {:.0} records/sec/core", N as f64 / t);
+
+    for threads in [1usize, 2, 4] {
+        let t = best_of(RUNS, || score(&mixture, &batch, threads).expect("mixture scores"));
+        sink.report("scoring", "batched", &format!("threads{threads}"), t);
+        println!("  -> {:.0} records/sec/core", N as f64 / (t * threads as f64));
+    }
+
+    let batches: Vec<Batch> = data.chunks(1024).map(Batch::from_records).collect();
+    let mut sketch = QuantileSketch::default();
+    for _ in 0..RUNS {
+        for b in &batches {
+            let start = std::time::Instant::now();
+            let scores = score(&mixture, b, 1).expect("mixture scores");
+            assert_eq!(scores.len(), b.len());
+            sketch.insert(start.elapsed().as_nanos() as u64);
+        }
+    }
+    let p99 = sketch.query(0.99).unwrap_or(0) as f64 / 1e9;
+    sink.report("scoring", "batch1024_p99", "", p99);
+    println!(
+        "  -> p99 over {} single-thread batch scorings (GK sketch, rank error <= {})",
+        sketch.count(),
+        sketch.epsilon()
+    );
 }
 
 /// The λ of Theorem 4: testing a chunk against a model vs clustering it

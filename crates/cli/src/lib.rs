@@ -25,22 +25,30 @@
 //! - `status` — scrape a running coordinator's fleet registry over the
 //!   same TCP listener and print it in Prometheus text exposition;
 //!   `--watch SECS` re-scrapes on an interval.
+//! - `score` — batched Definition-1 assignment of a CSV file against a
+//!   published model snapshot, read from a file (`--model`, e.g.
+//!   `coordinator --snapshot-out`) or pulled from a live coordinator
+//!   (`--connect`).
 //!
-//! The argument parser is deliberately dependency-free; see
-//! [`parse_args`].
+//! Every data-reading subcommand (`cluster`, `stream`, `score`) accepts
+//! the same `--input/--dim/--covariance` trio, parsed once by
+//! [`parse_data_opts`]. The argument parser is deliberately
+//! dependency-free; see [`parse_args`].
 
 use cludistream::coordinator::MergeRefiner;
 use cludistream::runtime::{
     run_site, serve, Control, CoordinatorRun, SiteRun, SocketConfig,
 };
-use cludistream::windows::WindowSpec;
 use cludistream::{
     ChunkOutcome, Config, CoordinatorConfig, DeliveryConfig, DeliveryMode, DriverConfig,
-    FaultPlan, LinkFaults, NodeId, RecordStream, RemoteSite, SimnetTransport, Simulation,
+    FaultPlan, LinkFaults, ModelSnapshot, NodeId, RecordStream, RemoteSite, SimnetTransport,
+    Simulation, SnapshotHandle,
 };
 use cludistream_datagen::csvio;
 use cludistream_datagen::{EvolvingStream, EvolvingStreamConfig};
-use cludistream_gmm::{fit_em, fit_em_bic, ChunkParams, EmConfig, Gaussian, Mixture};
+use cludistream_gmm::{
+    fit_em, fit_em_bic, score, Batch, ChunkParams, CovarianceType, EmConfig, Gaussian, Mixture,
+};
 use cludistream_linalg::Vector;
 use cludistream_obs::{analyze, perfetto_json, FleetAggregator, Obs, Registry};
 use cludistream_rng::StdRng;
@@ -49,13 +57,28 @@ use cludistream_wire::ByteReader;
 use std::io::Write;
 use std::sync::Arc;
 
+/// The `--input/--dim/--covariance` trio every data-reading subcommand
+/// (`cluster`, `stream`, `score`) accepts, parsed once by
+/// [`parse_data_opts`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct DataOpts {
+    /// Input CSV path — `--input PATH` or the first positional argument;
+    /// `-` reads stdin.
+    pub input: String,
+    /// Expected record dimension (`--dim D`); when set, the parsed
+    /// records are validated against it instead of silently inferring.
+    pub dim: Option<usize>,
+    /// Covariance structure (`--covariance full|diagonal`, default full).
+    pub covariance: CovarianceType,
+}
+
 /// A parsed command line.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Command {
     /// Batch EM over a CSV file.
     Cluster {
-        /// Input CSV path (`-` for stdin).
-        input: String,
+        /// Input data selection (`--input/--dim/--covariance`).
+        data: DataOpts,
         /// Fixed component count, or None with `k_range` set.
         k: usize,
         /// BIC range when `--auto-k lo..hi` was passed.
@@ -70,8 +93,8 @@ pub enum Command {
     },
     /// Stream a CSV file through a remote site.
     Stream {
-        /// Input CSV path (`-` for stdin).
-        input: String,
+        /// Input data selection (`--input/--dim/--covariance`).
+        data: DataOpts,
         /// Components per model.
         k: usize,
         /// Error bound ε.
@@ -184,6 +207,9 @@ pub enum Command {
         /// coordinator spans plus every telemetry-reporting site's spans,
         /// rebased onto the coordinator clock.
         trace_out: Option<String>,
+        /// Write the end-of-round model snapshot (the coordinator's
+        /// checkpoint, in the serving wire layout) here.
+        snapshot_out: Option<String>,
     },
     /// Run one socket site of the `metrics` workload against a
     /// coordinator.
@@ -207,6 +233,24 @@ pub enum Command {
         /// rides the data frames), so byte accounting is only comparable
         /// across runs that agree on this flag.
         trace: bool,
+    },
+    /// Score a CSV file against a published model snapshot: batched
+    /// Definition-1 assignment (hard label, responsibilities,
+    /// log-likelihood) using the SoA density kernels.
+    Score {
+        /// Input data selection (`--input/--dim/--covariance`).
+        data: DataOpts,
+        /// Read the snapshot from this file (`ModelSnapshot` wire bytes,
+        /// e.g. `coordinator --snapshot-out`).
+        model: Option<String>,
+        /// Pull the latest snapshot from a live coordinator at
+        /// `HOST:PORT` over a `SnapshotRequest` control frame.
+        connect: Option<String>,
+        /// Scoring worker threads (0 = all cores). Results are
+        /// bit-identical for every value.
+        threads: usize,
+        /// Print per-record responsibilities alongside the hard label.
+        responsibilities: bool,
     },
     /// Scrape a running coordinator's fleet metrics over TCP and print
     /// them in Prometheus text exposition format.
@@ -267,10 +311,12 @@ pub const USAGE: &str = "\
 cludistream — EM-based (distributed) data stream clustering
 
 USAGE:
-  cludistream cluster  <csv|-> [--k N] [--auto-k LO..HI] [--seed S] [--memberships]
-                       [--threads T]
-  cludistream stream   <csv|-> [--k N] [--epsilon E] [--delta D] [--c-max C] [--seed S]
-                       [--threads T]
+  cludistream cluster  <csv|-> [--dim D] [--covariance full|diagonal] [--k N]
+                       [--auto-k LO..HI] [--seed S] [--memberships] [--threads T]
+  cludistream stream   <csv|-> [--dim D] [--covariance full|diagonal] [--k N]
+                       [--epsilon E] [--delta D] [--c-max C] [--seed S] [--threads T]
+  cludistream score    <csv|-> (--model SNAP.bin | --connect HOST:PORT) [--dim D]
+                       [--covariance full|diagonal] [--threads T] [--responsibilities]
   cludistream generate [--records N] [--dim D] [--k K] [--p-new P] [--seed S]
   cludistream metrics  [--sites R] [--chunks C] [--seed S] [--epsilon E] [--journal OUT.jsonl]
                        [--threads T] [--reliable]
@@ -282,13 +328,14 @@ USAGE:
   cludistream coordinator [--listen HOST:PORT] [--sites R] [--heartbeat-ms H]
                        [--timeout-ms T] [--deadline-s D] [--port-file PATH]
                        [--journal OUT.jsonl] [--trace-out TRACE.json]
+                       [--snapshot-out SNAP.bin]
   cludistream site     --connect HOST:PORT [--site I] [--chunks C] [--seed S]
                        [--epsilon E] [--threads T] [--journal OUT.jsonl] [--trace]
   cludistream status   --connect HOST:PORT [--watch SECS]
   cludistream help
 
 Defaults: k=5, epsilon=0.02, delta=0.01, c-max=4, seed=0, threads=1,
-          records=10000, dim=4, p-new=0.1,
+          covariance=full, records=10000, dim=4, p-new=0.1,
           metrics: sites=2, chunks=2, seed=7, epsilon=0.15,
           faults: metrics defaults + drop=0.1, duplicate=0.05, reorder=0.25,
           trace: metrics defaults,
@@ -311,6 +358,13 @@ writes one Perfetto JSON spanning every process, with remote spans
 rebased onto the coordinator clock; site spans only exist under
 `site --trace`.
 
+`score` assigns every record of a CSV file to its most probable model
+component (Definition 1) with the batched SoA density kernels: hard
+label, per-component responsibilities (`--responsibilities`), and the
+average log-likelihood. The snapshot comes from a file written by
+`coordinator --snapshot-out` (`--model`) or is pulled live from a
+running coordinator over a SnapshotRequest control frame (`--connect`).
+
 `--threads T` parallelizes each EM fit's E-step over T scoped worker
 threads (0 = all cores). Clustering output is bit-identical for every T;
 only wall-clock time changes.
@@ -324,6 +378,52 @@ the critical-path latency attribution, and with `--out` writes a
 Perfetto-loadable Chrome trace-event JSON; `--faults` adds the `faults`
 command's default fault plan so retransmit time shows up on the path.
 ";
+
+/// Parses the shared `--input/--dim/--covariance` trio from a
+/// subcommand's argument tail. The input may be `--input PATH` or the
+/// first positional argument (`-` for stdin); `--dim` is optional and
+/// validated against the parsed records when the input is read;
+/// `--covariance` accepts `full` (default) or `diagonal`.
+pub fn parse_data_opts(rest: &[&String]) -> Result<DataOpts, CliError> {
+    let flag = |name: &str| -> Option<&str> {
+        rest.iter()
+            .position(|a| a.as_str() == name)
+            .and_then(|i| rest.get(i + 1))
+            .map(|s| s.as_str())
+    };
+    let input = match flag("--input") {
+        Some(path) => path.to_string(),
+        None => rest
+            .iter()
+            .enumerate()
+            .find(|(i, a)| {
+                !a.starts_with("--") && (*i == 0 || !rest[i - 1].starts_with("--"))
+            })
+            .map(|(_, a)| a.to_string())
+            .ok_or_else(|| {
+                CliError::Usage("missing input file (use --input PATH or - for stdin)".into())
+            })?,
+    };
+    let dim = match flag("--dim") {
+        None => None,
+        Some(v) => Some(v.parse::<usize>().map_err(|_| {
+            CliError::Usage(format!("--dim expects an integer, got {v:?}"))
+        })?),
+    };
+    if dim == Some(0) {
+        return Err(CliError::Usage("--dim expects an integer >= 1".into()));
+    }
+    let covariance = match flag("--covariance") {
+        None | Some("full") => CovarianceType::Full,
+        Some("diagonal") => CovarianceType::Diagonal,
+        Some(other) => {
+            return Err(CliError::Usage(format!(
+                "--covariance expects full or diagonal, got {other:?}"
+            )))
+        }
+    };
+    Ok(DataOpts { input, dim, covariance })
+}
 
 /// Parses a command line (excluding the program name).
 pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
@@ -355,18 +455,6 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 .map_err(|_| CliError::Usage(format!("{name} expects an integer, got {v:?}"))),
         }
     };
-    let positional = || -> Result<String, CliError> {
-        rest.iter()
-            .find(|a| !a.starts_with("--"))
-            .filter(|a| {
-                // Not a flag value.
-                let idx = rest.iter().position(|b| b == *a).expect("present");
-                idx == 0 || !rest[idx - 1].starts_with("--")
-            })
-            .map(|s| s.to_string())
-            .ok_or_else(|| CliError::Usage("missing input file (use - for stdin)".into()))
-    };
-
     match cmd.as_str() {
         "help" | "--help" | "-h" => Ok(Command::Help),
         "cluster" => {
@@ -390,7 +478,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 }
             };
             Ok(Command::Cluster {
-                input: positional()?,
+                data: parse_data_opts(&rest)?,
                 k: parse_int("--k", 5)?,
                 k_range,
                 seed: parse_int("--seed", 0)? as u64,
@@ -399,7 +487,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             })
         }
         "stream" => Ok(Command::Stream {
-            input: positional()?,
+            data: parse_data_opts(&rest)?,
             k: parse_int("--k", 5)?,
             epsilon: parse_num("--epsilon", 0.02)?,
             delta: parse_num("--delta", 0.01)?,
@@ -452,7 +540,24 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             port_file: flag("--port-file").map(|s| s.to_string()),
             journal: flag("--journal").map(|s| s.to_string()),
             trace_out: flag("--trace-out").map(|s| s.to_string()),
+            snapshot_out: flag("--snapshot-out").map(|s| s.to_string()),
         }),
+        "score" => {
+            let model = flag("--model").map(|s| s.to_string());
+            let connect = flag("--connect").map(|s| s.to_string());
+            if model.is_some() == connect.is_some() {
+                return Err(CliError::Usage(
+                    "score requires exactly one of --model PATH or --connect HOST:PORT".into(),
+                ));
+            }
+            Ok(Command::Score {
+                data: parse_data_opts(&rest)?,
+                model,
+                connect,
+                threads: parse_int("--threads", 1)?,
+                responsibilities: has("--responsibilities"),
+            })
+        }
         "site" => Ok(Command::Site {
             connect: flag("--connect")
                 .ok_or_else(|| CliError::Usage("site requires --connect HOST:PORT".into()))?
@@ -509,6 +614,41 @@ fn scrape_status(addr: &str) -> std::io::Result<String> {
     }
 }
 
+/// Connects to a coordinator, sends one `SnapshotRequest` control frame,
+/// and returns the `ModelSnapshot` wire bytes from the `SnapshotReply`.
+///
+/// Like [`scrape_status`], works on a bare connection — no `Hello`
+/// handshake — so pulling a snapshot never counts as a site joining. An
+/// empty reply means the coordinator has not published (or captured) a
+/// model yet; the caller decides whether to retry.
+fn scrape_snapshot(addr: &str) -> std::io::Result<Vec<u8>> {
+    use std::io::{Error, ErrorKind};
+    let mut stream = std::net::TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(std::time::Duration::from_millis(200)))?;
+    write_frame(&mut stream, Control::SnapshotRequest.encode().as_slice())?;
+    let mut reader = FrameReader::new();
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+    loop {
+        let polled = reader.poll(&mut stream)?;
+        for payload in polled.frames {
+            let control = Control::decode(&mut ByteReader::new(&payload))
+                .map_err(|e| Error::new(ErrorKind::InvalidData, format!("snapshot: {e}")))?;
+            if let Control::SnapshotReply { snapshot } = control {
+                return Ok(snapshot);
+            }
+        }
+        if polled.eof {
+            return Err(Error::new(
+                ErrorKind::UnexpectedEof,
+                "coordinator closed the connection before replying",
+            ));
+        }
+        if std::time::Instant::now() >= deadline {
+            return Err(Error::new(ErrorKind::TimedOut, "no snapshot reply within 5s"));
+        }
+    }
+}
+
 /// The deterministic two-regime stream behind `cludistream metrics`:
 /// `per_regime` records of two blobs at ±3 (shifted slightly per site),
 /// then `per_regime` records of the same shape moved to 40 ± 3.
@@ -550,6 +690,22 @@ fn read_input(path: &str) -> Result<Vec<Vector>, CliError> {
     Ok(records)
 }
 
+/// Reads the records a [`DataOpts`] selects and validates `--dim`
+/// against what was actually parsed.
+fn read_data(opts: &DataOpts) -> Result<Vec<Vector>, CliError> {
+    let records = read_input(&opts.input)?;
+    if let Some(dim) = opts.dim {
+        if records[0].dim() != dim {
+            return Err(CliError::Usage(format!(
+                "{}: --dim {dim} but records have dimension {}",
+                opts.input,
+                records[0].dim()
+            )));
+        }
+    }
+    Ok(records)
+}
+
 /// Executes a command, writing human-readable output to `out`.
 pub fn run(command: Command, out: &mut impl Write) -> Result<(), CliError> {
     match command {
@@ -557,9 +713,10 @@ pub fn run(command: Command, out: &mut impl Write) -> Result<(), CliError> {
             write!(out, "{USAGE}")?;
             Ok(())
         }
-        Command::Cluster { input, k, k_range, seed, memberships, threads } => {
-            let data = read_input(&input)?;
-            let config = EmConfig { k, seed, threads, ..Default::default() };
+        Command::Cluster { data: opts, k, k_range, seed, memberships, threads } => {
+            let data = read_data(&opts)?;
+            let config =
+                EmConfig { k, seed, threads, covariance: opts.covariance, ..Default::default() };
             let (mixture, chosen_k, bic) = match k_range {
                 None => {
                     let fit = fit_em(&data, &config)?;
@@ -589,8 +746,8 @@ pub fn run(command: Command, out: &mut impl Write) -> Result<(), CliError> {
             }
             Ok(())
         }
-        Command::Stream { input, k, epsilon, delta, c_max, seed, threads } => {
-            let data = read_input(&input)?;
+        Command::Stream { data: opts, k, epsilon, delta, c_max, seed, threads } => {
+            let data = read_data(&opts)?;
             let dim = data[0].dim();
             let config = Config {
                 dim,
@@ -599,6 +756,7 @@ pub fn run(command: Command, out: &mut impl Write) -> Result<(), CliError> {
                 c_max,
                 seed,
                 em_threads: threads,
+                covariance: opts.covariance,
                 ..Default::default()
             };
             let mut site = RemoteSite::new(config)?;
@@ -925,6 +1083,7 @@ pub fn run(command: Command, out: &mut impl Write) -> Result<(), CliError> {
             port_file,
             journal,
             trace_out,
+            snapshot_out,
         } => {
             let registry = match &journal {
                 Some(path) => {
@@ -955,28 +1114,31 @@ pub fn run(command: Command, out: &mut impl Write) -> Result<(), CliError> {
                 std::fs::write(&tmp, addr.to_string())?;
                 std::fs::rename(&tmp, path)?;
             }
-            let run = CoordinatorRun {
-                sites,
+            // A CLI coordinator always publishes read-side snapshots:
+            // `score --connect` can pull the live model mid-round, and
+            // the end-of-round checkpoint lands in `--snapshot-out`.
+            let run = CoordinatorRun::builder(sites)
                 // The metrics-workload coordinator configuration, so a
                 // socket round is diffable against `metrics --reliable`.
-                coordinator: CoordinatorConfig {
+                .coordinator(CoordinatorConfig {
                     max_groups: 2,
                     refine_merges: true,
                     refiner: MergeRefiner { samples: 32, max_evals: 100, seed: 9 },
                     ..Default::default()
-                },
-                dim: 1,
-                cov: Default::default(),
-                obs,
-                socket: SocketConfig {
+                })
+                .dim(1)
+                .obs(obs)
+                .socket(SocketConfig {
                     heartbeat_us: heartbeat_ms.saturating_mul(1_000),
                     timeout_us: timeout_ms.saturating_mul(1_000),
                     deadline: (deadline_s > 0)
                         .then(|| std::time::Duration::from_secs(deadline_s)),
                     ..Default::default()
-                },
-                fleet: Some(Arc::clone(&fleet)),
-            };
+                })
+                .fleet(Arc::clone(&fleet))
+                .snapshots(Arc::new(SnapshotHandle::new()))
+                .build()
+                .map_err(|e| CliError::Usage(format!("coordinator: {e}")))?;
             let report =
                 serve(listener, run).map_err(|e| CliError::Usage(format!("coordinator: {e}")))?;
             registry.flush_journal()?;
@@ -1009,6 +1171,23 @@ pub fn run(command: Command, out: &mut impl Write) -> Result<(), CliError> {
                 spans.extend(fleet.spans());
                 std::fs::write(&path, perfetto_json(&spans))?;
                 writeln!(out, "perfetto trace written to {path}")?;
+            }
+            if let Some(path) = snapshot_out {
+                // The end-of-round checkpoint, in the same wire layout
+                // `score --model` and `score --connect` consume.
+                match &report.snapshot {
+                    Some(snapshot) => {
+                        std::fs::write(&path, snapshot.encode().into_vec())?;
+                        writeln!(
+                            out,
+                            "model snapshot (version {}) written to {path}",
+                            snapshot.version
+                        )?;
+                    }
+                    None => {
+                        writeln!(out, "no model snapshot to write (round produced no model)")?
+                    }
+                }
             }
             Ok(())
         }
@@ -1050,16 +1229,12 @@ pub fn run(command: Command, out: &mut impl Write) -> Result<(), CliError> {
             let chunk_size = RemoteSite::new(site_config.clone())?.chunk_size();
             let per_regime = chunks * chunk_size;
             let updates = 2 * per_regime as u64;
-            let run = SiteRun {
-                site,
-                window: WindowSpec::Landmark,
-                config: DriverConfig { site: site_config, obs, ..Default::default() },
-                delivery: DeliveryConfig { mode: DeliveryMode::Reliable, ..Default::default() },
-                stream: metrics_stream(site, seed, per_regime),
-                updates,
-                socket: SocketConfig::default(),
-                telemetry: true,
-            };
+            let run = SiteRun::builder(site, metrics_stream(site, seed, per_regime))
+                .config(DriverConfig { site: site_config, obs, ..Default::default() })
+                .updates(updates)
+                .telemetry(true)
+                .build()
+                .map_err(|e| CliError::Usage(format!("site: {e}")))?;
             let report =
                 run_site(&connect, run).map_err(|e| CliError::Usage(format!("site: {e}")))?;
             registry.flush_journal()?;
@@ -1082,6 +1257,81 @@ pub fn run(command: Command, out: &mut impl Write) -> Result<(), CliError> {
             if let Some(path) = journal {
                 writeln!(out, "journal written to {path}")?;
             }
+            Ok(())
+        }
+        Command::Score { data: opts, model, connect, threads, responsibilities } => {
+            let bytes = match (&model, &connect) {
+                (Some(path), _) => std::fs::read(path)?,
+                (None, Some(addr)) => {
+                    // An empty reply means the coordinator is up but has
+                    // not learned a model yet — poll until it has one.
+                    let deadline =
+                        std::time::Instant::now() + std::time::Duration::from_secs(10);
+                    loop {
+                        let bytes = scrape_snapshot(addr)
+                            .map_err(|e| CliError::Usage(format!("score: {addr}: {e}")))?;
+                        if !bytes.is_empty() {
+                            break bytes;
+                        }
+                        if std::time::Instant::now() >= deadline {
+                            return Err(CliError::Usage(format!(
+                                "score: {addr}: no snapshot published within 10s"
+                            )));
+                        }
+                        std::thread::sleep(std::time::Duration::from_millis(200));
+                    }
+                }
+                (None, None) => {
+                    return Err(CliError::Usage(
+                        "score requires --model PATH or --connect HOST:PORT".into(),
+                    ))
+                }
+            };
+            let snapshot = ModelSnapshot::decode(&mut ByteReader::new(&bytes))
+                .map_err(|e| CliError::Usage(format!("score: invalid snapshot: {e}")))?;
+            let records = read_data(&opts)?;
+            let dim = records[0].dim();
+            if dim != snapshot.mixture.dim() {
+                return Err(CliError::Usage(format!(
+                    "score: records have dimension {dim} but the model is {}-dimensional",
+                    snapshot.mixture.dim()
+                )));
+            }
+            let batch = Batch::from_records(&records);
+            let scores = score(&snapshot.mixture, &batch, threads)?;
+            writeln!(
+                out,
+                "snapshot: version {} | messages applied {} | groups {}",
+                snapshot.version,
+                snapshot.messages_applied,
+                snapshot.groups.len()
+            )?;
+            writeln!(
+                out,
+                "model: {} components, dim {}, {:?} covariance",
+                snapshot.mixture.k(),
+                snapshot.mixture.dim(),
+                snapshot.covariance
+            )?;
+            writeln!(out, "records: {}", records.len())?;
+            for i in 0..scores.len() {
+                write!(
+                    out,
+                    "  {i}: component {} (log p {:.4})",
+                    scores.labels()[i],
+                    scores.log_pdf()[i]
+                )?;
+                if responsibilities {
+                    let p: Vec<String> = scores
+                        .responsibilities(i)
+                        .iter()
+                        .map(|v| format!("{v:.3}"))
+                        .collect();
+                    write!(out, " [{}]", p.join(", "))?;
+                }
+                writeln!(out)?;
+            }
+            writeln!(out, "avg log likelihood: {:.4}", scores.avg_log_likelihood())?;
             Ok(())
         }
         Command::Status { connect, watch } => {
@@ -1121,13 +1371,17 @@ mod tests {
         s.split_whitespace().map(|x| x.to_string()).collect()
     }
 
+    fn opts(input: &str) -> DataOpts {
+        DataOpts { input: input.into(), dim: None, covariance: CovarianceType::Full }
+    }
+
     #[test]
     fn parses_cluster_command() {
         let c = parse_args(&args("cluster data.csv --k 3 --seed 7 --memberships")).unwrap();
         assert_eq!(
             c,
             Command::Cluster {
-                input: "data.csv".into(),
+                data: opts("data.csv"),
                 k: 3,
                 k_range: None,
                 seed: 7,
@@ -1141,9 +1395,9 @@ mod tests {
     fn parses_auto_k_range() {
         let c = parse_args(&args("cluster - --auto-k 2..6")).unwrap();
         match c {
-            Command::Cluster { k_range, input, .. } => {
+            Command::Cluster { k_range, data, .. } => {
                 assert_eq!(k_range, Some((2, 6)));
-                assert_eq!(input, "-");
+                assert_eq!(data.input, "-");
             }
             other => panic!("{other:?}"),
         }
@@ -1157,7 +1411,7 @@ mod tests {
         assert_eq!(
             c,
             Command::Stream {
-                input: "in.csv".into(),
+                data: opts("in.csv"),
                 k: 5,
                 epsilon: 0.02,
                 delta: 0.01,
@@ -1166,6 +1420,66 @@ mod tests {
                 threads: 1
             }
         );
+    }
+
+    #[test]
+    fn parses_shared_data_opts() {
+        // The trio is shared: every data-reading subcommand accepts it.
+        for cmd in ["cluster", "stream", "score --model m.bin"] {
+            match parse_args(&args(&format!(
+                "{cmd} --input d.csv --dim 3 --covariance diagonal"
+            )))
+            .unwrap()
+            {
+                Command::Cluster { data, .. }
+                | Command::Stream { data, .. }
+                | Command::Score { data, .. } => {
+                    assert_eq!(
+                        data,
+                        DataOpts {
+                            input: "d.csv".into(),
+                            dim: Some(3),
+                            covariance: CovarianceType::Diagonal
+                        },
+                        "{cmd}"
+                    );
+                }
+                other => panic!("{other:?}"),
+            }
+        }
+        // --input wins over a positional; bad values are rejected.
+        match parse_args(&args("cluster pos.csv --input flag.csv")).unwrap() {
+            Command::Cluster { data, .. } => assert_eq!(data.input, "flag.csv"),
+            other => panic!("{other:?}"),
+        }
+        assert!(parse_args(&args("cluster d.csv --dim 0")).is_err());
+        assert!(parse_args(&args("cluster d.csv --dim nope")).is_err());
+        assert!(parse_args(&args("cluster d.csv --covariance banana")).is_err());
+    }
+
+    #[test]
+    fn parses_score_command() {
+        let c = parse_args(&args("score d.csv --model snap.bin --threads 2")).unwrap();
+        assert_eq!(
+            c,
+            Command::Score {
+                data: opts("d.csv"),
+                model: Some("snap.bin".into()),
+                connect: None,
+                threads: 2,
+                responsibilities: false
+            }
+        );
+        match parse_args(&args("score d.csv --connect h:1 --responsibilities")).unwrap() {
+            Command::Score { connect, responsibilities, .. } => {
+                assert_eq!(connect.as_deref(), Some("h:1"));
+                assert!(responsibilities);
+            }
+            other => panic!("{other:?}"),
+        }
+        // Exactly one snapshot source.
+        assert!(parse_args(&args("score d.csv")).is_err());
+        assert!(parse_args(&args("score d.csv --model m --connect h:1")).is_err());
     }
 
     #[test]
@@ -1200,7 +1514,7 @@ mod tests {
         let mut out = Vec::new();
         run(
             Command::Cluster {
-                input: path.to_string_lossy().into_owned(),
+                data: opts(&path.to_string_lossy()),
                 k: 2,
                 k_range: None,
                 seed: 2,
@@ -1232,7 +1546,7 @@ mod tests {
         let mut out = Vec::new();
         run(
             Command::Stream {
-                input: path.to_string_lossy().into_owned(),
+                data: opts(&path.to_string_lossy()),
                 k: 1,
                 epsilon: 0.2,
                 delta: 0.05,
@@ -1250,6 +1564,62 @@ mod tests {
         // models.
         assert!(text.contains("models: 1") || text.contains("models: 2"), "{text}");
         let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn score_command_scores_against_a_snapshot_file() {
+        use cludistream::{ModelId, SnapshotGroup, SnapshotMember};
+        // Two well-separated 1-d components; three records near them.
+        let mixture = Mixture::new(
+            vec![
+                Gaussian::spherical(Vector::from_slice(&[0.0]), 1.0).unwrap(),
+                Gaussian::spherical(Vector::from_slice(&[10.0]), 1.0).unwrap(),
+            ],
+            vec![0.5, 0.5],
+        )
+        .unwrap();
+        let snapshot = ModelSnapshot {
+            version: 3,
+            messages_applied: 12,
+            covariance: CovarianceType::Full,
+            mixture,
+            groups: vec![
+                SnapshotGroup {
+                    id: 1,
+                    weight: 0.5,
+                    members: vec![SnapshotMember { site: 0, model: ModelId(0), component: 0 }],
+                },
+                SnapshotGroup { id: 2, weight: 0.5, members: Vec::new() },
+            ],
+        };
+        let snap_path = std::env::temp_dir().join("cludistream_cli_score_snap.bin");
+        std::fs::write(&snap_path, snapshot.encode().into_vec()).unwrap();
+        let csv_path = std::env::temp_dir().join("cludistream_cli_score_data.csv");
+        std::fs::write(&csv_path, "0.2\n9.7\n0.4\n").unwrap();
+
+        let command = |dim: Option<usize>| Command::Score {
+            data: DataOpts {
+                input: csv_path.to_string_lossy().into_owned(),
+                dim,
+                covariance: CovarianceType::Full,
+            },
+            model: Some(snap_path.to_string_lossy().into_owned()),
+            connect: None,
+            threads: 2,
+            responsibilities: true,
+        };
+        let mut out = Vec::new();
+        run(command(Some(1)), &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("snapshot: version 3 | messages applied 12 | groups 2"), "{text}");
+        assert!(text.contains("0: component 0"), "{text}");
+        assert!(text.contains("1: component 1"), "{text}");
+        assert!(text.contains("2: component 0"), "{text}");
+        assert!(text.contains("avg log likelihood"), "{text}");
+        // --dim is validated against the parsed records.
+        assert!(run(command(Some(2)), &mut Vec::new()).is_err());
+        let _ = std::fs::remove_file(snap_path);
+        let _ = std::fs::remove_file(csv_path);
     }
 
     #[test]

@@ -21,11 +21,7 @@
 
 use cludistream::coordinator::MergeRefiner;
 use cludistream::runtime::{run_site, serve, CoordinatorRun, SiteRun, SocketConfig};
-use cludistream::windows::WindowSpec;
-use cludistream::{
-    Config, CoordinatorConfig, DeliveryConfig, DeliveryMode, DriverConfig, RecordStream,
-    RemoteSite,
-};
+use cludistream::{Config, CoordinatorConfig, DriverConfig, RecordStream, RemoteSite};
 use cludistream_cli::{run, Command};
 use cludistream_gmm::{ChunkParams, Gaussian, Mixture};
 use cludistream_linalg::Vector;
@@ -90,26 +86,25 @@ fn fleet_registry_matches_site_registries_and_rebases_spans() {
     let coordinator = std::thread::spawn(move || {
         serve(
             listener,
-            CoordinatorRun {
-                sites: SITES,
-                coordinator: CoordinatorConfig {
+            CoordinatorRun::builder(SITES)
+                .coordinator(CoordinatorConfig {
                     max_groups: 2,
                     refine_merges: true,
                     refiner: MergeRefiner { samples: 32, max_evals: 100, seed: 9 },
                     ..Default::default()
-                },
-                dim: 1,
-                cov: Default::default(),
-                obs: coord_obs,
-                socket: SocketConfig {
+                })
+                .dim(1)
+                .obs(coord_obs)
+                .socket(SocketConfig {
                     // Fast heartbeats → fast telemetry flushes, so the
                     // mid-round scrape below converges quickly.
                     heartbeat_us: 50_000,
                     deadline: Some(Duration::from_secs(120)),
                     ..Default::default()
-                },
-                fleet: Some(serve_fleet),
-            },
+                })
+                .fleet(serve_fleet)
+                .build()
+                .expect("coordinator run"),
         )
         .expect("serve")
     });
@@ -139,19 +134,13 @@ fn fleet_registry_matches_site_registries_and_rebases_spans() {
         let handle = std::thread::spawn(move || {
             run_site(
                 &connect,
-                SiteRun {
-                    site,
-                    window: WindowSpec::Landmark,
-                    config: DriverConfig { site: config, obs, ..Default::default() },
-                    delivery: DeliveryConfig {
-                        mode: DeliveryMode::Reliable,
-                        ..Default::default()
-                    },
-                    stream: two_regime_stream(site, per_regime),
-                    updates,
-                    socket: SocketConfig { heartbeat_us: 50_000, ..Default::default() },
-                    telemetry: true,
-                },
+                SiteRun::builder(site, two_regime_stream(site, per_regime))
+                    .config(DriverConfig { site: config, obs, ..Default::default() })
+                    .updates(updates)
+                    .socket(SocketConfig { heartbeat_us: 50_000, ..Default::default() })
+                    .telemetry(true)
+                    .build()
+                    .unwrap_or_else(|e| panic!("site {site}: {e}")),
             )
             .unwrap_or_else(|e| panic!("site {site}: {e}"));
         });

@@ -194,6 +194,12 @@ impl Coordinator {
         self.registry.len()
     }
 
+    /// Covariance representation used for synopsis accounting and the
+    /// snapshot wire format.
+    pub fn covariance(&self) -> CovarianceType {
+        self.config.covariance
+    }
+
     /// Applies one protocol message.
     pub fn apply(&mut self, message: &Message) -> Result<(), GmmError> {
         self.messages_applied += 1;

@@ -39,6 +39,7 @@ use crate::engine::{CoordinatorEngine, SiteCore};
 use crate::error::CludiError;
 use crate::protocol::{Frame, ReliableSender};
 use crate::remote::SiteStats;
+use crate::serving::SnapshotHandle;
 use crate::transport::{RunRecipe, SimnetTransport, Transport};
 use crate::windows::WindowSpec;
 use cludistream_gmm::Mixture;
@@ -49,6 +50,7 @@ use cludistream_simnet::{
     Simulation as NetSimulation, Topology, MICROS_PER_SEC,
 };
 use cludistream_wire::ByteBuf;
+use std::sync::Arc;
 
 /// A boxed record stream feeding one site. `Send` so the socket transport
 /// can move each site's stream into its own thread.
@@ -387,6 +389,7 @@ pub struct Simulation {
     delivery: Option<DeliveryConfig>,
     streams: Option<Vec<RecordStream>>,
     updates_per_site: u64,
+    snapshots: Option<Arc<SnapshotHandle>>,
 }
 
 impl Simulation {
@@ -401,6 +404,7 @@ impl Simulation {
             delivery: None,
             streams: None,
             updates_per_site: 0,
+            snapshots: None,
         }
     }
 
@@ -475,10 +479,28 @@ impl Simulation {
         self
     }
 
+    /// Attaches a serving-layer [`SnapshotHandle`]: the coordinator
+    /// publishes an immutable [`crate::ModelSnapshot`] into it after
+    /// every applied message, so reader threads can score records
+    /// lock-free while the round advances. Off by default — without a
+    /// handle the write path is byte-identical to earlier releases.
+    pub fn with_snapshots(mut self, handle: Arc<SnapshotHandle>) -> Simulation {
+        self.snapshots = Some(handle);
+        self
+    }
+
     /// Validates the recipe and runs it on the configured transport.
     pub fn run(self) -> Result<StarReport, CludiError> {
-        let Simulation { sites, window, config, transport, delivery, streams, updates_per_site } =
-            self;
+        let Simulation {
+            sites,
+            window,
+            config,
+            transport,
+            delivery,
+            streams,
+            updates_per_site,
+            snapshots,
+        } = self;
         if sites == 0 {
             return Err(CludiError::Build("need at least one site"));
         }
@@ -498,7 +520,15 @@ impl Simulation {
             return Err(CludiError::InvalidConfig { name: "batch", constraint: "batch > 0" });
         }
         let transport = transport.unwrap_or_else(|| Box::new(SimnetTransport::new()));
-        transport.run(RunRecipe { sites, window, config, delivery, streams, updates_per_site })
+        transport.run(RunRecipe {
+            sites,
+            window,
+            config,
+            delivery,
+            streams,
+            updates_per_site,
+            snapshots,
+        })
     }
 }
 
@@ -535,7 +565,8 @@ pub(crate) fn run_simnet(
     link: LinkModel,
     faults: Option<FaultPlan>,
 ) -> Result<StarReport, CludiError> {
-    let RunRecipe { sites, window, config, delivery, streams, updates_per_site } = recipe;
+    let RunRecipe { sites, window, config, delivery, streams, updates_per_site, snapshots } =
+        recipe;
     let delivery = delivery.unwrap_or_else(|| DeliveryConfig {
         mode: if faults.is_some() { DeliveryMode::Reliable } else { DeliveryMode::FireAndForget },
         ..Default::default()
@@ -572,9 +603,10 @@ pub(crate) fn run_simnet(
     }
     let mut coordinator = Coordinator::new(config.coordinator.clone())?;
     coordinator.set_observer(config.obs.clone());
-    sim.add_node(Box::new(CoordinatorNode {
-        engine: CoordinatorEngine::new(coordinator, sites, config.site.covariance, config.obs.clone()),
-    }));
+    let mut engine =
+        CoordinatorEngine::new(coordinator, sites, config.site.covariance, config.obs.clone());
+    engine.publish = snapshots;
+    sim.add_node(Box::new(CoordinatorNode { engine }));
     sim.set_observer(config.obs.clone());
 
     sim.run()?;

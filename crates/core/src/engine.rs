@@ -13,10 +13,12 @@
 
 use crate::coordinator::Coordinator;
 use crate::protocol::{Frame, Message, ReliableInbox, ReliableSender};
+use crate::serving::SnapshotHandle;
 use crate::windows::Window;
 use cludistream_gmm::CovarianceType;
 use cludistream_obs::{Event, Obs, Recorder, SpanRecord, SpanScope, TraceCtx};
 use cludistream_wire::ByteBuf;
+use std::sync::Arc;
 
 /// The transport-independent half of a remote site: the window, the
 /// optional reliable sender, and the telemetry plumbing around both.
@@ -167,6 +169,11 @@ pub(crate) struct CoordinatorEngine {
     pub apply_errors: u64,
     pub ack_messages: u64,
     pub ack_bytes: u64,
+    /// Serving-layer publication point. When set, the engine publishes a
+    /// fresh [`crate::serving::ModelSnapshot`] after every applied
+    /// message; `None` (the default) keeps the write path byte-identical
+    /// to the pre-serving behaviour.
+    pub publish: Option<Arc<SnapshotHandle>>,
 }
 
 impl CoordinatorEngine {
@@ -181,6 +188,7 @@ impl CoordinatorEngine {
             apply_errors: 0,
             ack_messages: 0,
             ack_bytes: 0,
+            publish: None,
         }
     }
 
@@ -217,6 +225,14 @@ impl CoordinatorEngine {
         }
         if scope.is_some() {
             self.coordinator.set_trace_scope(None);
+        }
+        if let Some(handle) = &self.publish {
+            // Nothing to serve until the first model arrives; every later
+            // failure mode of capture is also "no groups yet".
+            if let Ok(version) = handle.publish_from(&self.coordinator) {
+                self.obs.counter("serve.snapshots", 1);
+                self.obs.gauge("serve.snapshot_version", version as f64);
+            }
         }
     }
 

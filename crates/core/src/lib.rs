@@ -40,6 +40,9 @@
 //! - [`runtime`] — the process-per-site TCP runtime: coordinator/site
 //!   loops over real `std::net` sockets, rendezvous handshake, heartbeats
 //!   and timeout-based eviction.
+//! - [`serving`] — the read-side serving layer: immutable, versioned
+//!   [`ModelSnapshot`]s published behind an Arc-swap [`SnapshotHandle`]
+//!   and scored lock-free with `cludistream_gmm::score`.
 //!
 //! ## Quickstart
 //!
@@ -67,6 +70,7 @@
 
 pub mod change;
 mod config;
+pub mod prelude;
 pub mod coordinator;
 pub mod driver;
 mod engine;
@@ -75,6 +79,7 @@ pub mod multilayer;
 pub mod protocol;
 pub mod remote;
 pub mod runtime;
+pub mod serving;
 pub mod transport;
 pub mod windows;
 
@@ -90,6 +95,7 @@ pub use error::CludiError;
 pub use multilayer::MultiLayerNetwork;
 pub use protocol::{Frame, Message, ReliableInbox, ReliableSender};
 pub use remote::{ChunkOutcome, ModelId, RemoteSite, SiteEvent, SiteStats};
+pub use serving::{ModelSnapshot, SnapshotGroup, SnapshotHandle, SnapshotMember};
 pub use transport::{RunRecipe, SimnetTransport, Transport, TransportSemantics};
 pub use windows::{
     horizon_mixture, landmark_mixture, LandmarkWindow, SlidingWindowSite, Window, WindowSpec,

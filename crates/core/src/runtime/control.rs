@@ -49,6 +49,8 @@ const TAG_CLOCK_PROBE: u8 = 41;
 const TAG_CLOCK_ECHO: u8 = 42;
 const TAG_STATUS_REQUEST: u8 = 43;
 const TAG_STATUS_REPLY: u8 = 44;
+const TAG_SNAPSHOT_REQUEST: u8 = 45;
+const TAG_SNAPSHOT_REPLY: u8 = 46;
 
 /// Why the coordinator refused a [`Control::Hello`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -208,6 +210,18 @@ pub enum Control {
         /// The exposition text bytes.
         text: Vec<u8>,
     },
+    /// Reader → coordinator: request the latest published model snapshot
+    /// (any connection on the listener may send this; no handshake
+    /// required — the serving analogue of [`Control::StatusRequest`]).
+    SnapshotRequest,
+    /// Coordinator → reader: the latest [`crate::serving::ModelSnapshot`]
+    /// in its wire encoding, or an empty payload when the coordinator has
+    /// not applied any model yet.
+    SnapshotReply {
+        /// Encoded snapshot bytes (`ModelSnapshot::encode`); empty when
+        /// no snapshot is available.
+        snapshot: Vec<u8>,
+    },
 }
 
 impl Control {
@@ -271,6 +285,11 @@ impl Control {
             Control::StatusReply { text } => {
                 buf.put_u8(TAG_STATUS_REPLY);
                 buf.put_var_bytes(text);
+            }
+            Control::SnapshotRequest => buf.put_u8(TAG_SNAPSHOT_REQUEST),
+            Control::SnapshotReply { snapshot } => {
+                buf.put_u8(TAG_SNAPSHOT_REPLY);
+                buf.put_var_bytes(snapshot);
             }
         }
         buf
@@ -366,6 +385,13 @@ impl Control {
                     .ok_or(CludiError::Decode("truncated StatusReply"))?;
                 Ok(Control::StatusReply { text })
             }
+            TAG_SNAPSHOT_REQUEST => Ok(Control::SnapshotRequest),
+            TAG_SNAPSHOT_REPLY => {
+                let snapshot = reader
+                    .get_var_bytes()
+                    .ok_or(CludiError::Decode("truncated SnapshotReply"))?;
+                Ok(Control::SnapshotReply { snapshot })
+            }
             _ => Err(CludiError::Decode("unknown control tag")),
         }
     }
@@ -415,6 +441,9 @@ mod tests {
         roundtrip(Control::ClockEcho { site: 1, t0_us: 9_999, site_us: 77 });
         roundtrip(Control::StatusRequest);
         roundtrip(Control::StatusReply { text: b"cludistream_up 1\n".to_vec() });
+        roundtrip(Control::SnapshotRequest);
+        roundtrip(Control::SnapshotReply { snapshot: vec![0xCA, 0xFE, 0x00] });
+        roundtrip(Control::SnapshotReply { snapshot: Vec::new() });
     }
 
     #[test]
@@ -445,6 +474,7 @@ mod tests {
             Control::ClockProbe { t0_us: 1 },
             Control::ClockEcho { site: 0, t0_us: 1, site_us: 2 },
             Control::StatusReply { text: b"x".to_vec() },
+            Control::SnapshotReply { snapshot: b"y".to_vec() },
         ] {
             let bytes = frame.encode();
             let short = bytes.slice(..bytes.len() - 1);

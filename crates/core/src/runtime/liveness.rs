@@ -122,6 +122,7 @@ impl RoundMachine {
     }
 
     /// Current state of one site.
+    #[cfg(test)]
     pub fn state(&self, site: usize) -> SiteState {
         self.states[site]
     }

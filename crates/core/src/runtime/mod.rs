@@ -10,7 +10,8 @@
 //! ([`control::Control`], tags ≥ [`control::CONTROL_TAG_MIN`]) is new.
 //!
 //! - [`control`] — handshake/liveness frame codec.
-//! - [`liveness`] — the coordinator's pure round/eviction state machine.
+//! - `liveness` (crate-internal) — the coordinator's pure round/eviction
+//!   state machine.
 //! - [`tcp`] — the coordinator serve loop, the site loop, and the
 //!   in-process [`TcpTransport`].
 //!
@@ -19,11 +20,11 @@
 //! section for the semantics contract.
 
 pub mod control;
-pub mod liveness;
+pub(crate) mod liveness;
 pub mod tcp;
 
 pub use control::{Control, RejectCode, CONTROL_TAG_MIN, PROTOCOL_VERSION};
-pub use liveness::{RoundMachine, SiteState};
 pub use tcp::{
-    run_site, serve, CoordReport, CoordinatorRun, SiteReport, SiteRun, SocketConfig, TcpTransport,
+    run_site, serve, CoordReport, CoordinatorRun, CoordinatorRunBuilder, SiteReport, SiteRun,
+    SiteRunBuilder, SocketConfig, TcpTransport,
 };

@@ -46,6 +46,7 @@ use crate::error::CludiError;
 use crate::protocol::{Frame, ReliableInbox};
 use crate::remote::SiteStats;
 use crate::runtime::control::{Control, RejectCode, PROTOCOL_VERSION};
+use crate::serving::{ModelSnapshot, SnapshotHandle};
 use crate::runtime::liveness::RoundMachine;
 use crate::transport::{RunRecipe, Transport, TransportSemantics};
 use crate::windows::WindowSpec;
@@ -87,18 +88,29 @@ impl Default for SocketConfig {
 }
 
 /// Everything the socket coordinator needs to serve one round.
+///
+/// Construct it with [`CoordinatorRun::builder`], which validates the
+/// configuration before [`serve`] ever binds a thread to it. The public
+/// fields remain for one release as a migration shim; building the
+/// struct literally is deprecated.
 pub struct CoordinatorRun {
     /// Number of sites that must rendezvous before the round starts.
+    #[deprecated(since = "0.1.0", note = "construct via CoordinatorRun::builder")]
     pub sites: usize,
     /// Coordinator (merge/split/refine) configuration.
+    #[deprecated(since = "0.1.0", note = "construct via CoordinatorRun::builder")]
     pub coordinator: CoordinatorConfig,
     /// Record dimension every site must agree on.
+    #[deprecated(since = "0.1.0", note = "construct via CoordinatorRun::builder")]
     pub dim: u32,
     /// Covariance kind every site must agree on.
+    #[deprecated(since = "0.1.0", note = "construct via CoordinatorRun::builder")]
     pub cov: CovarianceType,
     /// Telemetry observer.
+    #[deprecated(since = "0.1.0", note = "construct via CoordinatorRun::builder")]
     pub obs: Obs,
     /// Socket tuning (heartbeat/timeout policy lives here).
+    #[deprecated(since = "0.1.0", note = "construct via CoordinatorRun::builder")]
     pub socket: SocketConfig,
     /// Fleet telemetry aggregator. `Some` opts the coordinator into the
     /// telemetry plane: a Cristian clock probe after every `Welcome`,
@@ -106,7 +118,131 @@ pub struct CoordinatorRun {
     /// answering `StatusRequest` scrapes with Prometheus text. `None`
     /// (the in-process [`TcpTransport`]) keeps the control plane
     /// byte-identical to the pre-telemetry runtime.
+    #[deprecated(since = "0.1.0", note = "construct via CoordinatorRun::builder")]
     pub fleet: Option<Arc<FleetAggregator>>,
+    /// Serving-layer publication point. `Some` makes the engine publish
+    /// a fresh [`ModelSnapshot`] into the handle after every applied
+    /// message, and `SnapshotRequest` control frames answer with the
+    /// latest published version; `None` still answers `SnapshotRequest`
+    /// (with an on-demand capture) but keeps the write path
+    /// byte-identical to the pre-serving runtime.
+    #[deprecated(since = "0.1.0", note = "construct via CoordinatorRun::builder")]
+    pub snapshots: Option<Arc<SnapshotHandle>>,
+}
+
+impl CoordinatorRun {
+    /// Starts a validated-defaults builder for a `sites`-site round.
+    pub fn builder(sites: usize) -> CoordinatorRunBuilder {
+        CoordinatorRunBuilder {
+            sites,
+            coordinator: CoordinatorConfig::default(),
+            dim: 1,
+            cov: CovarianceType::default(),
+            obs: Obs::noop(),
+            socket: SocketConfig::default(),
+            fleet: None,
+            snapshots: None,
+        }
+    }
+}
+
+/// Builder for [`CoordinatorRun`]: every knob defaults to the value the
+/// in-process [`TcpTransport`] uses, and [`CoordinatorRunBuilder::build`]
+/// rejects configurations [`serve`] could only fail on at runtime.
+pub struct CoordinatorRunBuilder {
+    sites: usize,
+    coordinator: CoordinatorConfig,
+    dim: u32,
+    cov: CovarianceType,
+    obs: Obs,
+    socket: SocketConfig,
+    fleet: Option<Arc<FleetAggregator>>,
+    snapshots: Option<Arc<SnapshotHandle>>,
+}
+
+impl CoordinatorRunBuilder {
+    /// Sets the coordinator (merge/split/refine) configuration.
+    pub fn coordinator(mut self, coordinator: CoordinatorConfig) -> Self {
+        self.coordinator = coordinator;
+        self
+    }
+
+    /// Sets the record dimension every site must agree on (default 1).
+    pub fn dim(mut self, dim: u32) -> Self {
+        self.dim = dim;
+        self
+    }
+
+    /// Sets the covariance kind every site must agree on.
+    pub fn covariance(mut self, cov: CovarianceType) -> Self {
+        self.cov = cov;
+        self
+    }
+
+    /// Attaches a telemetry observer (default: no-op).
+    pub fn obs(mut self, obs: Obs) -> Self {
+        self.obs = obs;
+        self
+    }
+
+    /// Overrides the socket tuning.
+    pub fn socket(mut self, socket: SocketConfig) -> Self {
+        self.socket = socket;
+        self
+    }
+
+    /// Opts into the fleet telemetry plane.
+    pub fn fleet(mut self, fleet: Arc<FleetAggregator>) -> Self {
+        self.fleet = Some(fleet);
+        self
+    }
+
+    /// Opts into serving-layer snapshot publication.
+    pub fn snapshots(mut self, handle: Arc<SnapshotHandle>) -> Self {
+        self.snapshots = Some(handle);
+        self
+    }
+
+    /// Validates and produces the run.
+    #[allow(deprecated)] // the builder is the one sanctioned constructor
+    pub fn build(self) -> Result<CoordinatorRun, CludiError> {
+        if self.sites == 0 {
+            return Err(CludiError::InvalidConfig { name: "sites", constraint: "sites >= 1" });
+        }
+        if self.dim == 0 {
+            return Err(CludiError::InvalidConfig { name: "dim", constraint: "dim >= 1" });
+        }
+        validate_socket(&self.socket)?;
+        Ok(CoordinatorRun {
+            sites: self.sites,
+            coordinator: self.coordinator,
+            dim: self.dim,
+            cov: self.cov,
+            obs: self.obs,
+            socket: self.socket,
+            fleet: self.fleet,
+            snapshots: self.snapshots,
+        })
+    }
+}
+
+/// Socket-tuning sanity shared by both builders: a zero heartbeat would
+/// busy-spin the ping loop, and a timeout at or under the heartbeat
+/// evicts every site between two pings.
+fn validate_socket(socket: &SocketConfig) -> Result<(), CludiError> {
+    if socket.heartbeat_us == 0 {
+        return Err(CludiError::InvalidConfig {
+            name: "socket.heartbeat_us",
+            constraint: "heartbeat_us >= 1",
+        });
+    }
+    if socket.timeout_us <= socket.heartbeat_us {
+        return Err(CludiError::InvalidConfig {
+            name: "socket.timeout_us",
+            constraint: "timeout_us > heartbeat_us",
+        });
+    }
+    Ok(())
 }
 
 /// What the socket coordinator produced.
@@ -131,6 +267,11 @@ pub struct CoordReport {
     pub evicted: Vec<u32>,
     /// Reconnect-resyncs served.
     pub resyncs: u64,
+    /// Final state of the round in the serving wire layout — the
+    /// coordinator's checkpoint. The last published snapshot when a
+    /// [`SnapshotHandle`] was attached, an end-of-round capture
+    /// otherwise; `None` only when no site ever reported a model.
+    pub snapshot: Option<ModelSnapshot>,
 }
 
 /// One finished site's accounting, returned by [`run_site`].
@@ -194,13 +335,15 @@ fn send_control(stream: &TcpStream, obs: &Obs, frame: &Control) -> bool {
 /// The caller binds the listener (so it can publish the ephemeral port
 /// before any site connects) and this function consumes it.
 pub fn serve(listener: TcpListener, run: CoordinatorRun) -> Result<CoordReport, CludiError> {
-    let CoordinatorRun { sites, coordinator, dim, cov, obs, socket, fleet } = run;
+    #[allow(deprecated)] // field shim; migrates with CoordinatorRun::builder
+    let CoordinatorRun { sites, coordinator, dim, cov, obs, socket, fleet, snapshots } = run;
     if sites == 0 {
         return Err(CludiError::Build("need at least one site"));
     }
     let mut coord = Coordinator::new(coordinator)?;
     coord.set_observer(obs.clone());
     let mut engine = CoordinatorEngine::new(coord, sites, cov, obs.clone());
+    engine.publish = snapshots;
     let mut machine = RoundMachine::new(sites, socket.timeout_us);
     let mut comm = CommStats::new();
     let hub = NodeId(sites);
@@ -308,6 +451,17 @@ pub fn serve(listener: TcpListener, run: CoordinatorRun) -> Result<CoordReport, 
     let _ = acceptor.join();
     outcome?;
 
+    // The end-of-round checkpoint, in the same wire layout a live
+    // `SnapshotRequest` is answered with: prefer the last published
+    // snapshot (it carries the version counter), fall back to a fresh
+    // capture when no handle was attached.
+    let snapshot = engine
+        .publish
+        .as_ref()
+        .and_then(|handle| handle.load())
+        .map(|arc| (*arc).clone())
+        .or_else(|| ModelSnapshot::capture(&engine.coordinator).ok());
+
     Ok(CoordReport {
         groups: engine.coordinator.group_count(),
         global: engine.coordinator.global_mixture().ok(),
@@ -318,6 +472,7 @@ pub fn serve(listener: TcpListener, run: CoordinatorRun) -> Result<CoordReport, 
         duplicates_discarded: engine.inboxes.iter().map(ReliableInbox::duplicates).sum(),
         evicted: machine.evicted_sites(),
         resyncs,
+        snapshot,
     })
 }
 
@@ -511,6 +666,26 @@ fn on_coord_frame(
                 };
                 send_control(&c.writer, obs, &Control::StatusReply { text: text.into_bytes() });
             }
+            Control::SnapshotRequest => {
+                // Like StatusRequest, readers skip the handshake: any
+                // connection may pull the current model. An empty payload
+                // means "nothing published yet" — the reader polls again.
+                let Some(c) = conns.get(&conn) else { return };
+                let bytes = match &engine.publish {
+                    Some(handle) => handle
+                        .load()
+                        .map(|snapshot| snapshot.encode().into_vec())
+                        .unwrap_or_default(),
+                    // No publication hook: serve an on-demand capture so
+                    // snapshot pulls degrade gracefully (version 0, since
+                    // nothing assigned one).
+                    None => ModelSnapshot::capture(&engine.coordinator)
+                        .map(|snapshot| snapshot.encode().into_vec())
+                        .unwrap_or_default(),
+                };
+                obs.counter("serve.snapshot_pulls", 1);
+                send_control(&c.writer, obs, &Control::SnapshotReply { snapshot: bytes });
+            }
             Control::Done { site } if (site as usize) < sites => {
                 machine.heard(site as usize, now_us);
                 machine.done(site as usize);
@@ -537,22 +712,34 @@ fn on_coord_frame(
 }
 
 /// Everything one socket site needs to run its half of a round.
+///
+/// Construct it with [`SiteRun::builder`], which validates the
+/// configuration before [`run_site`] ever dials out. The public fields
+/// remain for one release as a migration shim; building the struct
+/// literally is deprecated.
 pub struct SiteRun {
     /// This site's index in `0..sites`.
+    #[deprecated(since = "0.1.0", note = "construct via SiteRun::builder")]
     pub site: usize,
     /// Window semantics.
+    #[deprecated(since = "0.1.0", note = "construct via SiteRun::builder")]
     pub window: WindowSpec,
     /// Driver configuration (site config, rates, observer). The per-site
     /// seed decorrelation is applied here exactly as the simulator does.
+    #[deprecated(since = "0.1.0", note = "construct via SiteRun::builder")]
     pub config: DriverConfig,
     /// Delivery tuning; the mode must be [`DeliveryMode::Reliable`].
+    #[deprecated(since = "0.1.0", note = "construct via SiteRun::builder")]
     pub delivery: DeliveryConfig,
     /// The record stream.
+    #[deprecated(since = "0.1.0", note = "construct via SiteRun::builder")]
     pub stream: RecordStream,
     /// Records to consume.
+    #[deprecated(since = "0.1.0", note = "construct via SiteRun::builder")]
     pub updates: u64,
     /// Socket tuning (connect retries; heartbeat/timeout are overridden
     /// by the coordinator's `Welcome`).
+    #[deprecated(since = "0.1.0", note = "construct via SiteRun::builder")]
     pub socket: SocketConfig,
     /// Opt into the fleet telemetry plane: stamp the registry clock
     /// from a local monotonic epoch, answer `ClockProbe`s, record
@@ -560,7 +747,104 @@ pub struct SiteRun {
     /// the coordinator on the heartbeat cadence. Leave `false` whenever
     /// the site shares a registry with the coordinator (the in-process
     /// [`TcpTransport`]), where deltas would double-count.
+    #[deprecated(since = "0.1.0", note = "construct via SiteRun::builder")]
     pub telemetry: bool,
+}
+
+impl SiteRun {
+    /// Starts a validated-defaults builder for site `site` streaming
+    /// `stream`. Delivery defaults to [`DeliveryMode::Reliable`] — the
+    /// only mode the socket runtime accepts.
+    pub fn builder(site: usize, stream: RecordStream) -> SiteRunBuilder {
+        SiteRunBuilder {
+            site,
+            stream,
+            window: WindowSpec::Landmark,
+            config: DriverConfig::default(),
+            delivery: DeliveryConfig {
+                mode: DeliveryMode::Reliable,
+                ..DeliveryConfig::default()
+            },
+            updates: 0,
+            socket: SocketConfig::default(),
+            telemetry: false,
+        }
+    }
+}
+
+/// Builder for [`SiteRun`]: landmark window, reliable delivery, and
+/// default socket tuning unless overridden; [`SiteRunBuilder::build`]
+/// rejects configurations [`run_site`] could only fail on at runtime.
+pub struct SiteRunBuilder {
+    site: usize,
+    stream: RecordStream,
+    window: WindowSpec,
+    config: DriverConfig,
+    delivery: DeliveryConfig,
+    updates: u64,
+    socket: SocketConfig,
+    telemetry: bool,
+}
+
+impl SiteRunBuilder {
+    /// Sets the window semantics (default: landmark).
+    pub fn window(mut self, window: WindowSpec) -> Self {
+        self.window = window;
+        self
+    }
+
+    /// Sets the driver configuration (site config, rates, observer).
+    pub fn config(mut self, config: DriverConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Overrides the delivery tuning. The mode must stay
+    /// [`DeliveryMode::Reliable`]; [`SiteRunBuilder::build`] rejects
+    /// anything else.
+    pub fn delivery(mut self, delivery: DeliveryConfig) -> Self {
+        self.delivery = delivery;
+        self
+    }
+
+    /// Sets how many records to consume.
+    pub fn updates(mut self, updates: u64) -> Self {
+        self.updates = updates;
+        self
+    }
+
+    /// Overrides the socket tuning.
+    pub fn socket(mut self, socket: SocketConfig) -> Self {
+        self.socket = socket;
+        self
+    }
+
+    /// Opts into the fleet telemetry plane.
+    pub fn telemetry(mut self, telemetry: bool) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
+
+    /// Validates and produces the run.
+    #[allow(deprecated)] // the builder is the one sanctioned constructor
+    pub fn build(self) -> Result<SiteRun, CludiError> {
+        if self.delivery.mode != DeliveryMode::Reliable {
+            return Err(CludiError::Build(
+                "the TCP transport is reliable-only: a reconnect needs sequence state to resync",
+            ));
+        }
+        validate_socket(&self.socket)?;
+        Ok(SiteRun {
+            site: self.site,
+            stream: self.stream,
+            window: self.window,
+            config: self.config,
+            delivery: self.delivery,
+            updates: self.updates,
+            socket: self.socket,
+            telemetry: self.telemetry,
+        })
+    }
 }
 
 /// Connects with retries (the coordinator may not be listening yet).
@@ -628,6 +912,7 @@ fn flush_telemetry(
 /// records, keep liveness, and reconnect-with-resync on any socket
 /// failure until the coordinator says `Stop`.
 pub fn run_site(addr: &str, run: SiteRun) -> Result<SiteReport, CludiError> {
+    #[allow(deprecated)] // field shim; migrates with SiteRun::builder
     let SiteRun { site, window, config, delivery, stream, updates, socket, telemetry } = run;
     if delivery.mode != DeliveryMode::Reliable {
         return Err(CludiError::Build(
@@ -905,7 +1190,8 @@ impl Transport for TcpTransport {
     }
 
     fn run(self: Box<Self>, recipe: RunRecipe) -> Result<StarReport, CludiError> {
-        let RunRecipe { sites, window, config, delivery, streams, updates_per_site } = recipe;
+        let RunRecipe { sites, window, config, delivery, streams, updates_per_site, snapshots } =
+            recipe;
         let delivery = delivery.unwrap_or(DeliveryConfig {
             mode: DeliveryMode::Reliable,
             rto_us: 50_000,
@@ -922,33 +1208,29 @@ impl Transport for TcpTransport {
 
         let mut handles = Vec::with_capacity(sites);
         for (i, stream) in streams.into_iter().enumerate() {
-            let run = SiteRun {
-                site: i,
-                window,
-                config: config.clone(),
-                delivery,
-                stream,
-                updates: updates_per_site,
-                socket: self.socket,
-                // All roles share `config.obs` here; deltas folded back
-                // into the same registry would double-count.
-                telemetry: false,
-            };
+            // All roles share `config.obs` here, so telemetry stays off:
+            // deltas folded back into the same registry would
+            // double-count.
+            let run = SiteRun::builder(i, stream)
+                .window(window)
+                .config(config.clone())
+                .delivery(delivery)
+                .updates(updates_per_site)
+                .socket(self.socket)
+                .build()?;
             let addr = addr.clone();
             handles.push(thread::spawn(move || run_site(&addr, run)));
         }
-        let coord_outcome = serve(
-            listener,
-            CoordinatorRun {
-                sites,
-                coordinator: config.coordinator.clone(),
-                dim: config.site.dim as u32,
-                cov: config.site.covariance,
-                obs: config.obs.clone(),
-                socket: self.socket,
-                fleet: None,
-            },
-        );
+        let mut coord_run = CoordinatorRun::builder(sites)
+            .coordinator(config.coordinator.clone())
+            .dim(config.site.dim as u32)
+            .covariance(config.site.covariance)
+            .obs(config.obs.clone())
+            .socket(self.socket);
+        if let Some(handle) = snapshots {
+            coord_run = coord_run.snapshots(handle);
+        }
+        let coord_outcome = serve(listener, coord_run.build()?);
         // Join the sites even when the coordinator failed, so their
         // threads never outlive the run.
         let mut site_reports = Vec::with_capacity(sites);
@@ -1076,13 +1358,9 @@ mod tests {
         let addr = listener.local_addr().expect("addr");
         let sink = SharedBuf::default();
         let registry = Arc::new(Registry::with_journal(Box::new(sink.clone())));
-        let run = CoordinatorRun {
-            sites: 2,
-            coordinator: CoordinatorConfig::default(),
-            dim: 1,
-            cov: CovarianceType::Full,
-            obs: Obs::from_registry(Arc::clone(&registry)),
-            socket: SocketConfig {
+        let run = CoordinatorRun::builder(2)
+            .obs(Obs::from_registry(Arc::clone(&registry)))
+            .socket(SocketConfig {
                 // Pings every 50 ms against a 1 s timeout: a 20× margin,
                 // so site 1 survives scheduler stalls even when the whole
                 // workspace test suite runs in parallel on a loaded host.
@@ -1090,9 +1368,9 @@ mod tests {
                 timeout_us: 1_000_000,
                 deadline: Some(Duration::from_secs(30)),
                 ..SocketConfig::default()
-            },
-            fleet: None,
-        };
+            })
+            .build()
+            .expect("valid coordinator run");
         let server = thread::spawn(move || serve(listener, run));
 
         // Site 1 stays healthy for the whole round on its own thread,
@@ -1203,18 +1481,13 @@ mod tests {
     fn version_mismatch_is_rejected() {
         let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
         let addr = listener.local_addr().expect("addr");
-        let run = CoordinatorRun {
-            sites: 1,
-            coordinator: CoordinatorConfig::default(),
-            dim: 1,
-            cov: CovarianceType::Full,
-            obs: Obs::noop(),
-            socket: SocketConfig {
+        let run = CoordinatorRun::builder(1)
+            .socket(SocketConfig {
                 deadline: Some(Duration::from_secs(10)),
                 ..SocketConfig::default()
-            },
-            fleet: None,
-        };
+            })
+            .build()
+            .expect("valid coordinator run");
         let server = thread::spawn(move || serve(listener, run));
 
         let mut bad = TcpStream::connect(addr).expect("connect");
@@ -1246,6 +1519,108 @@ mod tests {
         send(&mut good, Control::Done { site: 0 }.encode().as_slice());
         let report = server.join().expect("serve thread").expect("serve succeeds");
         assert!(report.evicted.is_empty());
+    }
+
+    /// Builder validation: impossible socket tunings and the
+    /// fire-and-forget mode are rejected at build time, not at runtime.
+    #[test]
+    fn builders_validate_configuration() {
+        assert!(CoordinatorRun::builder(0).build().is_err(), "sites >= 1");
+        assert!(CoordinatorRun::builder(1).dim(0).build().is_err(), "dim >= 1");
+        assert!(
+            CoordinatorRun::builder(1)
+                .socket(SocketConfig {
+                    heartbeat_us: 1_000,
+                    timeout_us: 500,
+                    ..SocketConfig::default()
+                })
+                .build()
+                .is_err(),
+            "timeout must exceed the heartbeat"
+        );
+        assert!(CoordinatorRun::builder(2).build().is_ok());
+
+        let fire_and_forget = SiteRun::builder(0, Box::new(std::iter::empty()))
+            .delivery(DeliveryConfig {
+                mode: DeliveryMode::FireAndForget,
+                ..DeliveryConfig::default()
+            })
+            .build();
+        assert!(fire_and_forget.is_err(), "the socket runtime is reliable-only");
+        assert!(SiteRun::builder(0, Box::new(std::iter::empty())).build().is_ok());
+    }
+
+    /// A bare connection — no handshake — pulls model snapshots: empty
+    /// while nothing is published, then byte-decodable with the
+    /// published version once the handle holds one.
+    #[test]
+    fn snapshot_pull_over_bare_connection() {
+        use cludistream_gmm::{Gaussian, Mixture};
+        use cludistream_linalg::Vector;
+
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let handle = Arc::new(SnapshotHandle::new());
+        let run = CoordinatorRun::builder(1)
+            .socket(SocketConfig {
+                deadline: Some(Duration::from_secs(30)),
+                ..SocketConfig::default()
+            })
+            .snapshots(Arc::clone(&handle))
+            .build()
+            .expect("valid coordinator run");
+        let server = thread::spawn(move || serve(listener, run));
+
+        let pull = || -> Vec<u8> {
+            let mut s = TcpStream::connect(addr).expect("connect");
+            let mut reader = FrameReader::new();
+            send(&mut s, Control::SnapshotRequest.encode().as_slice());
+            loop {
+                let frame = next_frame(&mut s, &mut reader);
+                if let Ok(Control::SnapshotReply { snapshot }) =
+                    Control::decode(&mut ByteReader::new(&frame))
+                {
+                    return snapshot;
+                }
+            }
+        };
+
+        assert!(pull().is_empty(), "nothing published yet");
+
+        let mixture = Mixture::new(
+            vec![Gaussian::spherical(Vector::from_slice(&[2.0]), 1.0).expect("gaussian")],
+            vec![1.0],
+        )
+        .expect("mixture");
+        let published = ModelSnapshot {
+            version: 0,
+            messages_applied: 3,
+            covariance: CovarianceType::Full,
+            mixture,
+            groups: vec![crate::serving::SnapshotGroup {
+                id: 7,
+                weight: 1.0,
+                members: Vec::new(),
+            }],
+        };
+        let version = handle.publish(published);
+        let bytes = pull();
+        let decoded =
+            ModelSnapshot::decode(&mut ByteReader::new(&bytes)).expect("decodable snapshot");
+        assert_eq!(decoded.version, version, "reply carries the published version");
+        assert_eq!(decoded.messages_applied, 3);
+        assert_eq!(decoded.groups.len(), 1);
+
+        // Finish the round so serve() returns; its report repeats the
+        // published snapshot as the end-of-round checkpoint.
+        let mut s = TcpStream::connect(addr).expect("connect");
+        let mut reader = FrameReader::new();
+        send(&mut s, hello(0, false).encode().as_slice());
+        await_welcome(&mut s, &mut reader);
+        send(&mut s, Control::Done { site: 0 }.encode().as_slice());
+        let report = server.join().expect("serve thread").expect("serve succeeds");
+        let checkpoint = report.snapshot.expect("end-of-round checkpoint");
+        assert_eq!(checkpoint.version, version);
     }
 
     /// Like [`next_frame`] but keeps *every* frame a poll returns —
@@ -1306,18 +1681,15 @@ mod tests {
         let sink = SharedBuf::default();
         let registry = Arc::new(Registry::with_journal(Box::new(sink.clone())));
         let fleet = Arc::new(FleetAggregator::new());
-        let run = CoordinatorRun {
-            sites: 1,
-            coordinator: CoordinatorConfig::default(),
-            dim: 1,
-            cov: CovarianceType::Full,
-            obs: Obs::from_registry(Arc::clone(&registry)),
-            socket: SocketConfig {
+        let run = CoordinatorRun::builder(1)
+            .obs(Obs::from_registry(Arc::clone(&registry)))
+            .socket(SocketConfig {
                 deadline: Some(Duration::from_secs(30)),
                 ..SocketConfig::default()
-            },
-            fleet: Some(Arc::clone(&fleet)),
-        };
+            })
+            .fleet(Arc::clone(&fleet))
+            .build()
+            .expect("valid coordinator run");
         let server = thread::spawn(move || serve(listener, run));
 
         let mut s = TcpStream::connect(addr).expect("connect");

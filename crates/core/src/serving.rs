@@ -1,0 +1,418 @@
+//! Read-side serving layer: immutable, versioned coordinator model
+//! snapshots behind an Arc-swap handle, plus their wire encoding.
+//!
+//! The coordinator's global mixture answers "which cluster is this
+//! record in?", but its state mutates on every applied synopsis. The
+//! serving layer decouples readers from that write path: after applying
+//! messages the coordinator *publishes* a [`ModelSnapshot`] — the global
+//! mixture, the group map and round metadata frozen into one immutable
+//! value — into a [`SnapshotHandle`]. Readers clone the current `Arc`
+//! out of the handle (one short pointer-sized critical section) and then
+//! score entirely lock-free on their private reference while the writer
+//! keeps swapping newer versions in; old snapshots are freed when the
+//! last reader drops them. Versions are assigned by the handle and
+//! strictly increase, so a reader can tell stale results from fresh ones
+//! and torn states are impossible by construction.
+//!
+//! # Wire encoding
+//!
+//! [`ModelSnapshot::encode`] is the serving wire format *and* the
+//! coordinator's checkpoint format (the socket runtime answers
+//! `SnapshotRequest` control frames with it, and
+//! [`crate::runtime::CoordinatorRun`] resyncs from it). Layout, all
+//! integers little-endian:
+//!
+//! ```text
+//! u32 magic    0x434C_4D53 ("CLMS")
+//! u16 format   SNAPSHOT_FORMAT_VERSION (currently 1)
+//! u64 snapshot version
+//! u64 messages_applied
+//! mixture synopsis        (cludistream_gmm::codec, covariance tag inside)
+//! u32 group count
+//! per group:
+//!   u64 group id
+//!   f64 record weight
+//!   u32 member count
+//!   per member: u32 site, u64 model id, u32 component index
+//! ```
+//!
+//! Group order matches mixture component order: group `g` is summarized
+//! by mixture component `g`.
+
+use crate::coordinator::Coordinator;
+use crate::error::CludiError;
+use crate::remote::ModelId;
+use cludistream_gmm::{codec, CovarianceType, Mixture};
+use cludistream_wire::{ByteBuf, ByteReader};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Magic prefix of an encoded snapshot: "CLMS" (CLudistream Model
+/// Snapshot).
+const MAGIC: u32 = 0x434C_4D53;
+
+/// Version of the snapshot wire layout (bump on incompatible change).
+pub const SNAPSHOT_FORMAT_VERSION: u16 = 1;
+
+/// One member component of a snapshot group: which site model component
+/// contributed to it (the lineage the coordinator's hierarchy tracks).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SnapshotMember {
+    /// Originating site.
+    pub site: u32,
+    /// Site-local model id.
+    pub model: ModelId,
+    /// Component index within that model's mixture.
+    pub component: u32,
+}
+
+/// Metadata for one coordinator group, frozen at publish time. Group `g`
+/// corresponds to component `g` of [`ModelSnapshot::mixture`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SnapshotGroup {
+    /// Stable group id from the coordinator hierarchy.
+    pub id: u64,
+    /// Record mass attributed to the group.
+    pub weight: f64,
+    /// Site components merged into this group.
+    pub members: Vec<SnapshotMember>,
+}
+
+/// An immutable, versioned copy of the coordinator's global model: the
+/// mixture (one component per group), the group map, and round metadata.
+/// Published behind a [`SnapshotHandle`]; scored with
+/// [`cludistream_gmm::score`].
+#[derive(Debug, Clone)]
+pub struct ModelSnapshot {
+    /// Publish sequence number, strictly increasing per handle (assigned
+    /// by [`SnapshotHandle::publish`]; 0 for unpublished captures).
+    pub version: u64,
+    /// Coordinator messages applied when the snapshot was taken.
+    pub messages_applied: u64,
+    /// Covariance representation used on the wire.
+    pub covariance: CovarianceType,
+    /// The global mixture: one component per group, refined
+    /// representative when available, weighted by group record mass.
+    pub mixture: Mixture,
+    /// Per-group metadata, in mixture component order.
+    pub groups: Vec<SnapshotGroup>,
+}
+
+impl ModelSnapshot {
+    /// Freezes the coordinator's current global model into a snapshot
+    /// (version 0 — [`SnapshotHandle::publish`] assigns the real one).
+    /// Errors when the coordinator has no groups yet.
+    pub fn capture(coordinator: &Coordinator) -> Result<ModelSnapshot, CludiError> {
+        let mixture = coordinator.global_mixture()?;
+        let groups = coordinator
+            .groups()
+            .iter()
+            .map(|g| SnapshotGroup {
+                id: g.id,
+                weight: g.weight(),
+                members: g
+                    .members
+                    .iter()
+                    .map(|m| SnapshotMember {
+                        site: m.key.site,
+                        model: m.key.model,
+                        component: m.key.component as u32,
+                    })
+                    .collect(),
+            })
+            .collect();
+        Ok(ModelSnapshot {
+            version: 0,
+            messages_applied: coordinator.messages_applied(),
+            covariance: coordinator.covariance(),
+            mixture,
+            groups,
+        })
+    }
+
+    /// Encodes the snapshot into the wire/checkpoint layout documented in
+    /// the module docs.
+    pub fn encode(&self) -> ByteBuf {
+        let mut buf = ByteBuf::new();
+        buf.put_u32_le(MAGIC);
+        buf.put_u16_le(SNAPSHOT_FORMAT_VERSION);
+        buf.put_u64_le(self.version);
+        buf.put_u64_le(self.messages_applied);
+        let mix = codec::encode_mixture(&self.mixture, self.covariance);
+        buf.extend_from_slice(mix.as_slice());
+        buf.put_u32_le(self.groups.len() as u32);
+        for g in &self.groups {
+            buf.put_u64_le(g.id);
+            buf.put_f64_le(g.weight);
+            buf.put_u32_le(g.members.len() as u32);
+            for m in &g.members {
+                buf.put_u32_le(m.site);
+                buf.put_u64_le(m.model.0);
+                buf.put_u32_le(m.component);
+            }
+        }
+        buf
+    }
+
+    /// Decodes a snapshot produced by [`ModelSnapshot::encode`],
+    /// validating the magic, format version, and every length.
+    pub fn decode(reader: &mut ByteReader<'_>) -> Result<ModelSnapshot, CludiError> {
+        if reader.remaining() < 22 {
+            return Err(CludiError::Decode("truncated snapshot header"));
+        }
+        if reader.get_u32_le() != MAGIC {
+            return Err(CludiError::Decode("bad snapshot magic"));
+        }
+        if reader.get_u16_le() != SNAPSHOT_FORMAT_VERSION {
+            return Err(CludiError::Decode("unsupported snapshot format version"));
+        }
+        let version = reader.get_u64_le();
+        let messages_applied = reader.get_u64_le();
+        // The mixture codec carries its own covariance tag; peek it so the
+        // decoded snapshot preserves the wire representation.
+        let covariance = match reader.peek_u8() {
+            Some(0) => CovarianceType::Full,
+            Some(1) => CovarianceType::Diagonal,
+            _ => return Err(CludiError::Decode("truncated snapshot mixture")),
+        };
+        let mixture = codec::decode_mixture(reader)?;
+        if reader.remaining() < 4 {
+            return Err(CludiError::Decode("truncated snapshot group count"));
+        }
+        let group_count = reader.get_u32_le() as usize;
+        if group_count != mixture.k() {
+            return Err(CludiError::Decode("snapshot group count disagrees with mixture"));
+        }
+        let mut groups = Vec::with_capacity(group_count);
+        for _ in 0..group_count {
+            if reader.remaining() < 20 {
+                return Err(CludiError::Decode("truncated snapshot group"));
+            }
+            let id = reader.get_u64_le();
+            let weight = reader.get_f64_le();
+            if !weight.is_finite() || weight < 0.0 {
+                return Err(CludiError::Decode("invalid snapshot group weight"));
+            }
+            let member_count = reader.get_u32_le() as usize;
+            if reader.remaining() < member_count * 16 {
+                return Err(CludiError::Decode("truncated snapshot members"));
+            }
+            let mut members = Vec::with_capacity(member_count);
+            for _ in 0..member_count {
+                members.push(SnapshotMember {
+                    site: reader.get_u32_le(),
+                    model: ModelId(reader.get_u64_le()),
+                    component: reader.get_u32_le(),
+                });
+            }
+            groups.push(SnapshotGroup { id, weight, members });
+        }
+        Ok(ModelSnapshot { version, messages_applied, covariance, mixture, groups })
+    }
+}
+
+/// The Arc-swap publication point between the coordinator (single
+/// writer) and any number of reader threads.
+///
+/// [`SnapshotHandle::load`] clones the current `Arc` under a mutex held
+/// only for the pointer clone; everything a reader does afterwards —
+/// scoring, walking the group map — runs on its own immutable reference
+/// with no lock and no contention with the writer. Publishing swaps the
+/// `Arc` and assigns the next version atomically under the same mutex,
+/// so observed versions are strictly monotonic and a snapshot is always
+/// seen whole or not at all.
+pub struct SnapshotHandle {
+    slot: Mutex<Option<Arc<ModelSnapshot>>>,
+    version: AtomicU64,
+}
+
+impl SnapshotHandle {
+    /// An empty handle: no snapshot published yet.
+    pub fn new() -> SnapshotHandle {
+        SnapshotHandle { slot: Mutex::new(None), version: AtomicU64::new(0) }
+    }
+
+    /// Publishes a snapshot, assigning it the next version. Returns the
+    /// version it was published as.
+    pub fn publish(&self, mut snapshot: ModelSnapshot) -> u64 {
+        let mut slot = match self.slot.lock() {
+            Ok(guard) => guard,
+            // A reader cannot poison this mutex (it only clones the Arc);
+            // recover rather than propagate.
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        let version = self.version.load(Ordering::Relaxed) + 1;
+        snapshot.version = version;
+        *slot = Some(Arc::new(snapshot));
+        self.version.store(version, Ordering::Release);
+        version
+    }
+
+    /// Captures the coordinator's current model and publishes it. Errors
+    /// (without publishing) when the coordinator has no groups yet.
+    pub fn publish_from(&self, coordinator: &Coordinator) -> Result<u64, CludiError> {
+        Ok(self.publish(ModelSnapshot::capture(coordinator)?))
+    }
+
+    /// The latest published snapshot, or `None` before the first publish.
+    /// The returned `Arc` stays valid (and immutable) for as long as the
+    /// caller holds it, regardless of later publishes.
+    pub fn load(&self) -> Option<Arc<ModelSnapshot>> {
+        match self.slot.lock() {
+            Ok(guard) => guard.clone(),
+            Err(poisoned) => poisoned.into_inner().clone(),
+        }
+    }
+
+    /// Version of the latest published snapshot (0 before the first
+    /// publish).
+    pub fn version(&self) -> u64 {
+        self.version.load(Ordering::Acquire)
+    }
+}
+
+impl Default for SnapshotHandle {
+    fn default() -> Self {
+        SnapshotHandle::new()
+    }
+}
+
+impl std::fmt::Debug for SnapshotHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SnapshotHandle").field("version", &self.version()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coordinator::CoordinatorConfig;
+    use crate::protocol::Message;
+    use cludistream_gmm::Gaussian;
+    use cludistream_linalg::Vector;
+
+    fn seeded_coordinator() -> Coordinator {
+        let mut c = Coordinator::new(CoordinatorConfig::default()).unwrap();
+        for site in 0..3u32 {
+            let mixture = Mixture::uniform(vec![
+                Gaussian::spherical(Vector::from_slice(&[0.0, 0.0]), 1.0).unwrap(),
+                Gaussian::spherical(Vector::from_slice(&[20.0, 5.0]), 1.5).unwrap(),
+            ])
+            .unwrap();
+            c.apply(&Message::NewModel {
+                site,
+                model: ModelId(0),
+                count: 1000 + site as u64,
+                avg_ll: -2.0,
+                mixture,
+            })
+            .unwrap();
+        }
+        c
+    }
+
+    #[test]
+    fn capture_freezes_the_global_model() {
+        let c = seeded_coordinator();
+        let snap = ModelSnapshot::capture(&c).unwrap();
+        assert_eq!(snap.version, 0);
+        assert_eq!(snap.messages_applied, 3);
+        assert_eq!(snap.mixture.k(), c.group_count());
+        assert_eq!(snap.groups.len(), c.group_count());
+        let members: usize = snap.groups.iter().map(|g| g.members.len()).sum();
+        assert_eq!(members, c.component_count());
+        let total: f64 = snap.groups.iter().map(|g| g.weight).sum();
+        assert!((total - c.total_weight()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn capture_of_empty_coordinator_errors() {
+        let c = Coordinator::new(CoordinatorConfig::default()).unwrap();
+        assert!(ModelSnapshot::capture(&c).is_err());
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let c = seeded_coordinator();
+        let handle = SnapshotHandle::new();
+        handle.publish_from(&c).unwrap();
+        let snap = handle.load().unwrap();
+        let bytes = snap.encode();
+        let back = ModelSnapshot::decode(&mut bytes.reader()).unwrap();
+        assert_eq!(back.version, snap.version);
+        assert_eq!(back.messages_applied, snap.messages_applied);
+        assert_eq!(back.covariance, snap.covariance);
+        assert_eq!(back.groups, snap.groups);
+        assert_eq!(back.mixture.k(), snap.mixture.k());
+        for i in 0..back.mixture.k() {
+            assert_eq!(
+                back.mixture.weights()[i].to_bits(),
+                snap.mixture.weights()[i].to_bits()
+            );
+            assert_eq!(
+                back.mixture.components()[i].mean().as_slice(),
+                snap.mixture.components()[i].mean().as_slice()
+            );
+        }
+    }
+
+    #[test]
+    fn truncations_and_corruptions_rejected() {
+        let c = seeded_coordinator();
+        let snap = ModelSnapshot::capture(&c).unwrap();
+        let bytes = snap.encode();
+        for cut in [0usize, 4, 21, 30, bytes.len() - 1] {
+            let slice = bytes.slice(..cut);
+            assert!(ModelSnapshot::decode(&mut slice.reader()).is_err(), "cut {cut}");
+        }
+        // Bad magic.
+        let mut bad = bytes.clone();
+        bad[0] ^= 0xFF;
+        assert!(matches!(
+            ModelSnapshot::decode(&mut bad.reader()),
+            Err(CludiError::Decode("bad snapshot magic"))
+        ));
+        // Bad format version.
+        let mut bad = bytes.clone();
+        bad[4] = 0xEE;
+        assert!(matches!(
+            ModelSnapshot::decode(&mut bad.reader()),
+            Err(CludiError::Decode("unsupported snapshot format version"))
+        ));
+    }
+
+    #[test]
+    fn publish_assigns_monotonic_versions() {
+        let c = seeded_coordinator();
+        let handle = SnapshotHandle::new();
+        assert!(handle.load().is_none());
+        assert_eq!(handle.version(), 0);
+        let v1 = handle.publish_from(&c).unwrap();
+        let v2 = handle.publish_from(&c).unwrap();
+        assert_eq!((v1, v2), (1, 2));
+        assert_eq!(handle.version(), 2);
+        assert_eq!(handle.load().unwrap().version, 2);
+    }
+
+    #[test]
+    fn old_snapshot_survives_later_publishes() {
+        let c = seeded_coordinator();
+        let handle = SnapshotHandle::new();
+        handle.publish_from(&c).unwrap();
+        let old = handle.load().unwrap();
+        handle.publish_from(&c).unwrap();
+        // The reader's Arc still points at version 1, fully intact.
+        assert_eq!(old.version, 1);
+        assert_eq!(old.mixture.k(), c.group_count());
+        assert_eq!(handle.load().unwrap().version, 2);
+    }
+
+    #[test]
+    fn publish_from_empty_coordinator_leaves_handle_unchanged() {
+        let empty = Coordinator::new(CoordinatorConfig::default()).unwrap();
+        let handle = SnapshotHandle::new();
+        assert!(handle.publish_from(&empty).is_err());
+        assert!(handle.load().is_none());
+        assert_eq!(handle.version(), 0);
+    }
+}

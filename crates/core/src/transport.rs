@@ -40,8 +40,10 @@
 
 use crate::driver::{DeliveryConfig, DriverConfig, RecordStream, StarReport};
 use crate::error::CludiError;
+use crate::serving::SnapshotHandle;
 use crate::windows::WindowSpec;
 use cludistream_simnet::{FaultPlan, LinkModel};
+use std::sync::Arc;
 
 /// A fully validated run description, handed by the [`crate::Simulation`]
 /// builder to a [`Transport`]. Everything in it is transport-agnostic.
@@ -60,6 +62,12 @@ pub struct RunRecipe {
     pub streams: Vec<RecordStream>,
     /// Records each site consumes.
     pub updates_per_site: u64,
+    /// Serving-layer publication point. `Some` makes the coordinator
+    /// publish a fresh [`crate::ModelSnapshot`] into the handle after
+    /// every applied message, whatever the transport; `None` (the
+    /// default) keeps the write path byte-identical to a run without a
+    /// serving layer.
+    pub snapshots: Option<Arc<SnapshotHandle>>,
 }
 
 /// What a transport guarantees (and costs), for documentation, test

@@ -52,6 +52,7 @@ mod likelihood;
 pub mod metrics;
 mod mixture;
 mod model_selection;
+mod scoring;
 mod suffstats;
 
 pub use batch::{Batch, DensityScratch, MixtureScratch, BLOCK};
@@ -69,6 +70,7 @@ pub use likelihood::{
 };
 pub use mixture::Mixture;
 pub use model_selection::{bic, fit_em_bic, ScoredFit};
+pub use scoring::{score, score_record, Scores};
 pub use suffstats::SuffStats;
 
 /// Result alias used throughout the crate.

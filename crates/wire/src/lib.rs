@@ -209,6 +209,13 @@ impl<'a> ByteReader<'a> {
         u8::from_le_bytes(self.take::<1>())
     }
 
+    /// The next byte without consuming it; `None` when exhausted. Lets a
+    /// decoder dispatch on an embedded tag that an inner codec will
+    /// consume itself.
+    pub fn peek_u8(&self) -> Option<u8> {
+        self.data.get(self.pos).copied()
+    }
+
     /// Consumes a little-endian `u16`.
     pub fn get_u16_le(&mut self) -> u16 {
         u16::from_le_bytes(self.take::<2>())
@@ -395,6 +402,17 @@ pub mod framing {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn peek_does_not_consume() {
+        let mut buf = ByteBuf::new();
+        buf.put_u8(7);
+        let mut r = buf.reader();
+        assert_eq!(r.peek_u8(), Some(7));
+        assert_eq!(r.remaining(), 1);
+        assert_eq!(r.get_u8(), 7);
+        assert_eq!(r.peek_u8(), None);
+    }
 
     #[test]
     fn roundtrip_all_widths() {

@@ -48,7 +48,8 @@ diff -u crates/cli/tests/fixtures/trace_faults.json "$trace"
 smokedir="$(mktemp -d /tmp/cludistream_socket_XXXXXX)"
 trap 'rm -f "$journal" "$trace"; rm -rf "$smokedir"' EXIT
 ./target/release/cludistream coordinator --sites 2 --deadline-s 120 \
-    --port-file "$smokedir/port.txt" > "$smokedir/coord.out" &
+    --port-file "$smokedir/port.txt" --snapshot-out "$smokedir/snap.bin" \
+    > "$smokedir/coord.out" &
 coord_pid=$!
 for _ in $(seq 1 150); do
     [ -s "$smokedir/port.txt" ] && break
@@ -102,6 +103,20 @@ for i in 0 1; do
         | sed 's/"t":[0-9]*/"t":_/' > "$smokedir/tcp_site$i"
     diff -u "$smokedir/sim_site$i" "$smokedir/tcp_site$i"
 done
+
+# Scoring smoke test: the socket round's end-of-round checkpoint (written
+# by `coordinator --snapshot-out` in the serving wire layout) must be
+# consumable by `score` — batched Definition-1 assignment over a
+# generated CSV, one assignment line per record plus the summary.
+[ -s "$smokedir/snap.bin" ] || { echo "coordinator wrote no snapshot" >&2; exit 1; }
+./target/release/cludistream generate --records 64 --dim 1 --k 2 --seed 5 \
+    > "$smokedir/score_data.csv"
+./target/release/cludistream score "$smokedir/score_data.csv" \
+    --model "$smokedir/snap.bin" --dim 1 --threads 2 > "$smokedir/score.out"
+grep -q '^snapshot: version ' "$smokedir/score.out"
+grep -q '^records: 64$' "$smokedir/score.out"
+[ "$(grep -cE '^  [0-9]+: component [0-9]+ \(log p ' "$smokedir/score.out")" -eq 64 ]
+grep -q '^avg log likelihood: ' "$smokedir/score.out"
 
 # Perf-regression smoke test: the parallel E-step must produce a
 # bit-identical fit with threads=all vs threads=1, and parallelism must
