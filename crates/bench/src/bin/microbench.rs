@@ -26,7 +26,9 @@ use cludistream_gmm::{
     score_record, Batch, ChunkParams, CovarianceType, EmConfig, Mixture, MixtureScratch,
 };
 use cludistream_linalg::{jacobi_eigen, Cholesky, Vector};
-use cludistream_obs::{json_f64, NopRecorder, Obs, QuantileSketch, Recorder, Registry};
+use cludistream_obs::{
+    json_f64, NopRecorder, Obs, QualityConfig, QuantileSketch, Recorder, Registry,
+};
 use cludistream_rng::StdRng;
 use std::io::Write;
 use std::process::ExitCode;
@@ -43,6 +45,7 @@ const GROUPS: &[(&str, fn(&mut Sink))] = &[
     ("linalg", bench_linalg),
     ("pipeline", bench_pipeline),
     ("obs", bench_obs),
+    ("quality", bench_quality),
 ];
 
 /// Repetitions per measurement; the printed number is the minimum.
@@ -455,6 +458,58 @@ fn bench_obs(sink: &mut Sink) {
     registry_on.enable_tracing();
     let t = best_of(RUNS, || run_site(Obs::from_registry(Arc::clone(&registry_on))));
     sink.report("obs", "site_2chunks_tracing_on", "", t);
+}
+
+/// Quality-plane overhead: the same multi-chunk site run with the
+/// quality plane off (live registry, no quality config) and on — two
+/// detector updates and a dozen gauge writes per *tested* chunk, which
+/// must be within noise of the off side — plus the raw per-sample cost
+/// of both drift detectors.
+fn bench_quality(sink: &mut Sink) {
+    let base = Config {
+        dim: 4,
+        k: 5,
+        chunk: ChunkParams::PAPER_DEFAULTS,
+        seed: 1,
+        ..Default::default()
+    };
+    let mut stream = workloads::synthetic_boxed(4, 5, 0.0, 9);
+    let chunk_size = RemoteSite::new(base.clone()).expect("valid config").chunk_size();
+    let records = workloads::collect(&mut *stream, 4 * chunk_size);
+    let run_site = |config: &Config| {
+        let registry = Arc::new(Registry::new());
+        let mut site = RemoteSite::new(config.clone()).expect("valid config");
+        site.set_observer(Obs::from_registry(registry), 0);
+        for x in &records {
+            site.push(x.clone()).expect("processes");
+        }
+        site
+    };
+    let t = best_of(RUNS, || run_site(&base));
+    sink.report("quality", "site_4chunks_off", "", t);
+    let on = Config { quality: Some(QualityConfig::default()), ..base.clone() };
+    let t = best_of(RUNS, || run_site(&on));
+    sink.report("quality", "site_4chunks_on", "", t);
+
+    // Raw detector cost per sample, amortized over 1000 updates on a
+    // stationary series (no alarms, so no reset in the loop).
+    let qc = QualityConfig::default();
+    let t = best_of(RUNS, || {
+        let mut ph = qc.page_hinkley();
+        for i in 0..1000u32 {
+            let _ = ph.update(-2.0 - 0.001 * f64::from(i % 7));
+        }
+        ph
+    });
+    sink.report("quality", "page_hinkley_x1000", "", t);
+    let t = best_of(RUNS, || {
+        let mut ewma = qc.ewma();
+        for i in 0..1000u32 {
+            let _ = ewma.update(-2.0 - 0.001 * f64::from(i % 7));
+        }
+        ewma
+    });
+    sink.report("quality", "ewma_x1000", "", t);
 }
 
 /// The perf-regression gate `scripts/verify.sh` runs: threads = all

@@ -25,6 +25,9 @@
 //! - `status` — scrape a running coordinator's fleet registry over the
 //!   same TCP listener and print it in Prometheus text exposition;
 //!   `--watch SECS` re-scrapes on an interval.
+//! - `health` — ask a coordinator started with `--alerts` to evaluate
+//!   its model-health alert rules; prints the verdict table and exits
+//!   non-zero while any alert fires.
 //! - `score` — batched Definition-1 assignment of a CSV file against a
 //!   published model snapshot, read from a file (`--model`, e.g.
 //!   `coordinator --snapshot-out`) or pulled from a live coordinator
@@ -37,8 +40,9 @@
 
 use cludistream::coordinator::MergeRefiner;
 use cludistream::runtime::{
-    run_site, serve, Control, CoordinatorRun, SiteRun, SocketConfig,
+    run_site, serve, Control, CoordinatorRun, HealthAlert, SiteRun, SocketConfig,
 };
+use cludistream::score_snapshot;
 use cludistream::{
     ChunkOutcome, Config, CoordinatorConfig, DeliveryConfig, DeliveryMode, DriverConfig,
     FaultPlan, LinkFaults, ModelSnapshot, NodeId, RecordStream, RemoteSite, SimnetTransport,
@@ -47,10 +51,12 @@ use cludistream::{
 use cludistream_datagen::csvio;
 use cludistream_datagen::{EvolvingStream, EvolvingStreamConfig};
 use cludistream_gmm::{
-    fit_em, fit_em_bic, score, Batch, ChunkParams, CovarianceType, EmConfig, Gaussian, Mixture,
+    fit_em, fit_em_bic, Batch, ChunkParams, CovarianceType, EmConfig, Gaussian, Mixture,
 };
 use cludistream_linalg::Vector;
-use cludistream_obs::{analyze, perfetto_json, FleetAggregator, Obs, Registry};
+use cludistream_obs::{
+    analyze, perfetto_json, AlertSet, FleetAggregator, Obs, QualityConfig, Registry,
+};
 use cludistream_rng::StdRng;
 use cludistream_wire::framing::{write_frame, FrameReader};
 use cludistream_wire::ByteReader;
@@ -210,6 +216,16 @@ pub enum Command {
         /// Write the end-of-round model snapshot (the coordinator's
         /// checkpoint, in the serving wire layout) here.
         snapshot_out: Option<String>,
+        /// Evaluate the default model-health alert rules on every
+        /// `health` scrape (the quality plane's alerting side).
+        alerts: bool,
+        /// Keep the listener answering bare-connection control frames
+        /// (status, snapshot, health) this long after the round finishes,
+        /// milliseconds (0 = exit immediately).
+        linger_ms: u64,
+        /// Emit coordinator-side model-quality gauges (weight entropy and
+        /// extrema of the global mixture, merge/split churn EWMA).
+        quality: bool,
     },
     /// Run one socket site of the `metrics` workload against a
     /// coordinator.
@@ -233,6 +249,10 @@ pub enum Command {
         /// rides the data frames), so byte accounting is only comparable
         /// across runs that agree on this flag.
         trace: bool,
+        /// Turn on the site's streaming quality plane: per-chunk model
+        /// quality gauges plus the Page-Hinkley and EWMA drift detectors
+        /// over the held-out average log-likelihood.
+        quality: bool,
     },
     /// Score a CSV file against a published model snapshot: batched
     /// Definition-1 assignment (hard label, responsibilities,
@@ -260,6 +280,14 @@ pub enum Command {
         /// Re-scrape every this many seconds (0 = scrape once and exit).
         watch: u64,
     },
+    /// Ask a running coordinator (started with `--alerts`) to evaluate
+    /// its model-health alert rules and print the verdicts. Exits
+    /// non-zero while any alert fires, so scripts and probes can gate on
+    /// it directly.
+    Health {
+        /// Coordinator address to query (`HOST:PORT`).
+        connect: String,
+    },
     /// Print usage.
     Help,
 }
@@ -275,6 +303,10 @@ pub enum CliError {
     Gmm(cludistream_gmm::GmmError),
     /// I/O failure.
     Io(std::io::Error),
+    /// `health` found this many alert rules firing. Carried as an error
+    /// so the process exits non-zero — the rule table has already been
+    /// printed to stdout by then.
+    AlertsFiring(usize),
 }
 
 impl std::fmt::Display for CliError {
@@ -284,6 +316,9 @@ impl std::fmt::Display for CliError {
             CliError::Csv(e) => write!(f, "{e}"),
             CliError::Gmm(e) => write!(f, "{e}"),
             CliError::Io(e) => write!(f, "{e}"),
+            CliError::AlertsFiring(n) => {
+                write!(f, "health: {n} alert{} firing", if *n == 1 { "" } else { "s" })
+            }
         }
     }
 }
@@ -328,10 +363,13 @@ USAGE:
   cludistream coordinator [--listen HOST:PORT] [--sites R] [--heartbeat-ms H]
                        [--timeout-ms T] [--deadline-s D] [--port-file PATH]
                        [--journal OUT.jsonl] [--trace-out TRACE.json]
-                       [--snapshot-out SNAP.bin]
+                       [--snapshot-out SNAP.bin] [--alerts] [--linger-ms L]
+                       [--quality]
   cludistream site     --connect HOST:PORT [--site I] [--chunks C] [--seed S]
                        [--epsilon E] [--threads T] [--journal OUT.jsonl] [--trace]
+                       [--quality]
   cludistream status   --connect HOST:PORT [--watch SECS]
+  cludistream health   --connect HOST:PORT
   cludistream help
 
 Defaults: k=5, epsilon=0.02, delta=0.01, c-max=4, seed=0, threads=1,
@@ -340,7 +378,7 @@ Defaults: k=5, epsilon=0.02, delta=0.01, c-max=4, seed=0, threads=1,
           faults: metrics defaults + drop=0.1, duplicate=0.05, reorder=0.25,
           trace: metrics defaults,
           coordinator: listen=127.0.0.1:0, sites=2, heartbeat-ms=500,
-                       timeout-ms=5000, deadline-s=0 (none),
+                       timeout-ms=5000, deadline-s=0 (none), linger-ms=0,
           site: site=0, metrics workload defaults,
           status: watch=0 (scrape once).
 
@@ -357,6 +395,17 @@ same listener (Prometheus text exposition). `coordinator --trace-out`
 writes one Perfetto JSON spanning every process, with remote spans
 rebased onto the coordinator clock; site spans only exist under
 `site --trace`.
+
+The model-quality plane is opt-in end to end: `site --quality` streams
+per-chunk quality gauges (held-out avg log-likelihood, test statistic,
+weight entropy/extrema, re-cluster-rate EWMA, synopsis bytes/record) and
+runs Page-Hinkley + EWMA drift detectors over the likelihood series;
+`coordinator --quality` adds global-mixture weight gauges and the
+merge/split churn EWMA; `coordinator --alerts` evaluates the default
+alert rules on every `health --connect` probe, which prints the verdict
+table and exits non-zero while any rule fires (probe-friendly).
+`--linger-ms` keeps the listener answering status/snapshot/health
+scrapes after the round ends.
 
 `score` assigns every record of a CSV file to its most probable model
 component (Definition 1) with the batched SoA density kernels: hard
@@ -541,6 +590,9 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             journal: flag("--journal").map(|s| s.to_string()),
             trace_out: flag("--trace-out").map(|s| s.to_string()),
             snapshot_out: flag("--snapshot-out").map(|s| s.to_string()),
+            alerts: has("--alerts"),
+            linger_ms: parse_int("--linger-ms", 0)? as u64,
+            quality: has("--quality"),
         }),
         "score" => {
             let model = flag("--model").map(|s| s.to_string());
@@ -569,6 +621,12 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             threads: parse_int("--threads", 1)?,
             journal: flag("--journal").map(|s| s.to_string()),
             trace: has("--trace"),
+            quality: has("--quality"),
+        }),
+        "health" => Ok(Command::Health {
+            connect: flag("--connect")
+                .ok_or_else(|| CliError::Usage("health requires --connect HOST:PORT".into()))?
+                .to_string(),
         }),
         "status" => Ok(Command::Status {
             connect: flag("--connect")
@@ -645,6 +703,41 @@ fn scrape_snapshot(addr: &str) -> std::io::Result<Vec<u8>> {
         }
         if std::time::Instant::now() >= deadline {
             return Err(Error::new(ErrorKind::TimedOut, "no snapshot reply within 5s"));
+        }
+    }
+}
+
+/// Connects to a coordinator, sends one `HealthRequest` control frame,
+/// and returns the alert verdicts from the `HealthReply`.
+///
+/// Like [`scrape_status`], works on a bare connection — no `Hello`
+/// handshake — so a health probe never counts as a site joining the
+/// round. An empty verdict list means the coordinator was started
+/// without `--alerts` (no rules to evaluate).
+fn scrape_health(addr: &str) -> std::io::Result<Vec<HealthAlert>> {
+    use std::io::{Error, ErrorKind};
+    let mut stream = std::net::TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(std::time::Duration::from_millis(200)))?;
+    write_frame(&mut stream, Control::HealthRequest.encode().as_slice())?;
+    let mut reader = FrameReader::new();
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+    loop {
+        let polled = reader.poll(&mut stream)?;
+        for payload in polled.frames {
+            let control = Control::decode(&mut ByteReader::new(&payload))
+                .map_err(|e| Error::new(ErrorKind::InvalidData, format!("health: {e}")))?;
+            if let Control::HealthReply { alerts } = control {
+                return Ok(alerts);
+            }
+        }
+        if polled.eof {
+            return Err(Error::new(
+                ErrorKind::UnexpectedEof,
+                "coordinator closed the connection before replying",
+            ));
+        }
+        if std::time::Instant::now() >= deadline {
+            return Err(Error::new(ErrorKind::TimedOut, "no health reply within 5s"));
         }
     }
 }
@@ -1084,6 +1177,9 @@ pub fn run(command: Command, out: &mut impl Write) -> Result<(), CliError> {
             journal,
             trace_out,
             snapshot_out,
+            alerts,
+            linger_ms,
+            quality,
         } => {
             let registry = match &journal {
                 Some(path) => {
@@ -1117,13 +1213,14 @@ pub fn run(command: Command, out: &mut impl Write) -> Result<(), CliError> {
             // A CLI coordinator always publishes read-side snapshots:
             // `score --connect` can pull the live model mid-round, and
             // the end-of-round checkpoint lands in `--snapshot-out`.
-            let run = CoordinatorRun::builder(sites)
+            let mut builder = CoordinatorRun::builder(sites)
                 // The metrics-workload coordinator configuration, so a
                 // socket round is diffable against `metrics --reliable`.
                 .coordinator(CoordinatorConfig {
                     max_groups: 2,
                     refine_merges: true,
                     refiner: MergeRefiner { samples: 32, max_evals: 100, seed: 9 },
+                    quality,
                     ..Default::default()
                 })
                 .dim(1)
@@ -1133,12 +1230,17 @@ pub fn run(command: Command, out: &mut impl Write) -> Result<(), CliError> {
                     timeout_us: timeout_ms.saturating_mul(1_000),
                     deadline: (deadline_s > 0)
                         .then(|| std::time::Duration::from_secs(deadline_s)),
+                    linger: (linger_ms > 0)
+                        .then(|| std::time::Duration::from_millis(linger_ms)),
                     ..Default::default()
                 })
                 .fleet(Arc::clone(&fleet))
-                .snapshots(Arc::new(SnapshotHandle::new()))
-                .build()
-                .map_err(|e| CliError::Usage(format!("coordinator: {e}")))?;
+                .snapshots(Arc::new(SnapshotHandle::new()));
+            if alerts {
+                builder = builder.alerts(AlertSet::default_rules());
+            }
+            let run =
+                builder.build().map_err(|e| CliError::Usage(format!("coordinator: {e}")))?;
             let report =
                 serve(listener, run).map_err(|e| CliError::Usage(format!("coordinator: {e}")))?;
             registry.flush_journal()?;
@@ -1191,7 +1293,7 @@ pub fn run(command: Command, out: &mut impl Write) -> Result<(), CliError> {
             }
             Ok(())
         }
-        Command::Site { connect, site, chunks, seed, epsilon, threads, journal, trace } => {
+        Command::Site { connect, site, chunks, seed, epsilon, threads, journal, trace, quality } => {
             let registry = match &journal {
                 Some(path) => {
                     let file = std::fs::File::create(path)?;
@@ -1224,6 +1326,7 @@ pub fn run(command: Command, out: &mut impl Write) -> Result<(), CliError> {
                 c_max: 4,
                 seed,
                 em_threads: threads,
+                quality: quality.then(QualityConfig::default),
                 ..Default::default()
             };
             let chunk_size = RemoteSite::new(site_config.clone())?.chunk_size();
@@ -1298,7 +1401,13 @@ pub fn run(command: Command, out: &mut impl Write) -> Result<(), CliError> {
                 )));
             }
             let batch = Batch::from_records(&records);
-            let scores = score(&snapshot.mixture, &batch, threads)?;
+            // Instrumented score path: the same `serve.score_us`
+            // observations a long-lived scorer would feed its quantile
+            // tracker from.
+            let registry = Arc::new(Registry::new());
+            registry.track_quantiles("serve.score_us");
+            let score_obs = Obs::from_registry(Arc::clone(&registry));
+            let scores = score_snapshot(&snapshot, &batch, threads, &score_obs)?;
             writeln!(
                 out,
                 "snapshot: version {} | messages applied {} | groups {}",
@@ -1332,6 +1441,34 @@ pub fn run(command: Command, out: &mut impl Write) -> Result<(), CliError> {
                 writeln!(out)?;
             }
             writeln!(out, "avg log likelihood: {:.4}", scores.avg_log_likelihood())?;
+            if let Some(us) = registry.exact_quantile("serve.score_us", 0.5) {
+                writeln!(out, "score latency: {us} us for {} records", records.len())?;
+            }
+            Ok(())
+        }
+        Command::Health { connect } => {
+            let alerts = scrape_health(&connect)
+                .map_err(|e| CliError::Usage(format!("health: {connect}: {e}")))?;
+            if alerts.is_empty() {
+                writeln!(out, "no alert rules configured (start the coordinator with --alerts)")?;
+                return Ok(());
+            }
+            let firing = alerts.iter().filter(|a| a.firing).count();
+            for a in &alerts {
+                writeln!(
+                    out,
+                    "{} {:<18} {} = {} (threshold {})",
+                    if a.firing { "FIRING" } else { "ok    " },
+                    a.name,
+                    a.metric,
+                    a.value,
+                    a.threshold
+                )?;
+            }
+            writeln!(out, "{firing}/{} alerts firing", alerts.len())?;
+            if firing > 0 {
+                return Err(CliError::AlertsFiring(firing));
+            }
             Ok(())
         }
         Command::Status { connect, watch } => {
@@ -1664,6 +1801,36 @@ mod tests {
         }
         match parse_args(&args("site --connect h:1")).unwrap() {
             Command::Site { trace, .. } => assert!(!trace, "span recording is opt-in"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_health_and_quality_flags() {
+        let c = parse_args(&args("health --connect 127.0.0.1:9000")).unwrap();
+        assert_eq!(c, Command::Health { connect: "127.0.0.1:9000".into() });
+        assert!(parse_args(&args("health")).is_err(), "--connect is required");
+        match parse_args(&args("coordinator --alerts --linger-ms 1500 --quality")).unwrap() {
+            Command::Coordinator { alerts, linger_ms, quality, .. } => {
+                assert!(alerts);
+                assert_eq!(linger_ms, 1500);
+                assert!(quality);
+            }
+            other => panic!("{other:?}"),
+        }
+        match parse_args(&args("coordinator")).unwrap() {
+            Command::Coordinator { alerts, linger_ms, quality, .. } => {
+                assert!(!alerts && !quality, "the quality plane is opt-in");
+                assert_eq!(linger_ms, 0);
+            }
+            other => panic!("{other:?}"),
+        }
+        match parse_args(&args("site --connect h:1 --quality")).unwrap() {
+            Command::Site { quality, .. } => assert!(quality),
+            other => panic!("{other:?}"),
+        }
+        match parse_args(&args("site --connect h:1")).unwrap() {
+            Command::Site { quality, .. } => assert!(!quality, "the quality plane is opt-in"),
             other => panic!("{other:?}"),
         }
     }

@@ -1,4 +1,5 @@
 use cludistream_gmm::{ChunkParams, CovarianceType, GmmError, InitMethod};
+use cludistream_obs::QualityConfig;
 
 /// Configuration of a CluDistream remote site (and, transitively, of the
 /// whole framework). Field defaults follow the paper's experimental
@@ -49,6 +50,14 @@ pub struct Config {
     /// Clustering results — and therefore every simulation artifact — are
     /// bit-identical for every value; only wall-clock time changes.
     pub em_threads: usize,
+    /// Opt-in model-quality plane (`None`, the default, disables it).
+    /// When set, the site emits per-chunk quality gauges (held-out avg
+    /// log likelihood, test statistic, weight entropy/extrema,
+    /// re-cluster EWMA, synopsis bytes per record) and runs the
+    /// Page-Hinkley/EWMA drift detectors over the likelihood series.
+    /// Quality emissions are counters/gauges only — never journal
+    /// events — so enabling it cannot perturb golden journal fixtures.
+    pub quality: Option<QualityConfig>,
 }
 
 impl Default for Config {
@@ -67,6 +76,7 @@ impl Default for Config {
             warm_start: false,
             max_models: None,
             em_threads: 1,
+            quality: None,
         }
     }
 }
@@ -104,6 +114,11 @@ impl Config {
                     name: "auto_k",
                     constraint: "1 <= k_min <= k_max",
                 });
+            }
+        }
+        if let Some(quality) = &self.quality {
+            if let Err((name, constraint)) = quality.validate() {
+                return Err(GmmError::InvalidParameter { name, constraint });
             }
         }
         self.chunk.validate()
@@ -177,6 +192,20 @@ mod tests {
         assert!(Config { max_models: None, ..Default::default() }.validate().is_ok());
         assert!(Config { max_models: Some(0), ..Default::default() }.validate().is_err());
         assert!(Config { max_models: Some(1), ..Default::default() }.validate().is_err());
+    }
+
+    #[test]
+    fn quality_validation() {
+        let good = Config { quality: Some(QualityConfig::default()), ..Default::default() };
+        assert!(good.validate().is_ok());
+        let bad = Config {
+            quality: Some(QualityConfig { ph_lambda: -1.0, ..QualityConfig::default() }),
+            ..Default::default()
+        };
+        assert!(matches!(
+            bad.validate(),
+            Err(GmmError::InvalidParameter { name: "quality.ph_lambda", .. })
+        ));
     }
 
     #[test]

@@ -51,6 +51,14 @@ pub struct CoordinatorConfig {
     pub use_index: bool,
     /// Candidates retrieved from the index per lookup.
     pub index_candidates: usize,
+    /// Emit model-quality gauges (`quality.weight_entropy`,
+    /// `quality.weight_min`/`weight_max` over the global mixture, and the
+    /// `quality.churn_ewma` merge/split rate) after every applied
+    /// message. Off by default: the gauges cost a `global_mixture()`
+    /// rebuild per message, and the golden journal fixtures are recorded
+    /// without them (gauges are never journaled, but the flag keeps the
+    /// write path cost-identical too).
+    pub quality: bool,
 }
 
 impl Default for CoordinatorConfig {
@@ -63,6 +71,7 @@ impl Default for CoordinatorConfig {
             covariance: CovarianceType::Full,
             use_index: false,
             index_candidates: 4,
+            quality: false,
         }
     }
 }
@@ -110,6 +119,10 @@ pub struct Coordinator {
     index_cache: Option<GroupIndex>,
     /// Append-only merge history (the hierarchy record).
     merge_log: Vec<MergeRecord>,
+    /// Lifetime merge + split count (quality plane's churn input).
+    churn_events: u64,
+    /// EWMA of churn events per applied message (quality plane gauge).
+    churn_ewma: f64,
     /// Telemetry handle (no-op unless [`Coordinator::set_observer`] ran).
     obs: Obs,
     /// Trace scope of the message currently being applied, when tracing;
@@ -140,6 +153,8 @@ impl Coordinator {
             messages_applied: 0,
             index_cache: None,
             merge_log: Vec::new(),
+            churn_events: 0,
+            churn_ewma: 0.0,
             obs: Obs::noop(),
             trace_scope: None,
         })
@@ -204,6 +219,7 @@ impl Coordinator {
     pub fn apply(&mut self, message: &Message) -> Result<(), GmmError> {
         self.messages_applied += 1;
         self.obs.counter("coord.messages", 1);
+        let churn_before = self.churn_events;
         let result = match message {
             Message::NewModel { site, model, count, mixture, .. } => {
                 // Idempotent under retransmission: a duplicate NewModel for
@@ -293,6 +309,21 @@ impl Coordinator {
             }
         };
         self.obs.gauge("coord.groups", self.groups.len() as f64);
+        if self.config.quality {
+            // Churn per applied message, smoothed: a sustained rise means
+            // the hierarchy keeps reshuffling (streams drifting apart or
+            // max_groups set too tight).
+            const CHURN_ALPHA: f64 = 0.2;
+            let churn = (self.churn_events - churn_before) as f64;
+            self.churn_ewma += CHURN_ALPHA * (churn - self.churn_ewma);
+            self.obs.gauge("quality.churn_ewma", self.churn_ewma);
+            if let Ok(m) = self.global_mixture() {
+                let (w_min, w_max) = m.weight_extrema();
+                self.obs.gauge("quality.weight_entropy", m.weight_entropy());
+                self.obs.gauge("quality.weight_min", w_min);
+                self.obs.gauge("quality.weight_max", w_max);
+            }
+        }
         result
     }
 
@@ -406,6 +437,7 @@ impl Coordinator {
             if !to_split.is_empty() {
                 obs.counter("coord.splits", to_split.len() as u64);
                 obs.event(&Event::Split { group: g.id, members: to_split.len() as u64 });
+                self.churn_events += to_split.len() as u64;
                 split_off.extend(g.drain_matching(|m| to_split.contains(&m.key)));
             }
         }
@@ -443,6 +475,7 @@ impl Coordinator {
                 members_moved: absorbed.members.len(),
             });
             self.obs.counter("coord.merges", 1);
+            self.churn_events += 1;
             self.obs.event(&Event::Merge {
                 groups: (self.groups[i].id, absorbed.id),
                 mahalanobis: m,
@@ -828,5 +861,41 @@ mod tests {
         assert!(one > 0);
         c.apply(&new_model(1, 0, &[100.0], 100)).unwrap();
         assert!(c.memory_bytes() > one);
+    }
+
+    #[test]
+    fn quality_flag_gates_coordinator_gauges() {
+        use cludistream_obs::Registry;
+        use std::sync::Arc;
+
+        let run = |quality: bool| {
+            let registry = Arc::new(Registry::new());
+            let mut c = Coordinator::new(CoordinatorConfig {
+                max_groups: 2,
+                quality,
+                ..Default::default()
+            })
+            .unwrap();
+            c.set_observer(Obs::from_registry(Arc::clone(&registry)));
+            // Four far-apart models force consolidation merges (churn).
+            for site in 0..4 {
+                c.apply(&new_model(site, 0, &[site as f64 * 50.0], 100)).unwrap();
+            }
+            registry
+        };
+
+        let off = run(false);
+        assert_eq!(off.gauge_value("quality.weight_entropy"), None);
+        assert_eq!(off.gauge_value("quality.churn_ewma"), None);
+
+        let on = run(true);
+        let entropy = on.gauge_value("quality.weight_entropy").unwrap();
+        assert!(entropy >= 0.0, "entropy {entropy} must be non-negative");
+        let (min, max) = (
+            on.gauge_value("quality.weight_min").unwrap(),
+            on.gauge_value("quality.weight_max").unwrap(),
+        );
+        assert!(0.0 < min && min <= max && max <= 1.0, "extrema ({min}, {max})");
+        assert!(on.gauge_value("quality.churn_ewma").unwrap() > 0.0, "merges happened");
     }
 }

@@ -555,6 +555,7 @@ pub(crate) fn build_site_core(
         sender: reliable.then(|| ReliableSender::new(delivery.rto_us, delivery.rto_cap_us)),
         rto_us: delivery.rto_us,
         rto_cap_us: delivery.rto_cap_us,
+        synopsis_bytes: 0,
     })
 }
 

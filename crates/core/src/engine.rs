@@ -40,6 +40,10 @@ pub(crate) struct SiteCore {
     pub rto_us: u64,
     /// Backoff cap, microseconds.
     pub rto_cap_us: u64,
+    /// Cumulative synopsis payload bytes transmitted; feeds the
+    /// quality plane's `quality.synopsis_bytes_per_record` gauge and is
+    /// accumulated only when the site config opts into quality.
+    pub synopsis_bytes: u64,
 }
 
 impl SiteCore {
@@ -67,6 +71,19 @@ impl SiteCore {
         if is_synopsis {
             self.obs
                 .event(&Event::SynopsisSent { site: self.site_index, bytes: bytes.len() as u64 });
+            if self.window.site().config().quality.is_some() {
+                // Quality plane: communication cost amortized over the
+                // records consumed so far (gauge only — the journal
+                // event above is the golden-fixture surface).
+                self.synopsis_bytes += bytes.len() as u64;
+                let records = self.window.site().stats().records;
+                if records > 0 {
+                    self.obs.gauge(
+                        "quality.synopsis_bytes_per_record",
+                        self.synopsis_bytes as f64 / records as f64,
+                    );
+                }
+            }
         }
         send(bytes);
         self.record_send(tctx);

@@ -95,7 +95,7 @@ pub use error::CludiError;
 pub use multilayer::MultiLayerNetwork;
 pub use protocol::{Frame, Message, ReliableInbox, ReliableSender};
 pub use remote::{ChunkOutcome, ModelId, RemoteSite, SiteEvent, SiteStats};
-pub use serving::{ModelSnapshot, SnapshotGroup, SnapshotHandle, SnapshotMember};
+pub use serving::{score_snapshot, ModelSnapshot, SnapshotGroup, SnapshotHandle, SnapshotMember};
 pub use transport::{RunRecipe, SimnetTransport, Transport, TransportSemantics};
 pub use windows::{
     horizon_mixture, landmark_mixture, LandmarkWindow, SlidingWindowSite, Window, WindowSpec,

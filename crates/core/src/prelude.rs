@@ -34,14 +34,16 @@ pub use crate::driver::{
 pub use crate::error::CludiError;
 pub use crate::remote::RemoteSite;
 pub use crate::runtime::{
-    run_site, serve, CoordinatorRun, CoordinatorRunBuilder, SiteRun, SiteRunBuilder, SocketConfig,
-    TcpTransport,
+    run_site, serve, CoordinatorRun, CoordinatorRunBuilder, HealthAlert, SiteRun, SiteRunBuilder,
+    SocketConfig, TcpTransport,
 };
-pub use crate::serving::{ModelSnapshot, SnapshotGroup, SnapshotHandle, SnapshotMember};
+pub use crate::serving::{
+    score_snapshot, ModelSnapshot, SnapshotGroup, SnapshotHandle, SnapshotMember,
+};
 pub use crate::transport::{RunRecipe, SimnetTransport, Transport, TransportSemantics};
 pub use crate::windows::WindowSpec;
 pub use cludistream_gmm::{
     score, score_record, Batch, CovarianceType, Gaussian, Mixture, Scores,
 };
 pub use cludistream_linalg::Vector;
-pub use cludistream_obs::{Obs, Registry};
+pub use cludistream_obs::{AlertKind, AlertRule, AlertSet, Obs, QualityConfig, Registry};

@@ -7,7 +7,8 @@ use cludistream_gmm::{
 };
 use cludistream_linalg::Vector;
 use cludistream_obs::{
-    em_cost_us, Event, Obs, Recorder, SpanId, SpanRecord, TraceCtx, TraceId, Verdict,
+    em_cost_us, Event, EwmaDetector, Obs, PageHinkley, Recorder, SpanId, SpanRecord, TraceCtx,
+    TraceId, Verdict,
 };
 
 /// What a remote site emits toward the coordinator. Stability costs
@@ -120,6 +121,23 @@ pub struct RemoteSite {
     stats: SiteStats,
     obs: Obs,
     obs_site: u32,
+    quality: Option<QualityState>,
+}
+
+/// Streaming model-quality state, allocated only when
+/// [`Config::quality`] opts the site into the quality plane: the two
+/// drift detectors over the per-chunk average log-likelihood series and
+/// the re-cluster-rate EWMA.
+#[derive(Debug)]
+struct QualityState {
+    ph: PageHinkley,
+    ewma: EwmaDetector,
+    /// EWMA of the re-cluster indicator (1 when a tested chunk fell
+    /// through every fit test to EM, 0 otherwise).
+    recluster_ewma: f64,
+    /// Smoothing factor of `recluster_ewma` (`QualityConfig::
+    /// churn_alpha`).
+    alpha: f64,
 }
 
 impl RemoteSite {
@@ -127,6 +145,12 @@ impl RemoteSite {
     pub fn new(config: Config) -> Result<Self, GmmError> {
         config.validate()?;
         let chunk_size = config.chunk_size()?;
+        let quality = config.quality.map(|q| QualityState {
+            ph: q.page_hinkley(),
+            ewma: q.ewma(),
+            recluster_ewma: 0.0,
+            alpha: q.churn_alpha,
+        });
         Ok(RemoteSite {
             config,
             chunk_size,
@@ -140,6 +164,7 @@ impl RemoteSite {
             stats: SiteStats::default(),
             obs: Obs::noop(),
             obs_site: 0,
+            quality,
         })
     }
 
@@ -325,6 +350,39 @@ impl RemoteSite {
         self.outbox.len()
     }
 
+    /// Quality-plane emissions for one *tested* chunk (the first chunk
+    /// is never tested and never feeds the detectors): the likelihood
+    /// series gauges, the drift detectors — an alarm bumps the
+    /// `quality.*_drift` counters — the re-cluster-rate EWMA, and the
+    /// current model's weight-distribution stats. Counters and gauges
+    /// only, never journal events, so the opt-in plane cannot perturb
+    /// golden journal fixtures. `avg_ll` and `j` come from the test
+    /// that decided the chunk's fate (the current-model test, or the
+    /// winning multi-test); a dropping `avg_ll` is exactly what both
+    /// detectors watch for.
+    fn quality_after_test(&mut self, avg_ll: f64, j: f64, reclustered: bool) {
+        let Some(q) = &mut self.quality else { return };
+        if q.ph.update(avg_ll) {
+            self.obs.counter("quality.ph_drift", 1);
+        }
+        if q.ewma.update(avg_ll) {
+            self.obs.counter("quality.ewma_drift", 1);
+        }
+        let indicator = if reclustered { 1.0 } else { 0.0 };
+        q.recluster_ewma += q.alpha * (indicator - q.recluster_ewma);
+        self.obs.gauge("quality.avg_ll", avg_ll);
+        self.obs.gauge("quality.test_stat", j);
+        self.obs.gauge("quality.ph_stat", q.ph.stat());
+        self.obs.gauge("quality.ewma_stat", q.ewma.stat());
+        self.obs.gauge("quality.recluster_ewma", q.recluster_ewma);
+        if let Some(m) = self.current_mixture() {
+            let (w_min, w_max) = m.weight_extrema();
+            self.obs.gauge("quality.weight_entropy", m.weight_entropy());
+            self.obs.gauge("quality.weight_min", w_min);
+            self.obs.gauge("quality.weight_max", w_max);
+        }
+    }
+
     /// Algorithm 1 for one full chunk.
     fn process_chunk(&mut self, chunk: &[Vector]) -> Result<ChunkOutcome, GmmError> {
         // Clone the (Arc-backed) handle so the span's Drop does not hold a
@@ -369,6 +427,7 @@ impl RemoteSite {
                 threshold: tol,
                 verdict: Verdict::FitCurrent,
             });
+            self.quality_after_test(avg_n, j, false);
             return Ok(ChunkOutcome::FitCurrent { j_fit: j });
         }
 
@@ -410,6 +469,7 @@ impl RemoteSite {
             });
             let ctx = self.trace_child(root, "wire.update", 0);
             self.queue_event(SiteEvent::WeightUpdate { model, count_delta: m }, ctx);
+            self.quality_after_test(hit_avg, j, false);
             return Ok(ChunkOutcome::SwitchedTo { model, j_fit: j, tests });
         }
 
@@ -424,6 +484,10 @@ impl RemoteSite {
             verdict: Verdict::NewModel,
         });
         let model = self.cluster_chunk(chunk, this_chunk, root)?;
+        // After the re-cluster, so the weight gauges describe the model
+        // now serving as current; the detectors still see the *failed*
+        // test's likelihood — the drop is the signal.
+        self.quality_after_test(avg_n, j, true);
         Ok(ChunkOutcome::NewModel { model, tests })
     }
 
@@ -533,6 +597,63 @@ mod tests {
         let n = site.chunk_size() * chunks;
         let data: Vec<Vector> = (0..n).map(|_| mixture.sample(rng)).collect();
         site.push_batch(data).unwrap()
+    }
+
+    /// With `Config::quality` set, tested chunks leave the full gauge
+    /// family in the registry, a stable stream never trips a drift
+    /// counter, and a regime change far outside the model trips
+    /// Page-Hinkley (the likelihood collapse is unmistakable) while the
+    /// re-cluster EWMA rises off zero.
+    #[test]
+    fn quality_plane_emits_gauges_and_detects_drift() {
+        use cludistream_obs::{QualityConfig, Registry};
+        use std::sync::Arc;
+
+        let registry = Arc::new(Registry::new());
+        let config = Config { quality: Some(QualityConfig::default()), ..test_config() };
+        let mut site = RemoteSite::new(config).unwrap();
+        site.set_observer(Obs::from_registry(Arc::clone(&registry)), 0);
+        let (m, mut rng) = sampler(0.0, 5);
+        feed_chunks(&mut site, &m, &mut rng, 6);
+        assert_eq!(registry.counter_value("quality.ph_drift"), 0, "stable stream must not alarm");
+        assert_eq!(registry.counter_value("quality.ewma_drift"), 0);
+        for g in [
+            "quality.avg_ll",
+            "quality.test_stat",
+            "quality.ph_stat",
+            "quality.ewma_stat",
+            "quality.recluster_ewma",
+            "quality.weight_entropy",
+            "quality.weight_min",
+            "quality.weight_max",
+        ] {
+            assert!(registry.gauge_value(g).is_some(), "missing gauge {g}");
+        }
+
+        let (far, mut rng2) = sampler(60.0, 6);
+        feed_chunks(&mut site, &far, &mut rng2, 3);
+        assert!(
+            registry.counter_value("quality.ph_drift") >= 1,
+            "a 100-sigma likelihood collapse must alarm"
+        );
+        assert!(registry.gauge_value("quality.recluster_ewma").unwrap() > 0.0);
+    }
+
+    /// Without `Config::quality` the plane stays fully dark: not one
+    /// quality series appears in the registry.
+    #[test]
+    fn quality_plane_off_emits_nothing() {
+        use cludistream_obs::Registry;
+        use std::sync::Arc;
+
+        let registry = Arc::new(Registry::new());
+        let mut site = RemoteSite::new(test_config()).unwrap();
+        site.set_observer(Obs::from_registry(Arc::clone(&registry)), 0);
+        let (m, mut rng) = sampler(0.0, 9);
+        feed_chunks(&mut site, &m, &mut rng, 3);
+        assert_eq!(registry.counter_value("quality.ph_drift"), 0);
+        assert!(registry.gauge_value("quality.avg_ll").is_none());
+        assert!(registry.gauge_value("quality.recluster_ewma").is_none());
     }
 
     #[test]

@@ -51,6 +51,8 @@ const TAG_STATUS_REQUEST: u8 = 43;
 const TAG_STATUS_REPLY: u8 = 44;
 const TAG_SNAPSHOT_REQUEST: u8 = 45;
 const TAG_SNAPSHOT_REPLY: u8 = 46;
+const TAG_HEALTH_REQUEST: u8 = 47;
+const TAG_HEALTH_REPLY: u8 = 48;
 
 /// Why the coordinator refused a [`Control::Hello`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -112,8 +114,28 @@ fn cov_from_u8(v: u8) -> Result<CovarianceType, CludiError> {
     }
 }
 
+/// One alert rule's evaluated state, carried in [`Control::HealthReply`].
+///
+/// The wire twin of `cludistream_obs::AlertState`: the rule and metric
+/// names, whether the rule is currently firing, and the observed value
+/// against its threshold (both f64, transported as IEEE-754 bit
+/// patterns so the reply is byte-deterministic for a given registry).
+#[derive(Debug, Clone, PartialEq)]
+pub struct HealthAlert {
+    /// The rule's name (e.g. `round-stalled`).
+    pub name: String,
+    /// The metric the rule reads.
+    pub metric: String,
+    /// `true` while the rule's predicate holds.
+    pub firing: bool,
+    /// The value the rule observed (NaN when the series is absent).
+    pub value: f64,
+    /// The rule's threshold.
+    pub threshold: f64,
+}
+
 /// A socket-runtime control frame.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Control {
     /// Site → coordinator: rendezvous request.
     Hello {
@@ -222,6 +244,17 @@ pub enum Control {
         /// no snapshot is available.
         snapshot: Vec<u8>,
     },
+    /// Monitor → coordinator: evaluate the coordinator's alert rules
+    /// against the live fleet registry (any connection on the listener
+    /// may send this; no handshake required — the alerting analogue of
+    /// [`Control::StatusRequest`]).
+    HealthRequest,
+    /// Coordinator → monitor: every configured rule's evaluated state.
+    /// Empty when the coordinator runs without an alert set.
+    HealthReply {
+        /// One entry per configured rule, in rule order.
+        alerts: Vec<HealthAlert>,
+    },
 }
 
 impl Control {
@@ -290,6 +323,18 @@ impl Control {
             Control::SnapshotReply { snapshot } => {
                 buf.put_u8(TAG_SNAPSHOT_REPLY);
                 buf.put_var_bytes(snapshot);
+            }
+            Control::HealthRequest => buf.put_u8(TAG_HEALTH_REQUEST),
+            Control::HealthReply { alerts } => {
+                buf.put_u8(TAG_HEALTH_REPLY);
+                buf.put_u32_le(alerts.len() as u32);
+                for a in alerts {
+                    buf.put_var_bytes(a.name.as_bytes());
+                    buf.put_var_bytes(a.metric.as_bytes());
+                    buf.put_u8(u8::from(a.firing));
+                    buf.put_u64_le(a.value.to_bits());
+                    buf.put_u64_le(a.threshold.to_bits());
+                }
             }
         }
         buf
@@ -392,6 +437,34 @@ impl Control {
                     .ok_or(CludiError::Decode("truncated SnapshotReply"))?;
                 Ok(Control::SnapshotReply { snapshot })
             }
+            TAG_HEALTH_REQUEST => Ok(Control::HealthRequest),
+            TAG_HEALTH_REPLY => {
+                if reader.remaining() < 4 {
+                    return Err(CludiError::Decode("truncated HealthReply"));
+                }
+                let count = reader.get_u32_le() as usize;
+                let mut alerts = Vec::new();
+                for _ in 0..count {
+                    let name = reader
+                        .get_var_bytes()
+                        .ok_or(CludiError::Decode("truncated HealthReply name"))?;
+                    let name = String::from_utf8(name)
+                        .map_err(|_| CludiError::Decode("HealthReply name not UTF-8"))?;
+                    let metric = reader
+                        .get_var_bytes()
+                        .ok_or(CludiError::Decode("truncated HealthReply metric"))?;
+                    let metric = String::from_utf8(metric)
+                        .map_err(|_| CludiError::Decode("HealthReply metric not UTF-8"))?;
+                    if reader.remaining() < 17 {
+                        return Err(CludiError::Decode("truncated HealthReply alert"));
+                    }
+                    let firing = reader.get_u8() != 0;
+                    let value = f64::from_bits(reader.get_u64_le());
+                    let threshold = f64::from_bits(reader.get_u64_le());
+                    alerts.push(HealthAlert { name, metric, firing, value, threshold });
+                }
+                Ok(Control::HealthReply { alerts })
+            }
             _ => Err(CludiError::Decode("unknown control tag")),
         }
     }
@@ -444,6 +517,51 @@ mod tests {
         roundtrip(Control::SnapshotRequest);
         roundtrip(Control::SnapshotReply { snapshot: vec![0xCA, 0xFE, 0x00] });
         roundtrip(Control::SnapshotReply { snapshot: Vec::new() });
+        roundtrip(Control::HealthRequest);
+        roundtrip(Control::HealthReply { alerts: Vec::new() });
+        roundtrip(Control::HealthReply {
+            alerts: vec![
+                HealthAlert {
+                    name: "round-stalled".into(),
+                    metric: "coord.round_started".into(),
+                    firing: true,
+                    value: 0.0,
+                    threshold: 1.0,
+                },
+                HealthAlert {
+                    name: "heartbeat-p99".into(),
+                    metric: "hb.rtt_us".into(),
+                    firing: false,
+                    value: 812.5,
+                    threshold: 1_000_000.0,
+                },
+            ],
+        });
+    }
+
+    /// NaN marks an absent series in a `HealthAlert` value; it cannot go
+    /// through `roundtrip`'s `assert_eq!` (NaN != NaN), so check the bit
+    /// pattern survives explicitly.
+    #[test]
+    fn health_alert_nan_value_roundtrips_bitwise() {
+        let frame = Control::HealthReply {
+            alerts: vec![HealthAlert {
+                name: "snapshot-stale".into(),
+                metric: "serve.staleness_rounds".into(),
+                firing: true,
+                value: f64::NAN,
+                threshold: 4.0,
+            }],
+        };
+        let bytes = frame.encode();
+        let decoded = Control::decode(&mut bytes.reader()).expect("decode");
+        let Control::HealthReply { alerts } = decoded else {
+            panic!("wrong variant");
+        };
+        assert_eq!(alerts.len(), 1);
+        assert!(alerts[0].firing);
+        assert_eq!(alerts[0].value.to_bits(), f64::NAN.to_bits());
+        assert_eq!(alerts[0].threshold, 4.0);
     }
 
     #[test]
@@ -475,6 +593,15 @@ mod tests {
             Control::ClockEcho { site: 0, t0_us: 1, site_us: 2 },
             Control::StatusReply { text: b"x".to_vec() },
             Control::SnapshotReply { snapshot: b"y".to_vec() },
+            Control::HealthReply {
+                alerts: vec![HealthAlert {
+                    name: "r".into(),
+                    metric: "m".into(),
+                    firing: false,
+                    value: 1.0,
+                    threshold: 2.0,
+                }],
+            },
         ] {
             let bytes = frame.encode();
             let short = bytes.slice(..bytes.len() - 1);

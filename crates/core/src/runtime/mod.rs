@@ -23,7 +23,7 @@ pub mod control;
 pub(crate) mod liveness;
 pub mod tcp;
 
-pub use control::{Control, RejectCode, CONTROL_TAG_MIN, PROTOCOL_VERSION};
+pub use control::{Control, HealthAlert, RejectCode, CONTROL_TAG_MIN, PROTOCOL_VERSION};
 pub use tcp::{
     run_site, serve, CoordReport, CoordinatorRun, CoordinatorRunBuilder, SiteReport, SiteRun,
     SiteRunBuilder, SocketConfig, TcpTransport,

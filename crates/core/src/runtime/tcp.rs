@@ -17,8 +17,9 @@
 //! handshake, stream records, retransmit on real-time RTO, heartbeat,
 //! reconnect-and-resync on any socket failure.
 //!
-//! Fleet telemetry plane (opt-in): when [`CoordinatorRun::fleet`] is
-//! set and sites run with [`SiteRun::telemetry`], each site piggybacks
+//! Fleet telemetry plane (opt-in): when [`CoordinatorRunBuilder::fleet`]
+//! is set and sites run with [`SiteRunBuilder::telemetry`], each site
+//! piggybacks
 //! [`TelemetryDelta`] frames on its heartbeat cadence, the coordinator
 //! folds them into one [`FleetAggregator`], every `Ping` is answered
 //! with a `Pong` (feeding a per-site `hb.rtt_us` histogram), the
@@ -45,13 +46,13 @@ use crate::engine::CoordinatorEngine;
 use crate::error::CludiError;
 use crate::protocol::{Frame, ReliableInbox};
 use crate::remote::SiteStats;
-use crate::runtime::control::{Control, RejectCode, PROTOCOL_VERSION};
+use crate::runtime::control::{Control, HealthAlert, RejectCode, PROTOCOL_VERSION};
 use crate::serving::{ModelSnapshot, SnapshotHandle};
 use crate::runtime::liveness::RoundMachine;
 use crate::transport::{RunRecipe, Transport, TransportSemantics};
 use crate::windows::WindowSpec;
 use cludistream_gmm::{CovarianceType, Mixture};
-use cludistream_obs::{intern, net, Event, FleetAggregator, Obs, Recorder, TelemetryDelta};
+use cludistream_obs::{intern, net, AlertSet, Event, FleetAggregator, Obs, Recorder, TelemetryDelta};
 use cludistream_simnet::{CommStats, NodeId};
 use cludistream_wire::framing::{write_frame, FrameReader};
 use cludistream_wire::{ByteBuf, ByteReader};
@@ -73,6 +74,13 @@ pub struct SocketConfig {
     /// Hard wall-clock bound on [`serve`]; `None` waits indefinitely.
     /// Set it in CI so a wedged round fails instead of hanging.
     pub deadline: Option<Duration>,
+    /// How long [`serve`] keeps answering bare-connection control
+    /// frames (status, snapshot and health requests) after the round
+    /// finishes, before tearing down. `None` (the default) exits as
+    /// soon as every site is done — the pre-linger behaviour. Monitors
+    /// that need to observe the round's final health state set a
+    /// window here.
+    pub linger: Option<Duration>,
 }
 
 impl Default for SocketConfig {
@@ -83,6 +91,7 @@ impl Default for SocketConfig {
             connect_attempts: 50,
             connect_retry_ms: 100,
             deadline: None,
+            linger: None,
         }
     }
 }
@@ -90,44 +99,18 @@ impl Default for SocketConfig {
 /// Everything the socket coordinator needs to serve one round.
 ///
 /// Construct it with [`CoordinatorRun::builder`], which validates the
-/// configuration before [`serve`] ever binds a thread to it. The public
-/// fields remain for one release as a migration shim; building the
-/// struct literally is deprecated.
+/// configuration before [`serve`] ever binds a thread to it; the fields
+/// are private, so the builder's validation is the only way in.
 pub struct CoordinatorRun {
-    /// Number of sites that must rendezvous before the round starts.
-    #[deprecated(since = "0.1.0", note = "construct via CoordinatorRun::builder")]
-    pub sites: usize,
-    /// Coordinator (merge/split/refine) configuration.
-    #[deprecated(since = "0.1.0", note = "construct via CoordinatorRun::builder")]
-    pub coordinator: CoordinatorConfig,
-    /// Record dimension every site must agree on.
-    #[deprecated(since = "0.1.0", note = "construct via CoordinatorRun::builder")]
-    pub dim: u32,
-    /// Covariance kind every site must agree on.
-    #[deprecated(since = "0.1.0", note = "construct via CoordinatorRun::builder")]
-    pub cov: CovarianceType,
-    /// Telemetry observer.
-    #[deprecated(since = "0.1.0", note = "construct via CoordinatorRun::builder")]
-    pub obs: Obs,
-    /// Socket tuning (heartbeat/timeout policy lives here).
-    #[deprecated(since = "0.1.0", note = "construct via CoordinatorRun::builder")]
-    pub socket: SocketConfig,
-    /// Fleet telemetry aggregator. `Some` opts the coordinator into the
-    /// telemetry plane: a Cristian clock probe after every `Welcome`,
-    /// folding inbound [`TelemetryDelta`]s into the fleet registry, and
-    /// answering `StatusRequest` scrapes with Prometheus text. `None`
-    /// (the in-process [`TcpTransport`]) keeps the control plane
-    /// byte-identical to the pre-telemetry runtime.
-    #[deprecated(since = "0.1.0", note = "construct via CoordinatorRun::builder")]
-    pub fleet: Option<Arc<FleetAggregator>>,
-    /// Serving-layer publication point. `Some` makes the engine publish
-    /// a fresh [`ModelSnapshot`] into the handle after every applied
-    /// message, and `SnapshotRequest` control frames answer with the
-    /// latest published version; `None` still answers `SnapshotRequest`
-    /// (with an on-demand capture) but keeps the write path
-    /// byte-identical to the pre-serving runtime.
-    #[deprecated(since = "0.1.0", note = "construct via CoordinatorRun::builder")]
-    pub snapshots: Option<Arc<SnapshotHandle>>,
+    sites: usize,
+    coordinator: CoordinatorConfig,
+    dim: u32,
+    cov: CovarianceType,
+    obs: Obs,
+    socket: SocketConfig,
+    fleet: Option<Arc<FleetAggregator>>,
+    snapshots: Option<Arc<SnapshotHandle>>,
+    alerts: Option<AlertSet>,
 }
 
 impl CoordinatorRun {
@@ -142,6 +125,7 @@ impl CoordinatorRun {
             socket: SocketConfig::default(),
             fleet: None,
             snapshots: None,
+            alerts: None,
         }
     }
 }
@@ -158,6 +142,7 @@ pub struct CoordinatorRunBuilder {
     socket: SocketConfig,
     fleet: Option<Arc<FleetAggregator>>,
     snapshots: Option<Arc<SnapshotHandle>>,
+    alerts: Option<AlertSet>,
 }
 
 impl CoordinatorRunBuilder {
@@ -191,26 +176,52 @@ impl CoordinatorRunBuilder {
         self
     }
 
-    /// Opts into the fleet telemetry plane.
+    /// Opts into the fleet telemetry plane: a Cristian clock probe after
+    /// every `Welcome`, folding inbound [`TelemetryDelta`]s into the
+    /// fleet registry, and answering `StatusRequest` scrapes with
+    /// Prometheus text. Off by default (the in-process [`TcpTransport`])
+    /// so the control plane stays byte-identical to the pre-telemetry
+    /// runtime.
     pub fn fleet(mut self, fleet: Arc<FleetAggregator>) -> Self {
         self.fleet = Some(fleet);
         self
     }
 
-    /// Opts into serving-layer snapshot publication.
+    /// Opts into serving-layer snapshot publication: the engine publishes
+    /// a fresh [`ModelSnapshot`] into the handle after every applied
+    /// message, and `SnapshotRequest` control frames answer with the
+    /// latest published version. Without it, `SnapshotRequest` still
+    /// answers (an on-demand capture) but the write path stays
+    /// byte-identical to the pre-serving runtime.
     pub fn snapshots(mut self, handle: Arc<SnapshotHandle>) -> Self {
         self.snapshots = Some(handle);
         self
     }
 
+    /// Opts into coordinator-side alerting: the rule set is evaluated
+    /// against the fleet registry whenever a `HealthRequest` control
+    /// frame arrives, and each rule's state lands back in the registry
+    /// as an `alert.<name>` gauge. Requires [`CoordinatorRunBuilder::
+    /// fleet`] — rules read the fleet registry — which
+    /// [`CoordinatorRunBuilder::build`] enforces.
+    pub fn alerts(mut self, alerts: AlertSet) -> Self {
+        self.alerts = Some(alerts);
+        self
+    }
+
     /// Validates and produces the run.
-    #[allow(deprecated)] // the builder is the one sanctioned constructor
     pub fn build(self) -> Result<CoordinatorRun, CludiError> {
         if self.sites == 0 {
             return Err(CludiError::InvalidConfig { name: "sites", constraint: "sites >= 1" });
         }
         if self.dim == 0 {
             return Err(CludiError::InvalidConfig { name: "dim", constraint: "dim >= 1" });
+        }
+        if self.alerts.is_some() && self.fleet.is_none() {
+            return Err(CludiError::InvalidConfig {
+                name: "alerts",
+                constraint: "alert rules read the fleet registry; call .fleet(..) too",
+            });
         }
         validate_socket(&self.socket)?;
         Ok(CoordinatorRun {
@@ -222,6 +233,7 @@ impl CoordinatorRunBuilder {
             socket: self.socket,
             fleet: self.fleet,
             snapshots: self.snapshots,
+            alerts: self.alerts,
         })
     }
 }
@@ -335,8 +347,8 @@ fn send_control(stream: &TcpStream, obs: &Obs, frame: &Control) -> bool {
 /// The caller binds the listener (so it can publish the ephemeral port
 /// before any site connects) and this function consumes it.
 pub fn serve(listener: TcpListener, run: CoordinatorRun) -> Result<CoordReport, CludiError> {
-    #[allow(deprecated)] // field shim; migrates with CoordinatorRun::builder
-    let CoordinatorRun { sites, coordinator, dim, cov, obs, socket, fleet, snapshots } = run;
+    let CoordinatorRun { sites, coordinator, dim, cov, obs, socket, fleet, snapshots, alerts } =
+        run;
     if sites == 0 {
         return Err(CludiError::Build("need at least one site"));
     }
@@ -383,6 +395,7 @@ pub fn serve(listener: TcpListener, run: CoordinatorRun) -> Result<CoordReport, 
     let started_at = Instant::now();
     let mut conns: HashMap<u64, Conn> = HashMap::new();
     let mut site_conn: Vec<Option<u64>> = vec![None; sites];
+    let mut finished_at: Option<Instant> = None;
 
     let outcome = loop {
         if socket.deadline.is_some_and(|d| started_at.elapsed() > d) {
@@ -404,7 +417,7 @@ pub fn serve(listener: TcpListener, run: CoordinatorRun) -> Result<CoordReport, 
                 on_coord_frame(
                     &payload, conn, now_us, sites, dim, cov, &obs, &mut engine, &mut machine,
                     &mut comm, hub, &mut conns, &mut site_conn, &mut resyncs, socket,
-                    fleet.as_deref(),
+                    fleet.as_deref(), alerts.as_ref(),
                 );
             }
             Ok(NetEvent::Closed { conn }) => {
@@ -435,10 +448,19 @@ pub fn serve(listener: TcpListener, run: CoordinatorRun) -> Result<CoordReport, 
             }
         }
         if machine.finished() {
-            for c in conns.values() {
-                send_control(&c.writer, &obs, &Control::Stop);
+            // Broadcast Stop exactly once; with a linger window the loop
+            // then keeps answering bare-connection control frames
+            // (status/snapshot/health scrapes) so a monitor can observe
+            // the round's final state before teardown.
+            let finished = *finished_at.get_or_insert_with(|| {
+                for c in conns.values() {
+                    send_control(&c.writer, &obs, &Control::Stop);
+                }
+                Instant::now()
+            });
+            if finished.elapsed() >= socket.linger.unwrap_or(Duration::ZERO) {
+                break Ok(());
             }
-            break Ok(());
         }
     };
 
@@ -521,6 +543,7 @@ fn on_coord_frame(
     resyncs: &mut u64,
     socket: SocketConfig,
     fleet: Option<&FleetAggregator>,
+    alerts: Option<&AlertSet>,
 ) {
     if Control::is_control(payload) {
         let Ok(frame) = Control::decode(&mut ByteReader::new(payload)) else {
@@ -686,6 +709,55 @@ fn on_coord_frame(
                 obs.counter("serve.snapshot_pulls", 1);
                 send_control(&c.writer, obs, &Control::SnapshotReply { snapshot: bytes });
             }
+            Control::HealthRequest => {
+                // Monitors skip the handshake, like StatusRequest. The
+                // liveness gauges are refreshed before evaluation so the
+                // rules read exactly the state a status scrape would
+                // render; each rule's verdict is mirrored back into the
+                // registry as an `alert.<name>` gauge so the Prometheus
+                // exposition carries the same story as the reply. An
+                // empty reply means "no alert set configured".
+                let Some(c) = conns.get(&conn) else { return };
+                let mut out = Vec::new();
+                if let (Some(fleet), Some(alerts)) = (fleet, alerts) {
+                    for (s, &state) in machine.states().iter().enumerate() {
+                        fleet.registry().gauge(
+                            intern(&format!("site{s}.round_state")),
+                            f64::from(RoundMachine::state_code(state)),
+                        );
+                    }
+                    let started = if machine.started() { 1.0 } else { 0.0 };
+                    fleet.registry().gauge("coord.round_started", started);
+                    if let Some(snapshot) = engine.publish.as_ref().and_then(|h| h.load()) {
+                        // Snapshot staleness in applied-messages behind:
+                        // how far the read path lags the write path.
+                        let behind = engine
+                            .coordinator
+                            .messages_applied()
+                            .saturating_sub(snapshot.messages_applied);
+                        fleet.registry().gauge("serve.staleness_rounds", behind as f64);
+                    }
+                    let states = alerts.evaluate(fleet.registry());
+                    let firing = states.iter().filter(|a| a.firing).count();
+                    fleet.registry().gauge("alert.firing", firing as f64);
+                    for a in &states {
+                        let value = if a.firing { 1.0 } else { 0.0 };
+                        fleet.registry().gauge(intern(&format!("alert.{}", a.name)), value);
+                    }
+                    out = states
+                        .into_iter()
+                        .map(|a| HealthAlert {
+                            name: a.name,
+                            metric: a.metric,
+                            firing: a.firing,
+                            value: a.value,
+                            threshold: a.threshold,
+                        })
+                        .collect();
+                }
+                obs.counter("coord.health_requests", 1);
+                send_control(&c.writer, obs, &Control::HealthReply { alerts: out });
+            }
             Control::Done { site } if (site as usize) < sites => {
                 machine.heard(site as usize, now_us);
                 machine.done(site as usize);
@@ -714,41 +786,17 @@ fn on_coord_frame(
 /// Everything one socket site needs to run its half of a round.
 ///
 /// Construct it with [`SiteRun::builder`], which validates the
-/// configuration before [`run_site`] ever dials out. The public fields
-/// remain for one release as a migration shim; building the struct
-/// literally is deprecated.
+/// configuration before [`run_site`] ever dials out; the fields are
+/// private, so the builder's validation is the only way in.
 pub struct SiteRun {
-    /// This site's index in `0..sites`.
-    #[deprecated(since = "0.1.0", note = "construct via SiteRun::builder")]
-    pub site: usize,
-    /// Window semantics.
-    #[deprecated(since = "0.1.0", note = "construct via SiteRun::builder")]
-    pub window: WindowSpec,
-    /// Driver configuration (site config, rates, observer). The per-site
-    /// seed decorrelation is applied here exactly as the simulator does.
-    #[deprecated(since = "0.1.0", note = "construct via SiteRun::builder")]
-    pub config: DriverConfig,
-    /// Delivery tuning; the mode must be [`DeliveryMode::Reliable`].
-    #[deprecated(since = "0.1.0", note = "construct via SiteRun::builder")]
-    pub delivery: DeliveryConfig,
-    /// The record stream.
-    #[deprecated(since = "0.1.0", note = "construct via SiteRun::builder")]
-    pub stream: RecordStream,
-    /// Records to consume.
-    #[deprecated(since = "0.1.0", note = "construct via SiteRun::builder")]
-    pub updates: u64,
-    /// Socket tuning (connect retries; heartbeat/timeout are overridden
-    /// by the coordinator's `Welcome`).
-    #[deprecated(since = "0.1.0", note = "construct via SiteRun::builder")]
-    pub socket: SocketConfig,
-    /// Opt into the fleet telemetry plane: stamp the registry clock
-    /// from a local monotonic epoch, answer `ClockProbe`s, record
-    /// `hb.rtt_us` from `Pong` echoes, and flush [`TelemetryDelta`]s to
-    /// the coordinator on the heartbeat cadence. Leave `false` whenever
-    /// the site shares a registry with the coordinator (the in-process
-    /// [`TcpTransport`]), where deltas would double-count.
-    #[deprecated(since = "0.1.0", note = "construct via SiteRun::builder")]
-    pub telemetry: bool,
+    site: usize,
+    window: WindowSpec,
+    config: DriverConfig,
+    delivery: DeliveryConfig,
+    stream: RecordStream,
+    updates: u64,
+    socket: SocketConfig,
+    telemetry: bool,
 }
 
 impl SiteRun {
@@ -819,14 +867,18 @@ impl SiteRunBuilder {
         self
     }
 
-    /// Opts into the fleet telemetry plane.
+    /// Opts into the fleet telemetry plane: stamp the registry clock
+    /// from a local monotonic epoch, answer `ClockProbe`s, record
+    /// `hb.rtt_us` from `Pong` echoes, and flush [`TelemetryDelta`]s to
+    /// the coordinator on the heartbeat cadence. Leave `false` whenever
+    /// the site shares a registry with the coordinator (the in-process
+    /// [`TcpTransport`]), where deltas would double-count.
     pub fn telemetry(mut self, telemetry: bool) -> Self {
         self.telemetry = telemetry;
         self
     }
 
     /// Validates and produces the run.
-    #[allow(deprecated)] // the builder is the one sanctioned constructor
     pub fn build(self) -> Result<SiteRun, CludiError> {
         if self.delivery.mode != DeliveryMode::Reliable {
             return Err(CludiError::Build(
@@ -912,7 +964,6 @@ fn flush_telemetry(
 /// records, keep liveness, and reconnect-with-resync on any socket
 /// failure until the coordinator says `Stop`.
 pub fn run_site(addr: &str, run: SiteRun) -> Result<SiteReport, CludiError> {
-    #[allow(deprecated)] // field shim; migrates with SiteRun::builder
     let SiteRun { site, window, config, delivery, stream, updates, socket, telemetry } = run;
     if delivery.mode != DeliveryMode::Reliable {
         return Err(CludiError::Build(
@@ -1538,6 +1589,18 @@ mod tests {
                 .is_err(),
             "timeout must exceed the heartbeat"
         );
+        assert!(
+            CoordinatorRun::builder(1).alerts(AlertSet::default_rules()).build().is_err(),
+            "alert rules need the fleet registry to read"
+        );
+        assert!(
+            CoordinatorRun::builder(1)
+                .fleet(Arc::new(FleetAggregator::new()))
+                .alerts(AlertSet::default_rules())
+                .build()
+                .is_ok(),
+            "alerts with a fleet are valid"
+        );
         assert!(CoordinatorRun::builder(2).build().is_ok());
 
         let fire_and_forget = SiteRun::builder(0, Box::new(std::iter::empty()))
@@ -1621,6 +1684,110 @@ mod tests {
         let report = server.join().expect("serve thread").expect("serve succeeds");
         let checkpoint = report.snapshot.expect("end-of-round checkpoint");
         assert_eq!(checkpoint.version, version);
+    }
+
+    /// A bare connection — no handshake — drives the health endpoint
+    /// through a full incident: before any site joins, the default
+    /// `round-stalled` rule fires (and a counter rule on a quality
+    /// series stays quiet); once the site joins and ships a drift
+    /// counter, `round-stalled` clears and the counter rule fires; and
+    /// with a linger window the endpoint still answers after the round
+    /// finishes. Rule verdicts must also land in the registry as
+    /// `alert.*` gauges so status scrapes tell the same story.
+    #[test]
+    fn health_endpoint_reports_and_clears_alerts() {
+        use cludistream_obs::{AlertKind, AlertRule, FleetAggregator, TelemetryDelta};
+
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let fleet = Arc::new(FleetAggregator::new());
+        let mut alerts = AlertSet::default_rules();
+        alerts.push(AlertRule {
+            name: "ph-drift".into(),
+            metric: "quality.ph_drift".into(),
+            kind: AlertKind::CounterAbove { threshold: 0 },
+        });
+        let run = CoordinatorRun::builder(1)
+            .socket(SocketConfig {
+                deadline: Some(Duration::from_secs(30)),
+                linger: Some(Duration::from_secs(5)),
+                ..SocketConfig::default()
+            })
+            .fleet(Arc::clone(&fleet))
+            .alerts(alerts)
+            .build()
+            .expect("valid coordinator run");
+        let server = thread::spawn(move || serve(listener, run));
+
+        let health = || -> Vec<HealthAlert> {
+            let mut s = TcpStream::connect(addr).expect("health connect");
+            let mut rx = FrameRx::new();
+            send(&mut s, Control::HealthRequest.encode().as_slice());
+            let reply = rx.next_control(&mut s, |c| matches!(c, Control::HealthReply { .. }));
+            let Control::HealthReply { alerts } = reply else { unreachable!() };
+            alerts
+        };
+        let state = |alerts: &[HealthAlert], name: &str| -> bool {
+            alerts.iter().find(|a| a.name == name).expect("rule present").firing
+        };
+
+        // Phase 1: nobody joined — the round is stalled, the drift
+        // counter (absent, reads 0) is quiet.
+        let before = health();
+        assert!(state(&before, "round-stalled"), "no site joined: round-stalled must fire");
+        assert!(!state(&before, "ph-drift"), "no drift counted yet");
+        assert_eq!(fleet.registry().gauge_value("alert.round-stalled"), Some(1.0));
+        assert!(fleet.registry().gauge_value("alert.firing").is_some_and(|v| v >= 1.0));
+
+        // Phase 2: the site joins (starting the round) and ships one
+        // Page-Hinkley drift alarm as a telemetry delta.
+        let mut s = TcpStream::connect(addr).expect("site connect");
+        let mut rx = FrameRx::new();
+        send(&mut s, hello(0, false).encode().as_slice());
+        rx.next_control(&mut s, |c| matches!(c, Control::Welcome { .. }));
+        let delta = TelemetryDelta {
+            site: 0,
+            counters: vec![("quality.ph_drift", 1)],
+            ..TelemetryDelta::default()
+        };
+        send(
+            &mut s,
+            Control::Telemetry { site: 0, payload: delta.encode().into_vec() }
+                .encode()
+                .as_slice(),
+        );
+
+        // The delta and the health request travel on different
+        // connections, so ordering is not guaranteed: poll until both
+        // transitions are visible.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        let after = loop {
+            let now = health();
+            if (!state(&now, "round-stalled") && state(&now, "ph-drift"))
+                || Instant::now() > deadline
+            {
+                break now;
+            }
+            thread::sleep(Duration::from_millis(20));
+        };
+        assert!(!state(&after, "round-stalled"), "round started: rule must clear");
+        assert!(state(&after, "ph-drift"), "drift counter 1 > 0 must fire");
+        let drift = after.iter().find(|a| a.name == "ph-drift").expect("rule present");
+        assert_eq!(drift.metric, "quality.ph_drift");
+        assert_eq!(drift.value, 1.0);
+        assert_eq!(fleet.registry().gauge_value("alert.round-stalled"), Some(0.0));
+
+        // Phase 3: finish the round; within the linger window the
+        // endpoint keeps answering so a monitor can watch recovery.
+        send(&mut s, Control::Done { site: 0 }.encode().as_slice());
+        let lingering = health();
+        assert!(
+            lingering.iter().any(|a| a.name == "round-stalled"),
+            "health still answers during the linger window"
+        );
+
+        let report = server.join().expect("serve thread").expect("serve succeeds");
+        assert!(report.evicted.is_empty());
     }
 
     /// Like [`next_frame`] but keeps *every* frame a poll returns —

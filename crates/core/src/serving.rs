@@ -283,6 +283,28 @@ impl std::fmt::Debug for SnapshotHandle {
     }
 }
 
+/// Scores a batch against a snapshot's mixture, recording the wall-clock
+/// latency of the score path as a `serve.score_us` observation and the
+/// records scored as the `serve.scored_records` counter.
+///
+/// This is [`cludistream_gmm::score`] plus the quality plane's
+/// instrumentation: call [`cludistream_obs::Registry::track_quantiles`]
+/// with `"serve.score_us"` on the registry behind `obs` to get p50/p99
+/// latency quantiles out of the recorded observations.
+pub fn score_snapshot(
+    snapshot: &ModelSnapshot,
+    batch: &cludistream_gmm::Batch,
+    threads: usize,
+    obs: &cludistream_obs::Obs,
+) -> Result<cludistream_gmm::Scores, cludistream_gmm::GmmError> {
+    use cludistream_obs::Recorder;
+    let start = std::time::Instant::now();
+    let scores = cludistream_gmm::score(&snapshot.mixture, batch, threads)?;
+    obs.observe("serve.score_us", start.elapsed().as_micros() as u64);
+    obs.counter("serve.scored_records", batch.len() as u64);
+    Ok(scores)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -379,6 +401,28 @@ mod tests {
             ModelSnapshot::decode(&mut bad.reader()),
             Err(CludiError::Decode("unsupported snapshot format version"))
         ));
+    }
+
+    #[test]
+    fn score_snapshot_records_latency_and_volume() {
+        use cludistream_gmm::Batch;
+        use cludistream_obs::{Obs, Registry};
+        use std::sync::Arc;
+
+        let c = seeded_coordinator();
+        let snap = ModelSnapshot::capture(&c).unwrap();
+        let registry = Arc::new(Registry::new());
+        registry.track_quantiles("serve.score_us");
+        let obs = Obs::from_registry(Arc::clone(&registry));
+        let batch = Batch::from_records(&[
+            Vector::from_slice(&[0.1, -0.2]),
+            Vector::from_slice(&[19.5, 5.2]),
+        ]);
+        let scores = score_snapshot(&snap, &batch, 0, &obs).unwrap();
+        assert_eq!(scores.len(), 2);
+        assert_eq!(registry.counter_value("serve.scored_records"), 2);
+        // One observation recorded; any quantile of it is that value.
+        assert!(registry.exact_quantile("serve.score_us", 0.5).is_some());
     }
 
     #[test]

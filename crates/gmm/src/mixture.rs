@@ -91,6 +91,36 @@ impl Mixture {
         &self.log_weights
     }
 
+    /// Shannon entropy of the weight simplex, in nats: `−Σ_j w_j ln w_j`
+    /// (zero-weight components contribute nothing). A quality-plane
+    /// gauge: entropy near `ln k` means balanced components, entropy
+    /// collapsing toward 0 means one component is absorbing the stream.
+    pub fn weight_entropy(&self) -> f64 {
+        self.weights
+            .iter()
+            .zip(&self.log_weights)
+            .filter(|(w, _)| **w > 0.0)
+            .map(|(w, lw)| -w * lw)
+            .sum()
+    }
+
+    /// `(min, max)` component weight — the quality plane's collapse and
+    /// dominance gauges. `(0, 0)` is impossible for a valid mixture, and
+    /// `k == 1` yields `(1, 1)`.
+    pub fn weight_extrema(&self) -> (f64, f64) {
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        for &w in &self.weights {
+            if w < min {
+                min = w;
+            }
+            if w > max {
+                max = w;
+            }
+        }
+        (min, max)
+    }
+
     /// Log density `ln p(x) = ln Σ_j w_j p(x|j)` via log-sum-exp.
     pub fn log_pdf(&self, x: &Vector) -> f64 {
         let terms: Vec<f64> = self
@@ -427,5 +457,27 @@ mod tests {
         let m = Mixture::single(Gaussian::spherical(Vector::zeros(1), 1.0).unwrap());
         assert_eq!(m.k(), 1);
         assert_eq!(m.weights(), &[1.0]);
+    }
+
+    #[test]
+    fn weight_entropy_and_extrema() {
+        let m = two_blobs();
+        let expect = -(0.25f64 * 0.25f64.ln() + 0.75 * 0.75f64.ln());
+        assert!((m.weight_entropy() - expect).abs() < 1e-12);
+        assert_eq!(m.weight_extrema(), (0.25, 0.75));
+
+        // A single component: zero entropy, degenerate extrema.
+        let single = Mixture::single(Gaussian::spherical(Vector::zeros(1), 1.0).unwrap());
+        assert_eq!(single.weight_entropy(), 0.0);
+        assert_eq!(single.weight_extrema(), (1.0, 1.0));
+
+        // Uniform weights maximize entropy at ln k.
+        let uniform = Mixture::uniform(vec![
+            Gaussian::spherical(Vector::zeros(1), 1.0).unwrap(),
+            Gaussian::spherical(Vector::from_slice(&[4.0]), 1.0).unwrap(),
+            Gaussian::spherical(Vector::from_slice(&[8.0]), 1.0).unwrap(),
+        ])
+        .unwrap();
+        assert!((uniform.weight_entropy() - 3.0f64.ln()).abs() < 1e-12);
     }
 }

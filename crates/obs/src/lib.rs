@@ -74,6 +74,7 @@ mod histogram;
 mod journal;
 pub mod net;
 mod perfetto;
+mod quality;
 mod quantile;
 mod recorder;
 mod registry;
@@ -85,6 +86,9 @@ pub use fleet::{prometheus_text, FleetAggregator};
 pub use histogram::{Histogram, HistogramSnapshot, BUCKETS};
 pub use journal::{json_escape, json_f64, DropReason, Event, Verdict};
 pub use perfetto::perfetto_json;
+pub use quality::{
+    AlertKind, AlertRule, AlertSet, AlertState, EwmaDetector, PageHinkley, QualityConfig,
+};
 pub use quantile::{QuantileSketch, DEFAULT_EPSILON};
 pub use recorder::{NopRecorder, Obs, Recorder, Span};
 pub use registry::Registry;

@@ -55,3 +55,67 @@ cludistream_hb_rtt_us_sum 600
 ";
     assert_eq!(prometheus_text(&r), golden);
 }
+
+/// The quality/health plane's series — per-site quality gauges folded
+/// from telemetry deltas, fleet-summed drift counters, the
+/// coordinator's `alert.<rule>` rule-state gauges, and the tracked
+/// `serve.score_us` latency summary — must render byte-exactly:
+/// kebab-case rule names mangle to underscores, negative log
+/// likelihoods keep their sign, and family ordering stays sorted.
+#[test]
+fn quality_and_health_series_match_golden_document() {
+    let r = Registry::new();
+    r.counter("quality.ph_drift", 1);
+    r.counter(intern("site0.quality.ph_drift"), 1);
+    r.counter("quality.ewma_drift", 2);
+    r.counter(intern("site0.quality.ewma_drift"), 2);
+    r.gauge("alert.firing", 1.0);
+    r.gauge(intern("alert.round-stalled"), 0.0);
+    r.gauge(intern("alert.snapshot-stale"), 1.0);
+    r.gauge("coord.round_started", 1.0);
+    r.gauge("serve.staleness_rounds", 9.0);
+    r.gauge(intern("site0.quality.avg_ll"), -1.25);
+    r.gauge(intern("site0.quality.ph_stat"), 0.75);
+    r.gauge(intern("site0.quality.recluster_ewma"), 0.2);
+    r.gauge(intern("site0.quality.weight_min"), 0.125);
+    r.track_quantiles("serve.score_us");
+    for v in [40, 80, 120] {
+        r.observe("serve.score_us", v);
+    }
+
+    let golden = "\
+# TYPE cludistream_up gauge
+cludistream_up 1
+# TYPE cludistream_quality_ewma_drift_total counter
+cludistream_quality_ewma_drift_total 2
+cludistream_quality_ewma_drift_total{site=\"0\"} 2
+# TYPE cludistream_quality_ph_drift_total counter
+cludistream_quality_ph_drift_total 1
+cludistream_quality_ph_drift_total{site=\"0\"} 1
+# TYPE cludistream_alert_firing gauge
+cludistream_alert_firing 1
+# TYPE cludistream_alert_round_stalled gauge
+cludistream_alert_round_stalled 0
+# TYPE cludistream_alert_snapshot_stale gauge
+cludistream_alert_snapshot_stale 1
+# TYPE cludistream_coord_round_started gauge
+cludistream_coord_round_started 1
+# TYPE cludistream_quality_avg_ll gauge
+cludistream_quality_avg_ll{site=\"0\"} -1.25
+# TYPE cludistream_quality_ph_stat gauge
+cludistream_quality_ph_stat{site=\"0\"} 0.75
+# TYPE cludistream_quality_recluster_ewma gauge
+cludistream_quality_recluster_ewma{site=\"0\"} 0.2
+# TYPE cludistream_quality_weight_min gauge
+cludistream_quality_weight_min{site=\"0\"} 0.125
+# TYPE cludistream_serve_staleness_rounds gauge
+cludistream_serve_staleness_rounds 9
+# TYPE cludistream_serve_score_us summary
+cludistream_serve_score_us{quantile=\"0.5\"} 80
+cludistream_serve_score_us{quantile=\"0.9\"} 120
+cludistream_serve_score_us{quantile=\"0.99\"} 120
+cludistream_serve_score_us_count 3
+cludistream_serve_score_us_sum 240
+";
+    assert_eq!(prometheus_text(&r), golden);
+}

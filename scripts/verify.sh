@@ -118,6 +118,64 @@ grep -q '^records: 64$' "$smokedir/score.out"
 [ "$(grep -cE '^  [0-9]+: component [0-9]+ \(log p ' "$smokedir/score.out")" -eq 64 ]
 grep -q '^avg log likelihood: ' "$smokedir/score.out"
 
+# Health smoke test: the quality plane's alerting endpoint end to end.
+# Phase A — a coordinator with --alerts and no sites: the round-stalled
+# rule must fire and `health` must exit non-zero (the probe contract).
+# Phase B — a --quality site joins and finishes the round: health must
+# recover to exit 0, and the status exposition must carry the
+# quality-plane series and the mirrored alert verdicts.
+./target/release/cludistream coordinator --sites 1 --deadline-s 120 \
+    --alerts --quality --linger-ms 20000 --port-file "$smokedir/hport.txt" \
+    > "$smokedir/hcoord.out" &
+hcoord_pid=$!
+for _ in $(seq 1 150); do
+    [ -s "$smokedir/hport.txt" ] && break
+    kill -0 "$hcoord_pid" 2>/dev/null || { echo "health coordinator died early" >&2; exit 1; }
+    sleep 0.1
+done
+haddr="$(cat "$smokedir/hport.txt")"
+if ./target/release/cludistream health --connect "$haddr" > "$smokedir/health_a.out"; then
+    echo "health must exit non-zero while round-stalled fires:" >&2
+    cat "$smokedir/health_a.out" >&2
+    exit 1
+fi
+grep -q '^FIRING round-stalled' "$smokedir/health_a.out"
+./target/release/cludistream site --connect "$haddr" --site 0 --quality >/dev/null &
+hsite_pid=$!
+healthy=0
+for _ in $(seq 1 300); do
+    if ./target/release/cludistream health --connect "$haddr" \
+            > "$smokedir/health_b.out" 2>/dev/null; then
+        healthy=1
+        break
+    fi
+    sleep 0.1
+done
+if [ "$healthy" -ne 1 ]; then
+    echo "health never recovered to exit 0:" >&2
+    cat "$smokedir/health_b.out" >&2 || true
+    exit 1
+fi
+grep -q 'round-stalled' "$smokedir/health_b.out"
+grep -q 'alerts firing' "$smokedir/health_b.out"
+hscraped=0
+for _ in $(seq 1 300); do
+    if ./target/release/cludistream status --connect "$haddr" \
+            > "$smokedir/hstatus.txt" 2>/dev/null \
+        && grep -q 'cludistream_quality_avg_ll{site="0"}' "$smokedir/hstatus.txt" \
+        && grep -q '^cludistream_alert_round_stalled 0$' "$smokedir/hstatus.txt"; then
+        hscraped=1
+        break
+    fi
+    sleep 0.1
+done
+if [ "$hscraped" -ne 1 ]; then
+    echo "status never showed the quality-plane series + alert gauges:" >&2
+    cat "$smokedir/hstatus.txt" >&2 || true
+    exit 1
+fi
+wait "$hsite_pid" "$hcoord_pid"
+
 # Perf-regression smoke test: the parallel E-step must produce a
 # bit-identical fit with threads=all vs threads=1, and parallelism must
 # never cost more than 10% wall-clock. (On a single-core host both sides
