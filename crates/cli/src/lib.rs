@@ -22,6 +22,11 @@
 //! - `coordinator` / `site` — the process-per-site socket runtime: the
 //!   `metrics` workload over real loopback TCP, one process per role.
 //!   See `docs/OPERATIONS.md` for the operator's manual.
+//! - `aggregator` — the intermediate fan-in tier for large fleets: serves
+//!   a contiguous range of sites (or child aggregators) exactly like the
+//!   coordinator, pre-merges their synopses, and forwards one reduced
+//!   update per flush interval to its parent, so the root's ingress is
+//!   O(aggregators) instead of O(sites).
 //! - `status` — scrape a running coordinator's fleet registry over the
 //!   same TCP listener and print it in Prometheus text exposition;
 //!   `--watch SECS` re-scrapes on an interval.
@@ -40,7 +45,8 @@
 
 use cludistream::coordinator::MergeRefiner;
 use cludistream::runtime::{
-    run_site, serve, Control, CoordinatorRun, HealthAlert, SiteRun, SocketConfig,
+    run_aggregator, run_site, serve, AggregatorRun, Control, CoordinatorRun, HealthAlert, SiteRun,
+    SocketConfig,
 };
 use cludistream::score_snapshot;
 use cludistream::{
@@ -254,6 +260,40 @@ pub enum Command {
         /// over the held-out average log-likelihood.
         quality: bool,
     },
+    /// Run an intermediate fan-in aggregator between a contiguous range
+    /// of sites (or child aggregators) and a parent coordinator (or
+    /// aggregator): downward it speaks the coordinator's protocol,
+    /// upward it plays one site forwarding pre-merged reduced updates.
+    Aggregator {
+        /// Parent address to connect to (`HOST:PORT`).
+        connect: String,
+        /// Address to listen on for children (`HOST:PORT`; port 0 picks
+        /// one).
+        listen: String,
+        /// The site index this node presents to its parent.
+        site: usize,
+        /// First global site index of the child range.
+        child_base: usize,
+        /// Children that must rendezvous before the subtree starts.
+        children: usize,
+        /// Suppression threshold: an upward flush is skipped while the
+        /// reduced summary moved less than this (0 = forward every
+        /// change). Distinct from the sites' chunk ε.
+        epsilon: f64,
+        /// Minimum milliseconds between upward flushes.
+        flush_ms: u64,
+        /// Heartbeat interval pushed to the children, milliseconds.
+        heartbeat_ms: u64,
+        /// Silence after which a child is evicted, milliseconds.
+        timeout_ms: u64,
+        /// Abort the round after this many seconds (0 = never).
+        deadline_s: u64,
+        /// Write the bound address (`HOST:PORT`) here once listening, so
+        /// scripts can discover an ephemeral port.
+        port_file: Option<String>,
+        /// Write the JSONL event journal here.
+        journal: Option<String>,
+    },
     /// Score a CSV file against a published model snapshot: batched
     /// Definition-1 assignment (hard label, responsibilities,
     /// log-likelihood) using the SoA density kernels.
@@ -368,6 +408,10 @@ USAGE:
   cludistream site     --connect HOST:PORT [--site I] [--chunks C] [--seed S]
                        [--epsilon E] [--threads T] [--journal OUT.jsonl] [--trace]
                        [--quality]
+  cludistream aggregator --connect HOST:PORT [--listen HOST:PORT] [--site I]
+                       [--child-base B] [--children N] [--epsilon E] [--flush-ms F]
+                       [--heartbeat-ms H] [--timeout-ms T] [--deadline-s D]
+                       [--port-file PATH] [--journal OUT.jsonl]
   cludistream status   --connect HOST:PORT [--watch SECS]
   cludistream health   --connect HOST:PORT
   cludistream help
@@ -380,6 +424,9 @@ Defaults: k=5, epsilon=0.02, delta=0.01, c-max=4, seed=0, threads=1,
           coordinator: listen=127.0.0.1:0, sites=2, heartbeat-ms=500,
                        timeout-ms=5000, deadline-s=0 (none), linger-ms=0,
           site: site=0, metrics workload defaults,
+          aggregator: listen=127.0.0.1:0, site=0, child-base=0, children=2,
+                      epsilon=0 (forward every change), flush-ms=50,
+                      heartbeat-ms=500, timeout-ms=5000, deadline-s=0 (none),
           status: watch=0 (scrape once).
 
 `coordinator` and `site` run the metrics workload distributed for real:
@@ -388,6 +435,17 @@ frames over TCP (the same synopsis bytes the simulator accounts). The
 coordinator waits for all R sites, broadcasts start, evicts sites silent
 past --timeout-ms, and a site that reconnects resyncs via go-back-N.
 See docs/OPERATIONS.md for the full operator's manual.
+
+`aggregator` inserts a fan-in tier between the sites and the root: point
+sites `B..B+N` at its listener (`--child-base B --children N`) and point
+the aggregator's `--connect` at the root coordinator (or another
+aggregator, for 3-level trees), started with `--sites` equal to the
+number of *direct* children it serves. Downward it is indistinguishable
+from a coordinator (rendezvous, heartbeats, eviction, go-back-N resync);
+upward it forwards one pre-merged reduced update per `--flush-ms`
+interval as site `--site I`, so the root's ingress and event table scale
+with the number of aggregators, not sites. `status --connect` works
+against an aggregator's listener too and reports its subtree.
 
 Sites piggyback metric/span deltas on their heartbeats; the coordinator
 folds them into a fleet registry that `status --connect` scrapes over the
@@ -622,6 +680,22 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             journal: flag("--journal").map(|s| s.to_string()),
             trace: has("--trace"),
             quality: has("--quality"),
+        }),
+        "aggregator" => Ok(Command::Aggregator {
+            connect: flag("--connect")
+                .ok_or_else(|| CliError::Usage("aggregator requires --connect HOST:PORT".into()))?
+                .to_string(),
+            listen: flag("--listen").unwrap_or("127.0.0.1:0").to_string(),
+            site: parse_int("--site", 0)?,
+            child_base: parse_int("--child-base", 0)?,
+            children: parse_int("--children", 2)?.max(1),
+            epsilon: parse_num("--epsilon", 0.0)?,
+            flush_ms: parse_int("--flush-ms", 50)?.max(1) as u64,
+            heartbeat_ms: parse_int("--heartbeat-ms", 500)?.max(1) as u64,
+            timeout_ms: parse_int("--timeout-ms", 5_000)?.max(1) as u64,
+            deadline_s: parse_int("--deadline-s", 0)? as u64,
+            port_file: flag("--port-file").map(|s| s.to_string()),
+            journal: flag("--journal").map(|s| s.to_string()),
         }),
         "health" => Ok(Command::Health {
             connect: flag("--connect")
@@ -1362,6 +1436,115 @@ pub fn run(command: Command, out: &mut impl Write) -> Result<(), CliError> {
             }
             Ok(())
         }
+        Command::Aggregator {
+            connect,
+            listen,
+            site,
+            child_base,
+            children,
+            epsilon,
+            flush_ms,
+            heartbeat_ms,
+            timeout_ms,
+            deadline_s,
+            port_file,
+            journal,
+        } => {
+            let registry = match &journal {
+                Some(path) => {
+                    let file = std::fs::File::create(path)?;
+                    Arc::new(Registry::with_journal(Box::new(std::io::BufWriter::new(file))))
+                }
+                None => Arc::new(Registry::new()),
+            };
+            registry.track_quantiles("hb.rtt_us");
+            // Like a CLI site, an aggregator always reports telemetry
+            // upward, so the root's fleet registry shows the subtree
+            // under this node's `site<I>.` prefix.
+            registry.enable_telemetry();
+            let obs = Obs::from_registry(Arc::clone(&registry));
+            // The subtree's own fleet registry: `status --connect` against
+            // this listener scrapes the children this node serves.
+            let fleet = Arc::new(FleetAggregator::new());
+            let listener = std::net::TcpListener::bind(&listen)
+                .map_err(|e| CliError::Usage(format!("aggregator: bind {listen}: {e}")))?;
+            let addr = listener
+                .local_addr()
+                .map_err(|e| CliError::Usage(format!("aggregator: {e}")))?;
+            writeln!(
+                out,
+                "aggregator {site} listening on {addr} for sites {child_base}..{}",
+                child_base + children
+            )?;
+            out.flush()?;
+            if let Some(path) = &port_file {
+                let tmp = format!("{path}.tmp");
+                std::fs::write(&tmp, addr.to_string())?;
+                std::fs::rename(&tmp, path)?;
+            }
+            let run = AggregatorRun::builder(site as u32, child_base as u32, children)
+                // The shard runs the metrics-workload coordinator
+                // configuration with the bounded merge log: the fan-in
+                // boundary is where history is retained, so the cap is
+                // what keeps a deep tree's memory O(models) per node.
+                .coordinator(CoordinatorConfig {
+                    max_groups: 2,
+                    refine_merges: true,
+                    refiner: MergeRefiner { samples: 32, max_evals: 100, seed: 9 },
+                    merge_log_cap: Some(64),
+                    ..Default::default()
+                })
+                .dim(1)
+                .epsilon(epsilon)
+                .flush_interval_us(flush_ms.saturating_mul(1_000))
+                .obs(obs)
+                .telemetry(true)
+                .fleet(Arc::clone(&fleet))
+                .socket(SocketConfig {
+                    heartbeat_us: heartbeat_ms.saturating_mul(1_000),
+                    timeout_us: timeout_ms.saturating_mul(1_000),
+                    deadline: (deadline_s > 0)
+                        .then(|| std::time::Duration::from_secs(deadline_s)),
+                    ..Default::default()
+                })
+                .build()
+                .map_err(|e| CliError::Usage(format!("aggregator: {e}")))?;
+            let report = run_aggregator(&connect, listener, run)
+                .map_err(|e| CliError::Usage(format!("aggregator: {e}")))?;
+            registry.flush_journal()?;
+
+            writeln!(out, "aggregator groups: {}", report.groups)?;
+            writeln!(
+                out,
+                "child messages folded: {} | event-table rows held here: {}",
+                report.messages_applied, report.event_table_entries
+            )?;
+            writeln!(
+                out,
+                "flushes up: {} ({} suppressed) | up: {} msgs {} bytes | retransmitted: {} msgs {} bytes",
+                report.flushes,
+                report.flushes_suppressed,
+                report.sent_messages,
+                report.sent_bytes,
+                report.retransmitted_messages,
+                report.retransmitted_bytes
+            )?;
+            writeln!(
+                out,
+                "down: acks {} msgs {} bytes | dup/stale discarded: {} | decode errors: {}",
+                report.ack_messages, report.ack_bytes, report.duplicates_discarded,
+                report.decode_errors
+            )?;
+            writeln!(
+                out,
+                "resyncs: up {} down {} | evicted sites: {:?}",
+                report.resyncs_up, report.resyncs_down, report.evicted
+            )?;
+            if let Some(path) = journal {
+                writeln!(out, "journal written to {path}")?;
+            }
+            Ok(())
+        }
         Command::Score { data: opts, model, connect, threads, responsibilities } => {
             let bytes = match (&model, &connect) {
                 (Some(path), _) => std::fs::read(path)?,
@@ -1833,6 +2016,46 @@ mod tests {
             Command::Site { quality, .. } => assert!(!quality, "the quality plane is opt-in"),
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn parses_aggregator_command() {
+        let c = parse_args(&args("aggregator --connect 127.0.0.1:9000")).unwrap();
+        assert_eq!(
+            c,
+            Command::Aggregator {
+                connect: "127.0.0.1:9000".into(),
+                listen: "127.0.0.1:0".into(),
+                site: 0,
+                child_base: 0,
+                children: 2,
+                epsilon: 0.0,
+                flush_ms: 50,
+                heartbeat_ms: 500,
+                timeout_ms: 5000,
+                deadline_s: 0,
+                port_file: None,
+                journal: None,
+            }
+        );
+        match parse_args(&args(
+            "aggregator --connect h:1 --listen h:2 --site 8 --child-base 4 --children 4 \
+             --epsilon 0.05 --flush-ms 20 --port-file p.txt --journal j.jsonl",
+        ))
+        .unwrap()
+        {
+            Command::Aggregator {
+                site, child_base, children, epsilon, flush_ms, port_file, journal, ..
+            } => {
+                assert_eq!((site, child_base, children), (8, 4, 4));
+                assert_eq!(epsilon, 0.05);
+                assert_eq!(flush_ms, 20);
+                assert_eq!(port_file.as_deref(), Some("p.txt"));
+                assert_eq!(journal.as_deref(), Some("j.jsonl"));
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(parse_args(&args("aggregator")).is_err(), "--connect is required");
     }
 
     #[test]

@@ -50,6 +50,16 @@ pub struct Config {
     /// Clustering results — and therefore every simulation artifact — are
     /// bit-identical for every value; only wall-clock time changes.
     pub em_threads: usize,
+    /// Bounded event-table retention, in chunks. When set, closed regime
+    /// spans that ended more than this many chunks before the newest
+    /// chunk are compacted out of the event table (and therefore out of
+    /// snapshots/checkpoints). Size it to at least the longest horizon
+    /// window queried and the go-back-N resync depth; spans inside the
+    /// retention — including any straddling the watermark — are kept
+    /// verbatim, so queries and crash resync over the retained range are
+    /// unchanged. `None` (default) reproduces the paper's unbounded
+    /// table.
+    pub event_retention_chunks: Option<u64>,
     /// Opt-in model-quality plane (`None`, the default, disables it).
     /// When set, the site emits per-chunk quality gauges (held-out avg
     /// log likelihood, test statistic, weight entropy/extrema,
@@ -76,6 +86,7 @@ impl Default for Config {
             warm_start: false,
             max_models: None,
             em_threads: 1,
+            event_retention_chunks: None,
             quality: None,
         }
     }

@@ -99,6 +99,21 @@ pub fn accuracy_loss(
     total / points.len().max(1) as f64
 }
 
+/// Reusable scratch buffers for [`MergeRefiner::refine_with`]. The refiner
+/// used to allocate a fresh Monte-Carlo point set and parameter vector per
+/// merge; hoisting them here lets the coordinator reuse one allocation
+/// across every `apply()` — the swarm benchmark's root-CPU attribution
+/// showed the per-merge allocs as pure overhead. Sampling into a cleared
+/// buffer draws the identical point sequence, so refinement results are
+/// bit-identical to the allocating path.
+#[derive(Debug, Default)]
+pub struct MergeScratch {
+    /// Monte-Carlo evaluation points (capacity persists across merges).
+    points: Vec<Vector>,
+    /// Packed simplex start parameters.
+    params: Vec<f64>,
+}
+
 /// Refines merged components by downhill-simplex minimization of the
 /// accuracy loss (paper: "downhill simplex method \[19\] is used to find the
 /// minimum").
@@ -137,6 +152,21 @@ impl MergeRefiner {
         wj: f64,
         gj: &Gaussian,
     ) -> (Gaussian, f64, usize) {
+        self.refine_with(&mut MergeScratch::default(), wi, gi, wj, gj)
+    }
+
+    /// [`MergeRefiner::refine_detailed`] against caller-owned scratch
+    /// buffers, so a long-lived coordinator pays the Monte-Carlo point
+    /// allocation once instead of per merge. Results are bit-identical to
+    /// [`MergeRefiner::refine_detailed`].
+    pub fn refine_with(
+        &self,
+        scratch: &mut MergeScratch,
+        wi: f64,
+        gi: &Gaussian,
+        wj: f64,
+        gj: &Gaussian,
+    ) -> (Gaussian, f64, usize) {
         let two = Mixture::new(vec![gi.clone(), gj.clone()], vec![wi, wj])
             .expect("two valid components");
         let (start, _) = two.moment_merge(0, 1).expect("valid merge");
@@ -145,16 +175,17 @@ impl MergeRefiner {
 
         // Fixed evaluation points from the pair mixture (half from each).
         let mut rng = StdRng::seed_from_u64(self.seed);
-        let points: Vec<Vector> = (0..self.samples)
-            .map(|s| {
-                let g = if s % 2 == 0 { gi } else { gj };
-                g.sample(&mut rng)
-            })
-            .collect();
+        scratch.points.clear();
+        scratch.points.extend((0..self.samples).map(|s| {
+            let g = if s % 2 == 0 { gi } else { gj };
+            g.sample(&mut rng)
+        }));
+        let points = &scratch.points;
         let _ = sample_standard_normal(&mut rng); // decorrelate future seeds
 
         let d = start.dim();
-        let start_params = pack(&start);
+        scratch.params.clear();
+        pack_into(&start, &mut scratch.params);
         let nm = NelderMead::new(NelderMeadConfig {
             max_evals: self.max_evals,
             f_tol: 1e-9,
@@ -163,12 +194,12 @@ impl MergeRefiner {
         });
         let result = nm.minimize(
             |params| match unpack(params, d) {
-                Some(g) => accuracy_loss(ri, gi, rj, gj, &g, &points),
+                Some(g) => accuracy_loss(ri, gi, rj, gj, &g, points),
                 None => f64::MAX,
             },
-            &start_params,
+            &scratch.params,
         );
-        let start_loss = accuracy_loss(ri, gi, rj, gj, &start, &points);
+        let start_loss = accuracy_loss(ri, gi, rj, gj, &start, points);
         match unpack(&result.point, d) {
             // Keep the refinement only when it actually improved on the
             // moment merge.
@@ -179,10 +210,20 @@ impl MergeRefiner {
 }
 
 /// Packs a Gaussian as `[μ; log diag(L); strict lower triangle of L]`.
+/// (Production code goes through [`pack_into`]; tests keep the owning
+/// wrapper for round-trip checks.)
+#[cfg(test)]
 fn pack(g: &Gaussian) -> Vec<f64> {
+    let mut out = Vec::with_capacity(g.dim() + g.dim() * (g.dim() + 1) / 2);
+    pack_into(g, &mut out);
+    out
+}
+
+/// [`pack`] into a caller-owned buffer (appends; callers clear first).
+fn pack_into(g: &Gaussian, out: &mut Vec<f64>) {
     let d = g.dim();
     let l = g.chol().l();
-    let mut out = Vec::with_capacity(d + d * (d + 1) / 2);
+    out.reserve(d + d * (d + 1) / 2);
     out.extend(g.mean().iter().cloned());
     for i in 0..d {
         out.push(l[(i, i)].ln());
@@ -192,7 +233,6 @@ fn pack(g: &Gaussian) -> Vec<f64> {
             out.push(l[(i, j)]);
         }
     }
-    out
 }
 
 /// Inverse of [`pack`]; `None` when the parameters produce a non-finite
@@ -352,6 +392,28 @@ mod tests {
         for i in 0..2 {
             for j in 0..2 {
                 assert!((back.cov()[(i, j)] - g.cov()[(i, j)]).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn refine_with_reused_scratch_is_bit_identical() {
+        let a = g(0.0, 1.0);
+        let b = g(2.0, 2.0);
+        let refiner = MergeRefiner { seed: 5, ..Default::default() };
+        let (fresh, fresh_loss, fresh_evals) = refiner.refine_detailed(0.6, &a, 0.4, &b);
+        let mut scratch = MergeScratch::default();
+        // Dirty the scratch with an unrelated refinement first: reuse must
+        // not leak state between merges.
+        let _ = refiner.refine_with(&mut scratch, 0.5, &g(10.0, 1.0), 0.5, &g(11.0, 3.0));
+        let (reused, reused_loss, reused_evals) =
+            refiner.refine_with(&mut scratch, 0.6, &a, 0.4, &b);
+        assert_eq!(fresh_evals, reused_evals);
+        assert_eq!(fresh_loss.to_bits(), reused_loss.to_bits());
+        assert_eq!(fresh.mean()[0].to_bits(), reused.mean()[0].to_bits());
+        for i in 0..2 {
+            for j in 0..2 {
+                assert_eq!(fresh.cov()[(i, j)].to_bits(), reused.cov()[(i, j)].to_bits());
             }
         }
     }

@@ -16,6 +16,7 @@ pub use query::DenseRegion;
 
 pub use merge::{
     accuracy_loss, j_merge, m_merge, merge_criteria_table, normalize_column, MergeRefiner,
+    MergeScratch,
 };
 pub use split::{m_remerge, m_split, should_split};
 
@@ -59,6 +60,21 @@ pub struct CoordinatorConfig {
     /// without them (gauges are never journaled, but the flag keeps the
     /// write path cost-identical too).
     pub quality: bool,
+    /// Bound on the retained merge history ([`Coordinator::merge_log`]).
+    /// The log is pure lineage — crash resync replays site synopses (the
+    /// idempotent `NewModel` replace), never the log — so trimming it is
+    /// correctness-free, but an unbounded log makes coordinator memory
+    /// O(history) on long streams. `None` (the default) keeps everything;
+    /// `Some(n)` drops the oldest records past `n`, counting them in the
+    /// `coord.merges_compacted` counter. Aggregator tiers set this so the
+    /// root stays O(models).
+    pub merge_log_cap: Option<usize>,
+    /// Record a wall-clock `coord.apply_us` histogram per applied message.
+    /// Off by default: simulated transports must stay cost-identical and
+    /// wall-clock has no place in their journals (histograms are never
+    /// journaled, but the flag keeps the apply path free of clock reads
+    /// too). The swarm benchmark enables it to attribute root CPU.
+    pub time_applies: bool,
 }
 
 impl Default for CoordinatorConfig {
@@ -72,6 +88,8 @@ impl Default for CoordinatorConfig {
             use_index: false,
             index_candidates: 4,
             quality: false,
+            merge_log_cap: None,
+            time_applies: false,
         }
     }
 }
@@ -117,8 +135,15 @@ pub struct Coordinator {
     /// stale while only member weights move (the pre-filter is
     /// approximate by design — the exact criterion re-ranks candidates).
     index_cache: Option<GroupIndex>,
-    /// Append-only merge history (the hierarchy record).
+    /// Merge history (the hierarchy record), oldest first. Append-only
+    /// unless [`CoordinatorConfig::merge_log_cap`] trims the front.
     merge_log: Vec<MergeRecord>,
+    /// Merge records dropped by compaction (so `merges_compacted +
+    /// merge_log.len()` is the lifetime merge count).
+    merges_compacted: u64,
+    /// Reusable refinement buffers (satellite of the swarm benchmark: one
+    /// allocation for the life of the coordinator instead of per merge).
+    merge_scratch: MergeScratch,
     /// Lifetime merge + split count (quality plane's churn input).
     churn_events: u64,
     /// EWMA of churn events per applied message (quality plane gauge).
@@ -153,6 +178,8 @@ impl Coordinator {
             messages_applied: 0,
             index_cache: None,
             merge_log: Vec::new(),
+            merges_compacted: 0,
+            merge_scratch: MergeScratch::default(),
             churn_events: 0,
             churn_ewma: 0.0,
             obs: Obs::noop(),
@@ -174,9 +201,25 @@ impl Coordinator {
         self.trace_scope = scope;
     }
 
-    /// The merge history: every group-absorbs-group event, oldest first.
+    /// The retained merge history: group-absorbs-group events, oldest
+    /// first. Complete unless [`CoordinatorConfig::merge_log_cap`] trimmed
+    /// the front (see [`Coordinator::merges_compacted`]).
     pub fn merge_log(&self) -> &[MergeRecord] {
         &self.merge_log
+    }
+
+    /// Merge records dropped by log compaction (0 without a cap).
+    pub fn merges_compacted(&self) -> u64 {
+        self.merges_compacted
+    }
+
+    /// Rows of coordinator bookkeeping that grow with input rather than
+    /// with the model count: the model registry plus the retained merge
+    /// log. This is what the `coord.event_table_entries` gauge reports and
+    /// what [`CoordinatorConfig::merge_log_cap`] bounds — the coordinator's
+    /// analogue of a site's event table.
+    pub fn event_table_entries(&self) -> usize {
+        self.registry.len() + self.merge_log.len()
     }
 
     /// Number of groups (global mixture components).
@@ -217,6 +260,7 @@ impl Coordinator {
 
     /// Applies one protocol message.
     pub fn apply(&mut self, message: &Message) -> Result<(), GmmError> {
+        let timer = self.config.time_applies.then(std::time::Instant::now);
         self.messages_applied += 1;
         self.obs.counter("coord.messages", 1);
         let churn_before = self.churn_events;
@@ -308,7 +352,19 @@ impl Coordinator {
                 Ok(())
             }
         };
+        if let Some(cap) = self.config.merge_log_cap {
+            if self.merge_log.len() > cap {
+                let dropped = self.merge_log.len() - cap;
+                self.merge_log.drain(..dropped);
+                self.merges_compacted += dropped as u64;
+                self.obs.counter("coord.merges_compacted", dropped as u64);
+            }
+        }
         self.obs.gauge("coord.groups", self.groups.len() as f64);
+        self.obs.gauge("coord.event_table_entries", self.event_table_entries() as f64);
+        if let Some(t0) = timer {
+            self.obs.observe("coord.apply_us", t0.elapsed().as_micros() as u64);
+        }
         if self.config.quality {
             // Churn per applied message, smoothed: a sustained rise means
             // the hierarchy keeps reshuffling (streams drifting apart or
@@ -484,8 +540,13 @@ impl Coordinator {
             let refined = if self.config.refine_merges {
                 let gi = self.groups[i].representative().clone();
                 let gj = absorbed.representative().clone();
-                let (g, loss, evals) =
-                    self.config.refiner.refine_detailed(wi.max(1e-9), &gi, wj.max(1e-9), &gj);
+                let (g, loss, evals) = self.config.refiner.refine_with(
+                    &mut self.merge_scratch,
+                    wi.max(1e-9),
+                    &gi,
+                    wj.max(1e-9),
+                    &gj,
+                );
                 self.obs.event(&Event::SimplexRefine { iters: evals as u64, loss });
                 if let Some(scope) = self.trace_scope.filter(|_| self.obs.tracing_enabled()) {
                     let span = self.obs.alloc_span(scope.node);
@@ -843,6 +904,81 @@ mod tests {
         }
         // The log is message-ordered.
         assert!(log.windows(2).all(|w| w[0].at_message <= w[1].at_message));
+    }
+
+    #[test]
+    fn merge_log_cap_bounds_retained_history() {
+        let run = |cap: Option<usize>| {
+            let mut c = Coordinator::new(CoordinatorConfig {
+                max_groups: 2,
+                merge_log_cap: cap,
+                ..Default::default()
+            })
+            .unwrap();
+            for site in 0..8 {
+                c.apply(&new_model(site, 0, &[site as f64 * 50.0], 100)).unwrap();
+            }
+            c
+        };
+        let unbounded = run(None);
+        assert_eq!(unbounded.merges_compacted(), 0);
+        assert!(unbounded.merge_log().len() >= 4, "log {:?}", unbounded.merge_log());
+
+        let capped = run(Some(2));
+        assert_eq!(capped.merge_log().len(), 2);
+        // The retained suffix is exactly the tail of the full history, and
+        // the compaction counter accounts for every dropped record.
+        assert_eq!(
+            capped.merge_log(),
+            &unbounded.merge_log()[unbounded.merge_log().len() - 2..]
+        );
+        assert_eq!(
+            capped.merges_compacted() as usize + capped.merge_log().len(),
+            unbounded.merge_log().len()
+        );
+        // Compaction never touches the clustering state itself.
+        assert_eq!(capped.group_count(), unbounded.group_count());
+        assert_eq!(capped.component_count(), unbounded.component_count());
+    }
+
+    #[test]
+    fn event_table_gauge_tracks_registry_and_log() {
+        use cludistream_obs::Registry;
+        use std::sync::Arc;
+
+        let registry = Arc::new(Registry::new());
+        let mut c = Coordinator::new(CoordinatorConfig { max_groups: 2, ..Default::default() })
+            .unwrap();
+        c.set_observer(Obs::from_registry(Arc::clone(&registry)));
+        for site in 0..4 {
+            c.apply(&new_model(site, 0, &[site as f64 * 50.0], 100)).unwrap();
+        }
+        assert_eq!(c.event_table_entries(), c.known_models() + c.merge_log().len());
+        assert_eq!(
+            registry.gauge_value("coord.event_table_entries"),
+            Some(c.event_table_entries() as f64)
+        );
+    }
+
+    #[test]
+    fn apply_timing_flag_gates_histogram() {
+        use cludistream_obs::Registry;
+        use std::sync::Arc;
+
+        let run = |time_applies: bool| {
+            let registry = Arc::new(Registry::new());
+            let mut c = Coordinator::new(CoordinatorConfig {
+                time_applies,
+                ..Default::default()
+            })
+            .unwrap();
+            c.set_observer(Obs::from_registry(Arc::clone(&registry)));
+            c.apply(&new_model(0, 0, &[0.0], 100)).unwrap();
+            registry
+        };
+        assert!(run(false).histogram_snapshot("coord.apply_us").is_none());
+        let snap = run(true).histogram_snapshot("coord.apply_us").expect("histogram recorded");
+        assert_eq!(snap.count, 1);
     }
 
     #[test]

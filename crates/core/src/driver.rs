@@ -33,16 +33,17 @@
 //! protocol overhead. The TCP transport ([`crate::runtime::TcpTransport`])
 //! is reliable-only.
 
+use crate::aggregator::{AggregatorConfig, AggregatorEngine};
 use crate::config::Config;
 use crate::coordinator::{Coordinator, CoordinatorConfig};
 use crate::engine::{CoordinatorEngine, SiteCore};
 use crate::error::CludiError;
-use crate::protocol::{Frame, ReliableSender};
+use crate::protocol::{Frame, Message, ReliableSender};
 use crate::remote::SiteStats;
 use crate::serving::SnapshotHandle;
-use crate::transport::{RunRecipe, SimnetTransport, Transport};
+use crate::transport::{RunRecipe, SimnetTransport, Transport, TreeTopology};
 use crate::windows::WindowSpec;
-use cludistream_gmm::Mixture;
+use cludistream_gmm::{CovarianceType, Mixture};
 use cludistream_linalg::Vector;
 use cludistream_obs::Obs;
 use cludistream_simnet::{
@@ -190,6 +191,11 @@ pub struct StarReport {
     pub coordinator_groups: usize,
     /// Coordinator memory, bytes.
     pub coordinator_memory: usize,
+    /// Bytes delivered *to* the root coordinator — its ingress load. In a
+    /// star every synopsis lands here; with an aggregator tier
+    /// ([`TreeTopology`]) only the reduced per-aggregator updates do, so
+    /// this is the number the swarm benchmark compares across topologies.
+    pub bytes_at_root: u64,
     /// Simulated (or, for the socket transport, wall-clock) duration in
     /// seconds.
     pub sim_seconds: f64,
@@ -199,6 +205,8 @@ pub struct StarReport {
 const TIMER_TICK: u64 = 0;
 /// Timer tag: retransmit unacknowledged frames.
 const TIMER_RETX: u64 = 1;
+/// Timer tag: an aggregator's dirty-to-flush delay elapsed.
+const TIMER_FLUSH: u64 = 2;
 
 /// Simulation node wrapping one windowed remote site and its stream.
 ///
@@ -366,6 +374,112 @@ impl Node<ByteBuf> for CoordinatorNode {
     }
 }
 
+/// Simulation node wrapping one [`AggregatorEngine`]: coordinator-like
+/// toward its children (below), site-like toward its parent (above).
+/// Child traffic marks it dirty and arms a flush timer; when the timer
+/// fires, the one reduced update goes upward (sequenced in reliable
+/// mode, with the same go-back-N retransmit loop a site runs).
+struct AggregatorNode {
+    agg: AggregatorEngine,
+    parent: NodeId,
+    /// Upward reliable channel (None in fire-and-forget runs).
+    sender: Option<ReliableSender>,
+    cov: CovarianceType,
+    flush_interval_us: u64,
+    flush_armed: bool,
+    retx_armed: bool,
+    retransmitted_messages: u64,
+    retransmitted_bytes: u64,
+}
+
+impl AggregatorNode {
+    fn send_up(&mut self, msg: Message, ctx: &mut Context<'_, ByteBuf>) {
+        let frame = match &mut self.sender {
+            Some(sender) => sender.send_traced(msg, None),
+            None => Frame::Bare(msg),
+        };
+        let bytes = frame.encode(self.cov);
+        let len = bytes.len();
+        ctx.send(self.parent, bytes, len);
+        self.arm_retransmit(ctx);
+    }
+
+    fn arm_retransmit(&mut self, ctx: &mut Context<'_, ByteBuf>) {
+        if self.retx_armed {
+            return;
+        }
+        if let Some(sender) = &self.sender {
+            if sender.pending() > 0 {
+                ctx.set_timer(sender.next_timeout_us(), TIMER_RETX);
+                self.retx_armed = true;
+            }
+        }
+    }
+
+    fn arm_flush(&mut self, ctx: &mut Context<'_, ByteBuf>) {
+        if !self.flush_armed && self.agg.dirty() {
+            ctx.set_timer(self.flush_interval_us, TIMER_FLUSH);
+            self.flush_armed = true;
+        }
+    }
+}
+
+impl Node<ByteBuf> for AggregatorNode {
+    fn on_message(&mut self, ctx: &mut Context<'_, ByteBuf>, from: NodeId, msg: ByteBuf) {
+        if from == self.parent {
+            // The only parent→aggregator traffic is cumulative ACKs.
+            if let Ok(Frame::Ack { cumulative }) = Frame::decode(&mut msg.reader()) {
+                if let Some(sender) = &mut self.sender {
+                    sender.on_ack(cumulative);
+                }
+            }
+            return;
+        }
+        if let Some(ack) = self.agg.on_wire(&msg) {
+            let len = ack.len();
+            ctx.send(from, ack, len);
+        }
+        self.arm_flush(ctx);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, ByteBuf>, tag: u64) {
+        match tag {
+            TIMER_FLUSH => {
+                self.flush_armed = false;
+                if let Some(msg) = self.agg.flush() {
+                    self.send_up(msg, ctx);
+                }
+            }
+            TIMER_RETX => {
+                self.retx_armed = false;
+                let frames = match &mut self.sender {
+                    Some(sender) => sender.on_timeout(),
+                    None => Vec::new(),
+                };
+                for frame in frames {
+                    let bytes = frame.encode(self.cov);
+                    let len = bytes.len();
+                    self.retransmitted_messages += 1;
+                    self.retransmitted_bytes += len as u64;
+                    ctx.send(self.parent, bytes, len);
+                }
+                self.arm_retransmit(ctx);
+            }
+            _ => {}
+        }
+    }
+
+    fn on_restart(&mut self, ctx: &mut Context<'_, ByteBuf>) {
+        // Aggregators keep no durable checkpoint: their whole state is
+        // reconstructible from child retransmissions, so a restart just
+        // re-arms the timers.
+        self.retx_armed = false;
+        self.flush_armed = false;
+        self.arm_retransmit(ctx);
+        self.arm_flush(ctx);
+    }
+}
+
 /// Builder for a CluDistream star-topology run: `r` remote sites around
 /// one coordinator, each consuming records from its own stream under a
 /// chosen window semantics, over a pluggable [`Transport`] (the
@@ -390,6 +504,7 @@ pub struct Simulation {
     streams: Option<Vec<RecordStream>>,
     updates_per_site: u64,
     snapshots: Option<Arc<SnapshotHandle>>,
+    tree: Option<TreeTopology>,
 }
 
 impl Simulation {
@@ -405,6 +520,7 @@ impl Simulation {
             streams: None,
             updates_per_site: 0,
             snapshots: None,
+            tree: None,
         }
     }
 
@@ -489,6 +605,16 @@ impl Simulation {
         self
     }
 
+    /// Inserts an aggregator tier ([`TreeTopology`]) between the sites
+    /// and the root coordinator: each aggregator terminates a contiguous
+    /// fan-in of children, pre-merges their synopses, and forwards one
+    /// reduced update per flush interval. Off by default — without a tree
+    /// the run is the classic star.
+    pub fn with_tree(mut self, tree: TreeTopology) -> Simulation {
+        self.tree = Some(tree);
+        self
+    }
+
     /// Validates the recipe and runs it on the configured transport.
     pub fn run(self) -> Result<StarReport, CludiError> {
         let Simulation {
@@ -500,6 +626,7 @@ impl Simulation {
             streams,
             updates_per_site,
             snapshots,
+            tree,
         } = self;
         if sites == 0 {
             return Err(CludiError::Build("need at least one site"));
@@ -519,6 +646,38 @@ impl Simulation {
         if config.batch == 0 {
             return Err(CludiError::InvalidConfig { name: "batch", constraint: "batch > 0" });
         }
+        if let Some(tree) = &tree {
+            if tree.levels.is_empty() {
+                return Err(CludiError::InvalidConfig {
+                    name: "tree.levels",
+                    constraint: "at least one aggregator level",
+                });
+            }
+            if tree.levels.iter().any(|&n| n == 0) {
+                return Err(CludiError::InvalidConfig {
+                    name: "tree.levels",
+                    constraint: "every level needs >= 1 aggregator",
+                });
+            }
+            // Every aggregator must get at least one child, so a level
+            // can never be wider than what feeds it.
+            let mut feeding = sites;
+            for &count in &tree.levels {
+                if count > feeding {
+                    return Err(CludiError::InvalidConfig {
+                        name: "tree.levels",
+                        constraint: "a level cannot be wider than the one below it",
+                    });
+                }
+                feeding = count;
+            }
+            if tree.flush_interval_us == 0 {
+                return Err(CludiError::InvalidConfig {
+                    name: "tree.flush_interval_us",
+                    constraint: "flush interval > 0",
+                });
+            }
+        }
         let transport = transport.unwrap_or_else(|| Box::new(SimnetTransport::new()));
         transport.run(RunRecipe {
             sites,
@@ -528,6 +687,7 @@ impl Simulation {
             streams,
             updates_per_site,
             snapshots,
+            tree,
         })
     }
 }
@@ -566,7 +726,10 @@ pub(crate) fn run_simnet(
     link: LinkModel,
     faults: Option<FaultPlan>,
 ) -> Result<StarReport, CludiError> {
-    let RunRecipe { sites, window, config, delivery, streams, updates_per_site, snapshots } =
+    if recipe.tree.is_some() {
+        return run_simnet_tree(recipe, link, faults);
+    }
+    let RunRecipe { sites, window, config, delivery, streams, updates_per_site, snapshots, tree: _ } =
         recipe;
     let delivery = delivery.unwrap_or_else(|| DeliveryConfig {
         mode: if faults.is_some() { DeliveryMode::Reliable } else { DeliveryMode::FireAndForget },
@@ -654,6 +817,7 @@ pub(crate) fn run_simnet(
         crashes: fault_stats.crashes,
         restarts: fault_stats.restarts,
     };
+    let bytes_at_root = comm.bytes_to(coordinator_id);
     Ok(StarReport {
         comm,
         delivery: delivery_report,
@@ -663,6 +827,209 @@ pub(crate) fn run_simnet(
         site_memory,
         coordinator_groups: engine.coordinator.group_count(),
         coordinator_memory: engine.coordinator.memory_bytes(),
+        bytes_at_root,
+        sim_seconds,
+    })
+}
+
+/// Runs a recipe with an aggregator tier on the discrete-event simulator:
+/// sites feed level-0 aggregators, each level feeds the next, and the
+/// root coordinator terminates the top level. Child ranges are split
+/// evenly and contiguously; within a level, aggregator `j` is site `j`
+/// to its parent.
+fn run_simnet_tree(
+    recipe: RunRecipe,
+    link: LinkModel,
+    faults: Option<FaultPlan>,
+) -> Result<StarReport, CludiError> {
+    let RunRecipe { sites, window, config, delivery, streams, updates_per_site, snapshots, tree } =
+        recipe;
+    let Some(tree) = tree else {
+        return Err(CludiError::Build("run_simnet_tree needs a tree topology"));
+    };
+    let delivery = delivery.unwrap_or_else(|| DeliveryConfig {
+        mode: if faults.is_some() { DeliveryMode::Reliable } else { DeliveryMode::FireAndForget },
+        ..Default::default()
+    });
+    let reliable = delivery.mode == DeliveryMode::Reliable;
+    let checkpointing = faults.as_ref().is_some_and(|p| !p.outages.is_empty());
+
+    // Node layout: sites first (ids 0..sites), then each aggregator level
+    // in order, then the root last — matching `add_node`'s sequential ids.
+    let total_aggs: usize = tree.levels.iter().sum();
+    let total_nodes = sites + total_aggs + 1;
+    let root_id = NodeId(sites + total_aggs);
+    let mut parent = vec![root_id.0; total_nodes];
+    // (level-local index, child_base, children) per aggregator, in id order.
+    let mut agg_specs: Vec<(u32, u32, usize)> = Vec::with_capacity(total_aggs);
+    let mut feeding = sites; // width of the level below
+    let mut level_start = sites; // first node id of the current level
+    for &count in &tree.levels {
+        if count == 0 || count > feeding {
+            return Err(CludiError::InvalidConfig {
+                name: "tree.levels",
+                constraint: "1 <= level width <= width below",
+            });
+        }
+        for j in 0..count {
+            // Even contiguous split of the `feeding` children below.
+            let start = j * feeding / count;
+            let end = (j + 1) * feeding / count;
+            let below_start = level_start - feeding;
+            for child in start..end {
+                parent[below_start + child] = level_start + j;
+            }
+            agg_specs.push((j as u32, start as u32, end - start));
+        }
+        level_start += count;
+        feeding = count;
+    }
+    // The last level (or, with no aggregators possible here, the sites)
+    // reports to the root; the root self-parents.
+    if tree.flush_interval_us == 0 {
+        return Err(CludiError::InvalidConfig {
+            name: "tree.flush_interval_us",
+            constraint: "flush interval > 0",
+        });
+    }
+
+    let mut sim: NetSimulation<ByteBuf> =
+        NetSimulation::new(Topology::Tree { parent: parent.clone() }, link);
+    if let Some(plan) = faults {
+        sim.set_fault_plan(plan);
+    }
+    let interval_us = ((config.batch as u64 * MICROS_PER_SEC) / config.records_per_second).max(1);
+
+    let mut site_ids = Vec::with_capacity(sites);
+    for (i, stream) in streams.into_iter().enumerate() {
+        let core = build_site_core(&config, window, i, reliable, delivery)?;
+        let id = sim.add_node(Box::new(SiteNode {
+            core,
+            stream,
+            coordinator: NodeId(parent[i]),
+            remaining: updates_per_site,
+            batch: config.batch,
+            interval_us,
+            error: None,
+            retx_armed: false,
+            retransmitted_messages: 0,
+            retransmitted_bytes: 0,
+            checkpoint: None,
+            checkpointing,
+        }));
+        site_ids.push(id);
+    }
+    let mut agg_ids = Vec::with_capacity(total_aggs);
+    for (index, child_base, children) in agg_specs {
+        // Shards are where O(history) growth must stop: cap their merge
+        // logs even when the root keeps unbounded lineage.
+        let shard = CoordinatorConfig {
+            merge_log_cap: config.coordinator.merge_log_cap.or(Some(64)),
+            ..config.coordinator.clone()
+        };
+        let agg = AggregatorEngine::new(
+            AggregatorConfig {
+                index,
+                child_base,
+                children,
+                epsilon: tree.epsilon,
+                coordinator: shard,
+            },
+            config.obs.clone(),
+        )?;
+        let id = sim.add_node(Box::new(AggregatorNode {
+            agg,
+            parent: NodeId(parent[agg_ids.len() + sites]),
+            sender: reliable.then(|| ReliableSender::new(delivery.rto_us, delivery.rto_cap_us)),
+            cov: config.site.covariance,
+            flush_interval_us: tree.flush_interval_us,
+            flush_armed: false,
+            retx_armed: false,
+            retransmitted_messages: 0,
+            retransmitted_bytes: 0,
+        }));
+        agg_ids.push(id);
+    }
+    let root_children = *tree.levels.last().expect("levels validated non-empty");
+    let mut coordinator = Coordinator::new(config.coordinator.clone())?;
+    coordinator.set_observer(config.obs.clone());
+    let mut engine =
+        CoordinatorEngine::new(coordinator, root_children, config.site.covariance, config.obs.clone());
+    engine.publish = snapshots;
+    sim.add_node(Box::new(CoordinatorNode { engine }));
+    sim.set_observer(config.obs.clone());
+
+    sim.run()?;
+
+    // Harvest.
+    let fault_stats: FaultStats = *sim.fault_stats();
+    let mut site_stats = Vec::with_capacity(sites);
+    let mut site_models = Vec::with_capacity(sites);
+    let mut site_memory = Vec::with_capacity(sites);
+    let mut retransmitted_messages = 0;
+    let mut retransmitted_bytes = 0;
+    for &id in &site_ids {
+        let node: &mut SiteNode = sim.node_as(id).expect("site node");
+        if let Some(e) = node.error.take() {
+            return Err(e);
+        }
+        site_stats.push(node.core.window.site().stats());
+        site_models.push(node.core.window.site().models().len());
+        site_memory.push(node.core.window.site().memory_bytes());
+        retransmitted_messages += node.retransmitted_messages;
+        retransmitted_bytes += node.retransmitted_bytes;
+    }
+    let mut ack_messages = 0;
+    let mut ack_bytes = 0;
+    let mut duplicates_discarded = 0;
+    for &id in &agg_ids {
+        let node: &mut AggregatorNode = sim.node_as(id).expect("aggregator node");
+        retransmitted_messages += node.retransmitted_messages;
+        retransmitted_bytes += node.retransmitted_bytes;
+        ack_messages += node.agg.ack_messages();
+        ack_bytes += node.agg.ack_bytes();
+        duplicates_discarded += node.agg.duplicates_discarded();
+    }
+    let sim_seconds = sim.now() as f64 / MICROS_PER_SEC as f64;
+    let comm = sim.stats().clone();
+    let coord: &mut CoordinatorNode = sim.node_as(root_id).expect("root coordinator node");
+    let engine = &mut coord.engine;
+    let global = engine.coordinator.global_mixture().ok();
+    let delivery_report = DeliveryReport {
+        reliable,
+        sent_messages: comm.total_messages(),
+        sent_bytes: comm.total_bytes(),
+        delivered_messages: fault_stats.delivered_messages,
+        delivered_bytes: fault_stats.delivered_bytes,
+        dropped_messages: fault_stats.dropped_messages,
+        dropped_bytes: fault_stats.dropped_bytes,
+        duplicated_messages: fault_stats.duplicated_messages,
+        duplicated_bytes: fault_stats.duplicated_bytes,
+        reordered_messages: fault_stats.reordered_messages,
+        retransmitted_messages,
+        retransmitted_bytes,
+        ack_messages: engine.ack_messages + ack_messages,
+        ack_bytes: engine.ack_bytes + ack_bytes,
+        duplicates_discarded: duplicates_discarded
+            + engine
+                .inboxes
+                .iter()
+                .map(crate::protocol::ReliableInbox::duplicates)
+                .sum::<u64>(),
+        crashes: fault_stats.crashes,
+        restarts: fault_stats.restarts,
+    };
+    let bytes_at_root = comm.bytes_to(root_id);
+    Ok(StarReport {
+        comm,
+        delivery: delivery_report,
+        global,
+        site_stats,
+        site_models,
+        site_memory,
+        coordinator_groups: engine.coordinator.group_count(),
+        coordinator_memory: engine.coordinator.memory_bytes(),
+        bytes_at_root,
         sim_seconds,
     })
 }

@@ -186,6 +186,12 @@ pub(crate) struct CoordinatorEngine {
     pub apply_errors: u64,
     pub ack_messages: u64,
     pub ack_bytes: u64,
+    /// First site index this engine is responsible for. A star root keeps
+    /// the default 0; an aggregator serving the child range
+    /// `[site_base, site_base + inboxes.len())` sets it so global site
+    /// indices map onto its inbox slots. Frames from outside the range
+    /// count as decode errors, exactly like out-of-range sites at a root.
+    pub site_base: u32,
     /// Serving-layer publication point. When set, the engine publishes a
     /// fresh [`crate::serving::ModelSnapshot`] after every applied
     /// message; `None` (the default) keeps the write path byte-identical
@@ -205,11 +211,12 @@ impl CoordinatorEngine {
             apply_errors: 0,
             ack_messages: 0,
             ack_bytes: 0,
+            site_base: 0,
             publish: None,
         }
     }
 
-    fn apply(&mut self, message: &Message) {
+    pub(crate) fn apply(&mut self, message: &Message) {
         self.apply_traced(message, None);
     }
 
@@ -264,7 +271,7 @@ impl CoordinatorEngine {
                 None
             }
             Ok(Frame::Data { seq, message, ctx: tctx }) => {
-                let site = message.site() as usize;
+                let site = (message.site() as usize).wrapping_sub(self.site_base as usize);
                 if site >= self.inboxes.len() {
                     self.decode_errors += 1;
                     return None;

@@ -27,6 +27,10 @@
 //! - [`windows`] — landmark, horizon, and sliding-window semantics.
 //! - [`change`] — change detection from chunk outcomes (Sec. 7).
 //! - [`multilayer`] — tree-structured networks (Sec. 7).
+//! - [`aggregator`] — the deployable aggregator tier:
+//!   [`aggregator::AggregatorEngine`] terminates a fan-in of children and
+//!   forwards one reduced summary per round, so the root scales to swarms
+//!   (O(aggregators) messages, O(models) state).
 //! - [`driver`] — the [`Simulation`] builder: `Simulation::star(n)`
 //!   configures a star of `n` sites, `with_window` selects landmark or
 //!   sliding-window semantics ([`WindowSpec`]), and `run()` returns a
@@ -68,6 +72,7 @@
 //! assert!(site.current_mixture().is_some()); // and one model learned
 //! ```
 
+pub mod aggregator;
 pub mod change;
 mod config;
 pub mod prelude;
@@ -83,6 +88,7 @@ pub mod serving;
 pub mod transport;
 pub mod windows;
 
+pub use aggregator::{AggregatorConfig, AggregatorEngine};
 pub use change::{ChangeDetector, ChangeKind, ChangePoint};
 pub use cludistream_simnet::{FaultPlan, FaultStats, LinkFaults, NodeId, Outage, Partition};
 pub use config::Config;
@@ -96,7 +102,7 @@ pub use multilayer::MultiLayerNetwork;
 pub use protocol::{Frame, Message, ReliableInbox, ReliableSender};
 pub use remote::{ChunkOutcome, ModelId, RemoteSite, SiteEvent, SiteStats};
 pub use serving::{score_snapshot, ModelSnapshot, SnapshotGroup, SnapshotHandle, SnapshotMember};
-pub use transport::{RunRecipe, SimnetTransport, Transport, TransportSemantics};
+pub use transport::{RunRecipe, SimnetTransport, Transport, TransportSemantics, TreeTopology};
 pub use windows::{
     horizon_mixture, landmark_mixture, LandmarkWindow, SlidingWindowSite, Window, WindowSpec,
 };

@@ -96,6 +96,18 @@ impl EventTable {
         self.closed.len()
     }
 
+    /// Compacts history: drops closed spans that ended before
+    /// `watermark_chunk`, returning how many were dropped. Spans that
+    /// straddle the watermark and the open span are always retained, so
+    /// queries over `[watermark, now]` — and a go-back-N resync replaying
+    /// from the retained watermark — see the exact same rows as an
+    /// uncompacted table.
+    pub fn compact_before(&mut self, watermark_chunk: u64) -> usize {
+        let before = self.closed.len();
+        self.closed.retain(|e| e.end_chunk >= watermark_chunk);
+        before - self.closed.len()
+    }
+
     /// Approximate memory footprint: 3 u64-sized fields per row.
     pub fn memory_bytes(&self) -> usize {
         24 * (self.closed.len() + usize::from(self.open.is_some()))
@@ -175,6 +187,24 @@ mod tests {
         let total_m0: u64 =
             t.query(0, 9, 9).iter().filter(|(m, _)| *m == ModelId(0)).map(|(_, c)| c).sum();
         assert_eq!(total_m0, 6);
+    }
+
+    #[test]
+    fn compaction_drops_only_pre_watermark_spans() {
+        let mut t = EventTable::new();
+        t.switch_to(ModelId(0), 0); // 0..=4
+        t.switch_to(ModelId(1), 5); // 5..=9
+        t.switch_to(ModelId(2), 10); // open
+        // Watermark inside span 1: span 0 goes, span 1 straddles and stays.
+        assert_eq!(t.compact_before(7), 1);
+        assert_eq!(t.switches(), 1);
+        // Queries at or after the watermark are unchanged.
+        assert_eq!(t.query(7, 12, 12), vec![(ModelId(1), 3), (ModelId(2), 3)]);
+        // The open span never compacts.
+        assert_eq!(t.compact_before(u64::MAX), 1);
+        assert_eq!(t.current(), Some(ModelId(2)));
+        // Idempotent below the watermark.
+        assert_eq!(t.compact_before(0), 0);
     }
 
     #[test]

@@ -392,6 +392,15 @@ impl RemoteSite {
         let this_chunk = self.chunk_index;
         self.chunk_index += 1;
         self.stats.chunks += 1;
+        // Bounded event-table retention: spans ending more than the
+        // configured number of chunks ago can no longer influence a
+        // resync or an in-horizon query, so they compact away.
+        if let Some(retention) = self.config.event_retention_chunks {
+            let dropped = self.events.compact_before(this_chunk.saturating_sub(retention)) as u64;
+            if dropped > 0 {
+                self.obs.counter("site.events_compacted", dropped);
+            }
+        }
         let m = chunk.len() as u64;
         self.obs.counter("site.chunks", 1);
         self.obs.counter("site.records", m);

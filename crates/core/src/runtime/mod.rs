@@ -14,15 +14,20 @@
 //!   state machine.
 //! - [`tcp`] — the coordinator serve loop, the site loop, and the
 //!   in-process [`TcpTransport`].
+//! - [`aggregator`] — the intermediate fan-in role ([`run_aggregator`]):
+//!   serves a child range like the coordinator, speaks upward like a
+//!   site, forwarding one pre-merged update per flush interval.
 //!
 //! See `docs/OPERATIONS.md` for the operator's manual (launching,
 //! tuning, troubleshooting) and DESIGN.md's "Transport abstraction"
 //! section for the semantics contract.
 
+pub mod aggregator;
 pub mod control;
 pub(crate) mod liveness;
 pub mod tcp;
 
+pub use aggregator::{run_aggregator, AggregatorReport, AggregatorRun, AggregatorRunBuilder};
 pub use control::{Control, HealthAlert, RejectCode, CONTROL_TAG_MIN, PROTOCOL_VERSION};
 pub use tcp::{
     run_site, serve, CoordReport, CoordinatorRun, CoordinatorRunBuilder, SiteReport, SiteRun,

@@ -241,7 +241,7 @@ impl CoordinatorRunBuilder {
 /// Socket-tuning sanity shared by both builders: a zero heartbeat would
 /// busy-spin the ping loop, and a timeout at or under the heartbeat
 /// evicts every site between two pings.
-fn validate_socket(socket: &SocketConfig) -> Result<(), CludiError> {
+pub(crate) fn validate_socket(socket: &SocketConfig) -> Result<(), CludiError> {
     if socket.heartbeat_us == 0 {
         return Err(CludiError::InvalidConfig {
             name: "socket.heartbeat_us",
@@ -309,7 +309,7 @@ pub struct SiteReport {
 }
 
 /// Events the acceptor/reader threads feed the coordinator loop.
-enum NetEvent {
+pub(crate) enum NetEvent {
     /// A connection arrived; `writer` is the write half (a
     /// `try_clone`).
     Accepted { conn: u64, writer: TcpStream },
@@ -319,21 +319,22 @@ enum NetEvent {
     Closed { conn: u64 },
 }
 
+
 /// A live connection as the coordinator loop sees it.
-struct Conn {
-    writer: TcpStream,
-    site: Option<usize>,
+pub(crate) struct Conn {
+    pub(crate) writer: TcpStream,
+    pub(crate) site: Option<usize>,
 }
 
 /// Writes one length-prefixed frame to a blocking stream.
-fn write_payload(stream: &TcpStream, payload: &[u8]) -> std::io::Result<()> {
+pub(crate) fn write_payload(stream: &TcpStream, payload: &[u8]) -> std::io::Result<()> {
     write_frame(&mut { stream }, payload)
 }
 
 /// Sends a control frame, counting it under the `net.ctrl_*` counters.
 /// Returns `false` on I/O failure (the caller cuts the connection; the
 /// site reconnects).
-fn send_control(stream: &TcpStream, obs: &Obs, frame: &Control) -> bool {
+pub(crate) fn send_control(stream: &TcpStream, obs: &Obs, frame: &Control) -> bool {
     let bytes = frame.encode();
     net::on_ctrl_send(obs, bytes.len() as u64);
     write_payload(stream, bytes.as_slice()).is_ok()
@@ -500,7 +501,7 @@ pub fn serve(listener: TcpListener, run: CoordinatorRun) -> Result<CoordReport, 
 
 /// Blocking per-connection reader: length-prefixed frames in, channel
 /// events out, `Closed` on EOF or error.
-fn read_loop(conn: u64, mut stream: TcpStream, tx: &mpsc::Sender<NetEvent>) {
+pub(crate) fn read_loop(conn: u64, mut stream: TcpStream, tx: &mpsc::Sender<NetEvent>) {
     let mut fr = FrameReader::new();
     loop {
         match fr.poll(&mut stream) {
@@ -900,7 +901,7 @@ impl SiteRunBuilder {
 }
 
 /// Connects with retries (the coordinator may not be listening yet).
-fn connect(addr: &str, socket: &SocketConfig) -> Result<TcpStream, CludiError> {
+pub(crate) fn connect(addr: &str, socket: &SocketConfig) -> Result<TcpStream, CludiError> {
     let attempts = socket.connect_attempts.max(1);
     let mut last = String::new();
     for attempt in 0..attempts {
@@ -1241,8 +1242,22 @@ impl Transport for TcpTransport {
     }
 
     fn run(self: Box<Self>, recipe: RunRecipe) -> Result<StarReport, CludiError> {
-        let RunRecipe { sites, window, config, delivery, streams, updates_per_site, snapshots } =
-            recipe;
+        let RunRecipe {
+            sites,
+            window,
+            config,
+            delivery,
+            streams,
+            updates_per_site,
+            snapshots,
+            tree,
+        } = recipe;
+        if tree.is_some() {
+            return Err(CludiError::Build(
+                "the TCP transport has no in-process aggregator tier: compose \
+                 `cludistream aggregator` processes between the sites and the root instead",
+            ));
+        }
         let delivery = delivery.unwrap_or(DeliveryConfig {
             mode: DeliveryMode::Reliable,
             rto_us: 50_000,
@@ -1322,6 +1337,7 @@ impl Transport for TcpTransport {
             duplicates_discarded: coord.duplicates_discarded,
             ..Default::default()
         };
+        let bytes_at_root = coord.comm.bytes_to(NodeId(sites));
         Ok(StarReport {
             comm: coord.comm,
             delivery: delivery_report,
@@ -1331,6 +1347,7 @@ impl Transport for TcpTransport {
             site_memory,
             coordinator_groups: coord.groups,
             coordinator_memory: coord.memory_bytes,
+            bytes_at_root,
             sim_seconds: started.elapsed().as_secs_f64(),
         })
     }

@@ -45,6 +45,60 @@ use crate::windows::WindowSpec;
 use cludistream_simnet::{FaultPlan, LinkModel};
 use std::sync::Arc;
 
+/// Shape of an aggregator tier between the sites and the root (paper
+/// Sec. 7's multi-layer network, deployed): `levels[0]` aggregators fan
+/// in the sites, `levels[1]` fan in `levels[0]`, and so on; the root
+/// coordinator terminates the last level. Children are split across a
+/// level's aggregators in contiguous, balanced ranges.
+///
+/// Each aggregator pre-merges its children's synopses with the standard
+/// merge/split machinery and forwards **one** reduced summary upward per
+/// flush interval (suppressed entirely when the summary has not moved by
+/// more than `epsilon` — the same significance test the multi-layer
+/// module uses). The root therefore sees O(aggregators) messages and
+/// keeps O(models) state instead of O(sites) × O(history).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TreeTopology {
+    /// Aggregator counts per level, sites upward. Must be non-empty with
+    /// every level ≥ 1; levels need not shrink, but usually do.
+    pub levels: Vec<usize>,
+    /// Upward-forwarding significance threshold: a freshly merged summary
+    /// within `epsilon` of the last one uploaded (per
+    /// [`crate::multilayer`]'s `m_split`/weight test) is suppressed.
+    /// `0.0` forwards every change.
+    pub epsilon: f64,
+    /// Microseconds between an aggregator going dirty and its upward
+    /// flush. Batches a whole fan-in's worth of child updates into one
+    /// upload; must be > 0.
+    pub flush_interval_us: u64,
+}
+
+impl TreeTopology {
+    /// A two-level tree: `aggregators` aggregators between the sites and
+    /// the root, default flush tuning.
+    pub fn two_level(aggregators: usize) -> TreeTopology {
+        TreeTopology { levels: vec![aggregators], epsilon: 0.0, flush_interval_us: 50_000 }
+    }
+
+    /// A three-level tree: `lower` leaf-facing aggregators feeding
+    /// `upper` mid-tier aggregators feeding the root.
+    pub fn three_level(lower: usize, upper: usize) -> TreeTopology {
+        TreeTopology { levels: vec![lower, upper], epsilon: 0.0, flush_interval_us: 50_000 }
+    }
+
+    /// Sets the upward significance threshold.
+    pub fn with_epsilon(mut self, epsilon: f64) -> TreeTopology {
+        self.epsilon = epsilon;
+        self
+    }
+
+    /// Sets the dirty-to-flush delay, microseconds.
+    pub fn with_flush_interval_us(mut self, us: u64) -> TreeTopology {
+        self.flush_interval_us = us;
+        self
+    }
+}
+
 /// A fully validated run description, handed by the [`crate::Simulation`]
 /// builder to a [`Transport`]. Everything in it is transport-agnostic.
 pub struct RunRecipe {
@@ -68,6 +122,14 @@ pub struct RunRecipe {
     /// default) keeps the write path byte-identical to a run without a
     /// serving layer.
     pub snapshots: Option<Arc<SnapshotHandle>>,
+    /// Aggregator tier between the sites and the root. `None` (the
+    /// default) is the classic star and keeps every transport
+    /// byte-identical to earlier releases. `Some` makes the simnet
+    /// transport route synopses through in-simulation
+    /// [`crate::AggregatorEngine`] nodes; the socket transport rejects
+    /// it — a real deployment composes `cludistream aggregator`
+    /// processes instead.
+    pub tree: Option<TreeTopology>,
 }
 
 /// What a transport guarantees (and costs), for documentation, test

@@ -176,6 +176,59 @@ if [ "$hscraped" -ne 1 ]; then
 fi
 wait "$hsite_pid" "$hcoord_pid"
 
+# Swarm smoke test (hierarchical aggregation). Phase A — the swarm
+# bench at its smallest scale: the same 1000 synthetic synopses pushed
+# through a flat star root and through a 100-aggregator tree. The
+# binary self-gates that bytes arriving at the root shrink, the tree
+# root's event table stays O(models) instead of O(sites), and the
+# held-out average log-likelihood matches the star's.
+./target/release/swarm --scales 1000 > "$smokedir/swarm.out"
+grep -q 'gate sharding: .* ok$' "$smokedir/swarm.out"
+
+# Phase B — a real 4-process loopback tree: a root coordinator serving
+# one child (the aggregator), the aggregator serving two site
+# processes. The sites run the identical workload as the star socket
+# smoke above, so their journals must replay the same protocol events
+# (sites cannot tell an aggregator from a coordinator), and the root
+# must reach the same merge/split decisions as the simulator.
+./target/release/cludistream coordinator --sites 1 --deadline-s 120 \
+    --port-file "$smokedir/rport.txt" > "$smokedir/rcoord.out" &
+rcoord_pid=$!
+for _ in $(seq 1 150); do
+    [ -s "$smokedir/rport.txt" ] && break
+    kill -0 "$rcoord_pid" 2>/dev/null || { echo "tree root died early" >&2; exit 1; }
+    sleep 0.1
+done
+raddr="$(cat "$smokedir/rport.txt")"
+./target/release/cludistream aggregator --connect "$raddr" --site 0 \
+    --child-base 0 --children 2 --deadline-s 120 \
+    --port-file "$smokedir/aport.txt" > "$smokedir/agg.out" &
+ragg_pid=$!
+for _ in $(seq 1 150); do
+    [ -s "$smokedir/aport.txt" ] && break
+    kill -0 "$ragg_pid" 2>/dev/null || { echo "aggregator died early" >&2; exit 1; }
+    sleep 0.1
+done
+aaddr="$(cat "$smokedir/aport.txt")"
+./target/release/cludistream site --connect "$aaddr" --site 0 \
+    --journal "$smokedir/agg_site0.jsonl" >/dev/null &
+./target/release/cludistream site --connect "$aaddr" --site 1 \
+    --journal "$smokedir/agg_site1.jsonl" >/dev/null &
+wait
+# The root behind the fan-in reaches the simulator's groups; one
+# aggregator hop adds no churn (no resyncs, no evictions, >= 1 reduced
+# update forwarded).
+grep '^coordinator groups:' "$smokedir/rcoord.out" > "$smokedir/tree_groups"
+diff -u "$smokedir/sim_groups" "$smokedir/tree_groups"
+grep -q '^aggregator groups: 2$' "$smokedir/agg.out"
+grep -qE '^flushes up: [1-9]' "$smokedir/agg.out"
+grep -q 'resyncs: up 0 down 0 | evicted sites: \[\]' "$smokedir/agg.out"
+for i in 0 1; do
+    grep -E '"event":"(ChunkTested|Reclustered|SynopsisSent)"' "$smokedir/agg_site$i.jsonl" \
+        | sed 's/"t":[0-9]*/"t":_/' > "$smokedir/agg_site$i"
+    diff -u "$smokedir/sim_site$i" "$smokedir/agg_site$i"
+done
+
 # Perf-regression smoke test: the parallel E-step must produce a
 # bit-identical fit with threads=all vs threads=1, and parallelism must
 # never cost more than 10% wall-clock. (On a single-core host both sides
